@@ -1,0 +1,128 @@
+// Extension: the two algorithmic policies the paper's §6 calls complementary
+// to Sarathi-Serve, implemented on this scheduler stack.
+//
+// (a) FastServe-style skip-join MLFQ targets job completion time: short jobs
+//     overtake demoted long ones instead of queueing FCFS behind them.
+// (b) VTC fairness (Sheng et al.) on top of Sarathi batching: a flooding
+//     tenant cannot crowd out a light one, while stall-free chunked batching
+//     keeps everyone's TBT bounded.
+
+#include "bench/bench_util.h"
+
+using namespace sarathi;
+using sarathi::bench::Header;
+
+namespace {
+
+void JctPanel() {
+  std::cout << "\n-- (a) completion time under a bimodal mix (Mistral-7B) --\n";
+  // Many short interactive jobs + periodic huge summarization jobs.
+  Trace trace;
+  trace.name = "bimodal";
+  int64_t id = 0;
+  for (int i = 0; i < 120; ++i) {
+    Request r;
+    r.id = id++;
+    r.arrival_time_s = 0.12 * i;
+    bool huge = (i % 6 == 0);
+    r.prompt_tokens = huge ? 7500 : 250;
+    r.output_tokens = huge ? 350 : 25;
+    trace.requests.push_back(r);
+  }
+
+  Deployment deployment = MistralOnA100();
+  Table table({"scheduler", "median JCT (s)", "P99 JCT (s)", "median TTFT (s)",
+               "P99 TBT (s)"});
+  struct Row {
+    std::string label;
+    SchedulerConfig config;
+  };
+  SchedulerConfig fastserve;
+  fastserve.policy = SchedulerPolicy::kFastServe;
+  for (const Row& row : std::initializer_list<Row>{
+           {"vllm (FCFS)", VllmConfig()},
+           {"sarathi-512 (FCFS)", SarathiConfig(512)},
+           {"fastserve (skip-join MLFQ)", fastserve},
+       }) {
+    SimResult result = ServingSystem(deployment, row.config).Serve(trace);
+    Summary jct = result.LatencySummary();
+    table.AddRow({row.label, Table::Num(jct.Median(), 2), Table::Num(jct.Quantile(0.99), 2),
+                  Table::Num(result.MedianTtft(), 2), Table::Num(result.P99Tbt(), 3)});
+  }
+  table.Print();
+  std::cout << "FastServe's queue-jumping beats vLLM's FCFS on median completion time,\n"
+               "but both still execute whole prompts, so short jobs wait out any huge\n"
+               "prefill already in flight. Sarathi's chunking removes that blocking\n"
+               "entirely — supporting the paper's §6 position that such policies are\n"
+               "complementary and would profit from running on chunked batches.\n";
+}
+
+void FairnessPanel() {
+  std::cout << "\n-- (b) two-tenant fairness (Mistral-7B, Sarathi batching) --\n";
+  Trace trace;
+  trace.name = "two-tenant";
+  int64_t id = 0;
+  for (int i = 0; i < 60; ++i) {  // Tenant 0 floods at t=0.
+    Request r;
+    r.id = id++;
+    r.arrival_time_s = 0.0;
+    r.prompt_tokens = 1500;
+    r.output_tokens = 120;
+    r.client_id = 0;
+    trace.requests.push_back(r);
+  }
+  for (int i = 0; i < 12; ++i) {  // Tenant 1 trickles.
+    Request r;
+    r.id = id++;
+    r.arrival_time_s = 1.0 + 2.0 * i;
+    r.prompt_tokens = 1500;
+    r.output_tokens = 120;
+    r.client_id = 1;
+    trace.requests.push_back(r);
+  }
+  std::stable_sort(trace.requests.begin(), trace.requests.end(),
+                   [](const Request& a, const Request& b) {
+                     return a.arrival_time_s < b.arrival_time_s;
+                   });
+
+  Deployment deployment = MistralOnA100();
+  SchedulerConfig vtc;
+  vtc.policy = SchedulerPolicy::kVtc;
+  vtc.token_budget = 512;
+
+  Table table({"scheduler", "tenant", "median TTFT (s)", "P99 TTFT (s)", "P99 TBT (s)"});
+  struct Row {
+    std::string label;
+    SchedulerConfig config;
+  };
+  for (const Row& row : std::initializer_list<Row>{{"sarathi (FCFS)", SarathiConfig(512)},
+                                                   {"vtc-sarathi", vtc}}) {
+    SimResult result = ServingSystem(deployment, row.config).Serve(trace);
+    for (int64_t tenant : {0, 1}) {
+      Summary ttft;
+      Summary tbt;
+      for (size_t i = 0; i < trace.size(); ++i) {
+        if (trace.requests[i].client_id == tenant) {
+          ttft.Add(result.requests[i].Ttft());
+          tbt.AddAll(result.requests[i].TbtSamples());
+        }
+      }
+      table.AddRow({row.label, tenant == 0 ? "flooder" : "light",
+                    Table::Num(ttft.Median(), 2), Table::Num(ttft.Quantile(0.99), 2),
+                    Table::Num(tbt.Quantile(0.99), 3)});
+    }
+  }
+  table.Print();
+  std::cout << "Under FCFS the light tenant queues behind the flood; VTC serves it at\n"
+               "its fair share while the flooder absorbs the queueing delay.\n";
+}
+
+}  // namespace
+
+int main() {
+  Header("Extension: JCT-oriented (FastServe) and fairness (VTC) policies on this stack",
+         "(quantifies the paper's §6 'complementary approaches' discussion)");
+  JctPanel();
+  FairnessPanel();
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figure 3: prefill vs decode throughput as a function of batch size.
+//
+// Mistral-7B on one A100, prompt length 1024. The paper: prefill throughput
+// saturates already at batch size 1; decode throughput grows almost linearly
+// with batch size (its y-axis is ~50x smaller).
+
+#include "bench/bench_util.h"
+#include "src/perfmodel/iteration_cost.h"
+
+using namespace sarathi;
+using sarathi::bench::Header;
+
+int main() {
+  Header("Figure 3: phase throughput vs batch size (Mistral-7B, 1xA100, prompt 1024)",
+         "Prefill saturates GPU compute at batch 1 (~flat); decode throughput "
+         "scales near-linearly with batch size.");
+
+  IterationCostModel model(Mistral7B(), AzureNC96adsCluster(), Tp(1));
+  constexpr int64_t kPromptLen = 1024;
+
+  Table prefill({"batch size", "prefill tokens/s", "iteration (ms)"});
+  for (int batch : {1, 2, 4, 8}) {
+    BatchWork work;
+    for (int i = 0; i < batch; ++i) {
+      work.sequences.push_back(SequenceWork::PrefillChunk(0, kPromptLen));
+    }
+    double t = model.IterationCost(work).Total();
+    prefill.AddRow({Table::Int(batch),
+                    Table::Num(static_cast<double>(batch * kPromptLen) / t, 0),
+                    Table::Num(1e3 * t, 2)});
+  }
+  std::cout << "\n-- Prefill phase --\n";
+  prefill.Print();
+
+  Table decode({"batch size", "decode tokens/s", "iteration (ms)"});
+  for (int batch : {1, 2, 4, 8, 16, 32, 64, 128}) {
+    BatchWork work;
+    for (int i = 0; i < batch; ++i) {
+      work.sequences.push_back(SequenceWork::Decode(kPromptLen));
+    }
+    double t = model.IterationCost(work).Total();
+    decode.AddRow({Table::Int(batch), Table::Num(static_cast<double>(batch) / t, 0),
+                   Table::Num(1e3 * t, 2)});
+  }
+  std::cout << "\n-- Decode phase --\n";
+  decode.Print();
+  return 0;
+}

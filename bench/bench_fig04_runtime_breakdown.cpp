@@ -1,0 +1,65 @@
+// Figure 4: runtime breakdown into linear / attention / other operators.
+//
+// Mistral-7B on one A100. The paper: linear operators dominate (>80% even at
+// long sequence lengths) in both phases; attention grows quadratically with
+// prefill length but stays a minority; a single decode token's linear cost
+// roughly matches 128 prefill tokens'.
+
+#include "bench/bench_util.h"
+#include "src/perfmodel/iteration_cost.h"
+
+using namespace sarathi;
+using sarathi::bench::Header;
+
+namespace {
+
+void BreakdownRow(Table* table, const std::string& label, const CostBreakdown& cost) {
+  double total = cost.Total();
+  table->AddRow({label, Table::Num(1e3 * cost.linear_s, 2),
+                 Table::Num(1e3 * cost.attention_s, 2),
+                 Table::Num(1e3 * (cost.comm_s + cost.other_s), 2), Table::Num(1e3 * total, 2),
+                 Table::Num(100.0 * cost.linear_s / total, 1)});
+}
+
+}  // namespace
+
+int main() {
+  Header("Figure 4: prefill/decode runtime breakdown (Mistral-7B, 1xA100)",
+         "Linear operators contribute >80% of runtime at all sequence lengths; "
+         "1 decode token's linear cost ~ 128 prefill tokens'.");
+
+  IterationCostModel model(Mistral7B(), AzureNC96adsCluster(), Tp(1));
+
+  std::cout << "\n-- Prefill iterations --\n";
+  Table prefill({"prompt len", "linear (ms)", "attention (ms)", "others (ms)", "total (ms)",
+                 "linear %"});
+  for (int64_t len : {512, 1024, 2048, 4096, 8192}) {
+    BatchWork work;
+    work.sequences.push_back(SequenceWork::PrefillChunk(0, len));
+    BreakdownRow(&prefill, Table::Int(len), model.IterationCost(work));
+  }
+  prefill.Print();
+
+  std::cout << "\n-- Decode iterations (batch 32) --\n";
+  Table decode({"context len", "linear (ms)", "attention (ms)", "others (ms)", "total (ms)",
+                "linear %"});
+  for (int64_t context : {512, 1024, 2048, 4096}) {
+    BatchWork work;
+    for (int i = 0; i < 32; ++i) {
+      work.sequences.push_back(SequenceWork::Decode(context));
+    }
+    BreakdownRow(&decode, Table::Int(context), model.IterationCost(work));
+  }
+  decode.Print();
+
+  // The "1 decode ~ 128 prefill tokens" comparison.
+  BatchWork one_decode;
+  one_decode.sequences.push_back(SequenceWork::Decode(1024));
+  BatchWork small_prefill;
+  small_prefill.sequences.push_back(SequenceWork::PrefillChunk(0, 128));
+  std::cout << "\nLinear cost of 1 decode token:      "
+            << Table::Num(1e3 * model.IterationCost(one_decode).linear_s, 3) << " ms\n"
+            << "Linear cost of 128 prefill tokens:  "
+            << Table::Num(1e3 * model.IterationCost(small_prefill).linear_s, 3) << " ms\n";
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Figure 5: arithmetic intensity of the linear operators vs tokens in batch.
+//
+// LLaMA2-70B on four A100s (TP4). The paper: decode batches sit deep in the
+// memory-bound region, prefill batches far into the compute-bound region;
+// balanced hybrid batches land near the device's ridge point where both
+// compute and bandwidth are saturated.
+
+#include "bench/bench_util.h"
+#include "src/perfmodel/iteration_cost.h"
+#include "src/perfmodel/roofline.h"
+
+using namespace sarathi;
+using sarathi::bench::Header;
+
+int main() {
+  Header("Figure 5: arithmetic intensity vs tokens (LLaMA2-70B, 4xA100 TP4)",
+         "Decode batches are memory-bound (low FLOPs/byte); prefills are compute-"
+         "bound; hybrid batches near the token budget hit the ridge point.");
+
+  IterationCostModel model(Llama2_70B(), AzureNC96adsCluster(), Tp(4));
+  double ridge = RidgeIntensity(model.cluster().gpu);
+  std::cout << "\nDevice ridge point (A100): " << Table::Num(ridge, 1)
+            << " FLOPs/byte — intensity below = memory-bound, above = compute-bound\n\n";
+
+  Table table({"tokens in batch", "arithmetic intensity", "regime"});
+  for (int64_t tokens : {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096}) {
+    double ai = model.LinearArithmeticIntensity(tokens);
+    table.AddRow({Table::Int(tokens), Table::Num(ai, 1),
+                  ai < ridge ? "memory-bound" : "compute-bound"});
+  }
+  table.Print();
+  return 0;
+}

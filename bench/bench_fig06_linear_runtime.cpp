@@ -1,0 +1,64 @@
+// Figure 6: linear-operator execution time vs tokens per batch, across
+// tensor-parallel degrees.
+//
+// LLaMA2-70B on A100s. The paper: execution time is nearly flat while the
+// batch is memory-bound (weight-fetch dominated) — the flat region extends
+// further at higher TP because per-GPU weights shrink — then grows linearly
+// once compute-bound (crossover ~500-600 tokens in practice due to fixed
+// overheads, vs ~200 theoretical).
+
+#include "bench/bench_util.h"
+#include "src/perfmodel/iteration_cost.h"
+
+using namespace sarathi;
+using sarathi::bench::Header;
+
+int main() {
+  Header("Figure 6: linear-operator time vs tokens, TP in {1,2,4,8} (LLaMA2-70B, A100)",
+         "Flat (weight-fetch bound) until a few hundred tokens, then linear; "
+         "higher TP stays flat longer relative to its floor.");
+
+  std::vector<int> degrees = {1, 2, 4, 8};
+  std::vector<IterationCostModel> models;
+  for (int tp : degrees) {
+    models.emplace_back(Llama2_70B(), AzureNC96adsCluster(), Tp(tp));
+  }
+
+  Table table({"tokens", "TP1 (ms)", "TP2 (ms)", "TP4 (ms)", "TP8 (ms)"});
+  for (int64_t tokens : {1, 16, 64, 128, 256, 384, 512, 768, 1024, 2048, 4096}) {
+    std::vector<std::string> row = {Table::Int(tokens)};
+    for (const auto& model : models) {
+      row.push_back(Table::Num(1e3 * model.LinearOpsTime(tokens), 2));
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+
+  // Crossover summary: tokens where time exceeds 1.5x the single-token
+  // floor. The paper's footnote 2 reports a theoretical crossover near 200
+  // tokens but a measured one near 500-600 at higher TP degrees, blaming
+  // fixed overheads. Both views below land at the model's tile boundary
+  // (~130-260 tokens): in this roofline the 128->256 tile step dominates any
+  // plausible constant overhead, so the 500-600 observation must come from
+  // the *smooth* efficiency ramp of real GEMM kernels between tile
+  // boundaries, which a step-function tile model cannot express. Documented
+  // as known divergence #1 in EXPERIMENTS.md.
+  std::cout << "\nCompute-bound crossover (time > 1.5x floor):\n";
+  Table crossover_table({"TP", "pure roofline", "+2ms framework overhead"});
+  for (size_t i = 0; i < models.size(); ++i) {
+    auto crossover_with = [&](double overhead_s) {
+      double floor = models[i].LinearOpsTime(1) + overhead_s;
+      for (int64_t tokens = 16; tokens <= 8192; tokens += 16) {
+        if (models[i].LinearOpsTime(tokens) + overhead_s > 1.5 * floor) {
+          return tokens;
+        }
+      }
+      return static_cast<int64_t>(0);
+    };
+    crossover_table.AddRow({"TP" + std::to_string(degrees[i]),
+                            "~" + Table::Int(crossover_with(0.0)) + " tokens",
+                            "~" + Table::Int(crossover_with(2e-3)) + " tokens"});
+  }
+  crossover_table.Print();
+  return 0;
+}

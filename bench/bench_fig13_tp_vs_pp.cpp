@@ -1,0 +1,70 @@
+// Figure 13: making pipeline parallelism viable across commodity networks
+// (Falcon-180B on 2 nodes x 4 A100s, 100 Gbps Ethernet).
+//
+// (a) Median TBT of decode-only batches: 8-way TP spans the network, so every
+//     layer's two all-reduces cross Ethernet — the paper measures ~2x the
+//     TP4-PP2 hybrid's latency.
+// (b) Capacity under strict/relaxed SLOs for vLLM-TP8, vLLM-PP and
+//     Sarathi-PP: the paper reports Sarathi-Serve at 4.3x vLLM-TP8 and 3.6x
+//     vLLM-PP under strict SLOs (1.48x under relaxed).
+
+#include "bench/bench_util.h"
+#include "src/perfmodel/iteration_cost.h"
+
+using namespace sarathi;
+using sarathi::bench::Header;
+using sarathi::bench::QuickCapacity;
+
+int main() {
+  Header("Figure 13: cross-node TP8 vs hybrid TP4-PP2 (Falcon-180B)",
+         "(a) cross-node TP doubles decode TBT; (b) Sarathi-PP gives 3.6x "
+         "vLLM-PP and 4.3x vLLM-TP8 capacity under strict SLOs.");
+
+  Deployment tp8 = FalconOnA100Tp8();
+  Deployment pp = FalconOnA100Tp4Pp2();
+
+  // (a) Decode-only batch latency across batch sizes.
+  std::cout << "\n-- (a) decode-only iteration latency --\n";
+  IterationCostModel tp8_model(tp8.model, tp8.cluster, tp8.parallel);
+  IterationCostModel pp_model(pp.model, pp.cluster, pp.parallel);
+  Table latency({"batch size", "TP8 (ms)", "TP4-PP2 (ms)", "ratio"});
+  for (int batch : {8, 16, 32, 64}) {
+    BatchWork work;
+    for (int i = 0; i < batch; ++i) {
+      work.sequences.push_back(SequenceWork::Decode(4096));
+    }
+    double t_tp8 = tp8_model.IterationCost(work).Total();
+    double t_pp = pp_model.IterationCost(work).Total();
+    latency.AddRow({Table::Int(batch), Table::Num(1e3 * t_tp8, 1), Table::Num(1e3 * t_pp, 1),
+                    Table::Num(t_tp8 / t_pp, 2) + "x"});
+  }
+  latency.Print();
+
+  // (b) Capacity. SLOs derived from the hybrid deployment (the viable one).
+  SloSpec slo = ServingSystem(pp, SarathiConfig(512)).Slo();
+  std::cout << "\n-- (b) capacity, openchat_sharegpt4 (strict "
+            << Table::Num(slo.strict_p99_tbt_s, 3) << " s / relaxed "
+            << Table::Num(slo.relaxed_p99_tbt_s, 3) << " s) --\n";
+  DatasetSpec dataset = OpenChatShareGpt4();
+  Table capacity({"system", "SLO-S capacity (qps)", "SLO-R capacity (qps)"});
+  struct Row {
+    std::string label;
+    const Deployment& deployment;
+    SchedulerConfig strict_config;
+    SchedulerConfig relaxed_config;
+  };
+  for (const Row& row : std::initializer_list<Row>{
+           {"vllm TP8", tp8, VllmConfig(), VllmConfig()},
+           {"vllm TP4-PP2", pp, VllmConfig(), VllmConfig()},
+           {"sarathi TP4-PP2", pp, SarathiConfig(512), SarathiConfig(2048)},
+       }) {
+    CapacityResult strict = QuickCapacity(row.deployment, row.strict_config, dataset,
+                                          slo.strict_p99_tbt_s, /*num_requests=*/160);
+    CapacityResult relaxed = QuickCapacity(row.deployment, row.relaxed_config, dataset,
+                                           slo.relaxed_p99_tbt_s, /*num_requests=*/160);
+    capacity.AddRow({row.label, Table::Num(strict.capacity_qps, 2),
+                     Table::Num(relaxed.capacity_qps, 2)});
+  }
+  capacity.Print();
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Shared helpers for the figure/table reproduction benches.
+//
+// Every bench binary regenerates one paper artifact: it prints the same rows
+// or series the paper reports, with a header stating what the paper observed
+// so shapes can be compared at a glance (absolute values differ — our
+// substrate is the roofline simulator, not the authors' testbed).
+
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <iostream>
+#include <string>
+
+#include "src/common/table.h"
+#include "src/core/serving_system.h"
+
+namespace sarathi::bench {
+
+// Prints the bench banner: which figure/table, and the paper's claim.
+inline void Header(const std::string& artifact, const std::string& paper_claim) {
+  std::cout << "==============================================================\n"
+            << artifact << "\n"
+            << "Paper: " << paper_claim << "\n"
+            << "==============================================================\n";
+}
+
+// A labeled scheduler configuration for comparison sweeps.
+struct Candidate {
+  std::string label;
+  SchedulerConfig config;
+};
+
+// Capacity probe sized for bench runtime (smaller than the test default).
+inline CapacityResult QuickCapacity(const Deployment& deployment,
+                                    const SchedulerConfig& scheduler,
+                                    const DatasetSpec& dataset, double tbt_slo_s,
+                                    int64_t num_requests = 192) {
+  ServingSystem system(deployment, scheduler);
+  return system.MeasureCapacity(dataset, tbt_slo_s, num_requests, /*seed=*/42);
+}
+
+}  // namespace sarathi::bench
+
+#endif  // BENCH_BENCH_UTIL_H_

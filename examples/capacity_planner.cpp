@@ -1,0 +1,89 @@
+// Capacity planning with the library: pick the cheapest deployment for a
+// target load under an SLO.
+//
+// A downstream use the paper's capacity metric enables directly: given a
+// model, a P99-TBT SLO and a target aggregate load, sweep parallelism
+// configurations, measure per-replica capacity with Sarathi-Serve (budget
+// derived from the SLO per §4.3), and report how many GPUs each option needs
+// — then recommend the cheapest.
+
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "src/common/table.h"
+#include "src/core/serving_system.h"
+#include "src/scheduler/token_budget.h"
+
+int main() {
+  using namespace sarathi;
+
+  constexpr double kTargetQps = 4.0;
+  ModelSpec model = Yi34B();
+  ClusterSpec cluster = AzureNC96adsCluster();
+  DatasetSpec dataset = OpenChatShareGpt4();
+
+  std::cout << "Capacity planning: " << model.name << ", target " << kTargetQps
+            << " qps on " << dataset.name << "\n";
+
+  struct Option {
+    ParallelConfig parallel;
+    double capacity_qps = 0.0;
+    int64_t budget = 0;
+    int replicas_needed = 0;
+    int gpus_needed = 0;
+    bool feasible = false;
+  };
+  std::vector<Option> options;
+  for (ParallelConfig parallel : {Tp(1), Tp(2), Tp(4)}) {
+    Option option;
+    option.parallel = parallel;
+    Deployment deployment{model, cluster, parallel};
+    IterationCostModel cost_model(model, cluster, parallel);
+    // Weights must fit with usable KV headroom.
+    double usable = static_cast<double>(cluster.gpu.hbm_capacity_bytes) *
+                    cluster.memory_utilization;
+    if (static_cast<double>(cost_model.WeightBytesPerGpu()) > 0.95 * usable) {
+      options.push_back(option);
+      continue;
+    }
+    SloSpec slo = DeriveSlo(cost_model);
+    TokenBudgetOptions budget_options;
+    budget_options.tbt_slo_s = slo.strict_p99_tbt_s;
+    option.budget = ComputeTokenBudget(cost_model, budget_options);
+
+    ServingSystem system(deployment, SarathiConfig(option.budget));
+    CapacityResult capacity =
+        system.MeasureCapacity(dataset, slo.strict_p99_tbt_s, /*num_requests=*/160);
+    option.capacity_qps = capacity.capacity_qps;
+    if (option.capacity_qps > 0.0) {
+      option.feasible = true;
+      option.replicas_needed =
+          static_cast<int>(std::ceil(kTargetQps / option.capacity_qps));
+      option.gpus_needed = option.replicas_needed * parallel.num_gpus();
+    }
+    options.push_back(option);
+  }
+
+  Table table({"config", "budget", "capacity/replica (qps)", "replicas", "GPUs total"});
+  const Option* best = nullptr;
+  for (const Option& option : options) {
+    if (!option.feasible) {
+      table.AddRow({option.parallel.ToString(), "-", "does not fit / infeasible", "-", "-"});
+      continue;
+    }
+    table.AddRow({option.parallel.ToString(), Table::Int(option.budget),
+                  Table::Num(option.capacity_qps, 2), Table::Int(option.replicas_needed),
+                  Table::Int(option.gpus_needed)});
+    if (best == nullptr || option.gpus_needed < best->gpus_needed) {
+      best = &option;
+    }
+  }
+  table.Print();
+  if (best != nullptr) {
+    std::cout << "\nRecommendation: " << best->replicas_needed << " x "
+              << best->parallel.ToString() << " replicas (" << best->gpus_needed
+              << " A100s) for " << kTargetQps << " qps under the strict SLO.\n";
+  }
+  return 0;
+}

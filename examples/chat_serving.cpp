@@ -1,0 +1,58 @@
+// Interactive chat serving under increasing load.
+//
+// Models the paper's motivating chatbot scenario (Fig. 1b): Mistral-7B on a
+// single A100 serving openchat_sharegpt4-like conversations. Sweeps the
+// arrival rate and reports, for Sarathi-Serve and vLLM, how P99 TBT and the
+// fraction of SLO-compliant tokens degrade with load — the
+// throughput-latency tradeoff made concrete.
+
+#include <iostream>
+#include <vector>
+
+#include "src/common/table.h"
+#include "src/core/serving_system.h"
+
+int main() {
+  using namespace sarathi;
+
+  Deployment deployment = MistralOnA100();
+  DatasetSpec dataset = OpenChatShareGpt4();
+  ServingSystem sarathi_system(deployment, SarathiConfig(512));
+  ServingSystem vllm_system(deployment, VllmConfig());
+  SloSpec slo = sarathi_system.Slo();
+
+  std::cout << "Chat serving: " << deployment.Name() << ", dataset " << dataset.name << "\n";
+  std::cout << "Strict P99-TBT SLO: " << slo.strict_p99_tbt_s << " s\n";
+
+  Table table({"load (qps)", "system", "P99 TBT (s)", "median TTFT (s)", "stall tokens (%)",
+               "median sched delay (s)"});
+  for (double qps : {0.5, 1.0, 2.0, 3.0, 4.0}) {
+    TraceOptions trace_options;
+    trace_options.num_requests = 128;
+    trace_options.qps = qps;
+    trace_options.seed = 31;
+    Trace trace = GenerateTrace(dataset, trace_options);
+
+    struct Entry {
+      const char* label;
+      const ServingSystem* system;
+    };
+    for (const Entry& entry : std::initializer_list<Entry>{{"sarathi", &sarathi_system},
+                                                           {"vllm", &vllm_system}}) {
+      SimResult result = entry.system->Serve(trace);
+      Summary tbt = result.TbtSummary();
+      double stall_pct =
+          tbt.empty() ? 0.0
+                      : 100.0 * static_cast<double>(result.CountStalls(slo.strict_p99_tbt_s)) /
+                            static_cast<double>(tbt.count());
+      table.AddRow({Table::Num(qps, 1), entry.label, Table::Num(result.P99Tbt(), 3),
+                    Table::Num(result.MedianTtft(), 2), Table::Num(stall_pct, 1),
+                    Table::Num(result.MedianSchedulingDelay(), 2)});
+    }
+  }
+  table.Print();
+  std::cout << "\nvLLM's P99 TBT blows through the SLO as soon as prefills start queueing\n"
+               "behind decodes; Sarathi-Serve's chunked, stall-free batches keep tail TBT\n"
+               "flat until the replica itself saturates (visible as scheduling delay).\n";
+  return 0;
+}

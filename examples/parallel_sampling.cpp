@@ -1,0 +1,112 @@
+// Parallel sampling over a shared prompt via block sharing + copy-on-write.
+//
+// PagedAttention's hallmark memory feature (part of the vLLM substrate the
+// paper builds on): N continuations of one prompt share the prompt's KV
+// blocks physically; each branch copy-on-writes only the tail block it
+// diverges in. This example prefills one prompt, forks four samplers at
+// different temperatures, decodes each branch on the real CPU engine, and
+// reports the physical-vs-logical memory ratio.
+
+#include <iostream>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/table.h"
+#include "src/engine/reference/kv_store.h"
+#include "src/engine/reference/sampler.h"
+#include "src/engine/reference/tiny_model.h"
+#include "src/engine/reference/reference_server.h"
+#include "src/memory/block_manager.h"
+
+int main() {
+  using namespace sarathi;
+
+  TinyModelConfig config;
+  TinyModel model(config);
+  PagedBlockManager::Options block_options;
+  block_options.num_blocks = 256;
+  block_options.block_size = 8;
+  PagedBlockManager manager(block_options);
+  KvStore store(KvStore::Options{256, 8, config.num_layers, config.kv_dim(), 0});
+
+  // One 60-token prompt, prefilled once.
+  Rng rng(404);
+  std::vector<int32_t> prompt(60);
+  for (auto& t : prompt) {
+    t = static_cast<int32_t>(rng.UniformInt(0, config.vocab - 1));
+  }
+  constexpr SeqId kParent = 0;
+  manager.Admit(kParent, static_cast<int64_t>(prompt.size()), 0);
+  Vec logits = model.ForwardChunk(prompt, 0, manager.BlockTable(kParent), &store);
+  int64_t prompt_blocks = manager.used_blocks();
+
+  // Four branches: greedy plus three temperatures.
+  struct Branch {
+    SeqId id;
+    SamplingParams params;
+    std::vector<int32_t> tokens;
+  };
+  std::vector<Branch> branches = {
+      {1, SamplingParams{0.0, 0}, {}},
+      {2, SamplingParams{0.7, 16}, {}},
+      {3, SamplingParams{1.0, 16}, {}},
+      {4, SamplingParams{1.5, 0}, {}},
+  };
+  constexpr int kNewTokens = 24;
+  for (auto& branch : branches) {
+    manager.Fork(kParent, branch.id);
+    Sampler sampler(branch.params, 1000 + static_cast<uint64_t>(branch.id));
+    Vec branch_logits = logits;  // All branches start from the prompt's logits.
+    int64_t pos = static_cast<int64_t>(prompt.size());
+    for (int step = 0; step < kNewTokens; ++step) {
+      int32_t token = sampler.Sample(branch_logits);
+      branch.tokens.push_back(token);
+      auto cow = manager.AppendTokenCow(branch.id);
+      if (cow.has_value()) {
+        store.CopyBlock(cow->old_block, cow->new_block);
+      }
+      branch_logits = model.ForwardChunk({token}, pos++, manager.BlockTable(branch.id), &store);
+    }
+  }
+
+  Table table({"branch", "temperature", "tokens (first 10)"});
+  for (const auto& branch : branches) {
+    std::string rendered;
+    for (int i = 0; i < 10; ++i) {
+      rendered += std::to_string(branch.tokens[static_cast<size_t>(i)]) + " ";
+    }
+    table.AddRow({Table::Int(branch.id), Table::Num(branch.params.temperature, 1), rendered});
+  }
+  table.Print();
+
+  int64_t physical = manager.used_blocks();
+  int64_t logical = prompt_blocks * static_cast<int64_t>(1 + branches.size()) +
+                    static_cast<int64_t>(branches.size()) *
+                        manager.BlocksForTokens(kNewTokens);
+  std::cout << "\nPrompt blocks: " << prompt_blocks << ", physical blocks in use: " << physical
+            << ", naive (no sharing) would use ~" << logical << " -> "
+            << Table::Num(static_cast<double>(logical) / static_cast<double>(physical), 1)
+            << "x memory saved by block sharing + CoW.\n";
+  std::cout << "Branch 1 (temperature 0) is the greedy continuation; higher temperatures\n"
+               "diverge while physically sharing the 60-token prompt KV.\n";
+
+  // The same feature through the full serving stack: one request, four
+  // samples, scheduled by Sarathi-Serve with chunked prefills; forks
+  // materialize when the prefill completes and decode slots copy-on-write.
+  ReferenceServer::Options server_options;
+  server_options.engine.sampling = SamplingParams{0.9, 16};
+  server_options.scheduler.policy = SchedulerPolicy::kSarathi;
+  server_options.scheduler.token_budget = 32;
+  ReferenceServer server(server_options);
+  server.AddRequest(0, prompt, /*max_new_tokens=*/12, /*num_samples=*/4);
+  server.Run();
+  std::cout << "\nServer-level parallel sampling (n=4, temperature 0.9, chunked):\n";
+  for (int64_t id : server.SampleIds(0)) {
+    std::string rendered;
+    for (int32_t t : server.GeneratedTokens(id)) {
+      rendered += std::to_string(t) + " ";
+    }
+    std::cout << "  sample " << id << ": " << rendered << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Quickstart: serve one synthetic trace under each scheduling policy and
+// compare latency metrics.
+//
+// Builds the paper's Yi-34B/2xA100 deployment, generates a 64-request
+// openchat_sharegpt4-like trace at 1 QPS, and prints median TTFT, P99 TBT,
+// stall counts and throughput for Sarathi-Serve, vLLM, Orca and
+// FasterTransformer.
+
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "src/common/table.h"
+#include "src/core/serving_system.h"
+#include "src/scheduler/token_budget.h"
+
+int main() {
+  using namespace sarathi;
+
+  Deployment deployment = YiOnA100Tp2();
+  DatasetSpec dataset = OpenChatShareGpt4();
+
+  TraceOptions trace_options;
+  trace_options.num_requests = 64;
+  trace_options.qps = 1.0;
+  trace_options.seed = 7;
+  Trace trace = GenerateTrace(dataset, trace_options);
+  std::cout << "Deployment: " << deployment.Name() << "\n";
+  std::cout << "Trace: " << trace.Summary() << "\n";
+
+  // Derive Sarathi's token budget from the strict SLO, the paper's §4.3
+  // procedure.
+  IterationCostModel cost_model(deployment.model, deployment.cluster, deployment.parallel);
+  SloSpec slo = DeriveSlo(cost_model);
+  TokenBudgetOptions budget_options;
+  budget_options.tbt_slo_s = slo.strict_p99_tbt_s;
+  int64_t budget = ComputeTokenBudget(cost_model, budget_options);
+  std::cout << "Strict P99-TBT SLO: " << slo.strict_p99_tbt_s << " s, derived token budget: "
+            << budget << " tokens\n\n";
+
+  struct Candidate {
+    const char* label;
+    SchedulerConfig config;
+  };
+  std::vector<Candidate> candidates = {
+      {"sarathi", SarathiConfig(budget)},
+      {"vllm", VllmConfig()},
+      {"orca", OrcaConfig()},
+      {"faster_transformer", FasterTransformerConfig()},
+  };
+
+  Table table({"scheduler", "median TTFT (s)", "P99 TBT (s)", "max TBT (s)",
+               "stalls(>SLO)", "tokens/s", "makespan (s)"});
+  for (const auto& candidate : candidates) {
+    ServingSystem system(deployment, candidate.config);
+    SimResult result = system.Serve(trace);
+    table.AddRow({candidate.label, Table::Num(result.MedianTtft(), 3),
+                  Table::Num(result.P99Tbt(), 3), Table::Num(result.MaxTbt(), 3),
+                  Table::Int(result.CountStalls(slo.strict_p99_tbt_s)),
+                  Table::Num(result.OutputTokenThroughput(), 1),
+                  Table::Num(result.makespan_s, 1)});
+  }
+  table.Print();
+  std::cout << "\nSarathi-Serve holds P99 TBT near the SLO while matching or beating the\n"
+               "prefill-prioritizing schedulers' throughput; FasterTransformer has the\n"
+               "lowest TBT but the longest makespan (lowest throughput).\n";
+  return 0;
+}

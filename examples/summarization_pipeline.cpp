@@ -1,0 +1,64 @@
+// Long-document summarization on a pipeline-parallel deployment.
+//
+// The paper's hardest setting (§5.3): Falcon-180B split TP4-PP2 across two
+// nodes on commodity Ethernet, fed arxiv_summarization-like requests whose
+// 7k-token median prompts make iteration times wildly non-uniform for
+// prefill-prioritizing schedulers. Reports pipeline bubble fractions and tail
+// latency for Orca, vLLM and Sarathi-Serve, plus the cross-node TP8
+// counterfactual that motivates pipeline parallelism in the first place.
+
+#include <iostream>
+
+#include "src/common/table.h"
+#include "src/core/serving_system.h"
+
+int main() {
+  using namespace sarathi;
+
+  DatasetSpec dataset = ArxivSummarization();
+  Deployment pp = FalconOnA100Tp4Pp2();
+  Deployment tp8 = FalconOnA100Tp8();
+
+  TraceOptions trace_options;
+  trace_options.num_requests = 64;
+  trace_options.qps = 0.35;
+  trace_options.seed = 17;
+  Trace trace = GenerateTrace(dataset, trace_options);
+  std::cout << "Summarization: " << trace.Summary() << "\n\n";
+
+  // Decode-only iteration latency: why TP8 across Ethernet loses to TP4-PP2.
+  IterationCostModel pp_model(pp.model, pp.cluster, pp.parallel);
+  IterationCostModel tp8_model(tp8.model, tp8.cluster, tp8.parallel);
+  std::cout << "Reference decode iteration (batch 32, 4k context):\n"
+            << "  TP4-PP2 (NVLink TP, Ethernet PP): " << pp_model.ReferenceDecodeIterationTime()
+            << " s\n"
+            << "  TP8 (all-reduces cross Ethernet): "
+            << tp8_model.ReferenceDecodeIterationTime() << " s\n\n";
+
+  struct Entry {
+    const char* label;
+    Deployment deployment;
+    SchedulerConfig scheduler;
+  };
+  std::vector<Entry> entries = {
+      {"orca TP4-PP2", pp, OrcaConfig()},
+      {"vllm TP4-PP2", pp, VllmConfig()},
+      {"sarathi TP4-PP2", pp, SarathiConfig(512)},
+      {"sarathi TP8", tp8, SarathiConfig(512)},
+  };
+
+  Table table({"system", "bubble frac", "P99 TBT (s)", "median TTFT (s)", "tokens/s"});
+  for (const Entry& entry : entries) {
+    ServingSystem system(entry.deployment, entry.scheduler);
+    SimResult result = system.Serve(trace, /*record_iterations=*/true);
+    table.AddRow({entry.label, Table::Num(result.BubbleFraction(), 3),
+                  Table::Num(result.P99Tbt(), 2), Table::Num(result.MedianTtft(), 1),
+                  Table::Num(result.OutputTokenThroughput(), 1)});
+  }
+  table.Print();
+  std::cout << "\nOrca/vLLM interleave multi-second prefill iterations with ~100 ms decode\n"
+               "iterations, so one pipeline stage repeatedly starves the other (bubbles).\n"
+               "Sarathi-Serve's uniform token-budget batches keep both stages busy, and the\n"
+               "hybrid TP4-PP2 placement beats TP8 whose all-reduces cross the network.\n";
+  return 0;
+}

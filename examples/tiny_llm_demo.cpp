@@ -1,0 +1,106 @@
+// Value-domain demo: real token generation through the scheduler stack.
+//
+// Runs the reference CPU transformer (tiny dimensions, deterministic random
+// weights) behind each scheduling policy and shows that — whatever batch
+// shapes, chunk boundaries and block tables the policy produces — the
+// generated token streams are identical. This is the functional guarantee
+// behind chunked prefills: scheduling may change *when* tokens appear, never
+// *which* tokens appear.
+
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/table.h"
+#include "src/engine/reference/reference_server.h"
+
+namespace {
+
+std::vector<int32_t> MakePrompt(sarathi::Rng& rng, int64_t length, int64_t vocab) {
+  std::vector<int32_t> prompt(static_cast<size_t>(length));
+  for (auto& t : prompt) {
+    t = static_cast<int32_t>(rng.UniformInt(0, vocab - 1));
+  }
+  return prompt;
+}
+
+std::string Render(const std::vector<int32_t>& tokens, size_t limit = 12) {
+  std::string out;
+  for (size_t i = 0; i < tokens.size() && i < limit; ++i) {
+    out += std::to_string(tokens[i]);
+    out += ' ';
+  }
+  if (tokens.size() > limit) {
+    out += "...";
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace sarathi;
+
+  TinyModelConfig model;
+  Rng rng(555);
+  std::vector<std::vector<int32_t>> prompts;
+  std::vector<int64_t> outputs;
+  for (int i = 0; i < 6; ++i) {
+    prompts.push_back(MakePrompt(rng, rng.UniformInt(12, 80), model.vocab));
+    outputs.push_back(rng.UniformInt(4, 16));
+  }
+
+  struct Candidate {
+    const char* label;
+    SchedulerConfig config;
+  };
+  auto sarathi_cfg = [](int64_t budget) {
+    SchedulerConfig c;
+    c.policy = SchedulerPolicy::kSarathi;
+    c.token_budget = budget;
+    return c;
+  };
+  SchedulerConfig vllm_cfg;
+  vllm_cfg.policy = SchedulerPolicy::kVllm;
+  SchedulerConfig ft_cfg;
+  ft_cfg.policy = SchedulerPolicy::kFasterTransformer;
+
+  std::vector<Candidate> candidates = {
+      {"sarathi (budget 16)", sarathi_cfg(16)},
+      {"sarathi (budget 64)", sarathi_cfg(64)},
+      {"vllm", vllm_cfg},
+      {"faster_transformer", ft_cfg},
+  };
+
+  std::map<std::string, std::map<int64_t, std::vector<int32_t>>> results;
+  Table table({"scheduler", "iterations", "request 0 tokens"});
+  for (const auto& candidate : candidates) {
+    ReferenceServer::Options options;
+    options.model = model;
+    options.scheduler = candidate.config;
+    ReferenceServer server(options);
+    for (size_t i = 0; i < prompts.size(); ++i) {
+      server.AddRequest(static_cast<int64_t>(i), prompts[i], outputs[static_cast<size_t>(i)]);
+    }
+    server.Run();
+    for (size_t i = 0; i < prompts.size(); ++i) {
+      results[candidate.label][static_cast<int64_t>(i)] =
+          server.GeneratedTokens(static_cast<int64_t>(i));
+    }
+    table.AddRow({candidate.label, Table::Int(server.iterations()),
+                  Render(server.GeneratedTokens(0))});
+  }
+  table.Print();
+
+  bool all_equal = true;
+  const auto& baseline = results.begin()->second;
+  for (const auto& [label, tokens_by_id] : results) {
+    all_equal &= tokens_by_id == baseline;
+  }
+  std::cout << "\nToken streams identical across all schedulers: "
+            << (all_equal ? "YES" : "NO — BUG") << "\n";
+  std::cout << "Iteration counts differ (chunking splits prefills; FasterTransformer\n"
+               "serializes batches) but outputs are bit-identical.\n";
+  return all_equal ? 0 : 1;
+}

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Builds everything, runs the full test suite, regenerates every paper
+# figure/table plus the extension benches, and runs the examples.
+# Outputs land in test_output.txt and bench_output.txt at the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/*; do
+    echo
+    echo "================================================================"
+    echo "### $(basename "$b")"
+    echo "================================================================"
+    "$b"
+  done
+} 2>&1 | tee bench_output.txt
+
+echo
+echo "== examples =="
+for e in build/examples/*; do
+  if [ -f "$e" ] && [ -x "$e" ]; then
+    echo "--- $(basename "$e")"
+    "$e" > /dev/null
+    echo "    OK"
+  fi
+done
+echo "All green."

@@ -1,0 +1,76 @@
+#include "src/capacity/capacity_search.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "src/common/logging.h"
+#include "src/workload/trace.h"
+
+namespace sarathi {
+
+bool MeetsSlo(const SimResult& result, const CapacityOptions& options) {
+  if (result.P99Tbt() > options.tbt_slo_s) {
+    return false;
+  }
+  return result.MedianSchedulingDelay() <= options.max_median_scheduling_delay_s;
+}
+
+CapacityResult FindCapacity(const SimulatorOptions& sim_options,
+                            const CapacityOptions& options) {
+  auto simulator = std::make_shared<ReplicaSimulator>(sim_options);
+  return FindCapacity([simulator](const Trace& trace) { return simulator->Run(trace); },
+                      options);
+}
+
+CapacityResult FindCapacity(const TraceRunner& runner, const CapacityOptions& options) {
+  CHECK_GT(options.tbt_slo_s, 0.0);
+  CapacityResult best;
+
+  auto probe = [&](double qps) -> bool {
+    TraceOptions trace_options;
+    trace_options.num_requests = options.num_requests;
+    trace_options.qps = qps;
+    trace_options.seed = options.seed;
+    Trace trace = GenerateTrace(options.dataset, trace_options);
+    SimResult result = runner(trace);
+    ++best.probes;
+    bool ok = MeetsSlo(result, options);
+    if (ok && qps > best.capacity_qps) {
+      best.capacity_qps = qps;
+      best.p99_tbt_s = result.P99Tbt();
+      best.median_ttft_s = result.MedianTtft();
+      best.median_scheduling_delay_s = result.MedianSchedulingDelay();
+    }
+    return ok;
+  };
+
+  // Exponential bracketing from the floor.
+  double lo = options.qps_floor;
+  if (!probe(lo)) {
+    // Even minimal load violates the SLO; capacity is effectively zero.
+    best.capacity_qps = 0.0;
+    return best;
+  }
+  double hi = lo;
+  while (hi < options.qps_ceiling && probe(hi * 2.0)) {
+    hi *= 2.0;
+  }
+  if (hi >= options.qps_ceiling) {
+    return best;  // Saturated the search range.
+  }
+  lo = hi;
+  hi = hi * 2.0;
+
+  // Bisection between the last compliant and first violating load.
+  for (int step = 0; step < options.bisection_steps; ++step) {
+    double mid = 0.5 * (lo + hi);
+    if (probe(mid)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return best;
+}
+
+}  // namespace sarathi

@@ -1,0 +1,59 @@
+// Capacity: the maximum sustainable load under latency SLOs (paper §2.4).
+//
+// Capacity(SLO) = max QPS such that a Poisson trace served at that rate keeps
+// P99 TBT within the SLO and the median scheduling delay under 2 s (the
+// paper's sustainability condition). Found by exponential bracketing followed
+// by bisection; the SLO-compliance predicate is monotone in load for every
+// policy studied here.
+
+#ifndef SRC_CAPACITY_CAPACITY_SEARCH_H_
+#define SRC_CAPACITY_CAPACITY_SEARCH_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/simulator/replica_simulator.h"
+#include "src/workload/dataset.h"
+
+namespace sarathi {
+
+struct CapacityOptions {
+  DatasetSpec dataset;
+  // Trace size per probe; larger is slower but tightens the P99 estimate.
+  int64_t num_requests = 256;
+  uint64_t seed = 42;
+
+  double tbt_slo_s = 0.1;
+  double max_median_scheduling_delay_s = 2.0;
+
+  // Search controls.
+  double qps_floor = 0.0625;
+  double qps_ceiling = 256.0;
+  int bisection_steps = 7;
+};
+
+struct CapacityResult {
+  double capacity_qps = 0.0;
+  // Metrics observed at the last compliant probe.
+  double p99_tbt_s = 0.0;
+  double median_ttft_s = 0.0;
+  double median_scheduling_delay_s = 0.0;
+  int probes = 0;
+};
+
+// Whether one simulated run at the given trace meets the SLOs.
+bool MeetsSlo(const SimResult& result, const CapacityOptions& options);
+
+// Serves one trace and returns its metrics — any serving system (replica,
+// disaggregated pair, cluster) can be capacity-searched through this.
+using TraceRunner = std::function<SimResult(const Trace&)>;
+
+// Runs the search against an arbitrary serving system.
+CapacityResult FindCapacity(const TraceRunner& runner, const CapacityOptions& options);
+
+// Convenience overload for a single simulated replica.
+CapacityResult FindCapacity(const SimulatorOptions& sim_options, const CapacityOptions& options);
+
+}  // namespace sarathi
+
+#endif  // SRC_CAPACITY_CAPACITY_SEARCH_H_

@@ -1,0 +1,36 @@
+// SLO definitions (paper §5.1, Table 3).
+//
+// Following Patel et al. (Splitwise), the paper pins the P99-TBT SLO to
+// multiples of an intrinsic reference latency — one decode-only iteration at
+// batch 32 with 4k contexts — so targets stay meaningful across model and
+// hardware pairs: 5x for the strict (interactive chatbot) setting, 25x for
+// the relaxed setting. We derive the same way from the cost model, so our
+// simulated SLOs scale exactly like the paper's absolute Table 3 values.
+
+#ifndef SRC_CAPACITY_SLO_H_
+#define SRC_CAPACITY_SLO_H_
+
+#include "src/perfmodel/iteration_cost.h"
+
+namespace sarathi {
+
+struct SloSpec {
+  // Reference decode iteration latency the multipliers apply to.
+  double reference_decode_s = 0.0;
+  double strict_p99_tbt_s = 0.0;   // 5x reference.
+  double relaxed_p99_tbt_s = 0.0;  // 25x reference.
+  // Sustainability bound on median scheduling delay (paper uses 2 s).
+  double max_median_scheduling_delay_s = 2.0;
+};
+
+inline SloSpec DeriveSlo(const IterationCostModel& cost_model) {
+  SloSpec slo;
+  slo.reference_decode_s = cost_model.ReferenceDecodeIterationTime();
+  slo.strict_p99_tbt_s = 5.0 * slo.reference_decode_s;
+  slo.relaxed_p99_tbt_s = 25.0 * slo.reference_decode_s;
+  return slo;
+}
+
+}  // namespace sarathi
+
+#endif  // SRC_CAPACITY_SLO_H_

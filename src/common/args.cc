@@ -1,0 +1,88 @@
+#include "src/common/args.h"
+
+#include <cstdlib>
+
+namespace sarathi {
+
+StatusOr<ArgParser> ArgParser::Parse(int argc, const char* const* argv) {
+  ArgParser parser;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      return InvalidArgumentError("expected --key=value, got '" + arg + "'");
+    }
+    std::string body = arg.substr(2);
+    std::string key;
+    std::string value;
+    size_t eq = body.find('=');
+    if (eq == std::string::npos) {
+      key = body;
+      value = "true";
+    } else {
+      key = body.substr(0, eq);
+      value = body.substr(eq + 1);
+    }
+    if (key.empty()) {
+      return InvalidArgumentError("empty flag name in '" + arg + "'");
+    }
+    if (!parser.values_.emplace(key, value).second) {
+      return InvalidArgumentError("duplicate flag --" + key);
+    }
+  }
+  return parser;
+}
+
+std::string ArgParser::GetString(const std::string& key, const std::string& default_value) const {
+  consumed_.insert(key);
+  auto it = values_.find(key);
+  return it == values_.end() ? default_value : it->second;
+}
+
+StatusOr<int64_t> ArgParser::GetInt(const std::string& key, int64_t default_value) const {
+  consumed_.insert(key);
+  auto it = values_.find(key);
+  if (it == values_.end()) {
+    return default_value;
+  }
+  char* end = nullptr;
+  int64_t value = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0') {
+    return InvalidArgumentError("--" + key + " expects an integer, got '" + it->second + "'");
+  }
+  return value;
+}
+
+StatusOr<double> ArgParser::GetDouble(const std::string& key, double default_value) const {
+  consumed_.insert(key);
+  auto it = values_.find(key);
+  if (it == values_.end()) {
+    return default_value;
+  }
+  char* end = nullptr;
+  double value = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') {
+    return InvalidArgumentError("--" + key + " expects a number, got '" + it->second + "'");
+  }
+  return value;
+}
+
+bool ArgParser::GetBool(const std::string& key, bool default_value) const {
+  consumed_.insert(key);
+  auto it = values_.find(key);
+  if (it == values_.end()) {
+    return default_value;
+  }
+  return it->second != "false" && it->second != "0";
+}
+
+std::vector<std::string> ArgParser::UnconsumedKeys() const {
+  std::vector<std::string> keys;
+  for (const auto& [key, value] : values_) {
+    if (!consumed_.contains(key)) {
+      keys.push_back(key);
+    }
+  }
+  return keys;
+}
+
+}  // namespace sarathi

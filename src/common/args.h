@@ -1,0 +1,42 @@
+// Minimal --key=value command-line parsing for the CLI tools.
+
+#ifndef SRC_COMMON_ARGS_H_
+#define SRC_COMMON_ARGS_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace sarathi {
+
+class ArgParser {
+ public:
+  // Parses argv-style arguments of the form --key=value or --flag (valueless
+  // flags read back as "true"). Fails on anything not starting with "--" or
+  // on duplicate keys.
+  static StatusOr<ArgParser> Parse(int argc, const char* const* argv);
+
+  bool Has(const std::string& key) const { return values_.contains(key); }
+
+  // Typed accessors with defaults. Type-mismatched values produce an error.
+  std::string GetString(const std::string& key, const std::string& default_value) const;
+  StatusOr<int64_t> GetInt(const std::string& key, int64_t default_value) const;
+  StatusOr<double> GetDouble(const std::string& key, double default_value) const;
+  bool GetBool(const std::string& key, bool default_value) const;
+
+  // Keys the program never queried — for unknown-flag warnings. Call after
+  // all Get*()s.
+  std::vector<std::string> UnconsumedKeys() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::set<std::string> consumed_;
+};
+
+}  // namespace sarathi
+
+#endif  // SRC_COMMON_ARGS_H_

@@ -1,0 +1,59 @@
+#include "src/common/logging.h"
+
+#include <cstdio>
+#include <iostream>
+
+namespace sarathi {
+namespace {
+
+LogSeverity g_min_severity = LogSeverity::kInfo;
+std::ostream* g_stream = nullptr;
+
+const char* SeverityName(LogSeverity severity) {
+  switch (severity) {
+    case LogSeverity::kDebug:
+      return "DEBUG";
+    case LogSeverity::kInfo:
+      return "INFO";
+    case LogSeverity::kWarning:
+      return "WARNING";
+    case LogSeverity::kError:
+      return "ERROR";
+    case LogSeverity::kFatal:
+      return "FATAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string_view Basename(std::string_view path) {
+  size_t pos = path.find_last_of('/');
+  return pos == std::string_view::npos ? path : path.substr(pos + 1);
+}
+
+}  // namespace
+
+LogSeverity MinLogSeverity() { return g_min_severity; }
+
+void SetMinLogSeverity(LogSeverity severity) { g_min_severity = severity; }
+
+void SetLogStream(std::ostream* stream) { g_stream = stream; }
+
+namespace internal {
+
+LogMessage::LogMessage(LogSeverity severity, std::string_view file, int line)
+    : severity_(severity) {
+  stream_ << "[" << SeverityName(severity) << " " << Basename(file) << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  stream_ << "\n";
+  std::ostream& out = g_stream != nullptr ? *g_stream : std::cerr;
+  out << stream_.str();
+  out.flush();
+  if (severity_ == LogSeverity::kFatal) {
+    std::abort();
+  }
+}
+
+}  // namespace internal
+}  // namespace sarathi

@@ -1,0 +1,89 @@
+// Minimal logging and invariant-checking facility.
+//
+// Severity-filtered stream logging plus CHECK macros that terminate the
+// process on violated invariants. The log sink defaults to stderr and can be
+// redirected for tests.
+
+#ifndef SRC_COMMON_LOGGING_H_
+#define SRC_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+#include <string_view>
+
+namespace sarathi {
+
+enum class LogSeverity : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+// Returns the lowest severity that is emitted. Defaults to kInfo.
+LogSeverity MinLogSeverity();
+
+// Sets the lowest severity that is emitted.
+void SetMinLogSeverity(LogSeverity severity);
+
+// Redirects log output. Passing nullptr restores stderr. The stream must
+// outlive all logging calls. Intended for tests.
+void SetLogStream(std::ostream* stream);
+
+namespace internal {
+
+// Accumulates one log statement and flushes it on destruction. kFatal aborts.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, std::string_view file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+// Swallows the stream expression when a log statement is compiled out.
+struct LogMessageVoidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+
+#define SARATHI_LOG_ENABLED(severity) \
+  (::sarathi::LogSeverity::severity >= ::sarathi::MinLogSeverity())
+
+#define LOG(severity)                                                        \
+  !SARATHI_LOG_ENABLED(k##severity)                                         \
+      ? (void)0                                                             \
+      : ::sarathi::internal::LogMessageVoidify() &                          \
+            ::sarathi::internal::LogMessage(                                \
+                ::sarathi::LogSeverity::k##severity, __FILE__, __LINE__)    \
+                .stream()
+
+#define CHECK(condition)                                                     \
+  (condition) ? (void)0                                                     \
+              : ::sarathi::internal::LogMessageVoidify() &                  \
+                    ::sarathi::internal::LogMessage(                        \
+                        ::sarathi::LogSeverity::kFatal, __FILE__, __LINE__) \
+                        .stream()                                           \
+                        << "Check failed: " #condition " "
+
+#define CHECK_OP(a, b, op) CHECK((a)op(b)) << "(" << (a) << " vs " << (b) << ") "
+#define CHECK_EQ(a, b) CHECK_OP(a, b, ==)
+#define CHECK_NE(a, b) CHECK_OP(a, b, !=)
+#define CHECK_LT(a, b) CHECK_OP(a, b, <)
+#define CHECK_LE(a, b) CHECK_OP(a, b, <=)
+#define CHECK_GT(a, b) CHECK_OP(a, b, >)
+#define CHECK_GE(a, b) CHECK_OP(a, b, >=)
+
+}  // namespace sarathi
+
+#endif  // SRC_COMMON_LOGGING_H_

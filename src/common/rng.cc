@@ -1,0 +1,34 @@
+#include "src/common/rng.h"
+
+#include "src/common/logging.h"
+
+namespace sarathi {
+
+double Rng::Uniform(double lo, double hi) {
+  CHECK_LT(lo, hi);
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  CHECK_LE(lo, hi);
+  return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+}
+
+double Rng::Exponential(double rate) {
+  CHECK_GT(rate, 0.0);
+  return std::exponential_distribution<double>(rate)(engine_);
+}
+
+double Rng::LogNormal(double mu, double sigma) {
+  CHECK_GT(sigma, 0.0);
+  return std::lognormal_distribution<double>(mu, sigma)(engine_);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  CHECK_GT(stddev, 0.0);
+  return std::normal_distribution<double>(mean, stddev)(engine_);
+}
+
+Rng Rng::Fork() { return Rng(engine_()); }
+
+}  // namespace sarathi

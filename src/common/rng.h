@@ -1,0 +1,41 @@
+// Deterministic random number generation for workload synthesis.
+//
+// All stochastic components (arrival processes, length samplers, reference
+// model weights) draw from an explicitly seeded Rng so experiments are
+// reproducible bit-for-bit across runs.
+
+#ifndef SRC_COMMON_RNG_H_
+#define SRC_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+
+namespace sarathi {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+  // Exponential with the given rate (lambda); mean is 1/rate.
+  double Exponential(double rate);
+  // Log-normal parameterized by the underlying normal's mu and sigma.
+  double LogNormal(double mu, double sigma);
+  // Standard-normal scaled: mean + stddev * N(0,1).
+  double Normal(double mean, double stddev);
+
+  // Forks an independent generator; child streams do not perturb the parent.
+  Rng Fork();
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace sarathi
+
+#endif  // SRC_COMMON_RNG_H_

@@ -1,0 +1,103 @@
+// Lightweight error propagation: Status and StatusOr<T>.
+//
+// Mirrors the absl::Status surface the rest of the codebase needs. Errors are
+// expected to be rare and informational; hot paths communicate failure via
+// bool/optional instead.
+
+#ifndef SRC_COMMON_STATUS_H_
+#define SRC_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace sarathi {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kResourceExhausted = 3,
+  kFailedPrecondition = 4,
+  kOutOfRange = 5,
+  kInternal = 6,
+  kUnimplemented = 7,
+};
+
+// Human-readable name of a status code, e.g. "INVALID_ARGUMENT".
+std::string_view StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Formats as "CODE: message" (or "OK").
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status OutOfRangeError(std::string message);
+Status InternalError(std::string message);
+Status UnimplementedError(std::string message);
+
+// Value-or-error container. Accessing value() on an error status aborts.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT: implicit by design
+    CHECK(!status_.ok()) << "StatusOr constructed from OK status without a value";
+  }
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CHECK(ok()) << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    CHECK(ok()) << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    CHECK(ok()) << status_.ToString();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+#define RETURN_IF_ERROR(expr)                  \
+  do {                                         \
+    ::sarathi::Status _status = (expr);        \
+    if (!_status.ok()) return _status;         \
+  } while (false)
+
+}  // namespace sarathi
+
+#endif  // SRC_COMMON_STATUS_H_

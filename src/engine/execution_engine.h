@@ -1,0 +1,56 @@
+// Time-domain execution engine interface.
+//
+// The replica simulator asks an engine how long a scheduled batch takes — per
+// pipeline stage and end-to-end — without caring whether the answer comes
+// from an analytical model (SimulatedEngine, the GPU substitute per
+// DESIGN.md) or measurements. Value-domain execution (actual token
+// generation) lives separately in engine/reference.
+
+#ifndef SRC_ENGINE_EXECUTION_ENGINE_H_
+#define SRC_ENGINE_EXECUTION_ENGINE_H_
+
+#include <memory>
+
+#include "src/perfmodel/iteration_cost.h"
+#include "src/scheduler/batch.h"
+
+namespace sarathi {
+
+class ExecutionEngine {
+ public:
+  virtual ~ExecutionEngine() = default;
+
+  // Pipeline depth: how many micro-batches can be in flight.
+  virtual int num_stages() const = 0;
+
+  // Execution time of one pipeline stage for this batch.
+  virtual double StageTime(const ScheduledBatch& batch) const = 0;
+
+  // End-to-end iteration latency and its component breakdown.
+  virtual CostBreakdown IterationBreakdown(const ScheduledBatch& batch) const = 0;
+};
+
+// Predicts execution time with the roofline cost model.
+class SimulatedEngine : public ExecutionEngine {
+ public:
+  explicit SimulatedEngine(IterationCostModel cost_model) : cost_model_(std::move(cost_model)) {}
+
+  int num_stages() const override { return cost_model_.parallel().pipeline_parallel; }
+
+  double StageTime(const ScheduledBatch& batch) const override {
+    return cost_model_.StageCost(batch.ToBatchWork()).Total();
+  }
+
+  CostBreakdown IterationBreakdown(const ScheduledBatch& batch) const override {
+    return cost_model_.IterationCost(batch.ToBatchWork());
+  }
+
+  const IterationCostModel& cost_model() const { return cost_model_; }
+
+ private:
+  IterationCostModel cost_model_;
+};
+
+}  // namespace sarathi
+
+#endif  // SRC_ENGINE_EXECUTION_ENGINE_H_

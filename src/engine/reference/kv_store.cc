@@ -1,0 +1,88 @@
+#include "src/engine/reference/kv_store.h"
+
+#include <cstring>
+
+#include "src/common/logging.h"
+
+namespace sarathi {
+
+KvStore::KvStore(const Options& options) : options_(options) {
+  CHECK_GT(options_.num_blocks, 0);
+  CHECK_GT(options_.block_size, 0);
+  CHECK_GT(options_.num_layers, 0);
+  CHECK_GT(options_.kv_dim, 0);
+  if (options_.sliding_window > 0) {
+    // Same cap rule as PagedBlockManager::BlocksForTokens: window plus one
+    // boundary block, rounded up to whole blocks.
+    int64_t cap_tokens = options_.sliding_window + options_.block_size;
+    int64_t cap_blocks = (cap_tokens + options_.block_size - 1) / options_.block_size;
+    window_slots_ = cap_blocks * options_.block_size;
+  } else {
+    window_slots_ = 0;
+  }
+  data_.resize(static_cast<size_t>(options_.num_blocks * options_.block_size *
+                                   options_.num_layers * 2 * options_.kv_dim));
+}
+
+void KvStore::Locate(const std::vector<int64_t>& table, int64_t pos, int64_t* block_index,
+                     int64_t* slot) const {
+  CHECK_GE(pos, 0);
+  int64_t logical_slot = window_slots_ > 0 ? pos % window_slots_ : pos;
+  *block_index = logical_slot / options_.block_size;
+  *slot = logical_slot % options_.block_size;
+  CHECK_LT(*block_index, static_cast<int64_t>(table.size()))
+      << "position " << pos << " not covered by block table";
+}
+
+void KvStore::CopyBlock(int64_t from_block, int64_t to_block) {
+  CHECK_GE(from_block, 0);
+  CHECK_LT(from_block, options_.num_blocks);
+  CHECK_GE(to_block, 0);
+  CHECK_LT(to_block, options_.num_blocks);
+  CHECK_NE(from_block, to_block);
+  int64_t per_block =
+      options_.block_size * options_.num_layers * 2 * options_.kv_dim;
+  std::memcpy(&data_[static_cast<size_t>(to_block * per_block)],
+              &data_[static_cast<size_t>(from_block * per_block)],
+              sizeof(float) * static_cast<size_t>(per_block));
+}
+
+int64_t KvStore::Offset(int64_t physical_block, int64_t slot, int64_t layer, bool is_v) const {
+  CHECK_GE(physical_block, 0);
+  CHECK_LT(physical_block, options_.num_blocks);
+  int64_t token_entry = physical_block * options_.block_size + slot;
+  int64_t per_token = options_.num_layers * 2 * options_.kv_dim;
+  return token_entry * per_token + (layer * 2 + (is_v ? 1 : 0)) * options_.kv_dim;
+}
+
+void KvStore::Write(const std::vector<int64_t>& table, int64_t layer, int64_t pos,
+                    const float* k, const float* v) {
+  int64_t block_index = 0;
+  int64_t slot = 0;
+  Locate(table, pos, &block_index, &slot);
+  int64_t physical = table[static_cast<size_t>(block_index)];
+  std::memcpy(&data_[static_cast<size_t>(Offset(physical, slot, layer, false))], k,
+              sizeof(float) * static_cast<size_t>(options_.kv_dim));
+  std::memcpy(&data_[static_cast<size_t>(Offset(physical, slot, layer, true))], v,
+              sizeof(float) * static_cast<size_t>(options_.kv_dim));
+}
+
+const float* KvStore::ReadK(const std::vector<int64_t>& table, int64_t layer,
+                            int64_t pos) const {
+  int64_t block_index = 0;
+  int64_t slot = 0;
+  Locate(table, pos, &block_index, &slot);
+  int64_t physical = table[static_cast<size_t>(block_index)];
+  return &data_[static_cast<size_t>(Offset(physical, slot, layer, false))];
+}
+
+const float* KvStore::ReadV(const std::vector<int64_t>& table, int64_t layer,
+                            int64_t pos) const {
+  int64_t block_index = 0;
+  int64_t slot = 0;
+  Locate(table, pos, &block_index, &slot);
+  int64_t physical = table[static_cast<size_t>(block_index)];
+  return &data_[static_cast<size_t>(Offset(physical, slot, layer, true))];
+}
+
+}  // namespace sarathi

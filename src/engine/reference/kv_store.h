@@ -1,0 +1,63 @@
+// Physical paged KV-cache storage for the reference CPU transformer.
+//
+// Mirrors PagedAttention's memory layout: KV values live in fixed-size
+// physical blocks; a sequence reaches its entries through the block table the
+// PagedBlockManager assigned it. Sliding-window models recycle slots
+// cyclically within a capped table, exactly as the block manager caps block
+// counts for windowed sequences.
+
+#ifndef SRC_ENGINE_REFERENCE_KV_STORE_H_
+#define SRC_ENGINE_REFERENCE_KV_STORE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace sarathi {
+
+class KvStore {
+ public:
+  struct Options {
+    int64_t num_blocks = 0;
+    int64_t block_size = 16;
+    int64_t num_layers = 0;
+    int64_t kv_dim = 0;  // num_kv_heads * head_dim.
+    // Sliding window span in tokens (0 = unbounded). Must match the paired
+    // PagedBlockManager's window so logical->physical mapping agrees.
+    int64_t sliding_window = 0;
+  };
+
+  explicit KvStore(const Options& options);
+
+  // Writes the K and V vectors (each kv_dim floats) for logical token
+  // position `pos` of a sequence whose block table is `table`.
+  void Write(const std::vector<int64_t>& table, int64_t layer, int64_t pos, const float* k,
+             const float* v);
+
+  // Pointers to the stored K/V vectors for a logical position.
+  const float* ReadK(const std::vector<int64_t>& table, int64_t layer, int64_t pos) const;
+  const float* ReadV(const std::vector<int64_t>& table, int64_t layer, int64_t pos) const;
+
+  // Copies every token entry (all layers, K and V) of one physical block to
+  // another — the engine-side half of a block-manager copy-on-write.
+  void CopyBlock(int64_t from_block, int64_t to_block);
+
+  int64_t block_size() const { return options_.block_size; }
+
+ private:
+  // Logical position -> (block index within table, slot within block).
+  void Locate(const std::vector<int64_t>& table, int64_t pos, int64_t* block_index,
+              int64_t* slot) const;
+
+  // Flat offset of one (block, slot, layer, k_or_v) entry.
+  int64_t Offset(int64_t physical_block, int64_t slot, int64_t layer, bool is_v) const;
+
+  Options options_;
+  // Capacity in tokens of a windowed sequence's block table; positions wrap
+  // modulo this. 0 for unbounded tables.
+  int64_t window_slots_;
+  std::vector<float> data_;
+};
+
+}  // namespace sarathi
+
+#endif  // SRC_ENGINE_REFERENCE_KV_STORE_H_

@@ -1,0 +1,108 @@
+#include "src/engine/reference/reference_engine.h"
+
+#include "src/common/logging.h"
+
+namespace sarathi {
+
+ReferenceEngine::ReferenceEngine(const TinyModelConfig& config, PagedBlockManager* blocks,
+                                 const ReferenceEngineOptions& options)
+    : config_(config), options_(options), model_(config), blocks_(blocks),
+      store_(KvStore::Options{blocks->num_blocks(), blocks->block_size(), config.num_layers,
+                              config.kv_dim(), config.sliding_window}) {
+  CHECK(blocks_ != nullptr);
+}
+
+uint64_t ReferenceEngine::StreamSeed(SeqId id) const {
+  // Derived only from the base seed and the request id: scheduler-order
+  // independent by construction.
+  return options_.sampling_seed ^ (static_cast<uint64_t>(id) * 0x9E3779B97F4A7C15ull);
+}
+
+void ReferenceEngine::RegisterRequest(SeqId id, std::vector<int32_t> prompt) {
+  CHECK(!prompt.empty());
+  CHECK(!sequences_.contains(id)) << "request " << id << " already registered";
+  sequences_.emplace(
+      id, SequenceState{std::move(prompt), {}, Sampler(options_.sampling, StreamSeed(id)), {}});
+}
+
+void ReferenceEngine::ForkRequest(SeqId parent, SeqId child) {
+  auto it = sequences_.find(parent);
+  CHECK(it != sequences_.end()) << "request " << parent << " not registered";
+  CHECK(!sequences_.contains(child)) << "request " << child << " already registered";
+  CHECK(!it->second.generated.empty()) << "fork before the first token";
+  CHECK(!it->second.last_logits.empty());
+  SequenceState state = it->second;
+  state.sampler = Sampler(options_.sampling, StreamSeed(child));
+  // The child's latest token is its own draw from the shared fork-point
+  // logits (all earlier history is common by definition).
+  state.generated.back() = state.sampler.Sample(state.last_logits);
+  sequences_.emplace(child, std::move(state));
+}
+
+void ReferenceEngine::EmitToken(RequestState* request, SequenceState* seq, const Vec& logits) {
+  int32_t token = seq->sampler.Sample(logits);
+  seq->generated.push_back(token);
+  seq->last_logits = logits;
+  if (options_.eos_token >= 0 && token == options_.eos_token) {
+    // The token just emitted becomes the last of the generation (state
+    // advances in OnBatchComplete, so the cap is generated-so-far + 1).
+    request->TruncateOutputAt(request->generated() + 1);
+  }
+}
+
+int32_t ReferenceEngine::TokenAt(const SequenceState& seq, int64_t pos) const {
+  auto prompt_len = static_cast<int64_t>(seq.prompt.size());
+  if (pos < prompt_len) {
+    return seq.prompt[static_cast<size_t>(pos)];
+  }
+  int64_t gen_index = pos - prompt_len;
+  CHECK_LT(gen_index, static_cast<int64_t>(seq.generated.size()));
+  return seq.generated[static_cast<size_t>(gen_index)];
+}
+
+void ReferenceEngine::ExecuteBatch(const ScheduledBatch& batch) {
+  // Apply data copies for any copy-on-write the block manager performed
+  // while the scheduler reserved decode slots for forked sequences.
+  for (const auto& [seq_id, cow] : blocks_->TakePendingCows()) {
+    store_.CopyBlock(cow.old_block, cow.new_block);
+  }
+  for (const auto& item : batch.items) {
+    RequestState* request = item.request;
+    auto it = sequences_.find(request->id());
+    CHECK(it != sequences_.end()) << "request " << request->id() << " not registered";
+    SequenceState& seq = it->second;
+
+    if (item.is_decode) {
+      // Input: the last emitted token, at position context_len-1. Its KV slot
+      // was reserved by the scheduler (PrepareDecodeSlot) when the decode was
+      // packed, so the block table already covers the write.
+      int64_t pos = request->context_len() - 1;
+      std::vector<int32_t> input = {TokenAt(seq, pos)};
+      Vec logits = model_.ForwardChunk(input, pos, blocks_->BlockTable(request->id()), &store_);
+      EmitToken(request, &seq, logits);
+    } else {
+      // Prefill chunk [prefill_done, prefill_done + n). After preemption the
+      // recompute target covers prompt + previously generated tokens, and
+      // TokenAt serves both ranges transparently.
+      int64_t start = request->prefill_done();
+      std::vector<int32_t> input(static_cast<size_t>(item.num_tokens));
+      for (int64_t i = 0; i < item.num_tokens; ++i) {
+        input[static_cast<size_t>(i)] = TokenAt(seq, start + i);
+      }
+      Vec logits =
+          model_.ForwardChunk(input, start, blocks_->BlockTable(request->id()), &store_);
+      if (start + item.num_tokens == request->prefill_target()) {
+        // Final chunk emits the first (or, post-preemption, next) token.
+        EmitToken(request, &seq, logits);
+      }
+    }
+  }
+}
+
+const std::vector<int32_t>& ReferenceEngine::GeneratedTokens(SeqId id) const {
+  auto it = sequences_.find(id);
+  CHECK(it != sequences_.end()) << "request " << id << " not registered";
+  return it->second.generated;
+}
+
+}  // namespace sarathi

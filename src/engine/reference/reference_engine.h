@@ -1,0 +1,87 @@
+// Value-domain batch executor: runs scheduled batches on the TinyModel.
+//
+// Bridges the scheduler's batch abstraction to actual token generation. Each
+// prefill chunk forwards its slice of the prompt; each decode forwards the
+// previously emitted token; greedy samples append to the request's output.
+// Decode KV slots are reserved by the scheduler at batch-formation time
+// (Scheduler::PrepareDecodeSlot), so block tables always cover the positions
+// written here.
+
+#ifndef SRC_ENGINE_REFERENCE_REFERENCE_ENGINE_H_
+#define SRC_ENGINE_REFERENCE_REFERENCE_ENGINE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/engine/reference/kv_store.h"
+#include "src/engine/reference/sampler.h"
+#include "src/engine/reference/tiny_model.h"
+#include "src/memory/block_manager.h"
+#include "src/scheduler/batch.h"
+
+namespace sarathi {
+
+struct ReferenceEngineOptions {
+  SamplingParams sampling;  // Default: greedy.
+  // Token id that terminates generation early (-1 disables EOS stopping).
+  int32_t eos_token = -1;
+  // Base seed for per-request sampling streams (each request derives an
+  // independent stream from this and its id, so outputs are identical across
+  // scheduling policies).
+  uint64_t sampling_seed = 7777;
+};
+
+class ReferenceEngine {
+ public:
+  ReferenceEngine(const TinyModelConfig& config, PagedBlockManager* blocks,
+                  const ReferenceEngineOptions& options = {});
+
+  // Declares a request's prompt token ids before it is first scheduled.
+  void RegisterRequest(SeqId id, std::vector<int32_t> prompt);
+
+  // Forks `child` from `parent` for parallel sampling: the child inherits
+  // prompt and generated-so-far history and KV block tables (zero-copy via
+  // PagedBlockManager::Fork), gets its own sampling stream, and — matching
+  // vLLM's n>1 semantics — resamples its latest token from the parent's most
+  // recent logits so branches diverge immediately.
+  void ForkRequest(SeqId parent, SeqId child);
+
+  // Executes every item of the batch (prefill chunks and decodes), sampling
+  // and recording output tokens where the schedule emits them. Applies any
+  // pending copy-on-write data moves the block manager queued.
+  void ExecuteBatch(const ScheduledBatch& batch);
+
+  const std::vector<int32_t>& GeneratedTokens(SeqId id) const;
+  const TinyModel& model() const { return model_; }
+
+ private:
+  struct SequenceState {
+    std::vector<int32_t> prompt;
+    std::vector<int32_t> generated;
+    Sampler sampler;
+    // Most recent next-token logits (fork points resample from these).
+    Vec last_logits;
+  };
+
+  // Per-request sampling stream seed.
+  uint64_t StreamSeed(SeqId id) const;
+
+  // Token id at logical position `pos` (prompt followed by generated).
+  int32_t TokenAt(const SequenceState& seq, int64_t pos) const;
+
+  // Samples the next token for `seq`, records it, and applies EOS stopping
+  // to `request`.
+  void EmitToken(RequestState* request, SequenceState* seq, const Vec& logits);
+
+  TinyModelConfig config_;
+  ReferenceEngineOptions options_;
+  TinyModel model_;
+  PagedBlockManager* blocks_;
+  KvStore store_;
+  std::unordered_map<SeqId, SequenceState> sequences_;
+};
+
+}  // namespace sarathi
+
+#endif  // SRC_ENGINE_REFERENCE_REFERENCE_ENGINE_H_

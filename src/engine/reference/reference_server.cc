@@ -1,0 +1,101 @@
+#include "src/engine/reference/reference_server.h"
+
+#include "src/common/logging.h"
+#include "src/scheduler/scheduler_factory.h"
+
+namespace sarathi {
+namespace {
+
+PagedBlockManager::Options BlockOptions(const ReferenceServer::Options& options) {
+  PagedBlockManager::Options blocks;
+  blocks.num_blocks = options.num_blocks;
+  blocks.block_size = options.block_size;
+  blocks.watermark = options.watermark;
+  blocks.sliding_window = options.model.sliding_window;
+  return blocks;
+}
+
+}  // namespace
+
+ReferenceServer::ReferenceServer(const Options& options)
+    : options_(options), blocks_(BlockOptions(options)),
+      scheduler_(MakeScheduler(options.scheduler, &blocks_)),
+      engine_(options.model, &blocks_, options.engine) {}
+
+void ReferenceServer::AddRequest(int64_t id, std::vector<int32_t> prompt,
+                                 int64_t max_new_tokens, int64_t num_samples) {
+  CHECK_GT(max_new_tokens, 0);
+  CHECK_GE(num_samples, 1);
+  Request request;
+  request.id = id;
+  request.arrival_time_s = 0.0;
+  request.prompt_tokens = static_cast<int64_t>(prompt.size());
+  request.output_tokens = max_new_tokens;
+  requests_.push_back(std::make_unique<RequestState>(request));
+  engine_.RegisterRequest(id, std::move(prompt));
+  scheduler_->Enqueue(requests_.back().get());
+  sample_ids_[id] = {id};
+  if (num_samples > 1) {
+    pending_forks_[id] = num_samples - 1;
+  }
+}
+
+const std::vector<int64_t>& ReferenceServer::SampleIds(int64_t id) const {
+  auto it = sample_ids_.find(id);
+  CHECK(it != sample_ids_.end()) << "unknown request " << id;
+  return it->second;
+}
+
+void ReferenceServer::MaterializeForks(const ScheduledBatch& batch) {
+  for (const auto& item : batch.items) {
+    RequestState* parent = item.request;
+    if (item.is_decode ||
+        parent->prefill_done() + item.num_tokens != parent->prefill_target()) {
+      continue;
+    }
+    auto plan = pending_forks_.find(parent->id());
+    if (plan == pending_forks_.end()) {
+      continue;
+    }
+    for (int64_t s = 0; s < plan->second; ++s) {
+      int64_t child_id = next_fork_id_++;
+      // Child state mirrors the parent *after* this prefill completes.
+      RequestState child_state = RequestState::ForkedFrom(*parent, child_id);
+      child_state.AdvancePrefill(child_state.remaining_prefill());
+      requests_.push_back(std::make_unique<RequestState>(child_state));
+      RequestState* child = requests_.back().get();
+
+      blocks_.Fork(parent->id(), child_id);
+      engine_.ForkRequest(parent->id(), child_id);
+      sample_ids_[parent->id()].push_back(child_id);
+
+      // The fork resamples the child's latest token; apply EOS stopping.
+      if (options_.engine.eos_token >= 0 &&
+          engine_.GeneratedTokens(child_id).back() == options_.engine.eos_token) {
+        child->TruncateOutputAt(child->generated());
+      }
+      if (child->finished()) {
+        blocks_.Release(child_id);
+        child->set_phase(RequestPhase::kFinished);
+      } else {
+        scheduler_->AdoptRunning(child);
+      }
+    }
+    pending_forks_.erase(plan);
+  }
+}
+
+void ReferenceServer::Run(int64_t max_iterations) {
+  while (scheduler_->HasWork()) {
+    ScheduledBatch batch = scheduler_->Schedule();
+    CHECK(!batch.empty()) << "scheduler " << scheduler_->name()
+                          << " deadlocked with work outstanding";
+    engine_.ExecuteBatch(batch);
+    MaterializeForks(batch);
+    scheduler_->OnBatchComplete(batch);
+    ++iterations_;
+    CHECK_LE(iterations_, max_iterations) << "runaway scheduling loop";
+  }
+}
+
+}  // namespace sarathi

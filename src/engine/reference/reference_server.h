@@ -1,0 +1,84 @@
+// End-to-end value-domain serving loop: scheduler + paged KV + real model.
+//
+// Drives any of the four scheduling policies against the TinyModel until all
+// requests complete, returning the generated token streams. Because greedy
+// decoding over fixed weights is deterministic, every scheduler — whatever
+// batch shapes, chunk boundaries or preemptions it produces — must emit
+// identical tokens; the integration tests assert exactly that.
+
+#ifndef SRC_ENGINE_REFERENCE_REFERENCE_SERVER_H_
+#define SRC_ENGINE_REFERENCE_REFERENCE_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/engine/reference/reference_engine.h"
+#include "src/memory/block_manager.h"
+#include "src/scheduler/scheduler.h"
+
+namespace sarathi {
+
+class ReferenceServer {
+ public:
+  struct Options {
+    TinyModelConfig model;
+    SchedulerConfig scheduler;
+    // Sampling / EOS behaviour of the engine.
+    ReferenceEngineOptions engine;
+    int64_t num_blocks = 4096;
+    int64_t block_size = 16;
+    double watermark = 0.0;
+  };
+
+  explicit ReferenceServer(const Options& options);
+
+  // Registers a request; all requests are considered arrived at t=0. With
+  // num_samples > 1, the prompt is prefilled once and (num_samples - 1)
+  // siblings fork from it at prefill completion (vLLM-style parallel
+  // sampling): the prompt KV is physically shared, divergence goes through
+  // copy-on-write, and each sample owns an independent sampling stream.
+  void AddRequest(int64_t id, std::vector<int32_t> prompt, int64_t max_new_tokens,
+                  int64_t num_samples = 1);
+
+  // Sequence ids of all samples of request `id` (the parent first). Sibling
+  // ids are synthesized; they materialize once the parent's prefill
+  // completes.
+  const std::vector<int64_t>& SampleIds(int64_t id) const;
+
+  // Runs the scheduling loop to completion. Aborts if the scheduler
+  // deadlocks (has work but schedules nothing) or exceeds `max_iterations`.
+  void Run(int64_t max_iterations = 1000000);
+
+  const std::vector<int32_t>& GeneratedTokens(int64_t id) const {
+    return engine_.GeneratedTokens(id);
+  }
+
+  int64_t iterations() const { return iterations_; }
+  const Scheduler& scheduler() const { return *scheduler_; }
+  const PagedBlockManager& blocks() const { return blocks_; }
+
+ private:
+  // Forks any planned siblings of parents whose prefill just completed in
+  // `batch`. Runs after engine execution (fork-point logits exist) and
+  // before OnBatchComplete (parent block tables still held even if the
+  // parent finishes).
+  void MaterializeForks(const ScheduledBatch& batch);
+
+  Options options_;
+  PagedBlockManager blocks_;
+  std::unique_ptr<Scheduler> scheduler_;
+  ReferenceEngine engine_;
+  std::vector<std::unique_ptr<RequestState>> requests_;
+  // Parent id -> pending sibling count.
+  std::unordered_map<int64_t, int64_t> pending_forks_;
+  // Request id -> all of its sample sequence ids (parent first).
+  std::unordered_map<int64_t, std::vector<int64_t>> sample_ids_;
+  int64_t next_fork_id_ = 1000000000;
+  int64_t iterations_ = 0;
+};
+
+}  // namespace sarathi
+
+#endif  // SRC_ENGINE_REFERENCE_REFERENCE_SERVER_H_

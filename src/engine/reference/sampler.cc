@@ -1,0 +1,53 @@
+#include "src/engine/reference/sampler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "src/common/logging.h"
+
+namespace sarathi {
+
+int32_t Sampler::Sample(const Vec& logits) {
+  CHECK(!logits.empty());
+  if (params_.temperature <= 0.0) {
+    return Argmax(logits);
+  }
+
+  // Candidate set: all tokens, or the top-k by logit.
+  std::vector<int32_t> candidates(logits.size());
+  std::iota(candidates.begin(), candidates.end(), 0);
+  if (params_.top_k > 0 && params_.top_k < static_cast<int64_t>(logits.size())) {
+    std::partial_sort(candidates.begin(), candidates.begin() + params_.top_k,
+                      candidates.end(), [&logits](int32_t a, int32_t b) {
+                        return logits[static_cast<size_t>(a)] > logits[static_cast<size_t>(b)];
+                      });
+    candidates.resize(static_cast<size_t>(params_.top_k));
+  }
+
+  // Softmax over the candidates at the given temperature.
+  double max_logit = logits[static_cast<size_t>(candidates[0])];
+  for (int32_t c : candidates) {
+    max_logit = std::max(max_logit, static_cast<double>(logits[static_cast<size_t>(c)]));
+  }
+  std::vector<double> weights(candidates.size());
+  double total = 0.0;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    double logit = logits[static_cast<size_t>(candidates[i])];
+    weights[i] = std::exp((logit - max_logit) / params_.temperature);
+    total += weights[i];
+  }
+
+  double draw = rng_.Uniform(0.0, total);
+  double cumulative = 0.0;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    cumulative += weights[i];
+    if (draw < cumulative) {
+      return candidates[i];
+    }
+  }
+  return candidates.back();
+}
+
+}  // namespace sarathi

@@ -1,0 +1,41 @@
+// Token sampling for the reference engine.
+//
+// Greedy (temperature 0) or temperature/top-k sampling with a per-request
+// random stream. Each emitted token consumes exactly one draw from its
+// request's stream, so generation stays bit-identical across scheduling
+// policies even when sampling stochastically — chunking, batching and
+// preemption may reorder *work*, never a request's own token sequence.
+
+#ifndef SRC_ENGINE_REFERENCE_SAMPLER_H_
+#define SRC_ENGINE_REFERENCE_SAMPLER_H_
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+#include "src/engine/reference/tensor.h"
+
+namespace sarathi {
+
+struct SamplingParams {
+  // 0 = greedy argmax; > 0 softens the distribution.
+  double temperature = 0.0;
+  // Keep only the k most likely tokens before sampling (0 = all).
+  int64_t top_k = 0;
+};
+
+class Sampler {
+ public:
+  Sampler(const SamplingParams& params, uint64_t seed) : params_(params), rng_(seed) {}
+
+  // Draws the next token from `logits`, consuming one random draw when
+  // temperature > 0 (none for greedy).
+  int32_t Sample(const Vec& logits);
+
+ private:
+  SamplingParams params_;
+  Rng rng_;
+};
+
+}  // namespace sarathi
+
+#endif  // SRC_ENGINE_REFERENCE_SAMPLER_H_

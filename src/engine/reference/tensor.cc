@@ -1,0 +1,85 @@
+#include "src/engine/reference/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace sarathi {
+
+void Matrix::RandomInit(Rng& rng, double stddev) {
+  for (auto& v : data_) {
+    v = static_cast<float>(rng.Normal(0.0, stddev));
+  }
+}
+
+Vec Matrix::VecMul(const Vec& x) const {
+  CHECK_EQ(static_cast<int64_t>(x.size()), rows_);
+  Vec y(static_cast<size_t>(cols_), 0.0f);
+  for (int64_t r = 0; r < rows_; ++r) {
+    float xv = x[static_cast<size_t>(r)];
+    if (xv == 0.0f) {
+      continue;
+    }
+    const float* row = &data_[r * cols_];
+    for (int64_t c = 0; c < cols_; ++c) {
+      y[static_cast<size_t>(c)] += xv * row[c];
+    }
+  }
+  return y;
+}
+
+void AddInPlace(Vec& x, const Vec& y) {
+  CHECK_EQ(x.size(), y.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] += y[i];
+  }
+}
+
+Vec RmsNorm(const Vec& x, const Vec& gain) {
+  CHECK_EQ(x.size(), gain.size());
+  double ss = 0.0;
+  for (float v : x) {
+    ss += static_cast<double>(v) * static_cast<double>(v);
+  }
+  double scale = 1.0 / std::sqrt(ss / static_cast<double>(x.size()) + 1e-6);
+  Vec y(x.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    y[i] = static_cast<float>(static_cast<double>(x[i]) * scale) * gain[i];
+  }
+  return y;
+}
+
+float Dot(const float* a, const float* b, int64_t n) {
+  float sum = 0.0f;
+  for (int64_t i = 0; i < n; ++i) {
+    sum += a[i] * b[i];
+  }
+  return sum;
+}
+
+void Softmax(Vec& x) {
+  CHECK(!x.empty());
+  float max = *std::max_element(x.begin(), x.end());
+  double sum = 0.0;
+  for (auto& v : x) {
+    v = std::exp(v - max);
+    sum += v;
+  }
+  for (auto& v : x) {
+    v = static_cast<float>(v / sum);
+  }
+}
+
+float Silu(float x) { return x / (1.0f + std::exp(-x)); }
+
+float Gelu(float x) {
+  return 0.5f * x * (1.0f + std::tanh(0.7978845608f * (x + 0.044715f * x * x * x)));
+}
+
+int32_t Argmax(const Vec& x) {
+  CHECK(!x.empty());
+  return static_cast<int32_t>(std::max_element(x.begin(), x.end()) - x.begin());
+}
+
+}  // namespace sarathi

@@ -1,0 +1,53 @@
+// Minimal dense float math for the reference CPU transformer.
+//
+// The reference model's dimensions are tiny (hidden size tens of floats), so
+// clarity beats BLAS here. Vec is a plain std::vector<float>; Matrix is
+// row-major.
+
+#ifndef SRC_ENGINE_REFERENCE_TENSOR_H_
+#define SRC_ENGINE_REFERENCE_TENSOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace sarathi {
+
+using Vec = std::vector<float>;
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(int64_t rows, int64_t cols) : rows_(rows), cols_(cols), data_(rows * cols) {}
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+
+  float& At(int64_t r, int64_t c) { return data_[r * cols_ + c]; }
+  float At(int64_t r, int64_t c) const { return data_[r * cols_ + c]; }
+
+  // Fills with N(0, stddev) entries from `rng`.
+  void RandomInit(Rng& rng, double stddev);
+
+  // y = x^T * M for a row vector x of length rows(); y has length cols().
+  Vec VecMul(const Vec& x) const;
+
+ private:
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+// Elementwise helpers.
+void AddInPlace(Vec& x, const Vec& y);
+Vec RmsNorm(const Vec& x, const Vec& gain);
+float Dot(const float* a, const float* b, int64_t n);
+void Softmax(Vec& x);
+float Silu(float x);
+float Gelu(float x);
+int32_t Argmax(const Vec& x);
+
+}  // namespace sarathi
+
+#endif  // SRC_ENGINE_REFERENCE_TENSOR_H_

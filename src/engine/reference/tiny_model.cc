@@ -1,0 +1,162 @@
+#include "src/engine/reference/tiny_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+#include "src/common/rng.h"
+
+namespace sarathi {
+
+TinyModel::TinyModel(const TinyModelConfig& config) : config_(config) {
+  CHECK_EQ(config_.num_heads * config_.head_dim, config_.hidden)
+      << "residual stream requires q_dim == hidden";
+  CHECK_EQ(config_.num_heads % config_.num_kv_heads, 0);
+
+  Rng rng(config_.seed);
+  constexpr double kStd = 0.08;
+  auto init = [&](Matrix& m, int64_t rows, int64_t cols) {
+    m = Matrix(rows, cols);
+    m.RandomInit(rng, kStd);
+  };
+  auto init_gain = [&](Vec& g, int64_t n) {
+    g.resize(static_cast<size_t>(n));
+    for (auto& v : g) {
+      v = static_cast<float>(1.0 + rng.Normal(0.0, 0.02));
+    }
+  };
+
+  init(embedding_, config_.vocab, config_.hidden);
+  init(lm_head_, config_.hidden, config_.vocab);
+  init_gain(ln_final_, config_.hidden);
+
+  layers_.resize(static_cast<size_t>(config_.num_layers));
+  for (auto& layer : layers_) {
+    init(layer.wq, config_.hidden, config_.q_dim());
+    init(layer.wk, config_.hidden, config_.kv_dim());
+    init(layer.wv, config_.hidden, config_.kv_dim());
+    init(layer.wo, config_.q_dim(), config_.hidden);
+    if (config_.gated_ffn) {
+      init(layer.w_gate, config_.hidden, config_.ffn_hidden);
+    }
+    init(layer.w_up, config_.hidden, config_.ffn_hidden);
+    init(layer.w_down, config_.ffn_hidden, config_.hidden);
+    init_gain(layer.ln_attn, config_.hidden);
+    init_gain(layer.ln_ffn, config_.hidden);
+  }
+}
+
+void TinyModel::Rope(float* vec, int64_t heads, int64_t pos) const {
+  int64_t hd = config_.head_dim;
+  for (int64_t h = 0; h < heads; ++h) {
+    float* head = vec + h * hd;
+    for (int64_t j = 0; j < hd / 2; ++j) {
+      double freq = std::pow(10000.0, -2.0 * static_cast<double>(j) / static_cast<double>(hd));
+      double angle = static_cast<double>(pos) * freq;
+      auto cos_a = static_cast<float>(std::cos(angle));
+      auto sin_a = static_cast<float>(std::sin(angle));
+      float x0 = head[2 * j];
+      float x1 = head[2 * j + 1];
+      head[2 * j] = x0 * cos_a - x1 * sin_a;
+      head[2 * j + 1] = x0 * sin_a + x1 * cos_a;
+    }
+  }
+}
+
+Vec TinyModel::Attend(const Vec& q, int64_t layer, int64_t pos,
+                      const std::vector<int64_t>& table, const KvStore& store) const {
+  int64_t hd = config_.head_dim;
+  int64_t group = config_.num_heads / config_.num_kv_heads;
+  float scale = 1.0f / std::sqrt(static_cast<float>(hd));
+
+  int64_t lo = 0;
+  if (config_.sliding_window > 0) {
+    lo = std::max<int64_t>(0, pos - config_.sliding_window + 1);
+  }
+  int64_t span = pos - lo + 1;
+
+  Vec context(static_cast<size_t>(config_.q_dim()), 0.0f);
+  Vec scores(static_cast<size_t>(span));
+  for (int64_t h = 0; h < config_.num_heads; ++h) {
+    const float* qh = q.data() + h * hd;
+    int64_t kv_head = h / group;
+    for (int64_t p = lo; p <= pos; ++p) {
+      const float* k = store.ReadK(table, layer, p) + kv_head * hd;
+      scores[static_cast<size_t>(p - lo)] = Dot(qh, k, hd) * scale;
+    }
+    Softmax(scores);
+    float* out = context.data() + h * hd;
+    for (int64_t p = lo; p <= pos; ++p) {
+      const float* v = store.ReadV(table, layer, p) + kv_head * hd;
+      float w = scores[static_cast<size_t>(p - lo)];
+      for (int64_t d = 0; d < hd; ++d) {
+        out[d] += w * v[d];
+      }
+    }
+  }
+  return layers_[static_cast<size_t>(layer)].wo.VecMul(context);
+}
+
+Vec TinyModel::FfnForward(const Layer& layer, const Vec& x) const {
+  Vec up = layer.w_up.VecMul(x);
+  if (config_.gated_ffn) {
+    Vec gate = layer.w_gate.VecMul(x);
+    for (size_t i = 0; i < up.size(); ++i) {
+      up[i] *= Silu(gate[i]);
+    }
+  } else {
+    for (auto& v : up) {
+      v = Gelu(v);
+    }
+  }
+  return layer.w_down.VecMul(up);
+}
+
+Vec TinyModel::ForwardChunk(const std::vector<int32_t>& tokens, int64_t start_pos,
+                            const std::vector<int64_t>& table, KvStore* store) const {
+  CHECK(!tokens.empty());
+  CHECK(store != nullptr);
+  int64_t n = static_cast<int64_t>(tokens.size());
+
+  // Residual stream for each chunk token.
+  std::vector<Vec> x(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    int32_t token = tokens[static_cast<size_t>(i)];
+    CHECK_GE(token, 0);
+    CHECK_LT(token, config_.vocab);
+    Vec& row = x[static_cast<size_t>(i)];
+    row.resize(static_cast<size_t>(config_.hidden));
+    for (int64_t d = 0; d < config_.hidden; ++d) {
+      row[static_cast<size_t>(d)] = embedding_.At(token, d);
+    }
+  }
+
+  for (int64_t l = 0; l < config_.num_layers; ++l) {
+    const Layer& layer = layers_[static_cast<size_t>(l)];
+    // Projections + KV writes for the whole chunk first: token i's attention
+    // may then read the in-chunk keys of tokens <= i from the store, exactly
+    // as a batched kernel reads the freshly appended KV pages.
+    std::vector<Vec> q(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+      int64_t pos = start_pos + i;
+      Vec normed = RmsNorm(x[static_cast<size_t>(i)], layer.ln_attn);
+      q[static_cast<size_t>(i)] = layer.wq.VecMul(normed);
+      Vec k = layer.wk.VecMul(normed);
+      Vec v = layer.wv.VecMul(normed);
+      Rope(q[static_cast<size_t>(i)].data(), config_.num_heads, pos);
+      Rope(k.data(), config_.num_kv_heads, pos);
+      store->Write(table, l, pos, k.data(), v.data());
+    }
+    for (int64_t i = 0; i < n; ++i) {
+      Vec attn = Attend(q[static_cast<size_t>(i)], l, start_pos + i, table, *store);
+      AddInPlace(x[static_cast<size_t>(i)], attn);
+      Vec ffn = FfnForward(layer, RmsNorm(x[static_cast<size_t>(i)], layer.ln_ffn));
+      AddInPlace(x[static_cast<size_t>(i)], ffn);
+    }
+  }
+
+  Vec final_state = RmsNorm(x[static_cast<size_t>(n - 1)], ln_final_);
+  return lm_head_.VecMul(final_state);
+}
+
+}  // namespace sarathi

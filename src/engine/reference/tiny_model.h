@@ -1,0 +1,92 @@
+// A real (tiny) decoder-only transformer executed on the CPU.
+//
+// This is the value-domain substitute for the paper's GPU models: it performs
+// genuine forward passes — RMSNorm, RoPE, grouped-query attention against a
+// paged KV store, gated FFN — over deterministic random weights. Its purpose
+// is to prove the *functional* correctness of the scheduler machinery:
+// chunked prefills must produce bit-identical results to unchunked ones, and
+// hybrid batches must not perturb any sequence's outputs (tests/engine).
+//
+// Chunks are processed layer-parallel like a real engine (all chunk tokens
+// through layer l before layer l+1), so cross-chunk attention really does
+// read earlier chunks' KV from the paged store — the property chunked
+// prefill relies on (§4.1).
+
+#ifndef SRC_ENGINE_REFERENCE_TINY_MODEL_H_
+#define SRC_ENGINE_REFERENCE_TINY_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/engine/reference/kv_store.h"
+#include "src/engine/reference/tensor.h"
+
+namespace sarathi {
+
+struct TinyModelConfig {
+  int64_t num_layers = 2;
+  int64_t hidden = 64;
+  int64_t num_heads = 4;
+  int64_t num_kv_heads = 2;
+  int64_t head_dim = 16;  // num_heads * head_dim must equal hidden.
+  int64_t ffn_hidden = 128;
+  int64_t vocab = 131;
+  bool gated_ffn = true;
+  // Sliding-window attention span (0 = full attention).
+  int64_t sliding_window = 0;
+  uint64_t seed = 20240701;
+
+  int64_t q_dim() const { return num_heads * head_dim; }
+  int64_t kv_dim() const { return num_kv_heads * head_dim; }
+};
+
+class TinyModel {
+ public:
+  explicit TinyModel(const TinyModelConfig& config);
+
+  const TinyModelConfig& config() const { return config_; }
+
+  // Processes `tokens` occupying absolute positions [start_pos, start_pos+n)
+  // of one sequence. KV for these positions is written into `store` through
+  // `table`; attention reads all prior positions (window permitting) from the
+  // store. Returns the logits of the chunk's final token.
+  Vec ForwardChunk(const std::vector<int32_t>& tokens, int64_t start_pos,
+                   const std::vector<int64_t>& table, KvStore* store) const;
+
+  // Greedy sampling.
+  int32_t Sample(const Vec& logits) const { return Argmax(logits); }
+
+ private:
+  struct Layer {
+    Matrix wq;  // [hidden, q_dim]
+    Matrix wk;  // [hidden, kv_dim]
+    Matrix wv;  // [hidden, kv_dim]
+    Matrix wo;  // [q_dim, hidden]
+    Matrix w_gate;  // [hidden, ffn] (gated only)
+    Matrix w_up;    // [hidden, ffn]
+    Matrix w_down;  // [ffn, hidden]
+    Vec ln_attn;  // RMSNorm gains.
+    Vec ln_ffn;
+  };
+
+  // Applies rotary position embedding in place to a q_dim- or kv_dim-sized
+  // vector of `heads` heads at absolute position `pos`.
+  void Rope(float* vec, int64_t heads, int64_t pos) const;
+
+  // Attention output (wo applied) for one query vector at absolute position
+  // `pos`, reading K/V from the store.
+  Vec Attend(const Vec& q, int64_t layer, int64_t pos, const std::vector<int64_t>& table,
+             const KvStore& store) const;
+
+  Vec FfnForward(const Layer& layer, const Vec& x) const;
+
+  TinyModelConfig config_;
+  Matrix embedding_;  // [vocab, hidden]
+  Matrix lm_head_;    // [hidden, vocab]
+  Vec ln_final_;
+  std::vector<Layer> layers_;
+};
+
+}  // namespace sarathi
+
+#endif  // SRC_ENGINE_REFERENCE_TINY_MODEL_H_

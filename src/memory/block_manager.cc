@@ -1,0 +1,237 @@
+#include "src/memory/block_manager.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace sarathi {
+
+PagedBlockManager::PagedBlockManager(const Options& options) : options_(options) {
+  CHECK_GT(options_.num_blocks, 0);
+  CHECK_GT(options_.block_size, 0);
+  CHECK_GE(options_.watermark, 0.0);
+  CHECK_LT(options_.watermark, 1.0);
+  free_list_.reserve(static_cast<size_t>(options_.num_blocks));
+  // Hand out low block ids first: push high ids so pop_back yields low ones.
+  for (int64_t b = options_.num_blocks - 1; b >= 0; --b) {
+    free_list_.push_back(b);
+  }
+  refcount_.assign(static_cast<size_t>(options_.num_blocks), 0);
+}
+
+int64_t PagedBlockManager::BlocksForTokens(int64_t tokens) const {
+  if (options_.sliding_window > 0) {
+    // A windowed sequence cycles within window-covering blocks; one extra
+    // block absorbs the partially-overwritten boundary.
+    int64_t cap = options_.sliding_window + options_.block_size;
+    tokens = std::min(tokens, cap);
+  }
+  return (tokens + options_.block_size - 1) / options_.block_size;
+}
+
+int64_t PagedBlockManager::BlockIndexFor(int64_t pos) const {
+  CHECK_GE(pos, 0);
+  if (options_.sliding_window > 0) {
+    int64_t cap_tokens = options_.sliding_window + options_.block_size;
+    int64_t cap_blocks = (cap_tokens + options_.block_size - 1) / options_.block_size;
+    int64_t window_slots = cap_blocks * options_.block_size;
+    pos %= window_slots;
+  }
+  return pos / options_.block_size;
+}
+
+bool PagedBlockManager::CanAdmit(int64_t prompt_len, int64_t /*max_total_len*/) const {
+  int64_t needed = BlocksForTokens(prompt_len);
+  auto watermark_blocks =
+      static_cast<int64_t>(std::ceil(options_.watermark * static_cast<double>(options_.num_blocks)));
+  return free_blocks() - needed >= watermark_blocks;
+}
+
+void PagedBlockManager::Admit(SeqId id, int64_t prompt_len, int64_t max_total_len) {
+  CHECK(!tables_.contains(id)) << "sequence " << id << " already admitted";
+  CHECK(CanAdmit(prompt_len, max_total_len));
+  SequenceState state;
+  int64_t needed = BlocksForTokens(prompt_len);
+  state.blocks.reserve(static_cast<size_t>(needed));
+  for (int64_t i = 0; i < needed; ++i) {
+    state.blocks.push_back(AllocateBlock());
+  }
+  state.num_tokens = prompt_len;
+  tables_.emplace(id, std::move(state));
+}
+
+bool PagedBlockManager::CanAppendToken(SeqId id) const {
+  auto it = tables_.find(id);
+  CHECK(it != tables_.end()) << "unknown sequence " << id;
+  const SequenceState& state = it->second;
+  int64_t needed = BlocksForTokens(state.num_tokens + 1);
+  return needed <= static_cast<int64_t>(state.blocks.size()) || free_blocks() > 0;
+}
+
+void PagedBlockManager::AppendToken(SeqId id) {
+  auto it = tables_.find(id);
+  CHECK(it != tables_.end()) << "unknown sequence " << id;
+  SequenceState& state = it->second;
+  int64_t needed = BlocksForTokens(state.num_tokens + 1);
+  if (needed > static_cast<int64_t>(state.blocks.size())) {
+    CHECK_GT(free_blocks(), 0) << "AppendToken without a free block";
+    state.blocks.push_back(AllocateBlock());
+  } else {
+    // Writing into an existing block requires exclusive ownership; forked
+    // sequences copy-on-write here, and the event is queued for the engine
+    // to apply the data copy (TakePendingCows).
+    std::optional<CowOp> cow = MakeWritable(id, state.num_tokens);
+    if (cow.has_value()) {
+      pending_cows_.emplace_back(id, *cow);
+    }
+  }
+  ++state.num_tokens;
+}
+
+std::vector<std::pair<SeqId, PagedBlockManager::CowOp>> PagedBlockManager::TakePendingCows() {
+  std::vector<std::pair<SeqId, CowOp>> taken;
+  taken.swap(pending_cows_);
+  return taken;
+}
+
+std::optional<PagedBlockManager::CowOp> PagedBlockManager::AppendTokenCow(SeqId id) {
+  auto it = tables_.find(id);
+  CHECK(it != tables_.end()) << "unknown sequence " << id;
+  SequenceState& state = it->second;
+  int64_t needed = BlocksForTokens(state.num_tokens + 1);
+  std::optional<CowOp> cow;
+  if (needed > static_cast<int64_t>(state.blocks.size())) {
+    CHECK_GT(free_blocks(), 0) << "AppendTokenCow without a free block";
+    state.blocks.push_back(AllocateBlock());
+  } else {
+    cow = MakeWritable(id, state.num_tokens);
+  }
+  ++state.num_tokens;
+  return cow;
+}
+
+std::optional<PagedBlockManager::CowOp> PagedBlockManager::MakeWritable(SeqId id, int64_t pos) {
+  auto it = tables_.find(id);
+  CHECK(it != tables_.end()) << "unknown sequence " << id;
+  SequenceState& state = it->second;
+  int64_t index = BlockIndexFor(pos);
+  CHECK_LT(index, static_cast<int64_t>(state.blocks.size()))
+      << "position " << pos << " not covered";
+  int64_t block = state.blocks[static_cast<size_t>(index)];
+  if (refcount_[static_cast<size_t>(block)] == 1) {
+    return std::nullopt;
+  }
+  CHECK_GT(free_blocks(), 0) << "copy-on-write without a free block";
+  int64_t fresh = AllocateBlock();
+  ReleaseBlockRef(block);
+  state.blocks[static_cast<size_t>(index)] = fresh;
+  return CowOp{index, block, fresh};
+}
+
+bool PagedBlockManager::CanFork(SeqId id) const {
+  return tables_.contains(id);
+}
+
+void PagedBlockManager::Fork(SeqId parent, SeqId child) {
+  auto it = tables_.find(parent);
+  CHECK(it != tables_.end()) << "unknown sequence " << parent;
+  CHECK(!tables_.contains(child)) << "sequence " << child << " already admitted";
+  SequenceState copy = it->second;
+  for (int64_t block : copy.blocks) {
+    ++refcount_[static_cast<size_t>(block)];
+  }
+  tables_.emplace(child, std::move(copy));
+}
+
+void PagedBlockManager::Release(SeqId id) {
+  auto it = tables_.find(id);
+  CHECK(it != tables_.end()) << "unknown sequence " << id;
+  for (int64_t block : it->second.blocks) {
+    ReleaseBlockRef(block);
+  }
+  tables_.erase(it);
+}
+
+double PagedBlockManager::Utilization() const {
+  return static_cast<double>(used_blocks()) / static_cast<double>(options_.num_blocks);
+}
+
+const std::vector<int64_t>& PagedBlockManager::BlockTable(SeqId id) const {
+  auto it = tables_.find(id);
+  CHECK(it != tables_.end()) << "unknown sequence " << id;
+  return it->second.blocks;
+}
+
+int64_t PagedBlockManager::SequenceTokens(SeqId id) const {
+  auto it = tables_.find(id);
+  CHECK(it != tables_.end()) << "unknown sequence " << id;
+  return it->second.num_tokens;
+}
+
+int32_t PagedBlockManager::BlockRefCount(int64_t block) const {
+  CHECK_GE(block, 0);
+  CHECK_LT(block, options_.num_blocks);
+  return refcount_[static_cast<size_t>(block)];
+}
+
+int64_t PagedBlockManager::AllocateBlock() {
+  CHECK(!free_list_.empty()) << "out of KV blocks";
+  int64_t block = free_list_.back();
+  free_list_.pop_back();
+  CHECK_EQ(refcount_[static_cast<size_t>(block)], 0);
+  refcount_[static_cast<size_t>(block)] = 1;
+  return block;
+}
+
+void PagedBlockManager::ReleaseBlockRef(int64_t block) {
+  CHECK_GE(block, 0);
+  CHECK_LT(block, options_.num_blocks);
+  int32_t& count = refcount_[static_cast<size_t>(block)];
+  CHECK_GT(count, 0);
+  if (--count == 0) {
+    free_list_.push_back(block);
+  }
+}
+
+ReservationAllocator::ReservationAllocator(int64_t capacity_tokens, int64_t max_seq_len)
+    : max_seq_len_(max_seq_len), max_concurrent_(capacity_tokens / max_seq_len) {
+  CHECK_GT(max_seq_len_, 0);
+  CHECK_GT(max_concurrent_, 0) << "KV capacity below one max-length sequence";
+}
+
+bool ReservationAllocator::CanAdmit(int64_t prompt_len, int64_t max_total_len) const {
+  if (prompt_len > max_seq_len_ || max_total_len > max_seq_len_) {
+    return false;
+  }
+  return num_admitted() < max_concurrent_;
+}
+
+void ReservationAllocator::Admit(SeqId id, int64_t prompt_len, int64_t max_total_len) {
+  CHECK(CanAdmit(prompt_len, max_total_len));
+  CHECK(!admitted_.contains(id)) << "sequence " << id << " already admitted";
+  admitted_.emplace(id, prompt_len);
+}
+
+bool ReservationAllocator::CanAppendToken(SeqId id) const {
+  auto it = admitted_.find(id);
+  CHECK(it != admitted_.end()) << "unknown sequence " << id;
+  return it->second < max_seq_len_;
+}
+
+void ReservationAllocator::AppendToken(SeqId id) {
+  auto it = admitted_.find(id);
+  CHECK(it != admitted_.end()) << "unknown sequence " << id;
+  CHECK_LT(it->second, max_seq_len_);
+  ++it->second;
+}
+
+void ReservationAllocator::Release(SeqId id) {
+  CHECK_EQ(admitted_.erase(id), 1u) << "unknown sequence " << id;
+}
+
+double ReservationAllocator::Utilization() const {
+  return static_cast<double>(num_admitted()) / static_cast<double>(max_concurrent_);
+}
+
+}  // namespace sarathi

@@ -1,0 +1,142 @@
+// PagedAttention-style KV-cache block manager.
+//
+// KV memory is carved into fixed-size blocks of `block_size` tokens. Each
+// sequence owns a block table mapping its logical token positions to physical
+// blocks; blocks are allocated on admission (covering the prompt) and one at
+// a time as decodes cross block boundaries. A watermark keeps a sliver of
+// blocks free so running decodes aren't starved the moment a prefill fills
+// memory. Models with sliding-window attention (Mistral-7B) retain only the
+// window's worth of blocks; older blocks are recycled in place.
+//
+// Blocks are reference-counted, which enables PagedAttention's hallmark
+// sharing: Fork() gives a child sequence the parent's table without copying
+// any KV (parallel sampling / beam-search style divergence); writes to a
+// shared block first go through copy-on-write (MakeWritable / the CowOps
+// returned by AppendToken), with the actual data copy performed by the
+// engine that owns the KV values.
+
+#ifndef SRC_MEMORY_BLOCK_MANAGER_H_
+#define SRC_MEMORY_BLOCK_MANAGER_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/memory/kv_allocator.h"
+
+namespace sarathi {
+
+class PagedBlockManager : public KvAllocator {
+ public:
+  struct Options {
+    int64_t num_blocks = 0;
+    int64_t block_size = 16;  // Tokens per block (vLLM's default).
+    // Fraction of blocks kept free when admitting new sequences.
+    double watermark = 0.01;
+    // Sliding-window span in tokens (0 = retain everything).
+    int64_t sliding_window = 0;
+  };
+
+  explicit PagedBlockManager(const Options& options);
+
+  // A copy-on-write event: the sequence's `block_index`-th table entry moved
+  // from `old_block` to a fresh `new_block`; the engine must copy the KV
+  // values before writing new entries into it.
+  struct CowOp {
+    int64_t block_index = 0;
+    int64_t old_block = 0;
+    int64_t new_block = 0;
+  };
+
+  // KvAllocator:
+  bool CanAdmit(int64_t prompt_len, int64_t max_total_len) const override;
+  void Admit(SeqId id, int64_t prompt_len, int64_t max_total_len) override;
+  bool CanAppendToken(SeqId id) const override;
+  void AppendToken(SeqId id) override;
+  void Release(SeqId id) override;
+  double Utilization() const override;
+
+  // ---- Sharing / copy-on-write ----
+
+  // Whether a fork of `id` can be admitted (forking consumes no blocks, but
+  // the child must be a new sequence).
+  bool CanFork(SeqId id) const;
+  // Creates `child` sharing every block of `parent` (refcounts bumped).
+  void Fork(SeqId parent, SeqId child);
+  // Ensures the block holding logical token `pos` is exclusively owned,
+  // copy-on-writing it if shared. Returns the CoW op performed, if any.
+  // Requires a free block when a copy is needed.
+  std::optional<CowOp> MakeWritable(SeqId id, int64_t pos);
+  // Like AppendToken, but also guarantees the written-to block is exclusive;
+  // returns any CoW performed.
+  std::optional<CowOp> AppendTokenCow(SeqId id);
+  // CoW events performed implicitly by AppendToken() on forked sequences
+  // since the last drain, in order. The engine that owns KV values must
+  // apply the corresponding data copies before writing. Only ever non-empty
+  // after Fork() has been used.
+  std::vector<std::pair<SeqId, CowOp>> TakePendingCows();
+  // Reference count of a physical block (diagnostics/tests).
+  int32_t BlockRefCount(int64_t block) const;
+
+  // Blocks needed to hold `tokens` tokens (after window clamping).
+  int64_t BlocksForTokens(int64_t tokens) const;
+
+  int64_t num_blocks() const { return options_.num_blocks; }
+  int64_t block_size() const { return options_.block_size; }
+  int64_t free_blocks() const { return static_cast<int64_t>(free_list_.size()); }
+  int64_t used_blocks() const { return options_.num_blocks - free_blocks(); }
+  int64_t num_sequences() const { return static_cast<int64_t>(tables_.size()); }
+  bool HasSequence(SeqId id) const { return tables_.contains(id); }
+
+  // The sequence's physical block table, in logical order.
+  const std::vector<int64_t>& BlockTable(SeqId id) const;
+  // Logical token count of the sequence.
+  int64_t SequenceTokens(SeqId id) const;
+
+ private:
+  struct SequenceState {
+    std::vector<int64_t> blocks;
+    int64_t num_tokens = 0;
+  };
+
+  int64_t AllocateBlock();
+  // Drops one reference; the block returns to the free list at zero.
+  void ReleaseBlockRef(int64_t block);
+  // Logical token position -> index into the sequence's block table.
+  int64_t BlockIndexFor(int64_t pos) const;
+
+  Options options_;
+  std::vector<int64_t> free_list_;
+  std::vector<int32_t> refcount_;
+  std::unordered_map<SeqId, SequenceState> tables_;
+  std::vector<std::pair<SeqId, CowOp>> pending_cows_;
+};
+
+// Orca-style allocator: without paged memory, every admitted request reserves
+// KV space for the model's maximum sequence length up front, so concurrency
+// is capped at total_tokens / max_seq_len regardless of actual lengths.
+class ReservationAllocator : public KvAllocator {
+ public:
+  ReservationAllocator(int64_t capacity_tokens, int64_t max_seq_len);
+
+  bool CanAdmit(int64_t prompt_len, int64_t max_total_len) const override;
+  void Admit(SeqId id, int64_t prompt_len, int64_t max_total_len) override;
+  bool CanAppendToken(SeqId id) const override;
+  void AppendToken(SeqId id) override;
+  void Release(SeqId id) override;
+  double Utilization() const override;
+
+  int64_t max_concurrent() const { return max_concurrent_; }
+  int64_t num_admitted() const { return static_cast<int64_t>(admitted_.size()); }
+
+ private:
+  int64_t max_seq_len_;
+  int64_t max_concurrent_;
+  std::unordered_map<SeqId, int64_t> admitted_;  // id -> current tokens.
+};
+
+}  // namespace sarathi
+
+#endif  // SRC_MEMORY_BLOCK_MANAGER_H_

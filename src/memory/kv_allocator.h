@@ -1,0 +1,46 @@
+// Admission-control interface over KV-cache memory.
+//
+// Schedulers consult an allocator to decide whether a new request can join
+// the running batch (`can_allocate_request` in the paper's Algorithms 1-3)
+// and to grow sequences as decodes append tokens. Two implementations exist:
+// the vLLM-style paged manager (PagedBlockManager) and the Orca-style
+// max-length reservation manager (ReservationAllocator) — the paper's
+// explanation of Orca's small effective batch size (§5.1).
+
+#ifndef SRC_MEMORY_KV_ALLOCATOR_H_
+#define SRC_MEMORY_KV_ALLOCATOR_H_
+
+#include <cstdint>
+
+namespace sarathi {
+
+using SeqId = int64_t;
+
+class KvAllocator {
+ public:
+  virtual ~KvAllocator() = default;
+
+  // Whether a request with `prompt_len` prompt tokens (and up to
+  // `max_total_len` total tokens over its lifetime) can be admitted now.
+  virtual bool CanAdmit(int64_t prompt_len, int64_t max_total_len) const = 0;
+
+  // Admits the sequence and reserves memory for its prompt. Must only be
+  // called when CanAdmit returned true.
+  virtual void Admit(SeqId id, int64_t prompt_len, int64_t max_total_len) = 0;
+
+  // Whether one more token can be appended to the sequence.
+  virtual bool CanAppendToken(SeqId id) const = 0;
+
+  // Appends one generated token's KV entry.
+  virtual void AppendToken(SeqId id) = 0;
+
+  // Releases everything held by the sequence (finish or preemption).
+  virtual void Release(SeqId id) = 0;
+
+  // Occupancy introspection for metrics.
+  virtual double Utilization() const = 0;
+};
+
+}  // namespace sarathi
+
+#endif  // SRC_MEMORY_KV_ALLOCATOR_H_

@@ -1,0 +1,48 @@
+#include "src/perfmodel/comm_model.h"
+
+#include "src/common/logging.h"
+
+namespace sarathi {
+
+double CommModel::GroupBandwidth(int gpus) const {
+  CHECK_GE(gpus, 1);
+  if (gpus <= cluster_.gpus_per_node) {
+    return cluster_.gpu.nvlink_bandwidth;
+  }
+  return cluster_.cross_node_bandwidth;
+}
+
+double CommModel::GroupLatency(int gpus) const {
+  CHECK_GE(gpus, 1);
+  if (gpus <= cluster_.gpus_per_node) {
+    return cluster_.gpu.nvlink_latency_s;
+  }
+  return cluster_.cross_node_latency_s;
+}
+
+double CommModel::AllReduceTime(int64_t bytes, int gpus) const {
+  CHECK_GE(gpus, 1);
+  if (gpus == 1 || bytes <= 0) {
+    return 0.0;
+  }
+  // Ring all-reduce: each GPU moves 2*(g-1)/g of the buffer over the
+  // bottleneck link, in 2*(g-1) latency-bound steps.
+  double g = static_cast<double>(gpus);
+  double transfer = 2.0 * (g - 1.0) / g * static_cast<double>(bytes) / GroupBandwidth(gpus);
+  double latency = 2.0 * (g - 1.0) * GroupLatency(gpus);
+  return transfer + latency;
+}
+
+double CommModel::PipelineSendTime(int64_t bytes, int tensor_parallel) const {
+  if (bytes <= 0) {
+    return 0.0;
+  }
+  // If a stage's TP group fills (or exceeds) a node, the next stage lives on
+  // another node and the hop crosses the network; otherwise it rides NVLink.
+  bool cross_node = tensor_parallel >= cluster_.gpus_per_node;
+  double bandwidth = cross_node ? cluster_.cross_node_bandwidth : cluster_.gpu.nvlink_bandwidth;
+  double latency = cross_node ? cluster_.cross_node_latency_s : cluster_.gpu.nvlink_latency_s;
+  return static_cast<double>(bytes) / bandwidth + latency;
+}
+
+}  // namespace sarathi

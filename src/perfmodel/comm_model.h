@@ -1,0 +1,41 @@
+// Collective and point-to-point communication timing.
+//
+// TP adds two all-reduces per layer (attention output and FFN output, §2.3);
+// PP sends activations once per stage boundary. Links are NVLink within a
+// node and Ethernet across nodes; a collective that spans nodes is
+// bottlenecked by the slowest link it crosses — this is what makes cross-node
+// TP-8 unviable in Fig. 13.
+
+#ifndef SRC_PERFMODEL_COMM_MODEL_H_
+#define SRC_PERFMODEL_COMM_MODEL_H_
+
+#include <cstdint>
+
+#include "src/perfmodel/gpu_spec.h"
+
+namespace sarathi {
+
+class CommModel {
+ public:
+  explicit CommModel(const ClusterSpec& cluster) : cluster_(cluster) {}
+
+  // Effective per-direction bandwidth of the bottleneck link among a group of
+  // `gpus` GPUs placed densely (fills a node before spilling to the next).
+  double GroupBandwidth(int gpus) const;
+  double GroupLatency(int gpus) const;
+
+  // Ring all-reduce of `bytes` across `gpus` participants.
+  double AllReduceTime(int64_t bytes, int gpus) const;
+
+  // Point-to-point activation transfer between adjacent pipeline stages.
+  // Stages are placed on different nodes when the stage's TP group fills a
+  // node (the paper's TP4-PP2-over-Ethernet deployment).
+  double PipelineSendTime(int64_t bytes, int tensor_parallel) const;
+
+ private:
+  ClusterSpec cluster_;
+};
+
+}  // namespace sarathi
+
+#endif  // SRC_PERFMODEL_COMM_MODEL_H_

@@ -1,0 +1,44 @@
+#include "src/perfmodel/gpu_spec.h"
+
+namespace sarathi {
+
+GpuSpec A100_80GB() {
+  GpuSpec spec;
+  spec.name = "A100-80GB";
+  spec.peak_fp16_flops = 312e12;
+  spec.hbm_bandwidth = 2.039e12;
+  spec.hbm_capacity_bytes = 80LL * 1000 * 1000 * 1000;
+  spec.nvlink_bandwidth = 300e9;
+  return spec;
+}
+
+GpuSpec A40_48GB() {
+  GpuSpec spec;
+  spec.name = "A40-48GB";
+  spec.peak_fp16_flops = 149.7e12;
+  spec.hbm_bandwidth = 696e9;
+  spec.hbm_capacity_bytes = 48LL * 1000 * 1000 * 1000;
+  spec.nvlink_bandwidth = 100e9;  // Pairwise NVLink bridges.
+  return spec;
+}
+
+ClusterSpec AzureNC96adsCluster() {
+  ClusterSpec cluster;
+  cluster.gpu = A100_80GB();
+  cluster.gpus_per_node = 4;
+  cluster.cross_node_bandwidth = 12.5e9;
+  cluster.cross_node_latency_s = 20e-6;
+  return cluster;
+}
+
+ClusterSpec A40x8Cluster() {
+  ClusterSpec cluster;
+  cluster.gpu = A40_48GB();
+  cluster.gpus_per_node = 8;
+  // Single node; cross-node constants are irrelevant but kept sane.
+  cluster.cross_node_bandwidth = 12.5e9;
+  cluster.cross_node_latency_s = 20e-6;
+  return cluster;
+}
+
+}  // namespace sarathi

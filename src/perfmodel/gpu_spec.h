@@ -1,0 +1,77 @@
+// Device and cluster descriptions for the analytical performance model.
+//
+// The paper's testbed (NVIDIA A100-80GB and A40-48GB servers, NVLink within a
+// node, 100 Gbps Ethernet across nodes) is unavailable here, so iteration
+// latency is predicted from published device constants with a roofline model
+// (see DESIGN.md §2). These structs carry exactly the constants that model
+// needs.
+
+#ifndef SRC_PERFMODEL_GPU_SPEC_H_
+#define SRC_PERFMODEL_GPU_SPEC_H_
+
+#include <cstdint>
+#include <string>
+
+namespace sarathi {
+
+// A single accelerator. Bandwidths are bytes/second, times are seconds.
+struct GpuSpec {
+  std::string name;
+
+  // Peak dense FP16 tensor-core throughput (FLOP/s).
+  double peak_fp16_flops = 0.0;
+  // Peak HBM bandwidth (bytes/s).
+  double hbm_bandwidth = 0.0;
+  // Total device memory (bytes).
+  int64_t hbm_capacity_bytes = 0;
+
+  // Achievable fraction of peak FLOPs for large GEMMs (MFU ceiling).
+  double flops_efficiency = 0.65;
+  // Achievable fraction of peak bandwidth for streaming kernels.
+  double memory_efficiency = 0.80;
+
+  // Fixed cost per kernel launch (seconds). Responsible for the paper's
+  // observation (§3.1 fn.2) that the compute-bound crossover lands at
+  // 500-600 tokens in practice instead of the theoretical ~200.
+  double kernel_overhead_s = 5e-6;
+
+  // GEMM tile edge along the token dimension. Token counts are rounded up to
+  // a multiple of this before computing math time (tile quantization, §4.3).
+  int64_t matmul_tile_tokens = 128;
+
+  // Effective per-direction NVLink bandwidth between GPUs in the same node.
+  double nvlink_bandwidth = 0.0;
+  // Per-hop NVLink latency.
+  double nvlink_latency_s = 3e-6;
+};
+
+// A deployment: identical GPUs grouped into nodes joined by a network.
+struct ClusterSpec {
+  GpuSpec gpu;
+  // GPUs that share NVLink connectivity.
+  int gpus_per_node = 8;
+  // Effective cross-node bandwidth per direction (bytes/s).
+  double cross_node_bandwidth = 12.5e9;  // 100 Gbps Ethernet.
+  double cross_node_latency_s = 20e-6;
+  // Fraction of HBM usable for weights + KV cache (the rest is activations,
+  // workspace, fragmentation).
+  double memory_utilization = 0.90;
+};
+
+// NVIDIA A100 SXM 80 GB (the paper's Azure NC96ads v4 nodes carry four,
+// pairwise NVLinked).
+GpuSpec A100_80GB();
+
+// NVIDIA A40 48 GB (the paper's LLaMA2-70B server carries eight, pairwise
+// NVLinked).
+GpuSpec A40_48GB();
+
+// Four A100s per node, 100 Gbps Ethernet between nodes (paper's main setup).
+ClusterSpec AzureNC96adsCluster();
+
+// Eight A40s in one node (paper's LLaMA2-70B setup).
+ClusterSpec A40x8Cluster();
+
+}  // namespace sarathi
+
+#endif  // SRC_PERFMODEL_GPU_SPEC_H_

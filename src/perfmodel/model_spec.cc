@@ -1,0 +1,91 @@
+#include "src/perfmodel/model_spec.h"
+
+#include <algorithm>
+
+namespace sarathi {
+
+int64_t ModelSpec::ParamsPerLayer() const {
+  // QKV projection + attention output projection.
+  int64_t attn = hidden_size * (q_dim() + 2 * kv_dim()) + q_dim() * hidden_size;
+  // FFN: gate (optional) + up + down.
+  int64_t ffn_matrices = gated_ffn ? 3 : 2;
+  int64_t ffn = ffn_matrices * hidden_size * ffn_hidden_size;
+  return attn + ffn;
+}
+
+int64_t ModelSpec::TotalParams() const {
+  // Embedding table is shared conceptually with the LM head in some models;
+  // we count both, matching typical published parameter totals closely.
+  return num_layers * ParamsPerLayer() + 2 * vocab_size * hidden_size;
+}
+
+int64_t ModelSpec::AttentionSpan(int64_t pos) const {
+  int64_t span = pos + 1;
+  if (sliding_window > 0) {
+    span = std::min(span, sliding_window);
+  }
+  return span;
+}
+
+ModelSpec Mistral7B() {
+  ModelSpec spec;
+  spec.name = "Mistral-7B";
+  spec.num_layers = 32;
+  spec.hidden_size = 4096;
+  spec.ffn_hidden_size = 14336;
+  spec.gated_ffn = true;
+  spec.num_heads = 32;
+  spec.num_kv_heads = 8;
+  spec.head_dim = 128;
+  spec.vocab_size = 32000;
+  spec.sliding_window = 4096;
+  spec.max_seq_len = 16384;
+  return spec;
+}
+
+ModelSpec Yi34B() {
+  ModelSpec spec;
+  spec.name = "Yi-34B";
+  spec.num_layers = 60;
+  spec.hidden_size = 7168;
+  spec.ffn_hidden_size = 20480;
+  spec.gated_ffn = true;
+  spec.num_heads = 56;
+  spec.num_kv_heads = 8;
+  spec.head_dim = 128;
+  spec.vocab_size = 64000;
+  spec.max_seq_len = 16384;
+  return spec;
+}
+
+ModelSpec Llama2_70B() {
+  ModelSpec spec;
+  spec.name = "LLaMA2-70B";
+  spec.num_layers = 80;
+  spec.hidden_size = 8192;
+  spec.ffn_hidden_size = 28672;
+  spec.gated_ffn = true;
+  spec.num_heads = 64;
+  spec.num_kv_heads = 8;
+  spec.head_dim = 128;
+  spec.vocab_size = 32000;
+  spec.max_seq_len = 16384;
+  return spec;
+}
+
+ModelSpec Falcon180B() {
+  ModelSpec spec;
+  spec.name = "Falcon-180B";
+  spec.num_layers = 80;
+  spec.hidden_size = 14848;
+  spec.ffn_hidden_size = 59392;  // 4h, ungated GELU MLP.
+  spec.gated_ffn = false;
+  spec.num_heads = 232;
+  spec.num_kv_heads = 8;
+  spec.head_dim = 64;
+  spec.vocab_size = 65024;
+  spec.max_seq_len = 16384;
+  return spec;
+}
+
+}  // namespace sarathi

@@ -1,0 +1,62 @@
+// Decoder-only transformer architecture descriptions.
+//
+// Carries the dimensions the cost model and memory manager need, with presets
+// for the four models the paper evaluates (Table 1).
+
+#ifndef SRC_PERFMODEL_MODEL_SPEC_H_
+#define SRC_PERFMODEL_MODEL_SPEC_H_
+
+#include <cstdint>
+#include <string>
+
+namespace sarathi {
+
+struct ModelSpec {
+  std::string name;
+
+  int64_t num_layers = 0;
+  int64_t hidden_size = 0;       // h
+  int64_t ffn_hidden_size = 0;   // h2 (per-branch width for gated FFNs)
+  bool gated_ffn = false;        // SwiGLU-style FFN uses 3 matrices, else 2.
+  int64_t num_heads = 0;         // Query heads.
+  int64_t num_kv_heads = 0;      // KV heads (GQA when < num_heads).
+  int64_t head_dim = 0;
+  int64_t vocab_size = 0;
+  // Sliding-window attention span in tokens; 0 means full attention.
+  int64_t sliding_window = 0;
+  // Maximum supported sequence length (prompt + output).
+  int64_t max_seq_len = 16384;
+  int64_t dtype_bytes = 2;  // FP16/BF16 weights and KV cache.
+
+  // ---- Derived quantities ----
+
+  int64_t q_dim() const { return num_heads * head_dim; }
+  int64_t kv_dim() const { return num_kv_heads * head_dim; }
+
+  // Weight parameters in one transformer layer's linear operators.
+  int64_t ParamsPerLayer() const;
+  // Total weight parameters (layers + embedding + LM head).
+  int64_t TotalParams() const;
+  // Total weight bytes.
+  int64_t WeightBytes() const { return TotalParams() * dtype_bytes; }
+
+  // KV-cache bytes per token across all layers (both K and V).
+  int64_t KvBytesPerToken() const { return num_layers * 2 * kv_dim() * dtype_bytes; }
+
+  // Attention span for a token at absolute position `pos` (0-based) given the
+  // sliding window: how many KV entries its attention reads.
+  int64_t AttentionSpan(int64_t pos) const;
+};
+
+// Mistral-7B-v0.1: GQA with a 4096-token sliding window (Table 1 "GQA-SW").
+ModelSpec Mistral7B();
+// Yi-34B (01.AI).
+ModelSpec Yi34B();
+// LLaMA2-70B.
+ModelSpec Llama2_70B();
+// Falcon-180B (GQA, ungated GELU FFN).
+ModelSpec Falcon180B();
+
+}  // namespace sarathi
+
+#endif  // SRC_PERFMODEL_MODEL_SPEC_H_

@@ -1,0 +1,29 @@
+// Tensor- and pipeline-parallel deployment shape.
+
+#ifndef SRC_PERFMODEL_PARALLEL_CONFIG_H_
+#define SRC_PERFMODEL_PARALLEL_CONFIG_H_
+
+#include <string>
+
+#include "src/common/logging.h"
+
+namespace sarathi {
+
+struct ParallelConfig {
+  int tensor_parallel = 1;    // TP degree: layers sharded across GPUs.
+  int pipeline_parallel = 1;  // PP degree: layers partitioned into stages.
+
+  int num_gpus() const { return tensor_parallel * pipeline_parallel; }
+
+  std::string ToString() const {
+    return "TP" + std::to_string(tensor_parallel) + "-PP" + std::to_string(pipeline_parallel);
+  }
+};
+
+inline ParallelConfig Tp(int degree) { return ParallelConfig{degree, 1}; }
+
+inline ParallelConfig TpPp(int tp, int pp) { return ParallelConfig{tp, pp}; }
+
+}  // namespace sarathi
+
+#endif  // SRC_PERFMODEL_PARALLEL_CONFIG_H_

@@ -1,0 +1,76 @@
+#include "src/perfmodel/profiler.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace sarathi {
+
+std::vector<ProfilePoint> ProfileBatches(const IterationCostModel& model,
+                                         const ProfileOptions& options) {
+  std::vector<ProfilePoint> points;
+  for (int64_t decode_batch : options.decode_batches) {
+    for (int64_t decode_context : options.decode_contexts) {
+      for (int64_t chunk : options.chunk_sizes) {
+        for (int64_t chunk_context : options.chunk_contexts) {
+          if (decode_batch == 0 && chunk == 0) {
+            continue;
+          }
+          // Collapse redundant sweep axes for degenerate compositions.
+          if (decode_batch == 0 && decode_context != options.decode_contexts.front()) {
+            continue;
+          }
+          if (chunk == 0 && chunk_context != options.chunk_contexts.front()) {
+            continue;
+          }
+          BatchWork work;
+          for (int64_t i = 0; i < decode_batch; ++i) {
+            work.sequences.push_back(SequenceWork::Decode(decode_context));
+          }
+          if (chunk > 0) {
+            work.sequences.push_back(SequenceWork::PrefillChunk(chunk_context, chunk));
+          }
+          ProfilePoint point;
+          point.decode_batch = decode_batch;
+          point.decode_context = decode_batch > 0 ? decode_context : 0;
+          point.chunk_tokens = chunk;
+          point.chunk_context = chunk > 0 ? chunk_context : 0;
+          point.cost = model.IterationCost(work);
+          point.total_tokens = work.TotalTokens();
+          double latency = point.cost.Total();
+          point.mfu = latency > 0.0 ? model.BatchFlops(work) / (latency * model.PeakFlops())
+                                    : 0.0;
+          point.mbu = latency > 0.0
+                          ? model.BatchMemoryBytes(work) / (latency * model.PeakBandwidth())
+                          : 0.0;
+          points.push_back(point);
+        }
+      }
+    }
+  }
+  return points;
+}
+
+void WriteProfileCsv(const std::vector<ProfilePoint>& points, std::ostream& out) {
+  out << "decode_batch,decode_context,chunk_tokens,chunk_context,total_tokens,latency_s,"
+         "linear_s,attention_s,comm_s,other_s,mfu,mbu\n";
+  for (const ProfilePoint& p : points) {
+    out << p.decode_batch << ',' << p.decode_context << ',' << p.chunk_tokens << ','
+        << p.chunk_context << ',' << p.total_tokens << ',' << p.cost.Total() << ','
+        << p.cost.linear_s << ',' << p.cost.attention_s << ',' << p.cost.comm_s << ','
+        << p.cost.other_s << ',' << p.mfu << ',' << p.mbu << '\n';
+  }
+}
+
+int64_t MaxTokensWithinLatency(const std::vector<ProfilePoint>& points, int64_t decode_batch,
+                               double latency_s) {
+  int64_t best = 0;
+  for (const ProfilePoint& p : points) {
+    if (p.decode_batch == decode_batch && p.latency_s() <= latency_s) {
+      best = std::max(best, p.total_tokens);
+    }
+  }
+  return best;
+}
+
+}  // namespace sarathi

@@ -1,0 +1,55 @@
+// Batch-composition profiler (the role Vidur plays for the paper, §4.3).
+//
+// Sweeps hybrid-batch compositions — decode population, decode KV context,
+// chunk size, chunk position — and records predicted latency, breakdown and
+// utilization for each point. The paper derives its token budget from such a
+// one-time profile; the grid also exports to CSV for offline analysis.
+
+#ifndef SRC_PERFMODEL_PROFILER_H_
+#define SRC_PERFMODEL_PROFILER_H_
+
+#include <ostream>
+#include <vector>
+
+#include "src/perfmodel/iteration_cost.h"
+
+namespace sarathi {
+
+struct ProfilePoint {
+  int64_t decode_batch = 0;
+  int64_t decode_context = 0;
+  int64_t chunk_tokens = 0;
+  int64_t chunk_context = 0;  // Prior tokens of the chunked prompt.
+
+  CostBreakdown cost;
+  double mfu = 0.0;  // FLOPs achieved / device peak during the iteration.
+  double mbu = 0.0;  // Bytes moved / peak bandwidth during the iteration.
+  int64_t total_tokens = 0;
+
+  double latency_s() const { return cost.Total(); }
+};
+
+struct ProfileOptions {
+  std::vector<int64_t> decode_batches = {0, 8, 32, 64, 128};
+  std::vector<int64_t> decode_contexts = {512, 2048};
+  std::vector<int64_t> chunk_sizes = {0, 128, 256, 512, 1024, 2048};
+  std::vector<int64_t> chunk_contexts = {0, 4096};
+};
+
+// Evaluates the full cartesian grid (skipping empty batches).
+std::vector<ProfilePoint> ProfileBatches(const IterationCostModel& model,
+                                         const ProfileOptions& options);
+
+// CSV: decode_batch,decode_context,chunk_tokens,chunk_context,total_tokens,
+//      latency_s,linear_s,attention_s,comm_s,other_s,mfu
+void WriteProfileCsv(const std::vector<ProfilePoint>& points, std::ostream& out);
+
+// Largest profiled point's total tokens whose latency fits `latency_s`,
+// among points with the given decode population (a table-driven counterpart
+// of ComputeTokenBudget for sanity checks).
+int64_t MaxTokensWithinLatency(const std::vector<ProfilePoint>& points, int64_t decode_batch,
+                               double latency_s);
+
+}  // namespace sarathi
+
+#endif  // SRC_PERFMODEL_PROFILER_H_

@@ -1,0 +1,87 @@
+#include "src/perfmodel/roofline.h"
+
+#include "src/common/logging.h"
+
+namespace sarathi {
+
+int64_t TileQuantize(int64_t tokens, const GpuSpec& gpu) {
+  CHECK_GT(gpu.matmul_tile_tokens, 0);
+  if (tokens <= 0) {
+    return 0;
+  }
+  // GEMM libraries select skinny-tile kernels for small row counts; model
+  // that as progressively larger tiles up to the device's full tile edge.
+  for (int64_t tile = 16; tile < gpu.matmul_tile_tokens; tile *= 2) {
+    if (tokens <= tile) {
+      return tile;
+    }
+  }
+  int64_t tile = gpu.matmul_tile_tokens;
+  return (tokens + tile - 1) / tile * tile;
+}
+
+OpTime MatmulTime(int64_t tokens, int64_t k, int64_t m, int64_t dtype_bytes, const GpuSpec& gpu) {
+  OpTime op;
+  if (tokens <= 0) {
+    return op;
+  }
+  double effective_tokens = static_cast<double>(TileQuantize(tokens, gpu));
+  double flops = 2.0 * effective_tokens * static_cast<double>(k) * static_cast<double>(m);
+  op.math_s = flops / (gpu.peak_fp16_flops * gpu.flops_efficiency);
+  double weight_bytes = static_cast<double>(k) * static_cast<double>(m) *
+                        static_cast<double>(dtype_bytes);
+  double act_bytes = static_cast<double>(tokens) * static_cast<double>(k + m) *
+                     static_cast<double>(dtype_bytes);
+  op.memory_s = (weight_bytes + act_bytes) / (gpu.hbm_bandwidth * gpu.memory_efficiency);
+  op.overhead_s = gpu.kernel_overhead_s;
+  return op;
+}
+
+OpTime AttentionTime(int64_t query_tokens, double avg_kv_tokens, int64_t kv_read_tokens,
+                     int64_t q_dim, int64_t kv_dim, int64_t dtype_bytes, const GpuSpec& gpu) {
+  OpTime op;
+  if (query_tokens <= 0) {
+    return op;
+  }
+  // QK^T and attention-weighted V each cost 2*q*avg_kv*q_dim FLOPs.
+  double flops = 4.0 * static_cast<double>(query_tokens) * avg_kv_tokens *
+                 static_cast<double>(q_dim);
+  op.math_s = flops / (gpu.peak_fp16_flops * gpu.flops_efficiency);
+  double kv_bytes = static_cast<double>(kv_read_tokens) * 2.0 * static_cast<double>(kv_dim) *
+                    static_cast<double>(dtype_bytes);
+  double qo_bytes = 2.0 * static_cast<double>(query_tokens) * static_cast<double>(q_dim) *
+                    static_cast<double>(dtype_bytes);
+  op.memory_s = (kv_bytes + qo_bytes) / (gpu.hbm_bandwidth * gpu.memory_efficiency);
+  op.overhead_s = gpu.kernel_overhead_s;
+  return op;
+}
+
+OpTime ElementwiseTime(int64_t tokens, int64_t width, double passes, int64_t dtype_bytes,
+                       const GpuSpec& gpu) {
+  OpTime op;
+  if (tokens <= 0) {
+    return op;
+  }
+  double bytes = static_cast<double>(tokens) * static_cast<double>(width) * passes *
+                 static_cast<double>(dtype_bytes);
+  op.memory_s = bytes / (gpu.hbm_bandwidth * gpu.memory_efficiency);
+  op.overhead_s = gpu.kernel_overhead_s;
+  return op;
+}
+
+double MatmulArithmeticIntensity(int64_t tokens, int64_t k, int64_t m, int64_t dtype_bytes) {
+  CHECK_GT(tokens, 0);
+  double flops = 2.0 * static_cast<double>(tokens) * static_cast<double>(k) *
+                 static_cast<double>(m);
+  double bytes = (static_cast<double>(k) * static_cast<double>(m) +
+                  static_cast<double>(tokens) * static_cast<double>(k + m)) *
+                 static_cast<double>(dtype_bytes);
+  return flops / bytes;
+}
+
+double RidgeIntensity(const GpuSpec& gpu) {
+  return (gpu.peak_fp16_flops * gpu.flops_efficiency) /
+         (gpu.hbm_bandwidth * gpu.memory_efficiency);
+}
+
+}  // namespace sarathi

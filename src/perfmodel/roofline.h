@@ -1,0 +1,60 @@
+// Roofline timing for individual GPU operators.
+//
+// Implements the model the paper uses to analyze iteration cost (§3.1):
+// an operator's time is max(T_math, T_mem) plus a fixed launch overhead.
+// GEMM token counts are rounded up to the device tile size (tile
+// quantization, §4.3).
+
+#ifndef SRC_PERFMODEL_ROOFLINE_H_
+#define SRC_PERFMODEL_ROOFLINE_H_
+
+#include <cstdint>
+
+#include "src/perfmodel/gpu_spec.h"
+
+namespace sarathi {
+
+// One operator's predicted execution, split by the roofline components.
+struct OpTime {
+  double math_s = 0.0;      // Time if purely compute-bound.
+  double memory_s = 0.0;    // Time if purely bandwidth-bound.
+  double overhead_s = 0.0;  // Fixed launch overhead.
+
+  double Total() const { return (math_s > memory_s ? math_s : memory_s) + overhead_s; }
+  bool IsComputeBound() const { return math_s >= memory_s; }
+};
+
+// Rounds `tokens` up to a multiple of the GPU's GEMM tile edge.
+int64_t TileQuantize(int64_t tokens, const GpuSpec& gpu);
+
+// GEMM of a [tokens, k] activation against a [k, m] weight.
+// Math: 2*tokens*k*m FLOPs (after tile quantization of `tokens`).
+// Memory: weight fetch k*m*dtype + activation read/write (tokens*(k+m))*dtype.
+OpTime MatmulTime(int64_t tokens, int64_t k, int64_t m, int64_t dtype_bytes, const GpuSpec& gpu);
+
+// Attention core (QK^T, softmax-weighted V) for `query_tokens` new tokens of
+// one sequence attending to `kv_tokens` cached tokens *on one GPU shard*:
+// pass per-shard head counts/dims. `causal_new_tokens` is the number of the
+// query tokens whose keys are part of kv_tokens' tail (prefill chunk); for
+// decode pass query_tokens=1.
+// Math: 4 * query_tokens * avg_kv * q_dim FLOPs (QK^T and AV).
+// Memory: KV read kv_tokens * 2*kv_dim*dtype + Q/O traffic.
+OpTime AttentionTime(int64_t query_tokens, double avg_kv_tokens, int64_t kv_read_tokens,
+                     int64_t q_dim, int64_t kv_dim, int64_t dtype_bytes, const GpuSpec& gpu);
+
+// Memory-bound elementwise pass over `tokens` embeddings of width `width`
+// (layernorm, residual add, activation, rotary embedding, ...). `passes` is
+// the read+write multiplier.
+OpTime ElementwiseTime(int64_t tokens, int64_t width, double passes, int64_t dtype_bytes,
+                       const GpuSpec& gpu);
+
+// FLOPs-per-byte of a weight-dominated GEMM with `tokens` rows — the
+// arithmetic-intensity curve of Fig. 5.
+double MatmulArithmeticIntensity(int64_t tokens, int64_t k, int64_t m, int64_t dtype_bytes);
+
+// Device FLOPs-to-bandwidth ratio (the roofline ridge point), in FLOPs/byte.
+double RidgeIntensity(const GpuSpec& gpu);
+
+}  // namespace sarathi
+
+#endif  // SRC_PERFMODEL_ROOFLINE_H_

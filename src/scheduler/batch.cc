@@ -1,0 +1,77 @@
+#include "src/scheduler/batch.h"
+
+#include <sstream>
+
+namespace sarathi {
+
+int64_t ScheduledBatch::TotalTokens() const {
+  int64_t total = 0;
+  for (const auto& item : items) {
+    total += item.num_tokens;
+  }
+  return total;
+}
+
+int64_t ScheduledBatch::NumDecodes() const {
+  int64_t n = 0;
+  for (const auto& item : items) {
+    n += item.is_decode ? 1 : 0;
+  }
+  return n;
+}
+
+int64_t ScheduledBatch::NumPrefillTokens() const {
+  int64_t total = 0;
+  for (const auto& item : items) {
+    if (!item.is_decode) {
+      total += item.num_tokens;
+    }
+  }
+  return total;
+}
+
+BatchWork ScheduledBatch::ToBatchWork() const {
+  BatchWork work;
+  work.sequences.reserve(items.size());
+  for (const auto& item : items) {
+    SequenceWork seq;
+    seq.is_decode = item.is_decode;
+    seq.num_tokens = item.padded_tokens >= 0 ? item.padded_tokens : item.num_tokens;
+    if (item.padded_context >= 0) {
+      seq.context_len = item.padded_context;
+    } else if (item.is_decode) {
+      // KV resident before this decode: everything but the token now emitted.
+      seq.context_len = item.request->context_len() - 1;
+    } else {
+      seq.context_len = item.request->prefill_done();
+    }
+    work.sequences.push_back(seq);
+  }
+  return work;
+}
+
+std::string ScheduledBatch::Describe() const {
+  int64_t decodes = NumDecodes();
+  std::ostringstream out;
+  bool first = true;
+  if (decodes > 0) {
+    out << decodes << "d";
+    first = false;
+  }
+  for (const auto& item : items) {
+    if (item.is_decode) {
+      continue;
+    }
+    if (!first) {
+      out << "+";
+    }
+    out << "p" << item.request->id() << "(" << item.num_tokens << ")";
+    first = false;
+  }
+  if (first) {
+    out << "idle";
+  }
+  return out.str();
+}
+
+}  // namespace sarathi

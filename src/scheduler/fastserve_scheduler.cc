@@ -1,0 +1,133 @@
+#include "src/scheduler/fastserve_scheduler.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/logging.h"
+
+namespace sarathi {
+
+FastServeScheduler::FastServeScheduler(const SchedulerConfig& config, KvAllocator* allocator)
+    : Scheduler(config, allocator) {
+  CHECK_GE(config_.num_mlfq_levels, 1);
+  CHECK_GT(config_.mlfq_base_quantum, 0);
+  CHECK_GT(config_.prefill_decode_equiv, 0);
+}
+
+int FastServeScheduler::LevelOf(const RequestState* request) const {
+  auto it = mlfq_.find(request);
+  if (it != mlfq_.end()) {
+    return it->second.level;
+  }
+  return InitialLevel(request->prefill_target());
+}
+
+int FastServeScheduler::InitialLevel(int64_t prompt_tokens) const {
+  int64_t demand = PrefillServiceCost(prompt_tokens);
+  for (int level = 0; level < config_.num_mlfq_levels; ++level) {
+    if (QuantumAt(level) >= demand) {
+      return level;
+    }
+  }
+  return config_.num_mlfq_levels - 1;
+}
+
+int64_t FastServeScheduler::PrefillServiceCost(int64_t tokens) const {
+  return std::max<int64_t>(1, (tokens + config_.prefill_decode_equiv - 1) /
+                                  config_.prefill_decode_equiv);
+}
+
+void FastServeScheduler::ChargeService(RequestState* request, int64_t decode_equivalents) {
+  MlfqState& state = mlfq_[request];
+  state.used_quantum += decode_equivalents;
+  if (state.used_quantum >= QuantumAt(state.level) &&
+      state.level + 1 < config_.num_mlfq_levels) {
+    ++state.level;
+    state.used_quantum = 0;
+  }
+}
+
+ScheduledBatch FastServeScheduler::Schedule() {
+  // Candidates: every unlocked runnable request (running decodes and waiting
+  // prompts), ordered by (MLFQ level, arrival, id).
+  struct Candidate {
+    RequestState* request;
+    int level;
+    bool waiting;  // Needs admission + full prefill.
+  };
+  std::vector<Candidate> candidates;
+  for (RequestState* request : running_) {
+    if (request->locked() || request->finished() || !request->prefill_complete()) {
+      continue;
+    }
+    candidates.push_back({request, LevelOf(request), false});
+  }
+  for (RequestState* request : queue_) {
+    // LevelOf applies skip-join for fresh requests and preserves the earned
+    // level for preempted ones re-entering the queue.
+    candidates.push_back({request, LevelOf(request), true});
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     if (a.level != b.level) {
+                       return a.level < b.level;
+                     }
+                     if (a.request->arrival_time_s() != b.request->arrival_time_s()) {
+                       return a.request->arrival_time_s() < b.request->arrival_time_s();
+                     }
+                     return a.request->id() < b.request->id();
+                   });
+
+  ScheduledBatch batch;
+  int64_t prefill_tokens = 0;
+  for (const Candidate& candidate : candidates) {
+    if (static_cast<int64_t>(batch.size()) >= config_.max_batch_size) {
+      break;
+    }
+    RequestState* request = candidate.request;
+    if (candidate.waiting) {
+      int64_t prompt = request->remaining_prefill();
+      if (prefill_tokens > 0 && prefill_tokens + prompt > config_.max_prefill_tokens) {
+        continue;  // Another (lower-priority) candidate may still fit.
+      }
+      if (!allocator_->CanAdmit(request->prefill_target(),
+                                request->prefill_target() + request->output_tokens())) {
+        continue;
+      }
+      // Admit out of FCFS order: MLFQ priority owns the queue.
+      auto it = std::find(queue_.begin(), queue_.end(), request);
+      CHECK(it != queue_.end());
+      queue_.erase(it);
+      allocator_->Admit(request->id(), request->prefill_target(),
+                        request->prefill_target() + request->output_tokens());
+      request->set_phase(RequestPhase::kRunning);
+      running_.push_back(request);
+      batch.items.push_back(BatchItem{request, prompt, /*is_decode=*/false});
+      prefill_tokens += prompt;
+    } else {
+      if (request->phase() != RequestPhase::kRunning) {
+        continue;  // Lost its memory to a preemption earlier in this pass.
+      }
+      if (!PrepareDecodeSlot(request, batch)) {
+        continue;
+      }
+      batch.items.push_back(BatchItem{request, 1, /*is_decode=*/true});
+    }
+  }
+  return batch;
+}
+
+void FastServeScheduler::OnBatchComplete(const ScheduledBatch& batch) {
+  for (const auto& item : batch.items) {
+    ChargeService(item.request,
+                  item.is_decode ? 1 : PrefillServiceCost(item.num_tokens));
+  }
+  Scheduler::OnBatchComplete(batch);
+  for (const auto& item : batch.items) {
+    if (item.request->finished()) {
+      mlfq_.erase(item.request);
+    }
+  }
+}
+
+}  // namespace sarathi

@@ -1,0 +1,62 @@
+// FastServe-style skip-join MLFQ scheduling (Wu et al., discussed in the
+// paper's §6 as a complementary preemptive approach).
+//
+// Goal: minimize job completion time by approximating
+// shortest-remaining-time-first without knowing output lengths. Requests live
+// in a multi-level feedback queue: level L grants a service quantum of
+// base_quantum << L decode-token equivalents; exhausting it demotes the
+// request. New requests "skip-join" directly to the first level whose
+// quantum covers their prefill demand, so long prompts never occupy the top
+// queue. Each iteration serves the highest-priority runnable requests as a
+// hybrid batch (decodes of the chosen requests + full prefills of chosen new
+// ones). Unlike vLLM-style memory preemption, a demoted request keeps its KV
+// cache — it merely waits.
+
+#ifndef SRC_SCHEDULER_FASTSERVE_SCHEDULER_H_
+#define SRC_SCHEDULER_FASTSERVE_SCHEDULER_H_
+
+#include <unordered_map>
+
+#include "src/scheduler/scheduler.h"
+
+namespace sarathi {
+
+class FastServeScheduler : public Scheduler {
+ public:
+  FastServeScheduler(const SchedulerConfig& config, KvAllocator* allocator);
+
+  std::string name() const override { return "fastserve"; }
+
+  ScheduledBatch Schedule() override;
+  void OnBatchComplete(const ScheduledBatch& batch) override;
+
+  // MLFQ level of a request (tests/diagnostics).
+  int LevelOf(const RequestState* request) const;
+
+ private:
+  struct MlfqState {
+    int level = 0;
+    // Decode-token-equivalent service consumed at the current level.
+    int64_t used_quantum = 0;
+  };
+
+  int64_t QuantumAt(int level) const {
+    return config_.mlfq_base_quantum << level;
+  }
+
+  // Skip-join placement for a prompt of the given length.
+  int InitialLevel(int64_t prompt_tokens) const;
+
+  // Service cost of `tokens` prefill tokens, in decode-token equivalents
+  // (rounded up, minimum 1).
+  int64_t PrefillServiceCost(int64_t tokens) const;
+
+  // Charges service and applies demotion on quantum exhaustion.
+  void ChargeService(RequestState* request, int64_t decode_equivalents);
+
+  std::unordered_map<const RequestState*, MlfqState> mlfq_;
+};
+
+}  // namespace sarathi
+
+#endif  // SRC_SCHEDULER_FASTSERVE_SCHEDULER_H_

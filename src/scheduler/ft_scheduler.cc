@@ -1,0 +1,66 @@
+#include "src/scheduler/ft_scheduler.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace sarathi {
+
+FasterTransformerScheduler::FasterTransformerScheduler(const SchedulerConfig& config,
+                                                       KvAllocator* allocator)
+    : Scheduler(config, allocator) {}
+
+ScheduledBatch FasterTransformerScheduler::Schedule() {
+  ScheduledBatch batch;
+
+  if (!BatchInProgress()) {
+    // Engine idle: form a new request-level batch (Algorithm 1 lines 3-8) and
+    // run every member's prefill in one iteration, padded to the longest
+    // prompt in the batch.
+    while (static_cast<int64_t>(batch.size()) < config_.max_batch_size && CanAdmitHead()) {
+      RequestState* head = queue_.front();
+      AdmitHead();
+      batch.items.push_back(BatchItem{head, head->remaining_prefill(), /*is_decode=*/false});
+    }
+    if (batch.empty()) {
+      return batch;
+    }
+    int64_t padded = 0;
+    for (const auto& item : batch.items) {
+      padded = std::max(padded, item.num_tokens);
+    }
+    for (auto& item : batch.items) {
+      item.padded_tokens = padded;
+    }
+    return batch;
+  }
+
+  // Batch in progress: decode-only iterations until everyone finishes
+  // (Algorithm 1 line 10). Members advance in lockstep, so if any member is
+  // still in flight there is nothing to schedule.
+  int64_t padded_context = 0;
+  for (RequestState* request : running_) {
+    if (request->locked()) {
+      return ScheduledBatch{};
+    }
+    CHECK(request->prefill_complete());
+    padded_context = std::max(padded_context, request->context_len() - 1);
+  }
+  // Iterate a snapshot: PrepareDecodeSlot may preempt (erase) later entries.
+  std::vector<RequestState*> snapshot = running_;
+  for (RequestState* request : snapshot) {
+    if (request->phase() != RequestPhase::kRunning || request->finished()) {
+      continue;
+    }
+    if (!PrepareDecodeSlot(request, batch)) {
+      continue;
+    }
+    BatchItem item{request, 1, /*is_decode=*/true};
+    // Request-level systems pad shorter sequences to the longest context.
+    item.padded_context = padded_context;
+    batch.items.push_back(item);
+  }
+  return batch;
+}
+
+}  // namespace sarathi

@@ -1,0 +1,33 @@
+// FasterTransformer-style request-level batching (paper §2.5, Algorithm 1).
+//
+// Decode-prioritizing: a batch of requests is admitted only when the engine
+// is idle, their prompts are processed together in one padded prefill
+// iteration, and the batch then decodes until *every* member finishes. TBT is
+// excellent (no prefill ever interrupts a decode) but throughput collapses:
+// early finishers leave the batch running at reduced size, shorter prompts
+// are padded to the longest in the batch, and waiting requests stall until
+// the stragglers drain.
+
+#ifndef SRC_SCHEDULER_FT_SCHEDULER_H_
+#define SRC_SCHEDULER_FT_SCHEDULER_H_
+
+#include "src/scheduler/scheduler.h"
+
+namespace sarathi {
+
+class FasterTransformerScheduler : public Scheduler {
+ public:
+  FasterTransformerScheduler(const SchedulerConfig& config, KvAllocator* allocator);
+
+  std::string name() const override { return "faster_transformer"; }
+
+  ScheduledBatch Schedule() override;
+
+ private:
+  // True while a request-level batch is in progress (running_ non-empty).
+  bool BatchInProgress() const { return !running_.empty(); }
+};
+
+}  // namespace sarathi
+
+#endif  // SRC_SCHEDULER_FT_SCHEDULER_H_

@@ -1,0 +1,49 @@
+#include "src/scheduler/orca_scheduler.h"
+
+#include "src/common/logging.h"
+
+namespace sarathi {
+
+OrcaScheduler::OrcaScheduler(const SchedulerConfig& config, KvAllocator* allocator)
+    : Scheduler(config, allocator) {
+  CHECK_GT(config_.max_prefill_tokens, 0);
+}
+
+ScheduledBatch OrcaScheduler::Schedule() {
+  ScheduledBatch batch;
+
+  // All running decodes join the hybrid batch. Iterate a snapshot:
+  // PrepareDecodeSlot may preempt (erase) later entries.
+  std::vector<RequestState*> snapshot = running_;
+  for (RequestState* request : snapshot) {
+    if (request->phase() != RequestPhase::kRunning || request->locked() ||
+        !request->prefill_complete() || request->finished()) {
+      continue;
+    }
+    if (static_cast<int64_t>(batch.size()) >= config_.max_batch_size) {
+      break;
+    }
+    if (!PrepareDecodeSlot(request, batch)) {
+      continue;
+    }
+    batch.items.push_back(BatchItem{request, 1, /*is_decode=*/true});
+  }
+
+  // Eagerly admit new prompts into the same iteration, whole. The first
+  // prompt is always taken; further ones respect the prefill-token cap
+  // (Orca's activation memory limits batched prompt tokens).
+  int64_t prefill_tokens = 0;
+  while (static_cast<int64_t>(batch.size()) < config_.max_batch_size && CanAdmitHead()) {
+    RequestState* head = queue_.front();
+    int64_t prompt = head->remaining_prefill();
+    if (prefill_tokens > 0 && prefill_tokens + prompt > config_.max_prefill_tokens) {
+      break;
+    }
+    AdmitHead();
+    batch.items.push_back(BatchItem{head, prompt, /*is_decode=*/false});
+    prefill_tokens += prompt;
+  }
+  return batch;
+}
+
+}  // namespace sarathi

@@ -1,0 +1,29 @@
+// Orca-style iteration-level scheduling with hybrid batches (paper §2.5,
+// §3.2).
+//
+// Like vLLM, Orca admits prefills eagerly; unlike vLLM it coalesces them with
+// ongoing decodes into one hybrid iteration. Prompts are still processed
+// whole, so a long prompt's iteration time stalls every co-running decode —
+// hybrid batching alone cannot fix generation stalls (Fig. 7). Orca also
+// lacks paged KV memory: pair this scheduler with a ReservationAllocator so
+// each admitted request reserves max-sequence-length KV (§5.1).
+
+#ifndef SRC_SCHEDULER_ORCA_SCHEDULER_H_
+#define SRC_SCHEDULER_ORCA_SCHEDULER_H_
+
+#include "src/scheduler/scheduler.h"
+
+namespace sarathi {
+
+class OrcaScheduler : public Scheduler {
+ public:
+  OrcaScheduler(const SchedulerConfig& config, KvAllocator* allocator);
+
+  std::string name() const override { return "orca"; }
+
+  ScheduledBatch Schedule() override;
+};
+
+}  // namespace sarathi
+
+#endif  // SRC_SCHEDULER_ORCA_SCHEDULER_H_

@@ -1,0 +1,138 @@
+// Mutable per-request serving state shared by schedulers and drivers.
+//
+// A request moves kQueued -> kRunning -> kFinished. Prefill progress is
+// tracked in tokens so chunked prefills can span iterations; the iteration
+// that processes the final prompt token also emits the first output token
+// (the paper's TTFT point). Preemption (vLLM recompute-style) resets prefill
+// progress and folds already-generated tokens into the recomputation target.
+
+#ifndef SRC_SCHEDULER_REQUEST_STATE_H_
+#define SRC_SCHEDULER_REQUEST_STATE_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "src/common/logging.h"
+#include "src/workload/trace.h"
+
+namespace sarathi {
+
+enum class RequestPhase { kQueued, kRunning, kFinished };
+
+class RequestState {
+ public:
+  explicit RequestState(const Request& request)
+      : id_(request.id), arrival_time_s_(request.arrival_time_s),
+        prompt_tokens_(request.prompt_tokens), output_tokens_(request.output_tokens),
+        client_id_(request.client_id), prefill_target_(request.prompt_tokens) {
+    CHECK_GT(prompt_tokens_, 0);
+    CHECK_GT(output_tokens_, 0);
+  }
+
+  int64_t id() const { return id_; }
+  double arrival_time_s() const { return arrival_time_s_; }
+  int64_t prompt_tokens() const { return prompt_tokens_; }
+  int64_t output_tokens() const { return output_tokens_; }
+  int64_t client_id() const { return client_id_; }
+
+  RequestPhase phase() const { return phase_; }
+  void set_phase(RequestPhase phase) { phase_ = phase; }
+
+  // Tokens of the (possibly recomputation-extended) prompt processed so far.
+  int64_t prefill_done() const { return prefill_done_; }
+  // Tokens the current prefill must process before decoding (grows on
+  // preemption to cover regenerated context).
+  int64_t prefill_target() const { return prefill_target_; }
+  int64_t remaining_prefill() const { return prefill_target_ - prefill_done_; }
+  bool prefill_complete() const { return prefill_done_ >= prefill_target_; }
+
+  // Output tokens emitted so far (the first is emitted by the final prefill
+  // chunk's iteration).
+  int64_t generated() const { return generated_; }
+  bool finished() const { return prefill_complete() && generated_ >= output_tokens_; }
+
+  // Logical sequence length: prompt plus all emitted tokens. The most recent
+  // emitted token's KV is not yet written, so a decode step processes
+  // position context_len()-1 and attends over context_len()-1 prior KV
+  // entries. (Defined via prompt_tokens, not prefill progress, so it stays
+  // correct across preemption-recompute cycles.)
+  int64_t context_len() const { return prompt_tokens_ + generated_; }
+
+  // True while the request sits in an in-flight (pipelined) micro-batch and
+  // must not be scheduled again.
+  bool locked() const { return locked_; }
+  void set_locked(bool locked) { locked_ = locked; }
+
+  // Applies completion of a prefill chunk of `num_tokens`. Returns true if
+  // this chunk completed the prefill (=> one output token was emitted).
+  bool AdvancePrefill(int64_t num_tokens) {
+    CHECK_LE(num_tokens, remaining_prefill());
+    prefill_done_ += num_tokens;
+    if (prefill_complete()) {
+      ++generated_;
+      return true;
+    }
+    return false;
+  }
+
+  // Applies completion of a decode step (one output token emitted).
+  void AdvanceDecode() {
+    CHECK(prefill_complete());
+    CHECK(!finished());
+    ++generated_;
+  }
+
+  // Creates the state of a sequence forked from `parent` (parallel
+  // sampling): same prompt, prefill already complete, same emission count.
+  // KV accounting is handled separately (PagedBlockManager::Fork).
+  static RequestState ForkedFrom(const RequestState& parent, int64_t child_id) {
+    Request r;
+    r.id = child_id;
+    r.arrival_time_s = parent.arrival_time_s_;
+    r.prompt_tokens = parent.prompt_tokens_;
+    r.output_tokens = parent.output_tokens_;
+    r.client_id = parent.client_id_;
+    RequestState child(r);
+    child.prefill_target_ = parent.prefill_target_;
+    child.prefill_done_ = parent.prefill_done_;
+    child.generated_ = parent.generated_;
+    child.phase_ = RequestPhase::kRunning;
+    return child;
+  }
+
+  // Caps the generation target at `n` tokens (engine-observed stop condition
+  // such as an EOS sample). No-op if the target is already smaller.
+  void TruncateOutputAt(int64_t n) {
+    CHECK_GT(n, 0);
+    output_tokens_ = std::min(output_tokens_, n);
+  }
+
+  // Preemption by recomputation: KV is discarded; the re-prefill must rebuild
+  // the prompt plus all generated context.
+  void ResetForRecompute() {
+    prefill_target_ = prompt_tokens_ + generated_;
+    prefill_done_ = 0;
+    phase_ = RequestPhase::kQueued;
+    ++preemptions_;
+  }
+
+  int64_t preemptions() const { return preemptions_; }
+
+ private:
+  int64_t id_;
+  double arrival_time_s_;
+  int64_t prompt_tokens_;
+  int64_t output_tokens_;
+  int64_t client_id_;
+
+  RequestPhase phase_ = RequestPhase::kQueued;
+  int64_t prefill_done_ = 0;
+  int64_t prefill_target_;
+  int64_t generated_ = 0;
+  bool locked_ = false;
+  int64_t preemptions_ = 0;
+};
+
+}  // namespace sarathi
+
+#endif  // SRC_SCHEDULER_REQUEST_STATE_H_

@@ -1,0 +1,129 @@
+#include "src/scheduler/scheduler.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace sarathi {
+
+std::string_view SchedulerPolicyName(SchedulerPolicy policy) {
+  switch (policy) {
+    case SchedulerPolicy::kSarathi:
+      return "sarathi";
+    case SchedulerPolicy::kVllm:
+      return "vllm";
+    case SchedulerPolicy::kOrca:
+      return "orca";
+    case SchedulerPolicy::kFasterTransformer:
+      return "faster_transformer";
+    case SchedulerPolicy::kFastServe:
+      return "fastserve";
+    case SchedulerPolicy::kVtc:
+      return "vtc";
+  }
+  return "unknown";
+}
+
+Scheduler::Scheduler(const SchedulerConfig& config, KvAllocator* allocator)
+    : config_(config), allocator_(allocator) {
+  CHECK(allocator_ != nullptr);
+  CHECK_GT(config_.max_batch_size, 0);
+}
+
+void Scheduler::Enqueue(RequestState* request) {
+  CHECK(request != nullptr);
+  CHECK(request->phase() == RequestPhase::kQueued);
+  queue_.push_back(request);
+}
+
+void Scheduler::AdoptRunning(RequestState* request) {
+  CHECK(request != nullptr);
+  CHECK(request->phase() == RequestPhase::kRunning);
+  CHECK(request->prefill_complete()) << "forked sequences join post-prefill";
+  running_.push_back(request);
+}
+
+bool Scheduler::CanAdmitHead() const {
+  if (queue_.empty()) {
+    return false;
+  }
+  const RequestState* head = queue_.front();
+  return allocator_->CanAdmit(head->prefill_target(),
+                              head->prefill_target() + head->output_tokens());
+}
+
+RequestState* Scheduler::AdmitHead() {
+  CHECK(!queue_.empty());
+  RequestState* head = queue_.front();
+  queue_.pop_front();
+  allocator_->Admit(head->id(), head->prefill_target(),
+                    head->prefill_target() + head->output_tokens());
+  head->set_phase(RequestPhase::kRunning);
+  running_.push_back(head);
+  return head;
+}
+
+bool Scheduler::PrepareDecodeSlot(RequestState* request, const ScheduledBatch& batch) {
+  auto in_batch = [&batch](const RequestState* candidate) {
+    for (const auto& item : batch.items) {
+      if (item.request == candidate) {
+        return true;
+      }
+    }
+    return false;
+  };
+  while (!allocator_->CanAppendToken(request->id())) {
+    // Victim: the latest-admitted running request that is neither locked,
+    // already packed into the batch under construction, nor the request we
+    // are trying to keep alive.
+    RequestState* victim = nullptr;
+    for (auto it = running_.rbegin(); it != running_.rend(); ++it) {
+      if (*it != request && !(*it)->locked() && !in_batch(*it)) {
+        victim = *it;
+        break;
+      }
+    }
+    if (victim == nullptr) {
+      return false;
+    }
+    Preempt(victim);
+  }
+  allocator_->AppendToken(request->id());
+  return true;
+}
+
+void Scheduler::Preempt(RequestState* request) {
+  auto it = std::find(running_.begin(), running_.end(), request);
+  CHECK(it != running_.end());
+  running_.erase(it);
+  allocator_->Release(request->id());
+  request->ResetForRecompute();
+  queue_.push_front(request);
+  ++preemption_count_;
+}
+
+void Scheduler::FinishRequest(RequestState* request) {
+  auto it = std::find(running_.begin(), running_.end(), request);
+  CHECK(it != running_.end());
+  running_.erase(it);
+  allocator_->Release(request->id());
+  request->set_phase(RequestPhase::kFinished);
+}
+
+void Scheduler::OnBatchComplete(const ScheduledBatch& batch) {
+  for (const auto& item : batch.items) {
+    RequestState* request = item.request;
+    if (item.is_decode) {
+      // The KV slot was already reserved by PrepareDecodeSlot at schedule
+      // time; only the logical state advances here.
+      request->AdvanceDecode();
+    } else {
+      request->AdvancePrefill(item.num_tokens);
+    }
+    if (request->finished()) {
+      FinishRequest(request);
+    }
+  }
+}
+
+}  // namespace sarathi

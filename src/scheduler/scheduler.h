@@ -1,0 +1,177 @@
+// Scheduler interface and shared machinery for all batching policies.
+//
+// A driver (the replica simulator or the reference server) owns the request
+// objects and calls:
+//   Enqueue(r)            when a request arrives,
+//   Schedule()            whenever execution capacity frees up,
+//   OnBatchComplete(b)    when a previously scheduled batch finishes.
+// Requests inside an in-flight (pipelined) micro-batch are `locked` by the
+// driver and invisible to Schedule() until completion, which is what makes
+// iteration-level scheduling compose with pipeline parallelism.
+
+#ifndef SRC_SCHEDULER_SCHEDULER_H_
+#define SRC_SCHEDULER_SCHEDULER_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/memory/kv_allocator.h"
+#include "src/scheduler/batch.h"
+#include "src/scheduler/request_state.h"
+
+namespace sarathi {
+
+// Which batching policy to instantiate (see scheduler_factory.h).
+enum class SchedulerPolicy {
+  kSarathi,            // Chunked prefills + stall-free batching (Algorithm 3).
+  kVllm,               // Iteration-level, prefill-prioritizing, no hybrid batches (Algorithm 2).
+  kOrca,               // Iteration-level, prefill-prioritizing, hybrid batches with full prefills.
+  kFasterTransformer,  // Request-level, decode-prioritizing (Algorithm 1).
+  kFastServe,          // Skip-join MLFQ, preemptive, JCT-optimizing (§6 related work).
+  kVtc,                // Virtual-token-counter fairness over Sarathi batching (§6).
+};
+
+std::string_view SchedulerPolicyName(SchedulerPolicy policy);
+
+struct SchedulerConfig {
+  SchedulerPolicy policy = SchedulerPolicy::kSarathi;
+
+  // Maximum sequences per batch.
+  int64_t max_batch_size = 128;
+
+  // Sarathi-Serve: per-iteration token budget (tau in Algorithm 3). Derive
+  // from the TBT SLO with ComputeTokenBudget() or set to the paper's fixed
+  // values (512 strict / 2048 relaxed).
+  int64_t token_budget = 512;
+
+  // vLLM/Orca: cap on prefill tokens coalesced into one iteration. The head
+  // request is always admitted even if it alone exceeds the cap.
+  int64_t max_prefill_tokens = 16384;
+
+  // Sarathi ablations (§5.4.2, Table 4):
+  //  enable_chunking=false  -> "hybrid-batching-only": full prompts join the
+  //                            decode batch (Orca-style hybrid on paged memory).
+  //  enable_hybrid=false    -> "chunked-prefills-only": chunks respect the
+  //                            token budget but never share an iteration with
+  //                            decodes (prefill-prioritizing).
+  bool enable_chunking = true;
+  bool enable_hybrid = true;
+
+  // Shave prefill chunks so the batch's *total* token count lands on a
+  // multiple of `budget_tile` (§4.3's tile-quantization guidance: GEMM row
+  // counts that straddle a tile boundary waste a whole tile of compute —
+  // "chunk size 257 can cost 32% more than 256"). With a tile-multiple token
+  // budget the exact fill is already aligned; this knob additionally aligns
+  // batches that end with a prompt's small final chunk, and rescues
+  // deployments configured with an off-tile budget. Shaved tokens simply
+  // move to the next iteration.
+  bool align_chunks_to_tile = false;
+
+  // FastServe (kFastServe): skip-join MLFQ parameters. Quanta are measured in
+  // decode-token equivalents (one prefill token costs 1/prefill_decode_equiv
+  // of a decode token's service — the paper's Fig. 4 equivalence). Queue
+  // level L grants a quantum of mlfq_base_quantum << L; exhausting it demotes
+  // the request one level. Skip-join places arriving requests directly at the
+  // first level whose quantum covers their prefill's service demand, so long
+  // prompts never hog the top queue.
+  int num_mlfq_levels = 4;
+  int64_t mlfq_base_quantum = 16;
+  int64_t prefill_decode_equiv = 128;
+
+  // VTC (kVtc): per-client weights for fair sharing; clients absent from the
+  // map get weight 1.0. Admission order follows the smallest weighted
+  // virtual token counter (Sheng et al., §6).
+  std::map<int64_t, double> client_weights;
+
+  // Dynamic token budget — the exploration the paper leaves as future work
+  // (§5.1: "dynamically varying the token budget based on workload
+  // characteristics"). When > 0, the Sarathi scheduler adapts its budget at
+  // run time from observed iteration latency: multiplicative decrease when an
+  // iteration overshoots this TBT target, additive (one tile) increase when
+  // iterations run comfortably below it with the budget binding. The static
+  // `token_budget` seeds the controller.
+  double dynamic_budget_tbt_slo_s = 0.0;
+  int64_t min_token_budget = 128;
+  int64_t max_token_budget = 8192;
+  int64_t budget_tile = 128;  // Adjustment granularity (tile-aligned, §4.3).
+};
+
+class Scheduler {
+ public:
+  Scheduler(const SchedulerConfig& config, KvAllocator* allocator);
+  virtual ~Scheduler() = default;
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  virtual std::string name() const = 0;
+
+  // Adds an arrived request to the FCFS wait queue.
+  void Enqueue(RequestState* request);
+
+  // Adopts an already-admitted sequence directly into the running set —
+  // used for forked siblings (parallel sampling) whose KV memory was
+  // reserved via PagedBlockManager::Fork rather than Admit.
+  void AdoptRunning(RequestState* request);
+
+  // Forms the next batch from unlocked work. An empty batch means nothing is
+  // currently schedulable (queue empty or blocked, running set locked).
+  virtual ScheduledBatch Schedule() = 0;
+
+  // Applies the effects of a completed batch: prefill progress, decode token
+  // emission, KV growth, and release of finished requests.
+  virtual void OnBatchComplete(const ScheduledBatch& batch);
+
+  // Latency feedback from the driver: end-to-end execution time of a batch
+  // this scheduler produced. Default no-op; the dynamic-budget controller
+  // hooks in here.
+  virtual void ObserveIterationTime(const ScheduledBatch& batch, double latency_s) {
+    (void)batch;
+    (void)latency_s;
+  }
+
+  // True if any request is waiting or running.
+  bool HasWork() const { return !queue_.empty() || !running_.empty(); }
+
+  size_t queue_size() const { return queue_.size(); }
+  const std::vector<RequestState*>& running() const { return running_; }
+  const SchedulerConfig& config() const { return config_; }
+  int64_t preemption_count() const { return preemption_count_; }
+
+ protected:
+  // Admits the queue head into the running set, reserving its KV. The caller
+  // must have checked CanAdmit.
+  RequestState* AdmitHead();
+
+  // Whether the queue head can be admitted right now.
+  bool CanAdmitHead() const;
+
+  // Reserves the KV slot for `request`'s next decode token *now* (so block
+  // accounting within one batch is exact even when many decodes cross block
+  // boundaries together), preempting the latest-admitted unlocked running
+  // request if memory is exhausted (vLLM recompute-style). Requests already
+  // packed into `batch` are never chosen as victims. Returns false if space
+  // could not be made without touching `request` itself, locked requests, or
+  // batch members; no slot is consumed in that case.
+  bool PrepareDecodeSlot(RequestState* request, const ScheduledBatch& batch);
+
+  // Releases a finished request's memory and removes it from running_.
+  void FinishRequest(RequestState* request);
+
+  // Removes `request` from running_, releases KV, resets it for
+  // recomputation and reinserts it at the front of the wait queue.
+  void Preempt(RequestState* request);
+
+  SchedulerConfig config_;
+  KvAllocator* allocator_;
+  std::deque<RequestState*> queue_;     // Waiting, FCFS.
+  std::vector<RequestState*> running_;  // Admitted, in admission order.
+  int64_t preemption_count_ = 0;
+};
+
+}  // namespace sarathi
+
+#endif  // SRC_SCHEDULER_SCHEDULER_H_

@@ -1,0 +1,57 @@
+#include "src/scheduler/scheduler_factory.h"
+
+#include "src/common/logging.h"
+#include "src/memory/block_manager.h"
+#include "src/scheduler/fastserve_scheduler.h"
+#include "src/scheduler/ft_scheduler.h"
+#include "src/scheduler/orca_scheduler.h"
+#include "src/scheduler/sarathi_scheduler.h"
+#include "src/scheduler/vllm_scheduler.h"
+#include "src/scheduler/vtc_scheduler.h"
+
+namespace sarathi {
+
+std::unique_ptr<Scheduler> MakeScheduler(const SchedulerConfig& config, KvAllocator* allocator) {
+  switch (config.policy) {
+    case SchedulerPolicy::kSarathi:
+      return std::make_unique<SarathiScheduler>(config, allocator);
+    case SchedulerPolicy::kVllm:
+      return std::make_unique<VllmScheduler>(config, allocator);
+    case SchedulerPolicy::kOrca:
+      return std::make_unique<OrcaScheduler>(config, allocator);
+    case SchedulerPolicy::kFasterTransformer:
+      return std::make_unique<FasterTransformerScheduler>(config, allocator);
+    case SchedulerPolicy::kFastServe:
+      return std::make_unique<FastServeScheduler>(config, allocator);
+    case SchedulerPolicy::kVtc:
+      return std::make_unique<VtcScheduler>(config, allocator);
+  }
+  LOG(Fatal) << "unknown scheduler policy";
+  return nullptr;
+}
+
+std::unique_ptr<KvAllocator> MakeAllocatorFor(SchedulerPolicy policy,
+                                              const AllocatorOptions& options) {
+  CHECK_GT(options.capacity_tokens, 0);
+  switch (policy) {
+    case SchedulerPolicy::kSarathi:
+    case SchedulerPolicy::kVllm:
+    case SchedulerPolicy::kFastServe:
+    case SchedulerPolicy::kVtc: {
+      PagedBlockManager::Options paged;
+      paged.num_blocks = options.capacity_tokens / options.block_size;
+      paged.block_size = options.block_size;
+      paged.watermark = options.watermark;
+      paged.sliding_window = options.sliding_window;
+      return std::make_unique<PagedBlockManager>(paged);
+    }
+    case SchedulerPolicy::kOrca:
+    case SchedulerPolicy::kFasterTransformer:
+      return std::make_unique<ReservationAllocator>(options.capacity_tokens,
+                                                    options.max_seq_len);
+  }
+  LOG(Fatal) << "unknown scheduler policy";
+  return nullptr;
+}
+
+}  // namespace sarathi

@@ -1,0 +1,34 @@
+// Constructs a scheduler (and its matching KV allocator) by policy.
+
+#ifndef SRC_SCHEDULER_SCHEDULER_FACTORY_H_
+#define SRC_SCHEDULER_SCHEDULER_FACTORY_H_
+
+#include <memory>
+
+#include "src/memory/kv_allocator.h"
+#include "src/scheduler/scheduler.h"
+
+namespace sarathi {
+
+// Creates the scheduler for `config.policy` bound to `allocator`.
+std::unique_ptr<Scheduler> MakeScheduler(const SchedulerConfig& config, KvAllocator* allocator);
+
+struct AllocatorOptions {
+  // Replica-wide KV capacity in tokens (IterationCostModel::MaxKvTokens()).
+  int64_t capacity_tokens = 0;
+  // Paged-manager parameters.
+  int64_t block_size = 16;
+  double watermark = 0.01;
+  int64_t sliding_window = 0;
+  // Reservation-manager parameter (Orca / FasterTransformer).
+  int64_t max_seq_len = 16384;
+};
+
+// Creates the KV allocator each policy assumes: paged for Sarathi/vLLM,
+// max-length reservations for Orca and FasterTransformer (§5.1).
+std::unique_ptr<KvAllocator> MakeAllocatorFor(SchedulerPolicy policy,
+                                              const AllocatorOptions& options);
+
+}  // namespace sarathi
+
+#endif  // SRC_SCHEDULER_SCHEDULER_FACTORY_H_

@@ -1,0 +1,46 @@
+#include "src/scheduler/token_budget.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace sarathi {
+
+double ProfiledIterationTime(const IterationCostModel& cost_model,
+                             const TokenBudgetOptions& options, int64_t budget) {
+  BatchWork batch;
+  int64_t decodes = std::min(options.max_batch_size, budget);
+  for (int64_t i = 0; i < decodes; ++i) {
+    batch.sequences.push_back(SequenceWork::Decode(options.decode_context));
+  }
+  int64_t chunk = budget - decodes;
+  if (chunk > 0) {
+    batch.sequences.push_back(SequenceWork::PrefillChunk(options.prefill_context, chunk));
+  }
+  return cost_model.IterationCost(batch).Total();
+}
+
+int64_t ComputeTokenBudget(const IterationCostModel& cost_model,
+                           const TokenBudgetOptions& options) {
+  CHECK_GT(options.tbt_slo_s, 0.0);
+  int64_t tile = cost_model.cluster().gpu.matmul_tile_tokens;
+  int64_t lo = std::max<int64_t>(1, options.min_budget / tile);
+  int64_t hi = std::max(lo, options.max_budget / tile);
+
+  // Profiled latency is monotone in the budget, so binary search over tile
+  // multiples for the largest one under the SLO.
+  if (ProfiledIterationTime(cost_model, options, lo * tile) > options.tbt_slo_s) {
+    return lo * tile;
+  }
+  while (lo < hi) {
+    int64_t mid = (lo + hi + 1) / 2;
+    if (ProfiledIterationTime(cost_model, options, mid * tile) <= options.tbt_slo_s) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo * tile;
+}
+
+}  // namespace sarathi

@@ -1,0 +1,47 @@
+// Token-budget derivation from a TBT SLO (paper §4.3).
+//
+// The paper selects the budget with a one-time profiling pass (via the Vidur
+// simulator): find the largest per-iteration token count whose worst-case
+// hybrid-batch latency stays within the TBT SLO. We reproduce that procedure
+// against the analytical cost model. Budgets are kept tile-aligned to avoid
+// the tile-quantization penalty the paper measures (257 vs 256 tokens).
+
+#ifndef SRC_SCHEDULER_TOKEN_BUDGET_H_
+#define SRC_SCHEDULER_TOKEN_BUDGET_H_
+
+#include <cstdint>
+
+#include "src/perfmodel/iteration_cost.h"
+
+namespace sarathi {
+
+struct TokenBudgetOptions {
+  // The P99 TBT target one iteration must stay under.
+  double tbt_slo_s = 0.1;
+  // Decode population of the worst-case profiled batch.
+  int64_t max_batch_size = 128;
+  // Assumed per-decode KV context in the profiled batch.
+  int64_t decode_context = 2048;
+  // Assumed prior context of the profiled prefill chunk (chunks late in a
+  // long prompt pay the largest attention cost).
+  int64_t prefill_context = 4096;
+  // Search bounds (inclusive), tile-aligned.
+  int64_t min_budget = 128;
+  int64_t max_budget = 8192;
+};
+
+// Latency of the profiling batch for a candidate budget: (budget - decodes)
+// prefill tokens coalesced with a full complement of decodes.
+double ProfiledIterationTime(const IterationCostModel& cost_model,
+                             const TokenBudgetOptions& options, int64_t budget);
+
+// Largest tile-aligned budget whose profiled iteration latency fits the SLO.
+// Returns options.min_budget when even the smallest budget violates it (the
+// SLO is then infeasible and the caller will simply miss it, as real
+// deployments would).
+int64_t ComputeTokenBudget(const IterationCostModel& cost_model,
+                           const TokenBudgetOptions& options);
+
+}  // namespace sarathi
+
+#endif  // SRC_SCHEDULER_TOKEN_BUDGET_H_

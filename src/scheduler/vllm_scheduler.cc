@@ -1,0 +1,52 @@
+#include "src/scheduler/vllm_scheduler.h"
+
+#include "src/common/logging.h"
+
+namespace sarathi {
+
+VllmScheduler::VllmScheduler(const SchedulerConfig& config, KvAllocator* allocator)
+    : Scheduler(config, allocator) {
+  CHECK_GT(config_.max_prefill_tokens, 0);
+}
+
+ScheduledBatch VllmScheduler::Schedule() {
+  ScheduledBatch batch;
+
+  // Eagerly admit waiting prompts (Algorithm 2 lines 4-9): as many as fit in
+  // memory and under the per-iteration prefill-token cap. The whole prompt is
+  // processed in one iteration — no chunking.
+  int64_t prefill_tokens = 0;
+  while (static_cast<int64_t>(batch.size()) < config_.max_batch_size && CanAdmitHead()) {
+    RequestState* head = queue_.front();
+    int64_t prompt = head->remaining_prefill();
+    if (!batch.empty() && prefill_tokens + prompt > config_.max_prefill_tokens) {
+      break;
+    }
+    AdmitHead();
+    batch.items.push_back(BatchItem{head, prompt, /*is_decode=*/false});
+    prefill_tokens += prompt;
+  }
+  if (!batch.empty()) {
+    return batch;
+  }
+
+  // Otherwise a decode-only iteration over every running request. Iterate a
+  // snapshot: PrepareDecodeSlot may preempt (erase) later entries.
+  std::vector<RequestState*> snapshot = running_;
+  for (RequestState* request : snapshot) {
+    if (request->phase() != RequestPhase::kRunning || request->locked() ||
+        !request->prefill_complete() || request->finished()) {
+      continue;
+    }
+    if (static_cast<int64_t>(batch.size()) >= config_.max_batch_size) {
+      break;
+    }
+    if (!PrepareDecodeSlot(request, batch)) {
+      continue;
+    }
+    batch.items.push_back(BatchItem{request, 1, /*is_decode=*/true});
+  }
+  return batch;
+}
+
+}  // namespace sarathi

@@ -1,0 +1,27 @@
+// vLLM-style iteration-level scheduling (paper §2.5, Algorithm 2).
+//
+// Prefill-prioritizing: whenever waiting requests fit in memory, the next
+// iteration is a prefill-only batch processing their *entire* prompts; decode
+// iterations run only when no prefill is schedulable. This maximizes
+// subsequent decode batch sizes (throughput) at the price of generation
+// stalls — ongoing decodes wait out the full prompt processing (§3.2).
+
+#ifndef SRC_SCHEDULER_VLLM_SCHEDULER_H_
+#define SRC_SCHEDULER_VLLM_SCHEDULER_H_
+
+#include "src/scheduler/scheduler.h"
+
+namespace sarathi {
+
+class VllmScheduler : public Scheduler {
+ public:
+  VllmScheduler(const SchedulerConfig& config, KvAllocator* allocator);
+
+  std::string name() const override { return "vllm"; }
+
+  ScheduledBatch Schedule() override;
+};
+
+}  // namespace sarathi
+
+#endif  // SRC_SCHEDULER_VLLM_SCHEDULER_H_

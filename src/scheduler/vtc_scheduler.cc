@@ -1,0 +1,84 @@
+#include "src/scheduler/vtc_scheduler.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+#include "src/common/logging.h"
+
+namespace sarathi {
+
+VtcScheduler::VtcScheduler(const SchedulerConfig& config, KvAllocator* allocator)
+    : SarathiScheduler(config, allocator) {}
+
+double VtcScheduler::WeightOf(int64_t client_id) const {
+  auto it = config_.client_weights.find(client_id);
+  if (it == config_.client_weights.end()) {
+    return 1.0;
+  }
+  CHECK_GT(it->second, 0.0);
+  return it->second;
+}
+
+double VtcScheduler::CounterOf(int64_t client_id) const {
+  auto it = counters_.find(client_id);
+  return it == counters_.end() ? 0.0 : it->second;
+}
+
+void VtcScheduler::PrioritizeQueue() {
+  if (queue_.empty()) {
+    return;
+  }
+  // Clients currently competing for service.
+  std::set<int64_t> present;
+  for (const RequestState* request : queue_) {
+    present.insert(request->client_id());
+  }
+  for (const RequestState* request : running_) {
+    present.insert(request->client_id());
+  }
+  // Counter lift (the VTC paper's guard against banking credit while idle):
+  // a client entering the system starts from the smallest counter among the
+  // incumbents, not from the credit it accumulated by staying away.
+  double incumbent_min = std::numeric_limits<double>::infinity();
+  for (int64_t client : present) {
+    if (previously_present_.contains(client)) {
+      incumbent_min = std::min(incumbent_min, CounterOf(client));
+    }
+  }
+  if (incumbent_min != std::numeric_limits<double>::infinity()) {
+    for (int64_t client : present) {
+      if (!previously_present_.contains(client)) {
+        counters_[client] = std::max(CounterOf(client), incumbent_min);
+      }
+    }
+  }
+  previously_present_ = present;
+
+  // Smallest-counter client first; FCFS within a client (stable sort keeps
+  // per-client arrival order).
+  std::stable_sort(queue_.begin(), queue_.end(),
+                   [this](const RequestState* a, const RequestState* b) {
+                     double ca = CounterOf(a->client_id());
+                     double cb = CounterOf(b->client_id());
+                     if (ca != cb) {
+                       return ca < cb;
+                     }
+                     return a->client_id() < b->client_id();
+                   });
+}
+
+ScheduledBatch VtcScheduler::Schedule() {
+  PrioritizeQueue();
+  return SarathiScheduler::Schedule();
+}
+
+void VtcScheduler::OnBatchComplete(const ScheduledBatch& batch) {
+  for (const auto& item : batch.items) {
+    double tokens = static_cast<double>(item.is_decode ? 1 : item.num_tokens);
+    counters_[item.request->client_id()] += tokens / WeightOf(item.request->client_id());
+  }
+  SarathiScheduler::OnBatchComplete(batch);
+}
+
+}  // namespace sarathi

@@ -1,0 +1,51 @@
+// Virtual-token-counter fair scheduling (Sheng et al., "Fairness in Serving
+// Large Language Models" — the paper's §6 notes such algorithmic policies are
+// complementary to Sarathi-Serve and benefit from its low prefill/decode
+// interference).
+//
+// This scheduler demonstrates exactly that composition: batches are built
+// with Sarathi's chunked stall-free mechanics, but *admission of new prefill
+// work* is ordered by weighted virtual token counters instead of global
+// FCFS. Each client accrues counter value for every token scheduled on its
+// behalf (divided by its weight); the client with the smallest counter gets
+// the next admission slot, so a flooding tenant cannot crowd out others.
+// To keep work conservation, an idle system still serves whoever is present.
+
+#ifndef SRC_SCHEDULER_VTC_SCHEDULER_H_
+#define SRC_SCHEDULER_VTC_SCHEDULER_H_
+
+#include <set>
+#include <unordered_map>
+
+#include "src/scheduler/sarathi_scheduler.h"
+
+namespace sarathi {
+
+class VtcScheduler : public SarathiScheduler {
+ public:
+  VtcScheduler(const SchedulerConfig& config, KvAllocator* allocator);
+
+  std::string name() const override { return "vtc-sarathi"; }
+
+  ScheduledBatch Schedule() override;
+  void OnBatchComplete(const ScheduledBatch& batch) override;
+
+  // Current virtual counter of a client (0 if never served).
+  double CounterOf(int64_t client_id) const;
+
+ private:
+  double WeightOf(int64_t client_id) const;
+
+  // Reorders the wait queue so the head belongs to the client with the
+  // smallest virtual counter (stable within a client: FCFS per tenant).
+  void PrioritizeQueue();
+
+  std::unordered_map<int64_t, double> counters_;
+  // Clients active (queued or running) at the previous scheduling decision,
+  // for the newly-active counter lift.
+  std::set<int64_t> previously_present_;
+};
+
+}  // namespace sarathi
+
+#endif  // SRC_SCHEDULER_VTC_SCHEDULER_H_

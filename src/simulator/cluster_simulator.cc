@@ -1,0 +1,126 @@
+#include "src/simulator/cluster_simulator.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace sarathi {
+
+std::string_view RoutingPolicyName(RoutingPolicy policy) {
+  switch (policy) {
+    case RoutingPolicy::kRoundRobin:
+      return "round_robin";
+    case RoutingPolicy::kLeastOutstandingWork:
+      return "least_outstanding_work";
+  }
+  return "unknown";
+}
+
+ClusterSimulator::ClusterSimulator(const ClusterOptions& options) : options_(options) {
+  CHECK_GE(options_.num_replicas, 1);
+  if (options_.estimated_tokens_per_s > 0.0) {
+    service_rate_ = options_.estimated_tokens_per_s;
+  } else {
+    // Default estimate: tokens a budget-sized hybrid iteration retires per
+    // second, from the replica's cost model, derated for decode-phase
+    // inefficiency (a request's decode tokens drain far slower than its
+    // prefill tokens). Overestimating the drain would zero every replica's
+    // outstanding count and blind the balancer.
+    IterationCostModel cost_model(options_.replica.model, options_.replica.cluster,
+                                  options_.replica.parallel);
+    BatchWork probe;
+    probe.sequences.push_back(SequenceWork::PrefillChunk(1024, 512));
+    double iteration = cost_model.IterationCost(probe).Total();
+    service_rate_ = 0.4 * 512.0 / std::max(iteration, 1e-9);
+  }
+}
+
+int ClusterSimulator::Route(const Request& request, double now,
+                            std::vector<double>* outstanding_tokens,
+                            std::vector<double>* last_update, int* rr_cursor) const {
+  if (options_.routing == RoutingPolicy::kRoundRobin) {
+    int pick = *rr_cursor;
+    *rr_cursor = (*rr_cursor + 1) % options_.num_replicas;
+    return pick;
+  }
+  // Age each replica's outstanding estimate by the service it performed
+  // since its last assignment, then pick the least loaded. The scan starts at
+  // a rotating offset so drained (all-zero) states degrade to round-robin
+  // instead of pinning replica 0.
+  for (int i = 0; i < options_.num_replicas; ++i) {
+    double drained = ((*last_update)[static_cast<size_t>(i)] < now)
+                         ? (now - (*last_update)[static_cast<size_t>(i)]) * service_rate_
+                         : 0.0;
+    auto& tokens = (*outstanding_tokens)[static_cast<size_t>(i)];
+    tokens = std::max(0.0, tokens - drained);
+    (*last_update)[static_cast<size_t>(i)] = now;
+  }
+  int best = -1;
+  for (int k = 0; k < options_.num_replicas; ++k) {
+    int i = (*rr_cursor + k) % options_.num_replicas;
+    if (best < 0 || (*outstanding_tokens)[static_cast<size_t>(i)] <
+                        (*outstanding_tokens)[static_cast<size_t>(best)]) {
+      best = i;
+    }
+  }
+  *rr_cursor = (*rr_cursor + 1) % options_.num_replicas;
+  (*outstanding_tokens)[static_cast<size_t>(best)] +=
+      static_cast<double>(request.total_tokens());
+  return best;
+}
+
+SimResult ClusterSimulator::Run(const Trace& trace) {
+  std::vector<Trace> sub_traces(static_cast<size_t>(options_.num_replicas));
+  for (auto& sub : sub_traces) {
+    sub.name = trace.name;
+  }
+  assignment_.assign(trace.size(), 0);
+
+  std::vector<double> outstanding(static_cast<size_t>(options_.num_replicas), 0.0);
+  std::vector<double> last_update(static_cast<size_t>(options_.num_replicas), 0.0);
+  int rr_cursor = 0;
+  // Remember where each request lands so merged metrics keep trace order.
+  std::vector<std::pair<int, size_t>> placement(trace.size());
+  for (size_t i = 0; i < trace.size(); ++i) {
+    const Request& request = trace.requests[i];
+    int replica =
+        Route(request, request.arrival_time_s, &outstanding, &last_update, &rr_cursor);
+    assignment_[i] = replica;
+    placement[i] = {replica, sub_traces[static_cast<size_t>(replica)].requests.size()};
+    sub_traces[static_cast<size_t>(replica)].requests.push_back(request);
+  }
+
+  std::vector<SimResult> results;
+  results.reserve(static_cast<size_t>(options_.num_replicas));
+  for (int i = 0; i < options_.num_replicas; ++i) {
+    ReplicaSimulator simulator(options_.replica);
+    results.push_back(simulator.Run(sub_traces[static_cast<size_t>(i)]));
+  }
+
+  SimResult merged;
+  merged.scheduler_name = results[0].scheduler_name + " x" +
+                          std::to_string(options_.num_replicas) + " (" +
+                          std::string(RoutingPolicyName(options_.routing)) + ")";
+  merged.requests.resize(trace.size());
+  for (size_t i = 0; i < trace.size(); ++i) {
+    const auto& [replica, slot] = placement[i];
+    merged.requests[i] = results[static_cast<size_t>(replica)].requests[slot];
+  }
+  for (const SimResult& r : results) {
+    merged.num_iterations += r.num_iterations;
+    merged.num_preemptions += r.num_preemptions;
+    merged.makespan_s = std::max(merged.makespan_s, r.makespan_s);
+    merged.active_window_s = std::max(merged.active_window_s, r.active_window_s);
+    merged.total_output_tokens += r.total_output_tokens;
+    merged.total_prefill_tokens += r.total_prefill_tokens;
+    merged.total_flops += r.total_flops;
+    merged.peak_flops += r.peak_flops;
+    merged.total_bytes += r.total_bytes;
+    merged.peak_bandwidth += r.peak_bandwidth;
+    merged.stage_busy_s.insert(merged.stage_busy_s.end(), r.stage_busy_s.begin(),
+                               r.stage_busy_s.end());
+  }
+  return merged;
+}
+
+}  // namespace sarathi

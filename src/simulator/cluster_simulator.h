@@ -1,0 +1,63 @@
+// Multi-replica serving: a front-end router over identical replicas.
+//
+// The paper evaluates per-replica capacity; production serving multiplies
+// replicas behind a router. This module scales the simulator out: requests
+// are assigned to a replica at arrival by a routing policy, each replica is
+// simulated independently on its sub-trace, and the metrics merge. Routing
+// decisions use only information available at assignment time (no oracle):
+// round-robin, or least-outstanding-work by the tokens already assigned.
+
+#ifndef SRC_SIMULATOR_CLUSTER_SIMULATOR_H_
+#define SRC_SIMULATOR_CLUSTER_SIMULATOR_H_
+
+#include <vector>
+
+#include "src/simulator/replica_simulator.h"
+
+namespace sarathi {
+
+enum class RoutingPolicy {
+  kRoundRobin,
+  // Assign to the replica with the least estimated outstanding work: the sum
+  // of (prompt + expected output) tokens of its still-unfinished assignments,
+  // aged by an estimated service rate.
+  kLeastOutstandingWork,
+};
+
+std::string_view RoutingPolicyName(RoutingPolicy policy);
+
+struct ClusterOptions {
+  SimulatorOptions replica;  // Every replica is identical.
+  int num_replicas = 2;
+  RoutingPolicy routing = RoutingPolicy::kLeastOutstandingWork;
+  // Estimated replica service rate (tokens/s) used to age outstanding work
+  // for kLeastOutstandingWork; <= 0 derives a default from the cost model.
+  double estimated_tokens_per_s = 0.0;
+};
+
+class ClusterSimulator {
+ public:
+  explicit ClusterSimulator(const ClusterOptions& options);
+
+  // Routes the trace, simulates every replica, merges metrics. The merged
+  // SimResult keeps requests in original trace order; stage_busy_s
+  // concatenates all replicas' stages.
+  SimResult Run(const Trace& trace);
+
+  // The per-replica assignment of the most recent Run (trace index ->
+  // replica id), for tests and balance diagnostics.
+  const std::vector<int>& last_assignment() const { return assignment_; }
+
+ private:
+  // Picks a replica for a request arriving at `now`.
+  int Route(const Request& request, double now, std::vector<double>* outstanding_tokens,
+            std::vector<double>* last_update, int* rr_cursor) const;
+
+  ClusterOptions options_;
+  double service_rate_;
+  std::vector<int> assignment_;
+};
+
+}  // namespace sarathi
+
+#endif  // SRC_SIMULATOR_CLUSTER_SIMULATOR_H_

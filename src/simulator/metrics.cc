@@ -1,0 +1,160 @@
+#include "src/simulator/metrics.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace sarathi {
+
+std::vector<double> RequestMetrics::TbtSamples() const {
+  std::vector<double> samples;
+  if (token_times_s.size() < 2) {
+    return samples;
+  }
+  samples.reserve(token_times_s.size() - 1);
+  for (size_t i = 1; i < token_times_s.size(); ++i) {
+    samples.push_back(token_times_s[i] - token_times_s[i - 1]);
+  }
+  return samples;
+}
+
+Summary SimResult::TtftSummary() const {
+  Summary summary;
+  for (const auto& r : requests) {
+    double ttft = r.Ttft();
+    if (ttft >= 0.0) {
+      summary.Add(ttft);
+    }
+  }
+  return summary;
+}
+
+Summary SimResult::TbtSummary() const {
+  Summary summary;
+  for (const auto& r : requests) {
+    summary.AddAll(r.TbtSamples());
+  }
+  return summary;
+}
+
+Summary SimResult::SchedulingDelaySummary() const {
+  Summary summary;
+  for (const auto& r : requests) {
+    double delay = r.SchedulingDelay();
+    if (delay >= 0.0) {
+      summary.Add(delay);
+    }
+  }
+  return summary;
+}
+
+Summary SimResult::LatencySummary() const {
+  Summary summary;
+  for (const auto& r : requests) {
+    if (r.completed()) {
+      summary.Add(r.completion_s - r.arrival_s);
+    }
+  }
+  return summary;
+}
+
+double SimResult::P99Tbt() const {
+  Summary summary = TbtSummary();
+  return summary.empty() ? 0.0 : summary.Quantile(0.99);
+}
+
+double SimResult::MedianTtft() const {
+  Summary summary = TtftSummary();
+  return summary.empty() ? 0.0 : summary.Median();
+}
+
+double SimResult::MedianSchedulingDelay() const {
+  Summary summary = SchedulingDelaySummary();
+  return summary.empty() ? 0.0 : summary.Median();
+}
+
+double SimResult::BubbleFraction() const {
+  if (stage_busy_s.empty() || active_window_s <= 0.0) {
+    return 0.0;
+  }
+  double busy = 0.0;
+  for (double b : stage_busy_s) {
+    busy += b;
+  }
+  double capacity = active_window_s * static_cast<double>(stage_busy_s.size());
+  return std::max(0.0, 1.0 - busy / capacity);
+}
+
+double SimResult::OutputTokenThroughput() const {
+  return makespan_s > 0.0 ? static_cast<double>(total_output_tokens) / makespan_s : 0.0;
+}
+
+double SimResult::RequestThroughput() const {
+  int64_t completed = 0;
+  for (const auto& r : requests) {
+    completed += r.completed() ? 1 : 0;
+  }
+  return makespan_s > 0.0 ? static_cast<double>(completed) / makespan_s : 0.0;
+}
+
+int64_t SimResult::CountStalls(double threshold_s) const {
+  int64_t stalls = 0;
+  for (const auto& r : requests) {
+    for (double tbt : r.TbtSamples()) {
+      stalls += tbt > threshold_s ? 1 : 0;
+    }
+  }
+  return stalls;
+}
+
+double SimResult::Mfu() const {
+  if (makespan_s <= 0.0 || peak_flops <= 0.0) {
+    return 0.0;
+  }
+  return total_flops / (makespan_s * peak_flops);
+}
+
+double SimResult::Mbu() const {
+  if (makespan_s <= 0.0 || peak_bandwidth <= 0.0) {
+    return 0.0;
+  }
+  return total_bytes / (makespan_s * peak_bandwidth);
+}
+
+double SimResult::SloAttainment(double ttft_slo_s, double tbt_slo_s) const {
+  if (requests.empty()) {
+    return 0.0;
+  }
+  int64_t attained = 0;
+  int64_t completed = 0;
+  for (const auto& r : requests) {
+    if (!r.completed()) {
+      continue;
+    }
+    ++completed;
+    if (r.Ttft() > ttft_slo_s) {
+      continue;
+    }
+    bool ok = true;
+    for (double tbt : r.TbtSamples()) {
+      if (tbt > tbt_slo_s) {
+        ok = false;
+        break;
+      }
+    }
+    attained += ok ? 1 : 0;
+  }
+  return completed == 0 ? 0.0 : static_cast<double>(attained) / static_cast<double>(completed);
+}
+
+double SimResult::MaxTbt() const {
+  double max_tbt = 0.0;
+  for (const auto& r : requests) {
+    for (double tbt : r.TbtSamples()) {
+      max_tbt = std::max(max_tbt, tbt);
+    }
+  }
+  return max_tbt;
+}
+
+}  // namespace sarathi

@@ -1,0 +1,113 @@
+// Metric records produced by simulation runs.
+//
+// The paper's two latency metrics (§2.4): TTFT — arrival to first output
+// token — and TBT — gap between consecutive output tokens of one request.
+// Evaluation uses median TTFT and P99 TBT plus a sustainability check on
+// median scheduling delay (§5.1).
+
+#ifndef SRC_SIMULATOR_METRICS_H_
+#define SRC_SIMULATOR_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/stats.h"
+
+namespace sarathi {
+
+struct RequestMetrics {
+  int64_t id = 0;
+  double arrival_s = 0.0;
+  // First time any chunk of the request was scheduled (-1 until then).
+  double first_scheduled_s = -1.0;
+  // Emission time of each output token (index 0 is the TTFT point).
+  std::vector<double> token_times_s;
+  double completion_s = -1.0;
+  int64_t preemptions = 0;
+
+  bool completed() const { return completion_s >= 0.0; }
+  double Ttft() const { return token_times_s.empty() ? -1.0 : token_times_s.front() - arrival_s; }
+  double SchedulingDelay() const {
+    return first_scheduled_s < 0.0 ? -1.0 : first_scheduled_s - arrival_s;
+  }
+  // Gaps between consecutive output tokens.
+  std::vector<double> TbtSamples() const;
+};
+
+// One scheduled iteration, for schedule traces and bubble analyses.
+struct IterationRecord {
+  double start_s = 0.0;       // Entry into the first pipeline stage.
+  double stage_time_s = 0.0;  // Per-stage execution time.
+  double exit_s = 0.0;        // Exit from the last stage.
+  std::string description;    // ScheduledBatch::Describe().
+  int64_t total_tokens = 0;
+  int64_t num_decodes = 0;
+  int64_t prefill_tokens = 0;
+};
+
+struct SimResult {
+  std::string scheduler_name;
+
+  std::vector<RequestMetrics> requests;
+  // Populated only when SimulatorOptions::record_iterations is set.
+  std::vector<IterationRecord> iterations;
+
+  int64_t num_iterations = 0;
+  int64_t num_preemptions = 0;
+  double makespan_s = 0.0;  // Last completion time.
+
+  // Pipeline accounting over the active window (first batch start to last
+  // batch exit).
+  std::vector<double> stage_busy_s;
+  double active_window_s = 0.0;
+
+  int64_t total_output_tokens = 0;
+  int64_t total_prefill_tokens = 0;
+
+  // FLOPs / bytes accounting for Model FLOPs & Bandwidth Utilization (§3.1).
+  double total_flops = 0.0;
+  double peak_flops = 0.0;  // Aggregate device peak (all GPUs).
+  double total_bytes = 0.0;
+  double peak_bandwidth = 0.0;  // Aggregate HBM bandwidth (all GPUs).
+
+  // ---- Aggregations ----
+  Summary TtftSummary() const;
+  Summary TbtSummary() const;
+  Summary SchedulingDelaySummary() const;
+  Summary LatencySummary() const;  // End-to-end per-request latency.
+
+  double P99Tbt() const;
+  double MedianTtft() const;
+  double MedianSchedulingDelay() const;
+
+  // Fraction of stage-seconds idle during the active window (the pipeline
+  // bubble measure of §3.3/§5.3). Zero when PP=1 and the engine never idles.
+  double BubbleFraction() const;
+
+  // Output tokens per second over the makespan.
+  double OutputTokenThroughput() const;
+  // Completed requests per second over the makespan.
+  double RequestThroughput() const;
+
+  // Count of TBT samples exceeding `threshold_s` (generation stalls, Fig 1a).
+  int64_t CountStalls(double threshold_s) const;
+  // Largest observed TBT.
+  double MaxTbt() const;
+
+  // Model FLOPs Utilization over the makespan: achieved FLOPs / peak FLOPs.
+  double Mfu() const;
+  // Model Bandwidth Utilization over the makespan: bytes moved / peak HBM
+  // bandwidth. Decode-heavy serving runs near its bandwidth roof while MFU
+  // stays low — the §3.1 asymmetry Sarathi's hybrid batches exploit.
+  double Mbu() const;
+
+  // DistServe-style SLO attainment: the fraction of completed requests whose
+  // TTFT meets `ttft_slo_s` AND whose every inter-token gap meets
+  // `tbt_slo_s`. Pass infinity to ignore a dimension.
+  double SloAttainment(double ttft_slo_s, double tbt_slo_s) const;
+};
+
+}  // namespace sarathi
+
+#endif  // SRC_SIMULATOR_METRICS_H_

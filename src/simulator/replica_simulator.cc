@@ -1,0 +1,258 @@
+#include "src/simulator/replica_simulator.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <limits>
+
+#include "src/common/logging.h"
+#include "src/memory/block_manager.h"
+#include "src/scheduler/scheduler_factory.h"
+
+namespace sarathi {
+namespace {
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+struct InFlightBatch {
+  ScheduledBatch batch;
+  double start_s = 0.0;
+  double exit_s = 0.0;
+};
+
+}  // namespace
+
+ReplicaSimulator::ReplicaSimulator(const SimulatorOptions& options) : options_(options) {
+  IterationCostModel cost_model(options_.model, options_.cluster, options_.parallel);
+  engine_ = std::make_unique<SimulatedEngine>(std::move(cost_model));
+}
+
+SimResult ReplicaSimulator::Run(const Trace& trace) {
+  const int num_stages = engine_->num_stages();
+
+  AllocatorOptions allocator_options;
+  allocator_options.capacity_tokens = engine_->cost_model().MaxKvTokens();
+  allocator_options.block_size = options_.block_size;
+  allocator_options.watermark = options_.watermark;
+  allocator_options.sliding_window = options_.model.sliding_window;
+  allocator_options.max_seq_len = options_.model.max_seq_len;
+  std::unique_ptr<KvAllocator> allocator =
+      MakeAllocatorFor(options_.scheduler.policy, allocator_options);
+  std::unique_ptr<Scheduler> scheduler = MakeScheduler(options_.scheduler, allocator.get());
+
+  // Parallel sampling (num_samples > 1) forks siblings at prefill completion
+  // and requires paged memory for the zero-copy prompt sharing.
+  bool any_forking = false;
+  for (const auto& r : trace.requests) {
+    CHECK_GE(r.num_samples, 1);
+    any_forking |= r.num_samples > 1;
+  }
+  auto* paged = dynamic_cast<PagedBlockManager*>(allocator.get());
+  CHECK(!any_forking || paged != nullptr)
+      << "num_samples > 1 requires a paged-memory policy (sarathi/vllm/fastserve/vtc)";
+
+  SimResult result;
+  result.scheduler_name = scheduler->name();
+  result.stage_busy_s.assign(static_cast<size_t>(num_stages), 0.0);
+
+  std::vector<std::unique_ptr<RequestState>> states;
+  states.reserve(trace.size());
+  result.requests.resize(trace.size());
+  for (size_t i = 0; i < trace.size(); ++i) {
+    states.push_back(std::make_unique<RequestState>(trace.requests[i]));
+    result.requests[i].id = trace.requests[i].id;
+    result.requests[i].arrival_s = trace.requests[i].arrival_time_s;
+  }
+  // Request pointer -> metrics slot.
+  std::unordered_map<const RequestState*, size_t> index;
+  for (size_t i = 0; i < states.size(); ++i) {
+    index.emplace(states[i].get(), i);
+  }
+
+  // Parallel-sampling plans: parent -> siblings still to fork.
+  std::unordered_map<const RequestState*, int64_t> pending_forks;
+  for (size_t i = 0; i < states.size(); ++i) {
+    if (trace.requests[i].num_samples > 1) {
+      pending_forks.emplace(states[i].get(), trace.requests[i].num_samples - 1);
+    }
+  }
+  int64_t next_fork_id = 1000000000;
+
+  std::vector<double> stage_free(static_cast<size_t>(num_stages), 0.0);
+  std::vector<InFlightBatch> in_flight;
+  size_t next_arrival = 0;
+  double now = 0.0;
+  double first_start = -1.0;
+  double last_exit = 0.0;
+
+  auto deliver_arrivals = [&](double upto) {
+    while (next_arrival < trace.size() &&
+           trace.requests[next_arrival].arrival_time_s <= upto) {
+      scheduler->Enqueue(states[next_arrival].get());
+      ++next_arrival;
+    }
+  };
+
+  auto deliver_completions = [&](double upto) {
+    while (true) {
+      // Earliest in-flight exit not after `upto`.
+      size_t best = in_flight.size();
+      for (size_t i = 0; i < in_flight.size(); ++i) {
+        if (in_flight[i].exit_s <= upto &&
+            (best == in_flight.size() || in_flight[i].exit_s < in_flight[best].exit_s)) {
+          best = i;
+        }
+      }
+      if (best == in_flight.size()) {
+        return;
+      }
+      InFlightBatch done = std::move(in_flight[best]);
+      in_flight.erase(in_flight.begin() + static_cast<long>(best));
+
+      // Token emissions happen at pipeline exit, before state advances.
+      for (const auto& item : done.batch.items) {
+        RequestMetrics& metrics = result.requests[index.at(item.request)];
+        bool emits = item.is_decode ||
+                     item.request->prefill_done() + item.num_tokens ==
+                         item.request->prefill_target();
+        if (emits) {
+          metrics.token_times_s.push_back(done.exit_s);
+          ++result.total_output_tokens;
+        }
+        item.request->set_locked(false);
+      }
+      // Materialize parallel-sampling siblings for parents whose prefill just
+      // completed — before OnBatchComplete, while the parent's block table is
+      // guaranteed alive. Each sibling's first token is its fork-point draw,
+      // emitted at this batch's exit.
+      for (const auto& item : done.batch.items) {
+        if (item.is_decode || item.request->prefill_done() + item.num_tokens !=
+                                  item.request->prefill_target()) {
+          continue;
+        }
+        auto plan = pending_forks.find(item.request);
+        if (plan == pending_forks.end()) {
+          continue;
+        }
+        double parent_first_scheduled = result.requests[index.at(item.request)].first_scheduled_s;
+        for (int64_t s = 0; s < plan->second; ++s) {
+          int64_t child_id = next_fork_id++;
+          RequestState child_state = RequestState::ForkedFrom(*item.request, child_id);
+          child_state.AdvancePrefill(child_state.remaining_prefill());
+          states.push_back(std::make_unique<RequestState>(child_state));
+          RequestState* child = states.back().get();
+          paged->Fork(item.request->id(), child_id);
+
+          RequestMetrics child_metrics;
+          child_metrics.id = child_id;
+          child_metrics.arrival_s = item.request->arrival_time_s();
+          child_metrics.first_scheduled_s = parent_first_scheduled;
+          child_metrics.token_times_s.push_back(done.exit_s);
+          ++result.total_output_tokens;
+          if (child->finished()) {
+            paged->Release(child_id);
+            child->set_phase(RequestPhase::kFinished);
+            child_metrics.completion_s = done.exit_s;
+          } else {
+            scheduler->AdoptRunning(child);
+          }
+          result.requests.push_back(std::move(child_metrics));
+          index.emplace(child, result.requests.size() - 1);
+        }
+        pending_forks.erase(plan);
+      }
+      scheduler->ObserveIterationTime(done.batch, done.exit_s - done.start_s);
+      scheduler->OnBatchComplete(done.batch);
+      if (paged != nullptr) {
+        // Time domain carries no KV values; discard CoW data-copy records.
+        (void)paged->TakePendingCows();
+      }
+      for (const auto& item : done.batch.items) {
+        if (item.request->finished()) {
+          RequestMetrics& metrics = result.requests[index.at(item.request)];
+          metrics.completion_s = done.exit_s;
+          metrics.preemptions = item.request->preemptions();
+        }
+      }
+    }
+  };
+
+  while (true) {
+    now = std::max(now, stage_free[0]);
+    deliver_completions(now);
+    deliver_arrivals(now);
+
+    ScheduledBatch batch = scheduler->Schedule();
+    if (batch.empty()) {
+      double next_event = kInfinity;
+      if (next_arrival < trace.size()) {
+        next_event = std::min(next_event, trace.requests[next_arrival].arrival_time_s);
+      }
+      for (const auto& f : in_flight) {
+        next_event = std::min(next_event, f.exit_s);
+      }
+      if (next_event == kInfinity) {
+        CHECK(!scheduler->HasWork())
+            << scheduler->name() << " deadlocked: " << scheduler->queue_size()
+            << " requests waiting, " << scheduler->running().size()
+            << " running, nothing schedulable";
+        break;  // All requests drained.
+      }
+      now = std::max(now, next_event);
+      deliver_completions(now);
+      deliver_arrivals(now);
+      continue;
+    }
+
+    ++result.num_iterations;
+    CHECK_LE(result.num_iterations, options_.max_iterations) << "runaway scheduling loop";
+
+    double stage_time = engine_->StageTime(batch);
+    double start = now;
+    double enter = start;
+    for (int s = 0; s < num_stages; ++s) {
+      double stage_start = std::max(stage_free[static_cast<size_t>(s)], enter);
+      result.stage_busy_s[static_cast<size_t>(s)] += stage_time;
+      enter = stage_start + stage_time;
+      stage_free[static_cast<size_t>(s)] = enter;
+    }
+    double exit = enter;
+    if (first_start < 0.0) {
+      first_start = start;
+    }
+    last_exit = std::max(last_exit, exit);
+
+    result.total_prefill_tokens += batch.NumPrefillTokens();
+    BatchWork work = batch.ToBatchWork();
+    result.total_flops += engine_->cost_model().BatchFlops(work);
+    result.total_bytes += engine_->cost_model().BatchMemoryBytes(work);
+    if (options_.record_iterations) {
+      IterationRecord record;
+      record.start_s = start;
+      record.stage_time_s = stage_time;
+      record.exit_s = exit;
+      record.description = batch.Describe();
+      record.total_tokens = batch.TotalTokens();
+      record.num_decodes = batch.NumDecodes();
+      record.prefill_tokens = batch.NumPrefillTokens();
+      result.iterations.push_back(std::move(record));
+    }
+
+    for (const auto& item : batch.items) {
+      item.request->set_locked(true);
+      RequestMetrics& metrics = result.requests[index.at(item.request)];
+      if (metrics.first_scheduled_s < 0.0) {
+        metrics.first_scheduled_s = start;
+      }
+    }
+    in_flight.push_back(InFlightBatch{std::move(batch), start, exit});
+  }
+
+  result.num_preemptions = scheduler->preemption_count();
+  result.peak_flops = engine_->cost_model().PeakFlops();
+  result.peak_bandwidth = engine_->cost_model().PeakBandwidth();
+  result.makespan_s = last_exit;
+  result.active_window_s = first_start < 0.0 ? 0.0 : last_exit - first_start;
+  return result;
+}
+
+}  // namespace sarathi

@@ -1,0 +1,60 @@
+// Discrete-event simulator of one model replica.
+//
+// Replays a request trace against a scheduling policy, with execution times
+// supplied by an ExecutionEngine. Pipeline parallelism is modeled at
+// micro-batch granularity: a batch enters stage s when both stage s-1 has
+// emitted it and stage s has finished its previous batch — the gaps are
+// exactly the paper's pipeline bubbles PB1-PB3 (§3.3). Requests inside an
+// in-flight batch are locked, so the scheduler naturally keeps up to PP
+// disjoint micro-batches in flight (Orca-style pipelined iteration-level
+// scheduling).
+
+#ifndef SRC_SIMULATOR_REPLICA_SIMULATOR_H_
+#define SRC_SIMULATOR_REPLICA_SIMULATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/engine/execution_engine.h"
+#include "src/perfmodel/iteration_cost.h"
+#include "src/scheduler/scheduler.h"
+#include "src/simulator/metrics.h"
+#include "src/workload/trace.h"
+
+namespace sarathi {
+
+struct SimulatorOptions {
+  ModelSpec model;
+  ClusterSpec cluster;
+  ParallelConfig parallel;
+  SchedulerConfig scheduler;
+
+  // KV paging parameters.
+  int64_t block_size = 16;
+  double watermark = 0.01;
+
+  // Keep per-iteration records (schedule traces / bubble plots).
+  bool record_iterations = false;
+
+  // Safety valve against scheduling livelock.
+  int64_t max_iterations = 20000000;
+};
+
+class ReplicaSimulator {
+ public:
+  explicit ReplicaSimulator(const SimulatorOptions& options);
+
+  // Simulates the trace to completion and returns the collected metrics.
+  SimResult Run(const Trace& trace);
+
+  // The cost model the engine uses (for SLO derivation and reporting).
+  const IterationCostModel& cost_model() const { return engine_->cost_model(); }
+
+ private:
+  SimulatorOptions options_;
+  std::unique_ptr<SimulatedEngine> engine_;
+};
+
+}  // namespace sarathi
+
+#endif  // SRC_SIMULATOR_REPLICA_SIMULATOR_H_

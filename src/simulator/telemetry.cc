@@ -1,0 +1,108 @@
+#include "src/simulator/telemetry.h"
+
+#include <algorithm>
+#include <fstream>
+
+namespace sarathi {
+namespace {
+
+// Quotes a CSV field if it contains separators.
+std::string CsvField(const std::string& value) {
+  if (value.find_first_of(",\"\n") == std::string::npos) {
+    return value;
+  }
+  std::string quoted = "\"";
+  for (char c : value) {
+    if (c == '"') {
+      quoted += '"';
+    }
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace
+
+void WriteIterationLogCsv(const SimResult& result, std::ostream& out) {
+  out << "iter,start_s,stage_time_s,exit_s,total_tokens,num_decodes,prefill_tokens,"
+         "description\n";
+  for (size_t i = 0; i < result.iterations.size(); ++i) {
+    const IterationRecord& it = result.iterations[i];
+    out << i << ',' << it.start_s << ',' << it.stage_time_s << ',' << it.exit_s << ','
+        << it.total_tokens << ',' << it.num_decodes << ',' << it.prefill_tokens << ','
+        << CsvField(it.description) << '\n';
+  }
+}
+
+void WriteRequestMetricsCsv(const SimResult& result, std::ostream& out) {
+  out << "id,arrival_s,scheduling_delay_s,ttft_s,completion_s,latency_s,num_tokens,"
+         "p99_tbt_s,max_tbt_s,preemptions\n";
+  for (const RequestMetrics& r : result.requests) {
+    Summary tbt;
+    tbt.AddAll(r.TbtSamples());
+    double p99 = tbt.empty() ? 0.0 : tbt.Quantile(0.99);
+    double max_tbt = tbt.empty() ? 0.0 : tbt.Max();
+    double latency = r.completed() ? r.completion_s - r.arrival_s : -1.0;
+    out << r.id << ',' << r.arrival_s << ',' << r.SchedulingDelay() << ',' << r.Ttft() << ','
+        << r.completion_s << ',' << latency << ',' << r.token_times_s.size() << ',' << p99
+        << ',' << max_tbt << ',' << r.preemptions << '\n';
+  }
+}
+
+void WriteTbtSamplesCsv(const SimResult& result, std::ostream& out) {
+  out << "request_id,token_index,tbt_s\n";
+  for (const RequestMetrics& r : result.requests) {
+    std::vector<double> samples = r.TbtSamples();
+    for (size_t i = 0; i < samples.size(); ++i) {
+      out << r.id << ',' << i + 1 << ',' << samples[i] << '\n';
+    }
+  }
+}
+
+void WriteAggregateCsv(const SimResult& result, std::ostream& out) {
+  out << "metric,value\n";
+  out << "scheduler," << CsvField(result.scheduler_name) << '\n';
+  out << "requests," << result.requests.size() << '\n';
+  out << "iterations," << result.num_iterations << '\n';
+  out << "preemptions," << result.num_preemptions << '\n';
+  out << "makespan_s," << result.makespan_s << '\n';
+  out << "median_ttft_s," << result.MedianTtft() << '\n';
+  out << "p99_tbt_s," << result.P99Tbt() << '\n';
+  out << "max_tbt_s," << result.MaxTbt() << '\n';
+  out << "median_scheduling_delay_s," << result.MedianSchedulingDelay() << '\n';
+  out << "output_tokens," << result.total_output_tokens << '\n';
+  out << "prefill_tokens," << result.total_prefill_tokens << '\n';
+  out << "output_tokens_per_s," << result.OutputTokenThroughput() << '\n';
+  out << "mfu," << result.Mfu() << '\n';
+  out << "mbu," << result.Mbu() << '\n';
+  out << "bubble_fraction," << result.BubbleFraction() << '\n';
+}
+
+Status ExportTelemetry(const SimResult& result, const std::string& directory,
+                       const std::string& prefix) {
+  struct Section {
+    const char* suffix;
+    void (*writer)(const SimResult&, std::ostream&);
+  };
+  const Section sections[] = {
+      {"iterations", &WriteIterationLogCsv},
+      {"requests", &WriteRequestMetricsCsv},
+      {"tbt", &WriteTbtSamplesCsv},
+      {"aggregate", &WriteAggregateCsv},
+  };
+  for (const Section& section : sections) {
+    std::string path = directory + "/" + prefix + "_" + section.suffix + ".csv";
+    std::ofstream out(path);
+    if (!out) {
+      return InternalError("cannot open " + path + " for writing");
+    }
+    section.writer(result, out);
+    if (!out) {
+      return InternalError("write failed for " + path);
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace sarathi

@@ -1,0 +1,45 @@
+// Telemetry export: machine-readable dumps of simulation results.
+//
+// The paper's implementation "extend[s] the base vLLM codebase to support
+// ... an extensive telemetry system" (§4.4). This module is that system's
+// analog: per-iteration and per-request logs plus a one-struct aggregate,
+// serialized as CSV so results plot with any standard tooling.
+
+#ifndef SRC_SIMULATOR_TELEMETRY_H_
+#define SRC_SIMULATOR_TELEMETRY_H_
+
+#include <ostream>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/simulator/metrics.h"
+
+namespace sarathi {
+
+// One line per scheduled iteration (requires the run to have been executed
+// with SimulatorOptions::record_iterations).
+// Columns: iter,start_s,stage_time_s,exit_s,total_tokens,num_decodes,
+//          prefill_tokens,description
+void WriteIterationLogCsv(const SimResult& result, std::ostream& out);
+
+// One line per request.
+// Columns: id,arrival_s,scheduling_delay_s,ttft_s,completion_s,latency_s,
+//          num_tokens,p99_tbt_s,max_tbt_s,preemptions
+void WriteRequestMetricsCsv(const SimResult& result, std::ostream& out);
+
+// One line per TBT sample (request id, token index, gap): the raw series
+// behind Fig. 1a-style stall timelines.
+void WriteTbtSamplesCsv(const SimResult& result, std::ostream& out);
+
+// Key/value aggregate block (scheduler, makespan, p99 TBT, MFU, bubbles...).
+void WriteAggregateCsv(const SimResult& result, std::ostream& out);
+
+// Writes all four sections to files under `directory` with the given prefix:
+//   <prefix>_iterations.csv, <prefix>_requests.csv, <prefix>_tbt.csv,
+//   <prefix>_aggregate.csv
+Status ExportTelemetry(const SimResult& result, const std::string& directory,
+                       const std::string& prefix);
+
+}  // namespace sarathi
+
+#endif  // SRC_SIMULATOR_TELEMETRY_H_

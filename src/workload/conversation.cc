@@ -1,0 +1,58 @@
+#include "src/workload/conversation.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace sarathi {
+
+Trace GenerateConversationTrace(const ConversationOptions& options) {
+  CHECK_GT(options.num_conversations, 0);
+  CHECK_GE(options.continue_probability, 0.0);
+  CHECK_LT(options.continue_probability, 1.0);
+  Rng rng(options.seed);
+
+  Trace trace;
+  trace.name = "conversations";
+  double conversation_start = 0.0;
+  for (int64_t c = 0; c < options.num_conversations; ++c) {
+    if (c > 0 && options.start_qps > 0.0) {
+      conversation_start += rng.Exponential(options.start_qps);
+    }
+    double now = conversation_start;
+    int64_t history = 0;  // Accumulated context tokens.
+    while (true) {
+      int64_t turn = options.user_turn.Sample(rng);
+      int64_t reply = options.reply.Sample(rng);
+      int64_t prompt = history + turn;
+      if (prompt + reply > options.max_context) {
+        break;
+      }
+      Request request;
+      request.arrival_time_s = now;
+      request.prompt_tokens = prompt;
+      request.output_tokens = reply;
+      trace.requests.push_back(request);
+
+      history = prompt + reply;
+      if (rng.Uniform(0.0, 1.0) >= options.continue_probability) {
+        break;
+      }
+      // Next round arrives after the user reads the reply and types: think
+      // time plus a crude per-token reading/serving allowance.
+      double allowance = 0.02 * static_cast<double>(reply);
+      now += allowance + rng.Exponential(1.0 / options.mean_think_time_s);
+    }
+  }
+
+  std::stable_sort(trace.requests.begin(), trace.requests.end(),
+                   [](const Request& a, const Request& b) {
+                     return a.arrival_time_s < b.arrival_time_s;
+                   });
+  for (size_t i = 0; i < trace.requests.size(); ++i) {
+    trace.requests[i].id = static_cast<int64_t>(i);
+  }
+  return trace;
+}
+
+}  // namespace sarathi

@@ -1,0 +1,49 @@
+// Multi-turn conversation workloads.
+//
+// The paper notes that openchat_sharegpt4's "multi-round nature leads to
+// high relative variance in the prompt lengths" because each interaction
+// round is sent as a separate request whose prompt carries the accumulated
+// history (§5 "Workloads"). This generator models that process explicitly:
+// conversations start as a Poisson process; each round's prompt is the
+// running history plus a fresh user turn; the assistant reply length is
+// sampled per round; a think-time gap separates rounds. Conversations end by
+// a per-round continuation probability or when the context cap is reached.
+
+#ifndef SRC_WORKLOAD_CONVERSATION_H_
+#define SRC_WORKLOAD_CONVERSATION_H_
+
+#include <cstdint>
+
+#include "src/workload/dataset.h"
+#include "src/workload/trace.h"
+
+namespace sarathi {
+
+struct ConversationOptions {
+  int64_t num_conversations = 64;
+  // Conversation starts per second (Poisson).
+  double start_qps = 0.25;
+  // Probability a conversation continues after each round (geometric length;
+  // mean rounds = 1 / (1 - p)).
+  double continue_probability = 0.7;
+  // Fresh user-turn token counts per round.
+  LengthDistribution user_turn{120.0, 600.0};
+  // Assistant reply token counts per round (sharegpt4 output stats).
+  LengthDistribution reply{415.0, 834.0};
+  // Gap between receiving a reply and sending the next turn, exponential
+  // with this mean.
+  double mean_think_time_s = 30.0;
+  // Rounds stop once prompt + reply would exceed this.
+  int64_t max_context = 8192;
+  uint64_t seed = 42;
+};
+
+// Flattens conversations into a request trace, sorted by arrival time, with
+// sequential ids. Arrival of round r+1 is round r's arrival plus a service
+// allowance plus think time (the generator has no feedback from the served
+// system, matching how the paper replays dataset rounds).
+Trace GenerateConversationTrace(const ConversationOptions& options);
+
+}  // namespace sarathi
+
+#endif  // SRC_WORKLOAD_CONVERSATION_H_

@@ -1,0 +1,68 @@
+#include "src/workload/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace sarathi {
+namespace {
+
+// 90th-percentile z-score of the standard normal.
+constexpr double kZ90 = 1.2815515655446004;
+
+}  // namespace
+
+double LengthDistribution::mu() const {
+  CHECK_GT(median, 0.0);
+  return std::log(median);
+}
+
+double LengthDistribution::sigma() const {
+  CHECK_GT(p90, median);
+  return std::log(p90 / median) / kZ90;
+}
+
+int64_t LengthDistribution::Sample(Rng& rng, int64_t min_tokens) const {
+  double draw = rng.LogNormal(mu(), sigma());
+  auto tokens = static_cast<int64_t>(std::llround(draw));
+  return std::max(tokens, min_tokens);
+}
+
+RequestShape SampleShape(const DatasetSpec& dataset, Rng& rng) {
+  // Rejection-sample the paper's outlier filter; the cap cuts only the far
+  // tail so this terminates almost immediately in practice.
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    RequestShape shape;
+    shape.prompt_tokens = dataset.prompt.Sample(rng);
+    shape.output_tokens = dataset.output.Sample(rng);
+    if (shape.prompt_tokens + shape.output_tokens <= dataset.max_total_len) {
+      return shape;
+    }
+  }
+  // Pathological distribution configuration; clamp rather than loop forever.
+  RequestShape shape;
+  shape.prompt_tokens = dataset.max_total_len / 2;
+  shape.output_tokens = dataset.max_total_len / 4;
+  return shape;
+}
+
+DatasetSpec OpenChatShareGpt4() {
+  DatasetSpec spec;
+  spec.name = "openchat_sharegpt4";
+  spec.prompt = {1730.0, 5696.0};
+  spec.output = {415.0, 834.0};
+  spec.max_total_len = 8192;
+  return spec;
+}
+
+DatasetSpec ArxivSummarization() {
+  DatasetSpec spec;
+  spec.name = "arxiv_summarization";
+  spec.prompt = {7059.0, 12985.0};
+  spec.output = {208.0, 371.0};
+  spec.max_total_len = 16384;
+  return spec;
+}
+
+}  // namespace sarathi

@@ -1,0 +1,62 @@
+// Request-length distributions fitted to the paper's datasets (Table 2).
+//
+// The production traces (openchat_sharegpt4, arxiv_summarization) are not
+// redistributable, so we fit log-normal distributions to the statistics the
+// paper publishes — median and P90 of prompt and output token counts — and
+// sample synthetic lengths from them. Log-normal matches the paper's
+// description of heavy-tailed, high-variance prompt lengths; the fit makes
+// the synthetic median and P90 agree with Table 2 by construction
+// (mu = ln median, sigma = ln(P90/median) / z90). The paper's outlier
+// filtering (total length caps of 8192 / 16384) is applied by resampling.
+
+#ifndef SRC_WORKLOAD_DATASET_H_
+#define SRC_WORKLOAD_DATASET_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/rng.h"
+
+namespace sarathi {
+
+// Log-normal over token counts, parameterized by observable statistics.
+struct LengthDistribution {
+  double median = 0.0;
+  double p90 = 0.0;
+
+  double mu() const;
+  double sigma() const;
+
+  // Draws a length, clamped to at least `min_tokens`.
+  int64_t Sample(Rng& rng, int64_t min_tokens = 4) const;
+};
+
+struct DatasetSpec {
+  std::string name;
+  LengthDistribution prompt;
+  LengthDistribution output;
+  // Requests whose prompt+output exceed this are filtered (paper §5,
+  // "Workloads"); sampling retries until under the cap.
+  int64_t max_total_len = 16384;
+};
+
+// A single request's sampled shape.
+struct RequestShape {
+  int64_t prompt_tokens = 0;
+  int64_t output_tokens = 0;
+};
+
+// Draws a (prompt, output) pair honoring the dataset's total-length cap.
+RequestShape SampleShape(const DatasetSpec& dataset, Rng& rng);
+
+// ChatGPT-4 conversation rounds: median/P90 prompt 1730/5696, output 415/834,
+// total cap 8192 (Table 2).
+DatasetSpec OpenChatShareGpt4();
+
+// Long-document summarization: median/P90 prompt 7059/12985, output 208/371,
+// total cap 16384 (Table 2).
+DatasetSpec ArxivSummarization();
+
+}  // namespace sarathi
+
+#endif  // SRC_WORKLOAD_DATASET_H_

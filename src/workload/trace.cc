@@ -1,0 +1,66 @@
+#include "src/workload/trace.h"
+
+#include <sstream>
+
+#include "src/common/logging.h"
+#include "src/common/stats.h"
+
+namespace sarathi {
+
+std::string Trace::Summary() const {
+  sarathi::Summary prompts;
+  sarathi::Summary outputs;
+  for (const auto& r : requests) {
+    prompts.Add(static_cast<double>(r.prompt_tokens));
+    outputs.Add(static_cast<double>(r.output_tokens));
+  }
+  std::ostringstream out;
+  out << name << ": " << requests.size() << " requests";
+  if (!requests.empty()) {
+    out << ", prompt median " << prompts.Median() << " P90 " << prompts.Quantile(0.9)
+        << ", output median " << outputs.Median() << " P90 " << outputs.Quantile(0.9)
+        << ", span " << requests.back().arrival_time_s << "s";
+  }
+  return out.str();
+}
+
+Trace GenerateTrace(const DatasetSpec& dataset, const TraceOptions& options) {
+  CHECK_GT(options.num_requests, 0);
+  Rng rng(options.seed);
+  Trace trace;
+  trace.name = dataset.name;
+  trace.requests.reserve(static_cast<size_t>(options.num_requests));
+  double now = 0.0;
+  for (int64_t i = 0; i < options.num_requests; ++i) {
+    RequestShape shape = SampleShape(dataset, rng);
+    Request request;
+    request.id = i;
+    request.arrival_time_s = now;
+    request.prompt_tokens = shape.prompt_tokens;
+    request.output_tokens = shape.output_tokens;
+    trace.requests.push_back(request);
+    if (options.qps > 0.0) {
+      now += rng.Exponential(options.qps);
+    }
+  }
+  return trace;
+}
+
+Trace UniformTrace(int64_t num_requests, int64_t prompt_tokens, int64_t output_tokens,
+                   double inter_arrival_s) {
+  CHECK_GT(num_requests, 0);
+  Trace trace;
+  trace.name = "uniform";
+  trace.requests.reserve(static_cast<size_t>(num_requests));
+  for (int64_t i = 0; i < num_requests; ++i) {
+    Request request;
+    request.id = i;
+    request.arrival_time_s = inter_arrival_s * static_cast<double>(i);
+    request.prompt_tokens = prompt_tokens;
+    request.output_tokens = output_tokens;
+    trace.requests.push_back(request);
+  }
+  return trace;
+}
+
+}  // namespace sarathi

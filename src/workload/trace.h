@@ -1,0 +1,59 @@
+// Request traces: arrival process + sampled request shapes.
+
+#ifndef SRC_WORKLOAD_TRACE_H_
+#define SRC_WORKLOAD_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/workload/dataset.h"
+
+namespace sarathi {
+
+struct Request {
+  int64_t id = 0;
+  double arrival_time_s = 0.0;
+  int64_t prompt_tokens = 0;
+  int64_t output_tokens = 0;
+  // Tenant identity for fairness-aware scheduling (kVtc); 0 by default.
+  int64_t client_id = 0;
+  // Parallel sampling factor: the prompt prefills once and (num_samples - 1)
+  // siblings fork at prefill completion, sharing prompt KV (paged-memory
+  // policies only).
+  int64_t num_samples = 1;
+
+  int64_t total_tokens() const { return prompt_tokens + output_tokens; }
+};
+
+struct Trace {
+  std::string name;
+  std::vector<Request> requests;
+
+  size_t size() const { return requests.size(); }
+  bool empty() const { return requests.empty(); }
+
+  // Multi-line summary (count, prompt/output medians, duration) for logs.
+  std::string Summary() const;
+};
+
+struct TraceOptions {
+  int64_t num_requests = 256;
+  // Poisson arrival rate in queries/second; <= 0 means all requests arrive at
+  // t=0 (the paper's 128-request "burst" runs in Fig. 1a and Table 4).
+  double qps = 1.0;
+  uint64_t seed = 42;
+};
+
+// Samples shapes from the dataset and lays arrivals out as a Poisson process.
+Trace GenerateTrace(const DatasetSpec& dataset, const TraceOptions& options);
+
+// A hand-built trace with uniform shapes at a fixed rate — deterministic
+// fixture for tests and the Fig. 7 / Fig. 8 micro-scenarios.
+Trace UniformTrace(int64_t num_requests, int64_t prompt_tokens, int64_t output_tokens,
+                   double inter_arrival_s);
+
+}  // namespace sarathi
+
+#endif  // SRC_WORKLOAD_TRACE_H_

@@ -1,0 +1,115 @@
+#include "src/workload/trace_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace sarathi {
+namespace {
+
+constexpr char kHeader[] = "id,arrival_time_s,prompt_tokens,output_tokens,client_id";
+// Pre-multi-tenant format, still accepted on read (client_id defaults to 0).
+constexpr char kLegacyHeader[] = "id,arrival_time_s,prompt_tokens,output_tokens";
+
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream in(line);
+  while (std::getline(in, field, ',')) {
+    fields.push_back(field);
+  }
+  return fields;
+}
+
+}  // namespace
+
+void WriteTraceCsv(const Trace& trace, std::ostream& out) {
+  if (!trace.name.empty()) {
+    out << "# name: " << trace.name << '\n';
+  }
+  out << kHeader << '\n';
+  for (const Request& r : trace.requests) {
+    out << r.id << ',' << r.arrival_time_s << ',' << r.prompt_tokens << ','
+        << r.output_tokens << ',' << r.client_id << '\n';
+  }
+}
+
+StatusOr<Trace> ReadTraceCsv(std::istream& in) {
+  Trace trace;
+  std::string line;
+  bool header_seen = false;
+  int line_number = 0;
+  double last_arrival = 0.0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) {
+      continue;
+    }
+    if (line.rfind("# name: ", 0) == 0) {
+      trace.name = line.substr(8);
+      continue;
+    }
+    if (line[0] == '#') {
+      continue;
+    }
+    if (!header_seen) {
+      if (line != kHeader && line != kLegacyHeader) {
+        return InvalidArgumentError("line " + std::to_string(line_number) +
+                                    ": expected header '" + kHeader + "', got '" + line + "'");
+      }
+      header_seen = true;
+      continue;
+    }
+    std::vector<std::string> fields = SplitCsvLine(line);
+    if (fields.size() != 4 && fields.size() != 5) {
+      return InvalidArgumentError("line " + std::to_string(line_number) +
+                                  ": expected 4 or 5 fields");
+    }
+    Request request;
+    try {
+      request.id = std::stoll(fields[0]);
+      request.arrival_time_s = std::stod(fields[1]);
+      request.prompt_tokens = std::stoll(fields[2]);
+      request.output_tokens = std::stoll(fields[3]);
+      request.client_id = fields.size() == 5 ? std::stoll(fields[4]) : 0;
+    } catch (const std::exception&) {
+      return InvalidArgumentError("line " + std::to_string(line_number) + ": parse error");
+    }
+    if (request.prompt_tokens <= 0 || request.output_tokens <= 0) {
+      return InvalidArgumentError("line " + std::to_string(line_number) +
+                                  ": token counts must be positive");
+    }
+    if (request.arrival_time_s < last_arrival) {
+      return InvalidArgumentError("line " + std::to_string(line_number) +
+                                  ": arrival times must be non-decreasing");
+    }
+    last_arrival = request.arrival_time_s;
+    trace.requests.push_back(request);
+  }
+  if (!header_seen) {
+    return InvalidArgumentError("empty trace file");
+  }
+  return trace;
+}
+
+Status SaveTrace(const Trace& trace, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return InternalError("cannot open " + path + " for writing");
+  }
+  WriteTraceCsv(trace, out);
+  if (!out) {
+    return InternalError("write failed for " + path);
+  }
+  return Status::Ok();
+}
+
+StatusOr<Trace> LoadTrace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return NotFoundError("cannot open " + path);
+  }
+  return ReadTraceCsv(in);
+}
+
+}  // namespace sarathi

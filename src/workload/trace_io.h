@@ -1,0 +1,35 @@
+// Trace serialization: save and load request traces as CSV.
+//
+// The paper's artifact ships its experiment traces as files under /data;
+// this is the equivalent facility, so synthetic traces can be frozen for
+// exact cross-run reproducibility and users can bring their own production
+// traces.
+//
+// Format (header required):
+//   id,arrival_time_s,prompt_tokens,output_tokens
+
+#ifndef SRC_WORKLOAD_TRACE_IO_H_
+#define SRC_WORKLOAD_TRACE_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/workload/trace.h"
+
+namespace sarathi {
+
+// Serializes the trace; name travels as a "# name: <name>" comment line.
+void WriteTraceCsv(const Trace& trace, std::ostream& out);
+
+// Parses a trace. Fails with InvalidArgument on malformed rows, negative or
+// zero token counts, or unsorted arrival times.
+StatusOr<Trace> ReadTraceCsv(std::istream& in);
+
+// File-based convenience wrappers.
+Status SaveTrace(const Trace& trace, const std::string& path);
+StatusOr<Trace> LoadTrace(const std::string& path);
+
+}  // namespace sarathi
+
+#endif  // SRC_WORKLOAD_TRACE_IO_H_

@@ -1,0 +1,307 @@
+// Tests for the §6-adjacent schedulers: FastServe-style skip-join MLFQ
+// (JCT-oriented preemptive scheduling) and VTC fairness over Sarathi
+// batching.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/serving_system.h"
+#include "src/memory/block_manager.h"
+#include "src/scheduler/fastserve_scheduler.h"
+#include "src/scheduler/vtc_scheduler.h"
+
+namespace sarathi {
+namespace {
+
+PagedBlockManager::Options BigPagedOpts() {
+  PagedBlockManager::Options o;
+  o.num_blocks = 100000;
+  o.block_size = 16;
+  o.watermark = 0.0;
+  return o;
+}
+
+class RequestPool {
+ public:
+  RequestState* Add(int64_t prompt, int64_t output, double arrival = 0.0,
+                    int64_t client = 0) {
+    Request r;
+    r.id = next_id_++;
+    r.arrival_time_s = arrival;
+    r.prompt_tokens = prompt;
+    r.output_tokens = output;
+    r.client_id = client;
+    states_.push_back(std::make_unique<RequestState>(r));
+    return states_.back().get();
+  }
+
+ private:
+  int64_t next_id_ = 0;
+  std::vector<std::unique_ptr<RequestState>> states_;
+};
+
+// ---------- FastServe ----------
+
+class FastServeTest : public ::testing::Test {
+ protected:
+  FastServeTest() : blocks_(BigPagedOpts()) {}
+
+  SchedulerConfig Config() {
+    SchedulerConfig config;
+    config.policy = SchedulerPolicy::kFastServe;
+    config.num_mlfq_levels = 4;
+    config.mlfq_base_quantum = 16;      // Quanta 16, 32, 64, 128.
+    config.prefill_decode_equiv = 128;  // 128 prefill tokens ~ 1 decode token.
+    return config;
+  }
+
+  PagedBlockManager blocks_;
+  RequestPool pool_;
+};
+
+TEST_F(FastServeTest, SkipJoinPlacesLongPromptsLower) {
+  FastServeScheduler scheduler(Config(), &blocks_);
+  RequestState* tiny = pool_.Add(100, 5);     // ~1 decode-equiv -> level 0.
+  RequestState* medium = pool_.Add(3000, 5);  // ~24 equiv -> level 1.
+  RequestState* huge = pool_.Add(12000, 5);   // ~94 equiv -> level 3.
+  EXPECT_EQ(scheduler.LevelOf(tiny), 0);
+  EXPECT_EQ(scheduler.LevelOf(medium), 1);
+  EXPECT_EQ(scheduler.LevelOf(huge), 3);
+}
+
+TEST_F(FastServeTest, QuantumExhaustionDemotes) {
+  FastServeScheduler scheduler(Config(), &blocks_);
+  RequestState* r = pool_.Add(64, 60);
+  scheduler.Enqueue(r);
+  scheduler.OnBatchComplete(scheduler.Schedule());  // Prefill.
+  EXPECT_EQ(scheduler.LevelOf(r), 0);
+  // Quantum at level 0 is 16 decode-equivalents; the prefill consumed 1.
+  for (int i = 0; i < 15; ++i) {
+    scheduler.OnBatchComplete(scheduler.Schedule());
+  }
+  EXPECT_EQ(scheduler.LevelOf(r), 1);
+  // Level-1 quantum is 32 more decodes.
+  for (int i = 0; i < 32; ++i) {
+    scheduler.OnBatchComplete(scheduler.Schedule());
+  }
+  EXPECT_EQ(scheduler.LevelOf(r), 2);
+}
+
+TEST_F(FastServeTest, ShortJobOvertakesDemotedLongJob) {
+  FastServeScheduler scheduler(Config(), &blocks_);
+  RequestState* long_job = pool_.Add(64, 200);
+  scheduler.Enqueue(long_job);
+  // Run the long job past its first quantum so it demotes to level 1.
+  for (int i = 0; i < 20; ++i) {
+    scheduler.OnBatchComplete(scheduler.Schedule());
+  }
+  ASSERT_GE(scheduler.LevelOf(long_job), 1);
+
+  RequestState* short_job = pool_.Add(64, 3, /*arrival=*/1.0);
+  scheduler.Enqueue(short_job);
+  // The newcomer lands at level 0 and is served first.
+  ScheduledBatch batch = scheduler.Schedule();
+  ASSERT_FALSE(batch.empty());
+  EXPECT_EQ(batch.items[0].request, short_job);
+  // The long job still rides along if batch slots remain (work conservation).
+  bool long_included = false;
+  for (const auto& item : batch.items) {
+    long_included |= item.request == long_job;
+  }
+  EXPECT_TRUE(long_included);
+}
+
+TEST_F(FastServeTest, DrainsEverything) {
+  FastServeScheduler scheduler(Config(), &blocks_);
+  RequestPool pool;
+  std::vector<RequestState*> all;
+  for (int i = 0; i < 12; ++i) {
+    all.push_back(pool.Add(50 + 700 * (i % 3), 10 + 5 * i, 0.0));
+    scheduler.Enqueue(all.back());
+  }
+  int64_t iterations = 0;
+  while (scheduler.HasWork()) {
+    ScheduledBatch batch = scheduler.Schedule();
+    ASSERT_FALSE(batch.empty());
+    scheduler.OnBatchComplete(batch);
+    ASSERT_LT(++iterations, 10000);
+  }
+  for (RequestState* r : all) {
+    EXPECT_TRUE(r->finished());
+  }
+}
+
+TEST_F(FastServeTest, ImprovesShortJobLatencyUnderHeavyMix) {
+  // End-to-end: a bimodal workload (many short, few huge). FastServe should
+  // beat vLLM's FCFS on median end-to-end latency (its design goal).
+  Trace trace;
+  trace.name = "bimodal";
+  int64_t id = 0;
+  for (int i = 0; i < 30; ++i) {
+    Request r;
+    r.id = id++;
+    r.arrival_time_s = 0.25 * i;
+    bool huge = (i % 6 == 0);
+    r.prompt_tokens = huge ? 7000 : 200;
+    r.output_tokens = huge ? 300 : 20;
+    trace.requests.push_back(r);
+  }
+  Deployment deployment = MistralOnA100();
+  SchedulerConfig fastserve;
+  fastserve.policy = SchedulerPolicy::kFastServe;
+  SimResult fs = ServingSystem(deployment, fastserve).Serve(trace);
+  SimResult vllm = ServingSystem(deployment, VllmConfig()).Serve(trace);
+  EXPECT_LT(fs.LatencySummary().Median(), vllm.LatencySummary().Median());
+}
+
+// ---------- VTC ----------
+
+class VtcTest : public ::testing::Test {
+ protected:
+  VtcTest() : blocks_(BigPagedOpts()) {}
+
+  SchedulerConfig Config() {
+    SchedulerConfig config;
+    config.policy = SchedulerPolicy::kVtc;
+    config.token_budget = 512;
+    return config;
+  }
+
+  PagedBlockManager blocks_;
+  RequestPool pool_;
+};
+
+TEST_F(VtcTest, CountersAccrueWeightedTokens) {
+  SchedulerConfig config = Config();
+  config.client_weights[2] = 2.0;
+  VtcScheduler scheduler(config, &blocks_);
+  RequestState* a = pool_.Add(200, 1, 0.0, /*client=*/1);
+  RequestState* b = pool_.Add(200, 1, 0.0, /*client=*/2);
+  scheduler.Enqueue(a);
+  scheduler.Enqueue(b);
+  scheduler.OnBatchComplete(scheduler.Schedule());
+  // Client 1 paid 200 tokens at weight 1; client 2 paid 200 at weight 2.
+  EXPECT_DOUBLE_EQ(scheduler.CounterOf(1), 200.0);
+  EXPECT_DOUBLE_EQ(scheduler.CounterOf(2), 100.0);
+}
+
+TEST_F(VtcTest, SmallestCounterClientAdmittedFirst) {
+  VtcScheduler scheduler(Config(), &blocks_);
+  // Client 7 floods; client 8 sends one request after the first flood batch.
+  for (int i = 0; i < 4; ++i) {
+    scheduler.Enqueue(pool_.Add(512, 1, 0.0, /*client=*/7));
+  }
+  scheduler.OnBatchComplete(scheduler.Schedule());  // Client 7: counter 512.
+  RequestState* light = pool_.Add(256, 1, 0.1, /*client=*/8);
+  scheduler.Enqueue(light);
+  // On arrival client 8 lifts to the incumbent's counter (512): an exact tie,
+  // which FCFS-by-client-id resolves toward the incumbent for one batch.
+  scheduler.OnBatchComplete(scheduler.Schedule());  // Client 7: counter 1024.
+  // Now client 8 (512) < client 7 (1024): the light tenant overtakes the
+  // remaining flood backlog.
+  ScheduledBatch batch = scheduler.Schedule();
+  ASSERT_FALSE(batch.empty());
+  EXPECT_EQ(batch.items[0].request, light);
+}
+
+TEST_F(VtcTest, CounterLiftStopsIdleCreditBanking) {
+  VtcScheduler scheduler(Config(), &blocks_);
+  // Incumbent client 1 accrues a large counter and keeps a backlog queued
+  // (the lift references clients currently in the system).
+  for (int i = 0; i < 4; ++i) {
+    scheduler.Enqueue(pool_.Add(512, 1, 0.0, /*client=*/1));
+  }
+  scheduler.OnBatchComplete(scheduler.Schedule());
+  scheduler.OnBatchComplete(scheduler.Schedule());
+  double incumbent = scheduler.CounterOf(1);
+  ASSERT_GT(incumbent, 0.0);
+  // Client 2 shows up for the first time while client 1 is still active: its
+  // counter lifts to the incumbent's instead of starting at 0 with a massive
+  // advantage.
+  scheduler.Enqueue(pool_.Add(100, 1, 5.0, /*client=*/2));
+  (void)scheduler.Schedule();
+  EXPECT_DOUBLE_EQ(scheduler.CounterOf(2), incumbent);
+}
+
+TEST_F(VtcTest, FloodedSystemSharesThroughputEvenly) {
+  // End-to-end: client 0 floods, client 1 trickles; during contention both
+  // should progress, and client 1 must not starve behind client 0's backlog.
+  Trace trace;
+  trace.name = "two-tenant";
+  int64_t id = 0;
+  for (int i = 0; i < 40; ++i) {  // Flood at t=0.
+    Request r;
+    r.id = id++;
+    r.arrival_time_s = 0.0;
+    r.prompt_tokens = 1500;
+    r.output_tokens = 100;
+    r.client_id = 0;
+    trace.requests.push_back(r);
+  }
+  for (int i = 0; i < 8; ++i) {  // Light tenant.
+    Request r;
+    r.id = id++;
+    r.arrival_time_s = 1.0 + 2.0 * i;
+    r.prompt_tokens = 1500;
+    r.output_tokens = 100;
+    r.client_id = 1;
+    trace.requests.push_back(r);
+  }
+  std::stable_sort(trace.requests.begin(), trace.requests.end(),
+                   [](const Request& a, const Request& b) {
+                     return a.arrival_time_s < b.arrival_time_s;
+                   });
+
+  Deployment deployment = MistralOnA100();
+  SchedulerConfig vtc;
+  vtc.policy = SchedulerPolicy::kVtc;
+  vtc.token_budget = 512;
+  SimResult fair = ServingSystem(deployment, vtc).Serve(trace);
+  SimResult fcfs = ServingSystem(deployment, SarathiConfig(512)).Serve(trace);
+
+  auto light_p99_ttft = [&](const SimResult& result) {
+    Summary ttft;
+    for (size_t i = 0; i < trace.size(); ++i) {
+      if (trace.requests[i].client_id == 1) {
+        ttft.Add(result.requests[i].Ttft());
+      }
+    }
+    return ttft.Quantile(0.99);
+  };
+  // Under FCFS the light tenant queues behind the flood; VTC cuts its tail
+  // TTFT by a large factor.
+  EXPECT_LT(light_p99_ttft(fair), 0.5 * light_p99_ttft(fcfs));
+  // Work conservation: the flood still completes.
+  for (const auto& r : fair.requests) {
+    EXPECT_TRUE(r.completed());
+  }
+}
+
+TEST_F(VtcTest, StallFreePropertyInherited) {
+  // VTC reorders admissions but must never break Sarathi's stall-freedom.
+  VtcScheduler scheduler(Config(), &blocks_);
+  RequestPool pool;
+  for (int i = 0; i < 6; ++i) {
+    scheduler.Enqueue(pool.Add(400, 30, 0.0, /*client=*/i % 3));
+  }
+  int64_t iterations = 0;
+  while (scheduler.HasWork()) {
+    ScheduledBatch batch = scheduler.Schedule();
+    ASSERT_FALSE(batch.empty());
+    int64_t ready = 0;
+    for (const RequestState* r : scheduler.running()) {
+      if (r->prefill_complete() && !r->finished() && !r->locked()) {
+        ++ready;
+      }
+    }
+    ASSERT_EQ(batch.NumDecodes(), ready);
+    ASSERT_LE(batch.TotalTokens(), 512);
+    scheduler.OnBatchComplete(batch);
+    ASSERT_LT(++iterations, 10000);
+  }
+}
+
+}  // namespace
+}  // namespace sarathi

@@ -1,0 +1,330 @@
+// Tests for block sharing and copy-on-write: PagedAttention's hallmark
+// feature, exercised at the manager level and end-to-end on the real engine
+// (forked continuations must match from-scratch runs bit-for-bit while
+// physically sharing their common prefix).
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/engine/reference/kv_store.h"
+#include "src/engine/reference/tiny_model.h"
+#include "src/engine/reference/reference_server.h"
+#include "src/memory/block_manager.h"
+
+namespace sarathi {
+namespace {
+
+PagedBlockManager::Options Opts(int64_t blocks, int64_t block_size) {
+  PagedBlockManager::Options o;
+  o.num_blocks = blocks;
+  o.block_size = block_size;
+  o.watermark = 0.0;
+  return o;
+}
+
+TEST(ForkTest, ForkSharesBlocksWithoutAllocating) {
+  PagedBlockManager mgr(Opts(32, 16));
+  mgr.Admit(1, 40, 100);  // 3 blocks.
+  int64_t used_before = mgr.used_blocks();
+  ASSERT_TRUE(mgr.CanFork(1));
+  mgr.Fork(1, 2);
+  EXPECT_EQ(mgr.used_blocks(), used_before);  // Zero-copy.
+  EXPECT_EQ(mgr.BlockTable(2), mgr.BlockTable(1));
+  for (int64_t block : mgr.BlockTable(1)) {
+    EXPECT_EQ(mgr.BlockRefCount(block), 2);
+  }
+  EXPECT_EQ(mgr.SequenceTokens(2), 40);
+}
+
+TEST(ForkTest, ReleaseOfOneSiblingKeepsSharedBlocks) {
+  PagedBlockManager mgr(Opts(32, 16));
+  mgr.Admit(1, 40, 100);
+  mgr.Fork(1, 2);
+  std::vector<int64_t> blocks = mgr.BlockTable(1);
+  mgr.Release(1);
+  for (int64_t block : blocks) {
+    EXPECT_EQ(mgr.BlockRefCount(block), 1);  // Child still owns them.
+  }
+  EXPECT_EQ(mgr.BlockTable(2), blocks);
+  mgr.Release(2);
+  EXPECT_EQ(mgr.free_blocks(), mgr.num_blocks());
+}
+
+TEST(ForkTest, MakeWritableCopiesOnlySharedBlocks) {
+  PagedBlockManager mgr(Opts(32, 16));
+  mgr.Admit(1, 40, 100);
+  // Exclusive block: no-op.
+  EXPECT_FALSE(mgr.MakeWritable(1, 5).has_value());
+  mgr.Fork(1, 2);
+  auto cow = mgr.MakeWritable(2, 5);  // Block index 0 is shared.
+  ASSERT_TRUE(cow.has_value());
+  EXPECT_EQ(cow->block_index, 0);
+  EXPECT_NE(cow->new_block, cow->old_block);
+  EXPECT_EQ(mgr.BlockRefCount(cow->old_block), 1);  // Parent keeps it.
+  EXPECT_EQ(mgr.BlockRefCount(cow->new_block), 1);
+  // Only index 0 diverged.
+  EXPECT_NE(mgr.BlockTable(2)[0], mgr.BlockTable(1)[0]);
+  EXPECT_EQ(mgr.BlockTable(2)[1], mgr.BlockTable(1)[1]);
+  EXPECT_EQ(mgr.BlockTable(2)[2], mgr.BlockTable(1)[2]);
+  // Second call: already exclusive.
+  EXPECT_FALSE(mgr.MakeWritable(2, 5).has_value());
+}
+
+TEST(ForkTest, AppendTokenCowPaths) {
+  PagedBlockManager mgr(Opts(32, 16));
+  mgr.Admit(1, 16, 100);  // Exactly one full block.
+  mgr.Fork(1, 2);
+  // Appending token 17 to the child needs a NEW block (growth), no CoW.
+  auto grow = mgr.AppendTokenCow(2);
+  EXPECT_FALSE(grow.has_value());
+  EXPECT_EQ(mgr.SequenceTokens(2), 17);
+  EXPECT_NE(mgr.BlockTable(2)[1], mgr.BlockTable(1)[0]);
+  // Parent admits a half-full block case: re-fork at 17 tokens.
+  mgr.Fork(2, 3);
+  // Appending token 18 writes into the shared tail block -> CoW.
+  auto cow = mgr.AppendTokenCow(3);
+  ASSERT_TRUE(cow.has_value());
+  EXPECT_EQ(cow->block_index, 1);
+  EXPECT_EQ(mgr.BlockRefCount(cow->new_block), 1);
+}
+
+TEST(ForkTest, PlainAppendCowsSharedTailAndQueuesTheCopy) {
+  // The KvAllocator-interface AppendToken (what schedulers call via
+  // PrepareDecodeSlot) copy-on-writes shared tails internally and queues the
+  // data-copy op for the engine.
+  PagedBlockManager mgr(Opts(32, 16));
+  mgr.Admit(1, 10, 100);  // Partial block.
+  mgr.Fork(1, 2);
+  mgr.AppendToken(2);
+  auto cows = mgr.TakePendingCows();
+  ASSERT_EQ(cows.size(), 1u);
+  EXPECT_EQ(cows[0].first, 2);
+  EXPECT_EQ(cows[0].second.block_index, 0);
+  EXPECT_NE(mgr.BlockTable(2)[0], mgr.BlockTable(1)[0]);
+  // Drained: a second take is empty; appends on exclusive blocks queue none.
+  EXPECT_TRUE(mgr.TakePendingCows().empty());
+  mgr.AppendToken(2);
+  EXPECT_TRUE(mgr.TakePendingCows().empty());
+}
+
+TEST(ForkTest, FourWayForkMemoryEconomy) {
+  PagedBlockManager mgr(Opts(64, 16));
+  mgr.Admit(1, 160, 400);  // 10 blocks.
+  for (int64_t child = 2; child <= 4; ++child) {
+    mgr.Fork(1, child);
+  }
+  // Four logical copies of a 10-block prefix cost 10 physical blocks.
+  EXPECT_EQ(mgr.used_blocks(), 10);
+  // Each sibling decodes 16 tokens: one exclusive block each.
+  for (int64_t id = 1; id <= 4; ++id) {
+    for (int i = 0; i < 16; ++i) {
+      (void)mgr.AppendTokenCow(id);
+    }
+  }
+  EXPECT_EQ(mgr.used_blocks(), 10 + 4);  // Not 4 x 11.
+}
+
+// ---- End-to-end on the real engine ----
+
+class EngineForkTest : public ::testing::Test {
+ protected:
+  EngineForkTest()
+      : model_(config_), manager_(Opts(128, 8)),
+        store_(KvStore::Options{128, 8, config_.num_layers, config_.kv_dim(), 0}) {}
+
+  std::vector<int32_t> RandomPrompt(int64_t n, uint64_t seed) {
+    Rng rng(seed);
+    std::vector<int32_t> prompt(static_cast<size_t>(n));
+    for (auto& t : prompt) {
+      t = static_cast<int32_t>(rng.UniformInt(0, config_.vocab - 1));
+    }
+    return prompt;
+  }
+
+  // Appends `token` to sequence `id` at position `pos` (CoW-aware) and
+  // returns the next-token logits.
+  Vec Step(SeqId id, int32_t token, int64_t pos) {
+    auto cow = manager_.AppendTokenCow(id);
+    if (cow.has_value()) {
+      store_.CopyBlock(cow->old_block, cow->new_block);
+    }
+    return model_.ForwardChunk({token}, pos, manager_.BlockTable(id), &store_);
+  }
+
+  // Gold standard: run `tokens` as one unforked sequence and return the
+  // final logits.
+  Vec FromScratch(const std::vector<int32_t>& tokens, SeqId id) {
+    manager_.Admit(id, static_cast<int64_t>(tokens.size()), 0);
+    return model_.ForwardChunk(tokens, 0, manager_.BlockTable(id), &store_);
+  }
+
+  TinyModelConfig config_;
+  TinyModel model_;
+  PagedBlockManager manager_;
+  KvStore store_;
+};
+
+TEST_F(EngineForkTest, ForkedContinuationsMatchFromScratchRuns) {
+  std::vector<int32_t> prompt = RandomPrompt(21, 5);  // Partial tail block.
+  manager_.Admit(1, static_cast<int64_t>(prompt.size()), 0);
+  (void)model_.ForwardChunk(prompt, 0, manager_.BlockTable(1), &store_);
+
+  // Fork two children that continue with different tokens.
+  manager_.Fork(1, 2);
+  manager_.Fork(1, 3);
+  int32_t token_a = 7;
+  int32_t token_b = 99;
+  Vec logits_a = Step(2, token_a, static_cast<int64_t>(prompt.size()));
+  Vec logits_b = Step(3, token_b, static_cast<int64_t>(prompt.size()));
+
+  // Gold: unforked sequences prompt+a and prompt+b.
+  std::vector<int32_t> with_a = prompt;
+  with_a.push_back(token_a);
+  std::vector<int32_t> with_b = prompt;
+  with_b.push_back(token_b);
+  Vec gold_a = FromScratch(with_a, 10);
+  Vec gold_b = FromScratch(with_b, 11);
+
+  ASSERT_EQ(logits_a.size(), gold_a.size());
+  for (size_t i = 0; i < gold_a.size(); ++i) {
+    ASSERT_NEAR(logits_a[i], gold_a[i], 1e-4f);
+    ASSERT_NEAR(logits_b[i], gold_b[i], 1e-4f);
+  }
+  // The two branches genuinely diverged.
+  double diff = 0.0;
+  for (size_t i = 0; i < logits_a.size(); ++i) {
+    diff += std::abs(logits_a[i] - logits_b[i]);
+  }
+  EXPECT_GT(diff, 1e-3);
+}
+
+// ---- Parallel sampling through the full scheduler stack ----
+
+class ParallelSamplingTest : public ::testing::Test {
+ protected:
+  ReferenceServer::Options ServerOptions(double temperature, int64_t budget = 24) {
+    ReferenceServer::Options options;
+    options.engine.sampling.temperature = temperature;
+    options.engine.sampling.top_k = temperature > 0.0 ? 16 : 0;
+    options.scheduler.policy = SchedulerPolicy::kSarathi;
+    options.scheduler.token_budget = budget;
+    options.block_size = 8;
+    return options;
+  }
+
+  std::vector<int32_t> RandomPrompt(int64_t n, uint64_t seed) {
+    Rng rng(seed);
+    std::vector<int32_t> prompt(static_cast<size_t>(n));
+    for (auto& t : prompt) {
+      t = static_cast<int32_t>(rng.UniformInt(0, 130));
+    }
+    return prompt;
+  }
+};
+
+TEST_F(ParallelSamplingTest, GreedySamplesAreIdentical) {
+  ReferenceServer server(ServerOptions(/*temperature=*/0.0));
+  server.AddRequest(1, RandomPrompt(40, 3), /*max_new_tokens=*/12, /*num_samples=*/4);
+  server.Run();
+  const auto& ids = server.SampleIds(1);
+  ASSERT_EQ(ids.size(), 4u);
+  const auto& parent = server.GeneratedTokens(ids[0]);
+  EXPECT_EQ(parent.size(), 12u);
+  for (size_t s = 1; s < ids.size(); ++s) {
+    EXPECT_EQ(server.GeneratedTokens(ids[s]), parent) << "greedy sample " << s << " diverged";
+  }
+}
+
+TEST_F(ParallelSamplingTest, StochasticSamplesDivergeButShareThePrefix) {
+  ReferenceServer server(ServerOptions(/*temperature=*/1.2));
+  server.AddRequest(1, RandomPrompt(40, 4), /*max_new_tokens=*/16, /*num_samples=*/4);
+  server.Run();
+  const auto& ids = server.SampleIds(1);
+  ASSERT_EQ(ids.size(), 4u);
+  std::set<std::vector<int32_t>> distinct;
+  for (int64_t id : ids) {
+    EXPECT_EQ(server.GeneratedTokens(id).size(), 16u);
+    distinct.insert(server.GeneratedTokens(id));
+  }
+  EXPECT_GE(distinct.size(), 3u) << "temperature sampling produced near-identical branches";
+}
+
+TEST_F(ParallelSamplingTest, SamplesMatchIndependentRequestsWithSameStream) {
+  // A forked sample's stream is a pure function of (base seed, sequence id),
+  // so sample k must reproduce an *independent* request registered under the
+  // same sequence id with the same prompt.
+  std::vector<int32_t> prompt = RandomPrompt(33, 5);
+  ReferenceServer forked(ServerOptions(/*temperature=*/0.9));
+  forked.AddRequest(1, prompt, 10, /*num_samples=*/3);
+  forked.Run();
+  const auto& ids = forked.SampleIds(1);
+
+  for (int64_t id : ids) {
+    ReferenceServer solo(ServerOptions(/*temperature=*/0.9));
+    solo.AddRequest(id, prompt, 10);
+    solo.Run();
+    EXPECT_EQ(solo.GeneratedTokens(id), forked.GeneratedTokens(id))
+        << "sample " << id << " diverged from its independent twin";
+  }
+}
+
+TEST_F(ParallelSamplingTest, SharesPromptBlocksAndReleasesEverything) {
+  ReferenceServer::Options options = ServerOptions(0.8);
+  options.num_blocks = 64;  // Tight: sharing is required to fit.
+  ReferenceServer server(options);
+  // 80-token prompt = 10 blocks; 6 samples of 20 tokens each would need
+  // 6*10 + 6*3 = 78 blocks unshared, but only 10 + ~18 shared.
+  server.AddRequest(1, RandomPrompt(80, 6), 20, /*num_samples=*/6);
+  server.Run();
+  for (int64_t id : server.SampleIds(1)) {
+    EXPECT_EQ(server.GeneratedTokens(id).size(), 20u);
+  }
+  EXPECT_EQ(server.blocks().free_blocks(), server.blocks().num_blocks());
+}
+
+TEST_F(ParallelSamplingTest, MixesWithOrdinaryRequestsUnderChunking) {
+  ReferenceServer server(ServerOptions(/*temperature=*/0.7, /*budget=*/16));
+  server.AddRequest(1, RandomPrompt(50, 7), 8, /*num_samples=*/3);
+  server.AddRequest(2, RandomPrompt(30, 8), 6);
+  server.AddRequest(3, RandomPrompt(70, 9), 5, /*num_samples=*/2);
+  server.Run();
+  EXPECT_EQ(server.SampleIds(1).size(), 3u);
+  EXPECT_EQ(server.SampleIds(2).size(), 1u);
+  EXPECT_EQ(server.SampleIds(3).size(), 2u);
+  for (int64_t request : {1, 2, 3}) {
+    for (int64_t id : server.SampleIds(request)) {
+      EXPECT_FALSE(server.GeneratedTokens(id).empty());
+    }
+  }
+}
+
+TEST_F(EngineForkTest, SiblingWritesDoNotCorruptParent) {
+  std::vector<int32_t> prompt = RandomPrompt(12, 6);
+  manager_.Admit(1, static_cast<int64_t>(prompt.size()), 0);
+  (void)model_.ForwardChunk(prompt, 0, manager_.BlockTable(1), &store_);
+  manager_.Fork(1, 2);
+
+  // Child decodes 10 tokens (with CoW), overwriting its own tail copies.
+  int64_t pos = static_cast<int64_t>(prompt.size());
+  int32_t token = 3;
+  for (int i = 0; i < 10; ++i) {
+    Vec logits = Step(2, token, pos++);
+    token = Argmax(logits);
+  }
+
+  // The parent then continues; its logits must equal a from-scratch run,
+  // proving the child's writes never touched shared data the parent reads.
+  Vec parent_logits = Step(1, 42, static_cast<int64_t>(prompt.size()));
+  std::vector<int32_t> gold_tokens = prompt;
+  gold_tokens.push_back(42);
+  Vec gold = FromScratch(gold_tokens, 20);
+  for (size_t i = 0; i < gold.size(); ++i) {
+    ASSERT_NEAR(parent_logits[i], gold[i], 1e-4f);
+  }
+}
+
+}  // namespace
+}  // namespace sarathi

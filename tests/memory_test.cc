@@ -1,0 +1,248 @@
+// Tests for the paged KV block manager and the Orca-style reservation
+// allocator, including parameterized property sweeps over block sizes.
+
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/memory/block_manager.h"
+
+namespace sarathi {
+namespace {
+
+PagedBlockManager::Options Opts(int64_t blocks, int64_t block_size, double watermark = 0.0,
+                                int64_t window = 0) {
+  PagedBlockManager::Options o;
+  o.num_blocks = blocks;
+  o.block_size = block_size;
+  o.watermark = watermark;
+  o.sliding_window = window;
+  return o;
+}
+
+TEST(PagedBlockManagerTest, BlocksForTokensRoundsUp) {
+  PagedBlockManager mgr(Opts(100, 16));
+  EXPECT_EQ(mgr.BlocksForTokens(1), 1);
+  EXPECT_EQ(mgr.BlocksForTokens(16), 1);
+  EXPECT_EQ(mgr.BlocksForTokens(17), 2);
+  EXPECT_EQ(mgr.BlocksForTokens(160), 10);
+}
+
+TEST(PagedBlockManagerTest, AdmitReservesPromptBlocks) {
+  PagedBlockManager mgr(Opts(10, 16));
+  mgr.Admit(1, 40, 60);  // ceil(40/16) = 3 blocks.
+  EXPECT_EQ(mgr.used_blocks(), 3);
+  EXPECT_EQ(mgr.free_blocks(), 7);
+  EXPECT_EQ(mgr.SequenceTokens(1), 40);
+  EXPECT_EQ(mgr.BlockTable(1).size(), 3u);
+}
+
+TEST(PagedBlockManagerTest, AppendGrowsAtBlockBoundary) {
+  PagedBlockManager mgr(Opts(10, 16));
+  mgr.Admit(1, 16, 100);
+  EXPECT_EQ(mgr.used_blocks(), 1);
+  mgr.AppendToken(1);  // Token 17 needs block 2.
+  EXPECT_EQ(mgr.used_blocks(), 2);
+  for (int i = 0; i < 15; ++i) {
+    mgr.AppendToken(1);  // Tokens 18..32 fit in block 2.
+  }
+  EXPECT_EQ(mgr.used_blocks(), 2);
+  mgr.AppendToken(1);  // Token 33.
+  EXPECT_EQ(mgr.used_blocks(), 3);
+}
+
+TEST(PagedBlockManagerTest, ReleaseReturnsAllBlocks) {
+  PagedBlockManager mgr(Opts(10, 16));
+  mgr.Admit(1, 50, 80);
+  mgr.Admit(2, 20, 40);
+  mgr.Release(1);
+  mgr.Release(2);
+  EXPECT_EQ(mgr.free_blocks(), 10);
+  EXPECT_EQ(mgr.num_sequences(), 0);
+}
+
+TEST(PagedBlockManagerTest, CanAdmitRespectsFreeBlocks) {
+  PagedBlockManager mgr(Opts(4, 16));
+  EXPECT_TRUE(mgr.CanAdmit(64, 64));   // Exactly 4 blocks.
+  EXPECT_FALSE(mgr.CanAdmit(65, 65));  // Needs 5.
+  mgr.Admit(1, 33, 33);                // 3 blocks.
+  EXPECT_TRUE(mgr.CanAdmit(16, 16));
+  EXPECT_FALSE(mgr.CanAdmit(17, 17));
+}
+
+TEST(PagedBlockManagerTest, WatermarkHoldsBackAdmission) {
+  // 10% watermark on 10 blocks: one block must stay free after admission.
+  PagedBlockManager mgr(Opts(10, 16, 0.10));
+  EXPECT_TRUE(mgr.CanAdmit(9 * 16, 200));
+  EXPECT_FALSE(mgr.CanAdmit(10 * 16, 200));
+  mgr.Admit(1, 9 * 16, 200);
+  // The watermark block is still appendable by running sequences.
+  EXPECT_TRUE(mgr.CanAppendToken(1));
+}
+
+TEST(PagedBlockManagerTest, CanAppendFalseWhenExhausted) {
+  PagedBlockManager mgr(Opts(2, 16));
+  mgr.Admit(1, 32, 100);  // Consumes both blocks.
+  EXPECT_FALSE(mgr.CanAppendToken(1));
+  // Mid-block append is always possible.
+  PagedBlockManager mgr2(Opts(2, 16));
+  mgr2.Admit(7, 17, 100);  // 2 blocks, second holds 1 token.
+  EXPECT_TRUE(mgr2.CanAppendToken(7));
+}
+
+TEST(PagedBlockManagerTest, BlockTablesAreDisjoint) {
+  PagedBlockManager mgr(Opts(32, 16));
+  mgr.Admit(1, 100, 200);
+  mgr.Admit(2, 100, 200);
+  std::set<int64_t> blocks;
+  for (int64_t b : mgr.BlockTable(1)) {
+    EXPECT_TRUE(blocks.insert(b).second);
+  }
+  for (int64_t b : mgr.BlockTable(2)) {
+    EXPECT_TRUE(blocks.insert(b).second) << "block " << b << " double-assigned";
+  }
+}
+
+TEST(PagedBlockManagerTest, SlidingWindowCapsBlockUsage) {
+  // Window 64, block 16: at most (64+16)/16 = 5 blocks per sequence.
+  PagedBlockManager mgr(Opts(100, 16, 0.0, 64));
+  mgr.Admit(1, 1000, 2000);
+  EXPECT_EQ(mgr.used_blocks(), 5);
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(mgr.CanAppendToken(1));
+    mgr.AppendToken(1);
+  }
+  EXPECT_EQ(mgr.used_blocks(), 5);
+}
+
+TEST(PagedBlockManagerDeathTest, DoubleAdmitAborts) {
+  PagedBlockManager mgr(Opts(10, 16));
+  mgr.Admit(1, 16, 32);
+  EXPECT_DEATH(mgr.Admit(1, 16, 32), "already admitted");
+}
+
+TEST(PagedBlockManagerDeathTest, UnknownSequenceAborts) {
+  PagedBlockManager mgr(Opts(10, 16));
+  EXPECT_DEATH(mgr.Release(42), "unknown sequence");
+  EXPECT_DEATH((void)mgr.BlockTable(42), "unknown sequence");
+}
+
+// Property sweep: random admit/append/release churn preserves invariants for
+// several block sizes.
+class PagedChurnTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(PagedChurnTest, InvariantsUnderChurn) {
+  const int64_t block_size = GetParam();
+  PagedBlockManager mgr(Opts(256, block_size));
+  Rng rng(2024 + static_cast<uint64_t>(block_size));
+  std::vector<int64_t> live;
+  int64_t next_id = 0;
+  int64_t expected_used = 0;
+
+  for (int step = 0; step < 2000; ++step) {
+    double action = rng.Uniform(0.0, 1.0);
+    if (action < 0.35) {
+      int64_t prompt = rng.UniformInt(1, 400);
+      if (mgr.CanAdmit(prompt, prompt + 100)) {
+        mgr.Admit(next_id, prompt, prompt + 100);
+        live.push_back(next_id);
+        expected_used += mgr.BlocksForTokens(prompt);
+        ++next_id;
+      }
+    } else if (action < 0.8 && !live.empty()) {
+      int64_t id = live[static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(live.size()) - 1))];
+      if (mgr.CanAppendToken(id)) {
+        int64_t before = mgr.BlocksForTokens(mgr.SequenceTokens(id));
+        mgr.AppendToken(id);
+        expected_used += mgr.BlocksForTokens(mgr.SequenceTokens(id)) - before;
+      }
+    } else if (!live.empty()) {
+      size_t pick = static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(live.size()) - 1));
+      int64_t id = live[pick];
+      expected_used -= mgr.BlocksForTokens(mgr.SequenceTokens(id));
+      mgr.Release(id);
+      live.erase(live.begin() + static_cast<long>(pick));
+    }
+    // Invariants: accounting matches, free+used = total, utilization sane.
+    ASSERT_EQ(mgr.used_blocks(), expected_used);
+    ASSERT_EQ(mgr.used_blocks() + mgr.free_blocks(), mgr.num_blocks());
+    ASSERT_GE(mgr.Utilization(), 0.0);
+    ASSERT_LE(mgr.Utilization(), 1.0);
+  }
+  for (int64_t id : live) {
+    mgr.Release(id);
+  }
+  EXPECT_EQ(mgr.free_blocks(), mgr.num_blocks());
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockSizes, PagedChurnTest, ::testing::Values(1, 8, 16, 32, 64));
+
+// ---------- ReservationAllocator ----------
+
+TEST(ReservationAllocatorTest, ConcurrencyCappedByMaxSeqLen) {
+  // 100k tokens / 16k max length = 6 concurrent requests.
+  ReservationAllocator alloc(100000, 16384);
+  EXPECT_EQ(alloc.max_concurrent(), 6);
+  for (int64_t i = 0; i < 6; ++i) {
+    ASSERT_TRUE(alloc.CanAdmit(100, 200));
+    alloc.Admit(i, 100, 200);
+  }
+  EXPECT_FALSE(alloc.CanAdmit(100, 200));
+  alloc.Release(3);
+  EXPECT_TRUE(alloc.CanAdmit(100, 200));
+}
+
+TEST(ReservationAllocatorTest, RejectsOverlongRequests) {
+  ReservationAllocator alloc(100000, 1000);
+  EXPECT_FALSE(alloc.CanAdmit(1001, 1001));
+  EXPECT_FALSE(alloc.CanAdmit(500, 1500));
+  EXPECT_TRUE(alloc.CanAdmit(500, 1000));
+}
+
+TEST(ReservationAllocatorTest, AppendWithinReservationAlwaysPossible) {
+  ReservationAllocator alloc(10000, 100);
+  alloc.Admit(1, 10, 100);
+  for (int i = 0; i < 90; ++i) {
+    ASSERT_TRUE(alloc.CanAppendToken(1));
+    alloc.AppendToken(1);
+  }
+  EXPECT_FALSE(alloc.CanAppendToken(1));  // Hit max_seq_len.
+}
+
+TEST(ReservationAllocatorTest, UtilizationCountsSlots) {
+  ReservationAllocator alloc(4000, 1000);  // 4 slots.
+  EXPECT_DOUBLE_EQ(alloc.Utilization(), 0.0);
+  alloc.Admit(1, 10, 500);
+  EXPECT_DOUBLE_EQ(alloc.Utilization(), 0.25);
+  alloc.Admit(2, 10, 500);
+  EXPECT_DOUBLE_EQ(alloc.Utilization(), 0.5);
+}
+
+TEST(ReservationAllocatorTest, PagedAdmitsFarMoreThanReservation) {
+  // The §5.1 observation: paged memory supports a much larger batch than
+  // max-length reservations for typical (short) requests.
+  constexpr int64_t kCapacity = 64000;
+  constexpr int64_t kMaxSeq = 16000;
+  ReservationAllocator orca_like(kCapacity, kMaxSeq);
+  PagedBlockManager vllm_like(Opts(kCapacity / 16, 16));
+  int64_t orca_admitted = 0;
+  int64_t vllm_admitted = 0;
+  for (int64_t id = 0; id < 1000; ++id) {
+    if (orca_like.CanAdmit(500, 700)) {
+      orca_like.Admit(id, 500, 700);
+      ++orca_admitted;
+    }
+    if (vllm_like.CanAdmit(500, 700)) {
+      vllm_like.Admit(id, 500, 700);
+      ++vllm_admitted;
+    }
+  }
+  EXPECT_EQ(orca_admitted, 4);
+  EXPECT_GT(vllm_admitted, 20 * orca_admitted);
+}
+
+}  // namespace
+}  // namespace sarathi

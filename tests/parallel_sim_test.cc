@@ -1,0 +1,110 @@
+// Tests for time-domain parallel sampling: num_samples > 1 in the replica
+// simulator forks siblings at prefill completion with zero-copy prompt KV.
+
+#include <gtest/gtest.h>
+
+#include "src/core/serving_system.h"
+#include "src/simulator/replica_simulator.h"
+
+namespace sarathi {
+namespace {
+
+SimulatorOptions Options(SchedulerConfig scheduler) {
+  Deployment deployment = MistralOnA100();
+  SimulatorOptions options;
+  options.model = deployment.model;
+  options.cluster = deployment.cluster;
+  options.parallel = deployment.parallel;
+  options.scheduler = scheduler;
+  return options;
+}
+
+Trace SampledTrace(int64_t requests, int64_t num_samples, int64_t prompt = 1024,
+                   int64_t output = 40) {
+  Trace trace = UniformTrace(requests, prompt, output, 0.5);
+  for (auto& r : trace.requests) {
+    r.num_samples = num_samples;
+  }
+  return trace;
+}
+
+TEST(ParallelSimTest, SiblingsMaterializeWithFullOutputs) {
+  Trace trace = SampledTrace(6, 4);
+  SimResult result = ReplicaSimulator(Options(SarathiConfig(512))).Run(trace);
+  // 6 parents + 6*3 siblings.
+  ASSERT_EQ(result.requests.size(), 6u + 18u);
+  int64_t expected_tokens = 0;
+  for (const auto& r : trace.requests) {
+    expected_tokens += r.output_tokens * r.num_samples;
+  }
+  EXPECT_EQ(result.total_output_tokens, expected_tokens);
+  for (const auto& r : result.requests) {
+    EXPECT_TRUE(r.completed());
+    EXPECT_EQ(r.token_times_s.size(), 40u);
+  }
+}
+
+TEST(ParallelSimTest, SiblingsShareTtftAndPrefillCost) {
+  // One request, n=4: all four samples' first tokens appear simultaneously
+  // (one prefill), and prefill tokens are charged exactly once.
+  Trace trace = SampledTrace(1, 4, 2048, 8);
+  SimulatorOptions options = Options(SarathiConfig(512));
+  options.record_iterations = true;
+  SimResult result = ReplicaSimulator(options).Run(trace);
+  ASSERT_EQ(result.requests.size(), 4u);
+  for (const auto& r : result.requests) {
+    EXPECT_DOUBLE_EQ(r.Ttft(), result.requests[0].Ttft());
+  }
+  int64_t prefill_tokens = 0;
+  for (const auto& it : result.iterations) {
+    prefill_tokens += it.prefill_tokens;
+  }
+  EXPECT_EQ(prefill_tokens, 2048);  // Not 4 x 2048.
+}
+
+TEST(ParallelSimTest, SamplingCostsDecodeThroughputNotPrefill) {
+  // n=4 quadruples decode work but not prefill work: makespan grows by much
+  // less than 4x on a prefill-heavy workload.
+  Trace n1 = SampledTrace(8, 1, 4096, 32);
+  Trace n4 = SampledTrace(8, 4, 4096, 32);
+  double t1 = ReplicaSimulator(Options(SarathiConfig(2048))).Run(n1).makespan_s;
+  double t4 = ReplicaSimulator(Options(SarathiConfig(2048))).Run(n4).makespan_s;
+  EXPECT_GT(t4, t1);
+  EXPECT_LT(t4, 2.0 * t1);
+}
+
+TEST(ParallelSimTest, WorksAcrossPagedPolicies) {
+  for (SchedulerPolicy policy : {SchedulerPolicy::kSarathi, SchedulerPolicy::kVllm,
+                                 SchedulerPolicy::kFastServe, SchedulerPolicy::kVtc}) {
+    SchedulerConfig scheduler;
+    scheduler.policy = policy;
+    scheduler.token_budget = 512;
+    Trace trace = SampledTrace(4, 3);
+    SimResult result = ReplicaSimulator(Options(scheduler)).Run(trace);
+    EXPECT_EQ(result.requests.size(), 4u + 8u) << result.scheduler_name;
+    for (const auto& r : result.requests) {
+      EXPECT_TRUE(r.completed()) << result.scheduler_name;
+    }
+  }
+}
+
+TEST(ParallelSimTest, SingleTokenSamplesFinishAtFork) {
+  Trace trace = SampledTrace(2, 3, 512, 1);
+  SimResult result = ReplicaSimulator(Options(SarathiConfig(512))).Run(trace);
+  ASSERT_EQ(result.requests.size(), 2u + 4u);
+  for (const auto& r : result.requests) {
+    EXPECT_TRUE(r.completed());
+    EXPECT_EQ(r.token_times_s.size(), 1u);
+  }
+}
+
+TEST(ParallelSimDeathTest, ReservationPoliciesRejectSampling) {
+  SchedulerConfig scheduler;
+  scheduler.policy = SchedulerPolicy::kOrca;
+  Trace trace = SampledTrace(2, 2);
+  ReplicaSimulator simulator(Options(scheduler));
+  EXPECT_DEATH((void)simulator.Run(trace), "requires a paged-memory policy");
+}
+
+}  // namespace
+}  // namespace sarathi

@@ -1,0 +1,365 @@
+// Tests for the analytical performance model: specs, roofline, communication
+// and iteration cost. These validate the properties the paper's analysis
+// rests on (§3.1): decode iterations are memory-bound, prefills saturate
+// compute, linear time is flat-then-linear in tokens, and chunking overhead
+// shrinks with chunk size.
+
+#include <gtest/gtest.h>
+
+#include "src/perfmodel/comm_model.h"
+#include "src/perfmodel/gpu_spec.h"
+#include "src/perfmodel/iteration_cost.h"
+#include "src/perfmodel/model_spec.h"
+#include "src/perfmodel/parallel_config.h"
+#include "src/perfmodel/roofline.h"
+
+namespace sarathi {
+namespace {
+
+// ---------- Model specs ----------
+
+TEST(ModelSpecTest, PublishedParameterCounts) {
+  // Within 5% of the published totals.
+  EXPECT_NEAR(static_cast<double>(Mistral7B().TotalParams()), 7.2e9, 0.36e9);
+  EXPECT_NEAR(static_cast<double>(Yi34B().TotalParams()), 34.4e9, 1.7e9);
+  EXPECT_NEAR(static_cast<double>(Llama2_70B().TotalParams()), 69e9, 3.5e9);
+  EXPECT_NEAR(static_cast<double>(Falcon180B().TotalParams()), 180e9, 9e9);
+}
+
+TEST(ModelSpecTest, GqaShrinksKvFootprint) {
+  // LLaMA2-70B's GQA gives an 8x smaller KV cache than MHA would (§2.2).
+  ModelSpec llama = Llama2_70B();
+  int64_t gqa_bytes = llama.KvBytesPerToken();
+  ModelSpec mha = llama;
+  mha.num_kv_heads = mha.num_heads;
+  EXPECT_EQ(mha.KvBytesPerToken(), 8 * gqa_bytes);
+}
+
+TEST(ModelSpecTest, SlidingWindowCapsAttentionSpan) {
+  ModelSpec mistral = Mistral7B();
+  EXPECT_EQ(mistral.AttentionSpan(0), 1);
+  EXPECT_EQ(mistral.AttentionSpan(100), 101);
+  EXPECT_EQ(mistral.AttentionSpan(4095), 4096);
+  EXPECT_EQ(mistral.AttentionSpan(10000), 4096);
+}
+
+TEST(ModelSpecTest, FullAttentionSpanGrowsUnbounded) {
+  ModelSpec yi = Yi34B();
+  EXPECT_EQ(yi.AttentionSpan(10000), 10001);
+}
+
+TEST(ModelSpecTest, FalconHeadGeometry) {
+  ModelSpec falcon = Falcon180B();
+  EXPECT_EQ(falcon.num_heads * falcon.head_dim, falcon.hidden_size);
+  EXPECT_FALSE(falcon.gated_ffn);
+}
+
+// ---------- Roofline ----------
+
+TEST(RooflineTest, TileQuantizeRoundsUp) {
+  GpuSpec gpu = A100_80GB();  // Tile = 128.
+  EXPECT_EQ(TileQuantize(0, gpu), 0);
+  EXPECT_EQ(TileQuantize(1, gpu), 16);    // Skinny kernel.
+  EXPECT_EQ(TileQuantize(20, gpu), 32);   // Next skinny tile.
+  EXPECT_EQ(TileQuantize(128, gpu), 128);
+  EXPECT_EQ(TileQuantize(129, gpu), 256);
+  EXPECT_EQ(TileQuantize(257, gpu), 384);
+}
+
+TEST(RooflineTest, TileQuantizationPenalty) {
+  // The paper's §4.3 example: 257 tokens can be markedly slower than 256.
+  GpuSpec gpu = A100_80GB();
+  OpTime t256 = MatmulTime(256, 8192, 8192, 2, gpu);
+  OpTime t257 = MatmulTime(257, 8192, 8192, 2, gpu);
+  EXPECT_GT(t257.math_s, t256.math_s * 1.2);
+}
+
+TEST(RooflineTest, SmallMatmulIsMemoryBound) {
+  GpuSpec gpu = A100_80GB();
+  OpTime op = MatmulTime(4, 8192, 8192, 2, gpu);
+  EXPECT_FALSE(op.IsComputeBound());
+}
+
+TEST(RooflineTest, LargeMatmulIsComputeBound) {
+  GpuSpec gpu = A100_80GB();
+  OpTime op = MatmulTime(4096, 8192, 8192, 2, gpu);
+  EXPECT_TRUE(op.IsComputeBound());
+}
+
+TEST(RooflineTest, MatmulTimeMonotoneInTokens) {
+  GpuSpec gpu = A100_80GB();
+  double prev = 0.0;
+  for (int64_t n : {1, 64, 128, 256, 512, 1024, 4096}) {
+    double t = MatmulTime(n, 4096, 4096, 2, gpu).Total();
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(RooflineTest, ArithmeticIntensityGrowsWithTokens) {
+  double prev = 0.0;
+  for (int64_t n : {1, 8, 64, 512, 4096}) {
+    double ai = MatmulArithmeticIntensity(n, 8192, 8192, 2);
+    EXPECT_GT(ai, prev);
+    prev = ai;
+  }
+  // Saturates near 1/dtype_bytes * min(k,m)... specifically bounded by the
+  // weight-reuse ceiling; just check it stays finite and below peak k/2.
+  EXPECT_LT(MatmulArithmeticIntensity(1 << 20, 8192, 8192, 2), 8192.0);
+}
+
+TEST(RooflineTest, RidgePointOrdersRegimes) {
+  GpuSpec gpu = A100_80GB();
+  double ridge = RidgeIntensity(gpu);
+  // A100: ~200e12 / ~1.6e12 = ~125 FLOPs/byte.
+  EXPECT_GT(ridge, 50.0);
+  EXPECT_LT(ridge, 300.0);
+}
+
+TEST(RooflineTest, DecodeAttentionIsMemoryBound) {
+  GpuSpec gpu = A100_80GB();
+  OpTime op = AttentionTime(1, 4096.0, 4096, 8192, 1024, 2, gpu);
+  EXPECT_FALSE(op.IsComputeBound());
+}
+
+TEST(RooflineTest, PrefillAttentionIsComputeBound) {
+  GpuSpec gpu = A100_80GB();
+  // 2048-token chunk attending to 2048 tokens of context on average.
+  OpTime op = AttentionTime(2048, 2048.0, 4096, 8192, 1024, 2, gpu);
+  EXPECT_TRUE(op.IsComputeBound());
+}
+
+TEST(RooflineTest, ElementwiseScalesWithTokens) {
+  GpuSpec gpu = A100_80GB();
+  double t1 = ElementwiseTime(100, 4096, 8.0, 2, gpu).Total();
+  double t2 = ElementwiseTime(200, 4096, 8.0, 2, gpu).Total();
+  EXPECT_GT(t2, t1);
+  EXPECT_LT(t2, 2.5 * t1);
+}
+
+// ---------- Communication ----------
+
+TEST(CommModelTest, AllReduceZeroForSingleGpu) {
+  CommModel comm(AzureNC96adsCluster());
+  EXPECT_DOUBLE_EQ(comm.AllReduceTime(1 << 20, 1), 0.0);
+}
+
+TEST(CommModelTest, AllReduceGrowsWithBytesAndDegree) {
+  CommModel comm(AzureNC96adsCluster());
+  double t2 = comm.AllReduceTime(1 << 20, 2);
+  double t4 = comm.AllReduceTime(1 << 20, 4);
+  EXPECT_GT(t4, t2);
+  EXPECT_GT(comm.AllReduceTime(2 << 20, 4), t4);
+}
+
+TEST(CommModelTest, CrossNodeAllReduceIsMuchSlower) {
+  // TP8 spans two 4-GPU nodes: Ethernet bottleneck (the Fig. 13 effect).
+  CommModel comm(AzureNC96adsCluster());
+  double within = comm.AllReduceTime(1 << 22, 4);
+  double across = comm.AllReduceTime(1 << 22, 8);
+  EXPECT_GT(across, 5.0 * within);
+}
+
+TEST(CommModelTest, PipelineSendCrossNodeWhenTpFillsNode) {
+  CommModel comm(AzureNC96adsCluster());
+  double nvlink_hop = comm.PipelineSendTime(1 << 20, 2);
+  double ethernet_hop = comm.PipelineSendTime(1 << 20, 4);
+  EXPECT_GT(ethernet_hop, 5.0 * nvlink_hop);
+}
+
+// ---------- Iteration cost ----------
+
+class IterationCostTest : public ::testing::Test {
+ protected:
+  IterationCostModel MakeModel(ModelSpec model, ParallelConfig parallel) {
+    return IterationCostModel(std::move(model), AzureNC96adsCluster(), parallel);
+  }
+};
+
+TEST_F(IterationCostTest, EmptyBatchCostsNothing) {
+  IterationCostModel model = MakeModel(Mistral7B(), Tp(1));
+  EXPECT_DOUBLE_EQ(model.IterationCost(BatchWork{}).Total(), 0.0);
+}
+
+TEST_F(IterationCostTest, PrefillSaturatesComputeDecodeDoesNot) {
+  // Fig. 3: prefill throughput saturates with one request; decode throughput
+  // scales nearly linearly with batch size.
+  IterationCostModel model = MakeModel(Mistral7B(), Tp(1));
+
+  auto prefill_throughput = [&](int batch) {
+    BatchWork work;
+    for (int i = 0; i < batch; ++i) {
+      work.sequences.push_back(SequenceWork::PrefillChunk(0, 1024));
+    }
+    return static_cast<double>(batch) * 1024.0 / model.IterationCost(work).Total();
+  };
+  auto decode_throughput = [&](int batch) {
+    BatchWork work;
+    for (int i = 0; i < batch; ++i) {
+      work.sequences.push_back(SequenceWork::Decode(1024));
+    }
+    return static_cast<double>(batch) / model.IterationCost(work).Total();
+  };
+
+  // Prefill: batching 4 prompts gains < 35% per-token throughput.
+  EXPECT_LT(prefill_throughput(4), 1.35 * prefill_throughput(1));
+  // Decode: batching 32 gains > 10x.
+  EXPECT_GT(decode_throughput(32), 10.0 * decode_throughput(1));
+}
+
+TEST_F(IterationCostTest, LinearOpsDominatePrefillRuntime) {
+  // Fig. 4: linear operators contribute the majority of runtime.
+  IterationCostModel model = MakeModel(Mistral7B(), Tp(1));
+  BatchWork work;
+  work.sequences.push_back(SequenceWork::PrefillChunk(0, 2048));
+  CostBreakdown cost = model.IterationCost(work);
+  EXPECT_GT(cost.linear_s, 0.5 * cost.Total());
+}
+
+TEST_F(IterationCostTest, LinearTimeFlatThenLinear) {
+  // Fig. 6: execution time stagnant in the memory-bound regime, then linear.
+  IterationCostModel model = MakeModel(Llama2_70B(), Tp(4));
+  double t1 = model.LinearOpsTime(1);
+  double t128 = model.LinearOpsTime(128);
+  double t2048 = model.LinearOpsTime(2048);
+  double t4096 = model.LinearOpsTime(4096);
+  // Memory-bound plateau: 128x more tokens costs < 2x.
+  EXPECT_LT(t128, 2.0 * t1);
+  // Compute-bound region: doubling tokens roughly doubles time.
+  EXPECT_NEAR(t4096 / t2048, 2.0, 0.3);
+}
+
+TEST_F(IterationCostTest, DecodeBatchHasLowArithmeticIntensity) {
+  // Fig. 5: decode batches sit far below the ridge; large prefills far above.
+  IterationCostModel model = MakeModel(Llama2_70B(), Tp(4));
+  double ridge = RidgeIntensity(model.cluster().gpu);
+  EXPECT_LT(model.LinearArithmeticIntensity(8), 0.2 * ridge);
+  EXPECT_GT(model.LinearArithmeticIntensity(4096), ridge);
+}
+
+TEST_F(IterationCostTest, PiggybackingPrefillOntoDecodesIsCheap) {
+  // Takeaway-2: adding prefill tokens to a decode batch costs much less than
+  // their standalone processing, as long as the batch stays memory-bound.
+  IterationCostModel model = MakeModel(Yi34B(), Tp(2));
+  BatchWork decodes;
+  for (int i = 0; i < 32; ++i) {
+    decodes.sequences.push_back(SequenceWork::Decode(1024));
+  }
+  double base = model.IterationCost(decodes).Total();
+  BatchWork hybrid = decodes;
+  hybrid.sequences.push_back(SequenceWork::PrefillChunk(0, 128));
+  double with_chunk = model.IterationCost(hybrid).Total();
+  // 128 extra tokens (~4x the decode tokens) add well under 2x latency.
+  EXPECT_LT(with_chunk, 2.0 * base);
+}
+
+TEST_F(IterationCostTest, TensorParallelismReducesIterationTime) {
+  BatchWork work;
+  work.sequences.push_back(SequenceWork::PrefillChunk(0, 2048));
+  double tp1 = MakeModel(Yi34B(), Tp(1)).IterationCost(work).Total();
+  double tp2 = MakeModel(Yi34B(), Tp(2)).IterationCost(work).Total();
+  double tp4 = MakeModel(Yi34B(), Tp(4)).IterationCost(work).Total();
+  EXPECT_LT(tp2, tp1);
+  EXPECT_LT(tp4, tp2);
+}
+
+TEST_F(IterationCostTest, PipelineStageIsFractionOfIteration) {
+  BatchWork work;
+  for (int i = 0; i < 16; ++i) {
+    work.sequences.push_back(SequenceWork::Decode(2048));
+  }
+  IterationCostModel model = MakeModel(Falcon180B(), TpPp(4, 2));
+  double stage = model.StageTime(work);
+  double full = model.IterationCost(work).Total();
+  EXPECT_NEAR(full, 2.0 * stage, 1e-9);
+  EXPECT_LT(stage, full);
+}
+
+TEST_F(IterationCostTest, ChunkingOverheadPositiveAndShrinksWithChunkSize) {
+  // Fig. 14: chunked prefill costs more than whole prefill; the overhead
+  // falls as the chunk grows.
+  IterationCostModel model = MakeModel(Yi34B(), Tp(2));
+  int64_t prompt = 8192;
+
+  auto chunked_time = [&](int64_t chunk) {
+    double total = 0.0;
+    for (int64_t done = 0; done < prompt; done += chunk) {
+      BatchWork work;
+      work.sequences.push_back(
+          SequenceWork::PrefillChunk(done, std::min(chunk, prompt - done)));
+      total += model.IterationCost(work).Total();
+    }
+    return total;
+  };
+
+  double whole = chunked_time(prompt);
+  double c2048 = chunked_time(2048);
+  double c1024 = chunked_time(1024);
+  double c512 = chunked_time(512);
+  EXPECT_GT(c512, c1024);
+  EXPECT_GT(c1024, c2048);
+  EXPECT_GT(c2048, whole);
+  // Even the smallest chunk stays a moderate overhead (paper: <= ~25%).
+  EXPECT_LT(c512, 1.4 * whole);
+}
+
+TEST_F(IterationCostTest, SlidingWindowCapsAttentionCost) {
+  // Mistral's window bounds decode attention cost at long contexts.
+  IterationCostModel model = MakeModel(Mistral7B(), Tp(1));
+  BatchWork at_window;
+  at_window.sequences.push_back(SequenceWork::Decode(4096));
+  BatchWork beyond_window;
+  beyond_window.sequences.push_back(SequenceWork::Decode(12000));
+  EXPECT_NEAR(model.IterationCost(beyond_window).attention_s,
+              model.IterationCost(at_window).attention_s,
+              0.05 * model.IterationCost(at_window).attention_s);
+}
+
+TEST_F(IterationCostTest, KvCapacityFitsKnownDeployments) {
+  // Yi-34B on TP2: ~34 GB weights/GPU leaves tens of GB for KV.
+  int64_t yi_tokens = MakeModel(Yi34B(), Tp(2)).MaxKvTokens();
+  EXPECT_GT(yi_tokens, 100000);
+  EXPECT_LT(yi_tokens, 1500000);
+  // Falcon-180B needs all 8 GPUs.
+  int64_t falcon_tokens = MakeModel(Falcon180B(), TpPp(4, 2)).MaxKvTokens();
+  EXPECT_GT(falcon_tokens, 50000);
+}
+
+TEST_F(IterationCostTest, FalconDoesNotFitOnFourGpus) {
+  IterationCostModel model = MakeModel(Falcon180B(), Tp(4));
+  EXPECT_DEATH((void)model.MaxKvTokens(), "does not fit");
+}
+
+TEST_F(IterationCostTest, ReferenceDecodeTimesScaleWithModelSize) {
+  // Table 3's reference latencies grow with model size.
+  double mistral = MakeModel(Mistral7B(), Tp(1)).ReferenceDecodeIterationTime();
+  double yi = MakeModel(Yi34B(), Tp(2)).ReferenceDecodeIterationTime();
+  double falcon = MakeModel(Falcon180B(), TpPp(4, 2)).ReferenceDecodeIterationTime();
+  EXPECT_LT(mistral, yi);
+  EXPECT_LT(yi, falcon);
+  // Sanity: tens of milliseconds, not seconds.
+  EXPECT_GT(mistral, 0.002);
+  EXPECT_LT(falcon, 1.0);
+}
+
+TEST_F(IterationCostTest, BatchWorkCounters) {
+  BatchWork work;
+  work.sequences.push_back(SequenceWork::Decode(100));
+  work.sequences.push_back(SequenceWork::PrefillChunk(0, 512));
+  work.sequences.push_back(SequenceWork::Decode(200));
+  EXPECT_EQ(work.TotalTokens(), 514);
+  EXPECT_EQ(work.NumDecodes(), 2);
+  EXPECT_EQ(work.NumPrefillChunks(), 1);
+}
+
+TEST_F(IterationCostTest, CostBreakdownArithmetic) {
+  CostBreakdown a{1.0, 2.0, 3.0, 4.0};
+  CostBreakdown b{0.5, 0.5, 0.5, 0.5};
+  a += b;
+  EXPECT_DOUBLE_EQ(a.Total(), 12.0);
+  CostBreakdown c = b * 2.0;
+  EXPECT_DOUBLE_EQ(c.Total(), 4.0);
+}
+
+}  // namespace
+}  // namespace sarathi

@@ -1,0 +1,132 @@
+// Tests for the batch-composition profiler and its agreement with the
+// token-budget derivation.
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "src/perfmodel/profiler.h"
+#include "src/scheduler/token_budget.h"
+
+namespace sarathi {
+namespace {
+
+IterationCostModel YiModel() {
+  return IterationCostModel(Yi34B(), AzureNC96adsCluster(), Tp(2));
+}
+
+TEST(ProfilerTest, GridCoversAllNonEmptyCompositions) {
+  ProfileOptions options;
+  options.decode_batches = {0, 8};
+  options.decode_contexts = {512, 2048};
+  options.chunk_sizes = {0, 256};
+  options.chunk_contexts = {0, 4096};
+  auto points = ProfileBatches(YiModel(), options);
+  // decode=0: chunk=256 x 2 contexts = 2 points.
+  // decode=8: 2 contexts x (chunk=0 -> 1, chunk=256 -> 2 contexts) = 6.
+  EXPECT_EQ(points.size(), 8u);
+  for (const auto& p : points) {
+    EXPECT_GT(p.total_tokens, 0);
+    EXPECT_GT(p.latency_s(), 0.0);
+    EXPECT_GT(p.mfu, 0.0);
+    EXPECT_LT(p.mfu, 0.66);
+  }
+}
+
+TEST(ProfilerTest, LatencyMonotoneInChunkSize) {
+  ProfileOptions options;
+  options.decode_batches = {32};
+  options.decode_contexts = {1024};
+  options.chunk_sizes = {0, 128, 512, 2048};
+  options.chunk_contexts = {0};
+  auto points = ProfileBatches(YiModel(), options);
+  double prev = 0.0;
+  for (const auto& p : points) {
+    EXPECT_GT(p.latency_s(), prev);
+    prev = p.latency_s();
+  }
+}
+
+TEST(ProfilerTest, PrefillPointsHaveHigherMfuThanDecodeOnly) {
+  ProfileOptions options;
+  options.decode_batches = {0, 32};
+  options.decode_contexts = {1024};
+  options.chunk_sizes = {0, 2048};
+  options.chunk_contexts = {0};
+  auto points = ProfileBatches(YiModel(), options);
+  double decode_only_mfu = 0.0;
+  double prefill_mfu = 0.0;
+  for (const auto& p : points) {
+    if (p.decode_batch == 32 && p.chunk_tokens == 0) {
+      decode_only_mfu = p.mfu;
+    }
+    if (p.decode_batch == 0 && p.chunk_tokens == 2048) {
+      prefill_mfu = p.mfu;
+    }
+  }
+  EXPECT_GT(prefill_mfu, 3.0 * decode_only_mfu);
+}
+
+TEST(ProfilerTest, MbuMirrorsMfuAsymmetry) {
+  // The §3.1 asymmetry: decode-only batches run near the bandwidth roof with
+  // low compute utilization; prefill batches are the reverse.
+  ProfileOptions options;
+  options.decode_batches = {0, 32};
+  options.decode_contexts = {1024};
+  options.chunk_sizes = {0, 2048};
+  options.chunk_contexts = {0};
+  auto points = ProfileBatches(YiModel(), options);
+  for (const auto& p : points) {
+    EXPECT_GT(p.mbu, 0.0);
+    EXPECT_LE(p.mbu, 1.0);
+    if (p.decode_batch == 32 && p.chunk_tokens == 0) {
+      EXPECT_GT(p.mbu, 3.0 * p.mfu);  // Memory-bound.
+    }
+    if (p.decode_batch == 0 && p.chunk_tokens == 2048) {
+      EXPECT_GT(p.mfu, p.mbu * 0.5);  // Compute-bound (MFU dominant-ish).
+      EXPECT_GT(p.mfu, 0.4);
+    }
+  }
+}
+
+TEST(ProfilerTest, CsvHasOneRowPerPoint) {
+  auto points = ProfileBatches(YiModel(), ProfileOptions{});
+  std::ostringstream out;
+  WriteProfileCsv(points, out);
+  std::istringstream in(out.str());
+  std::string line;
+  int64_t rows = -1;
+  while (std::getline(in, line)) {
+    ++rows;
+  }
+  EXPECT_EQ(rows, static_cast<int64_t>(points.size()));
+}
+
+TEST(ProfilerTest, TableLookupAgreesWithTokenBudgetDirection) {
+  IterationCostModel model = YiModel();
+  ProfileOptions options;
+  options.decode_batches = {128};
+  options.decode_contexts = {2048};
+  options.chunk_sizes = {0, 128, 256, 384, 512, 1024, 2048, 4096};
+  options.chunk_contexts = {4096};
+  auto points = ProfileBatches(model, options);
+
+  TokenBudgetOptions budget_options;
+  budget_options.tbt_slo_s = 0.2;
+  int64_t budget = ComputeTokenBudget(model, budget_options);
+  int64_t table_tokens = MaxTokensWithinLatency(points, 128, 0.2);
+  // Both derive "max tokens under 200 ms"; the profiler grid is coarser but
+  // must land within one chunk step of the binary search.
+  EXPECT_NEAR(static_cast<double>(table_tokens), static_cast<double>(budget), 640.0);
+}
+
+TEST(ProfilerTest, LookupIgnoresOtherDecodePopulations) {
+  auto points = ProfileBatches(YiModel(), ProfileOptions{});
+  int64_t small = MaxTokensWithinLatency(points, 8, 1.0);
+  int64_t none = MaxTokensWithinLatency(points, 3, 1.0);  // Unprofiled batch size.
+  EXPECT_GT(small, 0);
+  EXPECT_EQ(none, 0);
+}
+
+}  // namespace
+}  // namespace sarathi

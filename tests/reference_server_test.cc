@@ -1,0 +1,209 @@
+// End-to-end value-domain tests: the scheduling policy must never change
+// what tokens get generated.
+//
+// Greedy decoding over fixed weights is a pure function of the prompt, so
+// Sarathi (any budget), vLLM, Orca and FasterTransformer — despite producing
+// completely different batch shapes, chunk boundaries and even preemptions —
+// must emit identical token streams. This is the strongest correctness
+// statement about the scheduler/KV machinery and it is cheap to check.
+
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/engine/reference/reference_server.h"
+
+namespace sarathi {
+namespace {
+
+std::vector<int32_t> RandomPrompt(int64_t length, int64_t vocab, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int32_t> prompt(static_cast<size_t>(length));
+  for (auto& t : prompt) {
+    t = static_cast<int32_t>(rng.UniformInt(0, vocab - 1));
+  }
+  return prompt;
+}
+
+struct Workload {
+  std::vector<std::vector<int32_t>> prompts;
+  std::vector<int64_t> output_lens;
+};
+
+Workload MakeWorkload(int num_requests, int64_t vocab) {
+  Workload w;
+  Rng rng(100);
+  for (int i = 0; i < num_requests; ++i) {
+    int64_t prompt_len = rng.UniformInt(5, 90);
+    w.prompts.push_back(RandomPrompt(prompt_len, vocab, 200 + static_cast<uint64_t>(i)));
+    w.output_lens.push_back(rng.UniformInt(1, 25));
+  }
+  return w;
+}
+
+std::map<int64_t, std::vector<int32_t>> RunWorkload(const Workload& workload,
+                                                    const SchedulerConfig& scheduler,
+                                                    int64_t num_blocks = 4096,
+                                                    int64_t sliding_window = 0) {
+  ReferenceServer::Options options;
+  options.model.sliding_window = sliding_window;
+  options.scheduler = scheduler;
+  options.num_blocks = num_blocks;
+  ReferenceServer server(options);
+  for (size_t i = 0; i < workload.prompts.size(); ++i) {
+    server.AddRequest(static_cast<int64_t>(i), workload.prompts[i], workload.output_lens[i]);
+  }
+  server.Run();
+  std::map<int64_t, std::vector<int32_t>> out;
+  for (size_t i = 0; i < workload.prompts.size(); ++i) {
+    out[static_cast<int64_t>(i)] = server.GeneratedTokens(static_cast<int64_t>(i));
+  }
+  return out;
+}
+
+SchedulerConfig Sarathi(int64_t budget) {
+  SchedulerConfig c;
+  c.policy = SchedulerPolicy::kSarathi;
+  c.token_budget = budget;
+  return c;
+}
+
+TEST(ReferenceServerTest, SingleRequestGeneratesRequestedTokens) {
+  Workload w;
+  w.prompts.push_back(RandomPrompt(30, 131, 1));
+  w.output_lens.push_back(8);
+  auto out = RunWorkload(w, Sarathi(64));
+  EXPECT_EQ(out[0].size(), 8u);
+}
+
+TEST(ReferenceServerTest, TokensInVocabRange) {
+  Workload w = MakeWorkload(5, 131);
+  auto out = RunWorkload(w, Sarathi(48));
+  for (const auto& [id, tokens] : out) {
+    EXPECT_EQ(tokens.size(), static_cast<size_t>(w.output_lens[static_cast<size_t>(id)]));
+    for (int32_t t : tokens) {
+      EXPECT_GE(t, 0);
+      EXPECT_LT(t, 131);
+    }
+  }
+}
+
+// The cross-scheduler equivalence property, parameterized over policies and
+// budgets. The baseline is Sarathi with an effectively unbounded budget
+// (whole prompts in one chunk).
+class SchedulerEquivalence : public ::testing::TestWithParam<SchedulerConfig> {};
+
+TEST_P(SchedulerEquivalence, TokensIdenticalToUnchunkedBaseline) {
+  Workload w = MakeWorkload(12, 131);
+  auto baseline = RunWorkload(w, Sarathi(1 << 20));
+  auto candidate = RunWorkload(w, GetParam());
+  ASSERT_EQ(baseline.size(), candidate.size());
+  for (const auto& [id, tokens] : baseline) {
+    EXPECT_EQ(candidate.at(id), tokens) << "request " << id << " diverged";
+  }
+}
+
+SchedulerConfig MakeConfig(SchedulerPolicy policy, int64_t budget, bool chunking, bool hybrid) {
+  SchedulerConfig c;
+  c.policy = policy;
+  c.token_budget = budget;
+  c.enable_chunking = chunking;
+  c.enable_hybrid = hybrid;
+  c.max_batch_size = 16;
+  return c;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, SchedulerEquivalence,
+    ::testing::Values(
+        MakeConfig(SchedulerPolicy::kSarathi, 16, true, true),
+        MakeConfig(SchedulerPolicy::kSarathi, 33, true, true),
+        MakeConfig(SchedulerPolicy::kSarathi, 128, true, true),
+        MakeConfig(SchedulerPolicy::kSarathi, 64, false, true),   // hybrid-only.
+        MakeConfig(SchedulerPolicy::kSarathi, 64, true, false),   // chunked-only.
+        MakeConfig(SchedulerPolicy::kVllm, 512, true, true),
+        MakeConfig(SchedulerPolicy::kOrca, 512, true, true),
+        MakeConfig(SchedulerPolicy::kFasterTransformer, 512, true, true),
+        MakeConfig(SchedulerPolicy::kFastServe, 512, true, true),
+        MakeConfig(SchedulerPolicy::kVtc, 48, true, true)),
+    [](const ::testing::TestParamInfo<SchedulerConfig>& info) {
+      const SchedulerConfig& c = info.param;
+      std::string name{SchedulerPolicyName(c.policy)};
+      name += "_b" + std::to_string(c.token_budget);
+      if (!c.enable_chunking) name += "_nochunk";
+      if (!c.enable_hybrid) name += "_nohybrid";
+      return name;
+    });
+
+TEST(ReferenceServerTest, PreemptionPreservesTokens) {
+  // Squeeze memory so decode growth forces preemption + recompute; outputs
+  // must still match the unconstrained run exactly.
+  Workload w = MakeWorkload(6, 131);
+  for (auto& len : w.output_lens) {
+    len += 30;  // More decode growth -> more preemption pressure.
+  }
+  auto roomy = RunWorkload(w, Sarathi(1 << 20), /*num_blocks=*/4096);
+
+  // ~enough for prompts but tight for growth: forces recompute churn.
+  SchedulerConfig tight = Sarathi(64);
+  tight.max_batch_size = 8;
+  ReferenceServer::Options options;
+  options.scheduler = tight;
+  options.num_blocks = 30;
+  ReferenceServer server(options);
+  for (size_t i = 0; i < w.prompts.size(); ++i) {
+    server.AddRequest(static_cast<int64_t>(i), w.prompts[i], w.output_lens[i]);
+  }
+  server.Run();
+  for (size_t i = 0; i < w.prompts.size(); ++i) {
+    EXPECT_EQ(server.GeneratedTokens(static_cast<int64_t>(i)),
+              roomy.at(static_cast<int64_t>(i)))
+        << "request " << i;
+  }
+  // The squeeze must actually have caused preemptions for this test to mean
+  // anything.
+  EXPECT_GT(server.scheduler().preemption_count(), 0);
+}
+
+TEST(ReferenceServerTest, SlidingWindowSchedulersAgree) {
+  Workload w = MakeWorkload(8, 131);
+  auto baseline = RunWorkload(w, Sarathi(1 << 20), 4096, /*sliding_window=*/24);
+  auto chunked = RunWorkload(w, Sarathi(16), 4096, /*sliding_window=*/24);
+  for (const auto& [id, tokens] : baseline) {
+    EXPECT_EQ(chunked.at(id), tokens) << "request " << id;
+  }
+}
+
+TEST(ReferenceServerTest, ChunkingIncreasesIterationCount) {
+  Workload w = MakeWorkload(4, 131);
+  ReferenceServer::Options coarse_opts;
+  coarse_opts.scheduler = Sarathi(1 << 20);
+  ReferenceServer coarse(coarse_opts);
+  ReferenceServer::Options fine_opts;
+  fine_opts.scheduler = Sarathi(8);
+  ReferenceServer fine(fine_opts);
+  for (size_t i = 0; i < w.prompts.size(); ++i) {
+    coarse.AddRequest(static_cast<int64_t>(i), w.prompts[i], w.output_lens[i]);
+    fine.AddRequest(static_cast<int64_t>(i), w.prompts[i], w.output_lens[i]);
+  }
+  coarse.Run();
+  fine.Run();
+  EXPECT_GT(fine.iterations(), coarse.iterations());
+}
+
+TEST(ReferenceServerTest, AllBlocksReturnedAfterRun) {
+  Workload w = MakeWorkload(10, 131);
+  ReferenceServer::Options options;
+  options.scheduler = Sarathi(64);
+  ReferenceServer server(options);
+  for (size_t i = 0; i < w.prompts.size(); ++i) {
+    server.AddRequest(static_cast<int64_t>(i), w.prompts[i], w.output_lens[i]);
+  }
+  server.Run();
+  EXPECT_EQ(server.blocks().free_blocks(), server.blocks().num_blocks());
+}
+
+}  // namespace
+}  // namespace sarathi

@@ -1,0 +1,203 @@
+// Tests for temperature/top-k sampling and EOS early stopping in the
+// reference engine — including the strongest cross-scheduler property:
+// stochastic sampling with per-request streams still yields bit-identical
+// outputs under every scheduling policy.
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/engine/reference/reference_server.h"
+#include "src/engine/reference/sampler.h"
+
+namespace sarathi {
+namespace {
+
+Vec MakeLogits() {
+  // Token 3 dominant, 1 second, others low.
+  return {0.1f, 2.0f, -1.0f, 5.0f, 0.5f, -3.0f};
+}
+
+TEST(SamplerTest, GreedyPicksArgmaxWithoutConsumingRandomness) {
+  Sampler a(SamplingParams{0.0, 0}, 1);
+  Sampler b(SamplingParams{0.0, 0}, 999);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(a.Sample(MakeLogits()), 3);
+    EXPECT_EQ(b.Sample(MakeLogits()), 3);
+  }
+}
+
+TEST(SamplerTest, TemperatureSamplingIsSeedDeterministic) {
+  SamplingParams params{1.0, 0};
+  Sampler a(params, 42);
+  Sampler b(params, 42);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.Sample(MakeLogits()), b.Sample(MakeLogits()));
+  }
+}
+
+TEST(SamplerTest, DifferentSeedsDiverge) {
+  SamplingParams params{2.0, 0};
+  Sampler a(params, 1);
+  Sampler b(params, 2);
+  int differences = 0;
+  for (int i = 0; i < 100; ++i) {
+    differences += a.Sample(MakeLogits()) != b.Sample(MakeLogits()) ? 1 : 0;
+  }
+  EXPECT_GT(differences, 5);
+}
+
+TEST(SamplerTest, LowTemperatureConcentratesOnArgmax) {
+  Sampler sampler(SamplingParams{0.05, 0}, 3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(sampler.Sample(MakeLogits()), 3);
+  }
+}
+
+TEST(SamplerTest, HighTemperatureSpreadsMass) {
+  Sampler sampler(SamplingParams{50.0, 0}, 4);
+  std::set<int32_t> seen;
+  for (int i = 0; i < 300; ++i) {
+    seen.insert(sampler.Sample(MakeLogits()));
+  }
+  EXPECT_GE(seen.size(), 4u);
+}
+
+TEST(SamplerTest, TopKRestrictsCandidates) {
+  Sampler sampler(SamplingParams{5.0, 2}, 5);
+  for (int i = 0; i < 200; ++i) {
+    int32_t token = sampler.Sample(MakeLogits());
+    EXPECT_TRUE(token == 3 || token == 1) << token;  // Top-2 by logit.
+  }
+}
+
+// ---------- End-to-end with the reference server ----------
+
+std::vector<int32_t> RandomPrompt(int64_t length, int64_t vocab, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int32_t> prompt(static_cast<size_t>(length));
+  for (auto& t : prompt) {
+    t = static_cast<int32_t>(rng.UniformInt(0, vocab - 1));
+  }
+  return prompt;
+}
+
+std::map<int64_t, std::vector<int32_t>> RunServer(const ReferenceServer::Options& options,
+                                                  int num_requests) {
+  ReferenceServer server(options);
+  for (int i = 0; i < num_requests; ++i) {
+    server.AddRequest(i, RandomPrompt(20 + 7 * i, options.model.vocab,
+                                      300 + static_cast<uint64_t>(i)),
+                      /*max_new_tokens=*/24);
+  }
+  server.Run();
+  std::map<int64_t, std::vector<int32_t>> out;
+  for (int i = 0; i < num_requests; ++i) {
+    out[i] = server.GeneratedTokens(i);
+  }
+  return out;
+}
+
+TEST(SamplingEndToEndTest, StochasticSamplingIdenticalAcrossSchedulers) {
+  ReferenceServer::Options base;
+  base.engine.sampling = SamplingParams{0.8, 8};
+  base.engine.sampling_seed = 2026;
+
+  ReferenceServer::Options chunked = base;
+  chunked.scheduler.policy = SchedulerPolicy::kSarathi;
+  chunked.scheduler.token_budget = 16;
+
+  ReferenceServer::Options vllm_like = base;
+  vllm_like.scheduler.policy = SchedulerPolicy::kVllm;
+
+  ReferenceServer::Options ft_like = base;
+  ft_like.scheduler.policy = SchedulerPolicy::kFasterTransformer;
+
+  auto a = RunServer(chunked, 8);
+  auto b = RunServer(vllm_like, 8);
+  auto c = RunServer(ft_like, 8);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, c);
+}
+
+TEST(SamplingEndToEndTest, SamplingSeedChangesOutputs) {
+  ReferenceServer::Options options;
+  options.engine.sampling = SamplingParams{1.0, 0};
+  options.scheduler.policy = SchedulerPolicy::kSarathi;
+  options.scheduler.token_budget = 64;
+  auto a = RunServer(options, 4);
+  options.engine.sampling_seed = 999;
+  auto b = RunServer(options, 4);
+  EXPECT_NE(a, b);
+}
+
+TEST(SamplingEndToEndTest, EosTruncatesGeneration) {
+  // Temperature sampling over a tiny vocab makes EOS appear quickly; every
+  // truncated stream must end exactly at the EOS token.
+  ReferenceServer::Options options;
+  options.model.vocab = 11;
+  options.engine.sampling = SamplingParams{3.0, 0};
+  options.engine.eos_token = 7;
+  options.scheduler.policy = SchedulerPolicy::kSarathi;
+  options.scheduler.token_budget = 32;
+
+  ReferenceServer server(options);
+  constexpr int kRequests = 12;
+  constexpr int64_t kMaxTokens = 40;
+  for (int i = 0; i < kRequests; ++i) {
+    server.AddRequest(i, RandomPrompt(15, options.model.vocab, 40 + static_cast<uint64_t>(i)),
+                      kMaxTokens);
+  }
+  server.Run();
+
+  int truncated = 0;
+  for (int i = 0; i < kRequests; ++i) {
+    const auto& tokens = server.GeneratedTokens(i);
+    ASSERT_LE(static_cast<int64_t>(tokens.size()), kMaxTokens);
+    if (static_cast<int64_t>(tokens.size()) < kMaxTokens) {
+      EXPECT_EQ(tokens.back(), 7) << "request " << i << " stopped without EOS";
+      ++truncated;
+    }
+    // EOS never appears mid-stream.
+    for (size_t t = 0; t + 1 < tokens.size(); ++t) {
+      EXPECT_NE(tokens[t], 7);
+    }
+  }
+  // With an 11-token vocab at high temperature, most streams hit EOS.
+  EXPECT_GT(truncated, kRequests / 2);
+}
+
+TEST(SamplingEndToEndTest, EosIdenticalAcrossSchedulers) {
+  ReferenceServer::Options base;
+  base.model.vocab = 11;
+  base.engine.sampling = SamplingParams{3.0, 0};
+  base.engine.eos_token = 7;
+
+  ReferenceServer::Options chunked = base;
+  chunked.scheduler.policy = SchedulerPolicy::kSarathi;
+  chunked.scheduler.token_budget = 8;
+
+  ReferenceServer::Options orca_like = base;
+  orca_like.scheduler.policy = SchedulerPolicy::kOrca;
+
+  auto a = RunServer(chunked, 10);
+  auto b = RunServer(orca_like, 10);
+  EXPECT_EQ(a, b);
+}
+
+TEST(SamplingEndToEndTest, GreedyDefaultUnchangedByNewMachinery) {
+  // The default options still produce greedy deterministic outputs — the
+  // pre-sampling behaviour.
+  ReferenceServer::Options options;
+  options.scheduler.policy = SchedulerPolicy::kSarathi;
+  options.scheduler.token_budget = 1 << 20;
+  auto a = RunServer(options, 4);
+  auto b = RunServer(options, 4);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace sarathi

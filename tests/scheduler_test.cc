@@ -1,0 +1,754 @@
+// Tests for the four scheduling policies and token-budget derivation.
+//
+// The central invariants come straight from the paper: Sarathi-Serve's
+// batches are stall-free (every ready decode rides along), bounded by the
+// token budget, and chunked; vLLM's are prefill-prioritizing and never
+// hybrid; Orca's are hybrid with whole prompts; FasterTransformer's are
+// request-level with padding.
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/memory/block_manager.h"
+#include "src/scheduler/ft_scheduler.h"
+#include "src/scheduler/orca_scheduler.h"
+#include "src/scheduler/sarathi_scheduler.h"
+#include "src/scheduler/scheduler_factory.h"
+#include "src/scheduler/token_budget.h"
+#include "src/scheduler/vllm_scheduler.h"
+
+namespace sarathi {
+namespace {
+
+// Convenience owner of request states built from (prompt, output) pairs.
+class RequestPool {
+ public:
+  RequestState* Add(int64_t prompt, int64_t output) {
+    Request r;
+    r.id = next_id_++;
+    r.prompt_tokens = prompt;
+    r.output_tokens = output;
+    states_.push_back(std::make_unique<RequestState>(r));
+    return states_.back().get();
+  }
+
+  const std::vector<std::unique_ptr<RequestState>>& all() const { return states_; }
+
+ private:
+  int64_t next_id_ = 0;
+  std::vector<std::unique_ptr<RequestState>> states_;
+};
+
+PagedBlockManager::Options BigPagedOpts() {
+  PagedBlockManager::Options o;
+  o.num_blocks = 100000;
+  o.block_size = 16;
+  o.watermark = 0.0;
+  return o;
+}
+
+// Runs the scheduler to completion, invoking `inspect` on every batch.
+template <typename Fn>
+int64_t RunToCompletion(Scheduler* scheduler, Fn inspect) {
+  int64_t iterations = 0;
+  while (scheduler->HasWork()) {
+    ScheduledBatch batch = scheduler->Schedule();
+    EXPECT_FALSE(batch.empty()) << "deadlock in " << scheduler->name();
+    if (batch.empty()) {
+      break;
+    }
+    inspect(batch);
+    scheduler->OnBatchComplete(batch);
+    if (++iterations > 100000) {
+      ADD_FAILURE() << "runaway loop";
+      break;
+    }
+  }
+  return iterations;
+}
+
+// ---------- RequestState ----------
+
+TEST(RequestStateTest, LifecycleAndEmissions) {
+  Request r;
+  r.id = 1;
+  r.prompt_tokens = 100;
+  r.output_tokens = 3;
+  RequestState state(r);
+  EXPECT_FALSE(state.prefill_complete());
+  EXPECT_EQ(state.remaining_prefill(), 100);
+
+  EXPECT_FALSE(state.AdvancePrefill(60));
+  EXPECT_EQ(state.prefill_done(), 60);
+  EXPECT_TRUE(state.AdvancePrefill(40));  // Completion emits token 1.
+  EXPECT_EQ(state.generated(), 1);
+  EXPECT_EQ(state.context_len(), 101);
+
+  state.AdvanceDecode();
+  state.AdvanceDecode();
+  EXPECT_TRUE(state.finished());
+  EXPECT_EQ(state.context_len(), 103);
+}
+
+TEST(RequestStateTest, PreemptionExtendsRecomputeTarget) {
+  Request r;
+  r.id = 1;
+  r.prompt_tokens = 50;
+  r.output_tokens = 10;
+  RequestState state(r);
+  state.AdvancePrefill(50);
+  state.AdvanceDecode();
+  state.AdvanceDecode();  // generated = 3.
+  state.ResetForRecompute();
+  EXPECT_EQ(state.prefill_target(), 53);
+  EXPECT_EQ(state.prefill_done(), 0);
+  EXPECT_EQ(state.generated(), 3);
+  EXPECT_EQ(state.preemptions(), 1);
+  // Completing the recompute emits the next (4th) token.
+  EXPECT_TRUE(state.AdvancePrefill(53));
+  EXPECT_EQ(state.generated(), 4);
+  EXPECT_EQ(state.context_len(), 54);
+}
+
+TEST(RequestStateDeathTest, OverAdvancingPrefillAborts) {
+  Request r;
+  r.id = 1;
+  r.prompt_tokens = 10;
+  r.output_tokens = 1;
+  RequestState state(r);
+  EXPECT_DEATH(state.AdvancePrefill(11), "Check failed");
+}
+
+// ---------- SarathiScheduler ----------
+
+class SarathiTest : public ::testing::Test {
+ protected:
+  SarathiTest() : blocks_(BigPagedOpts()) {}
+
+  std::unique_ptr<SarathiScheduler> Make(int64_t budget, int64_t max_batch = 128) {
+    SchedulerConfig config;
+    config.policy = SchedulerPolicy::kSarathi;
+    config.token_budget = budget;
+    config.max_batch_size = max_batch;
+    return std::make_unique<SarathiScheduler>(config, &blocks_);
+  }
+
+  PagedBlockManager blocks_;
+  RequestPool pool_;
+};
+
+TEST_F(SarathiTest, ChunksLongPrefillAcrossIterations) {
+  auto scheduler = Make(256);
+  RequestState* r = pool_.Add(1000, 1);
+  scheduler->Enqueue(r);
+
+  std::vector<int64_t> chunk_sizes;
+  RunToCompletion(scheduler.get(), [&](const ScheduledBatch& batch) {
+    ASSERT_EQ(batch.size(), 1u);
+    if (!batch.items[0].is_decode) {
+      chunk_sizes.push_back(batch.items[0].num_tokens);
+    }
+  });
+  EXPECT_EQ(chunk_sizes, (std::vector<int64_t>{256, 256, 256, 232}));
+  EXPECT_TRUE(r->finished());
+}
+
+TEST_F(SarathiTest, TokenBudgetNeverExceeded) {
+  auto scheduler = Make(512);
+  for (int i = 0; i < 20; ++i) {
+    scheduler->Enqueue(pool_.Add(700 + 37 * i, 20));
+  }
+  RunToCompletion(scheduler.get(), [&](const ScheduledBatch& batch) {
+    ASSERT_LE(batch.TotalTokens(), 512);
+  });
+}
+
+TEST_F(SarathiTest, StallFree_AllReadyDecodesInEveryBatch) {
+  auto scheduler = Make(256);
+  for (int i = 0; i < 8; ++i) {
+    scheduler->Enqueue(pool_.Add(400, 50));
+  }
+  RunToCompletion(scheduler.get(), [&](const ScheduledBatch& batch) {
+    // Every running request with a completed prefill must be decoding in
+    // this batch (the stall-free property).
+    int64_t ready = 0;
+    for (const RequestState* r : scheduler->running()) {
+      if (r->prefill_complete() && !r->finished() && !r->locked()) {
+        ++ready;
+      }
+    }
+    ASSERT_EQ(batch.NumDecodes(), ready);
+  });
+}
+
+TEST_F(SarathiTest, DecodesComeBeforePrefillChunksInBatch) {
+  auto scheduler = Make(384);
+  RequestState* a = pool_.Add(64, 40);
+  scheduler->Enqueue(a);
+  // Drive A through its prefill so it is decoding.
+  ScheduledBatch b1 = scheduler->Schedule();
+  scheduler->OnBatchComplete(b1);
+  scheduler->Enqueue(pool_.Add(900, 5));
+  ScheduledBatch b2 = scheduler->Schedule();
+  ASSERT_EQ(b2.size(), 2u);
+  EXPECT_TRUE(b2.items[0].is_decode);
+  EXPECT_EQ(b2.items[0].request, a);
+  EXPECT_FALSE(b2.items[1].is_decode);
+  // Chunk fills the leftover budget: 384 - 1 decode token.
+  EXPECT_EQ(b2.items[1].num_tokens, 383);
+}
+
+TEST_F(SarathiTest, MultiplePrefillsSharePackedBudget) {
+  auto scheduler = Make(512);
+  scheduler->Enqueue(pool_.Add(300, 1));
+  scheduler->Enqueue(pool_.Add(300, 1));
+  ScheduledBatch batch = scheduler->Schedule();
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch.items[0].num_tokens, 300);
+  EXPECT_EQ(batch.items[1].num_tokens, 212);  // Leftover budget.
+  EXPECT_EQ(batch.TotalTokens(), 512);
+}
+
+TEST_F(SarathiTest, MaxBatchSizeRespected) {
+  auto scheduler = Make(512, /*max_batch=*/4);
+  for (int i = 0; i < 10; ++i) {
+    scheduler->Enqueue(pool_.Add(10, 30));
+  }
+  RunToCompletion(scheduler.get(), [&](const ScheduledBatch& batch) {
+    ASSERT_LE(batch.size(), 4u);
+  });
+}
+
+TEST_F(SarathiTest, FcfsAdmission) {
+  auto scheduler = Make(512);
+  RequestState* first = pool_.Add(200, 1);
+  RequestState* second = pool_.Add(200, 1);
+  scheduler->Enqueue(first);
+  scheduler->Enqueue(second);
+  ScheduledBatch batch = scheduler->Schedule();
+  ASSERT_GE(batch.size(), 2u);
+  EXPECT_EQ(batch.items[0].request, first);
+  EXPECT_EQ(batch.items[1].request, second);
+}
+
+TEST_F(SarathiTest, LockedRequestsAreInvisible) {
+  auto scheduler = Make(512);
+  RequestState* r = pool_.Add(2000, 5);
+  scheduler->Enqueue(r);
+  ScheduledBatch b1 = scheduler->Schedule();
+  ASSERT_EQ(b1.size(), 1u);
+  r->set_locked(true);
+  ScheduledBatch b2 = scheduler->Schedule();
+  EXPECT_TRUE(b2.empty());
+  r->set_locked(false);
+  ScheduledBatch b3 = scheduler->Schedule();
+  EXPECT_EQ(b3.size(), 1u);
+}
+
+TEST_F(SarathiTest, HybridOnlyAblationIgnoresBudgetForPrefill) {
+  SchedulerConfig config;
+  config.policy = SchedulerPolicy::kSarathi;
+  config.token_budget = 256;
+  config.enable_chunking = false;
+  SarathiScheduler scheduler(config, &blocks_);
+  RequestState* r = pool_.Add(3000, 2);
+  scheduler.Enqueue(r);
+  ScheduledBatch batch = scheduler.Schedule();
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch.items[0].num_tokens, 3000);  // Whole prompt, no chunking.
+  EXPECT_EQ(scheduler.name(), "sarathi/hybrid-batching-only");
+}
+
+TEST_F(SarathiTest, ChunkedOnlyAblationNeverMixesPhases) {
+  SchedulerConfig config;
+  config.policy = SchedulerPolicy::kSarathi;
+  config.token_budget = 256;
+  config.enable_hybrid = false;
+  SarathiScheduler scheduler(config, &blocks_);
+  for (int i = 0; i < 6; ++i) {
+    scheduler.Enqueue(pool_.Add(500, 30));
+  }
+  RunToCompletion(&scheduler, [&](const ScheduledBatch& batch) {
+    bool has_decode = batch.NumDecodes() > 0;
+    bool has_prefill = batch.NumPrefillTokens() > 0;
+    ASSERT_FALSE(has_decode && has_prefill) << "hybrid batch in chunked-only mode";
+  });
+  EXPECT_EQ(scheduler.name(), "sarathi/chunked-prefills-only");
+}
+
+// ---------- VllmScheduler ----------
+
+class VllmTest : public ::testing::Test {
+ protected:
+  VllmTest() : blocks_(BigPagedOpts()) {}
+
+  std::unique_ptr<VllmScheduler> Make(int64_t max_batch = 128,
+                                      int64_t max_prefill_tokens = 16384) {
+    SchedulerConfig config;
+    config.policy = SchedulerPolicy::kVllm;
+    config.max_batch_size = max_batch;
+    config.max_prefill_tokens = max_prefill_tokens;
+    return std::make_unique<VllmScheduler>(config, &blocks_);
+  }
+
+  PagedBlockManager blocks_;
+  RequestPool pool_;
+};
+
+TEST_F(VllmTest, NeverFormsHybridBatches) {
+  auto scheduler = Make();
+  for (int i = 0; i < 8; ++i) {
+    scheduler->Enqueue(pool_.Add(600, 40));
+  }
+  RunToCompletion(scheduler.get(), [&](const ScheduledBatch& batch) {
+    bool has_decode = batch.NumDecodes() > 0;
+    bool has_prefill = batch.NumPrefillTokens() > 0;
+    ASSERT_FALSE(has_decode && has_prefill);
+  });
+}
+
+TEST_F(VllmTest, PrefillsPreemptDecodeIterations) {
+  auto scheduler = Make();
+  RequestState* a = pool_.Add(100, 50);
+  scheduler->Enqueue(a);
+  scheduler->OnBatchComplete(scheduler->Schedule());  // A prefilled.
+  // A new arrival: the very next iteration is its prefill even though A has
+  // a decode pending (the generation-stall mechanism, §3.2).
+  RequestState* b = pool_.Add(5000, 5);
+  scheduler->Enqueue(b);
+  ScheduledBatch batch = scheduler->Schedule();
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch.items[0].request, b);
+  EXPECT_FALSE(batch.items[0].is_decode);
+  EXPECT_EQ(batch.items[0].num_tokens, 5000);  // Unchunked.
+}
+
+TEST_F(VllmTest, WholePromptInOneIteration) {
+  auto scheduler = Make();
+  scheduler->Enqueue(pool_.Add(7000, 1));
+  ScheduledBatch batch = scheduler->Schedule();
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch.items[0].num_tokens, 7000);
+}
+
+TEST_F(VllmTest, PrefillTokenCapLimitsCoalescing) {
+  auto scheduler = Make(128, /*max_prefill_tokens=*/4096);
+  scheduler->Enqueue(pool_.Add(3000, 1));
+  scheduler->Enqueue(pool_.Add(2000, 1));  // Would exceed 4096 together.
+  ScheduledBatch batch = scheduler->Schedule();
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch.items[0].num_tokens, 3000);
+}
+
+TEST_F(VllmTest, OversizedHeadPromptStillAdmittedAlone) {
+  auto scheduler = Make(128, /*max_prefill_tokens=*/4096);
+  scheduler->Enqueue(pool_.Add(9000, 1));
+  ScheduledBatch batch = scheduler->Schedule();
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch.items[0].num_tokens, 9000);
+}
+
+TEST_F(VllmTest, DecodeBatchGathersAllRunning) {
+  auto scheduler = Make();
+  for (int i = 0; i < 5; ++i) {
+    scheduler->Enqueue(pool_.Add(100, 10));
+  }
+  scheduler->OnBatchComplete(scheduler->Schedule());  // All five prefill.
+  ScheduledBatch decode = scheduler->Schedule();
+  EXPECT_EQ(decode.NumDecodes(), 5);
+  EXPECT_EQ(decode.NumPrefillTokens(), 0);
+}
+
+// ---------- OrcaScheduler ----------
+
+class OrcaTest : public ::testing::Test {
+ protected:
+  OrcaTest() : reservations_(1000000, 16384) {}
+
+  std::unique_ptr<OrcaScheduler> Make(int64_t max_batch = 128) {
+    SchedulerConfig config;
+    config.policy = SchedulerPolicy::kOrca;
+    config.max_batch_size = max_batch;
+    return std::make_unique<OrcaScheduler>(config, &reservations_);
+  }
+
+  ReservationAllocator reservations_;
+  RequestPool pool_;
+};
+
+TEST_F(OrcaTest, HybridBatchWithWholePrompt) {
+  auto scheduler = Make();
+  RequestState* a = pool_.Add(100, 50);
+  scheduler->Enqueue(a);
+  scheduler->OnBatchComplete(scheduler->Schedule());
+  RequestState* b = pool_.Add(5000, 5);
+  scheduler->Enqueue(b);
+  ScheduledBatch batch = scheduler->Schedule();
+  // Hybrid: A's decode + B's full prefill in one iteration.
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch.NumDecodes(), 1);
+  EXPECT_EQ(batch.NumPrefillTokens(), 5000);
+}
+
+TEST_F(OrcaTest, ReservationAllocatorCapsConcurrency) {
+  // 1,000,000 tokens / 16,384 max length = 61 slots.
+  auto scheduler = Make(/*max_batch=*/128);
+  for (int i = 0; i < 100; ++i) {
+    scheduler->Enqueue(pool_.Add(50, 2));
+  }
+  ScheduledBatch batch = scheduler->Schedule();
+  EXPECT_EQ(batch.size(), 61u);
+  EXPECT_EQ(scheduler->queue_size(), 39u);
+}
+
+TEST_F(OrcaTest, CompletesAllRequests) {
+  auto scheduler = Make();
+  for (int i = 0; i < 10; ++i) {
+    scheduler->Enqueue(pool_.Add(200 + i, 10 + i));
+  }
+  RunToCompletion(scheduler.get(), [](const ScheduledBatch&) {});
+  for (const auto& r : pool_.all()) {
+    EXPECT_TRUE(r->finished());
+  }
+}
+
+// ---------- FasterTransformerScheduler ----------
+
+class FtTest : public ::testing::Test {
+ protected:
+  FtTest() : reservations_(1000000, 16384) {}
+
+  std::unique_ptr<FasterTransformerScheduler> Make(int64_t max_batch = 8) {
+    SchedulerConfig config;
+    config.policy = SchedulerPolicy::kFasterTransformer;
+    config.max_batch_size = max_batch;
+    return std::make_unique<FasterTransformerScheduler>(config, &reservations_);
+  }
+
+  ReservationAllocator reservations_;
+  RequestPool pool_;
+};
+
+TEST_F(FtTest, PrefillsPaddedToLongestPrompt) {
+  auto scheduler = Make();
+  scheduler->Enqueue(pool_.Add(100, 2));
+  scheduler->Enqueue(pool_.Add(900, 2));
+  ScheduledBatch batch = scheduler->Schedule();
+  ASSERT_EQ(batch.size(), 2u);
+  for (const auto& item : batch.items) {
+    EXPECT_EQ(item.padded_tokens, 900);
+  }
+  // Logical progress still uses true prompt lengths.
+  EXPECT_EQ(batch.items[0].num_tokens, 100);
+  EXPECT_EQ(batch.items[1].num_tokens, 900);
+}
+
+TEST_F(FtTest, NoAdmissionUntilBatchDrains) {
+  auto scheduler = Make();
+  RequestState* a = pool_.Add(100, 2);
+  scheduler->Enqueue(a);
+  scheduler->OnBatchComplete(scheduler->Schedule());  // Prefill done.
+  RequestState* late = pool_.Add(100, 2);
+  scheduler->Enqueue(late);
+  // While A decodes, the new request must wait (decode-prioritizing).
+  ScheduledBatch decode = scheduler->Schedule();
+  ASSERT_EQ(decode.size(), 1u);
+  EXPECT_EQ(decode.items[0].request, a);
+  EXPECT_TRUE(decode.items[0].is_decode);
+  scheduler->OnBatchComplete(decode);  // A finishes (2 tokens: prefill+1).
+  EXPECT_TRUE(a->finished());
+  ScheduledBatch next = scheduler->Schedule();
+  ASSERT_EQ(next.size(), 1u);
+  EXPECT_EQ(next.items[0].request, late);
+  EXPECT_FALSE(next.items[0].is_decode);
+}
+
+TEST_F(FtTest, BatchShrinksAsMembersFinish) {
+  auto scheduler = Make();
+  scheduler->Enqueue(pool_.Add(50, 2));   // Finishes after 1 decode.
+  scheduler->Enqueue(pool_.Add(50, 10));  // Needs 9 decodes.
+  scheduler->OnBatchComplete(scheduler->Schedule());  // Prefill both.
+  ScheduledBatch d1 = scheduler->Schedule();
+  EXPECT_EQ(d1.size(), 2u);
+  scheduler->OnBatchComplete(d1);
+  ScheduledBatch d2 = scheduler->Schedule();
+  EXPECT_EQ(d2.size(), 1u);  // Short request done; batch runs reduced.
+}
+
+TEST_F(FtTest, DecodesUsePaddedContext) {
+  auto scheduler = Make();
+  scheduler->Enqueue(pool_.Add(50, 5));
+  scheduler->Enqueue(pool_.Add(500, 5));
+  scheduler->OnBatchComplete(scheduler->Schedule());
+  ScheduledBatch decode = scheduler->Schedule();
+  ASSERT_EQ(decode.size(), 2u);
+  for (const auto& item : decode.items) {
+    EXPECT_EQ(item.padded_context, 500);
+  }
+}
+
+// ---------- Preemption ----------
+
+TEST(PreemptionTest, DecodePressurePreemptsLatestRequest) {
+  // Tiny memory: two requests fit, but decode growth forces a preemption.
+  PagedBlockManager::Options opts;
+  opts.num_blocks = 8;
+  opts.block_size = 16;
+  opts.watermark = 0.0;
+  PagedBlockManager blocks(opts);
+  SchedulerConfig config;
+  config.policy = SchedulerPolicy::kSarathi;
+  config.token_budget = 256;
+  SarathiScheduler scheduler(config, &blocks);
+  RequestPool pool;
+
+  RequestState* a = pool.Add(64, 80);  // 4 blocks, grows by 80 tokens.
+  RequestState* b = pool.Add(64, 80);  // 4 blocks.
+  scheduler.Enqueue(a);
+  scheduler.Enqueue(b);
+  // Both prefill in one iteration (8 blocks used, memory full).
+  scheduler.OnBatchComplete(scheduler.Schedule());
+  // Next decode iteration must preempt B (latest) to let A grow.
+  ScheduledBatch batch = scheduler.Schedule();
+  EXPECT_GE(scheduler.preemption_count(), 1);
+  EXPECT_EQ(b->preemptions(), 1);
+  EXPECT_EQ(b->phase(), RequestPhase::kQueued);
+  EXPECT_GT(b->prefill_target(), b->prompt_tokens());  // Recompute extended.
+  // A's decode proceeds.
+  bool a_decoding = false;
+  for (const auto& item : batch.items) {
+    a_decoding |= item.request == a && item.is_decode;
+  }
+  EXPECT_TRUE(a_decoding);
+}
+
+TEST(PreemptionTest, SystemDrainsAfterPreemptions) {
+  PagedBlockManager::Options opts;
+  opts.num_blocks = 20;
+  opts.block_size = 16;
+  opts.watermark = 0.0;
+  PagedBlockManager blocks(opts);
+  SchedulerConfig config;
+  config.policy = SchedulerPolicy::kSarathi;
+  config.token_budget = 128;
+  SarathiScheduler scheduler(config, &blocks);
+  RequestPool pool;
+  for (int i = 0; i < 6; ++i) {
+    scheduler.Enqueue(pool.Add(100, 60));
+  }
+  RunToCompletion(&scheduler, [](const ScheduledBatch&) {});
+  for (const auto& r : pool.all()) {
+    EXPECT_TRUE(r->finished());
+  }
+  EXPECT_EQ(blocks.free_blocks(), blocks.num_blocks());
+}
+
+// ---------- Token budget ----------
+
+TEST(TokenBudgetTest, ProfiledTimeMonotoneInBudget) {
+  IterationCostModel model(Yi34B(), AzureNC96adsCluster(), Tp(2));
+  TokenBudgetOptions options;
+  double prev = 0.0;
+  for (int64_t budget : {128, 256, 512, 1024, 2048, 4096}) {
+    double t = ProfiledIterationTime(model, options, budget);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(TokenBudgetTest, BudgetMonotoneInSlo) {
+  IterationCostModel model(Yi34B(), AzureNC96adsCluster(), Tp(2));
+  TokenBudgetOptions strict;
+  strict.tbt_slo_s = 0.2;
+  TokenBudgetOptions relaxed;
+  relaxed.tbt_slo_s = 1.0;
+  int64_t strict_budget = ComputeTokenBudget(model, strict);
+  int64_t relaxed_budget = ComputeTokenBudget(model, relaxed);
+  EXPECT_GT(relaxed_budget, strict_budget);
+  // Both tile-aligned.
+  EXPECT_EQ(strict_budget % 128, 0);
+  EXPECT_EQ(relaxed_budget % 128, 0);
+}
+
+TEST(TokenBudgetTest, ChosenBudgetMeetsSloAndNextTileDoesNot) {
+  IterationCostModel model(Mistral7B(), AzureNC96adsCluster(), Tp(1));
+  TokenBudgetOptions options;
+  options.tbt_slo_s = 0.1;
+  int64_t budget = ComputeTokenBudget(model, options);
+  EXPECT_LE(ProfiledIterationTime(model, options, budget), options.tbt_slo_s);
+  if (budget + 128 <= options.max_budget) {
+    EXPECT_GT(ProfiledIterationTime(model, options, budget + 128), options.tbt_slo_s);
+  }
+}
+
+TEST(TokenBudgetTest, InfeasibleSloReturnsFloor) {
+  IterationCostModel model(Falcon180B(), AzureNC96adsCluster(), TpPp(4, 2));
+  TokenBudgetOptions options;
+  options.tbt_slo_s = 1e-6;  // Impossible.
+  EXPECT_EQ(ComputeTokenBudget(model, options), options.min_budget);
+}
+
+TEST_F(SarathiTest, TileAlignmentShavesOffTileTotals) {
+  SchedulerConfig config;
+  config.policy = SchedulerPolicy::kSarathi;
+  config.token_budget = 465;  // Deliberately off-tile.
+  config.align_chunks_to_tile = true;
+  SarathiScheduler scheduler(config, &blocks_);
+  scheduler.Enqueue(pool_.Add(4000, 1));
+  ScheduledBatch batch = scheduler.Schedule();
+  ASSERT_EQ(batch.size(), 1u);
+  // Total rows shaved from 465 to 384 (a whole number of 128-row tiles).
+  EXPECT_EQ(batch.TotalTokens(), 384);
+}
+
+TEST_F(SarathiTest, TileAlignmentNeverSchedulesNothing) {
+  SchedulerConfig config;
+  config.policy = SchedulerPolicy::kSarathi;
+  config.token_budget = 512;
+  config.align_chunks_to_tile = true;
+  SarathiScheduler scheduler(config, &blocks_);
+  // A sub-tile prompt: alignment would shave to zero; it must run as-is.
+  RequestState* tiny = pool_.Add(50, 1);
+  scheduler.Enqueue(tiny);
+  ScheduledBatch batch = scheduler.Schedule();
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch.items[0].num_tokens, 50);
+}
+
+TEST_F(SarathiTest, TileAlignmentStillDrainsEverything) {
+  SchedulerConfig config;
+  config.policy = SchedulerPolicy::kSarathi;
+  config.token_budget = 465;
+  config.align_chunks_to_tile = true;
+  SarathiScheduler scheduler(config, &blocks_);
+  for (int i = 0; i < 6; ++i) {
+    scheduler.Enqueue(pool_.Add(777 + 13 * i, 9));
+  }
+  RunToCompletion(&scheduler, [&](const ScheduledBatch& batch) {
+    ASSERT_LE(batch.TotalTokens(), 465);
+  });
+}
+
+// ---------- Dynamic token budget ----------
+
+class DynamicBudgetTest : public ::testing::Test {
+ protected:
+  DynamicBudgetTest() : blocks_(BigPagedOpts()) {}
+
+  SchedulerConfig Config(double slo_s, int64_t initial = 512) {
+    SchedulerConfig config;
+    config.policy = SchedulerPolicy::kSarathi;
+    config.token_budget = initial;
+    config.dynamic_budget_tbt_slo_s = slo_s;
+    return config;
+  }
+
+  ScheduledBatch FullBatch(SarathiScheduler* scheduler, RequestPool* pool) {
+    scheduler->Enqueue(pool->Add(100000, 1));  // Endless prefill fills budget.
+    return scheduler->Schedule();
+  }
+
+  PagedBlockManager blocks_;
+  RequestPool pool_;
+};
+
+TEST_F(DynamicBudgetTest, StaticWhenDisabled) {
+  SchedulerConfig config = Config(/*slo_s=*/0.0);
+  SarathiScheduler scheduler(config, &blocks_);
+  ScheduledBatch batch = FullBatch(&scheduler, &pool_);
+  scheduler.ObserveIterationTime(batch, 100.0);  // Way over any target.
+  EXPECT_EQ(scheduler.current_budget(), 512);
+}
+
+TEST_F(DynamicBudgetTest, OvershootShrinksBudget) {
+  SarathiScheduler scheduler(Config(0.1), &blocks_);
+  ScheduledBatch batch = FullBatch(&scheduler, &pool_);
+  EXPECT_EQ(batch.TotalTokens(), 512);
+  scheduler.ObserveIterationTime(batch, 0.2);
+  EXPECT_EQ(scheduler.current_budget(), 384);  // 512 * 0.75, tile-aligned.
+  // Next batch already uses the reduced budget.
+  scheduler.OnBatchComplete(batch);
+  ScheduledBatch next = scheduler.Schedule();
+  EXPECT_EQ(next.TotalTokens(), 384);
+}
+
+TEST_F(DynamicBudgetTest, FastFullIterationsGrowBudget) {
+  SarathiScheduler scheduler(Config(0.1), &blocks_);
+  ScheduledBatch batch = FullBatch(&scheduler, &pool_);
+  scheduler.ObserveIterationTime(batch, 0.05);
+  EXPECT_EQ(scheduler.current_budget(), 512 + 128);
+}
+
+TEST_F(DynamicBudgetTest, UnderfullBatchesDoNotGrowBudget) {
+  SarathiScheduler scheduler(Config(0.1), &blocks_);
+  scheduler.Enqueue(pool_.Add(64, 1));  // Far below the budget.
+  ScheduledBatch batch = scheduler.Schedule();
+  ASSERT_EQ(batch.TotalTokens(), 64);
+  scheduler.ObserveIterationTime(batch, 0.01);
+  EXPECT_EQ(scheduler.current_budget(), 512);
+}
+
+TEST_F(DynamicBudgetTest, BudgetStaysWithinBounds) {
+  SchedulerConfig config = Config(0.1);
+  config.min_token_budget = 256;
+  config.max_token_budget = 768;
+  SarathiScheduler scheduler(config, &blocks_);
+  ScheduledBatch batch = FullBatch(&scheduler, &pool_);
+  for (int i = 0; i < 10; ++i) {
+    scheduler.ObserveIterationTime(batch, 1.0);  // Repeated overshoot.
+  }
+  EXPECT_EQ(scheduler.current_budget(), 256);
+  for (int i = 0; i < 20; ++i) {
+    // Pretend the batch fills whatever the current budget is.
+    ScheduledBatch full;
+    full.items.push_back(BatchItem{batch.items[0].request,
+                                   scheduler.current_budget(), /*is_decode=*/false});
+    scheduler.ObserveIterationTime(full, 0.01);
+  }
+  EXPECT_EQ(scheduler.current_budget(), 768);
+}
+
+// ---------- Factory ----------
+
+TEST(FactoryTest, BuildsEveryPolicy) {
+  PagedBlockManager blocks(BigPagedOpts());
+  for (SchedulerPolicy policy :
+       {SchedulerPolicy::kSarathi, SchedulerPolicy::kVllm, SchedulerPolicy::kOrca,
+        SchedulerPolicy::kFasterTransformer}) {
+    SchedulerConfig config;
+    config.policy = policy;
+    auto scheduler = MakeScheduler(config, &blocks);
+    ASSERT_NE(scheduler, nullptr);
+    EXPECT_FALSE(scheduler->name().empty());
+  }
+}
+
+TEST(FactoryTest, AllocatorKindMatchesPolicy) {
+  AllocatorOptions options;
+  options.capacity_tokens = 100000;
+  auto paged = MakeAllocatorFor(SchedulerPolicy::kSarathi, options);
+  auto reserved = MakeAllocatorFor(SchedulerPolicy::kOrca, options);
+  EXPECT_NE(dynamic_cast<PagedBlockManager*>(paged.get()), nullptr);
+  EXPECT_NE(dynamic_cast<ReservationAllocator*>(reserved.get()), nullptr);
+}
+
+// ---------- Batch descriptions ----------
+
+TEST(BatchDescribeTest, CompactRendering) {
+  RequestPool pool;
+  RequestState* a = pool.Add(100, 5);
+  RequestState* b = pool.Add(100, 5);
+  a->AdvancePrefill(100);
+  ScheduledBatch batch;
+  batch.items.push_back(BatchItem{a, 1, true});
+  batch.items.push_back(BatchItem{b, 64, false});
+  EXPECT_EQ(batch.Describe(), "1d+p1(64)");
+  ScheduledBatch empty;
+  EXPECT_EQ(empty.Describe(), "idle");
+}
+
+}  // namespace
+}  // namespace sarathi

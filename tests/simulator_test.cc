@@ -1,0 +1,338 @@
+// Tests for the discrete-event replica simulator: conservation, latency
+// semantics, pipeline behavior, and the paper-shaped end-to-end phenomena
+// (generation stalls, stall-freedom, pipeline bubbles).
+
+#include <algorithm>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "src/core/serving_system.h"
+#include "src/simulator/replica_simulator.h"
+
+namespace sarathi {
+namespace {
+
+SimulatorOptions BaseOptions(SchedulerConfig scheduler, Deployment deployment) {
+  SimulatorOptions options;
+  options.model = deployment.model;
+  options.cluster = deployment.cluster;
+  options.parallel = deployment.parallel;
+  options.scheduler = scheduler;
+  return options;
+}
+
+// Every request completes, emits exactly output_tokens tokens, and prefill
+// token accounting balances — for each scheduler policy.
+class ConservationTest : public ::testing::TestWithParam<SchedulerPolicy> {};
+
+TEST_P(ConservationTest, AllTokensAccountedFor) {
+  SchedulerConfig scheduler;
+  scheduler.policy = GetParam();
+  scheduler.token_budget = 512;
+  scheduler.max_batch_size = 32;
+  SimulatorOptions options = BaseOptions(scheduler, MistralOnA100());
+
+  TraceOptions trace_options;
+  trace_options.num_requests = 40;
+  trace_options.qps = 2.0;
+  trace_options.seed = 11;
+  Trace trace = GenerateTrace(OpenChatShareGpt4(), trace_options);
+
+  ReplicaSimulator simulator(options);
+  SimResult result = simulator.Run(trace);
+
+  int64_t expected_tokens = 0;
+  for (size_t i = 0; i < trace.size(); ++i) {
+    const RequestMetrics& m = result.requests[i];
+    EXPECT_TRUE(m.completed()) << "request " << i << " under " << result.scheduler_name;
+    EXPECT_EQ(static_cast<int64_t>(m.token_times_s.size()), trace.requests[i].output_tokens);
+    expected_tokens += trace.requests[i].output_tokens;
+    // Causality.
+    EXPECT_GE(m.first_scheduled_s, m.arrival_s);
+    EXPECT_GE(m.token_times_s.front(), m.first_scheduled_s);
+    EXPECT_GE(m.completion_s, m.token_times_s.back() - 1e-9);
+    // Emission times strictly ordered.
+    for (size_t t = 1; t < m.token_times_s.size(); ++t) {
+      EXPECT_GT(m.token_times_s[t], m.token_times_s[t - 1]);
+    }
+  }
+  EXPECT_EQ(result.total_output_tokens, expected_tokens);
+  EXPECT_GT(result.makespan_s, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, ConservationTest,
+                         ::testing::Values(SchedulerPolicy::kSarathi, SchedulerPolicy::kVllm,
+                                           SchedulerPolicy::kOrca,
+                                           SchedulerPolicy::kFasterTransformer,
+                                           SchedulerPolicy::kFastServe, SchedulerPolicy::kVtc),
+                         [](const ::testing::TestParamInfo<SchedulerPolicy>& info) {
+                           return std::string(SchedulerPolicyName(info.param));
+                         });
+
+// Conservation must also hold when micro-batches pipeline: every policy on a
+// 2-stage Falcon deployment.
+class PipelineConservationTest : public ::testing::TestWithParam<SchedulerPolicy> {};
+
+TEST_P(PipelineConservationTest, AllTokensAccountedForUnderPp2) {
+  SchedulerConfig scheduler;
+  scheduler.policy = GetParam();
+  scheduler.token_budget = 512;
+  scheduler.max_batch_size = 16;
+  SimulatorOptions options = BaseOptions(scheduler, FalconOnA100Tp4Pp2());
+
+  TraceOptions trace_options;
+  trace_options.num_requests = 24;
+  trace_options.qps = 0.5;
+  trace_options.seed = 13;
+  Trace trace = GenerateTrace(OpenChatShareGpt4(), trace_options);
+  SimResult result = ReplicaSimulator(options).Run(trace);
+  int64_t expected = 0;
+  for (size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_TRUE(result.requests[i].completed()) << result.scheduler_name;
+    expected += trace.requests[i].output_tokens;
+  }
+  EXPECT_EQ(result.total_output_tokens, expected);
+  EXPECT_EQ(result.stage_busy_s.size(), 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PipelineConservationTest,
+                         ::testing::Values(SchedulerPolicy::kSarathi, SchedulerPolicy::kVllm,
+                                           SchedulerPolicy::kOrca,
+                                           SchedulerPolicy::kFasterTransformer,
+                                           SchedulerPolicy::kFastServe, SchedulerPolicy::kVtc),
+                         [](const ::testing::TestParamInfo<SchedulerPolicy>& info) {
+                           return std::string(SchedulerPolicyName(info.param));
+                         });
+
+TEST(MetricsTest, MbuAndMfuReflectPhaseBalance) {
+  ServingSystem system(MistralOnA100(), SarathiConfig(2048));
+  // Decode-heavy: bandwidth-bound serving.
+  SimResult decode_heavy = system.Serve(UniformTrace(2, 64, 300, 0.0));
+  EXPECT_GT(decode_heavy.Mbu(), 4.0 * decode_heavy.Mfu());
+  EXPECT_LE(decode_heavy.Mbu(), 1.0);
+  // Prefill-heavy: compute-bound serving.
+  SimResult prefill_heavy = system.Serve(UniformTrace(8, 4096, 1, 0.0));
+  EXPECT_GT(prefill_heavy.Mfu(), prefill_heavy.Mbu() * 0.8);
+}
+
+TEST(SimulatorTest, DeterministicAcrossRuns) {
+  SimulatorOptions options = BaseOptions(SarathiConfig(512), MistralOnA100());
+  TraceOptions trace_options;
+  trace_options.num_requests = 30;
+  trace_options.qps = 1.0;
+  Trace trace = GenerateTrace(OpenChatShareGpt4(), trace_options);
+  SimResult a = ReplicaSimulator(options).Run(trace);
+  SimResult b = ReplicaSimulator(options).Run(trace);
+  EXPECT_DOUBLE_EQ(a.makespan_s, b.makespan_s);
+  EXPECT_EQ(a.num_iterations, b.num_iterations);
+  EXPECT_DOUBLE_EQ(a.P99Tbt(), b.P99Tbt());
+}
+
+TEST(SimulatorTest, SingleRequestLatencyDecomposition) {
+  SimulatorOptions options = BaseOptions(SarathiConfig(512), MistralOnA100());
+  options.record_iterations = true;
+  Trace trace = UniformTrace(1, 1024, 10, 0.0);
+  SimResult result = ReplicaSimulator(options).Run(trace);
+  const RequestMetrics& m = result.requests[0];
+  // 1024-token prompt with budget 512: two chunks, then 9 decodes.
+  EXPECT_EQ(result.num_iterations, 2 + 9);
+  EXPECT_DOUBLE_EQ(m.SchedulingDelay(), 0.0);
+  // TTFT equals the two prefill iterations' combined latency.
+  EXPECT_NEAR(m.Ttft(), result.iterations[1].exit_s, 1e-12);
+  // Each decode TBT is one decode-iteration latency: small.
+  for (double tbt : m.TbtSamples()) {
+    EXPECT_LT(tbt, 0.05);
+  }
+}
+
+TEST(SimulatorTest, IdleGapsBetweenSparseArrivals) {
+  // Two requests far apart: the engine idles in between; both still finish.
+  SimulatorOptions options = BaseOptions(SarathiConfig(2048), MistralOnA100());
+  Trace trace = UniformTrace(2, 512, 5, /*inter_arrival_s=*/30.0);
+  SimResult result = ReplicaSimulator(options).Run(trace);
+  EXPECT_TRUE(result.requests[0].completed());
+  EXPECT_TRUE(result.requests[1].completed());
+  EXPECT_GT(result.makespan_s, 30.0);
+  EXPECT_DOUBLE_EQ(result.requests[1].SchedulingDelay(), 0.0);
+}
+
+TEST(SimulatorTest, VllmShowsGenerationStallsSarathiDoesNot) {
+  // The Fig. 1a phenomenon: a long prompt arriving mid-decode stalls vLLM's
+  // running request but not Sarathi's.
+  Trace trace;
+  trace.name = "stall-probe";
+  Request a;
+  a.id = 0;
+  a.arrival_time_s = 0.0;
+  a.prompt_tokens = 512;
+  a.output_tokens = 200;
+  Request b;
+  b.id = 1;
+  b.arrival_time_s = 1.0;  // Arrives while A decodes.
+  b.prompt_tokens = 8000;
+  b.output_tokens = 10;
+  trace.requests = {a, b};
+
+  Deployment deployment = YiOnA100Tp2();
+  SloSpec slo = DeriveSlo(IterationCostModel(deployment.model, deployment.cluster,
+                                             deployment.parallel));
+
+  SimResult vllm = ReplicaSimulator(BaseOptions(VllmConfig(), deployment)).Run(trace);
+  SimResult sarathi = ReplicaSimulator(BaseOptions(SarathiConfig(512), deployment)).Run(trace);
+
+  // vLLM: A's TBT spikes by the full 8000-token prefill duration.
+  EXPECT_GT(vllm.MaxTbt(), 3.0 * slo.strict_p99_tbt_s);
+  // Sarathi: every TBT stays within the SLO the budget was sized for.
+  EXPECT_LT(sarathi.MaxTbt(), slo.strict_p99_tbt_s);
+  // And chunking B's prompt must not starve it either.
+  EXPECT_TRUE(sarathi.requests[1].completed());
+}
+
+TEST(SimulatorTest, SarathiThroughputNotSacrificed) {
+  // Stall-freedom must not cost throughput: makespans within 15%.
+  TraceOptions trace_options;
+  trace_options.num_requests = 48;
+  trace_options.qps = 0.0;  // Burst: pure throughput comparison.
+  trace_options.seed = 3;
+  Trace trace = GenerateTrace(OpenChatShareGpt4(), trace_options);
+  Deployment deployment = MistralOnA100();
+  SimResult vllm = ReplicaSimulator(BaseOptions(VllmConfig(), deployment)).Run(trace);
+  SimResult sarathi =
+      ReplicaSimulator(BaseOptions(SarathiConfig(2048), deployment)).Run(trace);
+  EXPECT_LT(sarathi.makespan_s, 1.15 * vllm.makespan_s);
+}
+
+TEST(SimulatorTest, FasterTransformerHasLowTbtButPoorThroughput) {
+  TraceOptions trace_options;
+  trace_options.num_requests = 48;
+  trace_options.qps = 0.0;
+  trace_options.seed = 3;
+  Trace trace = GenerateTrace(OpenChatShareGpt4(), trace_options);
+  Deployment deployment = MistralOnA100();
+  SimResult ft =
+      ReplicaSimulator(BaseOptions(FasterTransformerConfig(32), deployment)).Run(trace);
+  SimResult sarathi =
+      ReplicaSimulator(BaseOptions(SarathiConfig(2048), deployment)).Run(trace);
+  EXPECT_LT(ft.P99Tbt(), sarathi.P99Tbt());
+  EXPECT_GT(ft.makespan_s, 1.2 * sarathi.makespan_s);
+}
+
+// ---------- Pipeline parallelism ----------
+
+TEST(PipelineTest, TwoStagesOverlapIndependentBatches) {
+  // Back-to-back uniform batches should keep both stages busy: makespan for
+  // N batches ~ (N+1) * stage_time, not N * 2 * stage_time.
+  Deployment deployment = FalconOnA100Tp4Pp2();
+  SchedulerConfig scheduler = SarathiConfig(512, /*max_batch_size=*/1);
+  SimulatorOptions options = BaseOptions(scheduler, deployment);
+  options.record_iterations = true;
+  // 8 single-chunk prompts, no decodes to keep iterations uniform.
+  Trace trace = UniformTrace(8, 512, 1, 0.0);
+  SimResult result = ReplicaSimulator(options).Run(trace);
+
+  ASSERT_GE(result.iterations.size(), 8u);
+  double stage_time = result.iterations[0].stage_time_s;
+  // Consecutive batches enter one stage_time apart (pipelined), not two.
+  double gap = result.iterations[1].start_s - result.iterations[0].start_s;
+  EXPECT_NEAR(gap, stage_time, 0.15 * stage_time);
+  // Bubble fraction near the theoretical (N+1)-fill/drain overhead.
+  EXPECT_LT(result.BubbleFraction(), 0.25);
+}
+
+TEST(PipelineTest, NonUniformBatchesCreateBubbles) {
+  // Alternating long-prefill and tiny-decode iterations (Orca-style) must
+  // show a much larger bubble fraction than Sarathi's uniform batches.
+  Deployment deployment = FalconOnA100Tp4Pp2();
+  TraceOptions trace_options;
+  trace_options.num_requests = 32;
+  trace_options.qps = 0.0;
+  trace_options.seed = 5;
+  Trace trace = GenerateTrace(OpenChatShareGpt4(), trace_options);
+
+  SimResult orca = ReplicaSimulator(BaseOptions(OrcaConfig(), deployment)).Run(trace);
+  SimResult sarathi =
+      ReplicaSimulator(BaseOptions(SarathiConfig(512), deployment)).Run(trace);
+  EXPECT_LT(sarathi.BubbleFraction(), orca.BubbleFraction());
+}
+
+TEST(PipelineTest, RequestNeverInTwoMicrobatches) {
+  Deployment deployment = FalconOnA100Tp4Pp2();
+  SimulatorOptions options = BaseOptions(SarathiConfig(512), deployment);
+  options.record_iterations = true;
+  Trace trace = UniformTrace(4, 2000, 50, 0.1);
+  SimResult result = ReplicaSimulator(options).Run(trace);
+  // Total decode tokens: each request emits 50 tokens; iteration records
+  // must account for every one exactly once.
+  int64_t decode_sum = 0;
+  int64_t prefill_sum = 0;
+  for (const auto& it : result.iterations) {
+    decode_sum += it.num_decodes;
+    prefill_sum += it.prefill_tokens;
+  }
+  EXPECT_EQ(decode_sum, 4 * (50 - 1));  // First token comes from prefill.
+  EXPECT_EQ(prefill_sum, 4 * 2000);
+}
+
+TEST(SimulatorTest, BubbleFractionZeroWithoutPipelining) {
+  Deployment deployment = MistralOnA100();
+  SimulatorOptions options = BaseOptions(SarathiConfig(512), deployment);
+  Trace trace = UniformTrace(8, 512, 20, 0.0);
+  SimResult result = ReplicaSimulator(options).Run(trace);
+  EXPECT_NEAR(result.BubbleFraction(), 0.0, 1e-9);
+}
+
+// ---------- Metrics ----------
+
+TEST(MetricsTest, TbtSamplesAreConsecutiveDiffs) {
+  RequestMetrics m;
+  m.arrival_s = 1.0;
+  m.token_times_s = {2.0, 2.5, 3.5};
+  auto tbt = m.TbtSamples();
+  ASSERT_EQ(tbt.size(), 2u);
+  EXPECT_DOUBLE_EQ(tbt[0], 0.5);
+  EXPECT_DOUBLE_EQ(tbt[1], 1.0);
+  EXPECT_DOUBLE_EQ(m.Ttft(), 1.0);
+}
+
+TEST(MetricsTest, StallCounting) {
+  SimResult result;
+  result.requests.resize(1);
+  result.requests[0].token_times_s = {0.0, 0.1, 2.0, 2.1};
+  EXPECT_EQ(result.CountStalls(1.0), 1);
+  EXPECT_EQ(result.CountStalls(0.05), 3);
+  EXPECT_DOUBLE_EQ(result.MaxTbt(), 1.9);
+}
+
+TEST(MetricsTest, SloAttainmentCountsBothDimensions) {
+  SimResult result;
+  result.requests.resize(3);
+  // Request 0: fast TTFT, all TBT fine.
+  result.requests[0].arrival_s = 0.0;
+  result.requests[0].token_times_s = {0.5, 0.6, 0.7};
+  result.requests[0].completion_s = 0.7;
+  // Request 1: TTFT violation.
+  result.requests[1].arrival_s = 0.0;
+  result.requests[1].token_times_s = {5.0, 5.1};
+  result.requests[1].completion_s = 5.1;
+  // Request 2: TBT violation.
+  result.requests[2].arrival_s = 0.0;
+  result.requests[2].token_times_s = {0.5, 3.0};
+  result.requests[2].completion_s = 3.0;
+  EXPECT_DOUBLE_EQ(result.SloAttainment(/*ttft=*/1.0, /*tbt=*/0.5), 1.0 / 3.0);
+  double inf = std::numeric_limits<double>::infinity();
+  EXPECT_DOUBLE_EQ(result.SloAttainment(inf, 0.5), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(result.SloAttainment(1.0, inf), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(result.SloAttainment(inf, inf), 1.0);
+}
+
+TEST(MetricsTest, EmptyResultSafe) {
+  SimResult result;
+  EXPECT_DOUBLE_EQ(result.P99Tbt(), 0.0);
+  EXPECT_DOUBLE_EQ(result.MedianTtft(), 0.0);
+  EXPECT_DOUBLE_EQ(result.BubbleFraction(), 0.0);
+  EXPECT_DOUBLE_EQ(result.OutputTokenThroughput(), 0.0);
+}
+
+}  // namespace
+}  // namespace sarathi

@@ -1,0 +1,188 @@
+// Randomized stress tests: every scheduling policy is driven through
+// thousands of iterations of a randomized workload under tight memory, and
+// global invariants are asserted at each step. Also pins a few cost-model
+// golden values as regression anchors.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/core/serving_system.h"
+#include "src/memory/block_manager.h"
+#include "src/scheduler/scheduler_factory.h"
+
+namespace sarathi {
+namespace {
+
+struct StressCase {
+  SchedulerPolicy policy;
+  int64_t num_blocks;  // Memory tightness knob.
+};
+
+class SchedulerStressTest : public ::testing::TestWithParam<StressCase> {};
+
+TEST_P(SchedulerStressTest, InvariantsUnderRandomChurn) {
+  const StressCase& c = GetParam();
+
+  AllocatorOptions allocator_options;
+  allocator_options.capacity_tokens = c.num_blocks * 16;
+  allocator_options.block_size = 16;
+  allocator_options.watermark = 0.02;
+  allocator_options.max_seq_len = 2048;
+  auto allocator = MakeAllocatorFor(c.policy, allocator_options);
+
+  SchedulerConfig config;
+  config.policy = c.policy;
+  config.token_budget = 256;
+  config.max_batch_size = 24;
+  auto scheduler = MakeScheduler(config, allocator.get());
+
+  Rng rng(static_cast<uint64_t>(c.num_blocks) * 31 + static_cast<uint64_t>(c.policy));
+  std::vector<std::unique_ptr<RequestState>> states;
+  int64_t next_id = 0;
+  int64_t total_expected_tokens = 0;
+  int64_t emitted_tokens = 0;
+  double now = 0.0;
+
+  auto enqueue_random = [&]() {
+    Request r;
+    r.id = next_id++;
+    r.arrival_time_s = now;
+    r.prompt_tokens = rng.UniformInt(1, 900);
+    r.output_tokens = rng.UniformInt(1, 60);
+    r.client_id = rng.UniformInt(0, 3);
+    // Keep every request individually feasible for the tight allocator.
+    total_expected_tokens += r.output_tokens;
+    states.push_back(std::make_unique<RequestState>(r));
+    scheduler->Enqueue(states.back().get());
+  };
+
+  int64_t iterations = 0;
+  constexpr int kTotalRequests = 120;
+  int injected = 0;
+  while (scheduler->HasWork() || injected < kTotalRequests) {
+    now += 0.01;
+    if (injected < kTotalRequests && rng.Uniform(0.0, 1.0) < 0.25) {
+      enqueue_random();
+      ++injected;
+    }
+    if (!scheduler->HasWork()) {
+      continue;
+    }
+    ScheduledBatch batch = scheduler->Schedule();
+    if (batch.empty()) {
+      // Nothing runnable this instant is only legal while injection continues.
+      ASSERT_LT(injected, kTotalRequests) << "deadlock under " << scheduler->name();
+      continue;
+    }
+    // Batch-level invariants.
+    ASSERT_LE(static_cast<int64_t>(batch.size()), config.max_batch_size);
+    std::set<const RequestState*> members;
+    for (const auto& item : batch.items) {
+      ASSERT_TRUE(members.insert(item.request).second)
+          << "request scheduled twice in one batch";
+      ASSERT_GT(item.num_tokens, 0);
+      ASSERT_FALSE(item.request->finished());
+    }
+    // Count emissions before applying.
+    for (const auto& item : batch.items) {
+      bool emits = item.is_decode || item.request->prefill_done() + item.num_tokens ==
+                                         item.request->prefill_target();
+      emitted_tokens += emits ? 1 : 0;
+    }
+    scheduler->OnBatchComplete(batch);
+    ASSERT_LT(++iterations, 200000) << "runaway under " << scheduler->name();
+  }
+
+  // Conservation: every request finished with exactly its token count.
+  for (const auto& state : states) {
+    ASSERT_TRUE(state->finished());
+  }
+  EXPECT_EQ(emitted_tokens, total_expected_tokens);
+  // All memory returned.
+  EXPECT_DOUBLE_EQ(allocator->Utilization(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, SchedulerStressTest,
+    ::testing::Values(StressCase{SchedulerPolicy::kSarathi, 150},
+                      StressCase{SchedulerPolicy::kSarathi, 2000},
+                      StressCase{SchedulerPolicy::kVllm, 150},
+                      StressCase{SchedulerPolicy::kVllm, 2000},
+                      StressCase{SchedulerPolicy::kOrca, 2000},
+                      StressCase{SchedulerPolicy::kFasterTransformer, 2000},
+                      StressCase{SchedulerPolicy::kFastServe, 150},
+                      StressCase{SchedulerPolicy::kFastServe, 2000},
+                      StressCase{SchedulerPolicy::kVtc, 150},
+                      StressCase{SchedulerPolicy::kVtc, 2000}),
+    [](const ::testing::TestParamInfo<StressCase>& info) {
+      return std::string(SchedulerPolicyName(info.param.policy)) + "_blocks" +
+             std::to_string(info.param.num_blocks);
+    });
+
+// ---------- Pipeline-depth sweep ----------
+
+class PipelineDepthTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PipelineDepthTest, SimulationConservesTokensAtAnyDepth) {
+  int pp = GetParam();
+  SimulatorOptions options;
+  options.model = Falcon180B();  // 80 layers: divisible by 1,2,4,8.
+  options.cluster = AzureNC96adsCluster();
+  options.cluster.gpus_per_node = 8;  // Allow TP8 within a node for this sweep.
+  options.parallel = TpPp(8 / pp, pp);
+  options.scheduler = SarathiConfig(512, 16);
+
+  TraceOptions trace_options;
+  trace_options.num_requests = 24;
+  trace_options.qps = 1.0;
+  trace_options.seed = 77;
+  Trace trace = GenerateTrace(OpenChatShareGpt4(), trace_options);
+  SimResult result = ReplicaSimulator(options).Run(trace);
+  int64_t expected = 0;
+  for (const auto& r : trace.requests) {
+    expected += r.output_tokens;
+  }
+  EXPECT_EQ(result.total_output_tokens, expected);
+  EXPECT_EQ(result.stage_busy_s.size(), static_cast<size_t>(pp));
+  for (const auto& r : result.requests) {
+    EXPECT_TRUE(r.completed());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, PipelineDepthTest, ::testing::Values(1, 2, 4, 8),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "pp" + std::to_string(info.param);
+                         });
+
+// ---------- Cost-model regression pins ----------
+// These anchor the calibrated model: a change that moves any of them by more
+// than 10% silently re-shapes every figure, so it must be deliberate.
+
+TEST(CostModelGoldenTest, CanonicalIterationLatencies) {
+  IterationCostModel mistral(Mistral7B(), AzureNC96adsCluster(), Tp(1));
+  IterationCostModel yi(Yi34B(), AzureNC96adsCluster(), Tp(2));
+  IterationCostModel falcon(Falcon180B(), AzureNC96adsCluster(), TpPp(4, 2));
+
+  auto decode_batch = [](int n, int64_t context) {
+    BatchWork work;
+    for (int i = 0; i < n; ++i) {
+      work.sequences.push_back(SequenceWork::Decode(context));
+    }
+    return work;
+  };
+  BatchWork prefill_1k;
+  prefill_1k.sequences.push_back(SequenceWork::PrefillChunk(0, 1024));
+
+  // Values captured from the calibrated model (seconds).
+  EXPECT_NEAR(mistral.IterationCost(prefill_1k).Total(), 0.0745, 0.0075);
+  EXPECT_NEAR(mistral.IterationCost(decode_batch(32, 1024)).Total(), 0.0126, 0.0013);
+  EXPECT_NEAR(yi.ReferenceDecodeIterationTime(), 0.0341, 0.0035);
+  EXPECT_NEAR(falcon.ReferenceDecodeIterationTime(), 0.0650, 0.0065);
+  EXPECT_NEAR(yi.MaxKvTokens() / 1.0e5, 3.3, 0.35);
+}
+
+}  // namespace
+}  // namespace sarathi

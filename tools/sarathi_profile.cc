@@ -1,0 +1,79 @@
+// sarathi_profile: batch-composition profiler (the Vidur role from §4.3).
+//
+// Prints (or writes) a CSV grid of predicted iteration latency / breakdown /
+// MFU over hybrid batch compositions for a deployment, and reports the token
+// budget each SLO would select.
+//
+// Examples:
+//   sarathi_profile --model=yi-34b
+//   sarathi_profile --model=falcon-180b --out=/tmp/falcon_profile.csv
+
+#include <fstream>
+#include <iostream>
+
+#include "src/common/args.h"
+#include "src/common/table.h"
+#include "src/core/serving_system.h"
+#include "src/perfmodel/profiler.h"
+#include "src/scheduler/token_budget.h"
+
+namespace sarathi {
+namespace {
+
+StatusOr<Deployment> PickDeployment(const std::string& name) {
+  if (name == "mistral-7b") return MistralOnA100();
+  if (name == "yi-34b") return YiOnA100Tp2();
+  if (name == "llama2-70b") return LlamaOnA40Tp4Pp2();
+  if (name == "falcon-180b") return FalconOnA100Tp4Pp2();
+  if (name == "falcon-180b-tp8") return FalconOnA100Tp8();
+  return InvalidArgumentError("unknown --model '" + name + "'");
+}
+
+int RunMain(int argc, char** argv) {
+  auto parsed = ArgParser::Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::cerr << parsed.status().ToString() << "\n";
+    return 2;
+  }
+  ArgParser args = std::move(parsed).value();
+  auto deployment = PickDeployment(args.GetString("model", "yi-34b"));
+  if (!deployment.ok()) {
+    std::cerr << deployment.status().ToString() << "\n";
+    return 2;
+  }
+
+  IterationCostModel model(deployment->model, deployment->cluster, deployment->parallel);
+  std::vector<ProfilePoint> points = ProfileBatches(model, ProfileOptions{});
+
+  std::string out_path = args.GetString("out", "");
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "cannot open " << out_path << "\n";
+      return 1;
+    }
+    WriteProfileCsv(points, out);
+    std::cout << points.size() << " profile points written to " << out_path << "\n";
+  } else {
+    WriteProfileCsv(points, std::cout);
+  }
+
+  // SLO-driven budget summary (the profiling use-case of §4.3).
+  SloSpec slo = DeriveSlo(model);
+  Table budgets({"SLO", "P99 TBT target (s)", "token budget"});
+  for (auto [label, target] : {std::pair<const char*, double>{"strict", slo.strict_p99_tbt_s},
+                               {"relaxed", slo.relaxed_p99_tbt_s}}) {
+    TokenBudgetOptions options;
+    options.tbt_slo_s = target;
+    budgets.AddRow({label, Table::Num(target, 3),
+                    Table::Int(ComputeTokenBudget(model, options))});
+  }
+  std::cerr << "\nDeployment: " << deployment->Name() << "\n";
+  budgets.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace sarathi
+
+int main(int argc, char** argv) { return sarathi::RunMain(argc, argv); }
