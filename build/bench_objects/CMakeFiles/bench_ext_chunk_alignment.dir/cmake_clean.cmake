@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_chunk_alignment"
+  "../bench/bench_ext_chunk_alignment.pdb"
+  "CMakeFiles/bench_ext_chunk_alignment.dir/bench_ext_chunk_alignment.cpp.o"
+  "CMakeFiles/bench_ext_chunk_alignment.dir/bench_ext_chunk_alignment.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_chunk_alignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

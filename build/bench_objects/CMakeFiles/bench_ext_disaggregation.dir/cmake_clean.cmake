@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_disaggregation"
+  "../bench/bench_ext_disaggregation.pdb"
+  "CMakeFiles/bench_ext_disaggregation.dir/bench_ext_disaggregation.cpp.o"
+  "CMakeFiles/bench_ext_disaggregation.dir/bench_ext_disaggregation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_disaggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_dynamic_budget"
+  "../bench/bench_ext_dynamic_budget.pdb"
+  "CMakeFiles/bench_ext_dynamic_budget.dir/bench_ext_dynamic_budget.cpp.o"
+  "CMakeFiles/bench_ext_dynamic_budget.dir/bench_ext_dynamic_budget.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_dynamic_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_fairness_jct"
+  "../bench/bench_ext_fairness_jct.pdb"
+  "CMakeFiles/bench_ext_fairness_jct.dir/bench_ext_fairness_jct.cpp.o"
+  "CMakeFiles/bench_ext_fairness_jct.dir/bench_ext_fairness_jct.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_fairness_jct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig01_generation_stalls"
+  "../bench/bench_fig01_generation_stalls.pdb"
+  "CMakeFiles/bench_fig01_generation_stalls.dir/bench_fig01_generation_stalls.cpp.o"
+  "CMakeFiles/bench_fig01_generation_stalls.dir/bench_fig01_generation_stalls.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_generation_stalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

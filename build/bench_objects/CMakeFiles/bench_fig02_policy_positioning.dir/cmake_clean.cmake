@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig02_policy_positioning"
+  "../bench/bench_fig02_policy_positioning.pdb"
+  "CMakeFiles/bench_fig02_policy_positioning.dir/bench_fig02_policy_positioning.cpp.o"
+  "CMakeFiles/bench_fig02_policy_positioning.dir/bench_fig02_policy_positioning.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_policy_positioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig04_runtime_breakdown.cpp" "bench_objects/CMakeFiles/bench_fig04_runtime_breakdown.dir/bench_fig04_runtime_breakdown.cpp.o" "gcc" "bench_objects/CMakeFiles/bench_fig04_runtime_breakdown.dir/bench_fig04_runtime_breakdown.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sarathi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/capacity/CMakeFiles/sarathi_capacity.dir/DependInfo.cmake"
+  "/root/repo/build/src/simulator/CMakeFiles/sarathi_simulator.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/sarathi_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/scheduler/CMakeFiles/sarathi_scheduler.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/sarathi_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/sarathi_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/sarathi_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sarathi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

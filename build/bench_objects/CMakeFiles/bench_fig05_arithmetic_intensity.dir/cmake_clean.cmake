@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig05_arithmetic_intensity"
+  "../bench/bench_fig05_arithmetic_intensity.pdb"
+  "CMakeFiles/bench_fig05_arithmetic_intensity.dir/bench_fig05_arithmetic_intensity.cpp.o"
+  "CMakeFiles/bench_fig05_arithmetic_intensity.dir/bench_fig05_arithmetic_intensity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_arithmetic_intensity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

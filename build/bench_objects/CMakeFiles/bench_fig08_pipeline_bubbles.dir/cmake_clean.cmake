@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig08_pipeline_bubbles"
+  "../bench/bench_fig08_pipeline_bubbles.pdb"
+  "CMakeFiles/bench_fig08_pipeline_bubbles.dir/bench_fig08_pipeline_bubbles.cpp.o"
+  "CMakeFiles/bench_fig08_pipeline_bubbles.dir/bench_fig08_pipeline_bubbles.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_pipeline_bubbles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

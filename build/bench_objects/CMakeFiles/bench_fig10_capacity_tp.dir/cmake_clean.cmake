@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_capacity_tp"
+  "../bench/bench_fig10_capacity_tp.pdb"
+  "CMakeFiles/bench_fig10_capacity_tp.dir/bench_fig10_capacity_tp.cpp.o"
+  "CMakeFiles/bench_fig10_capacity_tp.dir/bench_fig10_capacity_tp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_capacity_tp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_capacity_pp"
+  "../bench/bench_fig11_capacity_pp.pdb"
+  "CMakeFiles/bench_fig11_capacity_pp.dir/bench_fig11_capacity_pp.cpp.o"
+  "CMakeFiles/bench_fig11_capacity_pp.dir/bench_fig11_capacity_pp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_capacity_pp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_tradeoff"
+  "../bench/bench_fig12_tradeoff.pdb"
+  "CMakeFiles/bench_fig12_tradeoff.dir/bench_fig12_tradeoff.cpp.o"
+  "CMakeFiles/bench_fig12_tradeoff.dir/bench_fig12_tradeoff.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

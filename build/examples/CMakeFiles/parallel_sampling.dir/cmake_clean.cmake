@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_sampling.dir/parallel_sampling.cpp.o"
+  "CMakeFiles/parallel_sampling.dir/parallel_sampling.cpp.o.d"
+  "parallel_sampling"
+  "parallel_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

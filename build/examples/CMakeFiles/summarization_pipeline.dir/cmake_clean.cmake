@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/summarization_pipeline.dir/summarization_pipeline.cpp.o"
+  "CMakeFiles/summarization_pipeline.dir/summarization_pipeline.cpp.o.d"
+  "summarization_pipeline"
+  "summarization_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/summarization_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

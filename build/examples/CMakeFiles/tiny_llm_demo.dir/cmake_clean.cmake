@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiny_llm_demo.dir/tiny_llm_demo.cpp.o"
+  "CMakeFiles/tiny_llm_demo.dir/tiny_llm_demo.cpp.o.d"
+  "tiny_llm_demo"
+  "tiny_llm_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiny_llm_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

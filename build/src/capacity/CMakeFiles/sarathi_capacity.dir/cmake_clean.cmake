@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sarathi_capacity.dir/capacity_search.cc.o"
+  "CMakeFiles/sarathi_capacity.dir/capacity_search.cc.o.d"
+  "libsarathi_capacity.a"
+  "libsarathi_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sarathi_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

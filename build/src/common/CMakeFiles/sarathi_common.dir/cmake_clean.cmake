@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sarathi_common.dir/args.cc.o"
+  "CMakeFiles/sarathi_common.dir/args.cc.o.d"
+  "CMakeFiles/sarathi_common.dir/logging.cc.o"
+  "CMakeFiles/sarathi_common.dir/logging.cc.o.d"
+  "CMakeFiles/sarathi_common.dir/rng.cc.o"
+  "CMakeFiles/sarathi_common.dir/rng.cc.o.d"
+  "CMakeFiles/sarathi_common.dir/stats.cc.o"
+  "CMakeFiles/sarathi_common.dir/stats.cc.o.d"
+  "CMakeFiles/sarathi_common.dir/status.cc.o"
+  "CMakeFiles/sarathi_common.dir/status.cc.o.d"
+  "CMakeFiles/sarathi_common.dir/table.cc.o"
+  "CMakeFiles/sarathi_common.dir/table.cc.o.d"
+  "libsarathi_common.a"
+  "libsarathi_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sarathi_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sarathi_core.dir/serving_system.cc.o"
+  "CMakeFiles/sarathi_core.dir/serving_system.cc.o.d"
+  "libsarathi_core.a"
+  "libsarathi_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sarathi_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

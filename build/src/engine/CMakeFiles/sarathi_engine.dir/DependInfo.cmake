@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/reference/kv_store.cc" "src/engine/CMakeFiles/sarathi_engine.dir/reference/kv_store.cc.o" "gcc" "src/engine/CMakeFiles/sarathi_engine.dir/reference/kv_store.cc.o.d"
+  "/root/repo/src/engine/reference/reference_engine.cc" "src/engine/CMakeFiles/sarathi_engine.dir/reference/reference_engine.cc.o" "gcc" "src/engine/CMakeFiles/sarathi_engine.dir/reference/reference_engine.cc.o.d"
+  "/root/repo/src/engine/reference/reference_server.cc" "src/engine/CMakeFiles/sarathi_engine.dir/reference/reference_server.cc.o" "gcc" "src/engine/CMakeFiles/sarathi_engine.dir/reference/reference_server.cc.o.d"
+  "/root/repo/src/engine/reference/sampler.cc" "src/engine/CMakeFiles/sarathi_engine.dir/reference/sampler.cc.o" "gcc" "src/engine/CMakeFiles/sarathi_engine.dir/reference/sampler.cc.o.d"
+  "/root/repo/src/engine/reference/tensor.cc" "src/engine/CMakeFiles/sarathi_engine.dir/reference/tensor.cc.o" "gcc" "src/engine/CMakeFiles/sarathi_engine.dir/reference/tensor.cc.o.d"
+  "/root/repo/src/engine/reference/tiny_model.cc" "src/engine/CMakeFiles/sarathi_engine.dir/reference/tiny_model.cc.o" "gcc" "src/engine/CMakeFiles/sarathi_engine.dir/reference/tiny_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sarathi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/sarathi_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/sarathi_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/scheduler/CMakeFiles/sarathi_scheduler.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/sarathi_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

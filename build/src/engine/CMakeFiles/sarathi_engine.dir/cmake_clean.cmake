@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sarathi_engine.dir/reference/kv_store.cc.o"
+  "CMakeFiles/sarathi_engine.dir/reference/kv_store.cc.o.d"
+  "CMakeFiles/sarathi_engine.dir/reference/reference_engine.cc.o"
+  "CMakeFiles/sarathi_engine.dir/reference/reference_engine.cc.o.d"
+  "CMakeFiles/sarathi_engine.dir/reference/reference_server.cc.o"
+  "CMakeFiles/sarathi_engine.dir/reference/reference_server.cc.o.d"
+  "CMakeFiles/sarathi_engine.dir/reference/sampler.cc.o"
+  "CMakeFiles/sarathi_engine.dir/reference/sampler.cc.o.d"
+  "CMakeFiles/sarathi_engine.dir/reference/tensor.cc.o"
+  "CMakeFiles/sarathi_engine.dir/reference/tensor.cc.o.d"
+  "CMakeFiles/sarathi_engine.dir/reference/tiny_model.cc.o"
+  "CMakeFiles/sarathi_engine.dir/reference/tiny_model.cc.o.d"
+  "libsarathi_engine.a"
+  "libsarathi_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sarathi_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

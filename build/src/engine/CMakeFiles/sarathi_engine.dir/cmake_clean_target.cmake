@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsarathi_engine.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sarathi_memory.dir/block_manager.cc.o"
+  "CMakeFiles/sarathi_memory.dir/block_manager.cc.o.d"
+  "libsarathi_memory.a"
+  "libsarathi_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sarathi_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perfmodel/comm_model.cc" "src/perfmodel/CMakeFiles/sarathi_perfmodel.dir/comm_model.cc.o" "gcc" "src/perfmodel/CMakeFiles/sarathi_perfmodel.dir/comm_model.cc.o.d"
+  "/root/repo/src/perfmodel/gpu_spec.cc" "src/perfmodel/CMakeFiles/sarathi_perfmodel.dir/gpu_spec.cc.o" "gcc" "src/perfmodel/CMakeFiles/sarathi_perfmodel.dir/gpu_spec.cc.o.d"
+  "/root/repo/src/perfmodel/iteration_cost.cc" "src/perfmodel/CMakeFiles/sarathi_perfmodel.dir/iteration_cost.cc.o" "gcc" "src/perfmodel/CMakeFiles/sarathi_perfmodel.dir/iteration_cost.cc.o.d"
+  "/root/repo/src/perfmodel/model_spec.cc" "src/perfmodel/CMakeFiles/sarathi_perfmodel.dir/model_spec.cc.o" "gcc" "src/perfmodel/CMakeFiles/sarathi_perfmodel.dir/model_spec.cc.o.d"
+  "/root/repo/src/perfmodel/profiler.cc" "src/perfmodel/CMakeFiles/sarathi_perfmodel.dir/profiler.cc.o" "gcc" "src/perfmodel/CMakeFiles/sarathi_perfmodel.dir/profiler.cc.o.d"
+  "/root/repo/src/perfmodel/roofline.cc" "src/perfmodel/CMakeFiles/sarathi_perfmodel.dir/roofline.cc.o" "gcc" "src/perfmodel/CMakeFiles/sarathi_perfmodel.dir/roofline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sarathi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sarathi_perfmodel.dir/comm_model.cc.o"
+  "CMakeFiles/sarathi_perfmodel.dir/comm_model.cc.o.d"
+  "CMakeFiles/sarathi_perfmodel.dir/gpu_spec.cc.o"
+  "CMakeFiles/sarathi_perfmodel.dir/gpu_spec.cc.o.d"
+  "CMakeFiles/sarathi_perfmodel.dir/iteration_cost.cc.o"
+  "CMakeFiles/sarathi_perfmodel.dir/iteration_cost.cc.o.d"
+  "CMakeFiles/sarathi_perfmodel.dir/model_spec.cc.o"
+  "CMakeFiles/sarathi_perfmodel.dir/model_spec.cc.o.d"
+  "CMakeFiles/sarathi_perfmodel.dir/profiler.cc.o"
+  "CMakeFiles/sarathi_perfmodel.dir/profiler.cc.o.d"
+  "CMakeFiles/sarathi_perfmodel.dir/roofline.cc.o"
+  "CMakeFiles/sarathi_perfmodel.dir/roofline.cc.o.d"
+  "libsarathi_perfmodel.a"
+  "libsarathi_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sarathi_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scheduler/batch.cc" "src/scheduler/CMakeFiles/sarathi_scheduler.dir/batch.cc.o" "gcc" "src/scheduler/CMakeFiles/sarathi_scheduler.dir/batch.cc.o.d"
+  "/root/repo/src/scheduler/fastserve_scheduler.cc" "src/scheduler/CMakeFiles/sarathi_scheduler.dir/fastserve_scheduler.cc.o" "gcc" "src/scheduler/CMakeFiles/sarathi_scheduler.dir/fastserve_scheduler.cc.o.d"
+  "/root/repo/src/scheduler/ft_scheduler.cc" "src/scheduler/CMakeFiles/sarathi_scheduler.dir/ft_scheduler.cc.o" "gcc" "src/scheduler/CMakeFiles/sarathi_scheduler.dir/ft_scheduler.cc.o.d"
+  "/root/repo/src/scheduler/orca_scheduler.cc" "src/scheduler/CMakeFiles/sarathi_scheduler.dir/orca_scheduler.cc.o" "gcc" "src/scheduler/CMakeFiles/sarathi_scheduler.dir/orca_scheduler.cc.o.d"
+  "/root/repo/src/scheduler/sarathi_scheduler.cc" "src/scheduler/CMakeFiles/sarathi_scheduler.dir/sarathi_scheduler.cc.o" "gcc" "src/scheduler/CMakeFiles/sarathi_scheduler.dir/sarathi_scheduler.cc.o.d"
+  "/root/repo/src/scheduler/scheduler.cc" "src/scheduler/CMakeFiles/sarathi_scheduler.dir/scheduler.cc.o" "gcc" "src/scheduler/CMakeFiles/sarathi_scheduler.dir/scheduler.cc.o.d"
+  "/root/repo/src/scheduler/scheduler_factory.cc" "src/scheduler/CMakeFiles/sarathi_scheduler.dir/scheduler_factory.cc.o" "gcc" "src/scheduler/CMakeFiles/sarathi_scheduler.dir/scheduler_factory.cc.o.d"
+  "/root/repo/src/scheduler/token_budget.cc" "src/scheduler/CMakeFiles/sarathi_scheduler.dir/token_budget.cc.o" "gcc" "src/scheduler/CMakeFiles/sarathi_scheduler.dir/token_budget.cc.o.d"
+  "/root/repo/src/scheduler/vllm_scheduler.cc" "src/scheduler/CMakeFiles/sarathi_scheduler.dir/vllm_scheduler.cc.o" "gcc" "src/scheduler/CMakeFiles/sarathi_scheduler.dir/vllm_scheduler.cc.o.d"
+  "/root/repo/src/scheduler/vtc_scheduler.cc" "src/scheduler/CMakeFiles/sarathi_scheduler.dir/vtc_scheduler.cc.o" "gcc" "src/scheduler/CMakeFiles/sarathi_scheduler.dir/vtc_scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sarathi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/sarathi_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/sarathi_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/sarathi_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

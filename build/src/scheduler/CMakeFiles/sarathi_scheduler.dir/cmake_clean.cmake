@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sarathi_scheduler.dir/batch.cc.o"
+  "CMakeFiles/sarathi_scheduler.dir/batch.cc.o.d"
+  "CMakeFiles/sarathi_scheduler.dir/fastserve_scheduler.cc.o"
+  "CMakeFiles/sarathi_scheduler.dir/fastserve_scheduler.cc.o.d"
+  "CMakeFiles/sarathi_scheduler.dir/ft_scheduler.cc.o"
+  "CMakeFiles/sarathi_scheduler.dir/ft_scheduler.cc.o.d"
+  "CMakeFiles/sarathi_scheduler.dir/orca_scheduler.cc.o"
+  "CMakeFiles/sarathi_scheduler.dir/orca_scheduler.cc.o.d"
+  "CMakeFiles/sarathi_scheduler.dir/sarathi_scheduler.cc.o"
+  "CMakeFiles/sarathi_scheduler.dir/sarathi_scheduler.cc.o.d"
+  "CMakeFiles/sarathi_scheduler.dir/scheduler.cc.o"
+  "CMakeFiles/sarathi_scheduler.dir/scheduler.cc.o.d"
+  "CMakeFiles/sarathi_scheduler.dir/scheduler_factory.cc.o"
+  "CMakeFiles/sarathi_scheduler.dir/scheduler_factory.cc.o.d"
+  "CMakeFiles/sarathi_scheduler.dir/token_budget.cc.o"
+  "CMakeFiles/sarathi_scheduler.dir/token_budget.cc.o.d"
+  "CMakeFiles/sarathi_scheduler.dir/vllm_scheduler.cc.o"
+  "CMakeFiles/sarathi_scheduler.dir/vllm_scheduler.cc.o.d"
+  "CMakeFiles/sarathi_scheduler.dir/vtc_scheduler.cc.o"
+  "CMakeFiles/sarathi_scheduler.dir/vtc_scheduler.cc.o.d"
+  "libsarathi_scheduler.a"
+  "libsarathi_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sarathi_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simulator/cluster_simulator.cc" "src/simulator/CMakeFiles/sarathi_simulator.dir/cluster_simulator.cc.o" "gcc" "src/simulator/CMakeFiles/sarathi_simulator.dir/cluster_simulator.cc.o.d"
+  "/root/repo/src/simulator/disagg_simulator.cc" "src/simulator/CMakeFiles/sarathi_simulator.dir/disagg_simulator.cc.o" "gcc" "src/simulator/CMakeFiles/sarathi_simulator.dir/disagg_simulator.cc.o.d"
+  "/root/repo/src/simulator/metrics.cc" "src/simulator/CMakeFiles/sarathi_simulator.dir/metrics.cc.o" "gcc" "src/simulator/CMakeFiles/sarathi_simulator.dir/metrics.cc.o.d"
+  "/root/repo/src/simulator/replica_simulator.cc" "src/simulator/CMakeFiles/sarathi_simulator.dir/replica_simulator.cc.o" "gcc" "src/simulator/CMakeFiles/sarathi_simulator.dir/replica_simulator.cc.o.d"
+  "/root/repo/src/simulator/telemetry.cc" "src/simulator/CMakeFiles/sarathi_simulator.dir/telemetry.cc.o" "gcc" "src/simulator/CMakeFiles/sarathi_simulator.dir/telemetry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sarathi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/sarathi_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/sarathi_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/scheduler/CMakeFiles/sarathi_scheduler.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/sarathi_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/sarathi_memory.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sarathi_simulator.dir/cluster_simulator.cc.o"
+  "CMakeFiles/sarathi_simulator.dir/cluster_simulator.cc.o.d"
+  "CMakeFiles/sarathi_simulator.dir/disagg_simulator.cc.o"
+  "CMakeFiles/sarathi_simulator.dir/disagg_simulator.cc.o.d"
+  "CMakeFiles/sarathi_simulator.dir/metrics.cc.o"
+  "CMakeFiles/sarathi_simulator.dir/metrics.cc.o.d"
+  "CMakeFiles/sarathi_simulator.dir/replica_simulator.cc.o"
+  "CMakeFiles/sarathi_simulator.dir/replica_simulator.cc.o.d"
+  "CMakeFiles/sarathi_simulator.dir/telemetry.cc.o"
+  "CMakeFiles/sarathi_simulator.dir/telemetry.cc.o.d"
+  "libsarathi_simulator.a"
+  "libsarathi_simulator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sarathi_simulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sarathi_workload.dir/conversation.cc.o"
+  "CMakeFiles/sarathi_workload.dir/conversation.cc.o.d"
+  "CMakeFiles/sarathi_workload.dir/dataset.cc.o"
+  "CMakeFiles/sarathi_workload.dir/dataset.cc.o.d"
+  "CMakeFiles/sarathi_workload.dir/trace.cc.o"
+  "CMakeFiles/sarathi_workload.dir/trace.cc.o.d"
+  "CMakeFiles/sarathi_workload.dir/trace_io.cc.o"
+  "CMakeFiles/sarathi_workload.dir/trace_io.cc.o.d"
+  "libsarathi_workload.a"
+  "libsarathi_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sarathi_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disagg_test.dir/disagg_test.cc.o"
+  "CMakeFiles/disagg_test.dir/disagg_test.cc.o.d"
+  "disagg_test"
+  "disagg_test.pdb"
+  "disagg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disagg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reference_server_test.dir/reference_server_test.cc.o"
+  "CMakeFiles/reference_server_test.dir/reference_server_test.cc.o.d"
+  "reference_server_test"
+  "reference_server_test.pdb"
+  "reference_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reference_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

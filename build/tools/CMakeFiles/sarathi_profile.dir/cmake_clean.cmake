@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sarathi_profile.dir/sarathi_profile.cc.o"
+  "CMakeFiles/sarathi_profile.dir/sarathi_profile.cc.o.d"
+  "sarathi_profile"
+  "sarathi_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sarathi_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sarathi_sim.dir/sarathi_sim.cc.o"
+  "CMakeFiles/sarathi_sim.dir/sarathi_sim.cc.o.d"
+  "sarathi_sim"
+  "sarathi_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sarathi_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
