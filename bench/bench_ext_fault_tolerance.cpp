@@ -1,0 +1,78 @@
+// Extension: fault tolerance under replica failures.
+//
+// The paper evaluates failure-free replicas; production serving must survive
+// crashes, client timeouts, and overload. This bench sweeps the injected
+// failure rate (MTBF) over a 3-replica Mistral cluster for each scheduling
+// policy and reports goodput (in-deadline completions/s), retries, shed and
+// failed counts, plus lost service — the robustness counterpart of the
+// paper's throughput-latency tradeoff. All runs are seeded: identical
+// configurations reproduce identical rows.
+
+#include "bench/bench_util.h"
+#include "src/simulator/cluster_simulator.h"
+
+using namespace sarathi;
+using sarathi::bench::Header;
+
+namespace {
+
+ClusterOptions MakeCluster(const SchedulerConfig& scheduler, double mtbf_s) {
+  Deployment deployment = MistralOnA100();
+  ClusterOptions options;
+  options.replica.model = deployment.model;
+  options.replica.cluster = deployment.cluster;
+  options.replica.parallel = deployment.parallel;
+  options.replica.scheduler = scheduler;
+  options.num_replicas = 3;
+  options.routing = RoutingPolicy::kLeastOutstandingWork;
+  options.faults.seed = 17;
+  options.faults.mtbf_s = mtbf_s;  // 0 disables outages (baseline row).
+  options.faults.mttr_s = 4.0;
+  options.faults.min_outage_s = 1.0;
+  options.faults.request_timeout_probability = 1.0;
+  options.faults.request_timeout_s = 30.0;
+  options.max_retries = 2;
+  options.retry_backoff_s = 0.25;
+  options.shed_outstanding_s = 20.0;
+  return options;
+}
+
+}  // namespace
+
+int main() {
+  Header("Extension: failure-aware serving (3x Mistral-7B, crash/recovery + deadlines)",
+         "(not a paper figure) Goodput should degrade gracefully as replica MTBF "
+         "shrinks: retries re-route interrupted requests, admission control sheds "
+         "overload instead of collapsing the tail.");
+
+  Trace trace = UniformTrace(150, 1024, 64, 0.4);
+  std::cout << "Trace: " << trace.Summary() << "\n";
+  std::cout << "Faults: mttr 4 s, client timeout 30 s, 2 retries, shed at 20 s backlog\n";
+
+  std::vector<sarathi::bench::Candidate> candidates = {
+      {"sarathi-512", SarathiConfig(512)},
+      {"vllm", VllmConfig()},
+      {"orca", OrcaConfig()},
+      {"faster_transformer", FasterTransformerConfig(32)},
+  };
+
+  for (const auto& candidate : candidates) {
+    std::cout << "\n-- " << candidate.label << " --\n";
+    Table table({"MTBF (s)", "goodput (req/s)", "good", "failed", "timeouts", "crashed",
+                 "shed", "retries", "lost tokens", "downtime (s)", "outages"});
+    for (double mtbf_s : {0.0, 60.0, 30.0, 15.0, 6.0}) {
+      ClusterOptions options = MakeCluster(candidate.config, mtbf_s);
+      SimResult result = ClusterSimulator(options).Run(trace);
+      table.AddRow({mtbf_s <= 0.0 ? "none" : Table::Num(mtbf_s, 0),
+                    Table::Num(result.Goodput(), 2), Table::Int(result.CountGood()),
+                    Table::Int(result.CountFailed()),
+                    Table::Int(result.CountFailed(FailureKind::kTimeout)),
+                    Table::Int(result.CountFailed(FailureKind::kReplicaCrash)),
+                    Table::Int(result.num_shed), Table::Int(result.TotalRetries()),
+                    Table::Int(result.lost_output_tokens), Table::Num(result.downtime_s, 1),
+                    Table::Int(result.num_outages)});
+    }
+    table.Print();
+  }
+  return 0;
+}

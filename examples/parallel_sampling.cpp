@@ -99,7 +99,7 @@ int main() {
   server_options.scheduler.token_budget = 32;
   ReferenceServer server(server_options);
   server.AddRequest(0, prompt, /*max_new_tokens=*/12, /*num_samples=*/4);
-  server.Run();
+  CHECK(server.Run().ok());
   std::cout << "\nServer-level parallel sampling (n=4, temperature 0.9, chunked):\n";
   for (int64_t id : server.SampleIds(0)) {
     std::string rendered;

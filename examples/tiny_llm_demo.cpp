@@ -83,7 +83,7 @@ int main() {
     for (size_t i = 0; i < prompts.size(); ++i) {
       server.AddRequest(static_cast<int64_t>(i), prompts[i], outputs[static_cast<size_t>(i)]);
     }
-    server.Run();
+    CHECK(server.Run().ok());
     for (size_t i = 0; i < prompts.size(); ++i) {
       results[candidate.label][static_cast<int64_t>(i)] =
           server.GeneratedTokens(static_cast<int64_t>(i));

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build + full test suite, then the same suite under
+# AddressSanitizer + UndefinedBehaviorSanitizer (SARATHI_SANITIZE=ON) in a
+# separate build directory. Pass --no-sanitize to skip the sanitizer stage.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SANITIZE=1
+if [ "${1:-}" = "--no-sanitize" ]; then
+  SANITIZE=0
+fi
+
+echo "== tier-1: build + ctest =="
+cmake -B build -S .
+cmake --build build -j
+ctest --test-dir build --output-on-failure
+
+if [ "$SANITIZE" = "1" ]; then
+  echo
+  echo "== tier-1 under ASan + UBSan =="
+  cmake -B build-asan -S . -DSARATHI_SANITIZE=ON
+  cmake --build build-asan -j
+  UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
+    ctest --test-dir build-asan --output-on-failure
+fi
+
+echo "All checks passed."

@@ -85,17 +85,23 @@ void ReferenceServer::MaterializeForks(const ScheduledBatch& batch) {
   }
 }
 
-void ReferenceServer::Run(int64_t max_iterations) {
+Status ReferenceServer::Run(int64_t max_iterations) {
   while (scheduler_->HasWork()) {
     ScheduledBatch batch = scheduler_->Schedule();
-    CHECK(!batch.empty()) << "scheduler " << scheduler_->name()
-                          << " deadlocked with work outstanding";
+    if (batch.empty()) {
+      return InternalError("scheduler " + scheduler_->name() +
+                           " deadlocked with work outstanding");
+    }
     engine_.ExecuteBatch(batch);
     MaterializeForks(batch);
     scheduler_->OnBatchComplete(batch);
     ++iterations_;
-    CHECK_LE(iterations_, max_iterations) << "runaway scheduling loop";
+    if (iterations_ > max_iterations) {
+      return InternalError("runaway scheduling loop: exceeded " +
+                           std::to_string(max_iterations) + " iterations");
+    }
   }
+  return Status::Ok();
 }
 
 }  // namespace sarathi

@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/status.h"
 #include "src/engine/reference/reference_engine.h"
 #include "src/memory/block_manager.h"
 #include "src/scheduler/scheduler.h"
@@ -47,9 +48,10 @@ class ReferenceServer {
   // completes.
   const std::vector<int64_t>& SampleIds(int64_t id) const;
 
-  // Runs the scheduling loop to completion. Aborts if the scheduler
-  // deadlocks (has work but schedules nothing) or exceeds `max_iterations`.
-  void Run(int64_t max_iterations = 1000000);
+  // Runs the scheduling loop to completion. Returns InternalError (with the
+  // loop intact for inspection) if the scheduler deadlocks (has work but
+  // schedules nothing) or exceeds `max_iterations`.
+  Status Run(int64_t max_iterations = 1000000);
 
   const std::vector<int32_t>& GeneratedTokens(int64_t id) const {
     return engine_.GeneratedTokens(id);

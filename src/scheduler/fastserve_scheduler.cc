@@ -117,6 +117,14 @@ ScheduledBatch FastServeScheduler::Schedule() {
   return batch;
 }
 
+bool FastServeScheduler::Abort(RequestState* request) {
+  if (!Scheduler::Abort(request)) {
+    return false;
+  }
+  mlfq_.erase(request);
+  return true;
+}
+
 void FastServeScheduler::OnBatchComplete(const ScheduledBatch& batch) {
   for (const auto& item : batch.items) {
     ChargeService(item.request,

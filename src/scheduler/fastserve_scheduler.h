@@ -29,6 +29,7 @@ class FastServeScheduler : public Scheduler {
 
   ScheduledBatch Schedule() override;
   void OnBatchComplete(const ScheduledBatch& batch) override;
+  bool Abort(RequestState* request) override;
 
   // MLFQ level of a request (tests/diagnostics).
   int LevelOf(const RequestState* request) const;

@@ -17,14 +17,15 @@
 
 namespace sarathi {
 
-enum class RequestPhase { kQueued, kRunning, kFinished };
+enum class RequestPhase { kQueued, kRunning, kFinished, kFailed };
 
 class RequestState {
  public:
   explicit RequestState(const Request& request)
       : id_(request.id), arrival_time_s_(request.arrival_time_s),
         prompt_tokens_(request.prompt_tokens), output_tokens_(request.output_tokens),
-        client_id_(request.client_id), prefill_target_(request.prompt_tokens) {
+        client_id_(request.client_id), deadline_s_(request.deadline_s),
+        prefill_target_(request.prompt_tokens) {
     CHECK_GT(prompt_tokens_, 0);
     CHECK_GT(output_tokens_, 0);
   }
@@ -34,6 +35,8 @@ class RequestState {
   int64_t prompt_tokens() const { return prompt_tokens_; }
   int64_t output_tokens() const { return output_tokens_; }
   int64_t client_id() const { return client_id_; }
+  // Client deadline relative to arrival; 0 = none.
+  double deadline_s() const { return deadline_s_; }
 
   RequestPhase phase() const { return phase_; }
   void set_phase(RequestPhase phase) { phase_ = phase; }
@@ -124,6 +127,7 @@ class RequestState {
   int64_t prompt_tokens_;
   int64_t output_tokens_;
   int64_t client_id_;
+  double deadline_s_;
 
   RequestPhase phase_ = RequestPhase::kQueued;
   int64_t prefill_done_ = 0;

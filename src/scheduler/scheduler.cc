@@ -92,6 +92,45 @@ bool Scheduler::PrepareDecodeSlot(RequestState* request, const ScheduledBatch& b
   return true;
 }
 
+bool Scheduler::Abort(RequestState* request) {
+  CHECK(request != nullptr);
+  auto qit = std::find(queue_.begin(), queue_.end(), request);
+  if (qit != queue_.end()) {
+    queue_.erase(qit);
+    request->set_phase(RequestPhase::kFailed);
+    ++abort_count_;
+    return true;
+  }
+  auto rit = std::find(running_.begin(), running_.end(), request);
+  if (rit == running_.end()) {
+    return false;
+  }
+  CHECK(!request->locked()) << "cannot abort a request inside an in-flight batch";
+  running_.erase(rit);
+  allocator_->Release(request->id());
+  request->set_phase(RequestPhase::kFailed);
+  ++abort_count_;
+  return true;
+}
+
+std::vector<RequestState*> Scheduler::DrainAll() {
+  std::vector<RequestState*> aborted;
+  while (!queue_.empty()) {
+    RequestState* request = queue_.front();
+    CHECK(Abort(request));
+    aborted.push_back(request);
+  }
+  std::vector<RequestState*> snapshot = running_;
+  for (RequestState* request : snapshot) {
+    if (request->locked()) {
+      continue;
+    }
+    CHECK(Abort(request));
+    aborted.push_back(request);
+  }
+  return aborted;
+}
+
 void Scheduler::Preempt(RequestState* request) {
   auto it = std::find(running_.begin(), running_.end(), request);
   CHECK(it != running_.end());

@@ -125,6 +125,19 @@ class Scheduler {
   // emission, KV growth, and release of finished requests.
   virtual void OnBatchComplete(const ScheduledBatch& batch);
 
+  // Cancels a request wherever it lives: removed from the wait queue, or
+  // evicted from the running set with all its KV blocks released. The request
+  // transitions to kFailed; callers re-routing it elsewhere reset it via
+  // ResetForRecompute. Locked requests (inside an in-flight micro-batch)
+  // cannot be aborted — the driver must wait for the batch to exit. Returns
+  // false if the request is unknown to this scheduler (already finished, or
+  // never enqueued).
+  virtual bool Abort(RequestState* request);
+
+  // Aborts every waiting and unlocked running request (replica teardown on a
+  // crash). Returns the aborted requests, wait-queue members first.
+  std::vector<RequestState*> DrainAll();
+
   // Latency feedback from the driver: end-to-end execution time of a batch
   // this scheduler produced. Default no-op; the dynamic-budget controller
   // hooks in here.
@@ -140,6 +153,7 @@ class Scheduler {
   const std::vector<RequestState*>& running() const { return running_; }
   const SchedulerConfig& config() const { return config_; }
   int64_t preemption_count() const { return preemption_count_; }
+  int64_t abort_count() const { return abort_count_; }
 
  protected:
   // Admits the queue head into the running set, reserving its KV. The caller
@@ -170,6 +184,7 @@ class Scheduler {
   std::deque<RequestState*> queue_;     // Waiting, FCFS.
   std::vector<RequestState*> running_;  // Admitted, in admission order.
   int64_t preemption_count_ = 0;
+  int64_t abort_count_ = 0;
 };
 
 }  // namespace sarathi

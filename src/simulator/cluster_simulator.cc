@@ -1,10 +1,39 @@
 #include "src/simulator/cluster_simulator.h"
 
 #include <algorithm>
+#include <limits>
+#include <set>
+#include <utility>
 
 #include "src/common/logging.h"
 
 namespace sarathi {
+namespace {
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+constexpr size_t kNoSlot = static_cast<size_t>(-1);
+
+// Inserts `request` keeping the sub-trace sorted by arrival time; among equal
+// arrivals the new request goes last (stable).
+void InsertSorted(Trace* trace, const Request& request) {
+  auto it = std::upper_bound(trace->requests.begin(), trace->requests.end(),
+                             request.arrival_time_s,
+                             [](double t, const Request& r) { return t < r.arrival_time_s; });
+  trace->requests.insert(it, request);
+}
+
+// Metrics slot of the service attempt with this id and attempt arrival time
+// (an id can appear several times on one replica if retries return to it).
+size_t FindAttemptSlot(const SimResult& result, int64_t id, double arrival_s) {
+  for (size_t i = 0; i < result.requests.size(); ++i) {
+    if (result.requests[i].id == id && result.requests[i].arrival_s == arrival_s) {
+      return i;
+    }
+  }
+  return kNoSlot;
+}
+
+}  // namespace
 
 std::string_view RoutingPolicyName(RoutingPolicy policy) {
   switch (policy) {
@@ -18,6 +47,8 @@ std::string_view RoutingPolicyName(RoutingPolicy policy) {
 
 ClusterSimulator::ClusterSimulator(const ClusterOptions& options) : options_(options) {
   CHECK_GE(options_.num_replicas, 1);
+  CHECK_GE(options_.max_retries, 0);
+  CHECK_GT(options_.retry_backoff_s, 0.0);
   if (options_.estimated_tokens_per_s > 0.0) {
     service_rate_ = options_.estimated_tokens_per_s;
   } else {
@@ -35,91 +66,340 @@ ClusterSimulator::ClusterSimulator(const ClusterOptions& options) : options_(opt
   }
 }
 
-int ClusterSimulator::Route(const Request& request, double now,
-                            std::vector<double>* outstanding_tokens,
-                            std::vector<double>* last_update, int* rr_cursor) const {
-  if (options_.routing == RoutingPolicy::kRoundRobin) {
-    int pick = *rr_cursor;
-    *rr_cursor = (*rr_cursor + 1) % options_.num_replicas;
-    return pick;
-  }
-  // Age each replica's outstanding estimate by the service it performed
-  // since its last assignment, then pick the least loaded. The scan starts at
-  // a rotating offset so drained (all-zero) states degrade to round-robin
-  // instead of pinning replica 0.
-  for (int i = 0; i < options_.num_replicas; ++i) {
-    double drained = ((*last_update)[static_cast<size_t>(i)] < now)
-                         ? (now - (*last_update)[static_cast<size_t>(i)]) * service_rate_
-                         : 0.0;
-    auto& tokens = (*outstanding_tokens)[static_cast<size_t>(i)];
-    tokens = std::max(0.0, tokens - drained);
-    (*last_update)[static_cast<size_t>(i)] = now;
-  }
-  int best = -1;
-  for (int k = 0; k < options_.num_replicas; ++k) {
-    int i = (*rr_cursor + k) % options_.num_replicas;
-    if (best < 0 || (*outstanding_tokens)[static_cast<size_t>(i)] <
-                        (*outstanding_tokens)[static_cast<size_t>(best)]) {
-      best = i;
+bool ClusterSimulator::DownAt(int replica, double t) const {
+  for (const ReplicaOutage& outage : outage_schedules_[static_cast<size_t>(replica)]) {
+    if (t < outage.down_s) {
+      return false;
+    }
+    if (t < outage.up_s) {
+      return true;
     }
   }
-  *rr_cursor = (*rr_cursor + 1) % options_.num_replicas;
-  (*outstanding_tokens)[static_cast<size_t>(best)] +=
-      static_cast<double>(request.total_tokens());
-  return best;
+  return false;
+}
+
+double ClusterSimulator::NextHealthyTime(double t) const {
+  double earliest_up = kInfinity;
+  for (int r = 0; r < options_.num_replicas; ++r) {
+    if (!DownAt(r, t)) {
+      return t;
+    }
+    for (const ReplicaOutage& outage : outage_schedules_[static_cast<size_t>(r)]) {
+      if (t >= outage.down_s && t < outage.up_s) {
+        earliest_up = std::min(earliest_up, outage.up_s);
+        break;
+      }
+    }
+  }
+  return earliest_up;
+}
+
+void ClusterSimulator::AgeOutstanding(RouterState* state, double now) const {
+  for (int i = 0; i < options_.num_replicas; ++i) {
+    auto& last = state->last_update[static_cast<size_t>(i)];
+    if (last >= now) {
+      continue;  // Out-of-order retry timestamps never rewind the estimate.
+    }
+    auto& tokens = state->outstanding_tokens[static_cast<size_t>(i)];
+    tokens = std::max(0.0, tokens - (now - last) * service_rate_);
+    last = now;
+  }
+}
+
+int ClusterSimulator::Route(int64_t tokens, double now, int exclude,
+                            RouterState* state) const {
+  const int n = options_.num_replicas;
+  int num_up = 0;
+  for (int r = 0; r < n; ++r) {
+    num_up += DownAt(r, now) ? 0 : 1;
+  }
+  if (num_up == 0) {
+    return -1;
+  }
+  // Avoid the replica that just failed the request — unless it is the only
+  // one standing.
+  bool avoid = exclude >= 0 && !(num_up == 1 && !DownAt(exclude, now));
+  auto allowed = [&](int r) { return !DownAt(r, now) && !(avoid && r == exclude); };
+
+  int pick = -1;
+  if (options_.routing == RoutingPolicy::kRoundRobin) {
+    for (int k = 0; k < n; ++k) {
+      int r = (state->rr_cursor + k) % n;
+      if (allowed(r)) {
+        pick = r;
+        break;
+      }
+    }
+  } else {
+    // Age each replica's outstanding estimate, then pick the least loaded.
+    // The scan starts at a rotating offset so drained (all-zero) states
+    // degrade to round-robin instead of pinning replica 0.
+    AgeOutstanding(state, now);
+    for (int k = 0; k < n; ++k) {
+      int r = (state->rr_cursor + k) % n;
+      if (!allowed(r)) {
+        continue;
+      }
+      if (pick < 0 || state->outstanding_tokens[static_cast<size_t>(r)] <
+                          state->outstanding_tokens[static_cast<size_t>(pick)]) {
+        pick = r;
+      }
+    }
+  }
+  state->rr_cursor = (state->rr_cursor + 1) % n;
+  CHECK_GE(pick, 0);
+  state->outstanding_tokens[static_cast<size_t>(pick)] += static_cast<double>(tokens);
+  return pick;
 }
 
 SimResult ClusterSimulator::Run(const Trace& trace) {
-  std::vector<Trace> sub_traces(static_cast<size_t>(options_.num_replicas));
-  for (auto& sub : sub_traces) {
-    sub.name = trace.name;
-  }
-  assignment_.assign(trace.size(), 0);
+  const int n = options_.num_replicas;
+  const size_t num_requests = trace.size();
 
-  std::vector<double> outstanding(static_cast<size_t>(options_.num_replicas), 0.0);
-  std::vector<double> last_update(static_cast<size_t>(options_.num_replicas), 0.0);
-  int rr_cursor = 0;
-  // Remember where each request lands so merged metrics keep trace order.
-  std::vector<std::pair<int, size_t>> placement(trace.size());
-  for (size_t i = 0; i < trace.size(); ++i) {
-    const Request& request = trace.requests[i];
-    int replica =
-        Route(request, request.arrival_time_s, &outstanding, &last_update, &rr_cursor);
-    assignment_[i] = replica;
-    placement[i] = {replica, sub_traces[static_cast<size_t>(replica)].requests.size()};
-    sub_traces[static_cast<size_t>(replica)].requests.push_back(request);
-  }
+  FaultInjector injector(options_.faults);
+  Trace stamped = trace;
+  injector.ApplyTimeouts(&stamped);
 
-  std::vector<SimResult> results;
-  results.reserve(static_cast<size_t>(options_.num_replicas));
-  for (int i = 0; i < options_.num_replicas; ++i) {
-    ReplicaSimulator simulator(options_.replica);
-    results.push_back(simulator.Run(sub_traces[static_cast<size_t>(i)]));
+  double last_arrival = 0.0;
+  int64_t trace_tokens = 0;
+  for (const Request& r : stamped.requests) {
+    last_arrival = std::max(last_arrival, r.arrival_time_s);
+    trace_tokens += r.total_tokens();
+  }
+  double horizon = options_.fault_horizon_s;
+  if (horizon <= 0.0) {
+    // Cover the arrival span plus a generous multiple of the estimated drain.
+    horizon = last_arrival + 60.0 +
+              4.0 * static_cast<double>(trace_tokens) / (service_rate_ * n);
+  }
+  outage_schedules_.assign(static_cast<size_t>(n), {});
+  for (int r = 0; r < n; ++r) {
+    outage_schedules_[static_cast<size_t>(r)] = injector.OutagesFor(r, horizon);
   }
 
+  // ---- Initial routing (health-aware, with admission control) ----
+  std::vector<Trace> sub(static_cast<size_t>(n));
+  for (Trace& s : sub) {
+    s.name = trace.name;
+  }
+  assignment_.assign(num_requests, -1);
+  // Service-attempt history per trace request: (replica, attempt arrival).
+  struct Attempt {
+    int replica;
+    double arrival_s;
+  };
+  std::vector<std::vector<Attempt>> chains(num_requests);
+  std::vector<bool> shed(num_requests, false);
+  // Router-decided final failures: a retry whose remaining deadline had
+  // already expired is recorded as a timeout, not retried.
+  std::vector<std::pair<FailureKind, double>> failure_override(
+      num_requests, {FailureKind::kNone, -1.0});
+
+  RouterState router;
+  router.outstanding_tokens.assign(static_cast<size_t>(n), 0.0);
+  router.last_update.assign(static_cast<size_t>(n), 0.0);
+
+  for (size_t i = 0; i < num_requests; ++i) {
+    const Request& request = stamped.requests[i];
+    double t = request.arrival_time_s;
+    bool any_up = false;
+    for (int r = 0; r < n; ++r) {
+      any_up |= !DownAt(r, t);
+    }
+    if (!any_up) {
+      shed[i] = true;  // Whole cluster down: reject immediately.
+      continue;
+    }
+    if (options_.shed_outstanding_s > 0.0) {
+      AgeOutstanding(&router, t);
+      double least = kInfinity;
+      for (int r = 0; r < n; ++r) {
+        if (!DownAt(r, t)) {
+          least = std::min(least, router.outstanding_tokens[static_cast<size_t>(r)]);
+        }
+      }
+      if (least / service_rate_ > options_.shed_outstanding_s) {
+        shed[i] = true;
+        continue;
+      }
+    }
+    int pick = Route(request.total_tokens(), t, /*exclude=*/-1, &router);
+    CHECK_GE(pick, 0);
+    assignment_[i] = pick;
+    chains[i].push_back({pick, t});
+    InsertSorted(&sub[static_cast<size_t>(pick)], request);
+  }
+
+  // ---- Simulate; re-route crash-interrupted requests until quiescent ----
+  std::vector<SimResult> results(static_cast<size_t>(n));
+  auto simulate = [&](int r) {
+    SimulatorOptions replica_options = options_.replica;
+    replica_options.fail_interrupted_on_crash = true;
+    replica_options.outages = outage_schedules_[static_cast<size_t>(r)];
+    results[static_cast<size_t>(r)] =
+        ReplicaSimulator(replica_options).Run(sub[static_cast<size_t>(r)]);
+  };
+  for (int r = 0; r < n; ++r) {
+    simulate(r);
+  }
+
+  // Each round re-routes every retryable interruption and re-simulates the
+  // replicas that received work. Re-simulation only ever adds load, so a
+  // previously interrupted attempt stays interrupted and the loop converges:
+  // total attempts are capped at num_requests * (max_retries + 1).
+  int64_t round_guard =
+      static_cast<int64_t>(num_requests) * (options_.max_retries + 1) + 1;
+  while (round_guard-- > 0) {
+    struct Retry {
+      double time;
+      size_t index;
+    };
+    std::vector<Retry> retries;
+    for (size_t i = 0; i < num_requests; ++i) {
+      if (shed[i] || failure_override[i].first != FailureKind::kNone) {
+        continue;
+      }
+      const Attempt& last = chains[i].back();
+      size_t slot = FindAttemptSlot(results[static_cast<size_t>(last.replica)],
+                                    stamped.requests[i].id, last.arrival_s);
+      CHECK_NE(slot, kNoSlot);
+      const RequestMetrics& m = results[static_cast<size_t>(last.replica)].requests[slot];
+      if (!m.failed() || m.failure != FailureKind::kReplicaCrash) {
+        continue;  // Completed, still only timed out, or never failed.
+      }
+      int used = static_cast<int>(chains[i].size()) - 1;
+      if (used >= options_.max_retries) {
+        continue;  // Retries exhausted: the crash failure stands.
+      }
+      double backoff = options_.retry_backoff_s * static_cast<double>(int64_t{1} << used);
+      double t = NextHealthyTime(m.failed_s + backoff);
+      if (t == kInfinity) {
+        continue;  // No replica ever recovers: the crash failure stands.
+      }
+      double deadline_abs =
+          stamped.requests[i].deadline_s > 0.0
+              ? stamped.requests[i].arrival_time_s + stamped.requests[i].deadline_s
+              : 0.0;
+      if (deadline_abs > 0.0 && t >= deadline_abs) {
+        failure_override[i] = {FailureKind::kTimeout, deadline_abs};
+        continue;  // The client will have given up before the retry lands.
+      }
+      retries.push_back({t, i});
+    }
+    if (retries.empty()) {
+      break;
+    }
+    std::sort(retries.begin(), retries.end(), [](const Retry& a, const Retry& b) {
+      if (a.time != b.time) {
+        return a.time < b.time;
+      }
+      return a.index < b.index;
+    });
+    std::set<int> dirty;
+    for (const Retry& retry : retries) {
+      size_t i = retry.index;
+      Request attempt = stamped.requests[i];
+      attempt.arrival_time_s = retry.time;
+      if (attempt.deadline_s > 0.0) {
+        // The clock started at the original arrival; only the remainder is
+        // available to the retried attempt.
+        attempt.deadline_s = stamped.requests[i].arrival_time_s +
+                             stamped.requests[i].deadline_s - retry.time;
+      }
+      int pick = Route(attempt.total_tokens(), retry.time, chains[i].back().replica, &router);
+      CHECK_GE(pick, 0);
+      chains[i].push_back({pick, retry.time});
+      InsertSorted(&sub[static_cast<size_t>(pick)], attempt);
+      dirty.insert(pick);
+    }
+    for (int r : dirty) {
+      simulate(r);
+    }
+  }
+
+  // ---- Merge ----
   SimResult merged;
-  merged.scheduler_name = results[0].scheduler_name + " x" +
-                          std::to_string(options_.num_replicas) + " (" +
+  merged.scheduler_name = results[0].scheduler_name + " x" + std::to_string(n) + " (" +
                           std::string(RoutingPolicyName(options_.routing)) + ")";
-  merged.requests.resize(trace.size());
-  for (size_t i = 0; i < trace.size(); ++i) {
-    const auto& [replica, slot] = placement[i];
-    merged.requests[i] = results[static_cast<size_t>(replica)].requests[slot];
+  merged.requests.resize(num_requests);
+  std::vector<std::vector<bool>> consumed(static_cast<size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    consumed[static_cast<size_t>(r)].assign(results[static_cast<size_t>(r)].requests.size(),
+                                            false);
   }
-  for (const SimResult& r : results) {
-    merged.num_iterations += r.num_iterations;
-    merged.num_preemptions += r.num_preemptions;
-    merged.makespan_s = std::max(merged.makespan_s, r.makespan_s);
-    merged.active_window_s = std::max(merged.active_window_s, r.active_window_s);
-    merged.total_output_tokens += r.total_output_tokens;
-    merged.total_prefill_tokens += r.total_prefill_tokens;
-    merged.total_flops += r.total_flops;
-    merged.peak_flops += r.peak_flops;
-    merged.total_bytes += r.total_bytes;
-    merged.peak_bandwidth += r.peak_bandwidth;
-    merged.stage_busy_s.insert(merged.stage_busy_s.end(), r.stage_busy_s.begin(),
-                               r.stage_busy_s.end());
+
+  int64_t lost_tokens = 0;
+  for (size_t i = 0; i < num_requests; ++i) {
+    const Request& original = stamped.requests[i];
+    if (shed[i]) {
+      RequestMetrics m;
+      m.id = original.id;
+      m.arrival_s = original.arrival_time_s;
+      m.deadline_s = original.deadline_s;
+      m.failed_s = original.arrival_time_s;
+      m.failure = FailureKind::kShed;
+      merged.requests[i] = m;
+      ++merged.num_shed;
+      continue;
+    }
+    const auto& chain = chains[i];
+    const RequestMetrics* final_attempt = nullptr;
+    for (size_t a = 0; a < chain.size(); ++a) {
+      SimResult& replica_result = results[static_cast<size_t>(chain[a].replica)];
+      size_t slot = FindAttemptSlot(replica_result, original.id, chain[a].arrival_s);
+      CHECK_NE(slot, kNoSlot);
+      consumed[static_cast<size_t>(chain[a].replica)][slot] = true;
+      if (a + 1 < chain.size()) {
+        // Tokens streamed by an attempt that later crashed: the retry starts
+        // over, so this service is lost (but never silently dropped).
+        lost_tokens += static_cast<int64_t>(replica_result.requests[slot].token_times_s.size());
+      } else {
+        final_attempt = &replica_result.requests[slot];
+      }
+    }
+    RequestMetrics m = *final_attempt;
+    // Latency metrics measure from the client's original arrival, covering
+    // every failed attempt and backoff wait.
+    m.arrival_s = original.arrival_time_s;
+    m.deadline_s = original.deadline_s;
+    m.retries = static_cast<int64_t>(chain.size()) - 1;
+    if (failure_override[i].first != FailureKind::kNone) {
+      m.failure = failure_override[i].first;
+      m.failed_s = failure_override[i].second;
+    }
+    merged.requests[i] = m;
   }
+  // Forked siblings (parallel sampling) belong to no routing chain; append
+  // them so their tokens and TBT samples stay in the merged metrics.
+  for (int r = 0; r < n; ++r) {
+    const SimResult& result = results[static_cast<size_t>(r)];
+    for (size_t slot = 0; slot < result.requests.size(); ++slot) {
+      if (!consumed[static_cast<size_t>(r)][slot]) {
+        merged.requests.push_back(result.requests[slot]);
+      }
+    }
+  }
+
+  for (int r = 0; r < n; ++r) {
+    const SimResult& result = results[static_cast<size_t>(r)];
+    merged.num_iterations += result.num_iterations;
+    merged.num_preemptions += result.num_preemptions;
+    merged.makespan_s = std::max(merged.makespan_s, result.makespan_s);
+    merged.active_window_s = std::max(merged.active_window_s, result.active_window_s);
+    merged.total_output_tokens += result.total_output_tokens;
+    merged.total_prefill_tokens += result.total_prefill_tokens;
+    merged.total_flops += result.total_flops;
+    merged.peak_flops += result.peak_flops;
+    merged.total_bytes += result.total_bytes;
+    merged.peak_bandwidth += result.peak_bandwidth;
+    merged.stage_busy_s.insert(merged.stage_busy_s.end(), result.stage_busy_s.begin(),
+                               result.stage_busy_s.end());
+    merged.num_outages += result.num_outages;
+    merged.downtime_s += result.downtime_s;
+    merged.replica_downtime_s.push_back(result.downtime_s);
+  }
+  merged.total_output_tokens -= lost_tokens;
+  merged.lost_output_tokens = lost_tokens;
   return merged;
 }
 

@@ -1,17 +1,31 @@
-// Multi-replica serving: a front-end router over identical replicas.
+// Multi-replica serving: a failure-aware front-end router over identical
+// replicas.
 //
 // The paper evaluates per-replica capacity; production serving multiplies
-// replicas behind a router. This module scales the simulator out: requests
-// are assigned to a replica at arrival by a routing policy, each replica is
-// simulated independently on its sub-trace, and the metrics merge. Routing
-// decisions use only information available at assignment time (no oracle):
-// round-robin, or least-outstanding-work by the tokens already assigned.
+// replicas behind a router — and replicas fail. This module scales the
+// simulator out and degrades it gracefully: requests are assigned to a
+// replica at arrival by a routing policy, each replica is simulated
+// independently on its sub-trace, and the metrics merge. Routing decisions
+// use only information available at assignment time (no oracle): round-robin
+// or least-outstanding-work, always restricted to replicas that are up at
+// that moment.
+//
+// Fault handling (all seeded through FaultOptions, so runs are reproducible):
+//  - Replica crashes (FaultInjector MTBF/MTTR schedules) interrupt every
+//    request on the replica; the router re-routes interrupted requests to
+//    survivors with capped retries and exponential backoff.
+//  - Client timeouts abort requests whose deadline expires; expired requests
+//    are never retried.
+//  - Admission control sheds arrivals when even the least-loaded healthy
+//    replica is more than `shed_outstanding_s` seconds of estimated work
+//    behind, so P99 TBT saturates instead of diverging.
 
 #ifndef SRC_SIMULATOR_CLUSTER_SIMULATOR_H_
 #define SRC_SIMULATOR_CLUSTER_SIMULATOR_H_
 
 #include <vector>
 
+#include "src/simulator/fault_injector.h"
 #include "src/simulator/replica_simulator.h"
 
 namespace sarathi {
@@ -33,29 +47,67 @@ struct ClusterOptions {
   // Estimated replica service rate (tokens/s) used to age outstanding work
   // for kLeastOutstandingWork; <= 0 derives a default from the cost model.
   double estimated_tokens_per_s = 0.0;
+
+  // ---- Fault model ----
+  FaultOptions faults;
+  // Re-route attempts granted to a request interrupted by a replica crash.
+  int max_retries = 2;
+  // First retry waits this long after the crash; each further retry doubles
+  // the wait.
+  double retry_backoff_s = 0.25;
+  // Admission control: shed an arrival when the least-loaded healthy
+  // replica's estimated outstanding work exceeds this many seconds of
+  // service (<= 0 disables shedding). Retries are never shed.
+  double shed_outstanding_s = 0.0;
+  // Horizon for generating outage schedules; <= 0 derives one from the trace
+  // span plus its estimated drain time.
+  double fault_horizon_s = 0.0;
 };
 
 class ClusterSimulator {
  public:
   explicit ClusterSimulator(const ClusterOptions& options);
 
-  // Routes the trace, simulates every replica, merges metrics. The merged
-  // SimResult keeps requests in original trace order; stage_busy_s
-  // concatenates all replicas' stages.
+  // Routes the trace, simulates every replica, re-routes crash-interrupted
+  // requests, merges metrics. The merged SimResult keeps the original trace
+  // requests in trace order (forked siblings, if any, follow them);
+  // stage_busy_s and replica_downtime_s concatenate all replicas' entries.
   SimResult Run(const Trace& trace);
 
-  // The per-replica assignment of the most recent Run (trace index ->
-  // replica id), for tests and balance diagnostics.
+  // The initial per-replica assignment of the most recent Run (trace index
+  // -> replica id, -1 for shed requests), for tests and balance diagnostics.
   const std::vector<int>& last_assignment() const { return assignment_; }
 
+  // The outage schedules the most recent Run injected (one vector per
+  // replica), for tests and reporting.
+  const std::vector<std::vector<ReplicaOutage>>& outage_schedules() const {
+    return outage_schedules_;
+  }
+
  private:
-  // Picks a replica for a request arriving at `now`.
-  int Route(const Request& request, double now, std::vector<double>* outstanding_tokens,
-            std::vector<double>* last_update, int* rr_cursor) const;
+  struct RouterState {
+    std::vector<double> outstanding_tokens;
+    std::vector<double> last_update;
+    int rr_cursor = 0;
+  };
+
+  // True if `replica` is inside an outage at time `t`.
+  bool DownAt(int replica, double t) const;
+  // Earliest time >= t at which any replica is up; t itself if one already is.
+  double NextHealthyTime(double t) const;
+
+  // Ages outstanding-work estimates to `now`.
+  void AgeOutstanding(RouterState* state, double now) const;
+
+  // Picks a replica for `tokens` of work arriving at `now` among replicas up
+  // at `now`, avoiding `exclude` when any alternative exists. Returns -1 when
+  // every replica is down.
+  int Route(int64_t tokens, double now, int exclude, RouterState* state) const;
 
   ClusterOptions options_;
   double service_rate_;
   std::vector<int> assignment_;
+  std::vector<std::vector<ReplicaOutage>> outage_schedules_;
 };
 
 }  // namespace sarathi

@@ -1,0 +1,70 @@
+#include "src/simulator/fault_injector.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/common/rng.h"
+
+namespace sarathi {
+namespace {
+
+// SplitMix64: decorrelates the per-replica / per-request stream seeds so that
+// adjacent identities do not produce adjacent mt19937 states.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(const FaultOptions& options) : options_(options) {
+  CHECK_GE(options_.request_timeout_probability, 0.0);
+  CHECK_LE(options_.request_timeout_probability, 1.0);
+  if (options_.mtbf_s > 0.0) {
+    CHECK_GT(options_.mttr_s, 0.0);
+    CHECK_GT(options_.min_outage_s, 0.0);
+  }
+}
+
+std::vector<ReplicaOutage> FaultInjector::OutagesFor(int replica_id, double horizon_s) const {
+  std::vector<ReplicaOutage> outages;
+  if (options_.mtbf_s <= 0.0 || horizon_s <= 0.0) {
+    return outages;
+  }
+  Rng rng(Mix(options_.seed ^ Mix(0x5e11ull + static_cast<uint64_t>(replica_id))));
+  double now = 0.0;
+  while (true) {
+    double up_for = rng.Exponential(1.0 / options_.mtbf_s);
+    double down = now + up_for;
+    if (down >= horizon_s) {
+      return outages;
+    }
+    double repair = std::max(options_.min_outage_s, rng.Exponential(1.0 / options_.mttr_s));
+    outages.push_back(ReplicaOutage{down, down + repair});
+    now = down + repair;
+  }
+}
+
+double FaultInjector::TimeoutFor(const Request& request) const {
+  if (options_.request_timeout_probability <= 0.0 || options_.request_timeout_s <= 0.0) {
+    return 0.0;
+  }
+  Rng rng(Mix(options_.seed ^ Mix(0xdeadull + static_cast<uint64_t>(request.id))));
+  if (rng.Uniform(0.0, 1.0) >= options_.request_timeout_probability) {
+    return 0.0;
+  }
+  return options_.request_timeout_s * rng.Uniform(0.5, 1.5);
+}
+
+void FaultInjector::ApplyTimeouts(Trace* trace) const {
+  CHECK(trace != nullptr);
+  for (Request& request : trace->requests) {
+    if (request.deadline_s <= 0.0) {
+      request.deadline_s = TimeoutFor(request);
+    }
+  }
+}
+
+}  // namespace sarathi

@@ -1,0 +1,78 @@
+// Deterministic fault injection for the simulators.
+//
+// Production clusters lose replicas and clients abandon slow requests; the
+// paper's capacity numbers (Table 3) assume neither. This module generates
+// the fault processes the failure-aware cluster simulator replays: per-replica
+// crash/recovery schedules (exponential MTBF/MTTR) and per-request client
+// timeouts. Every draw derives from an explicit seed plus the replica or
+// request identity, so a fault schedule is a pure function of the options —
+// two runs with the same seed see byte-identical failures regardless of call
+// order.
+
+#ifndef SRC_SIMULATOR_FAULT_INJECTOR_H_
+#define SRC_SIMULATOR_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/workload/trace.h"
+
+namespace sarathi {
+
+// One replica crash/recovery cycle: the replica executes nothing in
+// [down_s, up_s); all KV state is lost at down_s.
+struct ReplicaOutage {
+  double down_s = 0.0;
+  double up_s = 0.0;
+
+  double duration() const { return up_s - down_s; }
+};
+
+struct FaultOptions {
+  uint64_t seed = 42;
+
+  // Replica crash process: exponential time-between-failures with this mean,
+  // per replica; <= 0 disables crashes entirely.
+  double mtbf_s = 0.0;
+  // Exponential repair time with this mean (floored at min_outage_s so an
+  // outage is never instantaneous).
+  double mttr_s = 30.0;
+  double min_outage_s = 1.0;
+
+  // Client-timeout process: each request independently carries a deadline
+  // with this probability; <= 0 disables timeouts.
+  double request_timeout_probability = 0.0;
+  // Timeout drawn uniform in [0.5, 1.5) * request_timeout_s, relative to the
+  // request's arrival. Requests not finished by then are aborted client-side.
+  double request_timeout_s = 0.0;
+
+  bool any_faults() const {
+    return mtbf_s > 0.0 || (request_timeout_probability > 0.0 && request_timeout_s > 0.0);
+  }
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultOptions& options);
+
+  // The crash/recovery schedule of `replica_id` up to `horizon_s`: sorted,
+  // non-overlapping outages. Deterministic in (seed, replica_id) alone.
+  std::vector<ReplicaOutage> OutagesFor(int replica_id, double horizon_s) const;
+
+  // Client timeout for `request`, in seconds after its arrival; 0 means the
+  // client waits forever. Deterministic in (seed, request.id).
+  double TimeoutFor(const Request& request) const;
+
+  // Stamps TimeoutFor into Request::deadline_s for every request that does
+  // not already carry a deadline.
+  void ApplyTimeouts(Trace* trace) const;
+
+  const FaultOptions& options() const { return options_; }
+
+ private:
+  FaultOptions options_;
+};
+
+}  // namespace sarathi
+
+#endif  // SRC_SIMULATOR_FAULT_INJECTOR_H_

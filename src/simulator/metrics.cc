@@ -6,6 +6,20 @@
 
 namespace sarathi {
 
+std::string_view FailureKindName(FailureKind kind) {
+  switch (kind) {
+    case FailureKind::kNone:
+      return "none";
+    case FailureKind::kTimeout:
+      return "timeout";
+    case FailureKind::kReplicaCrash:
+      return "replica_crash";
+    case FailureKind::kShed:
+      return "shed";
+  }
+  return "unknown";
+}
+
 std::vector<double> RequestMetrics::TbtSamples() const {
   std::vector<double> samples;
   if (token_times_s.size() < 2) {
@@ -119,6 +133,42 @@ double SimResult::Mbu() const {
     return 0.0;
   }
   return total_bytes / (makespan_s * peak_bandwidth);
+}
+
+int64_t SimResult::CountGood() const {
+  int64_t good = 0;
+  for (const auto& r : requests) {
+    good += r.good() ? 1 : 0;
+  }
+  return good;
+}
+
+double SimResult::Goodput() const {
+  return makespan_s > 0.0 ? static_cast<double>(CountGood()) / makespan_s : 0.0;
+}
+
+int64_t SimResult::CountFailed() const {
+  int64_t failed = 0;
+  for (const auto& r : requests) {
+    failed += r.failed() ? 1 : 0;
+  }
+  return failed;
+}
+
+int64_t SimResult::CountFailed(FailureKind kind) const {
+  int64_t failed = 0;
+  for (const auto& r : requests) {
+    failed += (r.failed() && r.failure == kind) ? 1 : 0;
+  }
+  return failed;
+}
+
+int64_t SimResult::TotalRetries() const {
+  int64_t retries = 0;
+  for (const auto& r : requests) {
+    retries += r.retries;
+  }
+  return retries;
 }
 
 double SimResult::SloAttainment(double ttft_slo_s, double tbt_slo_s) const {

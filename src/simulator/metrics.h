@@ -10,11 +10,22 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/common/stats.h"
 
 namespace sarathi {
+
+// Why a request permanently failed (fault-injection runs only).
+enum class FailureKind {
+  kNone = 0,
+  kTimeout,       // Client deadline expired before completion.
+  kReplicaCrash,  // Interrupted by a replica failure; retries (if any) exhausted.
+  kShed,          // Rejected by cluster admission control before any service.
+};
+
+std::string_view FailureKindName(FailureKind kind);
 
 struct RequestMetrics {
   int64_t id = 0;
@@ -26,7 +37,21 @@ struct RequestMetrics {
   double completion_s = -1.0;
   int64_t preemptions = 0;
 
+  // ---- Fault accounting ----
+  // Client deadline relative to arrival (0 = none). Used for goodput.
+  double deadline_s = 0.0;
+  // Time the request permanently failed (-1 = did not fail).
+  double failed_s = -1.0;
+  FailureKind failure = FailureKind::kNone;
+  // Times the cluster re-routed the request to another replica after a crash.
+  int64_t retries = 0;
+
   bool completed() const { return completion_s >= 0.0; }
+  bool failed() const { return failed_s >= 0.0; }
+  // Completed in time: within the deadline when one exists.
+  bool good() const {
+    return completed() && (deadline_s <= 0.0 || completion_s - arrival_s <= deadline_s);
+  }
   double Ttft() const { return token_times_s.empty() ? -1.0 : token_times_s.front() - arrival_s; }
   double SchedulingDelay() const {
     return first_scheduled_s < 0.0 ? -1.0 : first_scheduled_s - arrival_s;
@@ -65,6 +90,19 @@ struct SimResult {
   int64_t total_output_tokens = 0;
   int64_t total_prefill_tokens = 0;
 
+  // ---- Fault accounting ----
+  // Tokens emitted by attempts that later failed (streamed, then the replica
+  // crashed or the client timed out); never silently dropped from totals.
+  int64_t lost_output_tokens = 0;
+  // Requests rejected by cluster admission control.
+  int64_t num_shed = 0;
+  // Replica crash/recovery cycles observed during the run, and the summed
+  // wall-clock the replicas spent down. Per-replica breakdown in
+  // replica_downtime_s (cluster runs concatenate one entry per replica).
+  int64_t num_outages = 0;
+  double downtime_s = 0.0;
+  std::vector<double> replica_downtime_s;
+
   // FLOPs / bytes accounting for Model FLOPs & Bandwidth Utilization (§3.1).
   double total_flops = 0.0;
   double peak_flops = 0.0;  // Aggregate device peak (all GPUs).
@@ -101,6 +139,18 @@ struct SimResult {
   // bandwidth. Decode-heavy serving runs near its bandwidth roof while MFU
   // stays low — the §3.1 asymmetry Sarathi's hybrid batches exploit.
   double Mbu() const;
+
+  // ---- Fault aggregations ----
+  // Requests that completed within their deadline (no-deadline requests count
+  // when completed at all), and the same per second over the makespan — the
+  // cluster-level goodput measure.
+  int64_t CountGood() const;
+  double Goodput() const;
+  // Permanently failed requests, optionally filtered by kind.
+  int64_t CountFailed() const;
+  int64_t CountFailed(FailureKind kind) const;
+  // Total crash-triggered re-routes across all requests.
+  int64_t TotalRetries() const;
 
   // DistServe-style SLO attainment: the fraction of completed requests whose
   // TTFT meets `ttft_slo_s` AND whose every inter-token gap meets

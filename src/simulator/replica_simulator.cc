@@ -61,6 +61,7 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
     states.push_back(std::make_unique<RequestState>(trace.requests[i]));
     result.requests[i].id = trace.requests[i].id;
     result.requests[i].arrival_s = trace.requests[i].arrival_time_s;
+    result.requests[i].deadline_s = trace.requests[i].deadline_s;
   }
   // Request pointer -> metrics slot.
   std::unordered_map<const RequestState*, size_t> index;
@@ -83,6 +84,26 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
   double now = 0.0;
   double first_start = -1.0;
   double last_exit = 0.0;
+
+  // Client deadlines, sorted by absolute expiry. Only original trace requests
+  // carry deadlines; forked siblings never do.
+  std::vector<std::pair<double, size_t>> deadline_queue;
+  for (size_t i = 0; i < trace.size(); ++i) {
+    if (trace.requests[i].deadline_s > 0.0) {
+      deadline_queue.emplace_back(
+          trace.requests[i].arrival_time_s + trace.requests[i].deadline_s, i);
+    }
+  }
+  std::sort(deadline_queue.begin(), deadline_queue.end());
+  size_t deadline_cursor = 0;
+  // Expired requests that were locked in an in-flight batch when their
+  // deadline passed; aborted as soon as the batch exits.
+  std::vector<std::pair<double, size_t>> expired_locked;
+
+  size_t next_outage = 0;
+  // Crash-induced recomputes (standalone mode); counted into num_preemptions
+  // alongside the scheduler's own memory-pressure preemptions.
+  int64_t crash_recomputes = 0;
 
   auto deliver_arrivals = [&](double upto) {
     while (next_arrival < trace.size() &&
@@ -176,10 +197,94 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
     }
   };
 
+  // Aborts every request whose client deadline expired by `upto`. A locked
+  // request (inside an in-flight batch) cannot be aborted yet; it is parked
+  // and retried after the batch exits. failed_s records the deadline itself,
+  // not the (possibly later) moment the abort executes.
+  auto abort_expired = [&](double upto) {
+    auto expire = [&](double deadline_abs, size_t idx) -> bool {
+      RequestState* state = states[idx].get();
+      if (state->phase() == RequestPhase::kFinished ||
+          state->phase() == RequestPhase::kFailed) {
+        return true;  // Finished (or already failed) before the client gave up.
+      }
+      if (state->locked()) {
+        return false;
+      }
+      CHECK(scheduler->Abort(state));
+      RequestMetrics& metrics = result.requests[idx];
+      metrics.failed_s = deadline_abs;
+      metrics.failure = FailureKind::kTimeout;
+      metrics.preemptions = state->preemptions();
+      return true;
+    };
+    std::vector<std::pair<double, size_t>> still_locked;
+    for (const auto& [deadline_abs, idx] : expired_locked) {
+      if (!expire(deadline_abs, idx)) {
+        still_locked.emplace_back(deadline_abs, idx);
+      }
+    }
+    expired_locked.swap(still_locked);
+    while (deadline_cursor < deadline_queue.size() &&
+           deadline_queue[deadline_cursor].first <= upto) {
+      const auto& [deadline_abs, idx] = deadline_queue[deadline_cursor++];
+      if (!expire(deadline_abs, idx)) {
+        expired_locked.emplace_back(deadline_abs, idx);
+      }
+    }
+  };
+
+  // Replica crash at outage.down_s: in-flight batches are discarded (their
+  // tokens were never emitted), every admitted request loses its KV, and the
+  // stages stay idle until outage.up_s.
+  auto apply_crash = [&](const ReplicaOutage& outage) {
+    for (auto& f : in_flight) {
+      for (const auto& item : f.batch.items) {
+        item.request->set_locked(false);
+      }
+    }
+    in_flight.clear();
+    if (options_.fail_interrupted_on_crash) {
+      for (RequestState* state : scheduler->DrainAll()) {
+        RequestMetrics& metrics = result.requests[index.at(state)];
+        metrics.failed_s = outage.down_s;
+        metrics.failure = FailureKind::kReplicaCrash;
+        metrics.preemptions = state->preemptions();
+      }
+    } else {
+      // Standalone replica: running requests recompute after recovery; the
+      // wait queue survives the crash untouched (it holds no KV).
+      std::vector<RequestState*> running = scheduler->running();
+      for (RequestState* state : running) {
+        CHECK(scheduler->Abort(state));
+        state->ResetForRecompute();
+        scheduler->Enqueue(state);
+        ++crash_recomputes;
+      }
+    }
+    for (double& f : stage_free) {
+      f = std::max(f, outage.up_s);
+    }
+    ++result.num_outages;
+    result.downtime_s += outage.duration();
+  };
+
   while (true) {
-    now = std::max(now, stage_free[0]);
+    double target = std::max(now, stage_free[0]);
+    while (next_outage < options_.outages.size() &&
+           options_.outages[next_outage].down_s <= target) {
+      const ReplicaOutage outage = options_.outages[next_outage++];
+      double t_down = std::max(now, outage.down_s);
+      deliver_completions(t_down);
+      deliver_arrivals(t_down);
+      abort_expired(t_down);
+      apply_crash(outage);
+      target = std::max(target, stage_free[0]);
+    }
+    now = target;
     deliver_completions(now);
     deliver_arrivals(now);
+    abort_expired(now);
 
     ScheduledBatch batch = scheduler->Schedule();
     if (batch.empty()) {
@@ -190,6 +295,14 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
       for (const auto& f : in_flight) {
         next_event = std::min(next_event, f.exit_s);
       }
+      bool pending_work = scheduler->HasWork() || !in_flight.empty() ||
+                          next_arrival < trace.size();
+      if (pending_work && next_outage < options_.outages.size()) {
+        next_event = std::min(next_event, options_.outages[next_outage].down_s);
+      }
+      if (deadline_cursor < deadline_queue.size() && pending_work) {
+        next_event = std::min(next_event, deadline_queue[deadline_cursor].first);
+      }
       if (next_event == kInfinity) {
         CHECK(!scheduler->HasWork())
             << scheduler->name() << " deadlocked: " << scheduler->queue_size()
@@ -198,8 +311,6 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
         break;  // All requests drained.
       }
       now = std::max(now, next_event);
-      deliver_completions(now);
-      deliver_arrivals(now);
       continue;
     }
 
@@ -247,7 +358,7 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
     in_flight.push_back(InFlightBatch{std::move(batch), start, exit});
   }
 
-  result.num_preemptions = scheduler->preemption_count();
+  result.num_preemptions = scheduler->preemption_count() + crash_recomputes;
   result.peak_flops = engine_->cost_model().PeakFlops();
   result.peak_bandwidth = engine_->cost_model().PeakBandwidth();
   result.makespan_s = last_exit;

@@ -18,6 +18,7 @@
 #include "src/engine/execution_engine.h"
 #include "src/perfmodel/iteration_cost.h"
 #include "src/scheduler/scheduler.h"
+#include "src/simulator/fault_injector.h"
 #include "src/simulator/metrics.h"
 #include "src/workload/trace.h"
 
@@ -38,6 +39,20 @@ struct SimulatorOptions {
 
   // Safety valve against scheduling livelock.
   int64_t max_iterations = 20000000;
+
+  // Fault injection: sorted, non-overlapping crash/recovery windows for this
+  // replica (FaultInjector::OutagesFor). At down_s every in-flight batch is
+  // discarded (no tokens emitted), every admitted request loses its KV
+  // blocks, and nothing executes until up_s. Outages after the last event of
+  // the run are ignored.
+  std::vector<ReplicaOutage> outages;
+  // What happens to interrupted requests at a crash:
+  //  false — standalone replica: running requests re-enter the wait queue via
+  //          the preemption-recompute path and complete after recovery.
+  //  true  — cluster member: every waiting or running request is marked
+  //          failed (FailureKind::kReplicaCrash) so the router can re-route
+  //          it to a surviving replica.
+  bool fail_interrupted_on_crash = false;
 };
 
 class ReplicaSimulator {

@@ -37,7 +37,7 @@ void WriteIterationLogCsv(const SimResult& result, std::ostream& out) {
 
 void WriteRequestMetricsCsv(const SimResult& result, std::ostream& out) {
   out << "id,arrival_s,scheduling_delay_s,ttft_s,completion_s,latency_s,num_tokens,"
-         "p99_tbt_s,max_tbt_s,preemptions\n";
+         "p99_tbt_s,max_tbt_s,preemptions,deadline_s,failed_s,failure,retries\n";
   for (const RequestMetrics& r : result.requests) {
     Summary tbt;
     tbt.AddAll(r.TbtSamples());
@@ -46,7 +46,8 @@ void WriteRequestMetricsCsv(const SimResult& result, std::ostream& out) {
     double latency = r.completed() ? r.completion_s - r.arrival_s : -1.0;
     out << r.id << ',' << r.arrival_s << ',' << r.SchedulingDelay() << ',' << r.Ttft() << ','
         << r.completion_s << ',' << latency << ',' << r.token_times_s.size() << ',' << p99
-        << ',' << max_tbt << ',' << r.preemptions << '\n';
+        << ',' << max_tbt << ',' << r.preemptions << ',' << r.deadline_s << ',' << r.failed_s
+        << ',' << FailureKindName(r.failure) << ',' << r.retries << '\n';
   }
 }
 
@@ -77,6 +78,16 @@ void WriteAggregateCsv(const SimResult& result, std::ostream& out) {
   out << "mfu," << result.Mfu() << '\n';
   out << "mbu," << result.Mbu() << '\n';
   out << "bubble_fraction," << result.BubbleFraction() << '\n';
+  out << "good_requests," << result.CountGood() << '\n';
+  out << "goodput_per_s," << result.Goodput() << '\n';
+  out << "failed_requests," << result.CountFailed() << '\n';
+  out << "timeout_requests," << result.CountFailed(FailureKind::kTimeout) << '\n';
+  out << "crash_failed_requests," << result.CountFailed(FailureKind::kReplicaCrash) << '\n';
+  out << "shed_requests," << result.num_shed << '\n';
+  out << "retries," << result.TotalRetries() << '\n';
+  out << "lost_output_tokens," << result.lost_output_tokens << '\n';
+  out << "outages," << result.num_outages << '\n';
+  out << "downtime_s," << result.downtime_s << '\n';
 }
 
 Status ExportTelemetry(const SimResult& result, const std::string& directory,

@@ -23,6 +23,10 @@ struct Request {
   // siblings fork at prefill completion, sharing prompt KV (paged-memory
   // policies only).
   int64_t num_samples = 1;
+  // Client deadline in seconds after arrival; 0 = the client waits forever.
+  // Requests not complete by the deadline are aborted (counted as timeouts)
+  // and completions after arrival + deadline_s don't count toward goodput.
+  double deadline_s = 0.0;
 
   int64_t total_tokens() const { return prompt_tokens + output_tokens; }
 };

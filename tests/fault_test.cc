@@ -1,0 +1,388 @@
+// Tests for the fault-injection layer: seeded outage/timeout generation,
+// scheduler aborts, replica crash/recovery, deadline expiry, and
+// failure-aware cluster routing (retry, backoff, shedding).
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/serving_system.h"
+#include "src/memory/kv_allocator.h"
+#include "src/scheduler/scheduler_factory.h"
+#include "src/simulator/cluster_simulator.h"
+#include "src/simulator/fault_injector.h"
+#include "src/simulator/replica_simulator.h"
+
+namespace sarathi {
+namespace {
+
+SimulatorOptions BaseOptions(const SchedulerConfig& scheduler) {
+  Deployment deployment = MistralOnA100();
+  SimulatorOptions options;
+  options.model = deployment.model;
+  options.cluster = deployment.cluster;
+  options.parallel = deployment.parallel;
+  options.scheduler = scheduler;
+  return options;
+}
+
+ClusterOptions SmallCluster(int replicas, const SchedulerConfig& scheduler) {
+  ClusterOptions options;
+  options.replica = BaseOptions(scheduler);
+  options.num_replicas = replicas;
+  options.routing = RoutingPolicy::kLeastOutstandingWork;
+  return options;
+}
+
+std::vector<SchedulerConfig> AllPolicies() {
+  std::vector<SchedulerConfig> configs;
+  configs.push_back(SarathiConfig(512));
+  configs.push_back(VllmConfig());
+  configs.push_back(OrcaConfig());
+  configs.push_back(FasterTransformerConfig(32));
+  SchedulerConfig fastserve = SarathiConfig(512);
+  fastserve.policy = SchedulerPolicy::kFastServe;
+  configs.push_back(fastserve);
+  SchedulerConfig vtc = SarathiConfig(512);
+  vtc.policy = SchedulerPolicy::kVtc;
+  configs.push_back(vtc);
+  return configs;
+}
+
+int64_t TotalEmittedTokens(const SimResult& result) {
+  int64_t total = 0;
+  for (const RequestMetrics& r : result.requests) {
+    total += static_cast<int64_t>(r.token_times_s.size());
+  }
+  return total;
+}
+
+// ---------- FaultInjector ----------
+
+TEST(FaultInjectorTest, OutagesAreSeededSortedAndDisjoint) {
+  FaultOptions options;
+  options.seed = 7;
+  options.mtbf_s = 20.0;
+  options.mttr_s = 5.0;
+  options.min_outage_s = 1.0;
+  FaultInjector injector(options);
+
+  std::vector<ReplicaOutage> a = injector.OutagesFor(0, 500.0);
+  std::vector<ReplicaOutage> b = injector.OutagesFor(0, 500.0);
+  ASSERT_FALSE(a.empty());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].down_s, b[i].down_s);  // Bitwise reproducible.
+    EXPECT_EQ(a[i].up_s, b[i].up_s);
+    EXPECT_GE(a[i].duration(), options.min_outage_s);
+    EXPECT_LT(a[i].down_s, 500.0);
+    if (i > 0) {
+      EXPECT_GT(a[i].down_s, a[i - 1].up_s);  // Sorted, non-overlapping.
+    }
+  }
+  // Replicas draw independent streams from the same seed.
+  std::vector<ReplicaOutage> other = injector.OutagesFor(1, 500.0);
+  bool differs = other.size() != a.size();
+  for (size_t i = 0; !differs && i < a.size(); ++i) {
+    differs = other[i].down_s != a[i].down_s;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(FaultInjectorTest, DisabledFaultsProduceNothing) {
+  FaultInjector injector(FaultOptions{});  // mtbf_s = 0 disables outages.
+  EXPECT_TRUE(injector.OutagesFor(0, 1e6).empty());
+  EXPECT_FALSE(injector.options().any_faults());
+}
+
+TEST(FaultInjectorTest, TimeoutStampingIsProbabilityGatedAndIdempotent) {
+  Trace trace = UniformTrace(50, 100, 10, 1.0);
+  trace.requests[0].deadline_s = 99.0;  // Pre-existing deadlines survive.
+
+  FaultOptions none;
+  none.request_timeout_probability = 0.0;
+  Trace untouched = trace;
+  FaultInjector(none).ApplyTimeouts(&untouched);
+  for (size_t i = 1; i < untouched.size(); ++i) {
+    EXPECT_EQ(untouched.requests[i].deadline_s, 0.0);
+  }
+
+  FaultOptions all;
+  all.request_timeout_probability = 1.0;
+  all.request_timeout_s = 10.0;
+  Trace stamped = trace;
+  FaultInjector(all).ApplyTimeouts(&stamped);
+  EXPECT_EQ(stamped.requests[0].deadline_s, 99.0);
+  for (size_t i = 1; i < stamped.size(); ++i) {
+    EXPECT_GE(stamped.requests[i].deadline_s, 5.0);  // timeout * U(0.5, 1.5).
+    EXPECT_LE(stamped.requests[i].deadline_s, 15.0);
+  }
+  Trace again = trace;
+  FaultInjector(all).ApplyTimeouts(&again);
+  for (size_t i = 0; i < stamped.size(); ++i) {
+    EXPECT_EQ(again.requests[i].deadline_s, stamped.requests[i].deadline_s);
+  }
+}
+
+// ---------- Scheduler::Abort (acceptance c) ----------
+
+TEST(SchedulerAbortTest, AbortReleasesAllKvForEveryPolicy) {
+  for (const SchedulerConfig& config : AllPolicies()) {
+    SCOPED_TRACE(std::string(SchedulerPolicyName(config.policy)));
+    AllocatorOptions allocator_options;
+    allocator_options.capacity_tokens = 1 << 20;
+    std::unique_ptr<KvAllocator> allocator =
+        MakeAllocatorFor(config.policy, allocator_options);
+    std::unique_ptr<Scheduler> scheduler = MakeScheduler(config, allocator.get());
+
+    std::vector<std::unique_ptr<RequestState>> states;
+    for (int i = 0; i < 8; ++i) {
+      Request r;
+      r.id = i;
+      r.prompt_tokens = 200;
+      r.output_tokens = 50;
+      states.push_back(std::make_unique<RequestState>(r));
+      scheduler->Enqueue(states.back().get());
+    }
+    // Admit a few into the running batch so KV is actually held.
+    for (int iter = 0; iter < 3; ++iter) {
+      ScheduledBatch batch = scheduler->Schedule();
+      ASSERT_FALSE(batch.empty());
+      scheduler->OnBatchComplete(batch);
+    }
+    EXPECT_GT(allocator->Utilization(), 0.0);
+
+    std::vector<RequestState*> drained = scheduler->DrainAll();
+    EXPECT_EQ(drained.size(), 8u);
+    EXPECT_FALSE(scheduler->HasWork());
+    EXPECT_EQ(allocator->Utilization(), 0.0);  // Every KV block released.
+    EXPECT_EQ(scheduler->abort_count(), 8);
+    for (RequestState* state : drained) {
+      EXPECT_EQ(state->phase(), RequestPhase::kFailed);
+      EXPECT_FALSE(scheduler->Abort(state));  // Already gone: not found.
+    }
+  }
+}
+
+// ---------- Replica crash / recovery ----------
+
+TEST(ReplicaFaultTest, StandaloneCrashRecomputesAndCompletesEverything) {
+  SimulatorOptions options = BaseOptions(SarathiConfig(512));
+  options.outages = {{0.5, 1.5}};
+  // 80k prefill tokens arriving at t=0: several seconds of work, so the
+  // crash lands mid-run with requests admitted and in flight.
+  Trace trace = UniformTrace(20, 4000, 20, 0.0);
+  SimResult result = ReplicaSimulator(options).Run(trace);
+
+  EXPECT_EQ(result.num_outages, 1);
+  EXPECT_DOUBLE_EQ(result.downtime_s, 1.0);
+  EXPECT_GT(result.makespan_s, 1.5);  // Nothing finishes during the outage.
+  EXPECT_GT(result.num_preemptions, 0);  // Crash recomputes are preemptions.
+  ASSERT_EQ(result.requests.size(), 20u);
+  for (const RequestMetrics& r : result.requests) {
+    EXPECT_TRUE(r.completed());
+    EXPECT_FALSE(r.failed());
+    EXPECT_EQ(r.token_times_s.size(), 20u);  // No token lost to the crash.
+  }
+  EXPECT_EQ(result.total_output_tokens, 400);
+  EXPECT_EQ(TotalEmittedTokens(result), result.total_output_tokens);
+}
+
+TEST(ReplicaFaultTest, ClusterModeCrashFailsInterruptedRequests) {
+  SimulatorOptions options = BaseOptions(SarathiConfig(512));
+  options.outages = {{0.5, 1.5}};
+  options.fail_interrupted_on_crash = true;
+  Trace trace = UniformTrace(20, 4000, 20, 0.0);  // All arrive before the crash.
+  SimResult result = ReplicaSimulator(options).Run(trace);
+
+  int64_t crashed = 0;
+  for (const RequestMetrics& r : result.requests) {
+    EXPECT_TRUE(r.completed() != r.failed());  // Exactly one outcome.
+    if (r.failed()) {
+      EXPECT_EQ(r.failure, FailureKind::kReplicaCrash);
+      EXPECT_DOUBLE_EQ(r.failed_s, 0.5);
+      ++crashed;
+    }
+  }
+  EXPECT_GT(crashed, 0);
+  EXPECT_EQ(result.CountFailed(FailureKind::kReplicaCrash), crashed);
+  EXPECT_EQ(TotalEmittedTokens(result), result.total_output_tokens);
+}
+
+TEST(ReplicaFaultTest, DeadlineExpiryAbortsAtTheDeadline) {
+  SimulatorOptions options = BaseOptions(SarathiConfig(512));
+  // Heavy burst: later arrivals queue long enough to blow a tight deadline.
+  Trace trace = UniformTrace(40, 2000, 20, 0.05);
+  for (size_t i = 20; i < trace.size(); ++i) {
+    trace.requests[i].deadline_s = 0.05;
+  }
+  SimResult result = ReplicaSimulator(options).Run(trace);
+
+  int64_t timed_out = 0;
+  for (size_t i = 0; i < result.requests.size(); ++i) {
+    const RequestMetrics& r = result.requests[i];
+    EXPECT_TRUE(r.completed() != r.failed());
+    if (r.failed()) {
+      EXPECT_EQ(r.failure, FailureKind::kTimeout);
+      // failed_s records the logical deadline, not the abort's processing time.
+      EXPECT_DOUBLE_EQ(r.failed_s, r.arrival_s + trace.requests[i].deadline_s);
+      EXPECT_FALSE(r.good());
+      ++timed_out;
+    }
+  }
+  EXPECT_GT(timed_out, 0);
+  EXPECT_LT(timed_out, static_cast<int64_t>(trace.size()));  // Early ones finish.
+  EXPECT_EQ(result.CountFailed(FailureKind::kTimeout), timed_out);
+  EXPECT_EQ(result.CountGood() + result.CountFailed(),
+            static_cast<int64_t>(trace.size()));
+  EXPECT_EQ(TotalEmittedTokens(result), result.total_output_tokens);
+}
+
+// ---------- Cluster fault tolerance (acceptance a, b) ----------
+
+ClusterOptions FaultyCluster() {
+  ClusterOptions options = SmallCluster(3, SarathiConfig(512));
+  options.faults.seed = 11;
+  options.faults.mtbf_s = 6.0;
+  options.faults.mttr_s = 2.0;
+  options.faults.min_outage_s = 0.5;
+  options.max_retries = 2;
+  options.retry_backoff_s = 0.25;
+  return options;
+}
+
+TEST(ClusterFaultTest, CrashRerouteAccountsForEveryRequestAndToken) {
+  ClusterOptions options = FaultyCluster();
+  ClusterSimulator cluster(options);
+  Trace trace = UniformTrace(60, 500, 20, 4.0);
+  SimResult result = cluster.Run(trace);
+
+  EXPECT_GT(result.num_outages, 0);  // Seed 11 injects outages in this window.
+  EXPECT_GT(result.downtime_s, 0.0);
+  ASSERT_EQ(result.replica_downtime_s.size(), 3u);
+  ASSERT_GE(result.requests.size(), trace.size());
+  for (size_t i = 0; i < trace.size(); ++i) {
+    const RequestMetrics& r = result.requests[i];
+    EXPECT_EQ(r.id, trace.requests[i].id);
+    // Every request is accounted for: completed, or failed with a cause.
+    EXPECT_TRUE(r.completed() != r.failed());
+    if (r.failed()) {
+      EXPECT_NE(r.failure, FailureKind::kNone);
+    }
+    EXPECT_LE(r.retries, options.max_retries);
+  }
+  EXPECT_GT(result.TotalRetries(), 0);  // At least one request was re-routed.
+  // No token silently dropped: the merged total equals what the surviving
+  // attempt streams actually contain, and lost service is itemized.
+  EXPECT_GE(result.lost_output_tokens, 0);
+  EXPECT_EQ(TotalEmittedTokens(result), result.total_output_tokens);
+}
+
+TEST(ClusterFaultTest, IdenticalSeedsProduceIdenticalMetrics) {
+  Trace trace = UniformTrace(40, 500, 16, 4.0);
+  SimResult a = ClusterSimulator(FaultyCluster()).Run(trace);
+  SimResult b = ClusterSimulator(FaultyCluster()).Run(trace);
+
+  EXPECT_EQ(a.scheduler_name, b.scheduler_name);
+  EXPECT_EQ(a.makespan_s, b.makespan_s);  // Bitwise equality throughout.
+  EXPECT_EQ(a.total_output_tokens, b.total_output_tokens);
+  EXPECT_EQ(a.lost_output_tokens, b.lost_output_tokens);
+  EXPECT_EQ(a.num_outages, b.num_outages);
+  EXPECT_EQ(a.downtime_s, b.downtime_s);
+  EXPECT_EQ(a.num_shed, b.num_shed);
+  ASSERT_EQ(a.requests.size(), b.requests.size());
+  for (size_t i = 0; i < a.requests.size(); ++i) {
+    EXPECT_EQ(a.requests[i].id, b.requests[i].id);
+    EXPECT_EQ(a.requests[i].completion_s, b.requests[i].completion_s);
+    EXPECT_EQ(a.requests[i].failed_s, b.requests[i].failed_s);
+    EXPECT_EQ(a.requests[i].failure, b.requests[i].failure);
+    EXPECT_EQ(a.requests[i].retries, b.requests[i].retries);
+    EXPECT_EQ(a.requests[i].token_times_s, b.requests[i].token_times_s);
+  }
+}
+
+TEST(ClusterFaultTest, AdmissionControlShedsOverload) {
+  ClusterOptions options = SmallCluster(2, SarathiConfig(512));
+  options.shed_outstanding_s = 0.25;
+  ClusterSimulator cluster(options);
+  // 192k tokens within ~1s: far beyond what two replicas can drain.
+  Trace trace = UniformTrace(48, 4000, 8, 0.02);
+  SimResult result = cluster.Run(trace);
+
+  EXPECT_GT(result.num_shed, 0);
+  EXPECT_LT(result.num_shed, static_cast<int64_t>(trace.size()));
+  const auto& assignment = cluster.last_assignment();
+  int64_t shed_seen = 0;
+  for (size_t i = 0; i < trace.size(); ++i) {
+    const RequestMetrics& r = result.requests[i];
+    if (r.failure == FailureKind::kShed) {
+      EXPECT_EQ(assignment[i], -1);
+      EXPECT_FALSE(r.completed());
+      EXPECT_DOUBLE_EQ(r.failed_s, r.arrival_s);  // Rejected on arrival.
+      EXPECT_TRUE(r.token_times_s.empty());
+      ++shed_seen;
+    } else {
+      EXPECT_GE(assignment[i], 0);
+      EXPECT_TRUE(r.completed());
+    }
+  }
+  EXPECT_EQ(shed_seen, result.num_shed);
+  EXPECT_EQ(TotalEmittedTokens(result), result.total_output_tokens);
+}
+
+TEST(ClusterFaultTest, GoodputCountsOnlyInDeadlineCompletions) {
+  ClusterOptions options = SmallCluster(2, SarathiConfig(512));
+  options.faults.request_timeout_probability = 1.0;
+  options.faults.request_timeout_s = 0.001;  // Nothing can finish this fast.
+  ClusterSimulator cluster(options);
+  Trace trace = UniformTrace(12, 2000, 16, 4.0);
+  SimResult result = cluster.Run(trace);
+
+  // Requests either time out or finish late; none are "good".
+  EXPECT_EQ(result.CountGood(), 0);
+  EXPECT_DOUBLE_EQ(result.Goodput(), 0.0);
+  EXPECT_EQ(result.CountFailed(FailureKind::kTimeout), result.CountFailed());
+}
+
+// ---------- Cluster edge cases ----------
+
+TEST(ClusterEdgeTest, EmptyTraceProducesEmptyResult) {
+  ClusterSimulator cluster(FaultyCluster());
+  Trace trace;
+  trace.name = "empty";
+  SimResult result = cluster.Run(trace);
+  EXPECT_TRUE(result.requests.empty());
+  EXPECT_EQ(result.total_output_tokens, 0);
+  EXPECT_EQ(result.num_shed, 0);
+  EXPECT_DOUBLE_EQ(result.makespan_s, 0.0);
+  EXPECT_TRUE(cluster.last_assignment().empty());
+}
+
+TEST(ClusterEdgeTest, SingleReplicaClusterServesWithFaultsEnabled) {
+  ClusterOptions options = FaultyCluster();
+  options.num_replicas = 1;
+  ClusterSimulator cluster(options);
+  Trace trace = UniformTrace(12, 400, 10, 2.0);
+  SimResult result = cluster.Run(trace);
+  ASSERT_GE(result.requests.size(), trace.size());
+  for (size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_TRUE(result.requests[i].completed() != result.requests[i].failed());
+  }
+  EXPECT_EQ(TotalEmittedTokens(result), result.total_output_tokens);
+}
+
+TEST(ClusterEdgeTest, ReplicaWithZeroAssignmentsMergesCleanly) {
+  ClusterOptions options = SmallCluster(3, SarathiConfig(512));
+  ClusterSimulator cluster(options);
+  Trace trace = UniformTrace(1, 300, 5, 1.0);  // Two replicas stay idle.
+  SimResult result = cluster.Run(trace);
+  ASSERT_EQ(result.requests.size(), 1u);
+  EXPECT_TRUE(result.requests[0].completed());
+  EXPECT_EQ(result.total_output_tokens, 5);
+  ASSERT_EQ(result.replica_downtime_s.size(), 3u);
+  EXPECT_EQ(cluster.last_assignment()[0], 0);
+}
+
+}  // namespace
+}  // namespace sarathi

@@ -228,7 +228,7 @@ class ParallelSamplingTest : public ::testing::Test {
 TEST_F(ParallelSamplingTest, GreedySamplesAreIdentical) {
   ReferenceServer server(ServerOptions(/*temperature=*/0.0));
   server.AddRequest(1, RandomPrompt(40, 3), /*max_new_tokens=*/12, /*num_samples=*/4);
-  server.Run();
+  ASSERT_TRUE(server.Run().ok());
   const auto& ids = server.SampleIds(1);
   ASSERT_EQ(ids.size(), 4u);
   const auto& parent = server.GeneratedTokens(ids[0]);
@@ -241,7 +241,7 @@ TEST_F(ParallelSamplingTest, GreedySamplesAreIdentical) {
 TEST_F(ParallelSamplingTest, StochasticSamplesDivergeButShareThePrefix) {
   ReferenceServer server(ServerOptions(/*temperature=*/1.2));
   server.AddRequest(1, RandomPrompt(40, 4), /*max_new_tokens=*/16, /*num_samples=*/4);
-  server.Run();
+  ASSERT_TRUE(server.Run().ok());
   const auto& ids = server.SampleIds(1);
   ASSERT_EQ(ids.size(), 4u);
   std::set<std::vector<int32_t>> distinct;
@@ -259,13 +259,13 @@ TEST_F(ParallelSamplingTest, SamplesMatchIndependentRequestsWithSameStream) {
   std::vector<int32_t> prompt = RandomPrompt(33, 5);
   ReferenceServer forked(ServerOptions(/*temperature=*/0.9));
   forked.AddRequest(1, prompt, 10, /*num_samples=*/3);
-  forked.Run();
+  ASSERT_TRUE(forked.Run().ok());
   const auto& ids = forked.SampleIds(1);
 
   for (int64_t id : ids) {
     ReferenceServer solo(ServerOptions(/*temperature=*/0.9));
     solo.AddRequest(id, prompt, 10);
-    solo.Run();
+    ASSERT_TRUE(solo.Run().ok());
     EXPECT_EQ(solo.GeneratedTokens(id), forked.GeneratedTokens(id))
         << "sample " << id << " diverged from its independent twin";
   }
@@ -278,7 +278,7 @@ TEST_F(ParallelSamplingTest, SharesPromptBlocksAndReleasesEverything) {
   // 80-token prompt = 10 blocks; 6 samples of 20 tokens each would need
   // 6*10 + 6*3 = 78 blocks unshared, but only 10 + ~18 shared.
   server.AddRequest(1, RandomPrompt(80, 6), 20, /*num_samples=*/6);
-  server.Run();
+  ASSERT_TRUE(server.Run().ok());
   for (int64_t id : server.SampleIds(1)) {
     EXPECT_EQ(server.GeneratedTokens(id).size(), 20u);
   }
@@ -290,7 +290,7 @@ TEST_F(ParallelSamplingTest, MixesWithOrdinaryRequestsUnderChunking) {
   server.AddRequest(1, RandomPrompt(50, 7), 8, /*num_samples=*/3);
   server.AddRequest(2, RandomPrompt(30, 8), 6);
   server.AddRequest(3, RandomPrompt(70, 9), 5, /*num_samples=*/2);
-  server.Run();
+  ASSERT_TRUE(server.Run().ok());
   EXPECT_EQ(server.SampleIds(1).size(), 3u);
   EXPECT_EQ(server.SampleIds(2).size(), 1u);
   EXPECT_EQ(server.SampleIds(3).size(), 2u);

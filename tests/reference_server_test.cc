@@ -55,7 +55,7 @@ std::map<int64_t, std::vector<int32_t>> RunWorkload(const Workload& workload,
   for (size_t i = 0; i < workload.prompts.size(); ++i) {
     server.AddRequest(static_cast<int64_t>(i), workload.prompts[i], workload.output_lens[i]);
   }
-  server.Run();
+  EXPECT_TRUE(server.Run().ok());
   std::map<int64_t, std::vector<int32_t>> out;
   for (size_t i = 0; i < workload.prompts.size(); ++i) {
     out[static_cast<int64_t>(i)] = server.GeneratedTokens(static_cast<int64_t>(i));
@@ -156,7 +156,7 @@ TEST(ReferenceServerTest, PreemptionPreservesTokens) {
   for (size_t i = 0; i < w.prompts.size(); ++i) {
     server.AddRequest(static_cast<int64_t>(i), w.prompts[i], w.output_lens[i]);
   }
-  server.Run();
+  ASSERT_TRUE(server.Run().ok());
   for (size_t i = 0; i < w.prompts.size(); ++i) {
     EXPECT_EQ(server.GeneratedTokens(static_cast<int64_t>(i)),
               roomy.at(static_cast<int64_t>(i)))
@@ -188,8 +188,8 @@ TEST(ReferenceServerTest, ChunkingIncreasesIterationCount) {
     coarse.AddRequest(static_cast<int64_t>(i), w.prompts[i], w.output_lens[i]);
     fine.AddRequest(static_cast<int64_t>(i), w.prompts[i], w.output_lens[i]);
   }
-  coarse.Run();
-  fine.Run();
+  ASSERT_TRUE(coarse.Run().ok());
+  ASSERT_TRUE(fine.Run().ok());
   EXPECT_GT(fine.iterations(), coarse.iterations());
 }
 
@@ -201,7 +201,7 @@ TEST(ReferenceServerTest, AllBlocksReturnedAfterRun) {
   for (size_t i = 0; i < w.prompts.size(); ++i) {
     server.AddRequest(static_cast<int64_t>(i), w.prompts[i], w.output_lens[i]);
   }
-  server.Run();
+  ASSERT_TRUE(server.Run().ok());
   EXPECT_EQ(server.blocks().free_blocks(), server.blocks().num_blocks());
 }
 

@@ -93,7 +93,7 @@ std::map<int64_t, std::vector<int32_t>> RunServer(const ReferenceServer::Options
                                       300 + static_cast<uint64_t>(i)),
                       /*max_new_tokens=*/24);
   }
-  server.Run();
+  EXPECT_TRUE(server.Run().ok());
   std::map<int64_t, std::vector<int32_t>> out;
   for (int i = 0; i < num_requests; ++i) {
     out[i] = server.GeneratedTokens(i);
@@ -151,7 +151,7 @@ TEST(SamplingEndToEndTest, EosTruncatesGeneration) {
     server.AddRequest(i, RandomPrompt(15, options.model.vocab, 40 + static_cast<uint64_t>(i)),
                       kMaxTokens);
   }
-  server.Run();
+  ASSERT_TRUE(server.Run().ok());
 
   int truncated = 0;
   for (int i = 0; i < kRequests; ++i) {
