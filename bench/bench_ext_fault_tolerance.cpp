@@ -39,7 +39,10 @@ ClusterOptions MakeCluster(const SchedulerConfig& scheduler, double mtbf_s) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Optional --trace-out/--timeseries-out sinks, attached to the harshest
+  // sarathi row below (one run only: merged sweeps overlap in simulated time).
+  sarathi::bench::ObsSession obs(argc, argv);
   Header("Extension: failure-aware serving (3x Mistral-7B, crash/recovery + deadlines)",
          "(not a paper figure) Goodput should degrade gracefully as replica MTBF "
          "shrinks: retries re-route interrupted requests, admission control sheds "
@@ -62,6 +65,10 @@ int main() {
                  "shed", "retries", "lost tokens", "downtime (s)", "outages"});
     for (double mtbf_s : {0.0, 60.0, 30.0, 15.0, 6.0}) {
       ClusterOptions options = MakeCluster(candidate.config, mtbf_s);
+      if (candidate.label == "sarathi-512" && mtbf_s == 6.0) {
+        options.replica.tracer = obs.tracer();
+        options.replica.metrics = obs.metrics();
+      }
       SimResult result = ClusterSimulator(options).Run(trace);
       table.AddRow({mtbf_s <= 0.0 ? "none" : Table::Num(mtbf_s, 0),
                     Table::Num(result.Goodput(), 2), Table::Int(result.CountGood()),
@@ -74,5 +81,5 @@ int main() {
     }
     table.Print();
   }
-  return 0;
+  return obs.Export() ? 0 : 1;
 }

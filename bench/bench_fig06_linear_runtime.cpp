@@ -55,9 +55,15 @@ int main() {
       }
       return static_cast<int64_t>(0);
     };
-    crossover_table.AddRow({"TP" + std::to_string(degrees[i]),
-                            "~" + Table::Int(crossover_with(0.0)) + " tokens",
-                            "~" + Table::Int(crossover_with(2e-3)) + " tokens"});
+    // Built with += to dodge GCC 12's bogus -Wrestrict on
+    // operator+(const char*, std::string&&) (PR105651).
+    std::string pure = "~";
+    pure += Table::Int(crossover_with(0.0));
+    pure += " tokens";
+    std::string padded = "~";
+    padded += Table::Int(crossover_with(2e-3));
+    padded += " tokens";
+    crossover_table.AddRow({"TP" + std::to_string(degrees[i]), pure, padded});
   }
   crossover_table.Print();
   return 0;

@@ -8,11 +8,15 @@
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
 
+#include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "src/common/table.h"
 #include "src/core/serving_system.h"
+#include "src/obs/metrics_registry.h"
+#include "src/obs/tracer.h"
 
 namespace sarathi::bench {
 
@@ -28,6 +32,82 @@ inline void Header(const std::string& artifact, const std::string& paper_claim) 
 struct Candidate {
   std::string label;
   SchedulerConfig config;
+};
+
+// Optional observability sinks for bench binaries. Scans argv for
+//   --trace-out=FILE.json --spans-out=FILE.csv
+//   --timeseries-out=FILE.csv --timeseries-window=S
+// A bench passes tracer()/metrics() (null when the flag is absent) into the
+// simulator options of the run it wants captured and calls Export() before
+// exiting. Sweep benches should attach the sinks to a single run — merged
+// events from back-to-back simulations overlap in simulated time.
+class ObsSession {
+ public:
+  ObsSession(int argc, char** argv) {
+    double window_s = 1.0;
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (const char* v = FlagValue(arg, "trace-out")) {
+        trace_out_ = v;
+      } else if (const char* v = FlagValue(arg, "spans-out")) {
+        spans_out_ = v;
+      } else if (const char* v = FlagValue(arg, "timeseries-out")) {
+        timeseries_out_ = v;
+      } else if (const char* v = FlagValue(arg, "timeseries-window")) {
+        window_s = std::atof(v);
+      }
+    }
+    if (!timeseries_out_.empty()) {
+      registry_ = std::make_unique<MetricsRegistry>(window_s > 0.0 ? window_s : 1.0);
+    }
+  }
+
+  Tracer* tracer() { return trace_out_.empty() && spans_out_.empty() ? nullptr : &tracer_; }
+  MetricsRegistry* metrics() { return registry_.get(); }
+
+  // Writes every requested output; false (with the error on stderr) on the
+  // first failure.
+  bool Export() {
+    if (!trace_out_.empty()) {
+      Status written = tracer_.WriteChromeTraceFile(trace_out_);
+      if (!written.ok()) {
+        std::cerr << written.ToString() << "\n";
+        return false;
+      }
+      std::cout << "Chrome trace written to " << trace_out_ << " (" << tracer_.size()
+                << " events)\n";
+    }
+    if (!spans_out_.empty()) {
+      Status written = tracer_.WriteSpanCsvFile(spans_out_);
+      if (!written.ok()) {
+        std::cerr << written.ToString() << "\n";
+        return false;
+      }
+      std::cout << "Request spans written to " << spans_out_ << "\n";
+    }
+    if (registry_ != nullptr) {
+      Status written = registry_->WriteTimeSeriesFile(timeseries_out_);
+      if (!written.ok()) {
+        std::cerr << written.ToString() << "\n";
+        return false;
+      }
+      std::cout << "Time series written to " << timeseries_out_ << " ("
+                << registry_->NumWindows() << " windows)\n";
+    }
+    return true;
+  }
+
+ private:
+  static const char* FlagValue(const std::string& arg, const char* flag) {
+    std::string prefix = std::string("--") + flag + "=";
+    return arg.rfind(prefix, 0) == 0 ? arg.c_str() + prefix.size() : nullptr;
+  }
+
+  std::string trace_out_;
+  std::string spans_out_;
+  std::string timeseries_out_;
+  Tracer tracer_;
+  std::unique_ptr<MetricsRegistry> registry_;
 };
 
 // Capacity probe sized for bench runtime (smaller than the test default).

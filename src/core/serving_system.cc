@@ -93,8 +93,12 @@ SimulatorOptions ServingSystem::MakeSimOptions(bool record_iterations) const {
   return options;
 }
 
-SimResult ServingSystem::Serve(const Trace& trace, bool record_iterations) const {
-  ReplicaSimulator simulator(MakeSimOptions(record_iterations));
+SimResult ServingSystem::Serve(const Trace& trace, bool record_iterations, Tracer* tracer,
+                               MetricsRegistry* metrics) const {
+  SimulatorOptions options = MakeSimOptions(record_iterations);
+  options.tracer = tracer;
+  options.metrics = metrics;
+  ReplicaSimulator simulator(options);
   return simulator.Run(trace);
 }
 

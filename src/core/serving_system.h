@@ -52,8 +52,11 @@ class ServingSystem {
  public:
   ServingSystem(const Deployment& deployment, const SchedulerConfig& scheduler);
 
-  // Serves the trace on the simulated replica.
-  SimResult Serve(const Trace& trace, bool record_iterations = false) const;
+  // Serves the trace on the simulated replica. Optional observability sinks
+  // (either may be null): the tracer collects request lifecycle spans and
+  // iteration slices, the registry windowed time series.
+  SimResult Serve(const Trace& trace, bool record_iterations = false,
+                  Tracer* tracer = nullptr, MetricsRegistry* metrics = nullptr) const;
 
   // SLO thresholds for this deployment (Table 3 derivation).
   SloSpec Slo() const;

@@ -4,8 +4,33 @@
 #include <cmath>
 
 #include "src/common/logging.h"
+#include "src/obs/obs_hooks.h"
 
 namespace sarathi {
+
+namespace {
+constexpr char kKvCategory[] = "kv";
+}  // namespace
+
+void PagedBlockManager::EmitKvObs(const char* event, SeqId id) {
+  if (obs_ == nullptr) {
+    return;
+  }
+  if (Tracer* tracer = obs_->ActiveTracer()) {
+    if (used_blocks() != last_emitted_used_) {
+      tracer->Counter(kKvCategory, "kv_blocks_in_use", obs_->now_s,
+                      static_cast<double>(used_blocks()));
+    }
+    if (event != nullptr) {
+      tracer->InstantNow(kKvCategory, event, {Arg("seq", id), Arg("used_blocks", used_blocks())});
+    }
+  }
+  if (obs_->metrics != nullptr && used_blocks() != last_emitted_used_) {
+    obs_->metrics->SetGauge("kv_blocks_in_use", obs_->now_s,
+                            static_cast<double>(used_blocks()));
+  }
+  last_emitted_used_ = used_blocks();
+}
 
 PagedBlockManager::PagedBlockManager(const Options& options) : options_(options) {
   CHECK_GT(options_.num_blocks, 0);
@@ -59,6 +84,7 @@ void PagedBlockManager::Admit(SeqId id, int64_t prompt_len, int64_t max_total_le
   }
   state.num_tokens = prompt_len;
   tables_.emplace(id, std::move(state));
+  EmitKvObs("kv_admit", id);
 }
 
 bool PagedBlockManager::CanAppendToken(SeqId id) const {
@@ -87,6 +113,7 @@ void PagedBlockManager::AppendToken(SeqId id) {
     }
   }
   ++state.num_tokens;
+  EmitKvObs(nullptr, id);  // Counter only; per-token instants would flood.
 }
 
 std::vector<std::pair<SeqId, PagedBlockManager::CowOp>> PagedBlockManager::TakePendingCows() {
@@ -142,6 +169,7 @@ void PagedBlockManager::Fork(SeqId parent, SeqId child) {
     ++refcount_[static_cast<size_t>(block)];
   }
   tables_.emplace(child, std::move(copy));
+  EmitKvObs("kv_fork", child);
 }
 
 void PagedBlockManager::Release(SeqId id) {
@@ -151,6 +179,7 @@ void PagedBlockManager::Release(SeqId id) {
     ReleaseBlockRef(block);
   }
   tables_.erase(it);
+  EmitKvObs("kv_release", id);
 }
 
 double PagedBlockManager::Utilization() const {
@@ -211,6 +240,9 @@ void ReservationAllocator::Admit(SeqId id, int64_t prompt_len, int64_t max_total
   CHECK(CanAdmit(prompt_len, max_total_len));
   CHECK(!admitted_.contains(id)) << "sequence " << id << " already admitted";
   admitted_.emplace(id, prompt_len);
+  if (obs_ != nullptr && obs_->metrics != nullptr) {
+    obs_->metrics->SetGauge("kv_blocks_in_use", obs_->now_s, static_cast<double>(used_units()));
+  }
 }
 
 bool ReservationAllocator::CanAppendToken(SeqId id) const {
@@ -228,6 +260,9 @@ void ReservationAllocator::AppendToken(SeqId id) {
 
 void ReservationAllocator::Release(SeqId id) {
   CHECK_EQ(admitted_.erase(id), 1u) << "unknown sequence " << id;
+  if (obs_ != nullptr && obs_->metrics != nullptr) {
+    obs_->metrics->SetGauge("kv_blocks_in_use", obs_->now_s, static_cast<double>(used_units()));
+  }
 }
 
 double ReservationAllocator::Utilization() const {

@@ -57,6 +57,8 @@ class PagedBlockManager : public KvAllocator {
   void AppendToken(SeqId id) override;
   void Release(SeqId id) override;
   double Utilization() const override;
+  int64_t used_units() const override { return used_blocks(); }
+  int64_t total_units() const override { return options_.num_blocks; }
 
   // ---- Sharing / copy-on-write ----
 
@@ -106,8 +108,12 @@ class PagedBlockManager : public KvAllocator {
   void ReleaseBlockRef(int64_t block);
   // Logical token position -> index into the sequence's block table.
   int64_t BlockIndexFor(int64_t pos) const;
+  // Emits the blocks-in-use counter (when it changed) and an optional named
+  // instant for this sequence. No-op without obs hooks.
+  void EmitKvObs(const char* event, SeqId id);
 
   Options options_;
+  int64_t last_emitted_used_ = -1;
   std::vector<int64_t> free_list_;
   std::vector<int32_t> refcount_;
   std::unordered_map<SeqId, SequenceState> tables_;
@@ -127,6 +133,9 @@ class ReservationAllocator : public KvAllocator {
   void AppendToken(SeqId id) override;
   void Release(SeqId id) override;
   double Utilization() const override;
+  // Units are reserved token slots: every admission pins max_seq_len worth.
+  int64_t used_units() const override { return num_admitted() * max_seq_len_; }
+  int64_t total_units() const override { return max_concurrent_ * max_seq_len_; }
 
   int64_t max_concurrent() const { return max_concurrent_; }
   int64_t num_admitted() const { return static_cast<int64_t>(admitted_.size()); }

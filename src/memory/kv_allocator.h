@@ -14,11 +14,19 @@
 
 namespace sarathi {
 
+struct ObsHooks;
+
 using SeqId = int64_t;
 
 class KvAllocator {
  public:
   virtual ~KvAllocator() = default;
+
+  // Observability: when set, implementations emit KV accounting events
+  // (admit/release/copy-on-write instants and the blocks-in-use counter)
+  // against the hook's driver-maintained clock. Null disables emission at the
+  // cost of one branch per mutation.
+  void set_obs(ObsHooks* obs) { obs_ = obs; }
 
   // Whether a request with `prompt_len` prompt tokens (and up to
   // `max_total_len` total tokens over its lifetime) can be admitted now.
@@ -39,6 +47,16 @@ class KvAllocator {
 
   // Occupancy introspection for metrics.
   virtual double Utilization() const = 0;
+
+  // Allocation units currently in use and the total capacity, in the
+  // allocator's own granularity: physical blocks for the paged manager,
+  // reserved token slots for the reservation allocator. Drives the KV
+  // high-water mark (peak used / total) in SimResult.
+  virtual int64_t used_units() const = 0;
+  virtual int64_t total_units() const = 0;
+
+ protected:
+  ObsHooks* obs_ = nullptr;
 };
 
 }  // namespace sarathi

@@ -1,0 +1,351 @@
+#include "src/obs/tracer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+namespace sarathi {
+namespace {
+
+// Renders a double compactly without locale surprises; JSON forbids inf/nan,
+// which never occur in simulation timestamps but are clamped defensively.
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) {
+    value = 0.0;
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.12g", value);
+  return buffer;
+}
+
+void WriteArgs(std::ostream& out, const std::vector<TraceArg>& args) {
+  out << "\"args\":{";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) {
+      out << ',';
+    }
+    out << '"' << JsonEscape(args[i].key) << "\":";
+    if (args[i].is_number) {
+      out << JsonNumber(args[i].number);
+    } else {
+      out << '"' << JsonEscape(args[i].text) << '"';
+    }
+  }
+  out << '}';
+}
+
+}  // namespace
+
+TraceArg Arg(std::string key, std::string value) {
+  TraceArg arg;
+  arg.key = std::move(key);
+  arg.text = std::move(value);
+  return arg;
+}
+
+TraceArg Arg(std::string key, const char* value) { return Arg(std::move(key), std::string(value)); }
+
+TraceArg Arg(std::string key, double value) {
+  TraceArg arg;
+  arg.key = std::move(key);
+  arg.number = value;
+  arg.is_number = true;
+  return arg;
+}
+
+TraceArg Arg(std::string key, int64_t value) {
+  return Arg(std::move(key), static_cast<double>(value));
+}
+
+std::string JsonEscape(const std::string& value) {
+  std::string escaped;
+  escaped.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '"':
+        escaped += "\\\"";
+        break;
+      case '\\':
+        escaped += "\\\\";
+        break;
+      case '\n':
+        escaped += "\\n";
+        break;
+      case '\r':
+        escaped += "\\r";
+        break;
+      case '\t':
+        escaped += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          escaped += buffer;
+        } else {
+          escaped += c;
+        }
+    }
+  }
+  return escaped;
+}
+
+Status EnsureParentDirectory(const std::string& path) {
+  std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  if (parent.empty()) {
+    return Status::Ok();
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(parent, ec);
+  if (ec) {
+    return InternalError("cannot create directory " + parent.string() + ": " + ec.message());
+  }
+  return Status::Ok();
+}
+
+void Tracer::SetProcessName(int pid, const std::string& name) {
+  if (!enabled_) {
+    return;
+  }
+  TraceEvent event;
+  event.phase = TracePhase::kMetadata;
+  event.name = "process_name";
+  event.pid = pid;
+  event.args.push_back(Arg("name", name));
+  events_.push_back(std::move(event));
+}
+
+void Tracer::SetThreadName(int tid, const std::string& name) {
+  if (!enabled_) {
+    return;
+  }
+  TraceEvent event;
+  event.phase = TracePhase::kMetadata;
+  event.name = "thread_name";
+  event.pid = default_pid_;
+  event.tid = tid;
+  event.args.push_back(Arg("name", name));
+  events_.push_back(std::move(event));
+}
+
+void Tracer::Complete(const std::string& category, const std::string& name, double start_s,
+                      double dur_s, int tid, std::vector<TraceArg> args) {
+  if (!enabled_) {
+    return;
+  }
+  TraceEvent event;
+  event.phase = TracePhase::kComplete;
+  event.category = category;
+  event.name = name;
+  event.ts_s = start_s;
+  event.dur_s = dur_s;
+  event.pid = default_pid_;
+  event.tid = tid;
+  event.args = std::move(args);
+  events_.push_back(std::move(event));
+}
+
+void Tracer::Instant(const std::string& category, const std::string& name, double ts_s,
+                     std::vector<TraceArg> args) {
+  if (!enabled_) {
+    return;
+  }
+  TraceEvent event;
+  event.phase = TracePhase::kInstant;
+  event.category = category;
+  event.name = name;
+  event.ts_s = ts_s;
+  event.pid = default_pid_;
+  event.args = std::move(args);
+  events_.push_back(std::move(event));
+}
+
+void Tracer::InstantNow(const std::string& category, const std::string& name,
+                        std::vector<TraceArg> args) {
+  Instant(category, name, now_s_, std::move(args));
+}
+
+void Tracer::Counter(const std::string& category, const std::string& name, double ts_s,
+                     double value) {
+  if (!enabled_) {
+    return;
+  }
+  TraceEvent event;
+  event.phase = TracePhase::kCounter;
+  event.category = category;
+  event.name = name;
+  event.ts_s = ts_s;
+  event.pid = default_pid_;
+  event.value = value;
+  events_.push_back(std::move(event));
+}
+
+void Tracer::AsyncBegin(const std::string& category, const std::string& name, int64_t id,
+                        double ts_s, std::vector<TraceArg> args) {
+  if (!enabled_) {
+    return;
+  }
+  TraceEvent event;
+  event.phase = TracePhase::kAsyncBegin;
+  event.category = category;
+  event.name = name;
+  event.ts_s = ts_s;
+  event.pid = default_pid_;
+  event.id = id;
+  event.args = std::move(args);
+  events_.push_back(std::move(event));
+}
+
+void Tracer::AsyncEnd(const std::string& category, const std::string& name, int64_t id,
+                      double ts_s, std::vector<TraceArg> args) {
+  if (!enabled_) {
+    return;
+  }
+  TraceEvent event;
+  event.phase = TracePhase::kAsyncEnd;
+  event.category = category;
+  event.name = name;
+  event.ts_s = ts_s;
+  event.pid = default_pid_;
+  event.id = id;
+  event.args = std::move(args);
+  events_.push_back(std::move(event));
+}
+
+void Tracer::Append(const Tracer& other) {
+  if (!enabled_) {
+    return;
+  }
+  events_.insert(events_.end(), other.events_.begin(), other.events_.end());
+}
+
+std::vector<const TraceEvent*> Tracer::EventsWithPhase(TracePhase phase) const {
+  std::vector<const TraceEvent*> matched;
+  for (const TraceEvent& event : events_) {
+    if (event.phase == phase) {
+      matched.push_back(&event);
+    }
+  }
+  return matched;
+}
+
+void Tracer::WriteChromeTraceJson(std::ostream& out) const {
+  // Metadata first, then time order; stable so same-timestamp events keep
+  // their recording order (begin before end, begin before nested begin).
+  std::vector<const TraceEvent*> ordered;
+  ordered.reserve(events_.size());
+  for (const TraceEvent& event : events_) {
+    if (event.phase == TracePhase::kMetadata) {
+      ordered.push_back(&event);
+    }
+  }
+  size_t num_metadata = ordered.size();
+  for (const TraceEvent& event : events_) {
+    if (event.phase != TracePhase::kMetadata) {
+      ordered.push_back(&event);
+    }
+  }
+  std::stable_sort(ordered.begin() + static_cast<long>(num_metadata), ordered.end(),
+                   [](const TraceEvent* a, const TraceEvent* b) { return a->ts_s < b->ts_s; });
+
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  for (size_t i = 0; i < ordered.size(); ++i) {
+    const TraceEvent& event = *ordered[i];
+    if (i > 0) {
+      out << ",";
+    }
+    out << "\n{\"ph\":\"" << static_cast<char>(event.phase) << "\",\"pid\":" << event.pid
+        << ",\"tid\":" << event.tid << ",\"ts\":" << JsonNumber(event.ts_s * 1e6);
+    out << ",\"name\":\"" << JsonEscape(event.name) << '"';
+    if (!event.category.empty()) {
+      out << ",\"cat\":\"" << JsonEscape(event.category) << '"';
+    }
+    switch (event.phase) {
+      case TracePhase::kComplete:
+        out << ",\"dur\":" << JsonNumber(event.dur_s * 1e6);
+        break;
+      case TracePhase::kInstant:
+        out << ",\"s\":\"t\"";  // Instant scoped to its thread track.
+        break;
+      case TracePhase::kCounter:
+        out << ",\"args\":{\"value\":" << JsonNumber(event.value) << '}';
+        break;
+      case TracePhase::kAsyncBegin:
+      case TracePhase::kAsyncEnd:
+        out << ",\"id\":\"" << event.id << '"';
+        break;
+      case TracePhase::kMetadata:
+        break;
+    }
+    if (!event.args.empty() && event.phase != TracePhase::kCounter) {
+      out << ',';
+      WriteArgs(out, event.args);
+    }
+    out << '}';
+  }
+  out << "\n]}\n";
+}
+
+Status Tracer::WriteChromeTraceFile(const std::string& path) const {
+  RETURN_IF_ERROR(EnsureParentDirectory(path));
+  std::ofstream out(path);
+  if (!out) {
+    return InternalError("cannot open " + path + " for writing");
+  }
+  WriteChromeTraceJson(out);
+  if (!out) {
+    return InternalError("write failed for " + path);
+  }
+  return Status::Ok();
+}
+
+void Tracer::WriteSpanCsv(std::ostream& out) const {
+  out << "pid,category,id,name,begin_s,end_s,duration_s\n";
+  // Match begin/end pairs in event order; an end closes the most recent open
+  // begin with the same (pid, category, id, name).
+  struct OpenSpan {
+    const TraceEvent* begin;
+    bool closed = false;
+    double end_s = -1.0;
+  };
+  std::vector<OpenSpan> spans;
+  for (const TraceEvent& event : events_) {
+    if (event.phase == TracePhase::kAsyncBegin) {
+      spans.push_back(OpenSpan{&event});
+    } else if (event.phase == TracePhase::kAsyncEnd) {
+      for (auto it = spans.rbegin(); it != spans.rend(); ++it) {
+        const TraceEvent& begin = *it->begin;
+        if (!it->closed && begin.pid == event.pid && begin.category == event.category &&
+            begin.id == event.id && begin.name == event.name) {
+          it->closed = true;
+          it->end_s = event.ts_s;
+          break;
+        }
+      }
+    }
+  }
+  for (const OpenSpan& span : spans) {
+    const TraceEvent& begin = *span.begin;
+    double duration = span.closed ? span.end_s - begin.ts_s : -1.0;
+    out << begin.pid << ',' << begin.category << ',' << begin.id << ',' << begin.name << ','
+        << begin.ts_s << ',' << (span.closed ? span.end_s : -1.0) << ',' << duration << '\n';
+  }
+}
+
+Status Tracer::WriteSpanCsvFile(const std::string& path) const {
+  RETURN_IF_ERROR(EnsureParentDirectory(path));
+  std::ofstream out(path);
+  if (!out) {
+    return InternalError("cannot open " + path + " for writing");
+  }
+  WriteSpanCsv(out);
+  if (!out) {
+    return InternalError("write failed for " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace sarathi

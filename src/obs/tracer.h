@@ -1,0 +1,146 @@
+// Structured event tracing for the simulators.
+//
+// The paper's implementation ships "an extensive telemetry system" (§4.4);
+// this is its event-trace half: a low-overhead recorder of typed, timestamped
+// events — request lifecycle spans, per-iteration batch slices, KV accounting,
+// pipeline stage occupancy, and fault events — exportable as Chrome
+// trace-event JSON (open in chrome://tracing or https://ui.perfetto.dev, with
+// replicas rendered as processes and pipeline stages as tracks) and as a
+// per-request span CSV.
+//
+// Overhead discipline: every recording method returns immediately when the
+// tracer is disabled, before touching the event buffer, so a disabled tracer
+// never allocates. Instrumented code holds a `Tracer*` that may be null and
+// guards emission sites with `if (tracer != nullptr)` — the hook costs one
+// branch when tracing is off.
+
+#ifndef SRC_OBS_TRACER_H_
+#define SRC_OBS_TRACER_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace sarathi {
+
+// Chrome trace-event phases this tracer emits.
+enum class TracePhase : char {
+  kComplete = 'X',    // A slice with a start and a duration (one track).
+  kInstant = 'i',     // A point event.
+  kCounter = 'C',     // A sampled counter series.
+  kAsyncBegin = 'b',  // Start of an id-keyed span (request lifecycles).
+  kAsyncEnd = 'e',    // End of an id-keyed span.
+  kMetadata = 'M',    // Process/thread naming.
+};
+
+// One key/value annotation. Values are either text or a number; numbers stay
+// numbers in the JSON so Perfetto can aggregate them.
+struct TraceArg {
+  std::string key;
+  std::string text;
+  double number = 0.0;
+  bool is_number = false;
+};
+
+TraceArg Arg(std::string key, std::string value);
+TraceArg Arg(std::string key, const char* value);
+TraceArg Arg(std::string key, double value);
+TraceArg Arg(std::string key, int64_t value);
+
+struct TraceEvent {
+  TracePhase phase = TracePhase::kInstant;
+  std::string category;
+  std::string name;
+  double ts_s = 0.0;   // Event time, seconds since run start.
+  double dur_s = 0.0;  // kComplete only.
+  int pid = 0;         // Process track: replica id (router = num_replicas).
+  int tid = 0;         // Thread track: pipeline stage (see Tracer tid notes).
+  int64_t id = -1;     // kAsyncBegin/kAsyncEnd span key; counter value slot.
+  double value = 0.0;  // kCounter only.
+  std::vector<TraceArg> args;
+};
+
+class Tracer {
+ public:
+  Tracer() = default;
+  explicit Tracer(bool enabled) : enabled_(enabled) {}
+
+  bool enabled() const { return enabled_; }
+
+  // Driver-maintained simulation clock, for instrumented components that have
+  // no clock of their own (schedulers, the block manager).
+  void set_now(double now_s) { now_s_ = now_s; }
+  double now() const { return now_s_; }
+
+  // Process id stamped on subsequently recorded events (the replica id; a
+  // cluster run gives each replica its own tracer).
+  void set_default_pid(int pid) { default_pid_ = pid; }
+  int default_pid() const { return default_pid_; }
+
+  // ---- Recording (all no-ops when disabled) ----
+
+  void SetProcessName(int pid, const std::string& name);
+  void SetThreadName(int tid, const std::string& name);
+
+  // A slice on thread-track `tid` (pipeline stage) of the default process.
+  void Complete(const std::string& category, const std::string& name, double start_s,
+                double dur_s, int tid, std::vector<TraceArg> args = {});
+  void Instant(const std::string& category, const std::string& name, double ts_s,
+               std::vector<TraceArg> args = {});
+  // Instant stamped with the driver clock (set_now).
+  void InstantNow(const std::string& category, const std::string& name,
+                  std::vector<TraceArg> args = {});
+  void Counter(const std::string& category, const std::string& name, double ts_s,
+               double value);
+  // Id-keyed span: begins/ends match on (pid, category, id); distinct names
+  // under one id nest (request -> queued/prefill/decode).
+  void AsyncBegin(const std::string& category, const std::string& name, int64_t id,
+                  double ts_s, std::vector<TraceArg> args = {});
+  void AsyncEnd(const std::string& category, const std::string& name, int64_t id,
+                double ts_s, std::vector<TraceArg> args = {});
+
+  // Appends a copy of another tracer's events (cluster merge).
+  void Append(const Tracer& other);
+  void Clear() { events_.clear(); }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+
+  // Events of one phase, in recording order (test/report helper).
+  std::vector<const TraceEvent*> EventsWithPhase(TracePhase phase) const;
+
+  // ---- Export ----
+
+  // Chrome trace-event JSON: {"traceEvents": [...]} with timestamps in
+  // microseconds, metadata first, then events sorted by time (stable).
+  void WriteChromeTraceJson(std::ostream& out) const;
+  // Writes the JSON to `path`, creating parent directories as needed.
+  Status WriteChromeTraceFile(const std::string& path) const;
+
+  // Per-request span CSV derived from the async events:
+  //   pid,category,id,name,begin_s,end_s,duration_s
+  // Spans still open at export get end_s = -1 and duration_s = -1.
+  void WriteSpanCsv(std::ostream& out) const;
+  Status WriteSpanCsvFile(const std::string& path) const;
+
+ private:
+  bool enabled_ = true;
+  double now_s_ = 0.0;
+  int default_pid_ = 0;
+  std::vector<TraceEvent> events_;
+};
+
+// Creates every missing directory on the way to `path`'s parent. Shared by
+// the trace/timeseries/telemetry writers.
+Status EnsureParentDirectory(const std::string& path);
+
+// JSON string escaping (quotes, backslashes, control characters).
+std::string JsonEscape(const std::string& value);
+
+}  // namespace sarathi
+
+#endif  // SRC_OBS_TRACER_H_

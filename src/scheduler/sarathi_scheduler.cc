@@ -24,6 +24,7 @@ void SarathiScheduler::ObserveIterationTime(const ScheduledBatch& batch, double 
   }
   double target = config_.dynamic_budget_tbt_slo_s;
   int64_t tile = config_.budget_tile;
+  int64_t previous_budget = current_budget_;
   if (latency_s > target) {
     // Multiplicative decrease, tile-aligned: back off fast when an iteration
     // endangers the TBT SLO.
@@ -35,6 +36,16 @@ void SarathiScheduler::ObserveIterationTime(const ScheduledBatch& batch, double 
     // Additive increase only when the budget was actually binding — an
     // under-full batch finishing early says nothing about a larger budget.
     current_budget_ = std::min(config_.max_token_budget, current_budget_ + tile);
+  }
+  if (current_budget_ != previous_budget && obs_ != nullptr) {
+    if (Tracer* tracer = obs_->ActiveTracer()) {
+      tracer->Counter("scheduler", "token_budget", obs_->now_s,
+                      static_cast<double>(current_budget_));
+    }
+    if (obs_->metrics != nullptr) {
+      obs_->metrics->SetGauge("token_budget", obs_->now_s,
+                              static_cast<double>(current_budget_));
+    }
   }
 }
 

@@ -30,10 +30,26 @@ Scheduler::Scheduler(const SchedulerConfig& config, KvAllocator* allocator)
   CHECK_GT(config_.max_batch_size, 0);
 }
 
+void Scheduler::EmitSchedulerObs(const char* event, const RequestState* request) {
+  if (obs_ == nullptr) {
+    return;
+  }
+  if (Tracer* tracer = obs_->ActiveTracer()) {
+    if (event != nullptr && request != nullptr) {
+      tracer->InstantNow("scheduler", event, {Arg("request", request->id())});
+    }
+  }
+  if (obs_->metrics != nullptr) {
+    obs_->metrics->SetGauge("queue_depth", obs_->now_s, static_cast<double>(queue_.size()));
+    obs_->metrics->SetGauge("running_batch", obs_->now_s, static_cast<double>(running_.size()));
+  }
+}
+
 void Scheduler::Enqueue(RequestState* request) {
   CHECK(request != nullptr);
   CHECK(request->phase() == RequestPhase::kQueued);
   queue_.push_back(request);
+  EmitSchedulerObs(nullptr, nullptr);  // Arrival instants live in the request span.
 }
 
 void Scheduler::AdoptRunning(RequestState* request) {
@@ -60,6 +76,7 @@ RequestState* Scheduler::AdmitHead() {
                     head->prefill_target() + head->output_tokens());
   head->set_phase(RequestPhase::kRunning);
   running_.push_back(head);
+  EmitSchedulerObs("admit", head);
   return head;
 }
 
@@ -99,6 +116,7 @@ bool Scheduler::Abort(RequestState* request) {
     queue_.erase(qit);
     request->set_phase(RequestPhase::kFailed);
     ++abort_count_;
+    EmitSchedulerObs("abort", request);
     return true;
   }
   auto rit = std::find(running_.begin(), running_.end(), request);
@@ -110,6 +128,7 @@ bool Scheduler::Abort(RequestState* request) {
   allocator_->Release(request->id());
   request->set_phase(RequestPhase::kFailed);
   ++abort_count_;
+  EmitSchedulerObs("abort", request);
   return true;
 }
 
@@ -139,6 +158,10 @@ void Scheduler::Preempt(RequestState* request) {
   request->ResetForRecompute();
   queue_.push_front(request);
   ++preemption_count_;
+  if (obs_ != nullptr && obs_->metrics != nullptr) {
+    obs_->metrics->AddCount("preemptions", obs_->now_s);
+  }
+  EmitSchedulerObs("preempt", request);
 }
 
 void Scheduler::FinishRequest(RequestState* request) {
@@ -147,6 +170,7 @@ void Scheduler::FinishRequest(RequestState* request) {
   running_.erase(it);
   allocator_->Release(request->id());
   request->set_phase(RequestPhase::kFinished);
+  EmitSchedulerObs(nullptr, nullptr);  // Completion instants live in the request span.
 }
 
 void Scheduler::OnBatchComplete(const ScheduledBatch& batch) {

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/memory/kv_allocator.h"
+#include "src/obs/obs_hooks.h"
 #include "src/scheduler/batch.h"
 #include "src/scheduler/request_state.h"
 
@@ -109,6 +110,12 @@ class Scheduler {
 
   virtual std::string name() const = 0;
 
+  // Observability hook shared with the driver (which keeps the clock
+  // current). All six policies inherit the base-class emission points
+  // (enqueue/admit/preempt/abort/finish + queue-depth gauges); policies with
+  // extra state (e.g. Sarathi's dynamic token budget) emit their own series.
+  void set_obs(ObsHooks* obs) { obs_ = obs; }
+
   // Adds an arrived request to the FCFS wait queue.
   void Enqueue(RequestState* request);
 
@@ -179,8 +186,13 @@ class Scheduler {
   // recomputation and reinserts it at the front of the wait queue.
   void Preempt(RequestState* request);
 
+  // Emits a scheduler-category instant for `request` plus refreshed
+  // queue-depth/running gauges. No-op without obs hooks.
+  void EmitSchedulerObs(const char* event, const RequestState* request);
+
   SchedulerConfig config_;
   KvAllocator* allocator_;
+  ObsHooks* obs_ = nullptr;
   std::deque<RequestState*> queue_;     // Waiting, FCFS.
   std::vector<RequestState*> running_;  // Admitted, in admission order.
   int64_t preemption_count_ = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
 #include <set>
 #include <utility>
 
@@ -177,6 +178,25 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
     outage_schedules_[static_cast<size_t>(r)] = injector.OutagesFor(r, horizon);
   }
 
+  // ---- Observability ----
+  // Retry rounds re-simulate replicas from scratch; a shared tracer would
+  // accumulate duplicate events from the discarded rounds. Instead every
+  // simulate() call starts that replica on a fresh tracer/registry (replacing
+  // the previous round's), and the final per-replica state merges into the
+  // caller's sinks at the end of Run. Router-level events (sheds, retries)
+  // are recorded directly into the destination tracer as process `n`.
+  Tracer* dest_tracer =
+      options_.replica.tracer != nullptr && options_.replica.tracer->enabled()
+          ? options_.replica.tracer
+          : nullptr;
+  MetricsRegistry* dest_metrics = options_.replica.metrics;
+  std::vector<std::unique_ptr<Tracer>> replica_tracers(static_cast<size_t>(n));
+  std::vector<std::unique_ptr<MetricsRegistry>> replica_metrics(static_cast<size_t>(n));
+  if (dest_tracer != nullptr) {
+    dest_tracer->set_default_pid(n);
+    dest_tracer->SetProcessName(n, "router");
+  }
+
   // ---- Initial routing (health-aware, with admission control) ----
   std::vector<Trace> sub(static_cast<size_t>(n));
   for (Trace& s : sub) {
@@ -206,8 +226,18 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
     for (int r = 0; r < n; ++r) {
       any_up |= !DownAt(r, t);
     }
+    auto record_shed = [&](const char* reason) {
+      if (dest_tracer != nullptr) {
+        dest_tracer->Instant("router", "shed", t,
+                             {Arg("request", request.id), Arg("reason", reason)});
+      }
+      if (dest_metrics != nullptr) {
+        dest_metrics->AddCount("shed", t);
+      }
+    };
     if (!any_up) {
       shed[i] = true;  // Whole cluster down: reject immediately.
+      record_shed("cluster_down");
       continue;
     }
     if (options_.shed_outstanding_s > 0.0) {
@@ -220,6 +250,7 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
       }
       if (least / service_rate_ > options_.shed_outstanding_s) {
         shed[i] = true;
+        record_shed("overload");
         continue;
       }
     }
@@ -236,6 +267,18 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
     SimulatorOptions replica_options = options_.replica;
     replica_options.fail_interrupted_on_crash = true;
     replica_options.outages = outage_schedules_[static_cast<size_t>(r)];
+    replica_options.trace_pid = r;
+    replica_options.tracer = nullptr;
+    replica_options.metrics = nullptr;
+    if (dest_tracer != nullptr) {
+      replica_tracers[static_cast<size_t>(r)] = std::make_unique<Tracer>();
+      replica_options.tracer = replica_tracers[static_cast<size_t>(r)].get();
+    }
+    if (dest_metrics != nullptr) {
+      replica_metrics[static_cast<size_t>(r)] =
+          std::make_unique<MetricsRegistry>(dest_metrics->window_s());
+      replica_options.metrics = replica_metrics[static_cast<size_t>(r)].get();
+    }
     results[static_cast<size_t>(r)] =
         ReplicaSimulator(replica_options).Run(sub[static_cast<size_t>(r)]);
   };
@@ -308,6 +351,14 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
       }
       int pick = Route(attempt.total_tokens(), retry.time, chains[i].back().replica, &router);
       CHECK_GE(pick, 0);
+      if (dest_tracer != nullptr) {
+        dest_tracer->Instant("router", "retry", retry.time,
+                             {Arg("request", attempt.id),
+                              Arg("replica", static_cast<int64_t>(pick))});
+      }
+      if (dest_metrics != nullptr) {
+        dest_metrics->AddCount("retries", retry.time);
+      }
       chains[i].push_back({pick, retry.time});
       InsertSorted(&sub[static_cast<size_t>(pick)], attempt);
       dirty.insert(pick);
@@ -397,6 +448,14 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
     merged.num_outages += result.num_outages;
     merged.downtime_s += result.downtime_s;
     merged.replica_downtime_s.push_back(result.downtime_s);
+    merged.peak_kv_blocks += result.peak_kv_blocks;
+    merged.total_kv_blocks += result.total_kv_blocks;
+    if (dest_tracer != nullptr && replica_tracers[static_cast<size_t>(r)] != nullptr) {
+      dest_tracer->Append(*replica_tracers[static_cast<size_t>(r)]);
+    }
+    if (dest_metrics != nullptr && replica_metrics[static_cast<size_t>(r)] != nullptr) {
+      dest_metrics->MergeFrom(*replica_metrics[static_cast<size_t>(r)]);
+    }
   }
   merged.total_output_tokens -= lost_tokens;
   merged.lost_output_tokens = lost_tokens;

@@ -99,6 +99,13 @@ double SimResult::BubbleFraction() const {
   return std::max(0.0, 1.0 - busy / capacity);
 }
 
+double SimResult::PeakKvUtilization() const {
+  if (total_kv_blocks <= 0) {
+    return 0.0;
+  }
+  return static_cast<double>(peak_kv_blocks) / static_cast<double>(total_kv_blocks);
+}
+
 double SimResult::OutputTokenThroughput() const {
   return makespan_s > 0.0 ? static_cast<double>(total_output_tokens) / makespan_s : 0.0;
 }

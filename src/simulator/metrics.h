@@ -103,6 +103,13 @@ struct SimResult {
   double downtime_s = 0.0;
   std::vector<double> replica_downtime_s;
 
+  // KV-cache high-water mark: peak allocation units in use over the run and
+  // the allocator's capacity (physical blocks for paged policies, reserved
+  // token slots for the Orca-style reservation allocator). Cluster runs sum
+  // both across replicas.
+  int64_t peak_kv_blocks = 0;
+  int64_t total_kv_blocks = 0;
+
   // FLOPs / bytes accounting for Model FLOPs & Bandwidth Utilization (§3.1).
   double total_flops = 0.0;
   double peak_flops = 0.0;  // Aggregate device peak (all GPUs).
@@ -127,6 +134,9 @@ struct SimResult {
   double OutputTokenThroughput() const;
   // Completed requests per second over the makespan.
   double RequestThroughput() const;
+
+  // KV-cache high-water mark as a fraction of capacity (0 when unknown).
+  double PeakKvUtilization() const;
 
   // Count of TBT samples exceeding `threshold_s` (generation stalls, Fig 1a).
   int64_t CountStalls(double threshold_s) const;

@@ -1,8 +1,10 @@
 #include "src/simulator/replica_simulator.h"
 
 #include <algorithm>
-#include <unordered_map>
+#include <cstdint>
 #include <limits>
+#include <string>
+#include <unordered_map>
 
 #include "src/common/logging.h"
 #include "src/memory/block_manager.h"
@@ -50,6 +52,28 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
   CHECK(!any_forking || paged != nullptr)
       << "num_samples > 1 requires a paged-memory policy (sarathi/vllm/fastserve/vtc)";
 
+  // Observability hooks: the simulator owns the clock; schedulers and the
+  // allocator emit against it. Null hooks cost one branch per emission site.
+  ObsHooks obs;
+  obs.tracer = options_.tracer;
+  obs.metrics = options_.metrics;
+  if (obs.active()) {
+    allocator->set_obs(&obs);
+    scheduler->set_obs(&obs);
+  }
+  Tracer* tracer = obs.ActiveTracer();
+  MetricsRegistry* metrics = obs.metrics;
+  if (tracer != nullptr) {
+    tracer->set_default_pid(options_.trace_pid);
+    tracer->SetProcessName(options_.trace_pid, "replica " + std::to_string(options_.trace_pid));
+    for (int s = 0; s < num_stages; ++s) {
+      tracer->SetThreadName(s, "stage " + std::to_string(s));
+    }
+    if (!options_.outages.empty()) {
+      tracer->SetThreadName(num_stages, "faults");
+    }
+  }
+
   SimResult result;
   result.scheduler_name = scheduler->name();
   result.stage_busy_s.assign(static_cast<size_t>(num_stages), 0.0);
@@ -68,6 +92,49 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
   for (size_t i = 0; i < states.size(); ++i) {
     index.emplace(states[i].get(), i);
   }
+
+  // Request lifecycle spans: one async "request" span per request (keyed by
+  // request id), with a nested child span naming the current phase. The
+  // phases a request moves through: queued -> prefill -> decode -> closed,
+  // with crash recomputes looping back to queued. Chrome async events with
+  // the same (category, id) but distinct names render nested in Perfetto.
+  enum SpanPhase : uint8_t { kSpanNone = 0, kSpanQueued, kSpanPrefill, kSpanDecode, kSpanClosed };
+  std::vector<uint8_t> span_phase(trace.size(), kSpanNone);
+  auto span_name = [](uint8_t phase) -> const char* {
+    switch (phase) {
+      case kSpanQueued:
+        return "queued";
+      case kSpanPrefill:
+        return "prefill";
+      case kSpanDecode:
+        return "decode";
+      default:
+        return "";
+    }
+  };
+  // Moves request `idx`'s lifecycle span to `phase` at time `t`, closing the
+  // open child span (and, on kSpanClosed, the request span itself).
+  auto span_transition = [&](size_t idx, uint8_t phase, double t) {
+    if (tracer == nullptr) {
+      return;
+    }
+    uint8_t current = span_phase[idx];
+    if (current == phase || current == kSpanClosed) {
+      return;
+    }
+    int64_t id = result.requests[idx].id;
+    if (current == kSpanNone) {
+      tracer->AsyncBegin("request", "request", id, t, {Arg("request", id)});
+    } else {
+      tracer->AsyncEnd("request", span_name(current), id, t);
+    }
+    if (phase == kSpanClosed) {
+      tracer->AsyncEnd("request", "request", id, t);
+    } else {
+      tracer->AsyncBegin("request", span_name(phase), id, t);
+    }
+    span_phase[idx] = phase;
+  };
 
   // Parallel-sampling plans: parent -> siblings still to fork.
   std::unordered_map<const RequestState*, int64_t> pending_forks;
@@ -108,7 +175,13 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
   auto deliver_arrivals = [&](double upto) {
     while (next_arrival < trace.size() &&
            trace.requests[next_arrival].arrival_time_s <= upto) {
+      double arrival = trace.requests[next_arrival].arrival_time_s;
+      obs.SetNow(arrival);
       scheduler->Enqueue(states[next_arrival].get());
+      span_transition(next_arrival, kSpanQueued, arrival);
+      if (metrics != nullptr) {
+        metrics->AddCount("arrivals", arrival);
+      }
       ++next_arrival;
     }
   };
@@ -128,15 +201,25 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
       }
       InFlightBatch done = std::move(in_flight[best]);
       in_flight.erase(in_flight.begin() + static_cast<long>(best));
+      obs.SetNow(done.exit_s);
 
       // Token emissions happen at pipeline exit, before state advances.
       for (const auto& item : done.batch.items) {
-        RequestMetrics& metrics = result.requests[index.at(item.request)];
+        RequestMetrics& request_metrics = result.requests[index.at(item.request)];
         bool emits = item.is_decode ||
                      item.request->prefill_done() + item.num_tokens ==
                          item.request->prefill_target();
         if (emits) {
-          metrics.token_times_s.push_back(done.exit_s);
+          if (metrics != nullptr) {
+            metrics->AddCount("output_tokens", done.exit_s);
+            if (request_metrics.token_times_s.empty()) {
+              metrics->Observe("ttft_s", done.exit_s, done.exit_s - request_metrics.arrival_s);
+            } else {
+              metrics->Observe("tbt_s", done.exit_s,
+                               done.exit_s - request_metrics.token_times_s.back());
+            }
+          }
+          request_metrics.token_times_s.push_back(done.exit_s);
           ++result.total_output_tokens;
         }
         item.request->set_locked(false);
@@ -169,7 +252,11 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
           child_metrics.first_scheduled_s = parent_first_scheduled;
           child_metrics.token_times_s.push_back(done.exit_s);
           ++result.total_output_tokens;
-          if (child->finished()) {
+          if (metrics != nullptr) {
+            metrics->AddCount("output_tokens", done.exit_s);
+          }
+          bool child_done = child->finished();
+          if (child_done) {
             paged->Release(child_id);
             child->set_phase(RequestPhase::kFinished);
             child_metrics.completion_s = done.exit_s;
@@ -178,6 +265,13 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
           }
           result.requests.push_back(std::move(child_metrics));
           index.emplace(child, result.requests.size() - 1);
+          // Sibling spans begin at the fork point, already decoding (or
+          // instantly closed for single-token samples).
+          span_phase.push_back(kSpanNone);
+          span_transition(result.requests.size() - 1, kSpanDecode, done.exit_s);
+          if (child_done) {
+            span_transition(result.requests.size() - 1, kSpanClosed, done.exit_s);
+          }
         }
         pending_forks.erase(plan);
       }
@@ -187,11 +281,18 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
         // Time domain carries no KV values; discard CoW data-copy records.
         (void)paged->TakePendingCows();
       }
+      // Forked siblings may have just taken block references.
+      result.peak_kv_blocks = std::max(result.peak_kv_blocks, allocator->used_units());
       for (const auto& item : done.batch.items) {
         if (item.request->finished()) {
-          RequestMetrics& metrics = result.requests[index.at(item.request)];
-          metrics.completion_s = done.exit_s;
-          metrics.preemptions = item.request->preemptions();
+          size_t idx = index.at(item.request);
+          RequestMetrics& request_metrics = result.requests[idx];
+          request_metrics.completion_s = done.exit_s;
+          request_metrics.preemptions = item.request->preemptions();
+          span_transition(idx, kSpanClosed, done.exit_s);
+          if (metrics != nullptr) {
+            metrics->AddCount("completions", done.exit_s);
+          }
         }
       }
     }
@@ -211,11 +312,19 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
       if (state->locked()) {
         return false;
       }
+      obs.SetNow(deadline_abs);
       CHECK(scheduler->Abort(state));
-      RequestMetrics& metrics = result.requests[idx];
-      metrics.failed_s = deadline_abs;
-      metrics.failure = FailureKind::kTimeout;
-      metrics.preemptions = state->preemptions();
+      RequestMetrics& request_metrics = result.requests[idx];
+      request_metrics.failed_s = deadline_abs;
+      request_metrics.failure = FailureKind::kTimeout;
+      request_metrics.preemptions = state->preemptions();
+      if (tracer != nullptr) {
+        tracer->Instant("fault", "timeout", deadline_abs, {Arg("request", request_metrics.id)});
+      }
+      span_transition(idx, kSpanClosed, deadline_abs);
+      if (metrics != nullptr) {
+        metrics->AddCount("timeouts", deadline_abs);
+      }
       return true;
     };
     std::vector<std::pair<double, size_t>> still_locked;
@@ -238,6 +347,7 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
   // tokens were never emitted), every admitted request loses its KV, and the
   // stages stay idle until outage.up_s.
   auto apply_crash = [&](const ReplicaOutage& outage) {
+    obs.SetNow(outage.down_s);
     for (auto& f : in_flight) {
       for (const auto& item : f.batch.items) {
         item.request->set_locked(false);
@@ -246,10 +356,12 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
     in_flight.clear();
     if (options_.fail_interrupted_on_crash) {
       for (RequestState* state : scheduler->DrainAll()) {
-        RequestMetrics& metrics = result.requests[index.at(state)];
-        metrics.failed_s = outage.down_s;
-        metrics.failure = FailureKind::kReplicaCrash;
-        metrics.preemptions = state->preemptions();
+        size_t idx = index.at(state);
+        RequestMetrics& request_metrics = result.requests[idx];
+        request_metrics.failed_s = outage.down_s;
+        request_metrics.failure = FailureKind::kReplicaCrash;
+        request_metrics.preemptions = state->preemptions();
+        span_transition(idx, kSpanClosed, outage.down_s);
       }
     } else {
       // Standalone replica: running requests recompute after recovery; the
@@ -259,8 +371,20 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
         CHECK(scheduler->Abort(state));
         state->ResetForRecompute();
         scheduler->Enqueue(state);
+        span_transition(index.at(state), kSpanQueued, outage.down_s);
         ++crash_recomputes;
       }
+    }
+    if (tracer != nullptr) {
+      // A slice on the fault track spanning the outage, plus instants at the
+      // crash and recovery edges.
+      tracer->Complete("fault", "outage", outage.down_s, outage.duration(), num_stages,
+                       {Arg("duration_s", outage.duration())});
+      tracer->Instant("fault", "crash", outage.down_s);
+      tracer->Instant("fault", "recovered", outage.up_s);
+    }
+    if (metrics != nullptr) {
+      metrics->AddCount("outages", outage.down_s);
     }
     for (double& f : stage_free) {
       f = std::max(f, outage.up_s);
@@ -286,7 +410,9 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
     deliver_arrivals(now);
     abort_expired(now);
 
+    obs.SetNow(now);
     ScheduledBatch batch = scheduler->Schedule();
+    result.peak_kv_blocks = std::max(result.peak_kv_blocks, allocator->used_units());
     if (batch.empty()) {
       double next_event = kInfinity;
       if (next_arrival < trace.size()) {
@@ -320,9 +446,18 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
     double stage_time = engine_->StageTime(batch);
     double start = now;
     double enter = start;
+    std::string slice_name;
+    if (tracer != nullptr) {
+      slice_name = batch.Describe();
+    }
     for (int s = 0; s < num_stages; ++s) {
       double stage_start = std::max(stage_free[static_cast<size_t>(s)], enter);
       result.stage_busy_s[static_cast<size_t>(s)] += stage_time;
+      if (tracer != nullptr) {
+        tracer->Complete("iteration", slice_name, stage_start, stage_time, s,
+                         {Arg("tokens", batch.TotalTokens()), Arg("decodes", batch.NumDecodes()),
+                          Arg("prefill_tokens", batch.NumPrefillTokens())});
+      }
       enter = stage_start + stage_time;
       stage_free[static_cast<size_t>(s)] = enter;
     }
@@ -348,12 +483,21 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
       result.iterations.push_back(std::move(record));
     }
 
+    if (metrics != nullptr) {
+      metrics->AddCount("iterations", start);
+      if (batch.NumPrefillTokens() > 0) {
+        metrics->AddCount("prefill_tokens", start,
+                          static_cast<double>(batch.NumPrefillTokens()));
+      }
+    }
     for (const auto& item : batch.items) {
       item.request->set_locked(true);
-      RequestMetrics& metrics = result.requests[index.at(item.request)];
-      if (metrics.first_scheduled_s < 0.0) {
-        metrics.first_scheduled_s = start;
+      size_t idx = index.at(item.request);
+      RequestMetrics& request_metrics = result.requests[idx];
+      if (request_metrics.first_scheduled_s < 0.0) {
+        request_metrics.first_scheduled_s = start;
       }
+      span_transition(idx, item.is_decode ? kSpanDecode : kSpanPrefill, start);
     }
     in_flight.push_back(InFlightBatch{std::move(batch), start, exit});
   }
@@ -363,6 +507,10 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
   result.peak_bandwidth = engine_->cost_model().PeakBandwidth();
   result.makespan_s = last_exit;
   result.active_window_s = first_start < 0.0 ? 0.0 : last_exit - first_start;
+  result.total_kv_blocks = allocator->total_units();
+  if (metrics != nullptr) {
+    metrics->Finalize(result.makespan_s);
+  }
   return result;
 }
 

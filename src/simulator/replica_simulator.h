@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/engine/execution_engine.h"
+#include "src/obs/obs_hooks.h"
 #include "src/perfmodel/iteration_cost.h"
 #include "src/scheduler/scheduler.h"
 #include "src/simulator/fault_injector.h"
@@ -53,6 +54,16 @@ struct SimulatorOptions {
   //          failed (FailureKind::kReplicaCrash) so the router can re-route
   //          it to a surviving replica.
   bool fail_interrupted_on_crash = false;
+
+  // Observability (both optional, may be null). The tracer records request
+  // lifecycle spans, per-stage iteration slices, scheduler/KV instants, and
+  // outage events; the registry accumulates windowed time series (queue
+  // depth, KV blocks in use, tokens/s, per-window TBT). `trace_pid` is the
+  // process id stamped on trace events — the replica index in a cluster run,
+  // so Perfetto renders each replica as its own process.
+  Tracer* tracer = nullptr;
+  MetricsRegistry* metrics = nullptr;
+  int trace_pid = 0;
 };
 
 class ReplicaSimulator {

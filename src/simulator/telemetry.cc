@@ -1,14 +1,13 @@
 #include "src/simulator/telemetry.h"
 
 #include <algorithm>
+#include <filesystem>
 #include <fstream>
 
 namespace sarathi {
-namespace {
 
-// Quotes a CSV field if it contains separators.
-std::string CsvField(const std::string& value) {
-  if (value.find_first_of(",\"\n") == std::string::npos) {
+std::string CsvEscape(const std::string& value) {
+  if (value.find_first_of(",\"\n\r") == std::string::npos) {
     return value;
   }
   std::string quoted = "\"";
@@ -22,8 +21,6 @@ std::string CsvField(const std::string& value) {
   return quoted;
 }
 
-}  // namespace
-
 void WriteIterationLogCsv(const SimResult& result, std::ostream& out) {
   out << "iter,start_s,stage_time_s,exit_s,total_tokens,num_decodes,prefill_tokens,"
          "description\n";
@@ -31,7 +28,7 @@ void WriteIterationLogCsv(const SimResult& result, std::ostream& out) {
     const IterationRecord& it = result.iterations[i];
     out << i << ',' << it.start_s << ',' << it.stage_time_s << ',' << it.exit_s << ','
         << it.total_tokens << ',' << it.num_decodes << ',' << it.prefill_tokens << ','
-        << CsvField(it.description) << '\n';
+        << CsvEscape(it.description) << '\n';
   }
 }
 
@@ -63,7 +60,7 @@ void WriteTbtSamplesCsv(const SimResult& result, std::ostream& out) {
 
 void WriteAggregateCsv(const SimResult& result, std::ostream& out) {
   out << "metric,value\n";
-  out << "scheduler," << CsvField(result.scheduler_name) << '\n';
+  out << "scheduler," << CsvEscape(result.scheduler_name) << '\n';
   out << "requests," << result.requests.size() << '\n';
   out << "iterations," << result.num_iterations << '\n';
   out << "preemptions," << result.num_preemptions << '\n';
@@ -88,6 +85,9 @@ void WriteAggregateCsv(const SimResult& result, std::ostream& out) {
   out << "lost_output_tokens," << result.lost_output_tokens << '\n';
   out << "outages," << result.num_outages << '\n';
   out << "downtime_s," << result.downtime_s << '\n';
+  out << "kv_peak_blocks_in_use," << result.peak_kv_blocks << '\n';
+  out << "kv_total_blocks," << result.total_kv_blocks << '\n';
+  out << "kv_peak_utilization," << result.PeakKvUtilization() << '\n';
 }
 
 Status ExportTelemetry(const SimResult& result, const std::string& directory,
@@ -102,6 +102,11 @@ Status ExportTelemetry(const SimResult& result, const std::string& directory,
       {"tbt", &WriteTbtSamplesCsv},
       {"aggregate", &WriteAggregateCsv},
   };
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  if (ec) {
+    return InternalError("cannot create directory " + directory + ": " + ec.message());
+  }
   for (const Section& section : sections) {
     std::string path = directory + "/" + prefix + "_" + section.suffix + ".csv";
     std::ofstream out(path);

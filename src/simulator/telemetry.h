@@ -16,6 +16,11 @@
 
 namespace sarathi {
 
+// RFC 4180 CSV field escaping: fields containing commas, quotes, or newlines
+// are double-quoted with embedded quotes doubled; everything else passes
+// through unchanged. All telemetry writers share this.
+std::string CsvEscape(const std::string& value);
+
 // One line per scheduled iteration (requires the run to have been executed
 // with SimulatorOptions::record_iterations).
 // Columns: iter,start_s,stage_time_s,exit_s,total_tokens,num_decodes,
@@ -38,6 +43,8 @@ void WriteAggregateCsv(const SimResult& result, std::ostream& out);
 // Writes all four sections to files under `directory` with the given prefix:
 //   <prefix>_iterations.csv, <prefix>_requests.csv, <prefix>_tbt.csv,
 //   <prefix>_aggregate.csv
+// Creates `directory` (and any missing ancestors) first; returns a non-OK
+// Status if creation or any write fails.
 Status ExportTelemetry(const SimResult& result, const std::string& directory,
                        const std::string& prefix);
 

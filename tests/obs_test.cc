@@ -1,0 +1,834 @@
+// Tests for the observability subsystem: tracer event recording and ordering,
+// async span nesting, the disabled-tracer zero-allocation guarantee, Chrome
+// trace JSON validity (checked with a minimal recursive-descent parser),
+// span/time-series CSV shape and escaping round-trips, histogram percentiles,
+// metric window semantics, telemetry directory creation, and the instrumented
+// replica/cluster simulators.
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/serving_system.h"
+#include "src/obs/metrics_registry.h"
+#include "src/obs/tracer.h"
+#include "src/simulator/cluster_simulator.h"
+#include "src/simulator/replica_simulator.h"
+#include "src/simulator/telemetry.h"
+#include "src/workload/trace.h"
+
+namespace sarathi {
+namespace {
+
+// ---- Minimal JSON validator (recursive descent, syntax only) ----
+
+class MiniJsonParser {
+ public:
+  explicit MiniJsonParser(const std::string& text) : text_(text) {}
+
+  bool Validate() {
+    SkipWs();
+    if (!ParseValue()) {
+      return false;
+    }
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool ParseValue() {
+    if (pos_ >= text_.size()) {
+      return false;
+    }
+    char c = text_[pos_];
+    if (c == '{') {
+      return ParseObject();
+    }
+    if (c == '[') {
+      return ParseArray();
+    }
+    if (c == '"') {
+      return ParseString();
+    }
+    if (c == 't') {
+      return Literal("true");
+    }
+    if (c == 'f') {
+      return Literal("false");
+    }
+    if (c == 'n') {
+      return Literal("null");
+    }
+    return ParseNumber();
+  }
+
+  bool ParseObject() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!ParseString()) {
+        return false;
+      }
+      SkipWs();
+      if (Peek() != ':') {
+        return false;
+      }
+      ++pos_;
+      SkipWs();
+      if (!ParseValue()) {
+        return false;
+      }
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool ParseArray() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!ParseValue()) {
+        return false;
+      }
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool ParseString() {
+    if (Peek() != '"') {
+      return false;
+    }
+    ++pos_;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return false;  // Raw control character: must be escaped.
+      }
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) {
+          return false;
+        }
+        char e = text_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= text_.size() || !std::isxdigit(static_cast<unsigned char>(text_[pos_]))) {
+              return false;
+            }
+          }
+        } else if (std::string("\"\\/bfnrt").find(e) == std::string::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool ParseNumber() {
+    size_t start = pos_;
+    if (Peek() == '-') {
+      ++pos_;
+    }
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == start || (text_[start] == '-' && pos_ == start + 1)) {
+      return false;
+    }
+    if (Peek() == '.') {
+      ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(Peek()))) {
+        return false;
+      }
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') {
+        ++pos_;
+      }
+      if (!std::isdigit(static_cast<unsigned char>(Peek()))) {
+        return false;
+      }
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    return true;
+  }
+
+  bool Literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p, ++pos_) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void SkipWs() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\n' ||
+                                   text_[pos_] == '\r' || text_[pos_] == '\t')) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+// ---- Minimal RFC 4180 CSV parser (handles quoted commas/quotes/newlines) ----
+
+std::vector<std::vector<std::string>> ParseCsv(const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      row.push_back(field);
+      field.clear();
+    } else if (c == '\n') {
+      row.push_back(field);
+      field.clear();
+      rows.push_back(row);
+      row.clear();
+    } else {
+      field += c;
+    }
+  }
+  if (!field.empty() || !row.empty()) {
+    row.push_back(field);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::string TestDir(const std::string& leaf) {
+  std::string dir = ::testing::TempDir() + "sarathi_obs_test/" + leaf;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+// ---- Tracer ----
+
+TEST(TracerTest, DisabledTracerNeverAllocates) {
+  Tracer enabled;
+  enabled.Instant("x", "donor", 1.0);
+
+  Tracer tracer(/*enabled=*/false);
+  tracer.SetProcessName(0, "replica 0");
+  tracer.SetThreadName(1, "stage 1");
+  tracer.Complete("iteration", "batch", 0.0, 1.0, 0);
+  tracer.Instant("scheduler", "admit", 0.5, {Arg("request", int64_t{7})});
+  tracer.set_now(2.0);
+  tracer.InstantNow("scheduler", "preempt");
+  tracer.Counter("kv", "blocks", 0.1, 32.0);
+  tracer.AsyncBegin("request", "request", 7, 0.0);
+  tracer.AsyncEnd("request", "request", 7, 1.0);
+  tracer.Append(enabled);
+
+  EXPECT_TRUE(tracer.empty());
+  EXPECT_EQ(tracer.events().capacity(), 0u);  // Never touched the buffer.
+}
+
+TEST(TracerTest, RecordsInOrderAndStampsFields) {
+  Tracer tracer;
+  tracer.set_default_pid(3);
+  tracer.Instant("cat", "a", 3.0);
+  tracer.Instant("cat", "b", 1.0);
+  tracer.Counter("kv", "blocks", 2.0, 12.0);
+
+  ASSERT_EQ(tracer.size(), 3u);
+  EXPECT_EQ(tracer.events()[0].name, "a");  // Recording order, not time order.
+  EXPECT_EQ(tracer.events()[1].name, "b");
+  EXPECT_EQ(tracer.events()[0].pid, 3);
+  EXPECT_EQ(tracer.events()[2].phase, TracePhase::kCounter);
+  EXPECT_DOUBLE_EQ(tracer.events()[2].value, 12.0);
+
+  auto instants = tracer.EventsWithPhase(TracePhase::kInstant);
+  ASSERT_EQ(instants.size(), 2u);
+  EXPECT_EQ(instants[0]->name, "a");
+}
+
+TEST(TracerTest, ChromeJsonSortsByTimeAfterMetadata) {
+  Tracer tracer;
+  tracer.SetProcessName(0, "replica 0");
+  tracer.Instant("cat", "late", 3.0);
+  tracer.Instant("cat", "early", 1.0);
+  std::ostringstream out;
+  tracer.WriteChromeTraceJson(out);
+  std::string json = out.str();
+
+  size_t meta = json.find("process_name");
+  size_t early = json.find("\"name\":\"early\"");
+  size_t late = json.find("\"name\":\"late\"");
+  ASSERT_NE(meta, std::string::npos);
+  ASSERT_NE(early, std::string::npos);
+  ASSERT_NE(late, std::string::npos);
+  EXPECT_LT(meta, early);  // Metadata first.
+  EXPECT_LT(early, late);  // Then ascending time, despite recording order.
+}
+
+TEST(TracerTest, ChromeJsonIsValidWithHostileStrings) {
+  Tracer tracer;
+  tracer.SetProcessName(0, "name with \"quotes\" and \\backslash\\");
+  tracer.Complete("iteration", "line\nbreak,comma\ttab", 0.0, 0.5, 0,
+                  {Arg("note", std::string("a\"b\nc")), Arg("count", int64_t{3})});
+  tracer.Instant("fault", "crash \x01 control", 1.0);
+  tracer.AsyncBegin("request", "request", 42, 0.0, {Arg("prompt", 1024.0)});
+  tracer.AsyncEnd("request", "request", 42, 2.0);
+  tracer.Counter("kv", "blocks", 0.5, 7.0);
+
+  std::ostringstream out;
+  tracer.WriteChromeTraceJson(out);
+  std::string json = out.str();
+  EXPECT_TRUE(MiniJsonParser(json).Validate()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"b\""), std::string::npos);
+}
+
+TEST(TracerTest, JsonEscapeHandlesControlCharacters) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb"), "a\\nb");
+  EXPECT_EQ(JsonEscape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(TracerTest, SpanCsvNestsChildSpansInsideParent) {
+  Tracer tracer;
+  tracer.set_default_pid(1);
+  tracer.AsyncBegin("request", "request", 7, 0.0);
+  tracer.AsyncBegin("request", "queued", 7, 0.0);
+  tracer.AsyncEnd("request", "queued", 7, 1.0);
+  tracer.AsyncBegin("request", "prefill", 7, 1.0);
+  tracer.AsyncEnd("request", "prefill", 7, 2.5);
+  tracer.AsyncBegin("request", "decode", 7, 2.5);  // Left open deliberately.
+  tracer.AsyncEnd("request", "request", 7, 4.0);
+
+  std::ostringstream out;
+  tracer.WriteSpanCsv(out);
+  auto rows = ParseCsv(out.str());
+  ASSERT_EQ(rows.size(), 5u);  // Header + 4 spans.
+  EXPECT_EQ(rows[0][0], "pid");
+
+  double parent_begin = -1.0;
+  double parent_end = -1.0;
+  bool saw_open_decode = false;
+  for (size_t i = 1; i < rows.size(); ++i) {
+    ASSERT_EQ(rows[i].size(), 7u);
+    EXPECT_EQ(rows[i][0], "1");
+    EXPECT_EQ(rows[i][2], "7");
+    if (rows[i][3] == "request") {
+      parent_begin = std::stod(rows[i][4]);
+      parent_end = std::stod(rows[i][5]);
+    }
+    if (rows[i][3] == "decode") {
+      saw_open_decode = true;
+      EXPECT_EQ(rows[i][5], "-1");  // Unclosed span.
+      EXPECT_EQ(rows[i][6], "-1");
+    }
+  }
+  EXPECT_TRUE(saw_open_decode);
+  EXPECT_DOUBLE_EQ(parent_begin, 0.0);
+  EXPECT_DOUBLE_EQ(parent_end, 4.0);
+  for (size_t i = 1; i < rows.size(); ++i) {
+    if (rows[i][3] == "queued" || rows[i][3] == "prefill") {
+      EXPECT_GE(std::stod(rows[i][4]), parent_begin);
+      EXPECT_LE(std::stod(rows[i][5]), parent_end);
+    }
+  }
+}
+
+TEST(TracerTest, AppendMergesEventsVerbatim) {
+  Tracer replica;
+  replica.set_default_pid(2);
+  replica.Instant("scheduler", "admit", 1.0);
+
+  Tracer merged;
+  merged.set_default_pid(9);  // Must not rewrite the appended event's pid.
+  merged.Append(replica);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged.events()[0].pid, 2);
+}
+
+TEST(TracerTest, WriteFilesCreateParentDirectories) {
+  std::string dir = TestDir("tracer_files");
+  Tracer tracer;
+  tracer.Instant("cat", "evt", 0.5);
+  std::string json_path = dir + "/a/b/trace.json";
+  std::string csv_path = dir + "/c/spans.csv";
+  ASSERT_TRUE(tracer.WriteChromeTraceFile(json_path).ok());
+  ASSERT_TRUE(tracer.WriteSpanCsvFile(csv_path).ok());
+  EXPECT_TRUE(std::filesystem::exists(json_path));
+  EXPECT_TRUE(std::filesystem::exists(csv_path));
+}
+
+TEST(TracerTest, WriteFileFailsWhenParentIsAFile) {
+  std::string dir = TestDir("tracer_blocked");
+  std::filesystem::create_directories(dir);
+  std::string blocker = dir + "/file";
+  std::ofstream(blocker) << "x";
+  Tracer tracer;
+  tracer.Instant("cat", "evt", 0.5);
+  Status status = tracer.WriteChromeTraceFile(blocker + "/trace.json");
+  EXPECT_FALSE(status.ok());
+}
+
+// ---- LogHistogram ----
+
+TEST(LogHistogramTest, PercentilesWithinBucketError) {
+  LogHistogram hist;
+  for (int i = 1; i <= 1000; ++i) {
+    hist.Record(static_cast<double>(i));
+  }
+  EXPECT_EQ(hist.count(), 1000);
+  EXPECT_DOUBLE_EQ(hist.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(hist.Max(), 1000.0);
+  EXPECT_NEAR(hist.Mean(), 500.5, 1e-9);
+  // Geometric buckets bound relative error (~7.5% at 32 buckets/decade).
+  EXPECT_NEAR(hist.Quantile(0.5), 500.0, 0.1 * 500.0);
+  EXPECT_NEAR(hist.Quantile(0.99), 990.0, 0.1 * 990.0);
+  EXPECT_DOUBLE_EQ(hist.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(hist.Quantile(1.0), 1000.0);
+}
+
+TEST(LogHistogramTest, OutOfRangeSamplesClampButKeepExactExtremes) {
+  LogHistogram hist(LogHistogram::Options{1e-3, 1e3, 16});
+  hist.Record(1e-9);
+  hist.Record(1e9);
+  EXPECT_EQ(hist.count(), 2);
+  EXPECT_DOUBLE_EQ(hist.Min(), 1e-9);
+  EXPECT_DOUBLE_EQ(hist.Max(), 1e9);
+  EXPECT_GE(hist.Quantile(0.1), 1e-9);
+  EXPECT_LE(hist.Quantile(0.9), 1e9);
+}
+
+TEST(LogHistogramTest, MergeAddsCounts) {
+  LogHistogram a;
+  LogHistogram b;
+  for (int i = 0; i < 100; ++i) {
+    a.Record(0.01);
+    b.Record(1.0);
+  }
+  a.MergeFrom(b);
+  EXPECT_EQ(a.count(), 200);
+  EXPECT_NEAR(a.Quantile(0.25), 0.01, 0.002);
+  EXPECT_NEAR(a.Quantile(0.75), 1.0, 0.2);
+}
+
+TEST(LogHistogramTest, EmptyHistogramReturnsZero) {
+  LogHistogram hist;
+  EXPECT_TRUE(hist.empty());
+  EXPECT_DOUBLE_EQ(hist.Quantile(0.99), 0.0);
+  EXPECT_DOUBLE_EQ(hist.Mean(), 0.0);
+}
+
+// ---- MetricsRegistry ----
+
+TEST(MetricsRegistryTest, CounterWindowsExportPerSecondRates) {
+  MetricsRegistry registry(1.0);
+  registry.AddCount("tokens", 0.2);
+  registry.AddCount("tokens", 0.7);
+  registry.AddCount("tokens", 1.5);
+  registry.Finalize(2.0);
+
+  EXPECT_DOUBLE_EQ(registry.CounterTotal("tokens"), 3.0);
+  EXPECT_EQ(registry.NumWindows(), 2);
+
+  std::ostringstream out;
+  registry.WriteTimeSeriesCsv(out);
+  auto rows = ParseCsv(out.str());
+  ASSERT_EQ(rows.size(), 3u);
+  ASSERT_EQ(rows[0].size(), 2u);
+  EXPECT_EQ(rows[0][0], "window_start_s");
+  EXPECT_EQ(rows[0][1], "tokens_per_s");
+  EXPECT_DOUBLE_EQ(std::stod(rows[1][1]), 2.0);
+  EXPECT_DOUBLE_EQ(std::stod(rows[2][1]), 1.0);
+}
+
+TEST(MetricsRegistryTest, GaugeWindowsExportTimeWeightedMeans) {
+  MetricsRegistry registry(1.0);
+  registry.SetGauge("depth", 0.0, 2.0);
+  registry.SetGauge("depth", 0.5, 4.0);
+  registry.Finalize(1.0);
+
+  EXPECT_DOUBLE_EQ(registry.GaugeValue("depth"), 4.0);
+  std::ostringstream out;
+  registry.WriteTimeSeriesCsv(out);
+  auto rows = ParseCsv(out.str());
+  ASSERT_GE(rows.size(), 2u);
+  // 2.0 held for half the window, 4.0 for the other half -> mean 3.0.
+  EXPECT_NEAR(std::stod(rows[1][1]), 3.0, 1e-9);
+}
+
+TEST(MetricsRegistryTest, HistogramWindowsExportPercentileColumns) {
+  MetricsRegistry registry(1.0);
+  for (int i = 0; i < 50; ++i) {
+    registry.Observe("tbt_s", 0.5, 0.02);
+    registry.Observe("tbt_s", 1.5, 0.20);
+  }
+  registry.Finalize(2.0);
+
+  std::ostringstream out;
+  registry.WriteTimeSeriesCsv(out);
+  auto rows = ParseCsv(out.str());
+  ASSERT_EQ(rows.size(), 3u);
+  ASSERT_EQ(rows[0].size(), 4u);
+  EXPECT_EQ(rows[0][1], "tbt_s_p50");
+  EXPECT_EQ(rows[0][2], "tbt_s_p99");
+  EXPECT_EQ(rows[0][3], "tbt_s_count");
+  EXPECT_NEAR(std::stod(rows[1][1]), 0.02, 0.005);
+  EXPECT_NEAR(std::stod(rows[2][1]), 0.20, 0.05);
+  EXPECT_DOUBLE_EQ(std::stod(rows[1][3]), 50.0);
+
+  const LogHistogram* cumulative = registry.FindHistogram("tbt_s");
+  ASSERT_NE(cumulative, nullptr);
+  EXPECT_EQ(cumulative->count(), 100);
+}
+
+TEST(MetricsRegistryTest, MergeSumsCountersAndGaugeIntegrals) {
+  MetricsRegistry a(1.0);
+  MetricsRegistry b(1.0);
+  a.AddCount("tokens", 0.5, 10.0);
+  b.AddCount("tokens", 0.5, 5.0);
+  a.SetGauge("depth", 0.0, 1.0);
+  b.SetGauge("depth", 0.0, 2.0);
+  a.Finalize(1.0);
+  b.Finalize(1.0);
+  a.MergeFrom(b);
+
+  EXPECT_DOUBLE_EQ(a.CounterTotal("tokens"), 15.0);
+  std::ostringstream out;
+  a.WriteTimeSeriesCsv(out);
+  auto rows = ParseCsv(out.str());
+  ASSERT_GE(rows.size(), 2u);
+  size_t depth_col = 0;
+  for (size_t c = 0; c < rows[0].size(); ++c) {
+    if (rows[0][c] == "depth") {
+      depth_col = c;
+    }
+  }
+  ASSERT_GT(depth_col, 0u);
+  // Gauges merge additively: cluster-wide total depth 1 + 2 = 3.
+  EXPECT_NEAR(std::stod(rows[1][depth_col]), 3.0, 1e-9);
+}
+
+TEST(MetricsRegistryTest, WriteTimeSeriesFileCreatesParentDirectories) {
+  std::string dir = TestDir("registry_files");
+  MetricsRegistry registry(1.0);
+  registry.AddCount("x", 0.1);
+  registry.Finalize(1.0);
+  std::string path = dir + "/nested/ts.csv";
+  ASSERT_TRUE(registry.WriteTimeSeriesFile(path).ok());
+  EXPECT_TRUE(std::filesystem::exists(path));
+}
+
+// ---- CSV escaping ----
+
+TEST(CsvEscapeTest, RoundTripsHostileFields) {
+  std::vector<std::string> fields = {
+      "plain",
+      "with,comma",
+      "with \"quotes\"",
+      "line\nbreak",
+      "crlf\r\nmix",
+      "all,of\n\"them\"",
+      "",
+  };
+  std::ostringstream out;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    out << CsvEscape(fields[i]) << (i + 1 < fields.size() ? "," : "\n");
+  }
+  auto rows = ParseCsv(out.str());
+  ASSERT_EQ(rows.size(), 1u);
+  ASSERT_EQ(rows[0].size(), fields.size());
+  for (size_t i = 0; i < fields.size(); ++i) {
+    EXPECT_EQ(rows[0][i], fields[i]) << "field " << i;
+  }
+}
+
+TEST(CsvEscapeTest, PlainFieldsPassThroughUnquoted) {
+  EXPECT_EQ(CsvEscape("decode: 12 prefill: 3"), "decode: 12 prefill: 3");
+  EXPECT_EQ(CsvEscape("a,b"), "\"a,b\"");
+}
+
+// ---- Telemetry export ----
+
+SimResult SmallRun(Tracer* tracer = nullptr, MetricsRegistry* metrics = nullptr,
+                   bool record_iterations = true) {
+  Deployment deployment = MistralOnA100();
+  SimulatorOptions options;
+  options.model = deployment.model;
+  options.cluster = deployment.cluster;
+  options.parallel = deployment.parallel;
+  options.scheduler = SarathiConfig(512);
+  options.record_iterations = record_iterations;
+  options.tracer = tracer;
+  options.metrics = metrics;
+  Trace trace = UniformTrace(24, 600, 24, 0.05);
+  return ReplicaSimulator(options).Run(trace);
+}
+
+TEST(TelemetryTest, ExportCreatesOutputDirectoryRecursively) {
+  std::string dir = TestDir("telemetry_export") + "/deep/nested/run";
+  SimResult result = SmallRun();
+  ASSERT_TRUE(ExportTelemetry(result, dir, "t").ok());
+  for (const char* suffix : {"iterations", "requests", "tbt", "aggregate"}) {
+    EXPECT_TRUE(std::filesystem::exists(dir + "/t_" + suffix + ".csv")) << suffix;
+  }
+}
+
+TEST(TelemetryTest, ExportPropagatesDirectoryCreationFailure) {
+  std::string dir = TestDir("telemetry_blocked");
+  std::filesystem::create_directories(dir);
+  std::string blocker = dir + "/file";
+  std::ofstream(blocker) << "x";
+  SimResult result = SmallRun();
+  Status status = ExportTelemetry(result, blocker + "/sub", "t");
+  EXPECT_FALSE(status.ok());
+}
+
+TEST(TelemetryTest, AggregateReportsKvHighWaterMark) {
+  SimResult result = SmallRun();
+  EXPECT_GT(result.peak_kv_blocks, 0);
+  EXPECT_GT(result.total_kv_blocks, 0);
+  EXPECT_GT(result.PeakKvUtilization(), 0.0);
+  EXPECT_LE(result.PeakKvUtilization(), 1.0);
+
+  std::ostringstream out;
+  WriteAggregateCsv(result, out);
+  std::string csv = out.str();
+  EXPECT_NE(csv.find("kv_peak_blocks_in_use,"), std::string::npos);
+  EXPECT_NE(csv.find("kv_total_blocks,"), std::string::npos);
+  EXPECT_NE(csv.find("kv_peak_utilization,"), std::string::npos);
+}
+
+// ---- Instrumented simulators ----
+
+TEST(SimulatorObsTest, ReplicaRunEmitsSpansSlicesAndMetrics) {
+  Tracer tracer;
+  MetricsRegistry registry(0.5);
+  SimResult result = SmallRun(&tracer, &registry);
+
+  auto begins = tracer.EventsWithPhase(TracePhase::kAsyncBegin);
+  auto ends = tracer.EventsWithPhase(TracePhase::kAsyncEnd);
+  EXPECT_EQ(begins.size(), ends.size());  // Every span closes.
+
+  // One top-level span per request, and every lifecycle phase appears.
+  std::set<int64_t> span_ids;
+  std::set<std::string> span_names;
+  for (const TraceEvent* event : begins) {
+    span_names.insert(event->name);
+    if (event->name == "request") {
+      span_ids.insert(event->id);
+    }
+  }
+  EXPECT_EQ(span_ids.size(), result.requests.size());
+  EXPECT_TRUE(span_names.count("queued"));
+  EXPECT_TRUE(span_names.count("prefill"));
+  EXPECT_TRUE(span_names.count("decode"));
+
+  // One complete slice per iteration per pipeline stage (PP=1 here), inside
+  // the active window.
+  auto slices = tracer.EventsWithPhase(TracePhase::kComplete);
+  int64_t iteration_slices = 0;
+  for (const TraceEvent* event : slices) {
+    if (event->category == "iteration") {
+      ++iteration_slices;
+      EXPECT_GE(event->dur_s, 0.0);
+      EXPECT_LE(event->ts_s + event->dur_s, result.makespan_s + 1e-9);
+    }
+  }
+  EXPECT_EQ(iteration_slices, result.num_iterations);
+
+  // The registry agrees with the end-of-run aggregates.
+  EXPECT_DOUBLE_EQ(registry.CounterTotal("output_tokens"),
+                   static_cast<double>(result.total_output_tokens));
+  EXPECT_DOUBLE_EQ(registry.CounterTotal("arrivals"), 24.0);
+  EXPECT_DOUBLE_EQ(registry.GaugeValue("kv_blocks_in_use"), 0.0);  // All released.
+  const LogHistogram* tbt = registry.FindHistogram("tbt_s");
+  ASSERT_NE(tbt, nullptr);
+  EXPECT_GT(tbt->count(), 0);
+
+  std::ostringstream out;
+  registry.WriteTimeSeriesCsv(out);
+  std::string header = ParseCsv(out.str())[0].empty() ? "" : out.str().substr(0, out.str().find('\n'));
+  for (const char* column : {"queue_depth", "running_batch", "kv_blocks_in_use",
+                             "output_tokens_per_s", "tbt_s_p99"}) {
+    EXPECT_NE(header.find(column), std::string::npos) << column;
+  }
+}
+
+TEST(SimulatorObsTest, ObservedRunMatchesUninstrumentedRun) {
+  SimResult plain = SmallRun();
+  Tracer tracer;
+  MetricsRegistry registry(1.0);
+  SimResult observed = SmallRun(&tracer, &registry);
+  EXPECT_DOUBLE_EQ(plain.makespan_s, observed.makespan_s);
+  EXPECT_EQ(plain.total_output_tokens, observed.total_output_tokens);
+  EXPECT_DOUBLE_EQ(plain.P99Tbt(), observed.P99Tbt());
+  EXPECT_EQ(plain.num_iterations, observed.num_iterations);
+}
+
+TEST(SimulatorObsTest, DisabledTracerInSimulatorNeverAllocates) {
+  Tracer tracer(/*enabled=*/false);
+  SimResult result = SmallRun(&tracer, nullptr);
+  EXPECT_GT(result.total_output_tokens, 0);
+  EXPECT_EQ(tracer.events().capacity(), 0u);
+}
+
+TEST(SimulatorObsTest, DynamicBudgetEmitsTokenBudgetSeries) {
+  Deployment deployment = MistralOnA100();
+  SimulatorOptions options;
+  options.model = deployment.model;
+  options.cluster = deployment.cluster;
+  options.parallel = deployment.parallel;
+  // An unmeetable TBT target forces the controller to shrink the budget every
+  // iteration until it pins at the floor.
+  options.scheduler = SarathiConfig(512);
+  options.scheduler.dynamic_budget_tbt_slo_s = 1e-4;
+  Tracer tracer;
+  MetricsRegistry registry(1.0);
+  options.tracer = &tracer;
+  options.metrics = &registry;
+  Trace trace = UniformTrace(16, 800, 32, 0.05);
+  ReplicaSimulator(options).Run(trace);
+
+  EXPECT_DOUBLE_EQ(registry.GaugeValue("token_budget"),
+                   static_cast<double>(options.scheduler.min_token_budget));
+  bool saw_budget_counter = false;
+  for (const TraceEvent& event : tracer.events()) {
+    if (event.phase == TracePhase::kCounter && event.name == "token_budget") {
+      saw_budget_counter = true;
+    }
+  }
+  EXPECT_TRUE(saw_budget_counter);
+}
+
+TEST(SimulatorObsTest, ClusterFaultRunTracesAllProcesses) {
+  Deployment deployment = MistralOnA100();
+  ClusterOptions cluster;
+  cluster.replica.model = deployment.model;
+  cluster.replica.cluster = deployment.cluster;
+  cluster.replica.parallel = deployment.parallel;
+  cluster.replica.scheduler = SarathiConfig(512);
+  cluster.num_replicas = 3;
+  cluster.faults.seed = 11;
+  cluster.faults.mtbf_s = 6.0;
+  cluster.faults.mttr_s = 2.0;
+  cluster.faults.min_outage_s = 0.5;
+  cluster.max_retries = 2;
+  cluster.retry_backoff_s = 0.25;
+  Tracer tracer;
+  MetricsRegistry registry(1.0);
+  cluster.replica.tracer = &tracer;
+  cluster.replica.metrics = &registry;
+
+  Trace trace = UniformTrace(60, 500, 20, 4.0);
+  SimResult result = ClusterSimulator(cluster).Run(trace);
+  ASSERT_GT(result.num_outages, 0);
+
+  // Every replica contributed events under its own pid; outage slices and
+  // crash instants match the merged outage count.
+  std::set<int> pids;
+  int64_t outage_slices = 0;
+  int64_t crash_instants = 0;
+  for (const TraceEvent& event : tracer.events()) {
+    pids.insert(event.pid);
+    if (event.phase == TracePhase::kComplete && event.name == "outage") {
+      ++outage_slices;
+    }
+    if (event.phase == TracePhase::kInstant && event.name == "crash") {
+      ++crash_instants;
+    }
+  }
+  for (int r = 0; r < cluster.num_replicas; ++r) {
+    EXPECT_TRUE(pids.count(r)) << "no events from replica " << r;
+  }
+  EXPECT_EQ(outage_slices, result.num_outages);
+  EXPECT_EQ(crash_instants, result.num_outages);
+
+  // Retries surfaced as router instants under pid == num_replicas.
+  if (result.TotalRetries() > 0) {
+    int64_t retry_instants = 0;
+    for (const TraceEvent& event : tracer.events()) {
+      if (event.phase == TracePhase::kInstant && event.name == "retry") {
+        EXPECT_EQ(event.pid, cluster.num_replicas);
+        ++retry_instants;
+      }
+    }
+    EXPECT_EQ(retry_instants, result.TotalRetries());
+  }
+
+  // Merged token counter covers surviving plus lost (crashed-attempt) tokens.
+  EXPECT_DOUBLE_EQ(
+      registry.CounterTotal("output_tokens"),
+      static_cast<double>(result.total_output_tokens + result.lost_output_tokens));
+
+  // The merged trace still exports valid JSON.
+  std::ostringstream out;
+  tracer.WriteChromeTraceJson(out);
+  EXPECT_TRUE(MiniJsonParser(out.str()).Validate());
+}
+
+}  // namespace
+}  // namespace sarathi

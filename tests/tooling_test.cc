@@ -228,7 +228,10 @@ TEST_F(TelemetryTest, ExportWritesAllFiles) {
     std::ifstream check(path);
     EXPECT_TRUE(check.good()) << path;
   }
-  EXPECT_FALSE(ExportTelemetry(result, "/nonexistent/dir", "x").ok());
+  // Missing directories are now created; only an uncreatable path (a file in
+  // the way) fails.
+  std::string blocker = dir + "/telemetry_test_aggregate.csv";
+  EXPECT_FALSE(ExportTelemetry(result, blocker + "/sub", "x").ok());
 }
 
 TEST_F(TelemetryTest, CsvFieldQuoting) {

@@ -16,6 +16,8 @@
 #include "src/common/args.h"
 #include "src/common/table.h"
 #include "src/core/serving_system.h"
+#include "src/obs/metrics_registry.h"
+#include "src/obs/tracer.h"
 #include "src/scheduler/token_budget.h"
 #include "src/simulator/cluster_simulator.h"
 #include "src/simulator/telemetry.h"
@@ -43,12 +45,23 @@ Workload (pick one):
 Cluster:
   --replicas=N                         simulate N identical replicas (default 1)
   --routing=rr|least-work              router policy (default least-work)
+Faults (any of these routes the run through the cluster simulator):
+  --mtbf=S --mttr=S                    replica crash process, exponential (s)
+  --timeout-prob=P --timeout=S         client-timeout probability and mean (s)
+  --fault-seed=S                       fault schedule seed (default 42)
+  --max-retries=N                      crash re-route attempts (default 2)
+  --shed-after=S                       shed arrivals beyond S seconds of backlog
 Evaluation:
   --capacity                           binary-search max sustainable QPS
   --slo=strict|relaxed|SECONDS         P99-TBT target (default strict)
 Output:
   --telemetry-dir=DIR --telemetry-prefix=P   export per-iteration/request CSVs
   --iterations                         record per-iteration log (implied by telemetry)
+  --trace-out=FILE.json                Chrome trace-event JSON (chrome://tracing,
+                                       https://ui.perfetto.dev)
+  --spans-out=FILE.csv                 per-request lifecycle span CSV
+  --timeseries-out=FILE.csv            windowed metric time series CSV
+  --timeseries-window=S                time-series window length (default 1.0)
 )";
 
 StatusOr<Deployment> PickDeployment(const std::string& name) {
@@ -221,6 +234,43 @@ int RunMain(int argc, char** argv) {
     std::cerr << "--replicas expects a positive integer\n";
     return 2;
   }
+
+  // ---- Fault flags ----
+  FaultOptions faults;
+  auto mtbf = args.GetDouble("mtbf", 0.0);
+  auto mttr = args.GetDouble("mttr", 30.0);
+  auto timeout_prob = args.GetDouble("timeout-prob", 0.0);
+  auto timeout_s = args.GetDouble("timeout", 0.0);
+  auto fault_seed = args.GetInt("fault-seed", 42);
+  auto max_retries = args.GetInt("max-retries", 2);
+  auto shed_after = args.GetDouble("shed-after", 0.0);
+  if (!mtbf.ok() || !mttr.ok() || !timeout_prob.ok() || !timeout_s.ok() || !fault_seed.ok() ||
+      !max_retries.ok() || !shed_after.ok()) {
+    std::cerr << "bad fault flag (--mtbf/--mttr/--timeout-prob/--timeout/--fault-seed/"
+                 "--max-retries/--shed-after)\n";
+    return 2;
+  }
+  faults.mtbf_s = *mtbf;
+  faults.mttr_s = *mttr;
+  faults.request_timeout_probability = *timeout_prob;
+  faults.request_timeout_s = *timeout_s;
+  faults.seed = static_cast<uint64_t>(*fault_seed);
+  bool fault_run = faults.any_faults() || *shed_after > 0.0;
+
+  // ---- Observability sinks ----
+  std::string trace_out = args.GetString("trace-out", "");
+  std::string spans_out = args.GetString("spans-out", "");
+  std::string timeseries_out = args.GetString("timeseries-out", "");
+  auto window = args.GetDouble("timeseries-window", 1.0);
+  if (!window.ok() || *window <= 0.0) {
+    std::cerr << "--timeseries-window expects a positive number of seconds\n";
+    return 2;
+  }
+  Tracer tracer;
+  MetricsRegistry registry(*window);
+  Tracer* tracer_ptr = trace_out.empty() && spans_out.empty() ? nullptr : &tracer;
+  MetricsRegistry* metrics_ptr = timeseries_out.empty() ? nullptr : &registry;
+
   std::cout << "Deployment: " << deployment->Name();
   if (*replicas > 1) {
     std::cout << " x" << *replicas;
@@ -228,14 +278,21 @@ int RunMain(int argc, char** argv) {
   std::cout << "\nTrace: " << trace->Summary() << "\n";
 
   SimResult result;
-  if (*replicas > 1) {
+  if (*replicas > 1 || fault_run) {
+    // Fault-injected runs always go through the cluster simulator — even for
+    // one replica — so crashes, retries, and shedding share one code path.
     ClusterOptions cluster;
     cluster.replica.model = deployment->model;
     cluster.replica.cluster = deployment->cluster;
     cluster.replica.parallel = deployment->parallel;
     cluster.replica.scheduler = *scheduler;
     cluster.replica.record_iterations = record;
+    cluster.replica.tracer = tracer_ptr;
+    cluster.replica.metrics = metrics_ptr;
     cluster.num_replicas = static_cast<int>(*replicas);
+    cluster.faults = faults;
+    cluster.max_retries = static_cast<int>(*max_retries);
+    cluster.shed_outstanding_s = *shed_after;
     std::string routing = args.GetString("routing", "least-work");
     if (routing == "rr") {
       cluster.routing = RoutingPolicy::kRoundRobin;
@@ -249,7 +306,7 @@ int RunMain(int argc, char** argv) {
     result = simulator.Run(*trace);
   } else {
     (void)args.GetString("routing", "");  // Consume so no spurious warning.
-    result = system.Serve(*trace, record);
+    result = system.Serve(*trace, record, tracer_ptr, metrics_ptr);
   }
 
   Table table({"metric", "value"});
@@ -265,6 +322,15 @@ int RunMain(int argc, char** argv) {
   table.AddRow({"MBU", Table::Num(result.Mbu(), 3)});
   table.AddRow({"bubble fraction", Table::Num(result.BubbleFraction(), 3)});
   table.AddRow({"preemptions", Table::Int(result.num_preemptions)});
+  table.AddRow({"peak KV blocks in use", Table::Int(result.peak_kv_blocks)});
+  table.AddRow({"peak KV utilization", Table::Num(result.PeakKvUtilization(), 3)});
+  if (fault_run) {
+    table.AddRow({"goodput (req/s)", Table::Num(result.Goodput(), 3)});
+    table.AddRow({"failed requests", Table::Int(result.CountFailed())});
+    table.AddRow({"shed requests", Table::Int(result.num_shed)});
+    table.AddRow({"retries", Table::Int(result.TotalRetries())});
+    table.AddRow({"outages", Table::Int(result.num_outages)});
+  }
   table.Print();
 
   if (!telemetry_dir.empty()) {
@@ -275,6 +341,32 @@ int RunMain(int argc, char** argv) {
       return 1;
     }
     std::cout << "Telemetry written to " << telemetry_dir << "/" << prefix << "_*.csv\n";
+  }
+  if (!trace_out.empty()) {
+    Status written = tracer.WriteChromeTraceFile(trace_out);
+    if (!written.ok()) {
+      std::cerr << written.ToString() << "\n";
+      return 1;
+    }
+    std::cout << "Chrome trace written to " << trace_out << " (" << tracer.size()
+              << " events)\n";
+  }
+  if (!spans_out.empty()) {
+    Status written = tracer.WriteSpanCsvFile(spans_out);
+    if (!written.ok()) {
+      std::cerr << written.ToString() << "\n";
+      return 1;
+    }
+    std::cout << "Request spans written to " << spans_out << "\n";
+  }
+  if (!timeseries_out.empty()) {
+    Status written = registry.WriteTimeSeriesFile(timeseries_out);
+    if (!written.ok()) {
+      std::cerr << written.ToString() << "\n";
+      return 1;
+    }
+    std::cout << "Time series written to " << timeseries_out << " (" << registry.NumWindows()
+              << " windows)\n";
   }
 
   for (const std::string& key : args.UnconsumedKeys()) {
