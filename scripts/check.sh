@@ -15,6 +15,10 @@ cmake -B build -S .
 cmake --build build -j
 ctest --test-dir build --output-on-failure
 
+echo
+echo "== fuzz smoke: invariant checker over 100 seeds =="
+build/tools/sarathi_fuzz --seeds=100 --repro-out=build/fuzz-repro
+
 if [ "$SANITIZE" = "1" ]; then
   echo
   echo "== tier-1 under ASan + UBSan =="

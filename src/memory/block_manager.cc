@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
 #include "src/common/logging.h"
 #include "src/obs/obs_hooks.h"
@@ -9,7 +10,17 @@
 namespace sarathi {
 
 namespace {
+
 constexpr char kKvCategory[] = "kv";
+
+// Verify-hook notification shared by both allocators; one branch when no
+// checker is attached.
+void NotifyKv(ObsHooks* obs, KvVerifyEvent event, SeqId id) {
+  if (obs != nullptr && obs->verify != nullptr) {
+    obs->verify->OnKvEvent(event, id);
+  }
+}
+
 }  // namespace
 
 void PagedBlockManager::EmitKvObs(const char* event, SeqId id) {
@@ -84,6 +95,7 @@ void PagedBlockManager::Admit(SeqId id, int64_t prompt_len, int64_t max_total_le
   }
   state.num_tokens = prompt_len;
   tables_.emplace(id, std::move(state));
+  NotifyKv(obs_, KvVerifyEvent::kAdmit, id);
   EmitKvObs("kv_admit", id);
 }
 
@@ -92,7 +104,13 @@ bool PagedBlockManager::CanAppendToken(SeqId id) const {
   CHECK(it != tables_.end()) << "unknown sequence " << id;
   const SequenceState& state = it->second;
   int64_t needed = BlocksForTokens(state.num_tokens + 1);
-  return needed <= static_cast<int64_t>(state.blocks.size()) || free_blocks() > 0;
+  if (needed > static_cast<int64_t>(state.blocks.size())) {
+    return free_blocks() > 0;
+  }
+  // The token lands in an existing block — but if that block is shared with
+  // a forked sibling, the write copy-on-writes it and needs a free block.
+  int64_t block = state.blocks[static_cast<size_t>(BlockIndexFor(state.num_tokens))];
+  return refcount_[static_cast<size_t>(block)] == 1 || free_blocks() > 0;
 }
 
 void PagedBlockManager::AppendToken(SeqId id) {
@@ -113,6 +131,7 @@ void PagedBlockManager::AppendToken(SeqId id) {
     }
   }
   ++state.num_tokens;
+  NotifyKv(obs_, KvVerifyEvent::kAppend, id);
   EmitKvObs(nullptr, id);  // Counter only; per-token instants would flood.
 }
 
@@ -135,6 +154,7 @@ std::optional<PagedBlockManager::CowOp> PagedBlockManager::AppendTokenCow(SeqId 
     cow = MakeWritable(id, state.num_tokens);
   }
   ++state.num_tokens;
+  NotifyKv(obs_, KvVerifyEvent::kAppend, id);
   return cow;
 }
 
@@ -153,6 +173,7 @@ std::optional<PagedBlockManager::CowOp> PagedBlockManager::MakeWritable(SeqId id
   int64_t fresh = AllocateBlock();
   ReleaseBlockRef(block);
   state.blocks[static_cast<size_t>(index)] = fresh;
+  NotifyKv(obs_, KvVerifyEvent::kCow, id);
   return CowOp{index, block, fresh};
 }
 
@@ -169,6 +190,7 @@ void PagedBlockManager::Fork(SeqId parent, SeqId child) {
     ++refcount_[static_cast<size_t>(block)];
   }
   tables_.emplace(child, std::move(copy));
+  NotifyKv(obs_, KvVerifyEvent::kFork, child);
   EmitKvObs("kv_fork", child);
 }
 
@@ -179,6 +201,7 @@ void PagedBlockManager::Release(SeqId id) {
     ReleaseBlockRef(block);
   }
   tables_.erase(it);
+  NotifyKv(obs_, KvVerifyEvent::kRelease, id);
   EmitKvObs("kv_release", id);
 }
 
@@ -196,6 +219,56 @@ int64_t PagedBlockManager::SequenceTokens(SeqId id) const {
   auto it = tables_.find(id);
   CHECK(it != tables_.end()) << "unknown sequence " << id;
   return it->second.num_tokens;
+}
+
+std::string PagedBlockManager::AuditInvariants() const {
+  std::ostringstream out;
+  // Expected refcount of every physical block, recounted from the tables.
+  std::vector<int32_t> expected(refcount_.size(), 0);
+  for (const auto& [id, state] : tables_) {
+    int64_t needed = BlocksForTokens(state.num_tokens);
+    if (static_cast<int64_t>(state.blocks.size()) != needed) {
+      out << "seq " << id << ": " << state.num_tokens << " tokens need " << needed
+          << " blocks but the table holds " << state.blocks.size();
+      return out.str();
+    }
+    for (int64_t block : state.blocks) {
+      if (block < 0 || block >= options_.num_blocks) {
+        out << "seq " << id << ": block id " << block << " out of range [0, "
+            << options_.num_blocks << ")";
+        return out.str();
+      }
+      ++expected[static_cast<size_t>(block)];
+    }
+  }
+  std::vector<bool> on_free_list(refcount_.size(), false);
+  for (int64_t block : free_list_) {
+    if (block < 0 || block >= options_.num_blocks) {
+      out << "free list holds out-of-range block id " << block;
+      return out.str();
+    }
+    if (on_free_list[static_cast<size_t>(block)]) {
+      out << "block " << block << " appears twice on the free list";
+      return out.str();
+    }
+    on_free_list[static_cast<size_t>(block)] = true;
+  }
+  for (int64_t b = 0; b < options_.num_blocks; ++b) {
+    auto i = static_cast<size_t>(b);
+    if (refcount_[i] != expected[i]) {
+      out << "block " << b << ": refcount " << refcount_[i] << " but " << expected[i]
+          << " table references" << (expected[i] == 0 ? " (leaked block)" : "");
+      return out.str();
+    }
+    if ((refcount_[i] == 0) != on_free_list[i]) {
+      out << "block " << b << ": refcount " << refcount_[i]
+          << (on_free_list[i] ? " yet on the free list" : " yet missing from the free list");
+      return out.str();
+    }
+  }
+  // used + free == total is implied by the per-block check above: every block
+  // is either referenced (used) or on the free list, never both.
+  return "";
 }
 
 int32_t PagedBlockManager::BlockRefCount(int64_t block) const {
@@ -240,6 +313,7 @@ void ReservationAllocator::Admit(SeqId id, int64_t prompt_len, int64_t max_total
   CHECK(CanAdmit(prompt_len, max_total_len));
   CHECK(!admitted_.contains(id)) << "sequence " << id << " already admitted";
   admitted_.emplace(id, prompt_len);
+  NotifyKv(obs_, KvVerifyEvent::kAdmit, id);
   if (obs_ != nullptr && obs_->metrics != nullptr) {
     obs_->metrics->SetGauge("kv_blocks_in_use", obs_->now_s, static_cast<double>(used_units()));
   }
@@ -256,10 +330,12 @@ void ReservationAllocator::AppendToken(SeqId id) {
   CHECK(it != admitted_.end()) << "unknown sequence " << id;
   CHECK_LT(it->second, max_seq_len_);
   ++it->second;
+  NotifyKv(obs_, KvVerifyEvent::kAppend, id);
 }
 
 void ReservationAllocator::Release(SeqId id) {
   CHECK_EQ(admitted_.erase(id), 1u) << "unknown sequence " << id;
+  NotifyKv(obs_, KvVerifyEvent::kRelease, id);
   if (obs_ != nullptr && obs_->metrics != nullptr) {
     obs_->metrics->SetGauge("kv_blocks_in_use", obs_->now_s, static_cast<double>(used_units()));
   }
@@ -267,6 +343,23 @@ void ReservationAllocator::Release(SeqId id) {
 
 double ReservationAllocator::Utilization() const {
   return static_cast<double>(num_admitted()) / static_cast<double>(max_concurrent_);
+}
+
+std::string ReservationAllocator::AuditInvariants() const {
+  std::ostringstream out;
+  if (num_admitted() > max_concurrent_) {
+    out << num_admitted() << " sequences admitted but capacity reserves only "
+        << max_concurrent_;
+    return out.str();
+  }
+  for (const auto& [id, tokens] : admitted_) {
+    if (tokens < 0 || tokens > max_seq_len_) {
+      out << "seq " << id << ": " << tokens << " tokens outside [0, " << max_seq_len_
+          << "] reservation";
+      return out.str();
+    }
+  }
+  return "";
 }
 
 }  // namespace sarathi

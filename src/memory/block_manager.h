@@ -59,6 +59,8 @@ class PagedBlockManager : public KvAllocator {
   double Utilization() const override;
   int64_t used_units() const override { return used_blocks(); }
   int64_t total_units() const override { return options_.num_blocks; }
+  int64_t num_sequences() const override { return static_cast<int64_t>(tables_.size()); }
+  std::string AuditInvariants() const override;
 
   // ---- Sharing / copy-on-write ----
 
@@ -89,7 +91,6 @@ class PagedBlockManager : public KvAllocator {
   int64_t block_size() const { return options_.block_size; }
   int64_t free_blocks() const { return static_cast<int64_t>(free_list_.size()); }
   int64_t used_blocks() const { return options_.num_blocks - free_blocks(); }
-  int64_t num_sequences() const { return static_cast<int64_t>(tables_.size()); }
   bool HasSequence(SeqId id) const { return tables_.contains(id); }
 
   // The sequence's physical block table, in logical order.
@@ -136,6 +137,8 @@ class ReservationAllocator : public KvAllocator {
   // Units are reserved token slots: every admission pins max_seq_len worth.
   int64_t used_units() const override { return num_admitted() * max_seq_len_; }
   int64_t total_units() const override { return max_concurrent_ * max_seq_len_; }
+  int64_t num_sequences() const override { return num_admitted(); }
+  std::string AuditInvariants() const override;
 
   int64_t max_concurrent() const { return max_concurrent_; }
   int64_t num_admitted() const { return static_cast<int64_t>(admitted_.size()); }

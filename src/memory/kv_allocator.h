@@ -11,6 +11,7 @@
 #define SRC_MEMORY_KV_ALLOCATOR_H_
 
 #include <cstdint>
+#include <string>
 
 namespace sarathi {
 
@@ -54,6 +55,17 @@ class KvAllocator {
   // high-water mark (peak used / total) in SimResult.
   virtual int64_t used_units() const = 0;
   virtual int64_t total_units() const = 0;
+
+  // Number of sequences currently admitted (cross-checked by the invariant
+  // checker against its own shadow set of live sequences).
+  virtual int64_t num_sequences() const = 0;
+
+  // Self-audit of internal bookkeeping: every block accounted for exactly
+  // once (free list xor reference from a table), refcounts consistent,
+  // per-sequence token/block arithmetic intact. Returns an empty string when
+  // consistent, else a human-readable description of the first inconsistency
+  // found. O(capacity) — meant for tests and fuzzing, not the serving path.
+  virtual std::string AuditInvariants() const = 0;
 
  protected:
   ObsHooks* obs_ = nullptr;

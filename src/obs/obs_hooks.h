@@ -12,15 +12,20 @@
 
 #include "src/obs/metrics_registry.h"
 #include "src/obs/tracer.h"
+#include "src/obs/verify_hook.h"
 
 namespace sarathi {
 
 struct ObsHooks {
   Tracer* tracer = nullptr;
   MetricsRegistry* metrics = nullptr;
+  // Invariant checker (src/verify); observes semantic scheduler/KV events.
+  VerifyHook* verify = nullptr;
   double now_s = 0.0;
 
-  bool active() const { return tracer != nullptr || metrics != nullptr; }
+  bool active() const {
+    return tracer != nullptr || metrics != nullptr || verify != nullptr;
+  }
 
   // Advances the shared clock (also mirrored into the tracer's clock).
   void SetNow(double t_s) {

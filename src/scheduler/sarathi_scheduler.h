@@ -23,6 +23,17 @@ class SarathiScheduler : public Scheduler {
 
   std::string name() const override;
 
+  // Full Sarathi promises both the token budget and stall-freedom; the
+  // Table 4 ablations each forfeit the property they disable (whole prompts
+  // ignore the budget; chunked-prefills-only batches exclude decodes). VTC
+  // inherits these through its Sarathi packing.
+  SchedulerGuarantees guarantees() const override {
+    SchedulerGuarantees g;
+    g.token_budget = config_.enable_chunking ? current_budget_ : -1;
+    g.stall_free = config_.enable_hybrid;
+    return g;
+  }
+
   ScheduledBatch Schedule() override;
 
   // Dynamic-budget controller (active when

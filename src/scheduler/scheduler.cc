@@ -45,10 +45,17 @@ void Scheduler::EmitSchedulerObs(const char* event, const RequestState* request)
   }
 }
 
+void Scheduler::NotifyVerify(SchedVerifyEvent event, const RequestState* request) {
+  if (obs_ != nullptr && obs_->verify != nullptr) {
+    obs_->verify->OnSchedulerEvent(event, request);
+  }
+}
+
 void Scheduler::Enqueue(RequestState* request) {
   CHECK(request != nullptr);
   CHECK(request->phase() == RequestPhase::kQueued);
   queue_.push_back(request);
+  NotifyVerify(SchedVerifyEvent::kEnqueue, request);
   EmitSchedulerObs(nullptr, nullptr);  // Arrival instants live in the request span.
 }
 
@@ -57,6 +64,7 @@ void Scheduler::AdoptRunning(RequestState* request) {
   CHECK(request->phase() == RequestPhase::kRunning);
   CHECK(request->prefill_complete()) << "forked sequences join post-prefill";
   running_.push_back(request);
+  NotifyVerify(SchedVerifyEvent::kAdopt, request);
 }
 
 bool Scheduler::CanAdmitHead() const {
@@ -76,6 +84,7 @@ RequestState* Scheduler::AdmitHead() {
                     head->prefill_target() + head->output_tokens());
   head->set_phase(RequestPhase::kRunning);
   running_.push_back(head);
+  NotifyVerify(SchedVerifyEvent::kAdmit, head);
   EmitSchedulerObs("admit", head);
   return head;
 }
@@ -116,6 +125,7 @@ bool Scheduler::Abort(RequestState* request) {
     queue_.erase(qit);
     request->set_phase(RequestPhase::kFailed);
     ++abort_count_;
+    NotifyVerify(SchedVerifyEvent::kAbort, request);
     EmitSchedulerObs("abort", request);
     return true;
   }
@@ -128,6 +138,7 @@ bool Scheduler::Abort(RequestState* request) {
   allocator_->Release(request->id());
   request->set_phase(RequestPhase::kFailed);
   ++abort_count_;
+  NotifyVerify(SchedVerifyEvent::kAbort, request);
   EmitSchedulerObs("abort", request);
   return true;
 }
@@ -158,6 +169,7 @@ void Scheduler::Preempt(RequestState* request) {
   request->ResetForRecompute();
   queue_.push_front(request);
   ++preemption_count_;
+  NotifyVerify(SchedVerifyEvent::kPreempt, request);
   if (obs_ != nullptr && obs_->metrics != nullptr) {
     obs_->metrics->AddCount("preemptions", obs_->now_s);
   }
@@ -170,6 +182,7 @@ void Scheduler::FinishRequest(RequestState* request) {
   running_.erase(it);
   allocator_->Release(request->id());
   request->set_phase(RequestPhase::kFinished);
+  NotifyVerify(SchedVerifyEvent::kFinish, request);
   EmitSchedulerObs(nullptr, nullptr);  // Completion instants live in the request span.
 }
 

@@ -100,6 +100,23 @@ struct SchedulerConfig {
   int64_t budget_tile = 128;  // Adjustment granularity (tile-aligned, §4.3).
 };
 
+// The machine-checkable promises a policy makes about the batches it forms.
+// Policies declare their own (guarantees()); the invariant checker
+// (src/verify) enforces exactly what is declared, so baselines that
+// legitimately violate a property (vLLM's unbounded prefill iterations, the
+// chunked-prefills-only ablation's decode-free prefill batches) are not
+// flagged.
+struct SchedulerGuarantees {
+  // Per-iteration token ceiling honored whenever the batch contains prefill
+  // work (running decodes alone may exceed it — Algorithm 3 packs them
+  // unconditionally). -1 = no promise.
+  int64_t token_budget = -1;
+  // Stall-free batching (§4.2): no unlocked running decode-ready request is
+  // ever left out of a batch that carries prefill tokens while batch slots
+  // and KV memory remain.
+  bool stall_free = false;
+};
+
 class Scheduler {
  public:
   Scheduler(const SchedulerConfig& config, KvAllocator* allocator);
@@ -109,6 +126,10 @@ class Scheduler {
   Scheduler& operator=(const Scheduler&) = delete;
 
   virtual std::string name() const = 0;
+
+  // The properties this policy promises to maintain; the default promises
+  // nothing. See SchedulerGuarantees.
+  virtual SchedulerGuarantees guarantees() const { return {}; }
 
   // Observability hook shared with the driver (which keeps the clock
   // current). All six policies inherit the base-class emission points
@@ -189,6 +210,10 @@ class Scheduler {
   // Emits a scheduler-category instant for `request` plus refreshed
   // queue-depth/running gauges. No-op without obs hooks.
   void EmitSchedulerObs(const char* event, const RequestState* request);
+
+  // Notifies an attached invariant checker of a state transition. No-op
+  // without a verify hook (one branch).
+  void NotifyVerify(SchedVerifyEvent event, const RequestState* request);
 
   SchedulerConfig config_;
   KvAllocator* allocator_;

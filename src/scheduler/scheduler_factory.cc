@@ -30,14 +30,45 @@ std::unique_ptr<Scheduler> MakeScheduler(const SchedulerConfig& config, KvAlloca
   return nullptr;
 }
 
-std::unique_ptr<KvAllocator> MakeAllocatorFor(SchedulerPolicy policy,
-                                              const AllocatorOptions& options) {
-  CHECK_GT(options.capacity_tokens, 0);
+namespace {
+
+AllocatorKind DefaultAllocatorKind(SchedulerPolicy policy) {
   switch (policy) {
     case SchedulerPolicy::kSarathi:
     case SchedulerPolicy::kVllm:
     case SchedulerPolicy::kFastServe:
-    case SchedulerPolicy::kVtc: {
+    case SchedulerPolicy::kVtc:
+      return AllocatorKind::kPaged;
+    case SchedulerPolicy::kOrca:
+    case SchedulerPolicy::kFasterTransformer:
+      return AllocatorKind::kReservation;
+  }
+  LOG(Fatal) << "unknown scheduler policy";
+  return AllocatorKind::kPaged;
+}
+
+}  // namespace
+
+std::string_view AllocatorKindName(AllocatorKind kind) {
+  switch (kind) {
+    case AllocatorKind::kPolicyDefault:
+      return "policy_default";
+    case AllocatorKind::kPaged:
+      return "paged";
+    case AllocatorKind::kReservation:
+      return "reservation";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<KvAllocator> MakeAllocator(AllocatorKind kind, SchedulerPolicy policy,
+                                           const AllocatorOptions& options) {
+  CHECK_GT(options.capacity_tokens, 0);
+  if (kind == AllocatorKind::kPolicyDefault) {
+    kind = DefaultAllocatorKind(policy);
+  }
+  switch (kind) {
+    case AllocatorKind::kPaged: {
       PagedBlockManager::Options paged;
       paged.num_blocks = options.capacity_tokens / options.block_size;
       paged.block_size = options.block_size;
@@ -45,13 +76,19 @@ std::unique_ptr<KvAllocator> MakeAllocatorFor(SchedulerPolicy policy,
       paged.sliding_window = options.sliding_window;
       return std::make_unique<PagedBlockManager>(paged);
     }
-    case SchedulerPolicy::kOrca:
-    case SchedulerPolicy::kFasterTransformer:
+    case AllocatorKind::kReservation:
       return std::make_unique<ReservationAllocator>(options.capacity_tokens,
                                                     options.max_seq_len);
+    case AllocatorKind::kPolicyDefault:
+      break;
   }
-  LOG(Fatal) << "unknown scheduler policy";
+  LOG(Fatal) << "unknown allocator kind";
   return nullptr;
+}
+
+std::unique_ptr<KvAllocator> MakeAllocatorFor(SchedulerPolicy policy,
+                                              const AllocatorOptions& options) {
+  return MakeAllocator(AllocatorKind::kPolicyDefault, policy, options);
 }
 
 }  // namespace sarathi

@@ -4,6 +4,7 @@
 #define SRC_SCHEDULER_SCHEDULER_FACTORY_H_
 
 #include <memory>
+#include <string_view>
 
 #include "src/memory/kv_allocator.h"
 #include "src/scheduler/scheduler.h"
@@ -28,6 +29,20 @@ struct AllocatorOptions {
 // max-length reservations for Orca and FasterTransformer (§5.1).
 std::unique_ptr<KvAllocator> MakeAllocatorFor(SchedulerPolicy policy,
                                               const AllocatorOptions& options);
+
+// Explicit allocator selection, for differential testing of every policy on
+// both memory managers (the fuzzer's scheduler x allocator matrix).
+// kPolicyDefault defers to MakeAllocatorFor's per-policy mapping.
+enum class AllocatorKind {
+  kPolicyDefault,
+  kPaged,
+  kReservation,
+};
+
+std::string_view AllocatorKindName(AllocatorKind kind);
+
+std::unique_ptr<KvAllocator> MakeAllocator(AllocatorKind kind, SchedulerPolicy policy,
+                                           const AllocatorOptions& options);
 
 }  // namespace sarathi
 

@@ -9,6 +9,7 @@
 #include "src/common/logging.h"
 #include "src/memory/block_manager.h"
 #include "src/scheduler/scheduler_factory.h"
+#include "src/verify/invariant_checker.h"
 
 namespace sarathi {
 namespace {
@@ -32,13 +33,16 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
   const int num_stages = engine_->num_stages();
 
   AllocatorOptions allocator_options;
-  allocator_options.capacity_tokens = engine_->cost_model().MaxKvTokens();
+  allocator_options.capacity_tokens = options_.kv_capacity_tokens > 0
+                                          ? options_.kv_capacity_tokens
+                                          : engine_->cost_model().MaxKvTokens();
   allocator_options.block_size = options_.block_size;
   allocator_options.watermark = options_.watermark;
   allocator_options.sliding_window = options_.model.sliding_window;
-  allocator_options.max_seq_len = options_.model.max_seq_len;
+  allocator_options.max_seq_len =
+      options_.kv_max_seq_len > 0 ? options_.kv_max_seq_len : options_.model.max_seq_len;
   std::unique_ptr<KvAllocator> allocator =
-      MakeAllocatorFor(options_.scheduler.policy, allocator_options);
+      MakeAllocator(options_.allocator_kind, options_.scheduler.policy, allocator_options);
   std::unique_ptr<Scheduler> scheduler = MakeScheduler(options_.scheduler, allocator.get());
 
   // Parallel sampling (num_samples > 1) forks siblings at prefill completion
@@ -57,9 +61,15 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
   ObsHooks obs;
   obs.tracer = options_.tracer;
   obs.metrics = options_.metrics;
+  obs.verify = options_.checker;
   if (obs.active()) {
     allocator->set_obs(&obs);
     scheduler->set_obs(&obs);
+  }
+  InvariantChecker* checker = options_.checker;
+  if (checker != nullptr) {
+    checker->BeginRun(scheduler.get(), allocator.get(),
+                      scheduler->name() + "/replica" + std::to_string(options_.trace_pid));
   }
   Tracer* tracer = obs.ActiveTracer();
   MetricsRegistry* metrics = obs.metrics;
@@ -277,6 +287,9 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
       }
       scheduler->ObserveIterationTime(done.batch, done.exit_s - done.start_s);
       scheduler->OnBatchComplete(done.batch);
+      if (checker != nullptr) {
+        checker->OnBatchApplied(done.batch, done.exit_s);
+      }
       if (paged != nullptr) {
         // Time domain carries no KV values; discard CoW data-copy records.
         (void)paged->TakePendingCows();
@@ -351,6 +364,9 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
     for (auto& f : in_flight) {
       for (const auto& item : f.batch.items) {
         item.request->set_locked(false);
+      }
+      if (checker != nullptr) {
+        checker->OnBatchDiscarded(f.batch);
       }
     }
     in_flight.clear();
@@ -442,6 +458,9 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
 
     ++result.num_iterations;
     CHECK_LE(result.num_iterations, options_.max_iterations) << "runaway scheduling loop";
+    if (checker != nullptr) {
+      checker->OnBatchScheduled(batch, now);
+    }
 
     double stage_time = engine_->StageTime(batch);
     double start = now;
@@ -502,6 +521,9 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
     in_flight.push_back(InFlightBatch{std::move(batch), start, exit});
   }
 
+  if (checker != nullptr) {
+    checker->EndRun();
+  }
   result.num_preemptions = scheduler->preemption_count() + crash_recomputes;
   result.peak_flops = engine_->cost_model().PeakFlops();
   result.peak_bandwidth = engine_->cost_model().PeakBandwidth();

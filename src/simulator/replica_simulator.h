@@ -19,11 +19,14 @@
 #include "src/obs/obs_hooks.h"
 #include "src/perfmodel/iteration_cost.h"
 #include "src/scheduler/scheduler.h"
+#include "src/scheduler/scheduler_factory.h"
 #include "src/simulator/fault_injector.h"
 #include "src/simulator/metrics.h"
 #include "src/workload/trace.h"
 
 namespace sarathi {
+
+class InvariantChecker;
 
 struct SimulatorOptions {
   ModelSpec model;
@@ -34,6 +37,18 @@ struct SimulatorOptions {
   // KV paging parameters.
   int64_t block_size = 16;
   double watermark = 0.01;
+
+  // KV allocator selection. kPolicyDefault picks the memory manager each
+  // policy assumes (paged for Sarathi/vLLM/FastServe/VTC, max-length
+  // reservations for Orca/FT); the explicit kinds exist for differential
+  // testing of every policy on both managers.
+  AllocatorKind allocator_kind = AllocatorKind::kPolicyDefault;
+  // Overrides for the allocator's capacity and per-sequence reservation
+  // size; <= 0 derives them from the cost model (MaxKvTokens()) and the
+  // model spec (max_seq_len). The fuzzer shrinks both to force preemption
+  // and admission pressure that a full-size cache would never exhibit.
+  int64_t kv_capacity_tokens = 0;
+  int64_t kv_max_seq_len = 0;
 
   // Keep per-iteration records (schedule traces / bubble plots).
   bool record_iterations = false;
@@ -64,6 +79,12 @@ struct SimulatorOptions {
   Tracer* tracer = nullptr;
   MetricsRegistry* metrics = nullptr;
   int trace_pid = 0;
+
+  // Invariant checker (src/verify), may be null. When set, the simulator
+  // binds it to the run (BeginRun/EndRun), threads it through ObsHooks, and
+  // reports every scheduled/applied/crash-discarded batch. Violations are
+  // fatal or accumulated per the checker's own options.
+  InvariantChecker* checker = nullptr;
 };
 
 class ReplicaSimulator {

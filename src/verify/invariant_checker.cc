@@ -1,0 +1,484 @@
+#include "src/verify/invariant_checker.h"
+
+#include <sstream>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/scheduler/request_state.h"
+
+namespace sarathi {
+
+std::string_view InvariantName(Invariant invariant) {
+  switch (invariant) {
+    case Invariant::kTokenBudget:
+      return "token_budget";
+    case Invariant::kStallFree:
+      return "stall_free";
+    case Invariant::kTokenConservation:
+      return "token_conservation";
+    case Invariant::kKvConservation:
+      return "kv_conservation";
+    case Invariant::kClockMonotonic:
+      return "clock_monotonic";
+    case Invariant::kBatchSanity:
+      return "batch_sanity";
+  }
+  return "unknown";
+}
+
+std::string Violation::Render() const {
+  std::ostringstream out;
+  out << "[" << InvariantName(invariant) << "] run=" << run << " iteration=" << iteration;
+  if (request_id >= 0) {
+    out << " request=" << request_id;
+  }
+  out << ": " << message;
+  return out.str();
+}
+
+InvariantChecker::InvariantChecker() : InvariantChecker(Options()) {}
+
+InvariantChecker::InvariantChecker(Options options) : options_(options) {
+  CHECK_GE(options_.max_violations, 0);
+}
+
+void InvariantChecker::AddViolation(Invariant invariant, int64_t request_id,
+                                    std::string message) {
+  Violation violation;
+  violation.invariant = invariant;
+  violation.run = run_label_;
+  violation.iteration = iteration_;
+  violation.request_id = request_id;
+  violation.message = std::move(message);
+  ++total_violations_;
+  if (options_.fatal) {
+    LOG(Fatal) << "invariant violation: " << violation.Render();
+  }
+  if (static_cast<int64_t>(violations_.size()) < options_.max_violations) {
+    violations_.push_back(std::move(violation));
+  }
+}
+
+void InvariantChecker::BeginRun(const Scheduler* scheduler, const KvAllocator* allocator,
+                                std::string label) {
+  CHECK(scheduler != nullptr);
+  CHECK(allocator != nullptr);
+  scheduler_ = scheduler;
+  allocator_ = allocator;
+  run_label_ = std::move(label);
+  iteration_ = 0;
+  last_schedule_s_ = 0.0;
+  last_apply_s_ = 0.0;
+  any_scheduled_ = false;
+  any_applied_ = false;
+  shadows_.clear();
+  live_kv_.clear();
+  ++runs_;
+}
+
+void InvariantChecker::AuditKv(const char* where) {
+  std::string audit = allocator_->AuditInvariants();
+  if (!audit.empty()) {
+    AddViolation(Invariant::kKvConservation, -1,
+                 std::string("allocator audit failed after ") + where + ": " + audit);
+  }
+  int64_t observed = allocator_->num_sequences();
+  auto expected = static_cast<int64_t>(live_kv_.size());
+  if (observed != expected) {
+    std::ostringstream out;
+    out << "after " << where << ": allocator holds " << observed << " sequences but "
+        << expected << " were admitted/forked and not released";
+    AddViolation(Invariant::kKvConservation, -1, out.str());
+  }
+}
+
+void InvariantChecker::CheckBatchSanity(const ScheduledBatch& batch) {
+  std::unordered_set<const RequestState*> seen;
+  for (const auto& item : batch.items) {
+    if (item.request == nullptr) {
+      AddViolation(Invariant::kBatchSanity, -1, "batch item with null request");
+      continue;
+    }
+    const RequestState* request = item.request;
+    if (!seen.insert(request).second) {
+      AddViolation(Invariant::kBatchSanity, request->id(),
+                   "request appears twice in one batch");
+      continue;
+    }
+    auto it = shadows_.find(request);
+    if (it == shadows_.end()) {
+      AddViolation(Invariant::kBatchSanity, request->id(),
+                   "scheduled without ever being enqueued or adopted");
+      continue;
+    }
+    Shadow& shadow = it->second;
+    if (shadow.closed) {
+      AddViolation(Invariant::kBatchSanity, request->id(),
+                   "scheduled after finishing or aborting");
+    }
+    if (shadow.in_flight) {
+      AddViolation(Invariant::kBatchSanity, request->id(),
+                   "scheduled while still inside an in-flight batch");
+    }
+    if (item.is_decode) {
+      if (item.num_tokens != 1) {
+        std::ostringstream out;
+        out << "decode item carries " << item.num_tokens << " tokens, expected 1";
+        AddViolation(Invariant::kBatchSanity, request->id(), out.str());
+      }
+      if (!request->prefill_complete()) {
+        std::ostringstream out;
+        out << "decode scheduled with prefill incomplete (" << request->prefill_done()
+            << "/" << request->prefill_target() << " tokens)";
+        AddViolation(Invariant::kBatchSanity, request->id(), out.str());
+      }
+    } else {
+      if (item.num_tokens <= 0 || item.num_tokens > request->remaining_prefill()) {
+        std::ostringstream out;
+        out << "prefill chunk of " << item.num_tokens << " tokens, expected 1.."
+            << request->remaining_prefill();
+        AddViolation(Invariant::kBatchSanity, request->id(), out.str());
+      }
+    }
+    shadow.in_flight = true;
+  }
+}
+
+void InvariantChecker::CheckTokenBudget(const ScheduledBatch& batch) {
+  SchedulerGuarantees guarantees = scheduler_->guarantees();
+  if (guarantees.token_budget < 0 || batch.NumPrefillTokens() == 0) {
+    return;  // No promise, or a decode-only batch (decodes pack unconditionally).
+  }
+  if (batch.TotalTokens() > guarantees.token_budget) {
+    std::ostringstream out;
+    out << "batch carries " << batch.TotalTokens() << " tokens ("
+        << batch.NumPrefillTokens() << " prefill + " << batch.NumDecodes()
+        << " decode) with prefill work, but the declared token budget is "
+        << guarantees.token_budget;
+    AddViolation(Invariant::kTokenBudget, -1, out.str());
+  }
+}
+
+void InvariantChecker::CheckStallFree(const ScheduledBatch& batch) {
+  SchedulerGuarantees guarantees = scheduler_->guarantees();
+  if (!guarantees.stall_free || batch.NumPrefillTokens() == 0) {
+    return;
+  }
+  // A decode may legitimately be skipped when batch slots or KV memory ran
+  // out; only flag skips with slots and memory to spare.
+  if (static_cast<int64_t>(batch.items.size()) >= scheduler_->config().max_batch_size) {
+    return;
+  }
+  if (allocator_->total_units() - allocator_->used_units() <= 0) {
+    return;
+  }
+  std::unordered_set<const RequestState*> in_batch;
+  for (const auto& item : batch.items) {
+    in_batch.insert(item.request);
+  }
+  for (const RequestState* request : scheduler_->running()) {
+    if (request->locked() || !request->prefill_complete() || request->finished()) {
+      continue;
+    }
+    if (!in_batch.contains(request)) {
+      std::ostringstream out;
+      out << "running decode-ready request skipped while the batch carries "
+          << batch.NumPrefillTokens() << " prefill tokens, "
+          << batch.items.size() << "/" << scheduler_->config().max_batch_size
+          << " batch slots used and " << allocator_->total_units() - allocator_->used_units()
+          << " KV units free (generation stall, §4.2)";
+      AddViolation(Invariant::kStallFree, request->id(), out.str());
+    }
+  }
+}
+
+void InvariantChecker::OnBatchScheduled(const ScheduledBatch& batch, double now_s) {
+  CHECK(scheduler_ != nullptr) << "OnBatchScheduled before BeginRun";
+  ++iteration_;
+  ++total_iterations_;
+  if (any_scheduled_ && now_s < last_schedule_s_) {
+    std::ostringstream out;
+    out << "schedule time moved backwards: " << now_s << "s after " << last_schedule_s_
+        << "s";
+    AddViolation(Invariant::kClockMonotonic, -1, out.str());
+  }
+  last_schedule_s_ = now_s;
+  any_scheduled_ = true;
+  CheckBatchSanity(batch);
+  CheckTokenBudget(batch);
+  CheckStallFree(batch);
+  AuditKv("schedule");
+}
+
+void InvariantChecker::OnBatchApplied(const ScheduledBatch& batch, double exit_s) {
+  CHECK(scheduler_ != nullptr) << "OnBatchApplied before BeginRun";
+  if (any_applied_ && exit_s < last_apply_s_) {
+    std::ostringstream out;
+    out << "batch exit time moved backwards: " << exit_s << "s after " << last_apply_s_
+        << "s";
+    AddViolation(Invariant::kClockMonotonic, -1, out.str());
+  }
+  last_apply_s_ = exit_s;
+  any_applied_ = true;
+  for (const auto& item : batch.items) {
+    const RequestState* request = item.request;
+    auto it = shadows_.find(request);
+    if (it == shadows_.end()) {
+      AddViolation(Invariant::kTokenConservation, request->id(),
+                   "batch applied for an untracked request");
+      continue;
+    }
+    Shadow& shadow = it->second;
+    if (!shadow.in_flight) {
+      AddViolation(Invariant::kBatchSanity, request->id(),
+                   "batch applied but was never scheduled (or applied twice)");
+    }
+    shadow.in_flight = false;
+    if (item.is_decode) {
+      ++shadow.generated;
+    } else {
+      shadow.prefill_done += item.num_tokens;
+      if (shadow.prefill_done > shadow.prefill_target) {
+        std::ostringstream out;
+        out << "prefill progressed to " << shadow.prefill_done << " of a "
+            << shadow.prefill_target << "-token target";
+        AddViolation(Invariant::kTokenConservation, request->id(), out.str());
+      }
+      if (shadow.prefill_done == shadow.prefill_target) {
+        ++shadow.generated;  // The final chunk's iteration emits token one.
+      }
+    }
+    if (request->prefill_done() != shadow.prefill_done ||
+        request->generated() != shadow.generated) {
+      std::ostringstream out;
+      out << "progress diverged from scheduled work: expected prefill "
+          << shadow.prefill_done << "/" << shadow.prefill_target << " and "
+          << shadow.generated << " generated, observed prefill " << request->prefill_done()
+          << "/" << request->prefill_target() << " and " << request->generated()
+          << " generated";
+      AddViolation(Invariant::kTokenConservation, request->id(), out.str());
+      // Re-sync so one divergence doesn't cascade into a violation per batch.
+      shadow.prefill_target = request->prefill_target();
+      shadow.prefill_done = request->prefill_done();
+      shadow.generated = request->generated();
+    }
+  }
+  AuditKv("apply");
+}
+
+void InvariantChecker::OnBatchDiscarded(const ScheduledBatch& batch) {
+  CHECK(scheduler_ != nullptr) << "OnBatchDiscarded before BeginRun";
+  for (const auto& item : batch.items) {
+    auto it = shadows_.find(item.request);
+    if (it == shadows_.end()) {
+      continue;
+    }
+    if (!it->second.in_flight) {
+      AddViolation(Invariant::kBatchSanity, item.request->id(),
+                   "discarded batch was never scheduled");
+    }
+    it->second.in_flight = false;
+  }
+}
+
+void InvariantChecker::OnSchedulerEvent(SchedVerifyEvent event, const RequestState* request) {
+  CHECK(request != nullptr);
+  int64_t id = request->id();
+  switch (event) {
+    case SchedVerifyEvent::kEnqueue: {
+      auto [it, inserted] = shadows_.try_emplace(request);
+      Shadow& shadow = it->second;
+      if (request->prefill_done() != 0) {
+        std::ostringstream out;
+        out << "enqueued with prefill already at " << request->prefill_done() << " tokens";
+        AddViolation(Invariant::kTokenConservation, id, out.str());
+      }
+      if (request->prefill_target() != request->prompt_tokens() + request->generated()) {
+        std::ostringstream out;
+        out << "enqueued with prefill target " << request->prefill_target()
+            << ", expected prompt " << request->prompt_tokens() << " + generated "
+            << request->generated() << " (recompute must rebuild generated context)";
+        AddViolation(Invariant::kTokenConservation, id, out.str());
+      }
+      if (!inserted) {
+        // Crash-recompute re-enqueue: generation must have been preserved.
+        if (shadow.in_flight) {
+          AddViolation(Invariant::kBatchSanity, id, "re-enqueued while inside an in-flight batch");
+        }
+        if (request->generated() != shadow.generated) {
+          std::ostringstream out;
+          out << "re-enqueued with " << request->generated() << " generated tokens, "
+              << shadow.generated << " were emitted";
+          AddViolation(Invariant::kTokenConservation, id, out.str());
+        }
+      }
+      shadow.id = id;
+      shadow.prompt_tokens = request->prompt_tokens();
+      shadow.prefill_target = request->prefill_target();
+      shadow.prefill_done = request->prefill_done();
+      shadow.generated = request->generated();
+      shadow.in_flight = false;
+      shadow.closed = false;
+      break;
+    }
+    case SchedVerifyEvent::kAdmit: {
+      auto it = shadows_.find(request);
+      if (it == shadows_.end()) {
+        AddViolation(Invariant::kBatchSanity, id, "admitted without being enqueued");
+        break;
+      }
+      if (it->second.closed) {
+        AddViolation(Invariant::kBatchSanity, id, "admitted after finishing or aborting");
+      }
+      break;
+    }
+    case SchedVerifyEvent::kAdopt: {
+      // Forked sibling: joins post-prefill with the parent's progress.
+      Shadow& shadow = shadows_[request];
+      shadow.id = id;
+      shadow.prompt_tokens = request->prompt_tokens();
+      shadow.prefill_target = request->prefill_target();
+      shadow.prefill_done = request->prefill_done();
+      shadow.generated = request->generated();
+      shadow.in_flight = false;
+      shadow.closed = false;
+      if (!request->prefill_complete()) {
+        AddViolation(Invariant::kBatchSanity, id, "adopted with prefill incomplete");
+      }
+      break;
+    }
+    case SchedVerifyEvent::kPreempt: {
+      auto it = shadows_.find(request);
+      if (it == shadows_.end()) {
+        AddViolation(Invariant::kBatchSanity, id, "preempted untracked request");
+        break;
+      }
+      Shadow& shadow = it->second;
+      if (shadow.in_flight) {
+        AddViolation(Invariant::kBatchSanity, id, "preempted while inside an in-flight batch");
+      }
+      if (request->prefill_done() != 0 ||
+          request->prefill_target() != shadow.prompt_tokens + shadow.generated) {
+        std::ostringstream out;
+        out << "preemption-recompute state wrong: prefill " << request->prefill_done()
+            << "/" << request->prefill_target() << ", expected 0/"
+            << shadow.prompt_tokens + shadow.generated << " (prompt "
+            << shadow.prompt_tokens << " + " << shadow.generated << " generated)";
+        AddViolation(Invariant::kTokenConservation, id, out.str());
+      }
+      shadow.prefill_target = request->prefill_target();
+      shadow.prefill_done = 0;
+      break;
+    }
+    case SchedVerifyEvent::kAbort: {
+      auto it = shadows_.find(request);
+      if (it == shadows_.end()) {
+        AddViolation(Invariant::kBatchSanity, id, "aborted untracked request");
+        break;
+      }
+      if (it->second.in_flight) {
+        AddViolation(Invariant::kBatchSanity, id, "aborted while inside an in-flight batch");
+      }
+      it->second.closed = true;
+      break;
+    }
+    case SchedVerifyEvent::kFinish: {
+      auto it = shadows_.find(request);
+      if (it == shadows_.end()) {
+        AddViolation(Invariant::kBatchSanity, id, "finished untracked request");
+        break;
+      }
+      if (!request->finished()) {
+        std::ostringstream out;
+        out << "finish with output incomplete: " << request->generated() << "/"
+            << request->output_tokens() << " tokens generated, prefill "
+            << request->prefill_done() << "/" << request->prefill_target();
+        AddViolation(Invariant::kTokenConservation, id, out.str());
+      }
+      it->second.closed = true;
+      break;
+    }
+  }
+}
+
+void InvariantChecker::OnKvEvent(KvVerifyEvent event, int64_t seq_id) {
+  switch (event) {
+    case KvVerifyEvent::kAdmit:
+    case KvVerifyEvent::kFork: {
+      if (!live_kv_.insert(seq_id).second) {
+        AddViolation(Invariant::kKvConservation, seq_id,
+                     std::string(KvVerifyEventName(event)) +
+                         " of a sequence that is already live");
+      }
+      break;
+    }
+    case KvVerifyEvent::kRelease: {
+      if (live_kv_.erase(seq_id) == 0) {
+        AddViolation(Invariant::kKvConservation, seq_id,
+                     "release of a sequence that was never admitted (double free?)");
+      }
+      break;
+    }
+    case KvVerifyEvent::kAppend:
+    case KvVerifyEvent::kCow: {
+      if (!live_kv_.contains(seq_id)) {
+        AddViolation(Invariant::kKvConservation, seq_id,
+                     std::string(KvVerifyEventName(event)) + " on a dead sequence");
+      }
+      break;
+    }
+  }
+}
+
+void InvariantChecker::EndRun() {
+  CHECK(scheduler_ != nullptr) << "EndRun before BeginRun";
+  AuditKv("end of run");
+  if (allocator_->num_sequences() != 0 || allocator_->used_units() != 0) {
+    std::ostringstream out;
+    out << "end of run with " << allocator_->num_sequences() << " sequences and "
+        << allocator_->used_units() << "/" << allocator_->total_units()
+        << " KV units still held (leak)";
+    AddViolation(Invariant::kKvConservation, -1, out.str());
+  }
+  for (const auto& [request, shadow] : shadows_) {
+    (void)request;
+    if (shadow.in_flight) {
+      AddViolation(Invariant::kBatchSanity, shadow.id,
+                   "still inside an in-flight batch at end of run");
+    }
+    if (!shadow.closed) {
+      std::ostringstream out;
+      out << "neither finished nor aborted at end of run (prefill " << shadow.prefill_done
+          << "/" << shadow.prefill_target << ", " << shadow.generated << " generated)";
+      AddViolation(Invariant::kTokenConservation, shadow.id, out.str());
+    }
+  }
+}
+
+std::string InvariantChecker::Report() const {
+  std::ostringstream out;
+  out << "InvariantChecker: " << total_violations_ << " violation(s) across " << runs_
+      << " run(s), " << total_iterations_ << " iteration(s) checked\n";
+  if (total_violations_ == 0) {
+    return out.str();
+  }
+  int64_t counts[6] = {0, 0, 0, 0, 0, 0};
+  for (const Violation& violation : violations_) {
+    ++counts[static_cast<int>(violation.invariant)];
+  }
+  for (int i = 0; i < 6; ++i) {
+    if (counts[i] > 0) {
+      out << "  " << InvariantName(static_cast<Invariant>(i)) << ": " << counts[i] << "\n";
+    }
+  }
+  if (total_violations_ > static_cast<int64_t>(violations_.size())) {
+    out << "  (" << total_violations_ - static_cast<int64_t>(violations_.size())
+        << " further violation(s) dropped past the cap)\n";
+  }
+  for (const Violation& violation : violations_) {
+    out << violation.Render() << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace sarathi

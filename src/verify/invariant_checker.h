@@ -1,0 +1,169 @@
+// Runtime invariant checker: machine-checks the paper's load-bearing
+// scheduling and memory guarantees on every iteration of a simulation run.
+//
+// The checker attaches to a driver through two channels:
+//  - ObsHooks::verify (the VerifyHook interface) delivers semantic scheduler
+//    and allocator transitions (enqueue/admit/preempt/abort/finish,
+//    kv admit/append/fork/cow/release), from which the checker maintains
+//    per-request shadow state and a shadow set of live KV sequences.
+//  - The driver calls OnBatchScheduled / OnBatchApplied / OnBatchDiscarded /
+//    BeginRun / EndRun directly at the corresponding points of its event
+//    loop (ReplicaSimulator does this when SimulatorOptions::checker is set).
+//
+// Invariants checked (paper references in docs/verification.md):
+//  - token budget (§4.3):      a batch carrying prefill tokens never exceeds
+//                              the budget a policy declares via
+//                              Scheduler::guarantees().
+//  - stall-free batching (§4.2): no unlocked decode-ready running request is
+//                              left out of a prefill-carrying batch while
+//                              batch slots and KV memory remain.
+//  - token conservation:       scheduled prefill/decode tokens equal each
+//                              request's observed progress, across
+//                              preemption-recompute and crash-recompute.
+//  - KV conservation:          allocator self-audit (refcounts, free list,
+//                              used + free == total) plus a live-sequence
+//                              cross-check; zero sequences and zero used
+//                              units at end of run.
+//  - clock monotonicity:       schedule times and batch exits never move
+//                              backwards within a run.
+//  - batch sanity:             no duplicate or locked-in-flight requests in
+//                              a batch, decode items are prefill-complete,
+//                              prefill chunks fit the remaining prompt.
+//
+// Violations carry the run label, iteration, request id and an expected-vs-
+// observed message. By default they accumulate (ok()/Report()); with
+// Options::fatal they abort immediately — the mode tests and the fuzzer use.
+// A disabled checker (null pointer) costs one branch per notification site,
+// mirroring the Tracer pattern.
+
+#ifndef SRC_VERIFY_INVARIANT_CHECKER_H_
+#define SRC_VERIFY_INVARIANT_CHECKER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/memory/kv_allocator.h"
+#include "src/obs/verify_hook.h"
+#include "src/scheduler/batch.h"
+#include "src/scheduler/scheduler.h"
+
+namespace sarathi {
+
+enum class Invariant {
+  kTokenBudget,
+  kStallFree,
+  kTokenConservation,
+  kKvConservation,
+  kClockMonotonic,
+  kBatchSanity,
+};
+
+std::string_view InvariantName(Invariant invariant);
+
+struct Violation {
+  Invariant invariant = Invariant::kBatchSanity;
+  std::string run;          // Label passed to BeginRun.
+  int64_t iteration = 0;    // Iterations scheduled in the run so far.
+  int64_t request_id = -1;  // -1 when not tied to one request.
+
+  // Expected-vs-observed explanation, e.g. "batch carries 513 tokens with
+  // prefill work but the declared token budget is 512".
+  std::string message;
+
+  // One-line human-readable rendering of all of the above.
+  std::string Render() const;
+};
+
+class InvariantChecker final : public VerifyHook {
+ public:
+  struct Options {
+    // Abort (LOG(Fatal)) on the first violation instead of accumulating.
+    bool fatal = false;
+    // Cap on accumulated violations; further ones are counted but dropped.
+    int64_t max_violations = 64;
+  };
+
+  InvariantChecker();  // Default options: accumulate, cap at 64.
+  explicit InvariantChecker(Options options);
+
+  // Binds the checker to one simulation run and resets per-run shadow state.
+  // Violations accumulate across runs (each tagged with its run label), so
+  // one checker can ride through a whole cluster simulation or fuzz matrix.
+  // The scheduler and allocator must outlive the run.
+  void BeginRun(const Scheduler* scheduler, const KvAllocator* allocator,
+                std::string label);
+
+  // Driver callbacks, in event-loop order:
+  //  OnBatchScheduled — right after Schedule() returned a non-empty batch,
+  //                     before the driver locks the items.
+  //  OnBatchApplied   — right after OnBatchComplete applied the batch.
+  //  OnBatchDiscarded — a crash destroyed the in-flight batch instead.
+  void OnBatchScheduled(const ScheduledBatch& batch, double now_s);
+  void OnBatchApplied(const ScheduledBatch& batch, double exit_s);
+  void OnBatchDiscarded(const ScheduledBatch& batch);
+
+  // Closes the run: no live KV sequences, no used memory, no in-flight
+  // batches, every tracked request finished or aborted.
+  void EndRun();
+
+  // VerifyHook:
+  void OnSchedulerEvent(SchedVerifyEvent event, const RequestState* request) override;
+  void OnKvEvent(KvVerifyEvent event, int64_t seq_id) override;
+
+  bool ok() const { return total_violations_ == 0; }
+  const std::vector<Violation>& violations() const { return violations_; }
+  int64_t total_violations() const { return total_violations_; }
+  int64_t iterations_checked() const { return total_iterations_; }
+  int64_t runs_checked() const { return runs_; }
+
+  // Multi-line report: per-invariant counts plus every retained violation.
+  std::string Report() const;
+
+ private:
+  // Per-request progress mirror, advanced from scheduled batches only.
+  // Keyed by RequestState pointer, not id: a cluster retry round re-simulates
+  // a replica on a grown sub-trace, so one run can legitimately contain two
+  // attempts of the same request id as distinct RequestState objects.
+  struct Shadow {
+    int64_t id = -1;
+    int64_t prompt_tokens = 0;
+    int64_t prefill_target = 0;
+    int64_t prefill_done = 0;
+    int64_t generated = 0;
+    bool in_flight = false;  // Inside a scheduled, not-yet-applied batch.
+    bool closed = false;     // Finished or aborted.
+  };
+
+  void AddViolation(Invariant invariant, int64_t request_id, std::string message);
+  // Runs the allocator self-audit and the live-sequence cross-check.
+  void AuditKv(const char* where);
+  void CheckBatchSanity(const ScheduledBatch& batch);
+  void CheckTokenBudget(const ScheduledBatch& batch);
+  void CheckStallFree(const ScheduledBatch& batch);
+
+  Options options_;
+  std::vector<Violation> violations_;
+  int64_t total_violations_ = 0;
+  int64_t total_iterations_ = 0;
+  int64_t runs_ = 0;
+
+  // ---- Per-run state (reset by BeginRun) ----
+  const Scheduler* scheduler_ = nullptr;
+  const KvAllocator* allocator_ = nullptr;
+  std::string run_label_;
+  int64_t iteration_ = 0;
+  double last_schedule_s_ = 0.0;
+  double last_apply_s_ = 0.0;
+  bool any_scheduled_ = false;
+  bool any_applied_ = false;
+  std::unordered_map<const RequestState*, Shadow> shadows_;
+  std::unordered_set<int64_t> live_kv_;
+};
+
+}  // namespace sarathi
+
+#endif  // SRC_VERIFY_INVARIANT_CHECKER_H_

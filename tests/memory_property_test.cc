@@ -1,0 +1,173 @@
+// Property-based test for PagedBlockManager: random interleavings of
+// Admit / AppendToken / Fork / MakeWritable / Release against a small pool,
+// with the allocator's own AuditInvariants() self-audit plus an independent
+// token-count model checked after every operation. Catches refcount drift,
+// free-list corruption, block leaks, and copy-on-write ops that reference
+// dead sequences or out-of-range blocks — across many seeds.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/memory/block_manager.h"
+
+namespace sarathi {
+namespace {
+
+constexpr int64_t kNumBlocks = 32;
+constexpr int64_t kBlockSize = 4;
+constexpr int kOpsPerSeed = 1000;
+constexpr uint64_t kNumSeeds = 25;
+
+struct Model {
+  // Independent mirror of each live sequence's logical token count.
+  std::map<SeqId, int64_t> tokens;
+};
+
+// Picks a uniformly random live sequence, or nullopt when none exist.
+std::optional<SeqId> PickLive(const Model& model, Rng& rng) {
+  if (model.tokens.empty()) {
+    return std::nullopt;
+  }
+  auto it = model.tokens.begin();
+  std::advance(it, rng.UniformInt(0, static_cast<int64_t>(model.tokens.size()) - 1));
+  return it->first;
+}
+
+void CheckConsistent(const PagedBlockManager& manager, const Model& model,
+                     uint64_t seed, int op) {
+  std::string audit = manager.AuditInvariants();
+  ASSERT_EQ(audit, "") << "seed " << seed << " op " << op << ": " << audit;
+  ASSERT_EQ(manager.num_sequences(), static_cast<int64_t>(model.tokens.size()))
+      << "seed " << seed << " op " << op;
+  int64_t expected_blocks = 0;
+  for (const auto& [id, tokens] : model.tokens) {
+    ASSERT_EQ(manager.SequenceTokens(id), tokens) << "seed " << seed << " op " << op;
+    expected_blocks += manager.BlocksForTokens(tokens);
+  }
+  // Shared (forked) blocks make used <= sum of per-sequence needs.
+  ASSERT_LE(manager.used_blocks(), expected_blocks) << "seed " << seed << " op " << op;
+  ASSERT_EQ(manager.used_blocks() + manager.free_blocks(), kNumBlocks)
+      << "seed " << seed << " op " << op;
+}
+
+void RunSeed(uint64_t seed, int64_t sliding_window) {
+  PagedBlockManager::Options options;
+  options.num_blocks = kNumBlocks;
+  options.block_size = kBlockSize;
+  options.watermark = 0.0;
+  options.sliding_window = sliding_window;
+  PagedBlockManager manager(options);
+
+  Rng rng(seed);
+  Model model;
+  SeqId next_id = 0;
+
+  for (int op = 0; op < kOpsPerSeed; ++op) {
+    switch (rng.UniformInt(0, 4)) {
+      case 0: {  // Admit.
+        int64_t prompt = rng.UniformInt(1, 3 * kBlockSize);
+        int64_t max_total = prompt + rng.UniformInt(1, 8);
+        if (manager.CanAdmit(prompt, max_total)) {
+          SeqId id = next_id++;
+          manager.Admit(id, prompt, max_total);
+          model.tokens[id] = prompt;
+        }
+        break;
+      }
+      case 1: {  // AppendToken.
+        auto id = PickLive(model, rng);
+        if (id.has_value() && manager.CanAppendToken(*id)) {
+          manager.AppendToken(*id);
+          ++model.tokens[*id];
+        }
+        break;
+      }
+      case 2: {  // Fork.
+        auto parent = PickLive(model, rng);
+        if (parent.has_value() && manager.CanFork(*parent)) {
+          SeqId child = next_id++;
+          manager.Fork(*parent, child);
+          model.tokens[child] = model.tokens[*parent];
+        }
+        break;
+      }
+      case 3: {  // MakeWritable at a random position.
+        auto id = PickLive(model, rng);
+        if (!id.has_value()) {
+          break;
+        }
+        int64_t pos = rng.UniformInt(0, model.tokens[*id] - 1);
+        const std::vector<int64_t>& table = manager.BlockTable(*id);
+        // Mirror the manager's logical-position mapping: windowed sequences
+        // wrap positions modulo the window-covering block span.
+        int64_t index = pos / kBlockSize;
+        if (sliding_window > 0) {
+          int64_t cap_blocks = (sliding_window + 2 * kBlockSize - 1) / kBlockSize;
+          index = (pos % (cap_blocks * kBlockSize)) / kBlockSize;
+        }
+        ASSERT_LT(index, static_cast<int64_t>(table.size()));
+        int64_t block = table[static_cast<size_t>(index)];
+        bool shared = manager.BlockRefCount(block) > 1;
+        if (shared && manager.free_blocks() == 0) {
+          break;  // A copy would need a free block.
+        }
+        std::optional<PagedBlockManager::CowOp> cow = manager.MakeWritable(*id, pos);
+        ASSERT_EQ(cow.has_value(), shared) << "seed " << seed << " op " << op;
+        if (cow.has_value()) {
+          ASSERT_EQ(cow->old_block, block);
+          ASSERT_GE(cow->new_block, 0);
+          ASSERT_LT(cow->new_block, kNumBlocks);
+          ASSERT_EQ(manager.BlockRefCount(cow->new_block), 1);
+        }
+        break;
+      }
+      case 4: {  // Release.
+        auto id = PickLive(model, rng);
+        if (id.has_value()) {
+          manager.Release(*id);
+          model.tokens.erase(*id);
+        }
+        break;
+      }
+    }
+    // Implicit CoW ops performed by AppendToken on forked sequences must
+    // reference live sequences and in-range, exclusively-owned new blocks.
+    for (const auto& [id, cow] : manager.TakePendingCows()) {
+      ASSERT_TRUE(model.tokens.contains(id)) << "seed " << seed << " op " << op;
+      ASSERT_GE(cow.new_block, 0);
+      ASSERT_LT(cow.new_block, kNumBlocks);
+      ASSERT_EQ(manager.BlockRefCount(cow.new_block), 1);
+    }
+    CheckConsistent(manager, model, seed, op);
+  }
+
+  // Releasing everything must return the pool to pristine state: zero leaks.
+  while (!model.tokens.empty()) {
+    manager.Release(model.tokens.begin()->first);
+    model.tokens.erase(model.tokens.begin());
+  }
+  ASSERT_EQ(manager.AuditInvariants(), "");
+  ASSERT_EQ(manager.used_blocks(), 0);
+  ASSERT_EQ(manager.free_blocks(), kNumBlocks);
+  ASSERT_EQ(manager.num_sequences(), 0);
+}
+
+TEST(PagedBlockManagerPropertyTest, RandomOpsKeepInvariants) {
+  for (uint64_t seed = 0; seed < kNumSeeds; ++seed) {
+    RunSeed(seed, /*sliding_window=*/0);
+  }
+}
+
+TEST(PagedBlockManagerPropertyTest, RandomOpsKeepInvariantsWithSlidingWindow) {
+  for (uint64_t seed = 100; seed < 100 + kNumSeeds; ++seed) {
+    RunSeed(seed, /*sliding_window=*/4 * kBlockSize);
+  }
+}
+
+}  // namespace
+}  // namespace sarathi

@@ -1,0 +1,209 @@
+// Scheduler conformance suite: one parameterized script runs every policy
+// from the factory, on both KV allocators, and asserts the contract shared
+// by all six — enqueue/schedule/complete drives every request to completion,
+// aborts work from both the queue and the running set, DrainAll leaves the
+// allocator empty, and recompute re-enqueue finishes what it restarted. The
+// invariant checker rides along on every scripted run, so each policy is
+// also checked against the guarantees it declares.
+
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/scheduler/scheduler_factory.h"
+#include "src/verify/invariant_checker.h"
+#include "src/workload/trace.h"
+
+namespace sarathi {
+namespace {
+
+struct ConformanceParam {
+  SchedulerPolicy policy;
+  AllocatorKind allocator;
+};
+
+std::string ParamName(const testing::TestParamInfo<ConformanceParam>& info) {
+  return std::string(SchedulerPolicyName(info.param.policy)) + "_" +
+         std::string(AllocatorKindName(info.param.allocator));
+}
+
+class SchedulerConformanceTest : public testing::TestWithParam<ConformanceParam> {
+ protected:
+  static constexpr int64_t kMaxSeqLen = 512;
+
+  void SetUp() override {
+    AllocatorOptions allocator_options;
+    allocator_options.capacity_tokens = 4 * kMaxSeqLen;
+    allocator_options.block_size = 16;
+    allocator_options.watermark = 0.0;
+    allocator_options.max_seq_len = kMaxSeqLen;
+    allocator_ = MakeAllocator(GetParam().allocator, GetParam().policy, allocator_options);
+
+    SchedulerConfig config;
+    config.policy = GetParam().policy;
+    config.token_budget = 128;
+    config.max_batch_size = 6;
+    config.client_weights = {{0, 1.0}, {1, 2.0}};
+    scheduler_ = MakeScheduler(config, allocator_.get());
+
+    obs_.verify = &checker_;
+    scheduler_->set_obs(&obs_);
+    allocator_->set_obs(&obs_);
+    checker_.BeginRun(scheduler_.get(), allocator_.get(),
+                      std::string(SchedulerPolicyName(GetParam().policy)) + "/" +
+                          std::string(AllocatorKindName(GetParam().allocator)));
+  }
+
+  RequestState* Add(int64_t prompt, int64_t output, int64_t client_id = 0) {
+    Request r;
+    r.id = next_id_++;
+    r.prompt_tokens = prompt;
+    r.output_tokens = output;
+    r.client_id = client_id;
+    states_.push_back(std::make_unique<RequestState>(r));
+    RequestState* state = states_.back().get();
+    obs_.SetNow(now_);
+    scheduler_->Enqueue(state);
+    return state;
+  }
+
+  // One schedule/complete iteration. Returns false on an empty batch.
+  bool Step() {
+    ScheduledBatch batch = scheduler_->Schedule();
+    if (batch.empty()) {
+      return false;
+    }
+    checker_.OnBatchScheduled(batch, now_);
+    now_ += 0.01;
+    obs_.SetNow(now_);
+    scheduler_->ObserveIterationTime(batch, 0.01);
+    scheduler_->OnBatchComplete(batch);
+    checker_.OnBatchApplied(batch, now_);
+    return true;
+  }
+
+  // Runs until no work remains; fails the test on livelock.
+  void RunToCompletion() {
+    int64_t guard = 100000;
+    while (scheduler_->HasWork()) {
+      ASSERT_TRUE(Step()) << "scheduler stuck with "
+                          << scheduler_->queue_size() << " queued and "
+                          << scheduler_->running().size() << " running";
+      ASSERT_GT(--guard, 0) << "no convergence after 100k iterations";
+    }
+  }
+
+  void FinishRun() {
+    checker_.EndRun();
+    EXPECT_TRUE(checker_.ok()) << checker_.Report();
+  }
+
+  InvariantChecker checker_;
+  ObsHooks obs_;
+  std::unique_ptr<KvAllocator> allocator_;
+  std::unique_ptr<Scheduler> scheduler_;
+  std::vector<std::unique_ptr<RequestState>> states_;
+  int64_t next_id_ = 0;
+  double now_ = 0.0;
+};
+
+TEST_P(SchedulerConformanceTest, DrivesMixedWorkloadToCompletion) {
+  std::vector<RequestState*> all;
+  all.push_back(Add(200, 20));
+  all.push_back(Add(7, 40, /*client_id=*/1));
+  all.push_back(Add(333, 5));
+  all.push_back(Add(64, 12, /*client_id=*/1));
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(Step());
+  }
+  all.push_back(Add(128, 8));  // Late arrival mid-run.
+  RunToCompletion();
+  for (RequestState* state : all) {
+    EXPECT_TRUE(state->finished()) << "request " << state->id();
+    EXPECT_EQ(state->generated(), state->output_tokens()) << "request " << state->id();
+  }
+  EXPECT_EQ(allocator_->num_sequences(), 0);
+  EXPECT_EQ(allocator_->used_units(), 0);
+  FinishRun();
+}
+
+TEST_P(SchedulerConformanceTest, AbortsQueuedAndRunningRequests) {
+  RequestState* running = Add(96, 30);
+  Add(48, 6);
+  ASSERT_TRUE(Step());  // `running` starts prefilling or decoding.
+  RequestState* queued = Add(400, 10);
+  ASSERT_TRUE(scheduler_->Abort(queued));
+  EXPECT_EQ(queued->phase(), RequestPhase::kFailed);
+  if (!running->locked() && !running->finished()) {
+    ASSERT_TRUE(scheduler_->Abort(running));
+    EXPECT_EQ(running->phase(), RequestPhase::kFailed);
+  }
+  EXPECT_FALSE(scheduler_->Abort(queued));  // Already gone.
+  RunToCompletion();
+  EXPECT_EQ(allocator_->num_sequences(), 0);
+  EXPECT_GE(scheduler_->abort_count(), 2);
+  FinishRun();
+}
+
+TEST_P(SchedulerConformanceTest, DrainAllReleasesEverythingAndRecomputeFinishes) {
+  RequestState* a = Add(150, 10);
+  RequestState* b = Add(80, 25);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(Step());
+  }
+  std::vector<RequestState*> drained = scheduler_->DrainAll();
+  EXPECT_EQ(drained.size(), 2u);
+  EXPECT_FALSE(scheduler_->HasWork());
+  EXPECT_EQ(allocator_->num_sequences(), 0);
+  EXPECT_EQ(allocator_->used_units(), 0);
+  // The crash-recompute path: reset and re-enqueue what was drained.
+  for (RequestState* state : drained) {
+    state->ResetForRecompute();
+    obs_.SetNow(now_);
+    scheduler_->Enqueue(state);
+  }
+  RunToCompletion();
+  EXPECT_TRUE(a->finished());
+  EXPECT_TRUE(b->finished());
+  EXPECT_EQ(a->generated(), a->output_tokens());
+  EXPECT_EQ(b->generated(), b->output_tokens());
+  FinishRun();
+}
+
+TEST_P(SchedulerConformanceTest, MemoryPressureStillConverges) {
+  // More concurrent demand than the allocator can hold at once: policies
+  // must admit lazily or preempt, and every request still finishes.
+  std::vector<RequestState*> all;
+  for (int i = 0; i < 8; ++i) {
+    all.push_back(Add(120 + 30 * i, 16, /*client_id=*/i % 2));
+  }
+  RunToCompletion();
+  for (RequestState* state : all) {
+    EXPECT_TRUE(state->finished()) << "request " << state->id();
+  }
+  EXPECT_EQ(allocator_->used_units(), 0);
+  FinishRun();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, SchedulerConformanceTest,
+    testing::Values(
+        ConformanceParam{SchedulerPolicy::kSarathi, AllocatorKind::kPaged},
+        ConformanceParam{SchedulerPolicy::kSarathi, AllocatorKind::kReservation},
+        ConformanceParam{SchedulerPolicy::kVllm, AllocatorKind::kPaged},
+        ConformanceParam{SchedulerPolicy::kVllm, AllocatorKind::kReservation},
+        ConformanceParam{SchedulerPolicy::kOrca, AllocatorKind::kPaged},
+        ConformanceParam{SchedulerPolicy::kOrca, AllocatorKind::kReservation},
+        ConformanceParam{SchedulerPolicy::kFasterTransformer, AllocatorKind::kPaged},
+        ConformanceParam{SchedulerPolicy::kFasterTransformer, AllocatorKind::kReservation},
+        ConformanceParam{SchedulerPolicy::kFastServe, AllocatorKind::kPaged},
+        ConformanceParam{SchedulerPolicy::kFastServe, AllocatorKind::kReservation},
+        ConformanceParam{SchedulerPolicy::kVtc, AllocatorKind::kPaged},
+        ConformanceParam{SchedulerPolicy::kVtc, AllocatorKind::kReservation}),
+    ParamName);
+
+}  // namespace
+}  // namespace sarathi

@@ -1,0 +1,77 @@
+// Edge-case tests for ComputeTokenBudget (§4.3): infeasible SLOs fall back
+// to the minimum budget, every result is tile-aligned and within bounds, and
+// the derived budget is monotone non-decreasing in the TBT SLO.
+
+#include <gtest/gtest.h>
+
+#include "src/core/serving_system.h"
+#include "src/scheduler/token_budget.h"
+
+namespace sarathi {
+namespace {
+
+IterationCostModel MistralCostModel() {
+  Deployment d = MistralOnA100();
+  return IterationCostModel(d.model, d.cluster, d.parallel);
+}
+
+TEST(TokenBudgetTest, InfeasibleSloReturnsMinBudget) {
+  IterationCostModel cost_model = MistralCostModel();
+  TokenBudgetOptions options;
+  options.tbt_slo_s = 1e-9;  // No batch executes this fast.
+  options.min_budget = 128;
+  EXPECT_EQ(ComputeTokenBudget(cost_model, options), 128);
+}
+
+TEST(TokenBudgetTest, GenerousSloSaturatesAtMaxBudget) {
+  IterationCostModel cost_model = MistralCostModel();
+  TokenBudgetOptions options;
+  options.tbt_slo_s = 1e9;
+  options.max_budget = 4096;
+  EXPECT_EQ(ComputeTokenBudget(cost_model, options), 4096);
+}
+
+TEST(TokenBudgetTest, ResultIsTileAlignedAndBounded) {
+  IterationCostModel cost_model = MistralCostModel();
+  int64_t tile = cost_model.cluster().gpu.matmul_tile_tokens;
+  ASSERT_GT(tile, 0);
+  for (double slo : {0.001, 0.005, 0.01, 0.02, 0.05, 0.1, 0.25, 1.0}) {
+    TokenBudgetOptions options;
+    options.tbt_slo_s = slo;
+    int64_t budget = ComputeTokenBudget(cost_model, options);
+    EXPECT_EQ(budget % tile, 0) << "slo=" << slo << " budget=" << budget;
+    EXPECT_GE(budget, options.min_budget) << "slo=" << slo;
+    EXPECT_LE(budget, options.max_budget) << "slo=" << slo;
+  }
+}
+
+TEST(TokenBudgetTest, MonotoneNonDecreasingInSlo) {
+  IterationCostModel cost_model = MistralCostModel();
+  int64_t previous = 0;
+  for (double slo = 0.002; slo <= 0.5; slo *= 1.5) {
+    TokenBudgetOptions options;
+    options.tbt_slo_s = slo;
+    int64_t budget = ComputeTokenBudget(cost_model, options);
+    EXPECT_GE(budget, previous) << "budget shrank as the SLO relaxed at slo=" << slo;
+    previous = budget;
+  }
+}
+
+TEST(TokenBudgetTest, BudgetMatchesProfiledLatency) {
+  // The returned budget's profiled batch fits the SLO; one more tile misses
+  // it (unless the search saturated at max_budget).
+  IterationCostModel cost_model = MistralCostModel();
+  int64_t tile = cost_model.cluster().gpu.matmul_tile_tokens;
+  TokenBudgetOptions options;
+  options.tbt_slo_s = 0.04;
+  int64_t budget = ComputeTokenBudget(cost_model, options);
+  if (budget > options.min_budget) {
+    EXPECT_LE(ProfiledIterationTime(cost_model, options, budget), options.tbt_slo_s);
+  }
+  if (budget < options.max_budget) {
+    EXPECT_GT(ProfiledIterationTime(cost_model, options, budget + tile), options.tbt_slo_s);
+  }
+}
+
+}  // namespace
+}  // namespace sarathi

@@ -1,0 +1,390 @@
+// sarathi_fuzz: differential scheduler/allocator fuzzer with the runtime
+// invariant checker enabled.
+//
+// For each seed it synthesizes a randomized workload (bursty or Poisson
+// arrivals, parallel sampling, deadlines, multi-tenant client ids), a
+// randomized scheduler configuration (budget, batch size, ablations, dynamic
+// budget controller), and a fault schedule (replica crashes, client
+// timeouts), then runs every scheduling policy on both KV allocators with an
+// InvariantChecker attached. Any violation of the paper's guarantees (token
+// budget, stall-free batching, token/KV conservation, clock monotonicity) is
+// reported with the seed, run label, iteration, and request id needed to
+// reproduce it:
+//
+//   sarathi_fuzz --seeds=1 --start=<failing seed>
+//
+// Each seed additionally performs a determinism check: one configuration is
+// simulated twice with identical inputs and the runs must produce
+// byte-identical request-metrics and aggregate telemetry CSVs.
+//
+// Flags:
+//   --seeds=N        number of seeds to run (default 100)
+//   --start=S        first seed (default 0)
+//   --fatal          abort on the first violation (stack trace at the site)
+//   --repro-out=DIR  write a repro file per failing seed into DIR
+//   --verbose        one line per seed instead of a progress line per 10
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/common/args.h"
+#include "src/common/rng.h"
+#include "src/core/serving_system.h"
+#include "src/scheduler/scheduler_factory.h"
+#include "src/simulator/cluster_simulator.h"
+#include "src/simulator/fault_injector.h"
+#include "src/simulator/replica_simulator.h"
+#include "src/simulator/telemetry.h"
+#include "src/verify/invariant_checker.h"
+#include "src/workload/trace.h"
+
+namespace sarathi {
+namespace {
+
+constexpr char kUsage[] = R"(sarathi_fuzz: randomized invariant fuzzer (see docs/verification.md)
+
+  --seeds=N        number of seeds to run (default 100)
+  --start=S        first seed (default 0)
+  --fatal          abort on the first violation instead of accumulating
+  --repro-out=DIR  write a repro report per failing seed into DIR
+  --verbose        per-seed progress lines
+)";
+
+constexpr SchedulerPolicy kPolicies[] = {
+    SchedulerPolicy::kSarathi,          SchedulerPolicy::kVllm,
+    SchedulerPolicy::kOrca,             SchedulerPolicy::kFasterTransformer,
+    SchedulerPolicy::kFastServe,        SchedulerPolicy::kVtc,
+};
+
+// Everything one seed determines: the workload, the scheduler shape, the
+// deployment, and the fault schedule. Derived deterministically from the seed
+// alone so a failing seed reproduces in isolation.
+struct FuzzCase {
+  Trace trace;
+  SchedulerConfig scheduler;  // Policy is overwritten per matrix cell.
+  Deployment deployment;
+  bool pipeline_deployment = false;
+
+  // KV sizing: small enough to force admission pressure and preemption,
+  // large enough that progress is always possible (a lone sequence can
+  // always grow, and crash-recompute re-admission — which needs
+  // prefill_target + output <= max_seq_len, i.e. prompt + 2*output — fits).
+  int64_t kv_max_seq_len = 0;
+  int64_t kv_capacity_tokens = 0;
+
+  bool cluster_mode = false;
+  int num_replicas = 0;
+  RoutingPolicy routing = RoutingPolicy::kLeastOutstandingWork;
+  FaultOptions faults;         // Cluster-mode fault model.
+  bool standalone_outages = false;  // Standalone: crash-recompute outages.
+  double outage_mtbf_s = 0.0;
+  double outage_mttr_s = 0.0;
+
+  std::string Summary() const;
+};
+
+std::string FuzzCase::Summary() const {
+  std::ostringstream out;
+  out << trace.size() << " requests, budget=" << scheduler.token_budget
+      << ", max_batch=" << scheduler.max_batch_size
+      << (scheduler.enable_chunking ? "" : ", no-chunking")
+      << (scheduler.enable_hybrid ? "" : ", no-hybrid")
+      << (scheduler.align_chunks_to_tile ? ", align-tile" : "")
+      << (scheduler.dynamic_budget_tbt_slo_s > 0.0 ? ", dynamic-budget" : "")
+      << ", kv=" << kv_capacity_tokens << "/" << kv_max_seq_len
+      << ", model=" << deployment.model.name;
+  if (cluster_mode) {
+    out << ", cluster x" << num_replicas << " (" << RoutingPolicyName(routing)
+        << ", mtbf=" << faults.mtbf_s << ")";
+  } else if (standalone_outages) {
+    out << ", outages (mtbf=" << outage_mtbf_s << ")";
+  }
+  return out.str();
+}
+
+Trace MakeTrace(Rng& rng) {
+  Trace trace;
+  trace.name = "fuzz";
+  int64_t n = rng.UniformInt(6, 32);
+  int64_t max_prompt = rng.UniformInt(0, 2) == 0 ? 64 : (rng.UniformInt(0, 1) == 0 ? 256 : 384);
+  bool burst = rng.Uniform(0.0, 1.0) < 0.4;
+  double qps = rng.Uniform(2.0, 30.0);
+  double clock = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    Request r;
+    r.id = i;
+    if (!burst) clock += rng.Exponential(qps);
+    r.arrival_time_s = clock;
+    r.prompt_tokens = rng.UniformInt(1, max_prompt);
+    r.output_tokens = rng.UniformInt(1, 48);
+    r.client_id = rng.UniformInt(0, 3);
+    if (rng.Uniform(0.0, 1.0) < 0.10) r.num_samples = rng.UniformInt(2, 3);
+    if (rng.Uniform(0.0, 1.0) < 0.15) r.deadline_s = rng.Uniform(0.2, 10.0);
+    trace.requests.push_back(r);
+  }
+  return trace;
+}
+
+SchedulerConfig MakeSchedulerConfig(Rng& rng) {
+  SchedulerConfig config;
+  constexpr int64_t kBudgets[] = {128, 192, 256, 512};
+  config.token_budget = kBudgets[rng.UniformInt(0, 3)];
+  config.max_batch_size = rng.UniformInt(2, 16);
+  config.max_prefill_tokens = rng.UniformInt(0, 1) == 0 ? 16384 : 512;
+  config.align_chunks_to_tile = rng.UniformInt(0, 1) == 0;
+  if (rng.Uniform(0.0, 1.0) < 0.10) config.enable_chunking = false;
+  if (rng.Uniform(0.0, 1.0) < 0.10) config.enable_hybrid = false;
+  if (rng.Uniform(0.0, 1.0) < 0.25) {
+    config.dynamic_budget_tbt_slo_s = rng.Uniform(0.01, 0.1);
+    config.min_token_budget = 128;
+    config.max_token_budget = 2048;
+    config.budget_tile = 128;
+  }
+  // VTC tenant weights for the client ids the workload emits.
+  config.client_weights = {{0, 1.0}, {1, 2.0}, {2, 0.5}, {3, 1.0}};
+  return config;
+}
+
+FuzzCase MakeCase(uint64_t seed) {
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+  FuzzCase fuzz_case;
+  fuzz_case.trace = MakeTrace(rng);
+  fuzz_case.scheduler = MakeSchedulerConfig(rng);
+  fuzz_case.pipeline_deployment = rng.Uniform(0.0, 1.0) < 0.2;
+  fuzz_case.deployment = fuzz_case.pipeline_deployment ? LlamaOnA40Tp4Pp2() : MistralOnA100();
+
+  int64_t max_total = 0;
+  for (const Request& r : fuzz_case.trace.requests) {
+    max_total = std::max(max_total, r.prompt_tokens + 2 * r.output_tokens);
+  }
+  fuzz_case.kv_max_seq_len = max_total;
+  fuzz_case.kv_capacity_tokens = rng.UniformInt(2, 4) * max_total;
+
+  fuzz_case.cluster_mode = rng.Uniform(0.0, 1.0) < 0.4;
+  if (fuzz_case.cluster_mode) {
+    fuzz_case.num_replicas = static_cast<int>(rng.UniformInt(2, 3));
+    fuzz_case.routing = rng.UniformInt(0, 1) == 0 ? RoutingPolicy::kRoundRobin
+                                                  : RoutingPolicy::kLeastOutstandingWork;
+    fuzz_case.faults.seed = seed + 17;
+    fuzz_case.faults.mtbf_s = rng.Uniform(4.0, 20.0);
+    fuzz_case.faults.mttr_s = rng.Uniform(0.5, 3.0);
+    fuzz_case.faults.min_outage_s = 0.25;
+    if (rng.Uniform(0.0, 1.0) < 0.5) {
+      fuzz_case.faults.request_timeout_probability = rng.Uniform(0.05, 0.4);
+      fuzz_case.faults.request_timeout_s = rng.Uniform(2.0, 10.0);
+    }
+  } else {
+    fuzz_case.standalone_outages = rng.Uniform(0.0, 1.0) < 0.5;
+    fuzz_case.outage_mtbf_s = rng.Uniform(5.0, 15.0);
+    fuzz_case.outage_mttr_s = rng.Uniform(0.5, 2.0);
+  }
+  return fuzz_case;
+}
+
+// Parallel sampling forks share prompt KV, which only the paged allocator
+// supports; reservation runs serve every request single-sample.
+Trace StripSamples(const Trace& trace) {
+  Trace stripped = trace;
+  for (Request& r : stripped.requests) r.num_samples = 1;
+  return stripped;
+}
+
+SimulatorOptions MakeReplicaOptions(const FuzzCase& fuzz_case, SchedulerPolicy policy,
+                                    AllocatorKind kind, InvariantChecker* checker) {
+  SimulatorOptions options;
+  options.model = fuzz_case.deployment.model;
+  options.cluster = fuzz_case.deployment.cluster;
+  options.parallel = fuzz_case.deployment.parallel;
+  options.scheduler = fuzz_case.scheduler;
+  options.scheduler.policy = policy;
+  options.allocator_kind = kind;
+  options.kv_capacity_tokens = fuzz_case.kv_capacity_tokens;
+  options.kv_max_seq_len = fuzz_case.kv_max_seq_len;
+  options.record_iterations = true;
+  options.checker = checker;
+  return options;
+}
+
+double TraceHorizon(const Trace& trace) {
+  double last = 0.0;
+  for (const Request& r : trace.requests) last = std::max(last, r.arrival_time_s);
+  return last + 60.0;
+}
+
+// Runs one matrix cell (policy x allocator) under the checker. Returns the
+// checker report on violation, empty string when clean.
+std::string RunCell(const FuzzCase& fuzz_case, SchedulerPolicy policy, AllocatorKind kind,
+                    bool fatal) {
+  InvariantChecker::Options checker_options;
+  checker_options.fatal = fatal;
+  InvariantChecker checker(checker_options);
+
+  Trace trace =
+      kind == AllocatorKind::kReservation ? StripSamples(fuzz_case.trace) : fuzz_case.trace;
+
+  if (fuzz_case.cluster_mode) {
+    ClusterOptions cluster;
+    cluster.replica = MakeReplicaOptions(fuzz_case, policy, kind, &checker);
+    cluster.num_replicas = fuzz_case.num_replicas;
+    cluster.routing = fuzz_case.routing;
+    cluster.faults = fuzz_case.faults;
+    ClusterSimulator simulator(cluster);
+    simulator.Run(trace);
+  } else {
+    SimulatorOptions options = MakeReplicaOptions(fuzz_case, policy, kind, &checker);
+    if (fuzz_case.standalone_outages) {
+      FaultOptions fault_options;
+      fault_options.seed = fuzz_case.faults.seed + 31;
+      fault_options.mtbf_s = fuzz_case.outage_mtbf_s;
+      fault_options.mttr_s = fuzz_case.outage_mttr_s;
+      fault_options.min_outage_s = 0.25;
+      options.outages =
+          FaultInjector(fault_options).OutagesFor(0, TraceHorizon(fuzz_case.trace));
+      options.fail_interrupted_on_crash = false;  // Crash-recompute path.
+    }
+    ReplicaSimulator simulator(options);
+    simulator.Run(trace);
+  }
+  if (checker.ok()) return "";
+  return checker.Report();
+}
+
+// Serializes the telemetry a run produced into one comparable string.
+std::string TelemetryFingerprint(const SimResult& result) {
+  std::ostringstream out;
+  WriteRequestMetricsCsv(result, out);
+  WriteAggregateCsv(result, out);
+  WriteIterationLogCsv(result, out);
+  return out.str();
+}
+
+// Same seed, same inputs, twice: the telemetry must match byte for byte.
+// Rotates through the policies by seed so all six get coverage; faults are
+// forced on so the crash/retry/re-route machinery is inside the comparison.
+std::string RunDeterminismCheck(const FuzzCase& fuzz_case, uint64_t seed) {
+  SchedulerPolicy policy = kPolicies[seed % (sizeof(kPolicies) / sizeof(kPolicies[0]))];
+  ClusterOptions cluster;
+  cluster.replica = MakeReplicaOptions(fuzz_case, policy, AllocatorKind::kPaged, nullptr);
+  cluster.num_replicas = fuzz_case.cluster_mode ? fuzz_case.num_replicas : 2;
+  cluster.routing = fuzz_case.routing;
+  cluster.faults = fuzz_case.faults;
+  if (!cluster.faults.any_faults()) {
+    cluster.faults.seed = seed + 17;
+    cluster.faults.mtbf_s = 8.0;
+    cluster.faults.mttr_s = 1.0;
+    cluster.faults.min_outage_s = 0.25;
+  }
+
+  std::string first;
+  for (int run = 0; run < 2; ++run) {
+    ClusterSimulator simulator(cluster);
+    SimResult result = simulator.Run(fuzz_case.trace);
+    std::string fingerprint = TelemetryFingerprint(result);
+    if (run == 0) {
+      first = std::move(fingerprint);
+    } else if (fingerprint != first) {
+      std::ostringstream out;
+      out << "determinism violation: policy " << SchedulerPolicyName(policy)
+          << ", two identical cluster runs produced different telemetry ("
+          << first.size() << " vs " << fingerprint.size() << " bytes)";
+      return out.str();
+    }
+  }
+  return "";
+}
+
+int RunMain(int argc, char** argv) {
+  auto parsed = ArgParser::Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::cerr << parsed.status().ToString() << "\n" << kUsage;
+    return 2;
+  }
+  ArgParser args = std::move(parsed).value();
+  if (args.GetBool("help", false)) {
+    std::cout << kUsage;
+    return 0;
+  }
+  auto seeds_arg = args.GetInt("seeds", 100);
+  auto start_arg = args.GetInt("start", 0);
+  if (!seeds_arg.ok() || !start_arg.ok()) {
+    std::cerr << (seeds_arg.ok() ? start_arg.status() : seeds_arg.status()).ToString() << "\n";
+    return 2;
+  }
+  int64_t num_seeds = seeds_arg.value();
+  int64_t start = start_arg.value();
+  bool fatal = args.GetBool("fatal", false);
+  bool verbose = args.GetBool("verbose", false);
+  std::string repro_dir = args.GetString("repro-out", "");
+  for (const std::string& key : args.UnconsumedKeys()) {
+    std::cerr << "warning: unknown flag --" << key << "\n";
+  }
+
+  int64_t failing_seeds = 0;
+  int64_t runs = 0;
+  for (int64_t i = 0; i < num_seeds; ++i) {
+    uint64_t seed = static_cast<uint64_t>(start + i);
+    FuzzCase fuzz_case = MakeCase(seed);
+    std::vector<std::string> failures;
+
+    for (SchedulerPolicy policy : kPolicies) {
+      for (AllocatorKind kind : {AllocatorKind::kPaged, AllocatorKind::kReservation}) {
+        std::string report = RunCell(fuzz_case, policy, kind, fatal);
+        ++runs;
+        if (!report.empty()) {
+          std::ostringstream out;
+          out << "seed " << seed << ", policy " << SchedulerPolicyName(policy)
+              << ", allocator " << AllocatorKindName(kind) << ":\n" << report;
+          failures.push_back(out.str());
+        }
+      }
+    }
+    std::string determinism = RunDeterminismCheck(fuzz_case, seed);
+    runs += 2;
+    if (!determinism.empty()) {
+      failures.push_back("seed " + std::to_string(seed) + ": " + determinism);
+    }
+
+    if (!failures.empty()) {
+      ++failing_seeds;
+      std::cerr << "FAIL seed " << seed << " (" << fuzz_case.Summary() << ")\n";
+      for (const std::string& failure : failures) std::cerr << failure << "\n";
+      if (!repro_dir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(repro_dir, ec);
+        std::ofstream out(repro_dir + "/seed_" + std::to_string(seed) + ".txt");
+        out << "Reproduce with: sarathi_fuzz --seeds=1 --start=" << seed << "\n"
+            << "Case: " << fuzz_case.Summary() << "\n\n";
+        for (const std::string& failure : failures) out << failure << "\n";
+      }
+      if (failing_seeds >= 5) {
+        std::cerr << "stopping after 5 failing seeds\n";
+        break;
+      }
+    } else if (verbose) {
+      std::cout << "ok seed " << seed << " (" << fuzz_case.Summary() << ")\n";
+    } else if ((i + 1) % 10 == 0 || i + 1 == num_seeds) {
+      std::cout << "seeds " << start << ".." << (start + i) << ": "
+                << (failing_seeds == 0 ? "all clean" : "FAILURES") << " (" << runs
+                << " runs)\n";
+    }
+  }
+
+  if (failing_seeds > 0) {
+    std::cerr << failing_seeds << " failing seed(s)\n";
+    return 1;
+  }
+  std::cout << "fuzz clean: " << num_seeds << " seeds, " << runs
+            << " runs (6 policies x 2 allocators + determinism), 0 violations\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace sarathi
+
+int main(int argc, char** argv) { return sarathi::RunMain(argc, argv); }
