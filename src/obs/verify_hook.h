@@ -23,12 +23,13 @@ class RequestState;
 // Scheduler-side state transitions, emitted by the Scheduler base class so
 // every policy is covered uniformly.
 enum class SchedVerifyEvent {
-  kEnqueue,  // Request joined the wait queue (arrival or crash-recompute).
-  kAdmit,    // Queue head admitted into the running set (KV reserved).
-  kAdopt,    // Forked sibling joined the running set post-prefill.
-  kPreempt,  // Evicted for memory, reset for recomputation, re-queued.
-  kAbort,    // Cancelled (deadline, crash drain, router re-route).
-  kFinish,   // Completed all output tokens; KV released.
+  kEnqueue,        // Request joined the wait queue (arrival or crash-recompute).
+  kAdmit,          // Queue head admitted into the running set (KV reserved).
+  kAdopt,          // Forked sibling joined the running set post-prefill.
+  kAdoptMigrated,  // Live-migrated request resumed decoding (KV restored, no recompute).
+  kPreempt,        // Evicted for memory, reset for recomputation, re-queued.
+  kAbort,          // Cancelled (deadline, crash drain, router re-route).
+  kFinish,         // Completed all output tokens; KV released.
 };
 
 inline std::string_view SchedVerifyEventName(SchedVerifyEvent event) {
@@ -39,6 +40,8 @@ inline std::string_view SchedVerifyEventName(SchedVerifyEvent event) {
       return "admit";
     case SchedVerifyEvent::kAdopt:
       return "adopt";
+    case SchedVerifyEvent::kAdoptMigrated:
+      return "adopt_migrated";
     case SchedVerifyEvent::kPreempt:
       return "preempt";
     case SchedVerifyEvent::kAbort:

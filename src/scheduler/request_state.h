@@ -111,15 +111,40 @@ class RequestState {
   }
 
   // Preemption by recomputation: KV is discarded; the re-prefill must rebuild
-  // the prompt plus all generated context.
+  // the prompt plus all generated context. The discarded prefill progress and
+  // the re-prefilled generated context count as wasted recompute work.
   void ResetForRecompute() {
+    wasted_tokens_ += prefill_done_ + generated_;
     prefill_target_ = prompt_tokens_ + generated_;
     prefill_done_ = 0;
     phase_ = RequestPhase::kQueued;
+    migrated_in_ = false;
     ++preemptions_;
   }
 
+  // Live KV migration restore: the request generated `generated_elsewhere`
+  // output tokens on another replica and arrives here with its prompt +
+  // generated KV in tow — prefill is complete and decoding resumes at the
+  // next token, with zero recompute. Must be applied before scheduling.
+  void RestoreFromMigration(int64_t generated_elsewhere) {
+    CHECK(phase_ == RequestPhase::kQueued);
+    CHECK_GT(generated_elsewhere, 0);
+    CHECK_LT(generated_elsewhere, output_tokens_);
+    prefill_done_ = prefill_target_;
+    generated_ = generated_elsewhere;
+    migrated_in_ = true;
+  }
+
+  // True for a migrated-in request that has kept its no-recompute property
+  // (cleared if memory pressure later forces a recompute preemption).
+  bool migrated_in() const { return migrated_in_; }
+
   int64_t preemptions() const { return preemptions_; }
+
+  // Token positions whose KV had to be computed more than once for this
+  // attempt: discarded prefill progress plus generated context re-prefilled
+  // after each recompute preemption.
+  int64_t wasted_tokens() const { return wasted_tokens_; }
 
  private:
   int64_t id_;
@@ -134,7 +159,9 @@ class RequestState {
   int64_t prefill_target_;
   int64_t generated_ = 0;
   bool locked_ = false;
+  bool migrated_in_ = false;
   int64_t preemptions_ = 0;
+  int64_t wasted_tokens_ = 0;
 };
 
 }  // namespace sarathi

@@ -67,6 +67,26 @@ void Scheduler::AdoptRunning(RequestState* request) {
   NotifyVerify(SchedVerifyEvent::kAdopt, request);
 }
 
+bool Scheduler::AdoptMigrated(RequestState* request) {
+  CHECK(request != nullptr);
+  CHECK(request->phase() == RequestPhase::kQueued);
+  CHECK(request->prefill_complete()) << "live migration transfers a decoding request";
+  CHECK_GT(request->generated(), 0);
+  // The most recent emitted token's KV is not yet written (the destination
+  // reserves its slot via PrepareDecodeSlot, exactly like a local decode).
+  int64_t held_tokens = request->context_len() - 1;
+  int64_t max_total = request->prefill_target() + request->output_tokens();
+  if (!allocator_->CanAdmit(held_tokens, max_total)) {
+    return false;
+  }
+  allocator_->Admit(request->id(), held_tokens, max_total);
+  request->set_phase(RequestPhase::kRunning);
+  running_.push_back(request);
+  NotifyVerify(SchedVerifyEvent::kAdoptMigrated, request);
+  EmitSchedulerObs("adopt_migrated", request);
+  return true;
+}
+
 bool Scheduler::CanAdmitHead() const {
   if (queue_.empty()) {
     return false;
@@ -101,13 +121,26 @@ bool Scheduler::PrepareDecodeSlot(RequestState* request, const ScheduledBatch& b
   while (!allocator_->CanAppendToken(request->id())) {
     // Victim: the latest-admitted running request that is neither locked,
     // already packed into the batch under construction, nor the request we
-    // are trying to keep alive.
+    // are trying to keep alive. Migrated-in requests are preempted only as a
+    // last resort — recomputing one forfeits the KV transfer that paid for
+    // its no-recompute property.
     RequestState* victim = nullptr;
+    RequestState* migrated_victim = nullptr;
     for (auto it = running_.rbegin(); it != running_.rend(); ++it) {
-      if (*it != request && !(*it)->locked() && !in_batch(*it)) {
-        victim = *it;
-        break;
+      if (*it == request || (*it)->locked() || in_batch(*it)) {
+        continue;
       }
+      if ((*it)->migrated_in()) {
+        if (migrated_victim == nullptr) {
+          migrated_victim = *it;
+        }
+        continue;
+      }
+      victim = *it;
+      break;
+    }
+    if (victim == nullptr) {
+      victim = migrated_victim;
     }
     if (victim == nullptr) {
       return false;

@@ -145,6 +145,14 @@ class Scheduler {
   // reserved via PagedBlockManager::Fork rather than Admit.
   void AdoptRunning(RequestState* request);
 
+  // Adopts a live-migrated request: its prefill is complete and it already
+  // generated tokens elsewhere (RequestState::RestoreFromMigration), so this
+  // replica admits KV for the transferred prompt+generated context and the
+  // request resumes decoding with zero recompute. Returns false — leaving the
+  // request untouched — when the allocator cannot hold the restored context;
+  // the caller then falls back to ResetForRecompute + Enqueue.
+  bool AdoptMigrated(RequestState* request);
+
   // Forms the next batch from unlocked work. An empty batch means nothing is
   // currently schedulable (queue empty or blocked, running set locked).
   virtual ScheduledBatch Schedule() = 0;

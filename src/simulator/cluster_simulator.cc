@@ -34,6 +34,17 @@ size_t FindAttemptSlot(const SimResult& result, int64_t id, double arrival_s) {
   return kNoSlot;
 }
 
+// Sub-trace request of the service attempt with this id and arrival time, for
+// stamping planned aborts (migration checkpoints, drains, hedge cancels).
+Request* FindSubRequest(Trace* trace, int64_t id, double arrival_s) {
+  for (Request& r : trace->requests) {
+    if (r.id == id && r.arrival_time_s == arrival_s) {
+      return &r;
+    }
+  }
+  return nullptr;
+}
+
 }  // namespace
 
 std::string_view RoutingPolicyName(RoutingPolicy policy) {
@@ -46,10 +57,25 @@ std::string_view RoutingPolicyName(RoutingPolicy policy) {
   return "unknown";
 }
 
+std::string_view FailoverModeName(FailoverMode mode) {
+  switch (mode) {
+    case FailoverMode::kNone:
+      return "none";
+    case FailoverMode::kRecompute:
+      return "recompute";
+    case FailoverMode::kLiveMigrate:
+      return "live_migrate";
+  }
+  return "unknown";
+}
+
 ClusterSimulator::ClusterSimulator(const ClusterOptions& options) : options_(options) {
   CHECK_GE(options_.num_replicas, 1);
   CHECK_GE(options_.max_retries, 0);
   CHECK_GT(options_.retry_backoff_s, 0.0);
+  CHECK_GT(options_.migration_bandwidth_Bps, 0.0);
+  CHECK_GE(options_.migration_latency_s, 0.0);
+  CHECK_GE(options_.migration_delay_s, 0.0);
   if (options_.estimated_tokens_per_s > 0.0) {
     service_rate_ = options_.estimated_tokens_per_s;
   } else {
@@ -73,6 +99,27 @@ bool ClusterSimulator::DownAt(int replica, double t) const {
       return false;
     }
     if (t < outage.up_s) {
+      return true;
+    }
+  }
+  return false;
+}
+
+double ClusterSimulator::SlowdownFactorAt(int replica, double t) const {
+  for (const SlowdownEpisode& episode : slowdown_schedules_[static_cast<size_t>(replica)]) {
+    if (t < episode.start_s) {
+      return 1.0;
+    }
+    if (t < episode.end_s) {
+      return episode.factor;
+    }
+  }
+  return 1.0;
+}
+
+bool ClusterSimulator::DetectedDegradedAt(int replica, double t) const {
+  for (const DetectedInterval& interval : detected_[static_cast<size_t>(replica)]) {
+    if (t >= interval.begin_s && t < interval.end_s) {
       return true;
     }
   }
@@ -110,17 +157,30 @@ void ClusterSimulator::AgeOutstanding(RouterState* state, double now) const {
 int ClusterSimulator::Route(int64_t tokens, double now, int exclude,
                             RouterState* state) const {
   const int n = options_.num_replicas;
-  int num_up = 0;
+  int num_live = 0;       // Up and not quarantined.
+  int num_preferred = 0;  // Live and not detected degraded.
   for (int r = 0; r < n; ++r) {
-    num_up += DownAt(r, now) ? 0 : 1;
+    bool live = !DownAt(r, now) && !quarantined_[static_cast<size_t>(r)];
+    num_live += live ? 1 : 0;
+    num_preferred += (live && !DetectedDegradedAt(r, now)) ? 1 : 0;
   }
-  if (num_up == 0) {
+  if (num_live == 0) {
     return -1;
   }
+  auto live = [&](int r) {
+    return !DownAt(r, now) && !quarantined_[static_cast<size_t>(r)];
+  };
+  // Circuit breaker: when any live replica is not detected degraded, restrict
+  // the choice to those; otherwise fall back to whatever is live.
+  bool prefer = options_.avoid_degraded && num_preferred > 0;
   // Avoid the replica that just failed the request — unless it is the only
-  // one standing.
-  bool avoid = exclude >= 0 && !(num_up == 1 && !DownAt(exclude, now));
-  auto allowed = [&](int r) { return !DownAt(r, now) && !(avoid && r == exclude); };
+  // eligible one standing.
+  int num_eligible = prefer ? num_preferred : num_live;
+  bool avoid = exclude >= 0 && !(num_eligible == 1 && live(exclude) &&
+                                 (!prefer || !DetectedDegradedAt(exclude, now)));
+  auto allowed = [&](int r) {
+    return live(r) && !(prefer && DetectedDegradedAt(r, now)) && !(avoid && r == exclude);
+  };
 
   int pick = -1;
   if (options_.routing == RoutingPolicy::kRoundRobin) {
@@ -148,7 +208,9 @@ int ClusterSimulator::Route(int64_t tokens, double now, int exclude,
     }
   }
   state->rr_cursor = (state->rr_cursor + 1) % n;
-  CHECK_GE(pick, 0);
+  if (pick < 0) {
+    return -1;  // Everything live was excluded.
+  }
   state->outstanding_tokens[static_cast<size_t>(pick)] += static_cast<double>(tokens);
   return pick;
 }
@@ -174,8 +236,47 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
               4.0 * static_cast<double>(trace_tokens) / (service_rate_ * n);
   }
   outage_schedules_.assign(static_cast<size_t>(n), {});
+  slowdown_schedules_.assign(static_cast<size_t>(n), {});
   for (int r = 0; r < n; ++r) {
     outage_schedules_[static_cast<size_t>(r)] = injector.OutagesFor(r, horizon);
+    if (!options_.slowdown_overrides.empty()) {
+      if (static_cast<size_t>(r) < options_.slowdown_overrides.size()) {
+        slowdown_schedules_[static_cast<size_t>(r)] =
+            options_.slowdown_overrides[static_cast<size_t>(r)];
+      }
+    } else {
+      slowdown_schedules_[static_cast<size_t>(r)] = injector.SlowdownsFor(r, horizon);
+    }
+  }
+  quarantined_.assign(static_cast<size_t>(n), false);
+
+  // ---- Health probing ----
+  // The prober replays the fault schedules (ground truth the replicas will
+  // execute) on its fixed cadence before any simulation: detection intervals
+  // are a pure function of the schedules, with realistic lag from EWMA
+  // warm-up and hysteresis, and are then consulted by every routing decision
+  // at that decision's own timestamp — no oracle.
+  detected_.assign(static_cast<size_t>(n), {});
+  HealthProber prober(n, options_.prober);
+  bool any_signal = false;
+  for (int r = 0; r < n; ++r) {
+    any_signal |= !outage_schedules_[static_cast<size_t>(r)].empty() ||
+                  !slowdown_schedules_[static_cast<size_t>(r)].empty();
+  }
+  if (any_signal) {
+    for (double t = options_.prober.probe_interval_s; t <= horizon;
+         t += options_.prober.probe_interval_s) {
+      for (int r = 0; r < n; ++r) {
+        if (DownAt(r, t)) {
+          prober.MarkDown(r, t);
+        } else {
+          prober.Observe(r, t, SlowdownFactorAt(r, t));
+        }
+      }
+    }
+    for (int r = 0; r < n; ++r) {
+      detected_[static_cast<size_t>(r)] = prober.DegradedIntervals(r);
+    }
   }
 
   // ---- Observability ----
@@ -183,8 +284,9 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
   // accumulate duplicate events from the discarded rounds. Instead every
   // simulate() call starts that replica on a fresh tracer/registry (replacing
   // the previous round's), and the final per-replica state merges into the
-  // caller's sinks at the end of Run. Router-level events (sheds, retries)
-  // are recorded directly into the destination tracer as process `n`.
+  // caller's sinks at the end of Run. Router-level events (sheds, retries,
+  // health transitions, failovers, hedges) are recorded directly into the
+  // destination tracer as process `n`.
   Tracer* dest_tracer =
       options_.replica.tracer != nullptr && options_.replica.tracer->enabled()
           ? options_.replica.tracer
@@ -195,6 +297,15 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
   if (dest_tracer != nullptr) {
     dest_tracer->set_default_pid(n);
     dest_tracer->SetProcessName(n, "router");
+    for (const HealthTransition& tr : prober.transitions()) {
+      dest_tracer->Instant("router", std::string(ReplicaHealthName(tr.to)), tr.time_s,
+                           {Arg("replica", static_cast<int64_t>(tr.replica))});
+    }
+  }
+  if (dest_metrics != nullptr) {
+    for (const HealthTransition& tr : prober.transitions()) {
+      dest_metrics->AddCount("probe_transitions", tr.time_s);
+    }
   }
 
   // ---- Initial routing (health-aware, with admission control) ----
@@ -204,9 +315,11 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
   }
   assignment_.assign(num_requests, -1);
   // Service-attempt history per trace request: (replica, attempt arrival).
+  // migrated_in marks attempts that resumed from transferred KV.
   struct Attempt {
     int replica;
     double arrival_s;
+    bool migrated_in = false;
   };
   std::vector<std::vector<Attempt>> chains(num_requests);
   std::vector<bool> shed(num_requests, false);
@@ -255,9 +368,9 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
       }
     }
     int pick = Route(request.total_tokens(), t, /*exclude=*/-1, &router);
-    CHECK_GE(pick, 0);
+    CHECK_GE(pick, 0);  // Quarantine is empty during initial routing.
     assignment_[i] = pick;
-    chains[i].push_back({pick, t});
+    chains[i].push_back({pick, t, false});
     InsertSorted(&sub[static_cast<size_t>(pick)], request);
   }
 
@@ -267,6 +380,10 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
     SimulatorOptions replica_options = options_.replica;
     replica_options.fail_interrupted_on_crash = true;
     replica_options.outages = outage_schedules_[static_cast<size_t>(r)];
+    replica_options.slowdowns = slowdown_schedules_[static_cast<size_t>(r)];
+    replica_options.jitter_probability = injector.options().jitter_probability;
+    replica_options.jitter_max_extra = injector.options().jitter_max_extra;
+    replica_options.jitter_seed = injector.options().seed;
     replica_options.trace_pid = r;
     replica_options.tracer = nullptr;
     replica_options.metrics = nullptr;
@@ -290,80 +407,392 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
   // replicas that received work. Re-simulation only ever adds load, so a
   // previously interrupted attempt stays interrupted and the loop converges:
   // total attempts are capped at num_requests * (max_retries + 1).
-  int64_t round_guard =
-      static_cast<int64_t>(num_requests) * (options_.max_retries + 1) + 1;
-  while (round_guard-- > 0) {
-    struct Retry {
-      double time;
+  auto run_retry_rounds = [&]() {
+    int64_t round_guard =
+        static_cast<int64_t>(num_requests) * (options_.max_retries + 1) + 1;
+    while (round_guard-- > 0) {
+      struct Retry {
+        double time;
+        size_t index;
+      };
+      std::vector<Retry> retries;
+      for (size_t i = 0; i < num_requests; ++i) {
+        if (shed[i] || failure_override[i].first != FailureKind::kNone) {
+          continue;
+        }
+        const Attempt& last = chains[i].back();
+        size_t slot = FindAttemptSlot(results[static_cast<size_t>(last.replica)],
+                                      stamped.requests[i].id, last.arrival_s);
+        CHECK_NE(slot, kNoSlot);
+        const RequestMetrics& m = results[static_cast<size_t>(last.replica)].requests[slot];
+        if (!m.failed() || m.failure != FailureKind::kReplicaCrash) {
+          continue;  // Completed, still only timed out, or never failed.
+        }
+        int used = static_cast<int>(chains[i].size()) - 1;
+        if (used >= options_.max_retries) {
+          continue;  // Retries exhausted: the crash failure stands.
+        }
+        double backoff = options_.retry_backoff_s * static_cast<double>(int64_t{1} << used);
+        double t = NextHealthyTime(m.failed_s + backoff);
+        if (t == kInfinity) {
+          continue;  // No replica ever recovers: the crash failure stands.
+        }
+        double deadline_abs =
+            stamped.requests[i].deadline_s > 0.0
+                ? stamped.requests[i].arrival_time_s + stamped.requests[i].deadline_s
+                : 0.0;
+        if (deadline_abs > 0.0 && t >= deadline_abs) {
+          failure_override[i] = {FailureKind::kTimeout, deadline_abs};
+          continue;  // The client will have given up before the retry lands.
+        }
+        retries.push_back({t, i});
+      }
+      if (retries.empty()) {
+        break;
+      }
+      std::sort(retries.begin(), retries.end(), [](const Retry& a, const Retry& b) {
+        if (a.time != b.time) {
+          return a.time < b.time;
+        }
+        return a.index < b.index;
+      });
+      std::set<int> dirty;
+      for (const Retry& retry : retries) {
+        size_t i = retry.index;
+        Request attempt = stamped.requests[i];
+        attempt.arrival_time_s = retry.time;
+        if (attempt.deadline_s > 0.0) {
+          // The clock started at the original arrival; only the remainder is
+          // available to the retried attempt.
+          attempt.deadline_s = stamped.requests[i].arrival_time_s +
+                               stamped.requests[i].deadline_s - retry.time;
+        }
+        int pick = Route(attempt.total_tokens(), retry.time, chains[i].back().replica, &router);
+        if (pick < 0) {
+          continue;  // Every live replica quarantined or down: failure stands.
+        }
+        if (dest_tracer != nullptr) {
+          dest_tracer->Instant("router", "retry", retry.time,
+                               {Arg("request", attempt.id),
+                                Arg("replica", static_cast<int64_t>(pick))});
+        }
+        if (dest_metrics != nullptr) {
+          dest_metrics->AddCount("retries", retry.time);
+        }
+        chains[i].push_back({pick, retry.time, false});
+        InsertSorted(&sub[static_cast<size_t>(pick)], attempt);
+        dirty.insert(pick);
+      }
+      if (dirty.empty()) {
+        break;  // Nothing routable this round; nothing will change.
+      }
+      for (int r : dirty) {
+        simulate(r);
+      }
+    }
+  };
+  run_retry_rounds();
+
+  auto deadline_abs_of = [&](size_t i) {
+    return stamped.requests[i].deadline_s > 0.0
+               ? stamped.requests[i].arrival_time_s + stamped.requests[i].deadline_s
+               : 0.0;
+  };
+  auto attempt_metrics = [&](const Attempt& attempt, int64_t id) -> const RequestMetrics& {
+    size_t slot =
+        FindAttemptSlot(results[static_cast<size_t>(attempt.replica)], id, attempt.arrival_s);
+    CHECK_NE(slot, kNoSlot);
+    return results[static_cast<size_t>(attempt.replica)].requests[slot];
+  };
+
+  // ---- Degraded failover: drain-and-recompute or live KV migration ----
+  int64_t migrations_done = 0;
+  int64_t migrations_cancelled = 0;
+  int64_t drain_failovers = 0;
+  int64_t migrated_kv_bytes = 0;
+  if (options_.degraded_failover != FailoverMode::kNone) {
+    const bool live_migrate = options_.degraded_failover == FailoverMode::kLiveMigrate;
+    // Decide which requests to pull off which replicas. Only decode-phase
+    // requests are worth moving (a queued or still-prefilling request holds
+    // little KV and is covered by hedging); parallel-sampling parents are
+    // left in place (their forked siblings share prompt KV on the source).
+    struct Failover {
       size_t index;
+      int src;
+      double plan_s;
+      int dst = -1;
     };
-    std::vector<Retry> retries;
+    std::vector<Failover> decisions;
     for (size_t i = 0; i < num_requests; ++i) {
-      if (shed[i] || failure_override[i].first != FailureKind::kNone) {
+      if (shed[i] || failure_override[i].first != FailureKind::kNone ||
+          stamped.requests[i].num_samples > 1) {
         continue;
       }
-      const Attempt& last = chains[i].back();
-      size_t slot = FindAttemptSlot(results[static_cast<size_t>(last.replica)],
-                                    stamped.requests[i].id, last.arrival_s);
-      CHECK_NE(slot, kNoSlot);
-      const RequestMetrics& m = results[static_cast<size_t>(last.replica)].requests[slot];
-      if (!m.failed() || m.failure != FailureKind::kReplicaCrash) {
-        continue;  // Completed, still only timed out, or never failed.
+      const Attempt& att = chains[i].back();
+      const RequestMetrics& m = attempt_metrics(att, stamped.requests[i].id);
+      if (m.failure == FailureKind::kReplicaCrash || m.token_times_s.empty()) {
+        continue;
       }
-      int used = static_cast<int>(chains[i].size()) - 1;
-      if (used >= options_.max_retries) {
-        continue;  // Retries exhausted: the crash failure stands.
+      double done_t = m.completed() ? m.completion_s : (m.failed() ? m.failed_s : kInfinity);
+      double deadline_abs = deadline_abs_of(i);
+      for (const DetectedInterval& d : detected_[static_cast<size_t>(att.replica)]) {
+        double t_m = std::max(d.begin_s, m.token_times_s.front()) + options_.migration_delay_s;
+        if (t_m >= d.end_s || t_m >= done_t) {
+          continue;  // Detection cleared, or the request finished first.
+        }
+        if (deadline_abs > 0.0 && t_m >= deadline_abs) {
+          continue;  // The client gives up before the failover lands.
+        }
+        decisions.push_back({i, att.replica, t_m});
+        break;
       }
-      double backoff = options_.retry_backoff_s * static_cast<double>(int64_t{1} << used);
-      double t = NextHealthyTime(m.failed_s + backoff);
-      if (t == kInfinity) {
-        continue;  // No replica ever recovers: the crash failure stands.
-      }
-      double deadline_abs =
-          stamped.requests[i].deadline_s > 0.0
-              ? stamped.requests[i].arrival_time_s + stamped.requests[i].deadline_s
-              : 0.0;
-      if (deadline_abs > 0.0 && t >= deadline_abs) {
-        failure_override[i] = {FailureKind::kTimeout, deadline_abs};
-        continue;  // The client will have given up before the retry lands.
-      }
-      retries.push_back({t, i});
     }
-    if (retries.empty()) {
-      break;
-    }
-    std::sort(retries.begin(), retries.end(), [](const Retry& a, const Retry& b) {
-      if (a.time != b.time) {
-        return a.time < b.time;
+    std::sort(decisions.begin(), decisions.end(), [](const Failover& a, const Failover& b) {
+      if (a.plan_s != b.plan_s) {
+        return a.plan_s < b.plan_s;
       }
       return a.index < b.index;
     });
-    std::set<int> dirty;
-    for (const Retry& retry : retries) {
-      size_t i = retry.index;
-      Request attempt = stamped.requests[i];
-      attempt.arrival_time_s = retry.time;
-      if (attempt.deadline_s > 0.0) {
-        // The clock started at the original arrival; only the remainder is
-        // available to the retried attempt.
-        attempt.deadline_s = stamped.requests[i].arrival_time_s +
-                             stamped.requests[i].deadline_s - retry.time;
+    // Quarantine every source before choosing destinations: destinations must
+    // never land on a replica whose checkpoint timings the extra load would
+    // perturb, and the router stops feeding a replica it is draining anyway.
+    for (const Failover& d : decisions) {
+      quarantined_[static_cast<size_t>(d.src)] = true;
+    }
+    std::vector<Failover> accepted;
+    std::set<int> dirty_src;
+    for (Failover& d : decisions) {
+      const Request& original = stamped.requests[d.index];
+      int64_t route_tokens = live_migrate ? original.output_tokens : original.total_tokens();
+      int pick = Route(route_tokens, d.plan_s, /*exclude=*/d.src, &router);
+      if (pick < 0 || pick == d.src) {
+        continue;  // Nowhere to move it; the request rides out the slowdown.
       }
-      int pick = Route(attempt.total_tokens(), retry.time, chains[i].back().replica, &router);
-      CHECK_GE(pick, 0);
+      d.dst = pick;
+      Request* sub_request = FindSubRequest(&sub[static_cast<size_t>(d.src)], original.id,
+                                            chains[d.index].back().arrival_s);
+      CHECK(sub_request != nullptr);
+      sub_request->planned_abort =
+          live_migrate ? PlannedAbort::kMigrateOut : PlannedAbort::kDrain;
+      sub_request->planned_abort_s = d.plan_s;
+      dirty_src.insert(d.src);
+      accepted.push_back(d);
       if (dest_tracer != nullptr) {
-        dest_tracer->Instant("router", "retry", retry.time,
-                             {Arg("request", attempt.id),
-                              Arg("replica", static_cast<int64_t>(pick))});
+        dest_tracer->Instant("router", live_migrate ? "migrate_plan" : "drain_plan", d.plan_s,
+                             {Arg("request", original.id),
+                              Arg("src", static_cast<int64_t>(d.src)),
+                              Arg("dst", static_cast<int64_t>(d.dst))});
+      }
+    }
+    for (int r : dirty_src) {
+      simulate(r);
+    }
+    // Read the actual checkpoint outcomes, then build destination attempts.
+    // A request that finished before its planned abort fired is a cancelled
+    // failover (nothing moved).
+    struct Transfer {
+      size_t index;
+      int dst;
+      double failed_s;
+      int64_t generated;
+    };
+    std::vector<Transfer> transfers;
+    std::set<int> dirty_dst;
+    for (const Failover& d : accepted) {
+      const RequestMetrics& sm =
+          attempt_metrics(chains[d.index].back(), stamped.requests[d.index].id);
+      FailureKind want = live_migrate ? FailureKind::kMigrated : FailureKind::kDegradedDrain;
+      if (sm.failure != want) {
+        if (live_migrate) {
+          ++migrations_cancelled;
+        }
+        continue;
+      }
+      double deadline_abs = deadline_abs_of(d.index);
+      if (!live_migrate) {
+        double t = sm.failed_s;
+        if (deadline_abs > 0.0 && t >= deadline_abs) {
+          failure_override[d.index] = {FailureKind::kTimeout, deadline_abs};
+          continue;
+        }
+        Request attempt = stamped.requests[d.index];
+        attempt.arrival_time_s = t;
+        attempt.num_samples = 1;
+        if (attempt.deadline_s > 0.0) {
+          attempt.deadline_s = deadline_abs - t;
+        }
+        chains[d.index].push_back({d.dst, t, false});
+        InsertSorted(&sub[static_cast<size_t>(d.dst)], attempt);
+        dirty_dst.insert(d.dst);
+        ++drain_failovers;
+        if (dest_metrics != nullptr) {
+          dest_metrics->AddCount("drain_failovers", t);
+        }
+        continue;
+      }
+      transfers.push_back({d.index, d.dst, sm.failed_s,
+                           static_cast<int64_t>(sm.token_times_s.size())});
+    }
+    // Serialize KV transfers on the migration link in checkpoint order; the
+    // destination adopts the request when its image lands.
+    std::sort(transfers.begin(), transfers.end(), [](const Transfer& a, const Transfer& b) {
+      if (a.failed_s != b.failed_s) {
+        return a.failed_s < b.failed_s;
+      }
+      return a.index < b.index;
+    });
+    double link_free = 0.0;
+    const int64_t kv_bytes_per_token = options_.replica.model.KvBytesPerToken();
+    for (const Transfer& tr : transfers) {
+      const Request& original = stamped.requests[tr.index];
+      CHECK_GT(tr.generated, 0);  // The checkpoint only fires on decoders.
+      if (tr.generated >= original.output_tokens) {
+        ++migrations_cancelled;  // Fully generated: nothing left to resume.
+        continue;
+      }
+      int64_t bytes = (original.prompt_tokens + tr.generated - 1) * kv_bytes_per_token;
+      double start = std::max(link_free, tr.failed_s);
+      double busy = static_cast<double>(bytes) / options_.migration_bandwidth_Bps;
+      link_free = start + busy;
+      double ready = start + busy + options_.migration_latency_s;
+      double deadline_abs = deadline_abs_of(tr.index);
+      if (deadline_abs > 0.0 && ready >= deadline_abs) {
+        failure_override[tr.index] = {FailureKind::kTimeout, deadline_abs};
+        ++migrations_cancelled;
+        continue;
+      }
+      Request attempt = original;
+      attempt.arrival_time_s = ready;
+      attempt.num_samples = 1;
+      attempt.restored_generated = tr.generated;
+      if (attempt.deadline_s > 0.0) {
+        attempt.deadline_s = deadline_abs - ready;
+      }
+      chains[tr.index].push_back({tr.dst, ready, true});
+      InsertSorted(&sub[static_cast<size_t>(tr.dst)], attempt);
+      dirty_dst.insert(tr.dst);
+      ++migrations_done;
+      migrated_kv_bytes += bytes;
+      if (dest_tracer != nullptr) {
+        dest_tracer->Instant("router", "migrate", ready,
+                             {Arg("request", original.id),
+                              Arg("dst", static_cast<int64_t>(tr.dst)),
+                              Arg("bytes", bytes)});
       }
       if (dest_metrics != nullptr) {
-        dest_metrics->AddCount("retries", retry.time);
+        dest_metrics->AddCount("migrations", ready);
       }
-      chains[i].push_back({pick, retry.time});
-      InsertSorted(&sub[static_cast<size_t>(pick)], attempt);
-      dirty.insert(pick);
+    }
+    for (int r : dirty_dst) {
+      simulate(r);
+    }
+    run_retry_rounds();  // Destinations can crash like anything else.
+  }
+
+  // ---- Hedged dispatch ----
+  // A request still unfinished hedge_after_s into its replica's detected
+  // degradation is duplicated onto a healthy replica; whichever attempt
+  // finishes first wins and the loser is cancelled at the winner's finish.
+  // Winners are decided from the pre-cancellation timeline; cancellation only
+  // removes load, so the decided winner still finishes by its decided time
+  // and the merge re-reads the final metrics either way.
+  struct HedgeInfo {
+    bool issued = false;
+    int replica = -1;
+    double arrival_s = 0.0;
+  };
+  std::vector<HedgeInfo> hedges(num_requests);
+  int64_t hedges_issued = 0;
+  if (options_.hedge_after_s > 0.0) {
+    std::set<int> dirty;
+    for (size_t i = 0; i < num_requests; ++i) {
+      if (shed[i] || failure_override[i].first != FailureKind::kNone ||
+          stamped.requests[i].num_samples > 1) {
+        continue;
+      }
+      const Attempt& att = chains[i].back();
+      // Requests on (or migrated off) a quarantined replica are already being
+      // handled by the failover path; hedging them too would stamp cancels
+      // onto a replica whose checkpoint timings must stay frozen.
+      if (att.migrated_in || quarantined_[static_cast<size_t>(att.replica)]) {
+        continue;
+      }
+      const RequestMetrics& m = attempt_metrics(att, stamped.requests[i].id);
+      double done_t = m.completed() ? m.completion_s : (m.failed() ? m.failed_s : kInfinity);
+      double deadline_abs = deadline_abs_of(i);
+      for (const DetectedInterval& d : detected_[static_cast<size_t>(att.replica)]) {
+        double t_h = std::max(d.begin_s, att.arrival_s) + options_.hedge_after_s;
+        if (t_h >= d.end_s || t_h >= done_t) {
+          continue;  // Detection cleared, or the request finished first.
+        }
+        if (deadline_abs > 0.0 && t_h >= deadline_abs) {
+          continue;
+        }
+        int pick = Route(stamped.requests[i].total_tokens(), t_h, att.replica, &router);
+        if (pick < 0 || pick == att.replica) {
+          break;  // No healthy alternative to hedge onto.
+        }
+        Request attempt = stamped.requests[i];
+        attempt.arrival_time_s = t_h;
+        attempt.num_samples = 1;
+        if (attempt.deadline_s > 0.0) {
+          attempt.deadline_s = deadline_abs - t_h;
+        }
+        hedges[i] = {true, pick, t_h};
+        InsertSorted(&sub[static_cast<size_t>(pick)], attempt);
+        dirty.insert(pick);
+        ++hedges_issued;
+        if (dest_tracer != nullptr) {
+          dest_tracer->Instant("router", "hedge", t_h,
+                               {Arg("request", attempt.id),
+                                Arg("replica", static_cast<int64_t>(pick))});
+        }
+        if (dest_metrics != nullptr) {
+          dest_metrics->AddCount("hedges", t_h);
+        }
+        break;
+      }
     }
     for (int r : dirty) {
+      simulate(r);
+    }
+    // First-finisher-wins: cancel the loser at the winner's completion (ties
+    // go to the primary). When neither attempt ever completes there is
+    // nothing to cancel — both outcomes stand and the merge keeps the
+    // primary's failure.
+    std::set<int> dirty_cancel;
+    for (size_t i = 0; i < num_requests; ++i) {
+      if (!hedges[i].issued) {
+        continue;
+      }
+      const Attempt& primary = chains[i].back();
+      const RequestMetrics& pm = attempt_metrics(primary, stamped.requests[i].id);
+      Attempt hedge_attempt{hedges[i].replica, hedges[i].arrival_s, false};
+      const RequestMetrics& hm = attempt_metrics(hedge_attempt, stamped.requests[i].id);
+      double p_fin = pm.completed() ? pm.completion_s : kInfinity;
+      double h_fin = hm.completed() ? hm.completion_s : kInfinity;
+      double t_win;
+      int loser_replica;
+      double loser_arrival;
+      if (h_fin < p_fin) {
+        t_win = h_fin;
+        loser_replica = primary.replica;
+        loser_arrival = primary.arrival_s;
+      } else if (p_fin < kInfinity) {
+        t_win = p_fin;
+        loser_replica = hedges[i].replica;
+        loser_arrival = hedges[i].arrival_s;
+      } else {
+        continue;
+      }
+      Request* sub_request = FindSubRequest(&sub[static_cast<size_t>(loser_replica)],
+                                            stamped.requests[i].id, loser_arrival);
+      CHECK(sub_request != nullptr);
+      sub_request->planned_abort = PlannedAbort::kHedgeCancel;
+      sub_request->planned_abort_s = t_win;
+      dirty_cancel.insert(loser_replica);
+    }
+    for (int r : dirty_cancel) {
       simulate(r);
     }
   }
@@ -394,30 +823,107 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
       continue;
     }
     const auto& chain = chains[i];
+    // Walk the attempt chain reconstructing the client-visible token stream.
+    // `carried` holds tokens the client already consumed from attempts whose
+    // service was preserved across a hop: a live migration's destination
+    // resumes after them (all its tokens are fresh), a drain's destination
+    // re-emits them (the duplicates are dropped client-side and counted
+    // lost). A crash hop restarts the stream — everything so far is lost,
+    // matching the plain retry semantics.
+    std::vector<double> carried;
+    std::vector<double> fresh;
+    int64_t emitted = 0;
+    int64_t wasted = 0;
+    int64_t crash_retries = 0;
+    int64_t num_migrated_in = 0;
+    double first_sched = -1.0;
     const RequestMetrics* final_attempt = nullptr;
     for (size_t a = 0; a < chain.size(); ++a) {
       SimResult& replica_result = results[static_cast<size_t>(chain[a].replica)];
       size_t slot = FindAttemptSlot(replica_result, original.id, chain[a].arrival_s);
       CHECK_NE(slot, kNoSlot);
       consumed[static_cast<size_t>(chain[a].replica)][slot] = true;
-      if (a + 1 < chain.size()) {
-        // Tokens streamed by an attempt that later crashed: the retry starts
-        // over, so this service is lost (but never silently dropped).
-        lost_tokens += static_cast<int64_t>(replica_result.requests[slot].token_times_s.size());
+      const RequestMetrics& am = replica_result.requests[slot];
+      emitted += static_cast<int64_t>(am.token_times_s.size());
+      wasted += am.wasted_tokens;
+      if (am.failure == FailureKind::kHedgeCancelled) {
+        ++merged.hedges_cancelled;
+      }
+      if (first_sched < 0.0) {
+        first_sched = am.first_scheduled_s;
+      }
+      if (chain[a].migrated_in) {
+        ++num_migrated_in;
+        fresh = am.token_times_s;  // Resumed past `carried`: all fresh.
       } else {
-        final_attempt = &replica_result.requests[slot];
+        size_t drop = std::min(carried.size(), am.token_times_s.size());
+        fresh.assign(am.token_times_s.begin() + static_cast<long>(drop),
+                     am.token_times_s.end());
+      }
+      if (a + 1 < chain.size()) {
+        bool preserved =
+            (am.failure == FailureKind::kMigrated && chain[a + 1].migrated_in) ||
+            am.failure == FailureKind::kDegradedDrain;
+        if (preserved) {
+          carried.insert(carried.end(), fresh.begin(), fresh.end());
+        } else {
+          carried.clear();  // Crash hop: the retry restarts the stream.
+          first_sched = -1.0;
+          ++crash_retries;
+        }
+      } else {
+        final_attempt = &am;
+      }
+    }
+    std::vector<double> stream = carried;
+    stream.insert(stream.end(), fresh.begin(), fresh.end());
+    // Hedge resolution, from the final simulated data (re-simulation after
+    // cancellation can only move completions earlier, so the decided winner
+    // may even have improved — whichever attempt actually finished first is
+    // the one the client was served from).
+    int64_t hedged = 0;
+    if (hedges[i].issued) {
+      hedged = 1;
+      SimResult& hedge_result = results[static_cast<size_t>(hedges[i].replica)];
+      size_t hslot = FindAttemptSlot(hedge_result, original.id, hedges[i].arrival_s);
+      CHECK_NE(hslot, kNoSlot);
+      consumed[static_cast<size_t>(hedges[i].replica)][hslot] = true;
+      const RequestMetrics& hm = hedge_result.requests[hslot];
+      emitted += static_cast<int64_t>(hm.token_times_s.size());
+      wasted += hm.wasted_tokens;
+      if (hm.failure == FailureKind::kHedgeCancelled) {
+        ++merged.hedges_cancelled;
+      }
+      double p_fin = final_attempt->completed() ? final_attempt->completion_s : kInfinity;
+      double h_fin = hm.completed() ? hm.completion_s : kInfinity;
+      if (h_fin < p_fin) {
+        ++merged.hedges_won;
+        size_t drop = std::min(carried.size(), hm.token_times_s.size());
+        stream = carried;
+        stream.insert(stream.end(), hm.token_times_s.begin() + static_cast<long>(drop),
+                      hm.token_times_s.end());
+        if (carried.empty()) {
+          first_sched = hm.first_scheduled_s;
+        }
+        final_attempt = &hm;
       }
     }
     RequestMetrics m = *final_attempt;
+    m.token_times_s = stream;
     // Latency metrics measure from the client's original arrival, covering
-    // every failed attempt and backoff wait.
+    // every failed attempt, backoff wait, and migration transfer.
     m.arrival_s = original.arrival_time_s;
     m.deadline_s = original.deadline_s;
-    m.retries = static_cast<int64_t>(chain.size()) - 1;
+    m.first_scheduled_s = first_sched;
+    m.retries = crash_retries;
+    m.migrations = num_migrated_in;
+    m.hedges = hedged;
+    m.wasted_tokens = wasted;
     if (failure_override[i].first != FailureKind::kNone) {
       m.failure = failure_override[i].first;
       m.failed_s = failure_override[i].second;
     }
+    lost_tokens += emitted - static_cast<int64_t>(stream.size());
     merged.requests[i] = m;
   }
   // Forked siblings (parallel sampling) belong to no routing chain; append
@@ -450,6 +956,9 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
     merged.replica_downtime_s.push_back(result.downtime_s);
     merged.peak_kv_blocks += result.peak_kv_blocks;
     merged.total_kv_blocks += result.total_kv_blocks;
+    merged.num_slowdown_episodes += result.num_slowdown_episodes;
+    merged.degraded_s += result.degraded_s;
+    merged.degraded_iterations += result.degraded_iterations;
     if (dest_tracer != nullptr && replica_tracers[static_cast<size_t>(r)] != nullptr) {
       dest_tracer->Append(*replica_tracers[static_cast<size_t>(r)]);
     }
@@ -459,6 +968,12 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
   }
   merged.total_output_tokens -= lost_tokens;
   merged.lost_output_tokens = lost_tokens;
+  merged.probe_transitions = static_cast<int64_t>(prober.transitions().size());
+  merged.hedges_issued = hedges_issued;
+  merged.migrations = migrations_done;
+  merged.migrations_cancelled = migrations_cancelled;
+  merged.drain_failovers = drain_failovers;
+  merged.migrated_kv_bytes = migrated_kv_bytes;
   return merged;
 }
 

@@ -19,6 +19,26 @@
 //  - Admission control sheds arrivals when even the least-loaded healthy
 //    replica is more than `shed_outstanding_s` seconds of estimated work
 //    behind, so P99 TBT saturates instead of diverging.
+//
+// Gray-failure handling (slowdowns leave a replica up but 1.5-4x slower):
+//  - A HealthProber samples each replica's iteration-latency ratio on a fixed
+//    cadence and classifies it healthy/degraded/down with EWMA + hysteresis,
+//    so the router reacts with a realistic detection lag on both edges.
+//  - Circuit breaker: routing prefers replicas not currently detected
+//    degraded (new arrivals, retries, failover and hedge destinations alike),
+//    falling back to degraded replicas only when nothing better is up.
+//  - Degraded failover moves decoding requests off a detected-degraded
+//    replica: kRecompute drains them and re-routes from scratch; kLiveMigrate
+//    checkpoints their KV, streams it over a serialized migration link, and
+//    the destination adopts it with zero recompute. A replica the router
+//    starts migrating off is quarantined (no new work) for the rest of the
+//    run so the checkpointed image stays consistent with what the
+//    destination restored.
+//  - Hedged dispatch: a request stuck on a detected-degraded replica is
+//    speculatively re-dispatched to a healthy one after `hedge_after_s`; the
+//    first attempt to finish wins and the loser is cancelled mid-service
+//    (first-finisher-wins at response granularity — the client consumes the
+//    winner's stream, the loser's tokens count as wasted duplicates).
 
 #ifndef SRC_SIMULATOR_CLUSTER_SIMULATOR_H_
 #define SRC_SIMULATOR_CLUSTER_SIMULATOR_H_
@@ -26,6 +46,7 @@
 #include <vector>
 
 #include "src/simulator/fault_injector.h"
+#include "src/simulator/health_prober.h"
 #include "src/simulator/replica_simulator.h"
 
 namespace sarathi {
@@ -39,6 +60,16 @@ enum class RoutingPolicy {
 };
 
 std::string_view RoutingPolicyName(RoutingPolicy policy);
+
+// What the router does with decode-phase requests on a detected-degraded
+// replica: nothing, drain-and-recompute elsewhere, or live KV migration.
+enum class FailoverMode {
+  kNone = 0,
+  kRecompute,
+  kLiveMigrate,
+};
+
+std::string_view FailoverModeName(FailoverMode mode);
 
 struct ClusterOptions {
   SimulatorOptions replica;  // Every replica is identical.
@@ -62,6 +93,30 @@ struct ClusterOptions {
   // Horizon for generating outage schedules; <= 0 derives one from the trace
   // span plus its estimated drain time.
   double fault_horizon_s = 0.0;
+
+  // ---- Gray-failure handling ----
+  // Health-prober cadence and classifier thresholds.
+  ProberOptions prober;
+  // Circuit breaker: prefer replicas not currently detected degraded when
+  // routing (arrivals, retries, failover and hedge destinations).
+  bool avoid_degraded = true;
+  // Failover for decode-phase requests caught on a detected-degraded replica.
+  FailoverMode degraded_failover = FailoverMode::kNone;
+  // The router waits this long after detection (or after the request's first
+  // token, whichever is later) before pulling a request off the replica.
+  double migration_delay_s = 0.25;
+  // Live-migration link: serialized KV transfers at this bandwidth (bytes/s)
+  // plus a fixed per-transfer latency. Transfer size is the checkpointed
+  // context (prompt + generated - 1 tokens) times ModelSpec::KvBytesPerToken.
+  double migration_bandwidth_Bps = 25e9;
+  double migration_latency_s = 10e-6;
+  // Hedged dispatch: re-dispatch a request still unfinished this long after
+  // its replica was detected degraded (<= 0 disables hedging).
+  double hedge_after_s = 0.0;
+  // Per-replica slowdown schedules overriding FaultInjector::SlowdownsFor
+  // (benchmarks pin episodes to exact replicas/times). Empty = derive from
+  // `faults`; replicas beyond the vector get no episodes.
+  std::vector<std::vector<SlowdownEpisode>> slowdown_overrides;
 };
 
 class ClusterSimulator {
@@ -69,9 +124,10 @@ class ClusterSimulator {
   explicit ClusterSimulator(const ClusterOptions& options);
 
   // Routes the trace, simulates every replica, re-routes crash-interrupted
-  // requests, merges metrics. The merged SimResult keeps the original trace
-  // requests in trace order (forked siblings, if any, follow them);
-  // stage_busy_s and replica_downtime_s concatenate all replicas' entries.
+  // requests, applies degraded failover and hedging, merges metrics. The
+  // merged SimResult keeps the original trace requests in trace order (forked
+  // siblings, if any, follow them); stage_busy_s and replica_downtime_s
+  // concatenate all replicas' entries.
   SimResult Run(const Trace& trace);
 
   // The initial per-replica assignment of the most recent Run (trace index
@@ -84,6 +140,19 @@ class ClusterSimulator {
     return outage_schedules_;
   }
 
+  // The slowdown schedules the most recent Run injected (one vector per
+  // replica), for tests and reporting.
+  const std::vector<std::vector<SlowdownEpisode>>& slowdown_schedules() const {
+    return slowdown_schedules_;
+  }
+
+  // The degradation intervals the prober detected in the most recent Run
+  // (one vector per replica; detection lags the injected episodes by EWMA
+  // warm-up plus hysteresis on both edges).
+  const std::vector<std::vector<DetectedInterval>>& detected_degraded() const {
+    return detected_;
+  }
+
  private:
   struct RouterState {
     std::vector<double> outstanding_tokens;
@@ -93,6 +162,10 @@ class ClusterSimulator {
 
   // True if `replica` is inside an outage at time `t`.
   bool DownAt(int replica, double t) const;
+  // The injected slowdown factor of `replica` at time `t` (1.0 when healthy).
+  double SlowdownFactorAt(int replica, double t) const;
+  // True if the prober had classified `replica` degraded at time `t`.
+  bool DetectedDegradedAt(int replica, double t) const;
   // Earliest time >= t at which any replica is up; t itself if one already is.
   double NextHealthyTime(double t) const;
 
@@ -100,14 +173,20 @@ class ClusterSimulator {
   void AgeOutstanding(RouterState* state, double now) const;
 
   // Picks a replica for `tokens` of work arriving at `now` among replicas up
-  // at `now`, avoiding `exclude` when any alternative exists. Returns -1 when
-  // every replica is down.
+  // and not quarantined at `now`, avoiding `exclude` when any alternative
+  // exists and preferring replicas not detected degraded. Returns -1 when no
+  // replica qualifies.
   int Route(int64_t tokens, double now, int exclude, RouterState* state) const;
 
   ClusterOptions options_;
   double service_rate_;
   std::vector<int> assignment_;
   std::vector<std::vector<ReplicaOutage>> outage_schedules_;
+  std::vector<std::vector<SlowdownEpisode>> slowdown_schedules_;
+  std::vector<std::vector<DetectedInterval>> detected_;
+  // Replicas the router is migrating off: no new work for the rest of the
+  // run, so the checkpointed KV images stay consistent.
+  std::vector<bool> quarantined_;
 };
 
 }  // namespace sarathi

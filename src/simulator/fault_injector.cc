@@ -17,15 +17,38 @@ uint64_t Mix(uint64_t x) {
   return x ^ (x >> 31);
 }
 
+// Top 53 bits of a mixed word as a double in [0, 1).
+double MixToUnit(uint64_t x) {
+  return static_cast<double>(Mix(x) >> 11) * (1.0 / 9007199254740992.0);
+}
+
+double ClampProbability(double p) { return std::min(1.0, std::max(0.0, p)); }
+
 }  // namespace
 
 FaultInjector::FaultInjector(const FaultOptions& options) : options_(options) {
-  CHECK_GE(options_.request_timeout_probability, 0.0);
-  CHECK_LE(options_.request_timeout_probability, 1.0);
-  if (options_.mtbf_s > 0.0) {
-    CHECK_GT(options_.mttr_s, 0.0);
-    CHECK_GT(options_.min_outage_s, 0.0);
+  // Clamp pathological configurations into their documented domains instead
+  // of crashing: fault options often arrive straight from CLI flags or fuzzer
+  // draws, and a zero/negative repair time should degenerate to the floor
+  // value, not abort the run.
+  options_.request_timeout_probability = ClampProbability(options_.request_timeout_probability);
+  if (options_.min_outage_s <= 0.0) {
+    options_.min_outage_s = 1e-3;
   }
+  if (options_.mtbf_s > 0.0 && options_.mttr_s <= 0.0) {
+    options_.mttr_s = options_.min_outage_s;
+  }
+  if (options_.min_degrade_s <= 0.0) {
+    options_.min_degrade_s = 1e-3;
+  }
+  if (options_.degrade_mtbf_s > 0.0 && options_.degrade_mttr_s <= 0.0) {
+    options_.degrade_mttr_s = options_.min_degrade_s;
+  }
+  options_.degrade_min_factor = std::max(1.0, options_.degrade_min_factor);
+  options_.degrade_max_factor =
+      std::max(options_.degrade_min_factor, options_.degrade_max_factor);
+  options_.jitter_probability = ClampProbability(options_.jitter_probability);
+  options_.jitter_max_extra = std::max(0.0, options_.jitter_max_extra);
 }
 
 std::vector<ReplicaOutage> FaultInjector::OutagesFor(int replica_id, double horizon_s) const {
@@ -47,6 +70,33 @@ std::vector<ReplicaOutage> FaultInjector::OutagesFor(int replica_id, double hori
   }
 }
 
+std::vector<SlowdownEpisode> FaultInjector::SlowdownsFor(int replica_id,
+                                                         double horizon_s) const {
+  std::vector<SlowdownEpisode> episodes;
+  if (options_.degrade_mtbf_s <= 0.0 || horizon_s <= 0.0) {
+    return episodes;
+  }
+  // Distinct stream key from OutagesFor: crash and degradation processes of
+  // the same replica are independent.
+  Rng rng(Mix(options_.seed ^ Mix(0x94adeull + static_cast<uint64_t>(replica_id))));
+  double now = 0.0;
+  while (true) {
+    double healthy_for = rng.Exponential(1.0 / options_.degrade_mtbf_s);
+    double begin = now + healthy_for;
+    if (begin >= horizon_s) {
+      return episodes;
+    }
+    double duration =
+        std::max(options_.min_degrade_s, rng.Exponential(1.0 / options_.degrade_mttr_s));
+    // A collapsed factor range (possible after clamping) has nothing to draw.
+    double factor = options_.degrade_max_factor > options_.degrade_min_factor
+                        ? rng.Uniform(options_.degrade_min_factor, options_.degrade_max_factor)
+                        : options_.degrade_min_factor;
+    episodes.push_back(SlowdownEpisode{begin, begin + duration, std::max(1.0, factor)});
+    now = begin + duration;
+  }
+}
+
 double FaultInjector::TimeoutFor(const Request& request) const {
   if (options_.request_timeout_probability <= 0.0 || options_.request_timeout_s <= 0.0) {
     return 0.0;
@@ -65,6 +115,19 @@ void FaultInjector::ApplyTimeouts(Trace* trace) const {
       request.deadline_s = TimeoutFor(request);
     }
   }
+}
+
+double IterationJitterFactor(uint64_t seed, int replica_id, int64_t iteration,
+                             double probability, double max_extra) {
+  if (probability <= 0.0 || max_extra <= 0.0) {
+    return 1.0;
+  }
+  uint64_t key = Mix(seed ^ Mix(0x177e4ull + static_cast<uint64_t>(replica_id) * 0x100000001b3ull +
+                                static_cast<uint64_t>(iteration)));
+  if (MixToUnit(key) >= std::min(1.0, probability)) {
+    return 1.0;
+  }
+  return 1.0 + std::max(0.0, max_extra) * MixToUnit(key ^ 0x9e3779b97f4a7c15ull);
 }
 
 }  // namespace sarathi

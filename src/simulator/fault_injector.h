@@ -3,11 +3,12 @@
 // Production clusters lose replicas and clients abandon slow requests; the
 // paper's capacity numbers (Table 3) assume neither. This module generates
 // the fault processes the failure-aware cluster simulator replays: per-replica
-// crash/recovery schedules (exponential MTBF/MTTR) and per-request client
-// timeouts. Every draw derives from an explicit seed plus the replica or
-// request identity, so a fault schedule is a pure function of the options —
-// two runs with the same seed see byte-identical failures regardless of call
-// order.
+// crash/recovery schedules (exponential MTBF/MTTR), per-replica gray-failure
+// slowdown episodes (iteration-time multipliers with exponential onset and
+// duration), per-iteration transient jitter, and per-request client timeouts.
+// Every draw derives from an explicit seed plus the replica or request
+// identity, so a fault schedule is a pure function of the options — two runs
+// with the same seed see byte-identical failures regardless of call order.
 
 #ifndef SRC_SIMULATOR_FAULT_INJECTOR_H_
 #define SRC_SIMULATOR_FAULT_INJECTOR_H_
@@ -28,6 +29,17 @@ struct ReplicaOutage {
   double duration() const { return up_s - down_s; }
 };
 
+// One gray-failure episode: the replica stays up and keeps all state, but
+// every iteration started in [start_s, end_s) runs `factor` times slower
+// (thermal throttling, interconnect congestion, memory pressure, ...).
+struct SlowdownEpisode {
+  double start_s = 0.0;
+  double end_s = 0.0;
+  double factor = 1.0;
+
+  double duration() const { return end_s - start_s; }
+};
+
 struct FaultOptions {
   uint64_t seed = 42;
 
@@ -39,6 +51,23 @@ struct FaultOptions {
   double mttr_s = 30.0;
   double min_outage_s = 1.0;
 
+  // Degradation (gray-failure) process: exponential healthy time between
+  // slowdown onsets with this mean, per replica; <= 0 disables slowdowns.
+  double degrade_mtbf_s = 0.0;
+  // Exponential episode duration with this mean (floored at min_degrade_s).
+  double degrade_mttr_s = 20.0;
+  double min_degrade_s = 1.0;
+  // Each episode's iteration-time multiplier is drawn uniform in
+  // [degrade_min_factor, degrade_max_factor); values are clamped to >= 1.
+  double degrade_min_factor = 1.5;
+  double degrade_max_factor = 4.0;
+
+  // Transient jitter: each iteration is independently stretched, with this
+  // probability, by a factor uniform in (1, 1 + jitter_max_extra]. Models
+  // one-off stalls too short for a prober to act on; both must be > 0.
+  double jitter_probability = 0.0;
+  double jitter_max_extra = 0.0;
+
   // Client-timeout process: each request independently carries a deadline
   // with this probability; <= 0 disables timeouts.
   double request_timeout_probability = 0.0;
@@ -46,21 +75,37 @@ struct FaultOptions {
   // request's arrival. Requests not finished by then are aborted client-side.
   double request_timeout_s = 0.0;
 
+  bool any_degradation() const {
+    return degrade_mtbf_s > 0.0 || (jitter_probability > 0.0 && jitter_max_extra > 0.0);
+  }
+
   bool any_faults() const {
-    return mtbf_s > 0.0 || (request_timeout_probability > 0.0 && request_timeout_s > 0.0);
+    return mtbf_s > 0.0 || any_degradation() ||
+           (request_timeout_probability > 0.0 && request_timeout_s > 0.0);
   }
 };
 
 class FaultInjector {
  public:
+  // Pathological option values are clamped into their documented domains
+  // instead of crashing (negative MTTR, zero outage floor, out-of-range
+  // probabilities, inverted factor range); see the constructor for the rules.
   explicit FaultInjector(const FaultOptions& options);
 
   // The crash/recovery schedule of `replica_id` up to `horizon_s`: sorted,
   // non-overlapping outages. Deterministic in (seed, replica_id) alone.
+  // Every outage starts before the horizon; the last one may end after it.
   std::vector<ReplicaOutage> OutagesFor(int replica_id, double horizon_s) const;
 
+  // The gray-failure schedule of `replica_id` up to `horizon_s`: sorted,
+  // non-overlapping slowdown episodes. Deterministic in (seed, replica_id);
+  // drawn from a stream independent of OutagesFor. Every episode starts
+  // before the horizon; the last one may end after it.
+  std::vector<SlowdownEpisode> SlowdownsFor(int replica_id, double horizon_s) const;
+
   // Client timeout for `request`, in seconds after its arrival; 0 means the
-  // client waits forever. Deterministic in (seed, request.id).
+  // client waits forever. Deterministic in (seed, request.id) — works with or
+  // without a crash/slowdown process configured.
   double TimeoutFor(const Request& request) const;
 
   // Stamps TimeoutFor into Request::deadline_s for every request that does
@@ -72,6 +117,14 @@ class FaultInjector {
  private:
   FaultOptions options_;
 };
+
+// Per-iteration transient jitter multiplier: 1.0 for most iterations; with
+// `probability`, the iteration is stretched by a factor uniform in
+// (1, 1 + max_extra]. A pure function of (seed, replica_id, iteration) — no
+// generator state, so re-simulating a replica on a grown sub-trace replays
+// identical jitter for identical iteration indices.
+double IterationJitterFactor(uint64_t seed, int replica_id, int64_t iteration,
+                             double probability, double max_extra);
 
 }  // namespace sarathi
 

@@ -1,0 +1,111 @@
+#include "src/simulator/health_prober.h"
+
+#include <limits>
+
+#include "src/common/logging.h"
+
+namespace sarathi {
+
+std::string_view ReplicaHealthName(ReplicaHealth health) {
+  switch (health) {
+    case ReplicaHealth::kHealthy:
+      return "healthy";
+    case ReplicaHealth::kDegraded:
+      return "degraded";
+    case ReplicaHealth::kDown:
+      return "down";
+  }
+  return "unknown";
+}
+
+HealthProber::HealthProber(int num_replicas, const ProberOptions& options)
+    : options_(options), replicas_(static_cast<size_t>(num_replicas)) {
+  CHECK_GT(num_replicas, 0);
+  CHECK_GT(options_.probe_interval_s, 0.0);
+  CHECK_GT(options_.ewma_alpha, 0.0);
+  CHECK_LE(options_.ewma_alpha, 1.0);
+  CHECK_GE(options_.degrade_threshold, options_.clear_threshold);
+  CHECK_GE(options_.hysteresis_samples, 1);
+}
+
+void HealthProber::Transition(int replica, double t, ReplicaHealth to) {
+  ReplicaState& state = replicas_[static_cast<size_t>(replica)];
+  if (state.health == to) {
+    return;
+  }
+  if (state.health == ReplicaHealth::kDegraded) {
+    CHECK(!state.intervals.empty());
+    state.intervals.back().end_s = t;
+  }
+  if (to == ReplicaHealth::kDegraded) {
+    state.intervals.push_back(
+        DetectedInterval{t, std::numeric_limits<double>::infinity()});
+  }
+  transitions_.push_back(HealthTransition{replica, t, state.health, to});
+  state.health = to;
+  state.samples_above = 0;
+  state.samples_below = 0;
+}
+
+void HealthProber::Observe(int replica, double t, double latency_ratio) {
+  ReplicaState& state = replicas_[static_cast<size_t>(replica)];
+  if (state.health == ReplicaHealth::kDown) {
+    // First post-repair sample: the replica restarted, so the old EWMA is
+    // stale; re-seed and classify from scratch.
+    Transition(replica, t, ReplicaHealth::kHealthy);
+    state.warm = false;
+  }
+  if (!state.warm) {
+    state.ewma = latency_ratio;
+    state.warm = true;
+  } else {
+    state.ewma = options_.ewma_alpha * latency_ratio + (1.0 - options_.ewma_alpha) * state.ewma;
+  }
+  if (state.health == ReplicaHealth::kHealthy) {
+    if (state.ewma >= options_.degrade_threshold) {
+      if (++state.samples_above >= options_.hysteresis_samples) {
+        Transition(replica, t, ReplicaHealth::kDegraded);
+      }
+    } else {
+      state.samples_above = 0;
+    }
+  } else if (state.health == ReplicaHealth::kDegraded) {
+    if (state.ewma <= options_.clear_threshold) {
+      if (++state.samples_below >= options_.hysteresis_samples) {
+        Transition(replica, t, ReplicaHealth::kHealthy);
+      }
+    } else {
+      state.samples_below = 0;
+    }
+  }
+}
+
+void HealthProber::MarkDown(int replica, double t) {
+  ReplicaState& state = replicas_[static_cast<size_t>(replica)];
+  if (state.health != ReplicaHealth::kDown) {
+    Transition(replica, t, ReplicaHealth::kDown);
+  }
+}
+
+ReplicaHealth HealthProber::state(int replica) const {
+  return replicas_[static_cast<size_t>(replica)].health;
+}
+
+double HealthProber::ewma(int replica) const {
+  return replicas_[static_cast<size_t>(replica)].ewma;
+}
+
+const std::vector<DetectedInterval>& HealthProber::DegradedIntervals(int replica) const {
+  return replicas_[static_cast<size_t>(replica)].intervals;
+}
+
+bool HealthProber::DegradedAt(int replica, double t) const {
+  for (const DetectedInterval& interval : DegradedIntervals(replica)) {
+    if (t >= interval.begin_s && t < interval.end_s) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace sarathi

@@ -1,0 +1,103 @@
+// Health prober: classifies replicas healthy / degraded / down from observed
+// iteration-latency ratios.
+//
+// Gray failures leave a replica "up" while its iterations quietly run 1.5-4x
+// slower; a router that only tracks liveness keeps feeding it work and every
+// request routed there blows its TBT SLO. The prober maintains a per-replica
+// EWMA of the observed iteration-time ratio (observed / healthy-baseline
+// cost-model time) and flips state only after a run of consecutive samples
+// crosses a threshold — hysteresis, so transient jitter spikes do not flap
+// the circuit breaker. Separate trip and clear thresholds give the classifier
+// a dead band; crash outages are fed in via MarkDown/MarkUp.
+//
+// Everything is deterministic and offline-friendly: the cluster simulator
+// feeds the prober a fixed probe cadence over the run horizon and reads back
+// the detected degradation intervals, which gives the control loop a
+// realistic detection lag (EWMA warm-up + hysteresis) on both edges.
+
+#ifndef SRC_SIMULATOR_HEALTH_PROBER_H_
+#define SRC_SIMULATOR_HEALTH_PROBER_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace sarathi {
+
+enum class ReplicaHealth { kHealthy = 0, kDegraded, kDown };
+
+std::string_view ReplicaHealthName(ReplicaHealth health);
+
+struct ProberOptions {
+  // Probe cadence: one latency-ratio sample per replica per interval.
+  double probe_interval_s = 0.25;
+  // EWMA smoothing factor for the latency ratio (1 = no smoothing).
+  double ewma_alpha = 0.3;
+  // Trip when the EWMA holds at or above this ratio...
+  double degrade_threshold = 1.4;
+  // ...clear when it falls back to or below this ratio (dead band between).
+  double clear_threshold = 1.15;
+  // Consecutive samples past a threshold required to flip state.
+  int hysteresis_samples = 3;
+};
+
+// One detected degradation interval of a replica, in absolute simulation
+// time. end_s is +infinity while the episode is still open (degradation
+// persisted to the end of the observation horizon).
+struct DetectedInterval {
+  double begin_s = 0.0;
+  double end_s = 0.0;
+};
+
+// One classifier state change, for telemetry.
+struct HealthTransition {
+  int replica = 0;
+  double time_s = 0.0;
+  ReplicaHealth from = ReplicaHealth::kHealthy;
+  ReplicaHealth to = ReplicaHealth::kHealthy;
+};
+
+class HealthProber {
+ public:
+  HealthProber(int num_replicas, const ProberOptions& options);
+
+  // Feeds one iteration-latency ratio sample (observed / healthy baseline,
+  // >= 1 when degraded) for `replica` at time `t`. A replica marked down
+  // transitions back to healthy (fresh EWMA) on its first post-repair sample.
+  void Observe(int replica, double t, double latency_ratio);
+
+  // Crash-outage edges, fed from the outage schedule.
+  void MarkDown(int replica, double t);
+
+  ReplicaHealth state(int replica) const;
+  double ewma(int replica) const;
+
+  // Detected degradation intervals so far, in order. Open intervals have
+  // end_s = +infinity.
+  const std::vector<DetectedInterval>& DegradedIntervals(int replica) const;
+
+  // True if `replica` was classified degraded at time `t`.
+  bool DegradedAt(int replica, double t) const;
+
+  const std::vector<HealthTransition>& transitions() const { return transitions_; }
+
+ private:
+  struct ReplicaState {
+    ReplicaHealth health = ReplicaHealth::kHealthy;
+    double ewma = 1.0;
+    bool warm = false;  // First sample seeds the EWMA directly.
+    int samples_above = 0;
+    int samples_below = 0;
+    std::vector<DetectedInterval> intervals;
+  };
+
+  void Transition(int replica, double t, ReplicaHealth to);
+
+  ProberOptions options_;
+  std::vector<ReplicaState> replicas_;
+  std::vector<HealthTransition> transitions_;
+};
+
+}  // namespace sarathi
+
+#endif  // SRC_SIMULATOR_HEALTH_PROBER_H_

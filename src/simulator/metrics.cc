@@ -16,6 +16,12 @@ std::string_view FailureKindName(FailureKind kind) {
       return "replica_crash";
     case FailureKind::kShed:
       return "shed";
+    case FailureKind::kMigrated:
+      return "migrated";
+    case FailureKind::kDegradedDrain:
+      return "degraded_drain";
+    case FailureKind::kHedgeCancelled:
+      return "hedge_cancelled";
   }
   return "unknown";
 }
@@ -176,6 +182,14 @@ int64_t SimResult::TotalRetries() const {
     retries += r.retries;
   }
   return retries;
+}
+
+int64_t SimResult::WastedRecomputeTokens() const {
+  int64_t wasted = 0;
+  for (const auto& r : requests) {
+    wasted += r.wasted_tokens;
+  }
+  return wasted;
 }
 
 double SimResult::SloAttainment(double ttft_slo_s, double tbt_slo_s) const {

@@ -20,9 +20,12 @@ namespace sarathi {
 // Why a request permanently failed (fault-injection runs only).
 enum class FailureKind {
   kNone = 0,
-  kTimeout,       // Client deadline expired before completion.
-  kReplicaCrash,  // Interrupted by a replica failure; retries (if any) exhausted.
-  kShed,          // Rejected by cluster admission control before any service.
+  kTimeout,        // Client deadline expired before completion.
+  kReplicaCrash,   // Interrupted by a replica failure; retries (if any) exhausted.
+  kShed,           // Rejected by cluster admission control before any service.
+  kMigrated,       // Attempt checkpointed for live KV migration (not a client failure).
+  kDegradedDrain,  // Attempt drained off a degraded replica for recompute failover.
+  kHedgeCancelled, // Attempt lost a hedged-dispatch race and was cancelled.
 };
 
 std::string_view FailureKindName(FailureKind kind);
@@ -45,6 +48,16 @@ struct RequestMetrics {
   FailureKind failure = FailureKind::kNone;
   // Times the cluster re-routed the request to another replica after a crash.
   int64_t retries = 0;
+
+  // ---- Gray-failure accounting ----
+  // Token positions computed more than once on the request's behalf:
+  // preemption/crash recompute plus duplicated service from drained or
+  // hedge-cancelled attempts.
+  int64_t wasted_tokens = 0;
+  // Speculative duplicate dispatches issued for this request.
+  int64_t hedges = 0;
+  // Live KV migrations this request went through.
+  int64_t migrations = 0;
 
   bool completed() const { return completion_s >= 0.0; }
   bool failed() const { return failed_s >= 0.0; }
@@ -110,6 +123,27 @@ struct SimResult {
   int64_t peak_kv_blocks = 0;
   int64_t total_kv_blocks = 0;
 
+  // ---- Gray-failure accounting ----
+  // Slowdown episodes that affected the run, the wall-clock spent degraded,
+  // and the iterations actually stretched (episodes plus transient jitter).
+  int64_t num_slowdown_episodes = 0;
+  double degraded_s = 0.0;
+  int64_t degraded_iterations = 0;
+  // Health-prober state transitions (healthy<->degraded<->down).
+  int64_t probe_transitions = 0;
+  // Hedged dispatch: duplicates issued, races the hedge won, loser attempts
+  // cancelled mid-service (the rest lost the race after finishing).
+  int64_t hedges_issued = 0;
+  int64_t hedges_won = 0;
+  int64_t hedges_cancelled = 0;
+  // Live KV migrations: completed transfers, planned checkpoints that never
+  // fired (the request finished first), recompute-failover drains, and bytes
+  // moved over the migration link.
+  int64_t migrations = 0;
+  int64_t migrations_cancelled = 0;
+  int64_t drain_failovers = 0;
+  int64_t migrated_kv_bytes = 0;
+
   // FLOPs / bytes accounting for Model FLOPs & Bandwidth Utilization (§3.1).
   double total_flops = 0.0;
   double peak_flops = 0.0;  // Aggregate device peak (all GPUs).
@@ -161,6 +195,9 @@ struct SimResult {
   int64_t CountFailed(FailureKind kind) const;
   // Total crash-triggered re-routes across all requests.
   int64_t TotalRetries() const;
+  // Total token positions computed more than once (sum of per-request
+  // wasted_tokens) — the cost a live migration avoids.
+  int64_t WastedRecomputeTokens() const;
 
   // DistServe-style SLO attainment: the fraction of completed requests whose
   // TTFT meets `ttft_slo_s` AND whose every inter-token gap meets

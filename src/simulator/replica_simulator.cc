@@ -79,7 +79,7 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
     for (int s = 0; s < num_stages; ++s) {
       tracer->SetThreadName(s, "stage " + std::to_string(s));
     }
-    if (!options_.outages.empty()) {
+    if (!options_.outages.empty() || !options_.slowdowns.empty()) {
       tracer->SetThreadName(num_stages, "faults");
     }
   }
@@ -93,6 +93,9 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
   result.requests.resize(trace.size());
   for (size_t i = 0; i < trace.size(); ++i) {
     states.push_back(std::make_unique<RequestState>(trace.requests[i]));
+    if (trace.requests[i].restored_generated > 0) {
+      states.back()->RestoreFromMigration(trace.requests[i].restored_generated);
+    }
     result.requests[i].id = trace.requests[i].id;
     result.requests[i].arrival_s = trace.requests[i].arrival_time_s;
     result.requests[i].deadline_s = trace.requests[i].deadline_s;
@@ -178,17 +181,58 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
   std::vector<std::pair<double, size_t>> expired_locked;
 
   size_t next_outage = 0;
+  size_t slowdown_cursor = 0;
   // Crash-induced recomputes (standalone mode); counted into num_preemptions
   // alongside the scheduler's own memory-pressure preemptions.
   int64_t crash_recomputes = 0;
+
+  // Cluster-planned extractions (migration checkpoints, degraded drains,
+  // hedge-race cancellations), sorted by absolute fire time. Locked requests
+  // are parked like expired deadlines and extracted when their batch exits.
+  std::vector<std::pair<double, size_t>> planned_queue;
+  for (size_t i = 0; i < trace.size(); ++i) {
+    if (trace.requests[i].planned_abort != PlannedAbort::kNone &&
+        trace.requests[i].planned_abort_s > 0.0) {
+      planned_queue.emplace_back(trace.requests[i].planned_abort_s, i);
+    }
+  }
+  std::sort(planned_queue.begin(), planned_queue.end());
+  size_t planned_cursor = 0;
+  std::vector<std::pair<double, size_t>> planned_locked;
 
   auto deliver_arrivals = [&](double upto) {
     while (next_arrival < trace.size() &&
            trace.requests[next_arrival].arrival_time_s <= upto) {
       double arrival = trace.requests[next_arrival].arrival_time_s;
       obs.SetNow(arrival);
-      scheduler->Enqueue(states[next_arrival].get());
-      span_transition(next_arrival, kSpanQueued, arrival);
+      RequestState* state = states[next_arrival].get();
+      if (trace.requests[next_arrival].restored_generated > 0) {
+        // Live-migrated arrival: adopt with the transferred KV, resuming the
+        // decode with zero recompute. When the allocator cannot hold the
+        // restored context, fall back to the recompute path — the request
+        // queues like a preempted one and rebuilds its KV (counted as waste).
+        if (scheduler->AdoptMigrated(state)) {
+          span_transition(next_arrival, kSpanDecode, arrival);
+          result.peak_kv_blocks = std::max(result.peak_kv_blocks, allocator->used_units());
+          if (tracer != nullptr) {
+            tracer->Instant("migration", "adopt", arrival,
+                            {Arg("request", trace.requests[next_arrival].id)});
+          }
+          if (metrics != nullptr) {
+            metrics->AddCount("migrations_in", arrival);
+          }
+        } else {
+          state->ResetForRecompute();
+          scheduler->Enqueue(state);
+          span_transition(next_arrival, kSpanQueued, arrival);
+          if (metrics != nullptr) {
+            metrics->AddCount("migration_fallbacks", arrival);
+          }
+        }
+      } else {
+        scheduler->Enqueue(state);
+        span_transition(next_arrival, kSpanQueued, arrival);
+      }
       if (metrics != nullptr) {
         metrics->AddCount("arrivals", arrival);
       }
@@ -302,6 +346,7 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
           RequestMetrics& request_metrics = result.requests[idx];
           request_metrics.completion_s = done.exit_s;
           request_metrics.preemptions = item.request->preemptions();
+          request_metrics.wasted_tokens = item.request->wasted_tokens();
           span_transition(idx, kSpanClosed, done.exit_s);
           if (metrics != nullptr) {
             metrics->AddCount("completions", done.exit_s);
@@ -331,6 +376,9 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
       request_metrics.failed_s = deadline_abs;
       request_metrics.failure = FailureKind::kTimeout;
       request_metrics.preemptions = state->preemptions();
+      // The abandoned attempt's entire progress is wasted service.
+      request_metrics.wasted_tokens =
+          state->wasted_tokens() + state->prefill_done() + state->generated();
       if (tracer != nullptr) {
         tracer->Instant("fault", "timeout", deadline_abs, {Arg("request", request_metrics.id)});
       }
@@ -356,6 +404,84 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
     }
   };
 
+  // Fires cluster-planned extractions due by `upto`. Migration checkpoints
+  // and drains only extract decoding requests — a queued or still-prefilling
+  // request holds little worth moving and is covered by hedging instead —
+  // while hedge-race cancellations fire in any phase. The attempt keeps its
+  // emitted tokens; for a migration they are exactly the progress the
+  // destination resumes from. failed_s records when the extraction actually
+  // executed (deferred past in-flight batches and any token emitted
+  // meanwhile), which is what the cluster uses as the KV transfer start.
+  auto apply_planned = [&](double upto) {
+    auto fire = [&](double abort_abs, size_t idx) -> bool {
+      RequestState* state = states[idx].get();
+      const Request& request = trace.requests[idx];
+      if (idx >= next_arrival || state->phase() == RequestPhase::kFinished ||
+          state->phase() == RequestPhase::kFailed) {
+        return true;  // Never arrived, finished, or failed first: nothing to extract.
+      }
+      if (request.planned_abort != PlannedAbort::kHedgeCancel &&
+          !(state->prefill_complete() && state->generated() > 0)) {
+        return true;  // Not decoding: leave it in place.
+      }
+      if (state->locked()) {
+        return false;
+      }
+      RequestMetrics& request_metrics = result.requests[idx];
+      double t_fire = abort_abs;
+      if (!request_metrics.token_times_s.empty()) {
+        t_fire = std::max(t_fire, request_metrics.token_times_s.back());
+      }
+      obs.SetNow(t_fire);
+      CHECK(scheduler->Abort(state));
+      request_metrics.failed_s = t_fire;
+      const char* what = "hedge_cancel";
+      switch (request.planned_abort) {
+        case PlannedAbort::kMigrateOut:
+          request_metrics.failure = FailureKind::kMigrated;
+          what = "migrate_out";
+          break;
+        case PlannedAbort::kDrain:
+          request_metrics.failure = FailureKind::kDegradedDrain;
+          what = "drain";
+          break;
+        default:
+          request_metrics.failure = FailureKind::kHedgeCancelled;
+          break;
+      }
+      request_metrics.preemptions = state->preemptions();
+      // Everything a drained or hedge-cancelled attempt computed is redone
+      // elsewhere; a migration checkpoint wastes nothing beyond recompute the
+      // attempt already paid.
+      request_metrics.wasted_tokens = state->wasted_tokens();
+      if (request.planned_abort != PlannedAbort::kMigrateOut) {
+        request_metrics.wasted_tokens += state->prefill_done() + state->generated();
+      }
+      if (tracer != nullptr) {
+        tracer->Instant("migration", what, t_fire, {Arg("request", request_metrics.id)});
+      }
+      if (metrics != nullptr) {
+        metrics->AddCount(what, t_fire);
+      }
+      span_transition(idx, kSpanClosed, t_fire);
+      return true;
+    };
+    std::vector<std::pair<double, size_t>> still_locked;
+    for (const auto& [abort_abs, idx] : planned_locked) {
+      if (!fire(abort_abs, idx)) {
+        still_locked.emplace_back(abort_abs, idx);
+      }
+    }
+    planned_locked.swap(still_locked);
+    while (planned_cursor < planned_queue.size() &&
+           planned_queue[planned_cursor].first <= upto) {
+      const auto& [abort_abs, idx] = planned_queue[planned_cursor++];
+      if (!fire(abort_abs, idx)) {
+        planned_locked.emplace_back(abort_abs, idx);
+      }
+    }
+  };
+
   // Replica crash at outage.down_s: in-flight batches are discarded (their
   // tokens were never emitted), every admitted request loses its KV, and the
   // stages stay idle until outage.up_s.
@@ -377,6 +503,8 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
         request_metrics.failed_s = outage.down_s;
         request_metrics.failure = FailureKind::kReplicaCrash;
         request_metrics.preemptions = state->preemptions();
+        request_metrics.wasted_tokens =
+            state->wasted_tokens() + state->prefill_done() + state->generated();
         span_transition(idx, kSpanClosed, outage.down_s);
       }
     } else {
@@ -418,6 +546,7 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
       deliver_completions(t_down);
       deliver_arrivals(t_down);
       abort_expired(t_down);
+      apply_planned(t_down);
       apply_crash(outage);
       target = std::max(target, stage_free[0]);
     }
@@ -425,6 +554,7 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
     deliver_completions(now);
     deliver_arrivals(now);
     abort_expired(now);
+    apply_planned(now);
 
     obs.SetNow(now);
     ScheduledBatch batch = scheduler->Schedule();
@@ -445,6 +575,9 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
       if (deadline_cursor < deadline_queue.size() && pending_work) {
         next_event = std::min(next_event, deadline_queue[deadline_cursor].first);
       }
+      if (planned_cursor < planned_queue.size() && pending_work) {
+        next_event = std::min(next_event, planned_queue[planned_cursor].first);
+      }
       if (next_event == kInfinity) {
         CHECK(!scheduler->HasWork())
             << scheduler->name() << " deadlocked: " << scheduler->queue_size()
@@ -463,6 +596,29 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
     }
 
     double stage_time = engine_->StageTime(batch);
+    // Gray-failure degradation: an iteration whose batch starts inside a
+    // slowdown episode runs slower on every pipeline stage; transient jitter
+    // stretches isolated iterations on top. (Monotonic cursor — batch starts
+    // never move backwards within a run.)
+    while (slowdown_cursor < options_.slowdowns.size() &&
+           options_.slowdowns[slowdown_cursor].end_s <= now) {
+      ++slowdown_cursor;
+    }
+    double stretch = 1.0;
+    if (slowdown_cursor < options_.slowdowns.size() &&
+        now >= options_.slowdowns[slowdown_cursor].start_s) {
+      stretch = options_.slowdowns[slowdown_cursor].factor;
+    }
+    stretch *= IterationJitterFactor(options_.jitter_seed, options_.trace_pid,
+                                     result.num_iterations, options_.jitter_probability,
+                                     options_.jitter_max_extra);
+    if (stretch > 1.0) {
+      stage_time *= stretch;
+      ++result.degraded_iterations;
+      if (metrics != nullptr) {
+        metrics->AddCount("degraded_iterations", now);
+      }
+    }
     double start = now;
     double enter = start;
     std::string slice_name;
@@ -523,6 +679,25 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
 
   if (checker != nullptr) {
     checker->EndRun();
+  }
+  // Slowdown episodes that overlapped the run, clipped to the last exit so
+  // degraded_s measures wall-clock the workload actually spent degraded.
+  for (const SlowdownEpisode& episode : options_.slowdowns) {
+    if (episode.start_s > last_exit) {
+      break;
+    }
+    double clipped_end = std::min(episode.end_s, last_exit);
+    ++result.num_slowdown_episodes;
+    result.degraded_s += clipped_end - episode.start_s;
+    if (tracer != nullptr) {
+      tracer->Complete("fault", "slowdown", episode.start_s, clipped_end - episode.start_s,
+                       num_stages, {Arg("factor", episode.factor)});
+      tracer->Instant("fault", "degrade_begin", episode.start_s, {Arg("factor", episode.factor)});
+      tracer->Instant("fault", "degrade_end", clipped_end);
+    }
+    if (metrics != nullptr) {
+      metrics->AddCount("slowdown_episodes", episode.start_s);
+    }
   }
   result.num_preemptions = scheduler->preemption_count() + crash_recomputes;
   result.peak_flops = engine_->cost_model().PeakFlops();

@@ -70,6 +70,19 @@ struct SimulatorOptions {
   //          it to a surviving replica.
   bool fail_interrupted_on_crash = false;
 
+  // Gray-failure degradation: sorted, non-overlapping slowdown episodes for
+  // this replica (FaultInjector::SlowdownsFor). An iteration whose batch
+  // starts inside an episode runs factor times slower on every pipeline
+  // stage; the replica stays up and loses no state.
+  std::vector<SlowdownEpisode> slowdowns;
+  // Transient per-iteration jitter (FaultOptions::jitter_*): with
+  // jitter_probability an iteration is independently stretched by a factor
+  // uniform in (1, 1 + jitter_max_extra]. Deterministic in
+  // (jitter_seed, trace_pid, iteration index).
+  double jitter_probability = 0.0;
+  double jitter_max_extra = 0.0;
+  uint64_t jitter_seed = 0;
+
   // Observability (both optional, may be null). The tracer records request
   // lifecycle spans, per-stage iteration slices, scheduler/KV instants, and
   // outage events; the registry accumulates windowed time series (queue

@@ -34,7 +34,8 @@ void WriteIterationLogCsv(const SimResult& result, std::ostream& out) {
 
 void WriteRequestMetricsCsv(const SimResult& result, std::ostream& out) {
   out << "id,arrival_s,scheduling_delay_s,ttft_s,completion_s,latency_s,num_tokens,"
-         "p99_tbt_s,max_tbt_s,preemptions,deadline_s,failed_s,failure,retries\n";
+         "p99_tbt_s,max_tbt_s,preemptions,deadline_s,failed_s,failure,retries,"
+         "wasted_tokens,hedges,migrations\n";
   for (const RequestMetrics& r : result.requests) {
     Summary tbt;
     tbt.AddAll(r.TbtSamples());
@@ -44,7 +45,8 @@ void WriteRequestMetricsCsv(const SimResult& result, std::ostream& out) {
     out << r.id << ',' << r.arrival_s << ',' << r.SchedulingDelay() << ',' << r.Ttft() << ','
         << r.completion_s << ',' << latency << ',' << r.token_times_s.size() << ',' << p99
         << ',' << max_tbt << ',' << r.preemptions << ',' << r.deadline_s << ',' << r.failed_s
-        << ',' << FailureKindName(r.failure) << ',' << r.retries << '\n';
+        << ',' << FailureKindName(r.failure) << ',' << r.retries << ',' << r.wasted_tokens
+        << ',' << r.hedges << ',' << r.migrations << '\n';
   }
 }
 
@@ -85,6 +87,18 @@ void WriteAggregateCsv(const SimResult& result, std::ostream& out) {
   out << "lost_output_tokens," << result.lost_output_tokens << '\n';
   out << "outages," << result.num_outages << '\n';
   out << "downtime_s," << result.downtime_s << '\n';
+  out << "slowdown_episodes," << result.num_slowdown_episodes << '\n';
+  out << "degraded_s," << result.degraded_s << '\n';
+  out << "degraded_iterations," << result.degraded_iterations << '\n';
+  out << "probe_transitions," << result.probe_transitions << '\n';
+  out << "hedges_issued," << result.hedges_issued << '\n';
+  out << "hedges_won," << result.hedges_won << '\n';
+  out << "hedges_cancelled," << result.hedges_cancelled << '\n';
+  out << "migrations," << result.migrations << '\n';
+  out << "migrations_cancelled," << result.migrations_cancelled << '\n';
+  out << "drain_failovers," << result.drain_failovers << '\n';
+  out << "migrated_kv_bytes," << result.migrated_kv_bytes << '\n';
+  out << "wasted_recompute_tokens," << result.WastedRecomputeTokens() << '\n';
   out << "kv_peak_blocks_in_use," << result.peak_kv_blocks << '\n';
   out << "kv_total_blocks," << result.total_kv_blocks << '\n';
   out << "kv_peak_utilization," << result.PeakKvUtilization() << '\n';

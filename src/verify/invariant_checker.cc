@@ -22,6 +22,8 @@ std::string_view InvariantName(Invariant invariant) {
       return "clock_monotonic";
     case Invariant::kBatchSanity:
       return "batch_sanity";
+    case Invariant::kMigrationConservation:
+      return "migration_conservation";
   }
   return "unknown";
 }
@@ -347,6 +349,43 @@ void InvariantChecker::OnSchedulerEvent(SchedVerifyEvent event, const RequestSta
       }
       break;
     }
+    case SchedVerifyEvent::kAdoptMigrated: {
+      // Live-migrated request: the transferred KV must cover the whole prompt
+      // and every generated token, and adoption must not schedule recompute.
+      Shadow& shadow = shadows_[request];
+      shadow.id = id;
+      shadow.prompt_tokens = request->prompt_tokens();
+      shadow.prefill_target = request->prefill_target();
+      shadow.prefill_done = request->prefill_done();
+      shadow.generated = request->generated();
+      shadow.in_flight = false;
+      shadow.closed = false;
+      shadow.migrated_in = true;
+      if (!request->prefill_complete()) {
+        AddViolation(Invariant::kMigrationConservation, id,
+                     "migrated request adopted with prefill incomplete — the transfer "
+                     "must carry the whole prompt KV");
+      }
+      if (request->generated() <= 0) {
+        AddViolation(Invariant::kMigrationConservation, id,
+                     "migrated request adopted with zero generated tokens — only "
+                     "decoding requests are migrated");
+      }
+      if (request->generated() >= request->output_tokens()) {
+        std::ostringstream out;
+        out << "migrated request adopted with generation already complete ("
+            << request->generated() << "/" << request->output_tokens() << ")";
+        AddViolation(Invariant::kMigrationConservation, id, out.str());
+      }
+      if (request->prefill_target() != request->prompt_tokens()) {
+        std::ostringstream out;
+        out << "migrated request adopted with prefill target " << request->prefill_target()
+            << " != prompt " << request->prompt_tokens()
+            << " — a live migration must not recompute generated context";
+        AddViolation(Invariant::kMigrationConservation, id, out.str());
+      }
+      break;
+    }
     case SchedVerifyEvent::kPreempt: {
       auto it = shadows_.find(request);
       if (it == shadows_.end()) {
@@ -368,6 +407,9 @@ void InvariantChecker::OnSchedulerEvent(SchedVerifyEvent event, const RequestSta
       }
       shadow.prefill_target = request->prefill_target();
       shadow.prefill_done = 0;
+      // A memory-pressure preemption of a migrated-in request is a legitimate
+      // recompute; it just forfeits the no-recompute property going forward.
+      shadow.migrated_in = false;
       break;
     }
     case SchedVerifyEvent::kAbort: {
@@ -462,11 +504,12 @@ std::string InvariantChecker::Report() const {
   if (total_violations_ == 0) {
     return out.str();
   }
-  int64_t counts[6] = {0, 0, 0, 0, 0, 0};
+  constexpr int kNumInvariants = 7;
+  int64_t counts[kNumInvariants] = {};
   for (const Violation& violation : violations_) {
     ++counts[static_cast<int>(violation.invariant)];
   }
-  for (int i = 0; i < 6; ++i) {
+  for (int i = 0; i < kNumInvariants; ++i) {
     if (counts[i] > 0) {
       out << "  " << InvariantName(static_cast<Invariant>(i)) << ": " << counts[i] << "\n";
     }

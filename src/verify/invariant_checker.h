@@ -29,6 +29,11 @@
 //  - batch sanity:             no duplicate or locked-in-flight requests in
 //                              a batch, decode items are prefill-complete,
 //                              prefill chunks fit the remaining prompt.
+//  - migration conservation:   a live-migrated request is adopted with its
+//                              prompt KV complete, its generated tokens
+//                              intact (> 0, < output), and a prefill target
+//                              equal to the prompt — i.e. the migration
+//                              itself never recomputes or loses tokens.
 //
 // Violations carry the run label, iteration, request id and an expected-vs-
 // observed message. By default they accumulate (ok()/Report()); with
@@ -60,6 +65,7 @@ enum class Invariant {
   kKvConservation,
   kClockMonotonic,
   kBatchSanity,
+  kMigrationConservation,
 };
 
 std::string_view InvariantName(Invariant invariant);
@@ -134,8 +140,9 @@ class InvariantChecker final : public VerifyHook {
     int64_t prefill_target = 0;
     int64_t prefill_done = 0;
     int64_t generated = 0;
-    bool in_flight = false;  // Inside a scheduled, not-yet-applied batch.
-    bool closed = false;     // Finished or aborted.
+    bool in_flight = false;    // Inside a scheduled, not-yet-applied batch.
+    bool closed = false;       // Finished or aborted.
+    bool migrated_in = false;  // Adopted via live migration, no recompute since.
   };
 
   void AddViolation(Invariant invariant, int64_t request_id, std::string message);

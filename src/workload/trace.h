@@ -12,6 +12,13 @@
 
 namespace sarathi {
 
+// A cluster-driver-planned extraction of a request from its replica at an
+// absolute simulation time (gray-failure handling): kMigrateOut checkpoints a
+// decoding request for live KV migration, kDrain aborts it so a recompute
+// failover can re-route it, and kHedgeCancel cancels the loser of a hedged
+// dispatch race. kNone for normal requests.
+enum class PlannedAbort { kNone = 0, kMigrateOut, kDrain, kHedgeCancel };
+
 struct Request {
   int64_t id = 0;
   double arrival_time_s = 0.0;
@@ -27,6 +34,15 @@ struct Request {
   // Requests not complete by the deadline are aborted (counted as timeouts)
   // and completions after arrival + deadline_s don't count toward goodput.
   double deadline_s = 0.0;
+  // Planned extraction (gray-failure handling); fires at the absolute
+  // simulation time planned_abort_s. kMigrateOut/kDrain only fire on requests
+  // that are decoding by then; kHedgeCancel fires in any phase.
+  PlannedAbort planned_abort = PlannedAbort::kNone;
+  double planned_abort_s = 0.0;
+  // Live-in migration: the request arrives with this many output tokens
+  // already generated on another replica and its prompt+generated KV in
+  // tow; it resumes decoding without recomputing. 0 for normal requests.
+  int64_t restored_generated = 0;
 
   int64_t total_tokens() const { return prompt_tokens + output_tokens; }
 };

@@ -93,7 +93,173 @@ TEST(FaultInjectorTest, OutagesAreSeededSortedAndDisjoint) {
 TEST(FaultInjectorTest, DisabledFaultsProduceNothing) {
   FaultInjector injector(FaultOptions{});  // mtbf_s = 0 disables outages.
   EXPECT_TRUE(injector.OutagesFor(0, 1e6).empty());
+  EXPECT_TRUE(injector.SlowdownsFor(0, 1e6).empty());
   EXPECT_FALSE(injector.options().any_faults());
+  EXPECT_FALSE(injector.options().any_degradation());
+}
+
+TEST(FaultInjectorTest, SlowdownsAreSeededSortedDisjointAndClamped) {
+  FaultOptions options;
+  options.seed = 7;
+  options.degrade_mtbf_s = 15.0;
+  options.degrade_mttr_s = 5.0;
+  options.min_degrade_s = 1.0;
+  options.degrade_min_factor = 1.5;
+  options.degrade_max_factor = 4.0;
+  FaultInjector injector(options);
+
+  std::vector<SlowdownEpisode> a = injector.SlowdownsFor(0, 500.0);
+  std::vector<SlowdownEpisode> b = injector.SlowdownsFor(0, 500.0);
+  ASSERT_FALSE(a.empty());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].start_s, b[i].start_s);  // Bitwise reproducible.
+    EXPECT_EQ(a[i].end_s, b[i].end_s);
+    EXPECT_EQ(a[i].factor, b[i].factor);
+    EXPECT_GE(a[i].duration(), options.min_degrade_s);
+    EXPECT_LT(a[i].start_s, 500.0);  // Every episode starts inside the horizon.
+    EXPECT_GE(a[i].factor, options.degrade_min_factor);
+    EXPECT_LE(a[i].factor, options.degrade_max_factor);
+    if (i > 0) {
+      EXPECT_GT(a[i].start_s, a[i - 1].end_s);  // Sorted, non-overlapping.
+    }
+  }
+  // Degradation draws from a stream independent of the crash process: adding
+  // a crash process must not move the episodes.
+  options.mtbf_s = 20.0;
+  std::vector<SlowdownEpisode> with_crashes = FaultInjector(options).SlowdownsFor(0, 500.0);
+  ASSERT_EQ(with_crashes.size(), a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(with_crashes[i].start_s, a[i].start_s);
+  }
+  // Replicas draw independent streams from the same seed.
+  std::vector<SlowdownEpisode> other = injector.SlowdownsFor(1, 500.0);
+  bool differs = other.size() != a.size();
+  for (size_t i = 0; !differs && i < a.size(); ++i) {
+    differs = other[i].start_s != a[i].start_s;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(FaultInjectorTest, PathologicalOptionsAreClampedNotFatal) {
+  FaultOptions options;
+  options.mtbf_s = 10.0;
+  options.mttr_s = -3.0;         // Negative repair time: degenerate to floor.
+  options.min_outage_s = 0.0;    // Zero floor: a tiny positive floor instead.
+  options.degrade_mtbf_s = 10.0;
+  options.degrade_mttr_s = 0.0;  // Zero degrade duration: floor again.
+  options.min_degrade_s = -1.0;
+  options.degrade_min_factor = 0.25;  // Below 1: a "slowdown" may not speed up.
+  options.degrade_max_factor = 0.1;   // Inverted range: collapses to min.
+  options.request_timeout_probability = 7.0;  // Clamped into [0, 1].
+  options.jitter_probability = -0.5;
+  options.jitter_max_extra = -2.0;
+  FaultInjector injector(options);
+
+  EXPECT_GT(injector.options().min_outage_s, 0.0);
+  EXPECT_EQ(injector.options().mttr_s, injector.options().min_outage_s);
+  EXPECT_GT(injector.options().min_degrade_s, 0.0);
+  EXPECT_EQ(injector.options().degrade_mttr_s, injector.options().min_degrade_s);
+  EXPECT_GE(injector.options().degrade_min_factor, 1.0);
+  EXPECT_GE(injector.options().degrade_max_factor, injector.options().degrade_min_factor);
+  EXPECT_EQ(injector.options().request_timeout_probability, 1.0);
+  EXPECT_EQ(injector.options().jitter_probability, 0.0);
+  EXPECT_EQ(injector.options().jitter_max_extra, 0.0);
+
+  // The clamped configuration generates sane schedules: no zero-length or
+  // overlapping outages/episodes, factors never below 1.
+  std::vector<ReplicaOutage> outages = injector.OutagesFor(0, 200.0);
+  ASSERT_FALSE(outages.empty());
+  for (size_t i = 0; i < outages.size(); ++i) {
+    EXPECT_GT(outages[i].duration(), 0.0);
+    if (i > 0) {
+      EXPECT_GE(outages[i].down_s, outages[i - 1].up_s);
+    }
+  }
+  std::vector<SlowdownEpisode> episodes = injector.SlowdownsFor(0, 200.0);
+  ASSERT_FALSE(episodes.empty());
+  for (const SlowdownEpisode& e : episodes) {
+    EXPECT_GT(e.duration(), 0.0);
+    EXPECT_GE(e.factor, 1.0);
+  }
+}
+
+TEST(FaultInjectorTest, LastOutageMayOverlapHorizonEnd) {
+  FaultOptions options;
+  options.seed = 3;
+  options.mtbf_s = 5.0;
+  options.mttr_s = 50.0;  // Long repairs: some outage will straddle the end.
+  options.min_outage_s = 20.0;
+  options.degrade_mtbf_s = 5.0;
+  options.degrade_mttr_s = 50.0;
+  options.min_degrade_s = 20.0;
+  FaultInjector injector(options);
+
+  bool outage_straddles = false;
+  for (double horizon : {30.0, 60.0, 90.0}) {
+    std::vector<ReplicaOutage> outages = injector.OutagesFor(0, horizon);
+    for (const ReplicaOutage& o : outages) {
+      EXPECT_LT(o.down_s, horizon);  // Starts inside...
+      outage_straddles = outage_straddles || o.up_s > horizon;  // ...may end after.
+    }
+    // The schedule is a prefix-stable function of the horizon: growing the
+    // horizon never rewrites earlier outages (re-simulation safety).
+    std::vector<ReplicaOutage> longer = injector.OutagesFor(0, horizon + 100.0);
+    ASSERT_GE(longer.size(), outages.size());
+    for (size_t i = 0; i < outages.size(); ++i) {
+      EXPECT_EQ(longer[i].down_s, outages[i].down_s);
+      EXPECT_EQ(longer[i].up_s, outages[i].up_s);
+    }
+    std::vector<SlowdownEpisode> episodes = injector.SlowdownsFor(0, horizon);
+    for (const SlowdownEpisode& e : episodes) {
+      EXPECT_LT(e.start_s, horizon);
+    }
+  }
+  EXPECT_TRUE(outage_straddles);
+  EXPECT_TRUE(injector.OutagesFor(0, 0.0).empty());  // Empty/negative horizon.
+  EXPECT_TRUE(injector.SlowdownsFor(0, -1.0).empty());
+}
+
+TEST(FaultInjectorTest, TimeoutsWorkWithoutACrashProcess) {
+  FaultOptions options;
+  options.mtbf_s = 0.0;  // No crashes at all...
+  options.request_timeout_probability = 1.0;
+  options.request_timeout_s = 10.0;
+  FaultInjector injector(options);
+  EXPECT_TRUE(injector.options().any_faults());  // ...but still a fault model.
+  EXPECT_TRUE(injector.OutagesFor(0, 1e4).empty());
+  Request r;
+  r.id = 4;
+  double timeout = injector.TimeoutFor(r);
+  EXPECT_GE(timeout, 5.0);
+  EXPECT_LE(timeout, 15.0);
+  EXPECT_EQ(timeout, FaultInjector(options).TimeoutFor(r));  // Seeded.
+}
+
+TEST(FaultInjectorTest, IterationJitterIsDeterministicBoundedAndGated) {
+  // Disabled configurations are exactly 1.
+  EXPECT_EQ(IterationJitterFactor(9, 0, 5, 0.0, 2.0), 1.0);
+  EXPECT_EQ(IterationJitterFactor(9, 0, 5, 0.5, 0.0), 1.0);
+
+  // probability=1: every iteration stretched, but never beyond 1 + max_extra.
+  bool varies = false;
+  double first = IterationJitterFactor(9, 0, 0, 1.0, 0.5);
+  for (int64_t iter = 0; iter < 200; ++iter) {
+    double factor = IterationJitterFactor(9, 0, iter, 1.0, 0.5);
+    EXPECT_GT(factor, 1.0);
+    EXPECT_LE(factor, 1.5);
+    EXPECT_EQ(factor, IterationJitterFactor(9, 0, iter, 1.0, 0.5));  // Pure.
+    varies = varies || factor != first;
+  }
+  EXPECT_TRUE(varies);
+
+  // Low probability: most iterations are untouched.
+  int64_t stretched = 0;
+  for (int64_t iter = 0; iter < 1000; ++iter) {
+    if (IterationJitterFactor(9, 0, iter, 0.05, 1.0) > 1.0) ++stretched;
+  }
+  EXPECT_GT(stretched, 0);
+  EXPECT_LT(stretched, 200);  // ~50 expected out of 1000.
 }
 
 TEST(FaultInjectorTest, TimeoutStampingIsProbabilityGatedAndIdempotent) {

@@ -1,0 +1,169 @@
+// Tests for gray-failure detection and hedged dispatch: HealthProber EWMA +
+// hysteresis classification (detection lag on both edges, spike immunity,
+// crash overrides), and cluster-level hedging — first finisher wins at
+// response granularity, the loser is cancelled with its KV released
+// (machine-checked), and the client stream never carries duplicates.
+
+#include <gtest/gtest.h>
+
+#include "src/core/serving_system.h"
+#include "src/simulator/cluster_simulator.h"
+#include "src/simulator/health_prober.h"
+#include "src/verify/invariant_checker.h"
+
+namespace sarathi {
+namespace {
+
+// ---------- HealthProber ----------
+
+TEST(HealthProberTest, TripsAfterHysteresisAndClearsWithLag) {
+  ProberOptions options;  // alpha 0.3, trip 1.4, clear 1.15, 3 samples.
+  HealthProber prober(1, options);
+
+  double t = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    prober.Observe(0, t += 0.25, 1.0);
+  }
+  EXPECT_EQ(prober.state(0), ReplicaHealth::kHealthy);
+
+  // Degradation to 3x: the EWMA crosses the trip threshold immediately, but
+  // hysteresis holds the flip until the third consecutive sample above it.
+  prober.Observe(0, t += 0.25, 3.0);
+  prober.Observe(0, t += 0.25, 3.0);
+  EXPECT_EQ(prober.state(0), ReplicaHealth::kHealthy);  // Not yet.
+  double trip_time = t + 0.25;
+  prober.Observe(0, trip_time, 3.0);
+  t = trip_time;
+  EXPECT_EQ(prober.state(0), ReplicaHealth::kDegraded);
+  ASSERT_EQ(prober.DegradedIntervals(0).size(), 1u);
+  EXPECT_EQ(prober.DegradedIntervals(0)[0].begin_s, trip_time);
+  EXPECT_TRUE(std::isinf(prober.DegradedIntervals(0)[0].end_s));  // Still open.
+  EXPECT_TRUE(prober.DegradedAt(0, trip_time + 100.0));
+
+  // Recovery: the EWMA has to decay through the dead band, then three
+  // consecutive samples below the clear threshold close the interval.
+  for (int i = 0; i < 30 && prober.state(0) == ReplicaHealth::kDegraded; ++i) {
+    prober.Observe(0, t += 0.25, 1.0);
+  }
+  EXPECT_EQ(prober.state(0), ReplicaHealth::kHealthy);
+  ASSERT_EQ(prober.DegradedIntervals(0).size(), 1u);
+  const DetectedInterval& interval = prober.DegradedIntervals(0)[0];
+  EXPECT_GT(interval.end_s, interval.begin_s + 3 * 0.25);  // Clear lag is real.
+  EXPECT_FALSE(prober.DegradedAt(0, interval.end_s));  // Half-open interval.
+  EXPECT_EQ(prober.transitions().size(), 2u);  // healthy->degraded->healthy.
+}
+
+TEST(HealthProberTest, TransientSpikeDoesNotFlipTheBreaker) {
+  HealthProber prober(1, ProberOptions{});
+  double t = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    prober.Observe(0, t += 0.25, 1.0);
+  }
+  prober.Observe(0, t += 0.25, 2.0);  // One jittery sample: EWMA 1.3 < 1.4.
+  for (int i = 0; i < 5; ++i) {
+    prober.Observe(0, t += 0.25, 1.0);
+  }
+  EXPECT_EQ(prober.state(0), ReplicaHealth::kHealthy);
+  EXPECT_TRUE(prober.DegradedIntervals(0).empty());
+  EXPECT_TRUE(prober.transitions().empty());
+}
+
+TEST(HealthProberTest, MarkDownOverridesAndRecoveryReseedsTheEwma) {
+  HealthProber prober(2, ProberOptions{});
+  double t = 0.0;
+  for (int i = 0; i < 3; ++i) {
+    prober.Observe(0, t += 0.25, 3.0);  // Trip replica 0.
+  }
+  ASSERT_EQ(prober.state(0), ReplicaHealth::kDegraded);
+
+  prober.MarkDown(0, t += 0.25);
+  EXPECT_EQ(prober.state(0), ReplicaHealth::kDown);
+  // Going down closes the open degraded interval.
+  ASSERT_EQ(prober.DegradedIntervals(0).size(), 1u);
+  EXPECT_EQ(prober.DegradedIntervals(0)[0].end_s, t);
+  EXPECT_EQ(prober.state(1), ReplicaHealth::kHealthy);  // Untouched.
+
+  // First post-repair sample re-seeds the EWMA from scratch: the replica
+  // comes back healthy even though its pre-crash EWMA was 3.0.
+  prober.Observe(0, t += 0.25, 1.0);
+  EXPECT_EQ(prober.state(0), ReplicaHealth::kHealthy);
+  EXPECT_EQ(prober.ewma(0), 1.0);
+  EXPECT_EQ(prober.DegradedIntervals(0).size(), 1u);  // No new interval.
+}
+
+// ---------- Cluster hedged dispatch ----------
+
+ClusterOptions HedgingCluster() {
+  Deployment deployment = MistralOnA100();
+  ClusterOptions options;
+  options.replica.model = deployment.model;
+  options.replica.cluster = deployment.cluster;
+  options.replica.parallel = deployment.parallel;
+  options.replica.scheduler = SarathiConfig(512);
+  options.num_replicas = 2;
+  options.routing = RoutingPolicy::kLeastOutstandingWork;
+  options.slowdown_overrides = {{{1.0, 120.0, 4.0}}, {}};
+  options.hedge_after_s = 0.5;
+  return options;
+}
+
+TEST(HedgingClusterTest, FirstFinisherWinsAndLoserIsCancelledWithKvReleased) {
+  InvariantChecker checker;
+  ClusterOptions options = HedgingCluster();
+  options.replica.checker = &checker;
+  Trace trace = UniformTrace(6, 512, 300, 0.25);
+  SimResult result = ClusterSimulator(options).Run(trace);
+
+  EXPECT_GE(result.hedges_issued, 1);
+  // Every decided race cancels exactly one attempt; the undecided remainder
+  // (neither copy finished) cancels nothing.
+  EXPECT_LE(result.hedges_cancelled, result.hedges_issued);
+  EXPECT_LE(result.hedges_won, result.hedges_cancelled);
+  int64_t hedged_requests = 0;
+  for (size_t i = 0; i < trace.size(); ++i) {
+    const RequestMetrics& r = result.requests[i];
+    // Response granularity: the client consumes one winner's stream — the
+    // full output, exactly once, no interleaving and no duplicates.
+    EXPECT_TRUE(r.completed());
+    EXPECT_EQ(r.token_times_s.size(), 300u);
+    EXPECT_LE(r.hedges, 1);  // At most one hedge per request.
+    hedged_requests += r.hedges;
+  }
+  EXPECT_EQ(hedged_requests, result.hedges_issued);
+  // The loser's duplicated tokens are dropped client-side and itemized.
+  EXPECT_GE(result.lost_output_tokens, 0);
+  // The checker's end-of-run audit proves every cancelled attempt released
+  // all its KV (zero live sequences, zero used blocks on every replica run).
+  EXPECT_TRUE(checker.ok()) << checker.Report();
+  EXPECT_GT(checker.runs_checked(), 0);
+}
+
+TEST(HedgingClusterTest, HedgingRunsAreDeterministic) {
+  Trace trace = UniformTrace(6, 512, 300, 0.25);
+  SimResult a = ClusterSimulator(HedgingCluster()).Run(trace);
+  SimResult b = ClusterSimulator(HedgingCluster()).Run(trace);
+  EXPECT_EQ(a.hedges_issued, b.hedges_issued);
+  EXPECT_EQ(a.hedges_won, b.hedges_won);
+  EXPECT_EQ(a.hedges_cancelled, b.hedges_cancelled);
+  EXPECT_EQ(a.makespan_s, b.makespan_s);
+  ASSERT_EQ(a.requests.size(), b.requests.size());
+  for (size_t i = 0; i < a.requests.size(); ++i) {
+    EXPECT_EQ(a.requests[i].completion_s, b.requests[i].completion_s);
+    EXPECT_EQ(a.requests[i].token_times_s, b.requests[i].token_times_s);
+  }
+}
+
+TEST(HedgingClusterTest, HedgingDisabledIssuesNothing) {
+  ClusterOptions options = HedgingCluster();
+  options.hedge_after_s = 0.0;
+  SimResult result = ClusterSimulator(options).Run(UniformTrace(6, 512, 300, 0.25));
+  EXPECT_EQ(result.hedges_issued, 0);
+  EXPECT_EQ(result.hedges_won, 0);
+  EXPECT_EQ(result.hedges_cancelled, 0);
+  for (const RequestMetrics& r : result.requests) {
+    EXPECT_EQ(r.hedges, 0);
+  }
+}
+
+}  // namespace
+}  // namespace sarathi

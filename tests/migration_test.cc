@@ -1,0 +1,232 @@
+// Tests for live KV migration failover: replica-level planned checkpoints
+// (kMigrateOut) and restored arrivals, cluster-level migration conservation
+// (a migrated request finishes with its full output and zero recompute,
+// machine-checked by the InvariantChecker), drain-based recompute failover as
+// the contrast, determinism, the KV-pressure fallback, and the checker's
+// migration-conservation invariant itself.
+
+#include <gtest/gtest.h>
+
+#include "src/core/serving_system.h"
+#include "src/simulator/cluster_simulator.h"
+#include "src/simulator/replica_simulator.h"
+#include "src/verify/invariant_checker.h"
+
+namespace sarathi {
+namespace {
+
+SimulatorOptions BaseOptions(const SchedulerConfig& scheduler) {
+  Deployment deployment = MistralOnA100();
+  SimulatorOptions options;
+  options.model = deployment.model;
+  options.cluster = deployment.cluster;
+  options.parallel = deployment.parallel;
+  options.scheduler = scheduler;
+  return options;
+}
+
+// Two replicas, replica 0 slowed 3x over most of the run, failover as given.
+ClusterOptions GrayCluster(FailoverMode failover) {
+  ClusterOptions options;
+  options.replica = BaseOptions(SarathiConfig(512));
+  options.num_replicas = 2;
+  options.routing = RoutingPolicy::kLeastOutstandingWork;
+  options.slowdown_overrides = {{{1.0, 120.0, 3.0}}, {}};
+  options.degraded_failover = failover;
+  return options;
+}
+
+// Long decodes so degraded failover has in-flight work to move.
+Trace LongDecodeTrace() { return UniformTrace(6, 512, 300, 0.25); }
+
+// ---------- Replica-level planned checkpoint ----------
+
+TEST(MigrationReplicaTest, PlannedMigrateOutCheckpointsADecodingRequest) {
+  SimulatorOptions options = BaseOptions(SarathiConfig(512));
+  Trace trace = UniformTrace(1, 512, 300, 0.0);
+  double baseline_done = ReplicaSimulator(options).Run(trace).requests[0].completion_s;
+
+  trace.requests[0].planned_abort = PlannedAbort::kMigrateOut;
+  trace.requests[0].planned_abort_s = baseline_done * 0.5;  // Mid-decode.
+  SimResult result = ReplicaSimulator(options).Run(trace);
+
+  const RequestMetrics& r = result.requests[0];
+  EXPECT_FALSE(r.completed());
+  EXPECT_EQ(r.failure, FailureKind::kMigrated);
+  EXPECT_GE(r.failed_s, trace.requests[0].planned_abort_s);
+  // The checkpoint keeps every token the attempt emitted; the stream ends at
+  // or before the extraction and is a strict prefix of the full output.
+  ASSERT_FALSE(r.token_times_s.empty());
+  EXPECT_LE(r.token_times_s.back(), r.failed_s);
+  EXPECT_LT(r.token_times_s.size(), 300u);
+  // Checkpointing wastes nothing: no recompute was scheduled for it.
+  EXPECT_EQ(r.wasted_tokens, 0);
+}
+
+TEST(MigrationReplicaTest, RestoredArrivalResumesWithoutRecompute) {
+  SimulatorOptions options = BaseOptions(SarathiConfig(512));
+  InvariantChecker checker;
+  options.checker = &checker;
+  Trace trace = UniformTrace(1, 512, 100, 0.0);
+  trace.requests[0].restored_generated = 40;
+  SimResult result = ReplicaSimulator(options).Run(trace);
+
+  const RequestMetrics& r = result.requests[0];
+  EXPECT_TRUE(r.completed());
+  // Only the 60 tokens decoded here are emitted locally; the 40 transferred
+  // ones were already streamed by the source replica.
+  EXPECT_EQ(r.token_times_s.size(), 60u);
+  EXPECT_EQ(r.wasted_tokens, 0);  // Zero recompute: that is the point.
+  EXPECT_EQ(r.preemptions, 0);
+  EXPECT_TRUE(checker.ok()) << checker.Report();
+}
+
+// ---------- Cluster live migration (acceptance: conservation) ----------
+
+TEST(MigrationClusterTest, LiveMigrationConservesTokensUnderChecker) {
+  InvariantChecker checker;
+  ClusterOptions options = GrayCluster(FailoverMode::kLiveMigrate);
+  options.replica.checker = &checker;
+  ClusterSimulator cluster(options);
+  SimResult result = cluster.Run(LongDecodeTrace());
+
+  EXPECT_GE(result.migrations, 1);
+  EXPECT_GT(result.migrated_kv_bytes, 0);
+  EXPECT_EQ(result.drain_failovers, 0);
+  int64_t migrated_requests = 0;
+  for (size_t i = 0; i < 6; ++i) {
+    const RequestMetrics& r = result.requests[i];
+    // Identical output length to a failure-free run: all 300 tokens, exactly
+    // once, client-side.
+    EXPECT_TRUE(r.completed());
+    EXPECT_EQ(r.token_times_s.size(), 300u);
+    if (r.migrations > 0) {
+      ++migrated_requests;
+      // The migrated request never recomputes a token.
+      EXPECT_EQ(r.wasted_tokens, 0);
+      EXPECT_EQ(r.retries, 0);  // Migration is not a crash retry.
+    }
+  }
+  EXPECT_GE(migrated_requests, 1);
+  EXPECT_EQ(result.WastedRecomputeTokens(), 0);
+  EXPECT_EQ(result.lost_output_tokens, 0);
+  // The checker verified every adoption (prompt KV complete, generated tokens
+  // intact, no recompute scheduled) and every run closed clean.
+  EXPECT_TRUE(checker.ok()) << checker.Report();
+  EXPECT_GT(checker.runs_checked(), 0);
+}
+
+TEST(MigrationClusterTest, RecomputeFailoverPaysForDrainedTokens) {
+  ClusterOptions options = GrayCluster(FailoverMode::kRecompute);
+  SimResult result = ClusterSimulator(options).Run(LongDecodeTrace());
+
+  EXPECT_GE(result.drain_failovers, 1);
+  EXPECT_EQ(result.migrations, 0);
+  // Every drained token is recomputed on the destination: strictly positive
+  // waste, the quantity live migration eliminates.
+  EXPECT_GT(result.WastedRecomputeTokens(), 0);
+  for (size_t i = 0; i < 6; ++i) {
+    EXPECT_TRUE(result.requests[i].completed());
+    EXPECT_EQ(result.requests[i].token_times_s.size(), 300u);
+  }
+}
+
+TEST(MigrationClusterTest, MigrationRunsAreDeterministic) {
+  Trace trace = LongDecodeTrace();
+  SimResult a = ClusterSimulator(GrayCluster(FailoverMode::kLiveMigrate)).Run(trace);
+  SimResult b = ClusterSimulator(GrayCluster(FailoverMode::kLiveMigrate)).Run(trace);
+
+  EXPECT_EQ(a.migrations, b.migrations);
+  EXPECT_EQ(a.migrated_kv_bytes, b.migrated_kv_bytes);
+  EXPECT_EQ(a.makespan_s, b.makespan_s);  // Bitwise equality throughout.
+  ASSERT_EQ(a.requests.size(), b.requests.size());
+  for (size_t i = 0; i < a.requests.size(); ++i) {
+    EXPECT_EQ(a.requests[i].completion_s, b.requests[i].completion_s);
+    EXPECT_EQ(a.requests[i].token_times_s, b.requests[i].token_times_s);
+    EXPECT_EQ(a.requests[i].migrations, b.requests[i].migrations);
+  }
+}
+
+TEST(MigrationClusterTest, NoFailoverLeavesWorkOnTheDegradedReplica) {
+  ClusterOptions options = GrayCluster(FailoverMode::kNone);
+  SimResult result = ClusterSimulator(options).Run(LongDecodeTrace());
+  EXPECT_EQ(result.migrations, 0);
+  EXPECT_EQ(result.drain_failovers, 0);
+  EXPECT_GT(result.degraded_iterations, 0);  // The slowdown was really applied.
+}
+
+// ---------- KV-pressure fallback ----------
+
+TEST(MigrationReplicaTest, AdoptionFallsBackToRecomputeWhenKvCannotHold) {
+  SimulatorOptions options = BaseOptions(SarathiConfig(512));
+  // Capacity fits one 512+100 sequence with almost nothing to spare, so the
+  // restored arrival (landing while request 0 is mid-decode and holding its
+  // KV) cannot be admitted with the transferred context.
+  options.kv_max_seq_len = 1024;
+  options.kv_capacity_tokens = 700;
+  Trace trace = UniformTrace(2, 512, 100, 0.3);
+  trace.requests[1].restored_generated = 40;
+  SimResult result = ReplicaSimulator(options).Run(trace);
+
+  ASSERT_EQ(result.requests.size(), 2u);
+  EXPECT_TRUE(result.requests[0].completed());
+  const RequestMetrics& fallback = result.requests[1];
+  EXPECT_TRUE(fallback.completed());
+  // The fallback recomputes prompt + transferred context from scratch and
+  // emits the full remaining output stream locally.
+  EXPECT_EQ(fallback.token_times_s.size(), 60u);
+  EXPECT_GE(fallback.wasted_tokens, 40);  // The transferred tokens are redone.
+  EXPECT_GE(fallback.preemptions, 1);     // ResetForRecompute counts as one.
+}
+
+// ---------- The invariant itself ----------
+
+TEST(MigrationCheckerTest, CheckerRejectsAdoptionWithoutRestoredState) {
+  InvariantChecker checker;
+  Request request;
+  request.id = 9;
+  request.prompt_tokens = 100;
+  request.output_tokens = 10;
+  RequestState state(request);  // Queued, prefill not done, nothing generated.
+  checker.OnSchedulerEvent(SchedVerifyEvent::kAdoptMigrated, &state);
+
+  EXPECT_FALSE(checker.ok());
+  bool saw_migration_violation = false;
+  for (const Violation& v : checker.violations()) {
+    saw_migration_violation =
+        saw_migration_violation || v.invariant == Invariant::kMigrationConservation;
+  }
+  EXPECT_TRUE(saw_migration_violation) << checker.Report();
+}
+
+TEST(MigrationCheckerTest, CheckerRejectsAdoptionOfCompletedGeneration) {
+  InvariantChecker checker;
+  Request request;
+  request.id = 9;
+  request.prompt_tokens = 4;
+  request.output_tokens = 2;
+  RequestState state(request);
+  state.AdvancePrefill(4);  // Completes prefill, emits token 1.
+  state.AdvanceDecode();    // Token 2: generation complete — nothing to migrate.
+  checker.OnSchedulerEvent(SchedVerifyEvent::kAdoptMigrated, &state);
+
+  EXPECT_FALSE(checker.ok());
+  ASSERT_FALSE(checker.violations().empty());
+  EXPECT_EQ(checker.violations()[0].invariant, Invariant::kMigrationConservation);
+}
+
+TEST(MigrationCheckerTest, CheckerAcceptsAProperlyRestoredAdoption) {
+  InvariantChecker checker;
+  Request request;
+  request.id = 9;
+  request.prompt_tokens = 100;
+  request.output_tokens = 10;
+  request.restored_generated = 4;
+  RequestState state(request);
+  state.RestoreFromMigration(4);
+  checker.OnSchedulerEvent(SchedVerifyEvent::kAdoptMigrated, &state);
+  EXPECT_TRUE(checker.ok()) << checker.Report();
+}
+
+}  // namespace
+}  // namespace sarathi

@@ -4,9 +4,10 @@
 // For each seed it synthesizes a randomized workload (bursty or Poisson
 // arrivals, parallel sampling, deadlines, multi-tenant client ids), a
 // randomized scheduler configuration (budget, batch size, ablations, dynamic
-// budget controller), and a fault schedule (replica crashes, client
-// timeouts), then runs every scheduling policy on both KV allocators with an
-// InvariantChecker attached. Any violation of the paper's guarantees (token
+// budget controller), and a fault schedule (replica crashes, client timeouts,
+// gray-failure slowdown episodes with jitter, hedged dispatch, drain or live
+// KV-migration failover), then runs every scheduling policy on both KV
+// allocators with an InvariantChecker attached. Any violation of the paper's guarantees (token
 // budget, stall-free batching, token/KV conservation, clock monotonicity) is
 // reported with the seed, run label, iteration, and request id needed to
 // reproduce it:
@@ -23,6 +24,8 @@
 //   --fatal          abort on the first violation (stack trace at the site)
 //   --repro-out=DIR  write a repro file per failing seed into DIR
 //   --verbose        one line per seed instead of a progress line per 10
+//   --force-gray     force every seed into a gray-failure cluster case
+//                    (slowdown episodes + seed-rotated failover/hedging)
 
 #include <algorithm>
 #include <filesystem>
@@ -54,6 +57,7 @@ constexpr char kUsage[] = R"(sarathi_fuzz: randomized invariant fuzzer (see docs
   --fatal          abort on the first violation instead of accumulating
   --repro-out=DIR  write a repro report per failing seed into DIR
   --verbose        per-seed progress lines
+  --force-gray     force every seed into a gray-failure cluster case
 )";
 
 constexpr SchedulerPolicy kPolicies[] = {
@@ -81,7 +85,9 @@ struct FuzzCase {
   bool cluster_mode = false;
   int num_replicas = 0;
   RoutingPolicy routing = RoutingPolicy::kLeastOutstandingWork;
-  FaultOptions faults;         // Cluster-mode fault model.
+  FaultOptions faults;         // Cluster-mode fault model (incl. gray failures).
+  FailoverMode degraded_failover = FailoverMode::kNone;
+  double hedge_after_s = 0.0;
   bool standalone_outages = false;  // Standalone: crash-recompute outages.
   double outage_mtbf_s = 0.0;
   double outage_mttr_s = 0.0;
@@ -102,8 +108,16 @@ std::string FuzzCase::Summary() const {
   if (cluster_mode) {
     out << ", cluster x" << num_replicas << " (" << RoutingPolicyName(routing)
         << ", mtbf=" << faults.mtbf_s << ")";
+    if (faults.any_degradation()) {
+      out << ", gray (degrade-mtbf=" << faults.degrade_mtbf_s
+          << ", failover=" << FailoverModeName(degraded_failover);
+      if (hedge_after_s > 0.0) out << ", hedge=" << hedge_after_s;
+      out << ")";
+    }
   } else if (standalone_outages) {
     out << ", outages (mtbf=" << outage_mtbf_s << ")";
+  } else if (faults.any_degradation()) {
+    out << ", standalone gray (degrade-mtbf=" << faults.degrade_mtbf_s << ")";
   }
   return out.str();
 }
@@ -184,6 +198,29 @@ FuzzCase MakeCase(uint64_t seed) {
     fuzz_case.outage_mtbf_s = rng.Uniform(5.0, 15.0);
     fuzz_case.outage_mttr_s = rng.Uniform(0.5, 2.0);
   }
+
+  // Gray failures. Drawn after everything else so seeds that predate this
+  // block keep their historical workloads and outage schedules byte-identical.
+  if (rng.Uniform(0.0, 1.0) < 0.5) {
+    fuzz_case.faults.seed = seed + 17;
+    fuzz_case.faults.degrade_mtbf_s = rng.Uniform(3.0, 15.0);
+    fuzz_case.faults.degrade_mttr_s = rng.Uniform(1.0, 6.0);
+    fuzz_case.faults.min_degrade_s = 0.5;
+    fuzz_case.faults.degrade_min_factor = rng.Uniform(1.5, 2.5);
+    fuzz_case.faults.degrade_max_factor =
+        fuzz_case.faults.degrade_min_factor + rng.Uniform(0.5, 2.0);
+    if (rng.Uniform(0.0, 1.0) < 0.5) {
+      fuzz_case.faults.jitter_probability = rng.Uniform(0.01, 0.1);
+      fuzz_case.faults.jitter_max_extra = rng.Uniform(0.2, 2.0);
+    }
+    if (fuzz_case.cluster_mode) {
+      int64_t mode = rng.UniformInt(0, 2);
+      fuzz_case.degraded_failover = mode == 0   ? FailoverMode::kNone
+                                    : mode == 1 ? FailoverMode::kRecompute
+                                                : FailoverMode::kLiveMigrate;
+      if (rng.Uniform(0.0, 1.0) < 0.5) fuzz_case.hedge_after_s = rng.Uniform(0.25, 2.0);
+    }
+  }
   return fuzz_case;
 }
 
@@ -234,10 +271,19 @@ std::string RunCell(const FuzzCase& fuzz_case, SchedulerPolicy policy, Allocator
     cluster.num_replicas = fuzz_case.num_replicas;
     cluster.routing = fuzz_case.routing;
     cluster.faults = fuzz_case.faults;
+    cluster.degraded_failover = fuzz_case.degraded_failover;
+    cluster.hedge_after_s = fuzz_case.hedge_after_s;
     ClusterSimulator simulator(cluster);
     simulator.Run(trace);
   } else {
     SimulatorOptions options = MakeReplicaOptions(fuzz_case, policy, kind, &checker);
+    if (fuzz_case.faults.any_degradation()) {
+      FaultInjector gray(fuzz_case.faults);
+      options.slowdowns = gray.SlowdownsFor(0, TraceHorizon(fuzz_case.trace));
+      options.jitter_probability = fuzz_case.faults.jitter_probability;
+      options.jitter_max_extra = fuzz_case.faults.jitter_max_extra;
+      options.jitter_seed = fuzz_case.faults.seed;
+    }
     if (fuzz_case.standalone_outages) {
       FaultOptions fault_options;
       fault_options.seed = fuzz_case.faults.seed + 31;
@@ -274,12 +320,26 @@ std::string RunDeterminismCheck(const FuzzCase& fuzz_case, uint64_t seed) {
   cluster.num_replicas = fuzz_case.cluster_mode ? fuzz_case.num_replicas : 2;
   cluster.routing = fuzz_case.routing;
   cluster.faults = fuzz_case.faults;
-  if (!cluster.faults.any_faults()) {
+  cluster.degraded_failover = fuzz_case.degraded_failover;
+  cluster.hedge_after_s = fuzz_case.hedge_after_s;
+  if (cluster.faults.mtbf_s <= 0.0) {
     cluster.faults.seed = seed + 17;
     cluster.faults.mtbf_s = 8.0;
     cluster.faults.mttr_s = 1.0;
     cluster.faults.min_outage_s = 0.25;
   }
+  // Gray failures are always inside the byte-compare, with the failover and
+  // hedging machinery rotating by seed so all code paths get exercised.
+  if (!cluster.faults.any_degradation()) {
+    cluster.faults.degrade_mtbf_s = 6.0;
+    cluster.faults.degrade_mttr_s = 2.0;
+    cluster.faults.min_degrade_s = 0.5;
+  }
+  if (cluster.degraded_failover == FailoverMode::kNone) {
+    cluster.degraded_failover =
+        seed % 2 == 0 ? FailoverMode::kLiveMigrate : FailoverMode::kRecompute;
+  }
+  if (cluster.hedge_after_s <= 0.0 && seed % 3 == 0) cluster.hedge_after_s = 0.5;
 
   std::string first;
   for (int run = 0; run < 2; ++run) {
@@ -320,6 +380,7 @@ int RunMain(int argc, char** argv) {
   int64_t start = start_arg.value();
   bool fatal = args.GetBool("fatal", false);
   bool verbose = args.GetBool("verbose", false);
+  bool force_gray = args.GetBool("force-gray", false);
   std::string repro_dir = args.GetString("repro-out", "");
   for (const std::string& key : args.UnconsumedKeys()) {
     std::cerr << "warning: unknown flag --" << key << "\n";
@@ -330,6 +391,25 @@ int RunMain(int argc, char** argv) {
   for (int64_t i = 0; i < num_seeds; ++i) {
     uint64_t seed = static_cast<uint64_t>(start + i);
     FuzzCase fuzz_case = MakeCase(seed);
+    if (force_gray) {
+      // CI smoke mode: every seed becomes a gray-failure cluster case, with
+      // the failover mode and hedging rotating deterministically by seed.
+      if (!fuzz_case.cluster_mode) {
+        fuzz_case.cluster_mode = true;
+        fuzz_case.standalone_outages = false;
+        fuzz_case.num_replicas = 2 + static_cast<int>(seed % 2);
+        fuzz_case.faults.seed = seed + 17;
+      }
+      if (!fuzz_case.faults.any_degradation()) {
+        fuzz_case.faults.degrade_mtbf_s = 5.0 + static_cast<double>(seed % 7);
+        fuzz_case.faults.degrade_mttr_s = 2.0 + static_cast<double>(seed % 3);
+        fuzz_case.faults.min_degrade_s = 0.5;
+      }
+      fuzz_case.degraded_failover = seed % 3 == 0   ? FailoverMode::kNone
+                                    : seed % 3 == 1 ? FailoverMode::kRecompute
+                                                    : FailoverMode::kLiveMigrate;
+      fuzz_case.hedge_after_s = seed % 2 == 0 ? 0.5 : 0.0;
+    }
     std::vector<std::string> failures;
 
     for (SchedulerPolicy policy : kPolicies) {

@@ -51,6 +51,16 @@ Faults (any of these routes the run through the cluster simulator):
   --fault-seed=S                       fault schedule seed (default 42)
   --max-retries=N                      crash re-route attempts (default 2)
   --shed-after=S                       shed arrivals beyond S seconds of backlog
+Gray failures (degraded replicas; also route through the cluster simulator):
+  --degrade-mtbf=S --degrade-mttr=S    slowdown-episode process, exponential (s)
+  --degrade-min-factor=F               episode slowdown range (default 1.5-4.0),
+  --degrade-max-factor=F               uniform per episode
+  --jitter-prob=P --jitter-max=X       per-iteration transient jitter: with
+                                       probability P stretch by up to 1+X
+  --probe-interval=S                   health-probe cadence (default 0.25)
+  --hedge-after=S                      hedge requests stuck on a degraded
+                                       replica after S seconds (0 = off)
+  --failover=none|recompute|migrate    degraded-replica failover (default none)
 Evaluation:
   --capacity                           binary-search max sustainable QPS
   --slo=strict|relaxed|SECONDS         P99-TBT target (default strict)
@@ -255,6 +265,40 @@ int RunMain(int argc, char** argv) {
   faults.request_timeout_probability = *timeout_prob;
   faults.request_timeout_s = *timeout_s;
   faults.seed = static_cast<uint64_t>(*fault_seed);
+
+  // ---- Gray-failure flags ----
+  auto degrade_mtbf = args.GetDouble("degrade-mtbf", 0.0);
+  auto degrade_mttr = args.GetDouble("degrade-mttr", 20.0);
+  auto degrade_min = args.GetDouble("degrade-min-factor", 1.5);
+  auto degrade_max = args.GetDouble("degrade-max-factor", 4.0);
+  auto jitter_prob = args.GetDouble("jitter-prob", 0.0);
+  auto jitter_max = args.GetDouble("jitter-max", 0.0);
+  auto probe_interval = args.GetDouble("probe-interval", 0.25);
+  auto hedge_after = args.GetDouble("hedge-after", 0.0);
+  std::string failover_name = args.GetString("failover", "none");
+  if (!degrade_mtbf.ok() || !degrade_mttr.ok() || !degrade_min.ok() || !degrade_max.ok() ||
+      !jitter_prob.ok() || !jitter_max.ok() || !probe_interval.ok() || !hedge_after.ok() ||
+      *probe_interval <= 0.0) {
+    std::cerr << "bad gray-failure flag (--degrade-mtbf/--degrade-mttr/--degrade-min-factor/"
+                 "--degrade-max-factor/--jitter-prob/--jitter-max/--probe-interval/"
+                 "--hedge-after)\n";
+    return 2;
+  }
+  FailoverMode failover = FailoverMode::kNone;
+  if (failover_name == "recompute") {
+    failover = FailoverMode::kRecompute;
+  } else if (failover_name == "migrate") {
+    failover = FailoverMode::kLiveMigrate;
+  } else if (failover_name != "none") {
+    std::cerr << "unknown --failover '" << failover_name << "'\n";
+    return 2;
+  }
+  faults.degrade_mtbf_s = *degrade_mtbf;
+  faults.degrade_mttr_s = *degrade_mttr;
+  faults.degrade_min_factor = *degrade_min;
+  faults.degrade_max_factor = *degrade_max;
+  faults.jitter_probability = *jitter_prob;
+  faults.jitter_max_extra = *jitter_max;
   bool fault_run = faults.any_faults() || *shed_after > 0.0;
 
   // ---- Observability sinks ----
@@ -293,6 +337,9 @@ int RunMain(int argc, char** argv) {
     cluster.faults = faults;
     cluster.max_retries = static_cast<int>(*max_retries);
     cluster.shed_outstanding_s = *shed_after;
+    cluster.prober.probe_interval_s = *probe_interval;
+    cluster.hedge_after_s = *hedge_after;
+    cluster.degraded_failover = failover;
     std::string routing = args.GetString("routing", "least-work");
     if (routing == "rr") {
       cluster.routing = RoutingPolicy::kRoundRobin;
@@ -330,6 +377,18 @@ int RunMain(int argc, char** argv) {
     table.AddRow({"shed requests", Table::Int(result.num_shed)});
     table.AddRow({"retries", Table::Int(result.TotalRetries())});
     table.AddRow({"outages", Table::Int(result.num_outages)});
+    if (result.num_slowdown_episodes > 0 || result.degraded_iterations > 0 ||
+        faults.any_degradation()) {
+      table.AddRow({"slowdown episodes", Table::Int(result.num_slowdown_episodes)});
+      table.AddRow({"degraded iterations", Table::Int(result.degraded_iterations)});
+      table.AddRow({"probe transitions", Table::Int(result.probe_transitions)});
+      table.AddRow({"wasted recompute tokens", Table::Int(result.WastedRecomputeTokens())});
+      table.AddRow({"hedges (issued/won)", Table::Int(result.hedges_issued) + "/" +
+                                               Table::Int(result.hedges_won)});
+      table.AddRow({"migrations", Table::Int(result.migrations)});
+      table.AddRow({"drain failovers", Table::Int(result.drain_failovers)});
+      table.AddRow({"migrated KV bytes", Table::Int(result.migrated_kv_bytes)});
+    }
   }
   table.Print();
 
