@@ -14,10 +14,11 @@
 #include "bench/bench_util.h"
 
 using namespace sarathi;
+using sarathi::bench::CapacityJob;
+using sarathi::bench::CapacitySweep;
 using sarathi::bench::Header;
-using sarathi::bench::QuickCapacity;
 
-int main() {
+int main(int argc, char** argv) {
   Header("Extension: static vs dynamic token budget (Yi-34B TP2, sharegpt4)",
          "(not a paper figure) Dynamic budget should match the best static "
          "budget under each SLO without per-SLO tuning.");
@@ -42,15 +43,20 @@ int main() {
     // The dynamic controller targets ~60% of the P99 SLO per iteration: P99
     // TBT aggregates queueing on top of single-iteration latency.
     SchedulerConfig dynamic = DynamicSarathiConfig(0.6 * slo_case.tbt_slo_s);
-    for (const Row& row : std::initializer_list<Row>{
-             {"sarathi-512 (static)", SarathiConfig(512)},
-             {"sarathi-2048 (static)", SarathiConfig(2048)},
-             {"sarathi-dynamic", dynamic},
-         }) {
-      CapacityResult capacity =
-          QuickCapacity(deployment, row.config, dataset, slo_case.tbt_slo_s);
-      table.AddRow({row.label, Table::Num(capacity.capacity_qps, 2),
-                    Table::Num(capacity.p99_tbt_s, 3)});
+    const std::vector<Row> rows = {
+        {"sarathi-512 (static)", SarathiConfig(512)},
+        {"sarathi-2048 (static)", SarathiConfig(2048)},
+        {"sarathi-dynamic", dynamic},
+    };
+    std::vector<CapacityJob> sweep;
+    for (const Row& row : rows) {
+      sweep.push_back({deployment, row.config, dataset, slo_case.tbt_slo_s});
+    }
+    std::vector<CapacityResult> results =
+        CapacitySweep(sweep, sarathi::bench::JobsFlag(argc, argv));
+    for (size_t i = 0; i < rows.size(); ++i) {
+      table.AddRow({rows[i].label, Table::Num(results[i].capacity_qps, 2),
+                    Table::Num(results[i].p99_tbt_s, 3)});
     }
     table.Print();
   }

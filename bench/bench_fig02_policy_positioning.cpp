@@ -12,7 +12,7 @@
 using namespace sarathi;
 using sarathi::bench::Header;
 
-int main() {
+int main(int argc, char** argv) {
   Header("Figure 2: throughput-latency positioning of scheduling policies",
          "FasterTransformer: low TBT, low throughput. Orca/vLLM: high throughput, "
          "high TBT. Sarathi-Serve: high throughput AND low TBT.");
@@ -27,22 +27,26 @@ int main() {
   trace_options.seed = 10;
   Trace trace = GenerateTrace(OpenChatShareGpt4(), trace_options);
 
-  Table table({"policy", "tokens/s", "P99 TBT (s)", "median TTFT (s)", "quadrant"});
-  struct Row {
-    std::string label;
-    SchedulerConfig config;
-    std::string quadrant;
+  const std::vector<sarathi::bench::Candidate> candidates = {
+      {"faster_transformer", FasterTransformerConfig(32)},
+      {"orca", OrcaConfig()},
+      {"vllm", VllmConfig()},
+      {"sarathi-512", SarathiConfig(512)},
   };
-  for (const Row& row : std::initializer_list<Row>{
-           {"faster_transformer", FasterTransformerConfig(32), "low-lat / low-thpt"},
-           {"orca", OrcaConfig(), "high-lat / high-thpt"},
-           {"vllm", VllmConfig(), "high-lat / high-thpt"},
-           {"sarathi-512", SarathiConfig(512), "low-lat / high-thpt"},
-       }) {
-    SimResult result = ServingSystem(deployment, row.config).Serve(trace);
-    table.AddRow({row.label, Table::Num(result.OutputTokenThroughput(), 1),
-                  Table::Num(result.P99Tbt(), 3), Table::Num(result.MedianTtft(), 2),
-                  row.quadrant});
+  const std::vector<std::string> quadrants = {
+      "low-lat / low-thpt",
+      "high-lat / high-thpt",
+      "high-lat / high-thpt",
+      "low-lat / high-thpt",
+  };
+  std::vector<SimResult> results = sarathi::bench::ServeSweep(
+      deployment, candidates, trace, sarathi::bench::JobsFlag(argc, argv));
+
+  Table table({"policy", "tokens/s", "P99 TBT (s)", "median TTFT (s)", "quadrant"});
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    table.AddRow({candidates[i].label, Table::Num(results[i].OutputTokenThroughput(), 1),
+                  Table::Num(results[i].P99Tbt(), 3), Table::Num(results[i].MedianTtft(), 2),
+                  quadrants[i]});
   }
   table.Print();
   return 0;

@@ -11,34 +11,48 @@
 #include "bench/bench_util.h"
 
 using namespace sarathi;
+using sarathi::bench::CapacityJob;
+using sarathi::bench::CapacitySweep;
 using sarathi::bench::Header;
-using sarathi::bench::QuickCapacity;
 
 namespace {
 
 void RunModel(const std::string& name, const Deployment& deployment,
-              int64_t relaxed_budget) {
+              int64_t relaxed_budget, int jobs) {
   SloSpec slo = ServingSystem(deployment, SarathiConfig(512)).Slo();
   std::cout << "\n== " << name << " ==\n"
             << "Derived SLOs: strict " << Table::Num(slo.strict_p99_tbt_s, 3) << " s, relaxed "
             << Table::Num(slo.relaxed_p99_tbt_s, 3) << " s\n";
 
-  for (const DatasetSpec& dataset : {OpenChatShareGpt4(), ArxivSummarization()}) {
+  struct Row {
+    std::string label;
+    SchedulerConfig strict_config;
+    SchedulerConfig relaxed_config;
+  };
+  const std::vector<Row> rows = {
+      {"orca", OrcaConfig(), OrcaConfig()},
+      {"vllm", VllmConfig(), VllmConfig()},
+      {"sarathi", SarathiConfig(512), SarathiConfig(relaxed_budget)},
+  };
+  const std::vector<DatasetSpec> datasets = {OpenChatShareGpt4(), ArxivSummarization()};
+
+  std::vector<CapacityJob> sweep;
+  for (const DatasetSpec& dataset : datasets) {
+    for (const Row& row : rows) {
+      sweep.push_back(
+          {deployment, row.strict_config, dataset, slo.strict_p99_tbt_s, /*num_requests=*/160});
+      sweep.push_back({deployment, row.relaxed_config, dataset, slo.relaxed_p99_tbt_s,
+                       /*num_requests=*/160});
+    }
+  }
+  std::vector<CapacityResult> results = CapacitySweep(sweep, jobs);
+
+  size_t next = 0;
+  for (const DatasetSpec& dataset : datasets) {
     Table table({"scheduler", "SLO-S capacity (qps)", "SLO-R capacity (qps)"});
-    struct Row {
-      std::string label;
-      SchedulerConfig strict_config;
-      SchedulerConfig relaxed_config;
-    };
-    for (const Row& row : std::initializer_list<Row>{
-             {"orca", OrcaConfig(), OrcaConfig()},
-             {"vllm", VllmConfig(), VllmConfig()},
-             {"sarathi", SarathiConfig(512), SarathiConfig(relaxed_budget)},
-         }) {
-      CapacityResult strict = QuickCapacity(deployment, row.strict_config, dataset,
-                                            slo.strict_p99_tbt_s, /*num_requests=*/160);
-      CapacityResult relaxed = QuickCapacity(deployment, row.relaxed_config, dataset,
-                                             slo.relaxed_p99_tbt_s, /*num_requests=*/160);
+    for (const Row& row : rows) {
+      const CapacityResult& strict = results[next++];
+      const CapacityResult& relaxed = results[next++];
       table.AddRow({row.label, Table::Num(strict.capacity_qps, 2),
                     Table::Num(relaxed.capacity_qps, 2)});
     }
@@ -49,12 +63,13 @@ void RunModel(const std::string& name, const Deployment& deployment,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   Header("Figure 11: capacity under strict/relaxed SLOs (PP deployments)",
          "Pipeline bubbles amplify Sarathi-Serve's advantage: up to 4.3x over "
          "vLLM (LLaMA2-70B) and 5.6x end-to-end (Falcon-180B).");
-  RunModel("LLaMA2-70B (8xA40, TP4-PP2)", LlamaOnA40Tp4Pp2(), /*relaxed_budget=*/1536);
+  int jobs = sarathi::bench::JobsFlag(argc, argv);
+  RunModel("LLaMA2-70B (8xA40, TP4-PP2)", LlamaOnA40Tp4Pp2(), /*relaxed_budget=*/1536, jobs);
   RunModel("Falcon-180B (2 nodes x 4xA100, TP4-PP2)", FalconOnA100Tp4Pp2(),
-           /*relaxed_budget=*/2048);
+           /*relaxed_budget=*/2048, jobs);
   return 0;
 }

@@ -11,13 +11,14 @@
 #include "bench/bench_util.h"
 
 using namespace sarathi;
+using sarathi::bench::CapacityJob;
+using sarathi::bench::CapacitySweep;
 using sarathi::bench::Header;
-using sarathi::bench::QuickCapacity;
 
 namespace {
 
 void RunModel(const std::string& name, const Deployment& deployment,
-              const std::vector<double>& slos) {
+              const std::vector<double>& slos, int jobs) {
   std::cout << "\n== " << name << " ==\n";
   std::vector<sarathi::bench::Candidate> candidates = {
       {"vllm-bs32", VllmConfig(32)},
@@ -30,14 +31,22 @@ void RunModel(const std::string& name, const Deployment& deployment,
   for (const auto& c : candidates) {
     header.push_back(c.label + " (qps)");
   }
-  Table table(header);
   DatasetSpec dataset = OpenChatShareGpt4();
+
+  std::vector<CapacityJob> sweep;
+  for (double slo : slos) {
+    for (const auto& c : candidates) {
+      sweep.push_back({deployment, c.config, dataset, slo, /*num_requests=*/160});
+    }
+  }
+  std::vector<CapacityResult> results = CapacitySweep(sweep, jobs);
+
+  Table table(header);
+  size_t next = 0;
   for (double slo : slos) {
     std::vector<std::string> row = {Table::Num(slo, 2)};
-    for (const auto& c : candidates) {
-      CapacityResult result =
-          QuickCapacity(deployment, c.config, dataset, slo, /*num_requests=*/160);
-      row.push_back(Table::Num(result.capacity_qps, 2));
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      row.push_back(Table::Num(results[next++].capacity_qps, 2));
     }
     table.AddRow(row);
   }
@@ -46,12 +55,13 @@ void RunModel(const std::string& name, const Deployment& deployment,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   Header("Figure 12: capacity vs P99-TBT SLO (openchat_sharegpt4)",
          "vLLM is insensitive to max batch size and collapses under tight SLOs; "
          "Sarathi's token budget trades efficiency (2048) for tail latency (512).");
+  int jobs = sarathi::bench::JobsFlag(argc, argv);
   // SLO grids scaled like the paper's x-axes (Mistral 0.1-1.0 s, Yi 0.2-1.0 s).
-  RunModel("Mistral-7B (1xA100)", MistralOnA100(), {0.1, 0.2, 0.4, 1.0});
-  RunModel("Yi-34B (2xA100 TP2)", YiOnA100Tp2(), {0.2, 0.4, 0.6, 1.0});
+  RunModel("Mistral-7B (1xA100)", MistralOnA100(), {0.1, 0.2, 0.4, 1.0}, jobs);
+  RunModel("Yi-34B (2xA100 TP2)", YiOnA100Tp2(), {0.2, 0.4, 0.6, 1.0}, jobs);
   return 0;
 }

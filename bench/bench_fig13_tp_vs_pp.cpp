@@ -12,10 +12,11 @@
 #include "src/perfmodel/iteration_cost.h"
 
 using namespace sarathi;
+using sarathi::bench::CapacityJob;
+using sarathi::bench::CapacitySweep;
 using sarathi::bench::Header;
-using sarathi::bench::QuickCapacity;
 
-int main() {
+int main(int argc, char** argv) {
   Header("Figure 13: cross-node TP8 vs hybrid TP4-PP2 (Falcon-180B)",
          "(a) cross-node TP doubles decode TBT; (b) Sarathi-PP gives 3.6x "
          "vLLM-PP and 4.3x vLLM-TP8 capacity under strict SLOs.");
@@ -53,17 +54,23 @@ int main() {
     SchedulerConfig strict_config;
     SchedulerConfig relaxed_config;
   };
-  for (const Row& row : std::initializer_list<Row>{
-           {"vllm TP8", tp8, VllmConfig(), VllmConfig()},
-           {"vllm TP4-PP2", pp, VllmConfig(), VllmConfig()},
-           {"sarathi TP4-PP2", pp, SarathiConfig(512), SarathiConfig(2048)},
-       }) {
-    CapacityResult strict = QuickCapacity(row.deployment, row.strict_config, dataset,
-                                          slo.strict_p99_tbt_s, /*num_requests=*/160);
-    CapacityResult relaxed = QuickCapacity(row.deployment, row.relaxed_config, dataset,
-                                           slo.relaxed_p99_tbt_s, /*num_requests=*/160);
-    capacity.AddRow({row.label, Table::Num(strict.capacity_qps, 2),
-                     Table::Num(relaxed.capacity_qps, 2)});
+  const std::vector<Row> rows = {
+      {"vllm TP8", tp8, VllmConfig(), VllmConfig()},
+      {"vllm TP4-PP2", pp, VllmConfig(), VllmConfig()},
+      {"sarathi TP4-PP2", pp, SarathiConfig(512), SarathiConfig(2048)},
+  };
+  std::vector<CapacityJob> sweep;
+  for (const Row& row : rows) {
+    sweep.push_back(
+        {row.deployment, row.strict_config, dataset, slo.strict_p99_tbt_s, /*num_requests=*/160});
+    sweep.push_back({row.deployment, row.relaxed_config, dataset, slo.relaxed_p99_tbt_s,
+                     /*num_requests=*/160});
+  }
+  std::vector<CapacityResult> results =
+      CapacitySweep(sweep, sarathi::bench::JobsFlag(argc, argv));
+  for (size_t i = 0; i < rows.size(); ++i) {
+    capacity.AddRow({rows[i].label, Table::Num(results[2 * i].capacity_qps, 2),
+                     Table::Num(results[2 * i + 1].capacity_qps, 2)});
   }
   capacity.Print();
   return 0;

@@ -15,19 +15,25 @@
 using namespace sarathi;
 using sarathi::bench::Header;
 
-int main() {
+int main(int argc, char** argv) {
   Header("Table 4: impact of hybrid-batching and chunked-prefills in isolation",
          "The techniques only deliver together: hybrid-only inflates P99 TBT, "
          "chunked-only inflates P50 TTFT; combined improves both.");
 
   Deployment deployment = YiOnA100Tp2();
   constexpr int64_t kBudget = 1024;
+  int jobs = sarathi::bench::JobsFlag(argc, argv);
 
   auto ablation = [](bool chunking, bool hybrid) {
     SchedulerConfig config = SarathiConfig(kBudget);
     config.enable_chunking = chunking;
     config.enable_hybrid = hybrid;
     return config;
+  };
+  const std::vector<sarathi::bench::Candidate> candidates = {
+      {"hybrid-batching-only", ablation(false, true)},
+      {"chunked-prefills-only", ablation(true, false)},
+      {"sarathi (combined)", ablation(true, true)},
   };
 
   for (const DatasetSpec& dataset : {OpenChatShareGpt4(), ArxivSummarization()}) {
@@ -37,20 +43,14 @@ int main() {
     trace_options.seed = 4;
     Trace trace = GenerateTrace(dataset, trace_options);
 
+    std::vector<SimResult> results =
+        sarathi::bench::ServeSweep(deployment, candidates, trace, jobs);
+
     std::cout << "\n-- dataset: " << dataset.name << " --\n";
     Table table({"scheduler", "P50 TTFT (s)", "P99 TBT (s)"});
-    struct Row {
-      std::string label;
-      SchedulerConfig config;
-    };
-    for (const Row& row : std::initializer_list<Row>{
-             {"hybrid-batching-only", ablation(false, true)},
-             {"chunked-prefills-only", ablation(true, false)},
-             {"sarathi (combined)", ablation(true, true)},
-         }) {
-      SimResult result = ServingSystem(deployment, row.config).Serve(trace);
-      table.AddRow({row.label, Table::Num(result.MedianTtft(), 2),
-                    Table::Num(result.P99Tbt(), 2)});
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      table.AddRow({candidates[i].label, Table::Num(results[i].MedianTtft(), 2),
+                    Table::Num(results[i].P99Tbt(), 2)});
     }
     table.Print();
   }

@@ -12,13 +12,30 @@
 #include <iostream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/common/table.h"
+#include "src/common/thread_pool.h"
 #include "src/core/serving_system.h"
 #include "src/obs/metrics_registry.h"
 #include "src/obs/tracer.h"
 
 namespace sarathi::bench {
+
+// Shared worker-count flag: scans argv for --jobs=N. Every bench accepts it;
+// sweep benches fan their independent simulations across that many threads
+// (results are deterministic and identical for any N). N <= 0 resolves to the
+// hardware concurrency; absent means serial.
+inline int JobsFlag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    const std::string prefix = "--jobs=";
+    if (arg.rfind(prefix, 0) == 0) {
+      return ResolveJobs(std::atoi(arg.c_str() + prefix.size()));
+    }
+  }
+  return 1;
+}
 
 // Prints the bench banner: which figure/table, and the paper's claim.
 inline void Header(const std::string& artifact, const std::string& paper_claim) {
@@ -111,12 +128,48 @@ class ObsSession {
 };
 
 // Capacity probe sized for bench runtime (smaller than the test default).
+// `jobs` > 1 parallelizes the QPS probes *within* this one search (see
+// CapacityOptions::jobs); sweeps over many searches should parallelize across
+// searches with CapacitySweep instead.
 inline CapacityResult QuickCapacity(const Deployment& deployment,
                                     const SchedulerConfig& scheduler,
                                     const DatasetSpec& dataset, double tbt_slo_s,
-                                    int64_t num_requests = 192) {
+                                    int64_t num_requests = 192, int jobs = 1) {
   ServingSystem system(deployment, scheduler);
-  return system.MeasureCapacity(dataset, tbt_slo_s, num_requests, /*seed=*/42);
+  return system.MeasureCapacity(dataset, tbt_slo_s, num_requests, /*seed=*/42, jobs);
+}
+
+// One cell of a capacity sweep: a (deployment, scheduler, dataset, SLO) point.
+struct CapacityJob {
+  Deployment deployment;
+  SchedulerConfig config;
+  DatasetSpec dataset;
+  double tbt_slo_s = 0.1;
+  int64_t num_requests = 192;
+};
+
+// Runs every capacity search in the sweep, fanning them across `jobs` worker
+// threads, and returns the results in sweep order. Each search is serial
+// inside (own simulator, own cost-model cache), so results are byte-identical
+// for any `jobs`. This is the shared boilerplate behind the figure benches:
+// build the sweep, run it, then render rows from the ordered results.
+inline std::vector<CapacityResult> CapacitySweep(const std::vector<CapacityJob>& sweep,
+                                                 int jobs) {
+  return RunMany(jobs, static_cast<int64_t>(sweep.size()), [&](int64_t i) {
+    const CapacityJob& job = sweep[static_cast<size_t>(i)];
+    return QuickCapacity(job.deployment, job.config, job.dataset, job.tbt_slo_s,
+                         job.num_requests);
+  });
+}
+
+// Serves one trace per scheduler config, in parallel, returning results in
+// config order. Shared by the policy-comparison benches (Fig. 2, Table 4).
+inline std::vector<SimResult> ServeSweep(const Deployment& deployment,
+                                         const std::vector<Candidate>& candidates,
+                                         const Trace& trace, int jobs) {
+  return RunMany(jobs, static_cast<int64_t>(candidates.size()), [&](int64_t i) {
+    return ServingSystem(deployment, candidates[static_cast<size_t>(i)].config).Serve(trace);
+  });
 }
 
 }  // namespace sarathi::bench

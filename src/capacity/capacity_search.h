@@ -30,6 +30,17 @@ struct CapacityOptions {
   double qps_floor = 0.0625;
   double qps_ceiling = 256.0;
   int bisection_steps = 7;
+
+  // Parallel QPS probes: each search round fans `jobs` probe simulations
+  // across a thread pool (exponential bracketing probes `jobs` doublings per
+  // round; refinement probes `jobs` evenly spaced interior loads per round
+  // until the interval is at least as tight as `bisection_steps` serial
+  // bisections). The probe schedule — and therefore the result — is a
+  // deterministic function of the options including `jobs`; jobs = 1
+  // reproduces the serial search exactly. With jobs > 1 the TraceRunner must
+  // be safe to invoke concurrently (the SimulatorOptions overload builds an
+  // independent simulator per probe).
+  int jobs = 1;
 };
 
 struct CapacityResult {

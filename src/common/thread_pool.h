@@ -1,0 +1,101 @@
+// Fixed-size thread pool and the RunMany fan-out helper behind every parallel
+// execution path in the simulator (capacity probes, bench sweeps, fuzz seeds).
+//
+// Determinism contract: RunMany collects results strictly by submission index,
+// so for tasks that are pure functions of their index the output is identical
+// for any worker count — parallelism only changes wall time, never results.
+// With jobs <= 1 the tasks run inline on the calling thread, in order, with no
+// threads created at all.
+
+#ifndef SRC_COMMON_THREAD_POOL_H_
+#define SRC_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace sarathi {
+
+// A fixed set of worker threads draining a FIFO queue. Tasks must not submit
+// to the pool they run on while the caller blocks on them (no nesting).
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  // Enqueues `task` for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished.
+  void Wait();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  int64_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+// Clamps a --jobs request to a sane worker count: non-positive values mean
+// "use the hardware concurrency", and the result is always >= 1.
+int ResolveJobs(int jobs);
+
+// Runs fn(0) .. fn(n - 1) across `jobs` workers and returns the results
+// indexed by submission order. jobs <= 1 (after no clamping — pass the value
+// the user gave) runs everything inline serially. If any task throws, the
+// exception of the lowest-index failing task is rethrown after all tasks have
+// finished (results of the others are discarded).
+template <typename Fn>
+auto RunMany(int jobs, int64_t n, Fn&& fn) -> std::vector<decltype(fn(int64_t{}))> {
+  using Result = decltype(fn(int64_t{}));
+  std::vector<Result> results(static_cast<size_t>(n));
+  if (n <= 0) {
+    return results;
+  }
+  if (jobs <= 1 || n == 1) {
+    for (int64_t i = 0; i < n; ++i) {
+      results[static_cast<size_t>(i)] = fn(i);
+    }
+    return results;
+  }
+  std::vector<std::exception_ptr> errors(static_cast<size_t>(n));
+  {
+    ThreadPool pool(static_cast<int>(std::min<int64_t>(jobs, n)));
+    for (int64_t i = 0; i < n; ++i) {
+      pool.Submit([&, i]() {
+        try {
+          results[static_cast<size_t>(i)] = fn(i);
+        } catch (...) {
+          errors[static_cast<size_t>(i)] = std::current_exception();
+        }
+      });
+    }
+    pool.Wait();
+  }
+  for (auto& error : errors) {
+    if (error) {
+      std::rethrow_exception(error);
+    }
+  }
+  return results;
+}
+
+}  // namespace sarathi
+
+#endif  // SRC_COMMON_THREAD_POOL_H_

@@ -105,12 +105,14 @@ SimResult ServingSystem::Serve(const Trace& trace, bool record_iterations, Trace
 SloSpec ServingSystem::Slo() const { return DeriveSlo(cost_model_); }
 
 CapacityResult ServingSystem::MeasureCapacity(const DatasetSpec& dataset, double tbt_slo_s,
-                                              int64_t num_requests, uint64_t seed) const {
+                                              int64_t num_requests, uint64_t seed,
+                                              int jobs) const {
   CapacityOptions options;
   options.dataset = dataset;
   options.tbt_slo_s = tbt_slo_s;
   options.num_requests = num_requests;
   options.seed = seed;
+  options.jobs = jobs;
   return FindCapacity(MakeSimOptions(false), options);
 }
 

@@ -61,9 +61,12 @@ class ServingSystem {
   // SLO thresholds for this deployment (Table 3 derivation).
   SloSpec Slo() const;
 
-  // Max sustainable load under a P99-TBT target.
+  // Max sustainable load under a P99-TBT target. `jobs` > 1 fans the QPS
+  // probes across a thread pool (see CapacityOptions::jobs); the result is
+  // deterministic for a given `jobs` value, and jobs = 1 is the serial search.
   CapacityResult MeasureCapacity(const DatasetSpec& dataset, double tbt_slo_s,
-                                 int64_t num_requests = 256, uint64_t seed = 42) const;
+                                 int64_t num_requests = 256, uint64_t seed = 42,
+                                 int jobs = 1) const;
 
   const Deployment& deployment() const { return deployment_; }
   const SchedulerConfig& scheduler_config() const { return scheduler_; }

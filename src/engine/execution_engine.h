@@ -30,25 +30,61 @@ class ExecutionEngine {
   virtual CostBreakdown IterationBreakdown(const ScheduledBatch& batch) const = 0;
 };
 
-// Predicts execution time with the roofline cost model.
+// Predicts execution time with the roofline cost model. The model may be
+// shared with the caller (e.g. a cluster simulator reusing one memo cache
+// across serial replica runs) — never across concurrently running engines.
+// When `reuse_buffers` is set the per-call BatchWork shape is built into a
+// reused scratch buffer, making steady-state StageTime calls allocation-free.
 class SimulatedEngine : public ExecutionEngine {
  public:
-  explicit SimulatedEngine(IterationCostModel cost_model) : cost_model_(std::move(cost_model)) {}
+  explicit SimulatedEngine(IterationCostModel cost_model)
+      : SimulatedEngine(std::make_shared<IterationCostModel>(std::move(cost_model)), true) {}
+  explicit SimulatedEngine(std::shared_ptr<IterationCostModel> cost_model,
+                           bool reuse_buffers = true)
+      : cost_model_(std::move(cost_model)), reuse_buffers_(reuse_buffers) {}
 
-  int num_stages() const override { return cost_model_.parallel().pipeline_parallel; }
+  int num_stages() const override { return cost_model_->parallel().pipeline_parallel; }
 
   double StageTime(const ScheduledBatch& batch) const override {
-    return cost_model_.StageCost(batch.ToBatchWork()).Total();
+    if (!reuse_buffers_) {
+      return cost_model_->StageCost(batch.ToBatchWork()).Total();
+    }
+    batch.FillBatchWork(&scratch_);
+    return cost_model_->StageCost(scratch_).Total();
   }
 
   CostBreakdown IterationBreakdown(const ScheduledBatch& batch) const override {
-    return cost_model_.IterationCost(batch.ToBatchWork());
+    if (!reuse_buffers_) {
+      return cost_model_->IterationCost(batch.ToBatchWork());
+    }
+    batch.FillBatchWork(&scratch_);
+    return cost_model_->IterationCost(scratch_);
   }
 
-  const IterationCostModel& cost_model() const { return cost_model_; }
+  // Stage time plus the iteration's FLOP/byte accounting totals in a single
+  // pass over the batch shape — the fast-path replacement for StageTime
+  // followed by BatchFlopsAndBytes. Bit-identical to the separate calls.
+  double StageTimeAndTotals(const ScheduledBatch& batch, double* flops, double* bytes) const {
+    if (!reuse_buffers_) {
+      return cost_model_->StageCostAndTotals(batch.ToBatchWork(), flops, bytes).Total();
+    }
+    batch.FillBatchWork(&scratch_);
+    return cost_model_->StageCostAndTotals(scratch_, flops, bytes).Total();
+  }
+
+  // The BatchWork built by the most recent StageTime / IterationBreakdown
+  // call when buffers are reused (nullptr otherwise). Lets the caller run
+  // FLOP/byte accounting for the batch it just timed without rebuilding the
+  // shape; only valid until the next engine call.
+  const BatchWork* last_work() const { return reuse_buffers_ ? &scratch_ : nullptr; }
+
+  const IterationCostModel& cost_model() const { return *cost_model_; }
+  const std::shared_ptr<IterationCostModel>& shared_cost_model() const { return cost_model_; }
 
  private:
-  IterationCostModel cost_model_;
+  std::shared_ptr<IterationCostModel> cost_model_;
+  bool reuse_buffers_ = true;
+  mutable BatchWork scratch_;
 };
 
 }  // namespace sarathi

@@ -89,7 +89,10 @@ void PagedBlockManager::Admit(SeqId id, int64_t prompt_len, int64_t max_total_le
   CHECK(CanAdmit(prompt_len, max_total_len));
   SequenceState state;
   int64_t needed = BlocksForTokens(prompt_len);
-  state.blocks.reserve(static_cast<size_t>(needed));
+  // Reserve table capacity for the sequence's full lifetime so decode-time
+  // AppendToken block growth never reallocates the table.
+  state.blocks.reserve(
+      static_cast<size_t>(std::max(needed, BlocksForTokens(max_total_len))));
   for (int64_t i = 0; i < needed; ++i) {
     state.blocks.push_back(AllocateBlock());
   }
@@ -99,10 +102,19 @@ void PagedBlockManager::Admit(SeqId id, int64_t prompt_len, int64_t max_total_le
   EmitKvObs("kv_admit", id);
 }
 
-bool PagedBlockManager::CanAppendToken(SeqId id) const {
+PagedBlockManager::SequenceState& PagedBlockManager::FindState(SeqId id) const {
+  if (hot_state_ != nullptr && hot_id_ == id) {
+    return *hot_state_;
+  }
   auto it = tables_.find(id);
   CHECK(it != tables_.end()) << "unknown sequence " << id;
-  const SequenceState& state = it->second;
+  hot_id_ = id;
+  hot_state_ = const_cast<SequenceState*>(&it->second);
+  return *hot_state_;
+}
+
+bool PagedBlockManager::CanAppendToken(SeqId id) const {
+  const SequenceState& state = FindState(id);
   int64_t needed = BlocksForTokens(state.num_tokens + 1);
   if (needed > static_cast<int64_t>(state.blocks.size())) {
     return free_blocks() > 0;
@@ -114,9 +126,7 @@ bool PagedBlockManager::CanAppendToken(SeqId id) const {
 }
 
 void PagedBlockManager::AppendToken(SeqId id) {
-  auto it = tables_.find(id);
-  CHECK(it != tables_.end()) << "unknown sequence " << id;
-  SequenceState& state = it->second;
+  SequenceState& state = FindState(id);
   int64_t needed = BlocksForTokens(state.num_tokens + 1);
   if (needed > static_cast<int64_t>(state.blocks.size())) {
     CHECK_GT(free_blocks(), 0) << "AppendToken without a free block";
@@ -125,7 +135,7 @@ void PagedBlockManager::AppendToken(SeqId id) {
     // Writing into an existing block requires exclusive ownership; forked
     // sequences copy-on-write here, and the event is queued for the engine
     // to apply the data copy (TakePendingCows).
-    std::optional<CowOp> cow = MakeWritable(id, state.num_tokens);
+    std::optional<CowOp> cow = MakeWritableAt(state, id, state.num_tokens);
     if (cow.has_value()) {
       pending_cows_.emplace_back(id, *cow);
     }
@@ -142,16 +152,14 @@ std::vector<std::pair<SeqId, PagedBlockManager::CowOp>> PagedBlockManager::TakeP
 }
 
 std::optional<PagedBlockManager::CowOp> PagedBlockManager::AppendTokenCow(SeqId id) {
-  auto it = tables_.find(id);
-  CHECK(it != tables_.end()) << "unknown sequence " << id;
-  SequenceState& state = it->second;
+  SequenceState& state = FindState(id);
   int64_t needed = BlocksForTokens(state.num_tokens + 1);
   std::optional<CowOp> cow;
   if (needed > static_cast<int64_t>(state.blocks.size())) {
     CHECK_GT(free_blocks(), 0) << "AppendTokenCow without a free block";
     state.blocks.push_back(AllocateBlock());
   } else {
-    cow = MakeWritable(id, state.num_tokens);
+    cow = MakeWritableAt(state, id, state.num_tokens);
   }
   ++state.num_tokens;
   NotifyKv(obs_, KvVerifyEvent::kAppend, id);
@@ -159,9 +167,11 @@ std::optional<PagedBlockManager::CowOp> PagedBlockManager::AppendTokenCow(SeqId 
 }
 
 std::optional<PagedBlockManager::CowOp> PagedBlockManager::MakeWritable(SeqId id, int64_t pos) {
-  auto it = tables_.find(id);
-  CHECK(it != tables_.end()) << "unknown sequence " << id;
-  SequenceState& state = it->second;
+  return MakeWritableAt(FindState(id), id, pos);
+}
+
+std::optional<PagedBlockManager::CowOp> PagedBlockManager::MakeWritableAt(SequenceState& state,
+                                                                          SeqId id, int64_t pos) {
   int64_t index = BlockIndexFor(pos);
   CHECK_LT(index, static_cast<int64_t>(state.blocks.size()))
       << "position " << pos << " not covered";
@@ -201,6 +211,8 @@ void PagedBlockManager::Release(SeqId id) {
     ReleaseBlockRef(block);
   }
   tables_.erase(it);
+  // The erased entry may be the memoized one; drop it unconditionally.
+  hot_state_ = nullptr;
   NotifyKv(obs_, KvVerifyEvent::kRelease, id);
   EmitKvObs("kv_release", id);
 }
@@ -210,15 +222,11 @@ double PagedBlockManager::Utilization() const {
 }
 
 const std::vector<int64_t>& PagedBlockManager::BlockTable(SeqId id) const {
-  auto it = tables_.find(id);
-  CHECK(it != tables_.end()) << "unknown sequence " << id;
-  return it->second.blocks;
+  return FindState(id).blocks;
 }
 
 int64_t PagedBlockManager::SequenceTokens(SeqId id) const {
-  auto it = tables_.find(id);
-  CHECK(it != tables_.end()) << "unknown sequence " << id;
-  return it->second.num_tokens;
+  return FindState(id).num_tokens;
 }
 
 std::string PagedBlockManager::AuditInvariants() const {

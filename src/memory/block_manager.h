@@ -104,6 +104,15 @@ class PagedBlockManager : public KvAllocator {
     int64_t num_tokens = 0;
   };
 
+  // Looks up a sequence's state, memoizing the last (id -> state) pair: the
+  // scheduler's per-token hot path probes CanAppendToken and then AppendToken
+  // for the same sequence back to back, so the memo removes most hash
+  // lookups. unordered_map element addresses survive rehashing, so the memo
+  // only needs invalidation when an entry can disappear (Release).
+  SequenceState& FindState(SeqId id) const;
+  // MakeWritable body for a state already in hand (AppendToken has it).
+  std::optional<CowOp> MakeWritableAt(SequenceState& state, SeqId id, int64_t pos);
+
   int64_t AllocateBlock();
   // Drops one reference; the block returns to the free list at zero.
   void ReleaseBlockRef(int64_t block);
@@ -114,6 +123,8 @@ class PagedBlockManager : public KvAllocator {
   void EmitKvObs(const char* event, SeqId id);
 
   Options options_;
+  mutable SeqId hot_id_ = 0;
+  mutable SequenceState* hot_state_ = nullptr;
   int64_t last_emitted_used_ = -1;
   std::vector<int64_t> free_list_;
   std::vector<int32_t> refcount_;

@@ -54,6 +54,14 @@ IterationCostModel::IterationCostModel(ModelSpec model, ClusterSpec cluster,
 
 void IterationCostModel::KvSpan(const SequenceWork& seq, double* avg_kv,
                                 int64_t* kv_read) const {
+  if (seq.num_tokens == 1) {
+    // Decode fast path: a single token's average span is its own span
+    // (bit-identical to the closed forms below with first == last).
+    int64_t span = model_.AttentionSpan(seq.context_len);
+    *avg_kv = static_cast<double>(span);
+    *kv_read = span;
+    return;
+  }
   // Token i of the chunk (absolute position context_len + i) attends to
   // AttentionSpan(position) KV entries. The averages below are closed-form
   // sums of that span over the chunk.
@@ -76,7 +84,32 @@ void IterationCostModel::KvSpan(const SequenceWork& seq, double* avg_kv,
   *kv_read = last;
 }
 
+void IterationCostModel::set_cache_enabled(bool enabled) {
+  cache_enabled_ = enabled;
+  if (!enabled) {
+    ClearCache();
+  }
+}
+
+void IterationCostModel::ClearCache() {
+  linear_cache_.clear();
+  shape_cache_.clear();
+}
+
 CostBreakdown IterationCostModel::LinearCost(int64_t tokens) const {
+  if (!cache_enabled_) {
+    return ComputeLinearCost(tokens);
+  }
+  auto it = linear_cache_.find(tokens);
+  if (it != linear_cache_.end()) {
+    ++stats_.linear_hits;
+    return it->second;
+  }
+  ++stats_.linear_misses;
+  return linear_cache_.emplace(tokens, ComputeLinearCost(tokens)).first->second;
+}
+
+CostBreakdown IterationCostModel::ComputeLinearCost(int64_t tokens) const {
   int64_t t = parallel_.tensor_parallel;
   const GpuSpec& gpu = cluster_.gpu;
   int64_t h = model_.hidden_size;
@@ -151,13 +184,12 @@ CostBreakdown IterationCostModel::LayerCost(const BatchWork& batch) const {
   return cost;
 }
 
-CostBreakdown IterationCostModel::HeadCost(const BatchWork& batch) const {
+CostBreakdown IterationCostModel::HeadCost(int64_t sampled, int64_t total_tokens) const {
   const GpuSpec& gpu = cluster_.gpu;
   CostBreakdown cost;
   // Logits are computed only for positions that sample a token: every decode,
   // plus each prefill chunk's final position (cheap upper bound: one per
   // sequence).
-  int64_t sampled = static_cast<int64_t>(batch.sequences.size());
   if (sampled == 0) {
     return cost;
   }
@@ -166,9 +198,48 @@ CostBreakdown IterationCostModel::HeadCost(const BatchWork& batch) const {
                              gpu)
                       .Total();
   // Embedding lookup for all input tokens.
-  cost.other_s += ElementwiseTime(batch.TotalTokens(), model_.hidden_size, 2.0,
+  cost.other_s += ElementwiseTime(total_tokens, model_.hidden_size, 2.0,
                                   model_.dtype_bytes, gpu)
                       .Total();
+  return cost;
+}
+
+CostBreakdown IterationCostModel::TokenShapeCost(int64_t tokens, int64_t num_sequences) const {
+  // The packed key reserves 20 bits for the sequence count; shapes outside
+  // that range (never produced by real schedulers) bypass the cache.
+  constexpr int64_t kMaxTokens = int64_t{1} << 43;
+  constexpr int64_t kMaxSequences = int64_t{1} << 20;
+  if (!cache_enabled_ || tokens >= kMaxTokens || num_sequences >= kMaxSequences) {
+    return ComputeTokenShapeCost(tokens, num_sequences);
+  }
+  uint64_t key = (static_cast<uint64_t>(tokens) << 20) | static_cast<uint64_t>(num_sequences);
+  auto it = shape_cache_.find(key);
+  if (it != shape_cache_.end()) {
+    ++stats_.shape_hits;
+    return it->second;
+  }
+  ++stats_.shape_misses;
+  return shape_cache_.emplace(key, ComputeTokenShapeCost(tokens, num_sequences)).first->second;
+}
+
+CostBreakdown IterationCostModel::ComputeTokenShapeCost(int64_t tokens,
+                                                        int64_t num_sequences) const {
+  const GpuSpec& gpu = cluster_.gpu;
+  CostBreakdown cost = LinearCost(tokens);
+  cost.other_s += ElementwiseTime(tokens, model_.hidden_size, 8.0, model_.dtype_bytes, gpu)
+                      .Total();
+  if (parallel_.tensor_parallel > 1) {
+    int64_t bytes = tokens * model_.hidden_size * model_.dtype_bytes;
+    cost.comm_s += 2.0 * comm_.AllReduceTime(bytes, parallel_.tensor_parallel);
+  }
+  cost = cost * static_cast<double>(layers_per_stage_);
+  // Head/embedding work is attributed once per iteration; under PP we charge
+  // it to every stage's budget evenly so stage times stay uniform.
+  cost += HeadCost(num_sequences, tokens) * (1.0 / static_cast<double>(parallel_.pipeline_parallel));
+  if (parallel_.pipeline_parallel > 1) {
+    int64_t bytes = tokens * model_.hidden_size * model_.dtype_bytes;
+    cost.comm_s += comm_.PipelineSendTime(bytes, parallel_.tensor_parallel);
+  }
   return cost;
 }
 
@@ -176,14 +247,72 @@ CostBreakdown IterationCostModel::StageCost(const BatchWork& batch) const {
   if (batch.sequences.empty()) {
     return {};
   }
-  CostBreakdown cost = LayerCost(batch) * static_cast<double>(layers_per_stage_);
-  // Head/embedding work is attributed once per iteration; under PP we charge
-  // it to every stage's budget evenly so stage times stay uniform.
-  cost += HeadCost(batch) * (1.0 / static_cast<double>(parallel_.pipeline_parallel));
-  if (parallel_.pipeline_parallel > 1) {
-    int64_t bytes = batch.TotalTokens() * model_.hidden_size * model_.dtype_bytes;
-    cost.comm_s += comm_.PipelineSendTime(bytes, parallel_.tensor_parallel);
+  // Every non-attention component is a pure function of (tokens, sequences)
+  // and comes from the memo; attention depends on each sequence's KV context,
+  // whose key space grows with context length, so it is always recomputed —
+  // this keeps cached and uncached results bit-identical and the cache bounded.
+  CostBreakdown cost =
+      TokenShapeCost(batch.TotalTokens(), static_cast<int64_t>(batch.sequences.size()));
+  cost.attention_s += AttentionCost(batch).attention_s * static_cast<double>(layers_per_stage_);
+  return cost;
+}
+
+CostBreakdown IterationCostModel::StageCostAndTotals(const BatchWork& batch, double* flops,
+                                                     double* bytes) const {
+  if (batch.sequences.empty()) {
+    *flops = 0.0;
+    *bytes = 0.0;
+    return {};
   }
+  int64_t total_tokens = batch.TotalTokens();
+  CostBreakdown cost =
+      TokenShapeCost(total_tokens, static_cast<int64_t>(batch.sequences.size()));
+
+  // Attention roofline state, accumulated exactly as in AttentionCost.
+  int64_t t = parallel_.tensor_parallel;
+  const GpuSpec& gpu = cluster_.gpu;
+  int64_t q_dim_shard = model_.q_dim() / t;
+  int64_t kv_dim_shard = model_.kv_dim() / t;
+  double attention_s = 0.0;
+  OpTime decode_agg;
+  bool any_decode = false;
+
+  // Accounting state, accumulated exactly as in BatchFlopsAndBytes.
+  const double layers = static_cast<double>(model_.num_layers);
+  const double q_dim = static_cast<double>(model_.q_dim());
+  const double kv_bytes_per_token = static_cast<double>(model_.KvBytesPerToken());
+  double tokens = static_cast<double>(total_tokens);
+  double f = 2.0 * tokens * layers * static_cast<double>(model_.ParamsPerLayer());
+  double b = static_cast<double>(model_.WeightBytes());
+
+  for (const auto& seq : batch.sequences) {
+    double avg_kv = 0.0;
+    int64_t kv_read = 0;
+    KvSpan(seq, &avg_kv, &kv_read);
+    OpTime op = AttentionTime(seq.num_tokens, avg_kv, kv_read, q_dim_shard, kv_dim_shard,
+                              model_.dtype_bytes, gpu);
+    if (seq.is_decode) {
+      decode_agg.math_s += op.math_s;
+      decode_agg.memory_s += op.memory_s;
+      decode_agg.overhead_s = gpu.kernel_overhead_s;
+      any_decode = true;
+    } else {
+      attention_s += op.Total();
+    }
+    f += 4.0 * static_cast<double>(seq.num_tokens) * avg_kv * q_dim * layers;
+    b += static_cast<double>(kv_read) * kv_bytes_per_token;
+  }
+  if (any_decode) {
+    attention_s += decode_agg.Total();
+  }
+  f += 2.0 * static_cast<double>(batch.sequences.size()) *
+       static_cast<double>(model_.hidden_size) * static_cast<double>(model_.vocab_size);
+  b += 12.0 * tokens * static_cast<double>(model_.hidden_size) *
+       static_cast<double>(model_.dtype_bytes) * layers;
+
+  cost.attention_s += attention_s * static_cast<double>(layers_per_stage_);
+  *flops = f;
+  *bytes = b;
   return cost;
 }
 
@@ -245,39 +374,49 @@ int64_t IterationCostModel::MaxKvTokens() const {
 
 double IterationCostModel::BatchFlops(const BatchWork& batch) const {
   double flops = 0.0;
-  double tokens = static_cast<double>(batch.TotalTokens());
-  // Linear operators: 2 FLOPs per parameter per token, across all layers.
-  flops += 2.0 * tokens *
-           static_cast<double>(model_.num_layers) * static_cast<double>(model_.ParamsPerLayer());
-  // Attention: QK^T + AV per layer (4 * q * kv_span * q_dim).
-  for (const auto& seq : batch.sequences) {
-    double avg_kv = 0.0;
-    int64_t kv_read = 0;
-    KvSpan(seq, &avg_kv, &kv_read);
-    flops += 4.0 * static_cast<double>(seq.num_tokens) * avg_kv *
-             static_cast<double>(model_.q_dim()) * static_cast<double>(model_.num_layers);
-  }
-  // LM head for the sampled positions.
-  flops += 2.0 * static_cast<double>(batch.sequences.size()) *
-           static_cast<double>(model_.hidden_size) * static_cast<double>(model_.vocab_size);
+  double bytes = 0.0;
+  BatchFlopsAndBytes(batch, &flops, &bytes);
   return flops;
 }
 
 double IterationCostModel::BatchMemoryBytes(const BatchWork& batch) const {
+  double flops = 0.0;
+  double bytes = 0.0;
+  BatchFlopsAndBytes(batch, &flops, &bytes);
+  return bytes;
+}
+
+void IterationCostModel::BatchFlopsAndBytes(const BatchWork& batch, double* flops,
+                                            double* bytes) const {
+  // Per-model factors hoisted out of the sequence loop. Each accumulator sums
+  // its terms in the same order as before the two accountings were fused, so
+  // the results are bit-identical to the historical separate passes.
+  const double layers = static_cast<double>(model_.num_layers);
+  const double q_dim = static_cast<double>(model_.q_dim());
+  const double kv_bytes_per_token = static_cast<double>(model_.KvBytesPerToken());
+  double tokens = static_cast<double>(batch.TotalTokens());
+
+  // Linear operators: 2 FLOPs per parameter per token, across all layers.
+  double f = 2.0 * tokens * layers * static_cast<double>(model_.ParamsPerLayer());
   // Weights are streamed from HBM once per iteration, cluster-wide.
-  double bytes = static_cast<double>(model_.WeightBytes());
+  double b = static_cast<double>(model_.WeightBytes());
   for (const auto& seq : batch.sequences) {
     double avg_kv = 0.0;
     int64_t kv_read = 0;
     KvSpan(seq, &avg_kv, &kv_read);
-    bytes += static_cast<double>(kv_read) * static_cast<double>(model_.KvBytesPerToken());
+    // Attention: QK^T + AV per layer (4 * q * kv_span * q_dim).
+    f += 4.0 * static_cast<double>(seq.num_tokens) * avg_kv * q_dim * layers;
+    b += static_cast<double>(kv_read) * kv_bytes_per_token;
   }
+  // LM head for the sampled positions.
+  f += 2.0 * static_cast<double>(batch.sequences.size()) *
+       static_cast<double>(model_.hidden_size) * static_cast<double>(model_.vocab_size);
   // Activation read/write traffic: ~8 elementwise passes per layer plus GEMM
   // activations, approximated as 12 embedding-width passes.
-  bytes += 12.0 * static_cast<double>(batch.TotalTokens()) *
-           static_cast<double>(model_.hidden_size) * static_cast<double>(model_.dtype_bytes) *
-           static_cast<double>(model_.num_layers);
-  return bytes;
+  b += 12.0 * tokens * static_cast<double>(model_.hidden_size) *
+       static_cast<double>(model_.dtype_bytes) * layers;
+  *flops = f;
+  *bytes = b;
 }
 
 double IterationCostModel::ReferenceDecodeIterationTime() const {

@@ -11,6 +11,7 @@
 #define SRC_PERFMODEL_ITERATION_COST_H_
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "src/perfmodel/comm_model.h"
@@ -58,6 +59,22 @@ struct CostBreakdown {
   CostBreakdown operator*(double scale) const;
 };
 
+// Hit/miss counters for the cost-model memo caches (see docs/performance.md).
+struct CostCacheStats {
+  int64_t linear_hits = 0;
+  int64_t linear_misses = 0;
+  int64_t shape_hits = 0;
+  int64_t shape_misses = 0;
+
+  int64_t Hits() const { return linear_hits + shape_hits; }
+  int64_t Misses() const { return linear_misses + shape_misses; }
+};
+
+// The model, cluster and parallel specs are immutable after construction, so
+// the memo caches below never need implicit invalidation; ClearCache() exists
+// to reclaim memory or reset stats between measurement phases. Instances are
+// NOT thread-safe (the caches mutate under const methods): each concurrently
+// running simulation must own its own model.
 class IterationCostModel {
  public:
   IterationCostModel(ModelSpec model, ClusterSpec cluster, ParallelConfig parallel);
@@ -106,6 +123,17 @@ class IterationCostModel {
   // once, KV reads, activation traffic), for MBU accounting (§3.1).
   double BatchMemoryBytes(const BatchWork& batch) const;
 
+  // Both accountings in one pass over the batch (one KvSpan evaluation per
+  // sequence instead of two); bit-identical to calling the two separately.
+  void BatchFlopsAndBytes(const BatchWork& batch, double* flops, double* bytes) const;
+
+  // StageCost plus BatchFlopsAndBytes in one pass over the batch: each
+  // sequence's KV span is evaluated once and feeds both the attention
+  // roofline and the FLOP/byte totals. Every accumulator sums its terms in
+  // the same order as the separate methods, so all three results are
+  // bit-identical to calling StageCost and BatchFlopsAndBytes individually.
+  CostBreakdown StageCostAndTotals(const BatchWork& batch, double* flops, double* bytes) const;
+
   // Aggregate peak FLOP/s of the deployment (all GPUs).
   double PeakFlops() const {
     return cluster_.gpu.peak_fp16_flops * static_cast<double>(parallel_.num_gpus());
@@ -116,6 +144,16 @@ class IterationCostModel {
     return cluster_.gpu.hbm_bandwidth * static_cast<double>(parallel_.num_gpus());
   }
 
+  // Memoization controls. Cached results are bit-identical to uncached ones:
+  // the cache key (total tokens, sequence count) exactly determines every
+  // component it covers, and attention — which depends on each sequence's KV
+  // context — is always recomputed. Disabling the cache drops all entries.
+  void set_cache_enabled(bool enabled);
+  bool cache_enabled() const { return cache_enabled_; }
+  // Explicit invalidation: drops every memoized entry (stats are kept).
+  void ClearCache();
+  const CostCacheStats& cache_stats() const { return stats_; }
+
  private:
   // Average and maximum KV span for a chunk of `num_tokens` starting after
   // `context_len` tokens, honoring the model's sliding window.
@@ -125,17 +163,31 @@ class IterationCostModel {
   CostBreakdown AttentionCost(const BatchWork& batch) const;
 
   // Linear components for `tokens` query tokens on one GPU shard, per layer.
+  // Memoized by token count when the cache is enabled.
   CostBreakdown LinearCost(int64_t tokens) const;
+  CostBreakdown ComputeLinearCost(int64_t tokens) const;
+
+  // Everything in StageCost except attention: linear + elementwise + TP
+  // all-reduce per layer, scaled to the stage, plus the head share and the
+  // pipeline send. A pure function of (total tokens, sequence count) — the
+  // quantized batch shape — and therefore memoizable by that key.
+  CostBreakdown TokenShapeCost(int64_t tokens, int64_t num_sequences) const;
+  CostBreakdown ComputeTokenShapeCost(int64_t tokens, int64_t num_sequences) const;
 
   // LM head + sampling-side cost (computed once per iteration for the
-  // sequences that emit a token).
-  CostBreakdown HeadCost(const BatchWork& batch) const;
+  // `sampled` sequences that emit a token).
+  CostBreakdown HeadCost(int64_t sampled, int64_t total_tokens) const;
 
   ModelSpec model_;
   ClusterSpec cluster_;
   ParallelConfig parallel_;
   CommModel comm_;
   int64_t layers_per_stage_;
+
+  bool cache_enabled_ = true;
+  mutable std::unordered_map<int64_t, CostBreakdown> linear_cache_;
+  mutable std::unordered_map<uint64_t, CostBreakdown> shape_cache_;
+  mutable CostCacheStats stats_;
 };
 
 }  // namespace sarathi

@@ -19,14 +19,6 @@ int64_t ModelSpec::TotalParams() const {
   return num_layers * ParamsPerLayer() + 2 * vocab_size * hidden_size;
 }
 
-int64_t ModelSpec::AttentionSpan(int64_t pos) const {
-  int64_t span = pos + 1;
-  if (sliding_window > 0) {
-    span = std::min(span, sliding_window);
-  }
-  return span;
-}
-
 ModelSpec Mistral7B() {
   ModelSpec spec;
   spec.name = "Mistral-7B";

@@ -45,7 +45,13 @@ struct ModelSpec {
 
   // Attention span for a token at absolute position `pos` (0-based) given the
   // sliding window: how many KV entries its attention reads.
-  int64_t AttentionSpan(int64_t pos) const;
+  int64_t AttentionSpan(int64_t pos) const {
+    int64_t span = pos + 1;
+    if (sliding_window > 0 && span > sliding_window) {
+      span = sliding_window;
+    }
+    return span;
+  }
 };
 
 // Mistral-7B-v0.1: GQA with a 4096-token sliding window (Table 1 "GQA-SW").

@@ -32,7 +32,13 @@ int64_t ScheduledBatch::NumPrefillTokens() const {
 
 BatchWork ScheduledBatch::ToBatchWork() const {
   BatchWork work;
-  work.sequences.reserve(items.size());
+  FillBatchWork(&work);
+  return work;
+}
+
+void ScheduledBatch::FillBatchWork(BatchWork* work) const {
+  work->sequences.clear();
+  work->sequences.reserve(items.size());
   for (const auto& item : items) {
     SequenceWork seq;
     seq.is_decode = item.is_decode;
@@ -45,9 +51,8 @@ BatchWork ScheduledBatch::ToBatchWork() const {
     } else {
       seq.context_len = item.request->prefill_done();
     }
-    work.sequences.push_back(seq);
+    work->sequences.push_back(seq);
   }
-  return work;
 }
 
 std::string ScheduledBatch::Describe() const {

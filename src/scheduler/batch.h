@@ -41,6 +41,9 @@ struct ScheduledBatch {
   // call this before applying completion.
   BatchWork ToBatchWork() const;
 
+  // Allocation-free variant: refills `work` in place, reusing its capacity.
+  void FillBatchWork(BatchWork* work) const;
+
   // Compact rendering like "3d+p(256)+p(512)" for schedule traces (Fig. 7).
   std::string Describe() const;
 };

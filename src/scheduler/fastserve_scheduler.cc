@@ -78,7 +78,7 @@ ScheduledBatch FastServeScheduler::Schedule() {
                      return a.request->id() < b.request->id();
                    });
 
-  ScheduledBatch batch;
+  ScheduledBatch batch = NewBatch();
   int64_t prefill_tokens = 0;
   for (const Candidate& candidate : candidates) {
     if (static_cast<int64_t>(batch.size()) >= config_.max_batch_size) {

@@ -11,7 +11,7 @@ FasterTransformerScheduler::FasterTransformerScheduler(const SchedulerConfig& co
     : Scheduler(config, allocator) {}
 
 ScheduledBatch FasterTransformerScheduler::Schedule() {
-  ScheduledBatch batch;
+  ScheduledBatch batch = NewBatch();
 
   if (!BatchInProgress()) {
     // Engine idle: form a new request-level batch (Algorithm 1 lines 3-8) and
@@ -47,8 +47,7 @@ ScheduledBatch FasterTransformerScheduler::Schedule() {
     padded_context = std::max(padded_context, request->context_len() - 1);
   }
   // Iterate a snapshot: PrepareDecodeSlot may preempt (erase) later entries.
-  std::vector<RequestState*> snapshot = running_;
-  for (RequestState* request : snapshot) {
+  for (RequestState* request : RunningSnapshot()) {
     if (request->phase() != RequestPhase::kRunning || request->finished()) {
       continue;
     }

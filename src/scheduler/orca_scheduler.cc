@@ -10,12 +10,11 @@ OrcaScheduler::OrcaScheduler(const SchedulerConfig& config, KvAllocator* allocat
 }
 
 ScheduledBatch OrcaScheduler::Schedule() {
-  ScheduledBatch batch;
+  ScheduledBatch batch = NewBatch();
 
   // All running decodes join the hybrid batch. Iterate a snapshot:
   // PrepareDecodeSlot may preempt (erase) later entries.
-  std::vector<RequestState*> snapshot = running_;
-  for (RequestState* request : snapshot) {
+  for (RequestState* request : RunningSnapshot()) {
     if (request->phase() != RequestPhase::kRunning || request->locked() ||
         !request->prefill_complete() || request->finished()) {
       continue;

@@ -66,6 +66,12 @@ class RequestState {
   bool locked() const { return locked_; }
   void set_locked(bool locked) { locked_ = locked; }
 
+  // Dense index assigned by the owning simulation run (its metrics slot), so
+  // the per-token hot loop resolves request -> slot without a hash lookup.
+  // Not part of request semantics; -1 until the owner assigns it.
+  int64_t slot() const { return slot_; }
+  void set_slot(int64_t slot) { slot_ = slot; }
+
   // Applies completion of a prefill chunk of `num_tokens`. Returns true if
   // this chunk completed the prefill (=> one output token was emitted).
   bool AdvancePrefill(int64_t num_tokens) {
@@ -159,6 +165,7 @@ class RequestState {
   int64_t prefill_target_;
   int64_t generated_ = 0;
   bool locked_ = false;
+  int64_t slot_ = -1;
   bool migrated_in_ = false;
   int64_t preemptions_ = 0;
   int64_t wasted_tokens_ = 0;

@@ -88,8 +88,7 @@ int64_t SarathiScheduler::NextChunkSize(const RequestState* request,
 
 void SarathiScheduler::PackDecodes(ScheduledBatch* batch, int64_t* batch_tokens) {
   // Iterate a snapshot: PrepareDecodeSlot may preempt (erase) later entries.
-  std::vector<RequestState*> snapshot = running_;
-  for (RequestState* request : snapshot) {
+  for (RequestState* request : RunningSnapshot()) {
     if (request->phase() != RequestPhase::kRunning || request->locked() ||
         !request->prefill_complete() || request->finished()) {
       continue;
@@ -142,7 +141,7 @@ void SarathiScheduler::PackNewRequests(ScheduledBatch* batch, int64_t* batch_tok
 }
 
 ScheduledBatch SarathiScheduler::Schedule() {
-  ScheduledBatch batch;
+  ScheduledBatch batch = NewBatch();
   int64_t batch_tokens = 0;
 
   if (config_.enable_hybrid) {

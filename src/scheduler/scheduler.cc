@@ -28,6 +28,30 @@ Scheduler::Scheduler(const SchedulerConfig& config, KvAllocator* allocator)
     : config_(config), allocator_(allocator) {
   CHECK(allocator_ != nullptr);
   CHECK_GT(config_.max_batch_size, 0);
+  spare_batch_items_.reserve(8);
+}
+
+ScheduledBatch Scheduler::NewBatch() {
+  ScheduledBatch batch;
+  if (!spare_batch_items_.empty()) {
+    batch.items = std::move(spare_batch_items_.back());
+    spare_batch_items_.pop_back();
+    batch.items.clear();
+  }
+  return batch;
+}
+
+void Scheduler::RecycleBatch(ScheduledBatch&& batch) {
+  if (batch.items.capacity() == 0 || spare_batch_items_.size() >= spare_batch_items_.capacity()) {
+    return;
+  }
+  batch.items.clear();
+  spare_batch_items_.push_back(std::move(batch.items));
+}
+
+const std::vector<RequestState*>& Scheduler::RunningSnapshot() {
+  running_snapshot_.assign(running_.begin(), running_.end());
+  return running_snapshot_;
 }
 
 void Scheduler::EmitSchedulerObs(const char* event, const RequestState* request) {
@@ -183,8 +207,7 @@ std::vector<RequestState*> Scheduler::DrainAll() {
     CHECK(Abort(request));
     aborted.push_back(request);
   }
-  std::vector<RequestState*> snapshot = running_;
-  for (RequestState* request : snapshot) {
+  for (RequestState* request : RunningSnapshot()) {
     if (request->locked()) {
       continue;
     }

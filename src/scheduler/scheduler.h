@@ -182,6 +182,11 @@ class Scheduler {
     (void)latency_s;
   }
 
+  // Returns a finished batch's storage to the scheduler so the next
+  // Schedule() call can reuse its capacity instead of reallocating. Optional:
+  // drivers that skip it only lose the allocation-free hot loop.
+  void RecycleBatch(ScheduledBatch&& batch);
+
   // True if any request is waiting or running.
   bool HasWork() const { return !queue_.empty() || !running_.empty(); }
 
@@ -192,6 +197,15 @@ class Scheduler {
   int64_t abort_count() const { return abort_count_; }
 
  protected:
+  // An empty batch backed by recycled storage when available (see
+  // RecycleBatch). Policies build every batch through this.
+  ScheduledBatch NewBatch();
+
+  // Copies running_ into a reused member buffer and returns it — for
+  // iteration orders that must survive mid-loop preemption without a fresh
+  // heap snapshot per call. Invalidated by the next RunningSnapshot call.
+  const std::vector<RequestState*>& RunningSnapshot();
+
   // Admits the queue head into the running set, reserving its KV. The caller
   // must have checked CanAdmit.
   RequestState* AdmitHead();
@@ -230,6 +244,10 @@ class Scheduler {
   std::vector<RequestState*> running_;  // Admitted, in admission order.
   int64_t preemption_count_ = 0;
   int64_t abort_count_ = 0;
+
+ private:
+  std::vector<std::vector<BatchItem>> spare_batch_items_;  // Recycled capacity.
+  std::vector<RequestState*> running_snapshot_;
 };
 
 }  // namespace sarathi

@@ -10,7 +10,7 @@ VllmScheduler::VllmScheduler(const SchedulerConfig& config, KvAllocator* allocat
 }
 
 ScheduledBatch VllmScheduler::Schedule() {
-  ScheduledBatch batch;
+  ScheduledBatch batch = NewBatch();
 
   // Eagerly admit waiting prompts (Algorithm 2 lines 4-9): as many as fit in
   // memory and under the per-iteration prefill-token cap. The whole prompt is
@@ -32,8 +32,7 @@ ScheduledBatch VllmScheduler::Schedule() {
 
   // Otherwise a decode-only iteration over every running request. Iterate a
   // snapshot: PrepareDecodeSlot may preempt (erase) later entries.
-  std::vector<RequestState*> snapshot = running_;
-  for (RequestState* request : snapshot) {
+  for (RequestState* request : RunningSnapshot()) {
     if (request->phase() != RequestPhase::kRunning || request->locked() ||
         !request->prefill_complete() || request->finished()) {
       continue;

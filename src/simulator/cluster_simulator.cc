@@ -76,6 +76,14 @@ ClusterSimulator::ClusterSimulator(const ClusterOptions& options) : options_(opt
   CHECK_GT(options_.migration_bandwidth_Bps, 0.0);
   CHECK_GE(options_.migration_latency_s, 0.0);
   CHECK_GE(options_.migration_delay_s, 0.0);
+  // Built once and shared with every replica simulation (always serial within
+  // a cluster run), so probes and retry rounds reuse one memo cache instead
+  // of reconstructing a model each time.
+  cost_model_ = options_.replica.cost_model;
+  if (cost_model_ == nullptr) {
+    cost_model_ = std::make_shared<IterationCostModel>(
+        options_.replica.model, options_.replica.cluster, options_.replica.parallel);
+  }
   if (options_.estimated_tokens_per_s > 0.0) {
     service_rate_ = options_.estimated_tokens_per_s;
   } else {
@@ -84,11 +92,9 @@ ClusterSimulator::ClusterSimulator(const ClusterOptions& options) : options_(opt
     // inefficiency (a request's decode tokens drain far slower than its
     // prefill tokens). Overestimating the drain would zero every replica's
     // outstanding count and blind the balancer.
-    IterationCostModel cost_model(options_.replica.model, options_.replica.cluster,
-                                  options_.replica.parallel);
     BatchWork probe;
     probe.sequences.push_back(SequenceWork::PrefillChunk(1024, 512));
-    double iteration = cost_model.IterationCost(probe).Total();
+    double iteration = cost_model_->IterationCost(probe).Total();
     service_rate_ = 0.4 * 512.0 / std::max(iteration, 1e-9);
   }
 }
@@ -378,6 +384,7 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
   std::vector<SimResult> results(static_cast<size_t>(n));
   auto simulate = [&](int r) {
     SimulatorOptions replica_options = options_.replica;
+    replica_options.cost_model = cost_model_;
     replica_options.fail_interrupted_on_crash = true;
     replica_options.outages = outage_schedules_[static_cast<size_t>(r)];
     replica_options.slowdowns = slowdown_schedules_[static_cast<size_t>(r)];

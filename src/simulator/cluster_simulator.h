@@ -43,6 +43,7 @@
 #ifndef SRC_SIMULATOR_CLUSTER_SIMULATOR_H_
 #define SRC_SIMULATOR_CLUSTER_SIMULATOR_H_
 
+#include <memory>
 #include <vector>
 
 #include "src/simulator/fault_injector.h"
@@ -179,6 +180,11 @@ class ClusterSimulator {
   int Route(int64_t tokens, double now, int exclude, RouterState* state) const;
 
   ClusterOptions options_;
+  // One cost model for the whole cluster, built once at construction: the
+  // service-rate estimate and every (serial) replica simulation — including
+  // retry/failover/hedge re-simulation rounds — share its memo cache instead
+  // of each rebuilding an IterationCostModel per probe.
+  std::shared_ptr<IterationCostModel> cost_model_;
   double service_rate_;
   std::vector<int> assignment_;
   std::vector<std::vector<ReplicaOutage>> outage_schedules_;

@@ -126,8 +126,11 @@ SimResult DisaggSimulator::Run(const Trace& trace) {
         prefill_queue.pop_front();
       }
       double duration = prefill_model_->IterationCost(work).Total();
-      result.total_flops += prefill_model_->BatchFlops(work);
-      result.total_bytes += prefill_model_->BatchMemoryBytes(work);
+      double batch_flops = 0.0;
+      double batch_bytes = 0.0;
+      prefill_model_->BatchFlopsAndBytes(work, &batch_flops, &batch_bytes);
+      result.total_flops += batch_flops;
+      result.total_bytes += batch_bytes;
       result.stage_busy_s[0] += duration;
       prefill_exit = now + duration;
       for (const Flow& flow : prefill_inflight) {
@@ -157,8 +160,11 @@ SimResult DisaggSimulator::Run(const Trace& trace) {
       decoding.erase(decoding.begin(),
                      decoding.begin() + static_cast<long>(decode_inflight.size()));
       double duration = decode_model_->IterationCost(work).Total();
-      result.total_flops += decode_model_->BatchFlops(work);
-      result.total_bytes += decode_model_->BatchMemoryBytes(work);
+      double batch_flops = 0.0;
+      double batch_bytes = 0.0;
+      decode_model_->BatchFlopsAndBytes(work, &batch_flops, &batch_bytes);
+      result.total_flops += batch_flops;
+      result.total_bytes += batch_bytes;
       result.stage_busy_s[1] += duration;
       decode_exit = now + duration;
       if (first_start < 0.0) {

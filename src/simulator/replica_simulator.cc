@@ -25,8 +25,12 @@ struct InFlightBatch {
 }  // namespace
 
 ReplicaSimulator::ReplicaSimulator(const SimulatorOptions& options) : options_(options) {
-  IterationCostModel cost_model(options_.model, options_.cluster, options_.parallel);
-  engine_ = std::make_unique<SimulatedEngine>(std::move(cost_model));
+  std::shared_ptr<IterationCostModel> cost_model = options_.cost_model;
+  if (cost_model == nullptr) {
+    cost_model = std::make_shared<IterationCostModel>(options_.model, options_.cluster,
+                                                      options_.parallel);
+  }
+  engine_ = std::make_unique<SimulatedEngine>(std::move(cost_model), options_.reuse_buffers);
 }
 
 SimResult ReplicaSimulator::Run(const Trace& trace) {
@@ -99,11 +103,17 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
     result.requests[i].id = trace.requests[i].id;
     result.requests[i].arrival_s = trace.requests[i].arrival_time_s;
     result.requests[i].deadline_s = trace.requests[i].deadline_s;
+    if (options_.reuse_buffers) {
+      // One emission per output token; reserving up front keeps steady-state
+      // iterations free of telemetry-buffer growth.
+      result.requests[i].token_times_s.reserve(
+          static_cast<size_t>(std::max<int64_t>(0, trace.requests[i].output_tokens)));
+    }
   }
-  // Request pointer -> metrics slot.
-  std::unordered_map<const RequestState*, size_t> index;
+  // Each request carries its metrics slot so the hot loop resolves
+  // request -> RequestMetrics without hashing.
   for (size_t i = 0; i < states.size(); ++i) {
-    index.emplace(states[i].get(), i);
+    states[i]->set_slot(static_cast<int64_t>(i));
   }
 
   // Request lifecycle spans: one async "request" span per request (keyed by
@@ -160,6 +170,9 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
 
   std::vector<double> stage_free(static_cast<size_t>(num_stages), 0.0);
   std::vector<InFlightBatch> in_flight;
+  in_flight.reserve(static_cast<size_t>(num_stages) + 1);
+  // Reused per-iteration shape scratch for MFU/MBU accounting.
+  BatchWork work_scratch;
   size_t next_arrival = 0;
   double now = 0.0;
   double first_start = -1.0;
@@ -259,7 +272,7 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
 
       // Token emissions happen at pipeline exit, before state advances.
       for (const auto& item : done.batch.items) {
-        RequestMetrics& request_metrics = result.requests[index.at(item.request)];
+        RequestMetrics& request_metrics = result.requests[static_cast<size_t>(item.request->slot())];
         bool emits = item.is_decode ||
                      item.request->prefill_done() + item.num_tokens ==
                          item.request->prefill_target();
@@ -291,7 +304,7 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
         if (plan == pending_forks.end()) {
           continue;
         }
-        double parent_first_scheduled = result.requests[index.at(item.request)].first_scheduled_s;
+        double parent_first_scheduled = result.requests[static_cast<size_t>(item.request->slot())].first_scheduled_s;
         for (int64_t s = 0; s < plan->second; ++s) {
           int64_t child_id = next_fork_id++;
           RequestState child_state = RequestState::ForkedFrom(*item.request, child_id);
@@ -318,7 +331,7 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
             scheduler->AdoptRunning(child);
           }
           result.requests.push_back(std::move(child_metrics));
-          index.emplace(child, result.requests.size() - 1);
+          child->set_slot(static_cast<int64_t>(result.requests.size() - 1));
           // Sibling spans begin at the fork point, already decoding (or
           // instantly closed for single-token samples).
           span_phase.push_back(kSpanNone);
@@ -342,7 +355,7 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
       result.peak_kv_blocks = std::max(result.peak_kv_blocks, allocator->used_units());
       for (const auto& item : done.batch.items) {
         if (item.request->finished()) {
-          size_t idx = index.at(item.request);
+          size_t idx = static_cast<size_t>(item.request->slot());
           RequestMetrics& request_metrics = result.requests[idx];
           request_metrics.completion_s = done.exit_s;
           request_metrics.preemptions = item.request->preemptions();
@@ -352,6 +365,9 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
             metrics->AddCount("completions", done.exit_s);
           }
         }
+      }
+      if (options_.reuse_buffers) {
+        scheduler->RecycleBatch(std::move(done.batch));
       }
     }
   };
@@ -498,7 +514,7 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
     in_flight.clear();
     if (options_.fail_interrupted_on_crash) {
       for (RequestState* state : scheduler->DrainAll()) {
-        size_t idx = index.at(state);
+        size_t idx = static_cast<size_t>(state->slot());
         RequestMetrics& request_metrics = result.requests[idx];
         request_metrics.failed_s = outage.down_s;
         request_metrics.failure = FailureKind::kReplicaCrash;
@@ -515,7 +531,7 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
         CHECK(scheduler->Abort(state));
         state->ResetForRecompute();
         scheduler->Enqueue(state);
-        span_transition(index.at(state), kSpanQueued, outage.down_s);
+        span_transition(static_cast<size_t>(state->slot()), kSpanQueued, outage.down_s);
         ++crash_recomputes;
       }
     }
@@ -595,7 +611,16 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
       checker->OnBatchScheduled(batch, now);
     }
 
-    double stage_time = engine_->StageTime(batch);
+    double iter_flops = 0.0;
+    double iter_bytes = 0.0;
+    double stage_time;
+    if (options_.reuse_buffers) {
+      // Fast path: one pass over the batch shape yields the stage time and
+      // the MFU/MBU accounting totals together (one KvSpan per sequence).
+      stage_time = engine_->StageTimeAndTotals(batch, &iter_flops, &iter_bytes);
+    } else {
+      stage_time = engine_->StageTime(batch);
+    }
     // Gray-failure degradation: an iteration whose batch starts inside a
     // slowdown episode runs slower on every pipeline stage; transient jitter
     // stretches isolated iterations on top. (Monotonic cursor — batch starts
@@ -643,9 +668,15 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
     last_exit = std::max(last_exit, exit);
 
     result.total_prefill_tokens += batch.NumPrefillTokens();
-    BatchWork work = batch.ToBatchWork();
-    result.total_flops += engine_->cost_model().BatchFlops(work);
-    result.total_bytes += engine_->cost_model().BatchMemoryBytes(work);
+    if (options_.reuse_buffers) {
+      // Totals were computed alongside the stage time above.
+      result.total_flops += iter_flops;
+      result.total_bytes += iter_bytes;
+    } else {
+      work_scratch = batch.ToBatchWork();
+      result.total_flops += engine_->cost_model().BatchFlops(work_scratch);
+      result.total_bytes += engine_->cost_model().BatchMemoryBytes(work_scratch);
+    }
     if (options_.record_iterations) {
       IterationRecord record;
       record.start_s = start;
@@ -667,7 +698,7 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
     }
     for (const auto& item : batch.items) {
       item.request->set_locked(true);
-      size_t idx = index.at(item.request);
+      size_t idx = static_cast<size_t>(item.request->slot());
       RequestMetrics& request_metrics = result.requests[idx];
       if (request_metrics.first_scheduled_s < 0.0) {
         request_metrics.first_scheduled_s = start;

@@ -34,6 +34,19 @@ struct SimulatorOptions {
   ParallelConfig parallel;
   SchedulerConfig scheduler;
 
+  // Optional pre-built cost model to reuse (e.g. a cluster simulator sharing
+  // one memo cache across its serial replica re-simulations). Must match
+  // model/cluster/parallel above. Null: the simulator builds its own. Never
+  // share one model across concurrently running simulators — the memo caches
+  // are not thread-safe.
+  std::shared_ptr<IterationCostModel> cost_model;
+
+  // Fast-path switch for A/B perf measurement (bench_perf_selfcheck): when
+  // false, scratch-buffer reuse and batch recycling are disabled and every
+  // iteration allocates as the pre-fast-path code did. Results are identical
+  // either way.
+  bool reuse_buffers = true;
+
   // KV paging parameters.
   int64_t block_size = 16;
   double watermark = 0.01;

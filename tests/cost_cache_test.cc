@@ -1,0 +1,181 @@
+// Tests for the cost-model memo caches: cached results are bit-identical to
+// uncached ones over randomized batch streams, the hit/miss counters account
+// every probe, and invalidation behaves as documented (see docs/performance.md).
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/core/serving_system.h"
+#include "src/perfmodel/iteration_cost.h"
+
+namespace sarathi {
+namespace {
+
+IterationCostModel MakeModel(const Deployment& deployment) {
+  return IterationCostModel(deployment.model, deployment.cluster, deployment.parallel);
+}
+
+// A randomized stream of batch shapes resembling what a scheduler emits:
+// mostly repeated decode-heavy shapes (cache hits) with occasional prefill
+// chunks of varying size and context (fresh keys).
+std::vector<BatchWork> RandomBatchStream(uint64_t seed, int num_batches) {
+  Rng rng(seed);
+  std::vector<BatchWork> stream;
+  stream.reserve(static_cast<size_t>(num_batches));
+  for (int b = 0; b < num_batches; ++b) {
+    BatchWork batch;
+    int64_t decodes = rng.UniformInt(0, 24);
+    for (int64_t d = 0; d < decodes; ++d) {
+      batch.sequences.push_back(SequenceWork::Decode(rng.UniformInt(1, 4096)));
+    }
+    int64_t chunks = rng.UniformInt(0, 2);
+    for (int64_t c = 0; c < chunks; ++c) {
+      batch.sequences.push_back(
+          SequenceWork::PrefillChunk(rng.UniformInt(0, 2048), rng.UniformInt(1, 512)));
+    }
+    if (batch.sequences.empty()) {
+      batch.sequences.push_back(SequenceWork::Decode(128));
+    }
+    stream.push_back(std::move(batch));
+  }
+  return stream;
+}
+
+void ExpectSameBreakdown(const CostBreakdown& a, const CostBreakdown& b) {
+  // Exact equality: memoization must not change a single bit.
+  EXPECT_EQ(a.linear_s, b.linear_s);
+  EXPECT_EQ(a.attention_s, b.attention_s);
+  EXPECT_EQ(a.comm_s, b.comm_s);
+  EXPECT_EQ(a.other_s, b.other_s);
+}
+
+class CostCacheEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CostCacheEquivalenceTest, CachedMatchesUncachedBitForBit) {
+  for (const Deployment& deployment :
+       {MistralOnA100(), YiOnA100Tp2()}) {
+    IterationCostModel cached = MakeModel(deployment);
+    IterationCostModel uncached = MakeModel(deployment);
+    uncached.set_cache_enabled(false);
+    ASSERT_TRUE(cached.cache_enabled());
+    ASSERT_FALSE(uncached.cache_enabled());
+
+    for (const BatchWork& batch : RandomBatchStream(GetParam(), 200)) {
+      ExpectSameBreakdown(cached.StageCost(batch), uncached.StageCost(batch));
+      ExpectSameBreakdown(cached.IterationCost(batch), uncached.IterationCost(batch));
+      EXPECT_EQ(cached.BatchFlops(batch), uncached.BatchFlops(batch));
+      EXPECT_EQ(cached.BatchMemoryBytes(batch), uncached.BatchMemoryBytes(batch));
+    }
+    // The stream repeats shapes, so the cache must have actually engaged.
+    EXPECT_GT(cached.cache_stats().Hits(), 0);
+    EXPECT_EQ(uncached.cache_stats().Hits(), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CostCacheEquivalenceTest,
+                         ::testing::Values(1u, 7u, 42u, 1234u));
+
+TEST(CostCacheTest, FusedAccountingMatchesSeparateCalls) {
+  IterationCostModel model = MakeModel(MistralOnA100());
+  for (const BatchWork& batch : RandomBatchStream(99, 50)) {
+    double flops = 0.0;
+    double bytes = 0.0;
+    model.BatchFlopsAndBytes(batch, &flops, &bytes);
+    EXPECT_EQ(flops, model.BatchFlops(batch));
+    EXPECT_EQ(bytes, model.BatchMemoryBytes(batch));
+  }
+}
+
+// The single-pass StageCostAndTotals must reproduce StageCost and the
+// accounting totals bit-for-bit, with the cache on and off.
+TEST(CostCacheTest, StageCostAndTotalsMatchesSeparateCalls) {
+  for (bool cached : {true, false}) {
+    IterationCostModel model = MakeModel(MistralOnA100());
+    model.set_cache_enabled(cached);
+    for (const BatchWork& batch : RandomBatchStream(123, 50)) {
+      double flops = 0.0;
+      double bytes = 0.0;
+      CostBreakdown fused = model.StageCostAndTotals(batch, &flops, &bytes);
+      ExpectSameBreakdown(fused, model.StageCost(batch));
+      EXPECT_EQ(flops, model.BatchFlops(batch));
+      EXPECT_EQ(bytes, model.BatchMemoryBytes(batch));
+    }
+  }
+}
+
+TEST(CostCacheTest, RepeatedShapeHitsBothCaches) {
+  IterationCostModel model = MakeModel(MistralOnA100());
+  BatchWork batch;
+  batch.sequences.push_back(SequenceWork::Decode(100));
+  batch.sequences.push_back(SequenceWork::Decode(200));
+
+  model.StageCost(batch);
+  CostCacheStats first = model.cache_stats();
+  EXPECT_EQ(first.Hits(), 0);
+  EXPECT_GT(first.Misses(), 0);
+
+  model.StageCost(batch);
+  CostCacheStats second = model.cache_stats();
+  // The second identical batch resolves entirely from the caches.
+  EXPECT_EQ(second.Misses(), first.Misses());
+  EXPECT_GT(second.Hits(), 0);
+}
+
+TEST(CostCacheTest, DifferentSequenceCountIsADifferentShapeKey) {
+  IterationCostModel model = MakeModel(MistralOnA100());
+  // Same total tokens (4), different sequence count: 4 decodes vs 1 chunk.
+  BatchWork decodes;
+  for (int i = 0; i < 4; ++i) {
+    decodes.sequences.push_back(SequenceWork::Decode(64));
+  }
+  BatchWork chunk;
+  chunk.sequences.push_back(SequenceWork::PrefillChunk(64, 4));
+
+  model.StageCost(decodes);
+  int64_t misses_after_first = model.cache_stats().shape_misses;
+  model.StageCost(chunk);
+  // The chunk batch must not reuse the 4-decode entry.
+  EXPECT_GT(model.cache_stats().shape_misses, misses_after_first);
+}
+
+TEST(CostCacheTest, ClearCacheKeepsStatsAndResults) {
+  IterationCostModel model = MakeModel(MistralOnA100());
+  BatchWork batch;
+  batch.sequences.push_back(SequenceWork::Decode(333));
+  CostBreakdown before = model.StageCost(batch);
+  model.StageCost(batch);
+  CostCacheStats stats = model.cache_stats();
+  EXPECT_GT(stats.Hits(), 0);
+
+  model.ClearCache();
+  // Stats survive the clear; the next probe misses again but computes the
+  // same value.
+  EXPECT_EQ(model.cache_stats().Hits(), stats.Hits());
+  CostBreakdown after = model.StageCost(batch);
+  ExpectSameBreakdown(before, after);
+  EXPECT_GT(model.cache_stats().Misses(), stats.Misses());
+}
+
+TEST(CostCacheTest, DisablingCacheDropsEntries) {
+  IterationCostModel model = MakeModel(MistralOnA100());
+  BatchWork batch;
+  batch.sequences.push_back(SequenceWork::Decode(64));
+  model.StageCost(batch);
+  model.set_cache_enabled(false);
+  int64_t misses = model.cache_stats().Misses();
+  model.StageCost(batch);
+  // Disabled: no counters move, nothing is looked up or stored.
+  EXPECT_EQ(model.cache_stats().Misses(), misses);
+  EXPECT_EQ(model.cache_stats().Hits(), 0);
+
+  // Re-enabling starts cold (the disable cleared the entries).
+  model.set_cache_enabled(true);
+  model.StageCost(batch);
+  EXPECT_EQ(model.cache_stats().Hits(), 0);
+  EXPECT_GT(model.cache_stats().Misses(), misses);
+}
+
+}  // namespace
+}  // namespace sarathi

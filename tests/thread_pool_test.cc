@@ -1,0 +1,134 @@
+// Tests for the fixed thread pool and the RunMany fan-out helper: result
+// ordering by submission index, exception propagation, the inline serial
+// fallback, and the --jobs resolution rules.
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "src/common/thread_pool.h"
+
+namespace sarathi {
+namespace {
+
+TEST(ResolveJobsTest, PositivePassesThrough) {
+  EXPECT_EQ(ResolveJobs(1), 1);
+  EXPECT_EQ(ResolveJobs(7), 7);
+}
+
+TEST(ResolveJobsTest, NonPositiveMeansHardwareConcurrency) {
+  int resolved = ResolveJobs(0);
+  EXPECT_GE(resolved, 1);
+  EXPECT_EQ(ResolveJobs(-3), resolved);
+}
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { ++count; });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.Submit([&count] { ++count; });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+  pool.Submit([&count] { ++count; });
+  pool.Submit([&count] { ++count; });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(RunManyTest, ResultsOrderedBySubmissionIndex) {
+  for (int jobs : {1, 2, 8}) {
+    std::vector<int64_t> results = RunMany(jobs, 64, [](int64_t i) { return i * i; });
+    ASSERT_EQ(results.size(), 64u) << "jobs=" << jobs;
+    for (int64_t i = 0; i < 64; ++i) {
+      EXPECT_EQ(results[static_cast<size_t>(i)], i * i) << "jobs=" << jobs;
+    }
+  }
+}
+
+TEST(RunManyTest, EmptyInputYieldsEmptyOutput) {
+  std::vector<int64_t> results = RunMany(4, 0, [](int64_t i) { return i; });
+  EXPECT_TRUE(results.empty());
+}
+
+TEST(RunManyTest, MoreJobsThanTasksStillCompletes) {
+  std::vector<int64_t> results = RunMany(16, 3, [](int64_t i) { return i + 1; });
+  EXPECT_EQ(results, (std::vector<int64_t>{1, 2, 3}));
+}
+
+TEST(RunManyTest, SingleJobRunsInlineOnCallingThread) {
+  std::thread::id caller = std::this_thread::get_id();
+  std::vector<bool> inline_flags =
+      RunMany(1, 8, [caller](int64_t) { return std::this_thread::get_id() == caller; });
+  for (bool on_caller : inline_flags) {
+    EXPECT_TRUE(on_caller);
+  }
+}
+
+TEST(RunManyTest, SingleTaskRunsInlineEvenWithManyJobs) {
+  std::thread::id caller = std::this_thread::get_id();
+  std::vector<bool> inline_flags =
+      RunMany(8, 1, [caller](int64_t) { return std::this_thread::get_id() == caller; });
+  ASSERT_EQ(inline_flags.size(), 1u);
+  EXPECT_TRUE(inline_flags[0]);
+}
+
+TEST(RunManyTest, ThrowPropagatesLowestFailingIndex) {
+  for (int jobs : {1, 4}) {
+    try {
+      RunMany(jobs, 16, [](int64_t i) -> int64_t {
+        if (i == 11 || i == 5) {
+          throw std::runtime_error("task " + std::to_string(i));
+        }
+        return i;
+      });
+      FAIL() << "expected an exception, jobs=" << jobs;
+    } catch (const std::runtime_error& error) {
+      // Serial execution stops at the first throw; the pool finishes all
+      // tasks and rethrows the lowest failing index. Both surface task 5.
+      EXPECT_STREQ(error.what(), "task 5") << "jobs=" << jobs;
+    }
+  }
+}
+
+TEST(RunManyTest, AllTasksRunDespiteEarlyThrow) {
+  std::atomic<int> ran{0};
+  EXPECT_THROW(RunMany(4, 32,
+                       [&ran](int64_t i) -> int {
+                         ++ran;
+                         if (i == 0) {
+                           throw std::runtime_error("boom");
+                         }
+                         return 0;
+                       }),
+               std::runtime_error);
+  EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(RunManyTest, ParallelMatchesSerialForPureTasks) {
+  auto task = [](int64_t i) {
+    // A pure function of the index with enough work to interleave.
+    double acc = 0.0;
+    for (int64_t k = 0; k <= i % 97; ++k) {
+      acc += static_cast<double>(k * i);
+    }
+    return acc;
+  };
+  std::vector<double> serial = RunMany(1, 200, task);
+  std::vector<double> parallel = RunMany(8, 200, task);
+  EXPECT_EQ(serial, parallel);
+}
+
+}  // namespace
+}  // namespace sarathi

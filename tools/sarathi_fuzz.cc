@@ -26,6 +26,13 @@
 //   --verbose        one line per seed instead of a progress line per 10
 //   --force-gray     force every seed into a gray-failure cluster case
 //                    (slowdown episodes + seed-rotated failover/hedging)
+//   --jobs=N         fan seeds across N worker threads (0 = hardware
+//                    concurrency). Seeds are independent; outcomes are
+//                    replayed in seed order, so stdout/stderr and the exit
+//                    code are byte-identical to --jobs=1.
+//   --fingerprint-out=FILE  write one "seed,bytes,fnv1a" line per seed from
+//                    the determinism check's telemetry, for cross-run
+//                    byte-comparison (e.g. --jobs=1 vs --jobs=8 in CI)
 
 #include <algorithm>
 #include <filesystem>
@@ -38,6 +45,7 @@
 
 #include "src/common/args.h"
 #include "src/common/rng.h"
+#include "src/common/thread_pool.h"
 #include "src/core/serving_system.h"
 #include "src/scheduler/scheduler_factory.h"
 #include "src/simulator/cluster_simulator.h"
@@ -58,6 +66,9 @@ constexpr char kUsage[] = R"(sarathi_fuzz: randomized invariant fuzzer (see docs
   --repro-out=DIR  write a repro report per failing seed into DIR
   --verbose        per-seed progress lines
   --force-gray     force every seed into a gray-failure cluster case
+  --jobs=N         run seeds on N threads (0 = hardware concurrency);
+                   output stays byte-identical to --jobs=1
+  --fingerprint-out=FILE  one "seed,bytes,fnv1a" telemetry line per seed
 )";
 
 constexpr SchedulerPolicy kPolicies[] = {
@@ -310,10 +321,27 @@ std::string TelemetryFingerprint(const SimResult& result) {
   return out.str();
 }
 
+// FNV-1a over the telemetry string: a compact per-seed digest that two fuzz
+// invocations (e.g. --jobs=1 and --jobs=8) can compare byte-for-byte.
+uint64_t Fnv1a(const std::string& bytes) {
+  uint64_t hash = 1469598103934665603ULL;
+  for (unsigned char c : bytes) {
+    hash ^= c;
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+struct DeterminismOutcome {
+  std::string error;  // Empty when the two runs matched.
+  size_t fingerprint_bytes = 0;
+  uint64_t fingerprint_hash = 0;
+};
+
 // Same seed, same inputs, twice: the telemetry must match byte for byte.
 // Rotates through the policies by seed so all six get coverage; faults are
 // forced on so the crash/retry/re-route machinery is inside the comparison.
-std::string RunDeterminismCheck(const FuzzCase& fuzz_case, uint64_t seed) {
+DeterminismOutcome RunDeterminismCheck(const FuzzCase& fuzz_case, uint64_t seed) {
   SchedulerPolicy policy = kPolicies[seed % (sizeof(kPolicies) / sizeof(kPolicies[0]))];
   ClusterOptions cluster;
   cluster.replica = MakeReplicaOptions(fuzz_case, policy, AllocatorKind::kPaged, nullptr);
@@ -341,6 +369,7 @@ std::string RunDeterminismCheck(const FuzzCase& fuzz_case, uint64_t seed) {
   }
   if (cluster.hedge_after_s <= 0.0 && seed % 3 == 0) cluster.hedge_after_s = 0.5;
 
+  DeterminismOutcome outcome;
   std::string first;
   for (int run = 0; run < 2; ++run) {
     ClusterSimulator simulator(cluster);
@@ -348,15 +377,76 @@ std::string RunDeterminismCheck(const FuzzCase& fuzz_case, uint64_t seed) {
     std::string fingerprint = TelemetryFingerprint(result);
     if (run == 0) {
       first = std::move(fingerprint);
+      outcome.fingerprint_bytes = first.size();
+      outcome.fingerprint_hash = Fnv1a(first);
     } else if (fingerprint != first) {
       std::ostringstream out;
       out << "determinism violation: policy " << SchedulerPolicyName(policy)
           << ", two identical cluster runs produced different telemetry ("
           << first.size() << " vs " << fingerprint.size() << " bytes)";
-      return out.str();
+      outcome.error = out.str();
+      return outcome;
     }
   }
-  return "";
+  return outcome;
+}
+
+// Everything one seed produces, computed without touching stdout/stderr so
+// seeds can run concurrently and be replayed in order afterwards.
+struct SeedOutcome {
+  uint64_t seed = 0;
+  std::string summary;
+  std::vector<std::string> failures;
+  int64_t runs = 0;
+  size_t fingerprint_bytes = 0;
+  uint64_t fingerprint_hash = 0;
+};
+
+SeedOutcome RunSeed(uint64_t seed, bool fatal, bool force_gray) {
+  SeedOutcome outcome;
+  outcome.seed = seed;
+  FuzzCase fuzz_case = MakeCase(seed);
+  if (force_gray) {
+    // CI smoke mode: every seed becomes a gray-failure cluster case, with
+    // the failover mode and hedging rotating deterministically by seed.
+    if (!fuzz_case.cluster_mode) {
+      fuzz_case.cluster_mode = true;
+      fuzz_case.standalone_outages = false;
+      fuzz_case.num_replicas = 2 + static_cast<int>(seed % 2);
+      fuzz_case.faults.seed = seed + 17;
+    }
+    if (!fuzz_case.faults.any_degradation()) {
+      fuzz_case.faults.degrade_mtbf_s = 5.0 + static_cast<double>(seed % 7);
+      fuzz_case.faults.degrade_mttr_s = 2.0 + static_cast<double>(seed % 3);
+      fuzz_case.faults.min_degrade_s = 0.5;
+    }
+    fuzz_case.degraded_failover = seed % 3 == 0   ? FailoverMode::kNone
+                                  : seed % 3 == 1 ? FailoverMode::kRecompute
+                                                  : FailoverMode::kLiveMigrate;
+    fuzz_case.hedge_after_s = seed % 2 == 0 ? 0.5 : 0.0;
+  }
+  outcome.summary = fuzz_case.Summary();
+
+  for (SchedulerPolicy policy : kPolicies) {
+    for (AllocatorKind kind : {AllocatorKind::kPaged, AllocatorKind::kReservation}) {
+      std::string report = RunCell(fuzz_case, policy, kind, fatal);
+      ++outcome.runs;
+      if (!report.empty()) {
+        std::ostringstream out;
+        out << "seed " << seed << ", policy " << SchedulerPolicyName(policy)
+            << ", allocator " << AllocatorKindName(kind) << ":\n" << report;
+        outcome.failures.push_back(out.str());
+      }
+    }
+  }
+  DeterminismOutcome determinism = RunDeterminismCheck(fuzz_case, seed);
+  outcome.runs += 2;
+  outcome.fingerprint_bytes = determinism.fingerprint_bytes;
+  outcome.fingerprint_hash = determinism.fingerprint_hash;
+  if (!determinism.error.empty()) {
+    outcome.failures.push_back("seed " + std::to_string(seed) + ": " + determinism.error);
+  }
+  return outcome;
 }
 
 int RunMain(int argc, char** argv) {
@@ -372,8 +462,13 @@ int RunMain(int argc, char** argv) {
   }
   auto seeds_arg = args.GetInt("seeds", 100);
   auto start_arg = args.GetInt("start", 0);
-  if (!seeds_arg.ok() || !start_arg.ok()) {
-    std::cerr << (seeds_arg.ok() ? start_arg.status() : seeds_arg.status()).ToString() << "\n";
+  auto jobs_arg = args.GetInt("jobs", 1);
+  if (!seeds_arg.ok() || !start_arg.ok() || !jobs_arg.ok()) {
+    std::cerr << (!seeds_arg.ok()   ? seeds_arg.status()
+                  : !start_arg.ok() ? start_arg.status()
+                                    : jobs_arg.status())
+                     .ToString()
+              << "\n";
     return 2;
   }
   int64_t num_seeds = seeds_arg.value();
@@ -382,76 +477,69 @@ int RunMain(int argc, char** argv) {
   bool verbose = args.GetBool("verbose", false);
   bool force_gray = args.GetBool("force-gray", false);
   std::string repro_dir = args.GetString("repro-out", "");
+  std::string fingerprint_path = args.GetString("fingerprint-out", "");
+  int jobs = ResolveJobs(static_cast<int>(jobs_arg.value()));
+  // --fatal aborts inside the failing run to get a stack trace at the site;
+  // keep that run alone on the process so the trace is unpolluted.
+  if (fatal) jobs = 1;
   for (const std::string& key : args.UnconsumedKeys()) {
     std::cerr << "warning: unknown flag --" << key << "\n";
   }
 
+  std::ofstream fingerprint_out;
+  if (!fingerprint_path.empty()) {
+    fingerprint_out.open(fingerprint_path);
+    if (!fingerprint_out) {
+      std::cerr << "cannot open --fingerprint-out file " << fingerprint_path << "\n";
+      return 2;
+    }
+  }
+
+  // Seeds are fanned across the pool one chunk at a time, then each chunk's
+  // outcomes are replayed in seed order below. All printing, accounting, and
+  // the early stop happen in the replay, so stdout/stderr and the exit code
+  // are byte-identical for every --jobs value.
   int64_t failing_seeds = 0;
   int64_t runs = 0;
-  for (int64_t i = 0; i < num_seeds; ++i) {
-    uint64_t seed = static_cast<uint64_t>(start + i);
-    FuzzCase fuzz_case = MakeCase(seed);
-    if (force_gray) {
-      // CI smoke mode: every seed becomes a gray-failure cluster case, with
-      // the failover mode and hedging rotating deterministically by seed.
-      if (!fuzz_case.cluster_mode) {
-        fuzz_case.cluster_mode = true;
-        fuzz_case.standalone_outages = false;
-        fuzz_case.num_replicas = 2 + static_cast<int>(seed % 2);
-        fuzz_case.faults.seed = seed + 17;
+  bool stopped = false;
+  for (int64_t chunk_start = 0; chunk_start < num_seeds && !stopped; chunk_start += jobs) {
+    int64_t chunk = std::min<int64_t>(jobs, num_seeds - chunk_start);
+    std::vector<SeedOutcome> outcomes = RunMany(jobs, chunk, [&](int64_t k) {
+      return RunSeed(static_cast<uint64_t>(start + chunk_start + k), fatal, force_gray);
+    });
+    for (int64_t k = 0; k < chunk && !stopped; ++k) {
+      const SeedOutcome& outcome = outcomes[static_cast<size_t>(k)];
+      int64_t i = chunk_start + k;
+      uint64_t seed = outcome.seed;
+      runs += outcome.runs;
+      if (fingerprint_out.is_open()) {
+        fingerprint_out << seed << "," << outcome.fingerprint_bytes << ","
+                        << outcome.fingerprint_hash << "\n";
       }
-      if (!fuzz_case.faults.any_degradation()) {
-        fuzz_case.faults.degrade_mtbf_s = 5.0 + static_cast<double>(seed % 7);
-        fuzz_case.faults.degrade_mttr_s = 2.0 + static_cast<double>(seed % 3);
-        fuzz_case.faults.min_degrade_s = 0.5;
-      }
-      fuzz_case.degraded_failover = seed % 3 == 0   ? FailoverMode::kNone
-                                    : seed % 3 == 1 ? FailoverMode::kRecompute
-                                                    : FailoverMode::kLiveMigrate;
-      fuzz_case.hedge_after_s = seed % 2 == 0 ? 0.5 : 0.0;
-    }
-    std::vector<std::string> failures;
 
-    for (SchedulerPolicy policy : kPolicies) {
-      for (AllocatorKind kind : {AllocatorKind::kPaged, AllocatorKind::kReservation}) {
-        std::string report = RunCell(fuzz_case, policy, kind, fatal);
-        ++runs;
-        if (!report.empty()) {
-          std::ostringstream out;
-          out << "seed " << seed << ", policy " << SchedulerPolicyName(policy)
-              << ", allocator " << AllocatorKindName(kind) << ":\n" << report;
-          failures.push_back(out.str());
+      if (!outcome.failures.empty()) {
+        ++failing_seeds;
+        std::cerr << "FAIL seed " << seed << " (" << outcome.summary << ")\n";
+        for (const std::string& failure : outcome.failures) std::cerr << failure << "\n";
+        if (!repro_dir.empty()) {
+          std::error_code ec;
+          std::filesystem::create_directories(repro_dir, ec);
+          std::ofstream out(repro_dir + "/seed_" + std::to_string(seed) + ".txt");
+          out << "Reproduce with: sarathi_fuzz --seeds=1 --start=" << seed << "\n"
+              << "Case: " << outcome.summary << "\n\n";
+          for (const std::string& failure : outcome.failures) out << failure << "\n";
         }
+        if (failing_seeds >= 5) {
+          std::cerr << "stopping after 5 failing seeds\n";
+          stopped = true;
+        }
+      } else if (verbose) {
+        std::cout << "ok seed " << seed << " (" << outcome.summary << ")\n";
+      } else if ((i + 1) % 10 == 0 || i + 1 == num_seeds) {
+        std::cout << "seeds " << start << ".." << (start + i) << ": "
+                  << (failing_seeds == 0 ? "all clean" : "FAILURES") << " (" << runs
+                  << " runs)\n";
       }
-    }
-    std::string determinism = RunDeterminismCheck(fuzz_case, seed);
-    runs += 2;
-    if (!determinism.empty()) {
-      failures.push_back("seed " + std::to_string(seed) + ": " + determinism);
-    }
-
-    if (!failures.empty()) {
-      ++failing_seeds;
-      std::cerr << "FAIL seed " << seed << " (" << fuzz_case.Summary() << ")\n";
-      for (const std::string& failure : failures) std::cerr << failure << "\n";
-      if (!repro_dir.empty()) {
-        std::error_code ec;
-        std::filesystem::create_directories(repro_dir, ec);
-        std::ofstream out(repro_dir + "/seed_" + std::to_string(seed) + ".txt");
-        out << "Reproduce with: sarathi_fuzz --seeds=1 --start=" << seed << "\n"
-            << "Case: " << fuzz_case.Summary() << "\n\n";
-        for (const std::string& failure : failures) out << failure << "\n";
-      }
-      if (failing_seeds >= 5) {
-        std::cerr << "stopping after 5 failing seeds\n";
-        break;
-      }
-    } else if (verbose) {
-      std::cout << "ok seed " << seed << " (" << fuzz_case.Summary() << ")\n";
-    } else if ((i + 1) % 10 == 0 || i + 1 == num_seeds) {
-      std::cout << "seeds " << start << ".." << (start + i) << ": "
-                << (failing_seeds == 0 ? "all clean" : "FAILURES") << " (" << runs
-                << " runs)\n";
     }
   }
 
