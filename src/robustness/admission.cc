@@ -1,0 +1,58 @@
+#include "src/robustness/admission.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace sarathi {
+namespace {
+
+// Representative decode context for the rate estimate. The cost model memoizes
+// per (context, tokens) shape, so quantizing the decode population to a single
+// context keeps every predictor call a cache hit after the first.
+constexpr int64_t kDecodeContext = 512;
+// Decode-slot bucket width: predictions change slowly in the number of decode
+// slots, and bucketing keeps the memo table small.
+constexpr int64_t kDecodeBucket = 8;
+
+}  // namespace
+
+AdmissionPredictor::AdmissionPredictor(const IterationCostModel* cost_model,
+                                       int64_t token_budget)
+    : cost_model_(cost_model), token_budget_(token_budget) {
+  CHECK(cost_model_ != nullptr);
+  CHECK(token_budget_ > 0) << "token budget must be positive";
+}
+
+double AdmissionPredictor::PrefillRateTokensPerS(int64_t running_decodes) const {
+  int64_t decodes = std::min((std::max<int64_t>(running_decodes, 0) / kDecodeBucket) * kDecodeBucket,
+                             token_budget_ - 1);
+  int64_t chunk = std::max<int64_t>(token_budget_ - decodes, 1);
+  BatchWork batch;
+  batch.sequences.reserve(static_cast<size_t>(decodes) + 1);
+  for (int64_t i = 0; i < decodes; ++i) {
+    batch.sequences.push_back(SequenceWork::Decode(kDecodeContext));
+  }
+  batch.sequences.push_back(SequenceWork::PrefillChunk(0, chunk));
+  double iteration_s = cost_model_->IterationCost(batch).Total();
+  CHECK(iteration_s > 0.0) << "cost model returned non-positive iteration time";
+  return static_cast<double>(chunk) / iteration_s;
+}
+
+double AdmissionPredictor::PredictTtftS(int64_t backlog_prefill_tokens,
+                                        int64_t running_decodes,
+                                        int64_t prompt_tokens) const {
+  double rate = PrefillRateTokensPerS(running_decodes);
+  double work = static_cast<double>(std::max<int64_t>(backlog_prefill_tokens, 0) +
+                                    std::max<int64_t>(prompt_tokens, 0));
+  return work / rate;
+}
+
+double AdmissionPredictor::RetryAfterS(int64_t backlog_prefill_tokens,
+                                       int64_t running_decodes, int64_t prompt_tokens,
+                                       double ttft_slo_s) const {
+  double predicted = PredictTtftS(backlog_prefill_tokens, running_decodes, prompt_tokens);
+  return std::max(0.0, predicted - ttft_slo_s);
+}
+
+}  // namespace sarathi

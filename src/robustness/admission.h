@@ -1,0 +1,45 @@
+// SLO-aware admission: predicts a new arrival's TTFT from the replica's
+// current backlog using the memoized IterationCostModel, so infeasible
+// requests are shed at the door (with a modeled retry-after) instead of
+// rotting in the queue past their deadline.
+
+#ifndef SRC_ROBUSTNESS_ADMISSION_H_
+#define SRC_ROBUSTNESS_ADMISSION_H_
+
+#include <cstdint>
+
+#include "src/perfmodel/iteration_cost.h"
+
+namespace sarathi {
+
+class AdmissionPredictor {
+ public:
+  // `cost_model` must outlive the predictor. `token_budget` is the
+  // scheduler's per-iteration token budget (Sarathi tau); other policies pass
+  // their effective batch token throughput equivalent.
+  AdmissionPredictor(const IterationCostModel* cost_model, int64_t token_budget);
+
+  // Predicted seconds until a new arrival with `prompt_tokens` of prefill
+  // emits its first token, given `backlog_prefill_tokens` of queued prefill
+  // work ahead of it and `running_decodes` decode slots stealing budget.
+  double PredictTtftS(int64_t backlog_prefill_tokens, int64_t running_decodes,
+                      int64_t prompt_tokens) const;
+
+  // Modeled retry-after: how long the backlog needs to drain before the same
+  // request would be predicted to meet `ttft_slo_s`. Zero when it already
+  // would.
+  double RetryAfterS(int64_t backlog_prefill_tokens, int64_t running_decodes,
+                     int64_t prompt_tokens, double ttft_slo_s) const;
+
+  // Prefill tokens retired per second with `running_decodes` decode slots in
+  // every batch (memoized per decode-slot bucket).
+  double PrefillRateTokensPerS(int64_t running_decodes) const;
+
+ private:
+  const IterationCostModel* cost_model_;
+  int64_t token_budget_;
+};
+
+}  // namespace sarathi
+
+#endif  // SRC_ROBUSTNESS_ADMISSION_H_

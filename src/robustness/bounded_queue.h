@@ -1,0 +1,50 @@
+// CoDel-style bounded queue controller.
+//
+// Classic controlled-delay AQM adapted to request queues: the queue is
+// "standing" (bad) when head-of-line delay stays above a target for a full
+// interval; once standing, requests are dropped at 1/sqrt(drop_count)
+// intervals until the delay recovers. Only the control state lives here —
+// the queue itself stays inside the scheduler, and the simulator acts on
+// ShouldDrop by aborting the oldest queued request.
+
+#ifndef SRC_ROBUSTNESS_BOUNDED_QUEUE_H_
+#define SRC_ROBUSTNESS_BOUNDED_QUEUE_H_
+
+#include <cstdint>
+
+namespace sarathi {
+
+struct CoDelOptions {
+  double target_s = 0.1;    // acceptable standing head-of-line delay
+  double interval_s = 1.0;  // how long delay must persist above target
+};
+
+class CoDelQueue {
+ public:
+  explicit CoDelQueue(const CoDelOptions& options);
+
+  // Feeds the current head-of-line delay at simulation time `now_s`.
+  // Returns true when the head request should be dropped. Call again with the
+  // post-drop delay to drain further (the 1/sqrt schedule limits the rate).
+  bool ShouldDrop(double head_delay_s, double now_s);
+
+  int64_t drops() const { return drops_; }
+  bool dropping() const { return dropping_; }
+
+ private:
+  double ControlLaw(double t) const;
+
+  CoDelOptions options_;
+  // Deadline by which the delay must recover before the first drop; 0 = delay
+  // currently below target.
+  double first_above_time_s_ = 0.0;
+  bool dropping_ = false;
+  double drop_next_s_ = 0.0;
+  int64_t count_ = 0;       // drops in the current dropping episode
+  int64_t last_count_ = 0;  // count when the previous episode ended
+  int64_t drops_ = 0;
+};
+
+}  // namespace sarathi
+
+#endif  // SRC_ROBUSTNESS_BOUNDED_QUEUE_H_

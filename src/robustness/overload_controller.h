@@ -1,0 +1,98 @@
+// Closed-loop overload controller.
+//
+// Reads three pressure signals — head-of-line queue delay, windowed P99 TBT,
+// and KV high-water utilization — and drives a hysteresis-guarded degradation
+// ladder. The controller itself is pure state-machine logic (no clocks, no
+// I/O): the simulator feeds it the signals at every scheduling point and acts
+// on the returned level. docs/overload.md describes the design and tuning.
+
+#ifndef SRC_ROBUSTNESS_OVERLOAD_CONTROLLER_H_
+#define SRC_ROBUSTNESS_OVERLOAD_CONTROLLER_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/scheduler/scheduler.h"
+
+namespace sarathi {
+
+// Pressure signals sampled at a scheduling point. A disabled signal (no TBT
+// SLO configured, no queued work) reads as zero and never escalates.
+struct OverloadSignals {
+  double queue_delay_s = 0.0;   // wait of the oldest queued request
+  double p99_tbt_s = 0.0;       // P99 inter-token latency over the last window
+  double kv_utilization = 0.0;  // allocator units in use / total
+};
+
+struct OverloadControllerOptions {
+  // Queue-delay rungs (seconds of head-of-line wait) for entering each level.
+  double queue_delay_throughput_s = 0.5;
+  double queue_delay_brownout_s = 2.0;
+  double queue_delay_shed_s = 6.0;
+  // TBT rungs as multiples of tbt_slo_s; tbt_slo_s == 0 disables the signal.
+  double tbt_slo_s = 0.0;
+  double tbt_throughput_factor = 1.0;
+  double tbt_brownout_factor = 2.0;
+  double tbt_shed_factor = 4.0;
+  // KV-utilization rungs.
+  double kv_throughput = 0.85;
+  double kv_brownout = 0.95;
+  double kv_shed = 0.99;
+  // Hysteresis: a level is left only once every signal drops below
+  // enter_threshold * exit_ratio, and only after min_dwell_s at the current
+  // level. Recovery steps down one rung at a time (smooth recovery).
+  double exit_ratio = 0.7;
+  double min_dwell_s = 1.0;
+};
+
+class OverloadController {
+ public:
+  explicit OverloadController(const OverloadControllerOptions& options);
+
+  // Feeds one signal sample; returns the (possibly new) ladder level.
+  // Escalation is immediate; de-escalation is dwell- and hysteresis-gated.
+  OverloadLevel Update(double now_s, const OverloadSignals& signals);
+
+  OverloadLevel level() const { return level_; }
+  // Total level changes and how many of them were escalations.
+  int64_t transitions() const { return transitions_; }
+  int64_t escalations() const { return escalations_; }
+
+ private:
+  // Highest rung any signal clears; `scale` shrinks the thresholds (used with
+  // exit_ratio to decide whether the current level is still warranted).
+  OverloadLevel SignalLevel(const OverloadSignals& signals, double scale) const;
+
+  OverloadControllerOptions options_;
+  OverloadLevel level_ = OverloadLevel::kNormal;
+  double last_change_s_ = 0.0;
+  int64_t transitions_ = 0;
+  int64_t escalations_ = 0;
+};
+
+// Replica-level overload-control configuration. Everything defaults off: a
+// default-constructed OverloadOptions leaves the simulator byte-identical to
+// its pre-overload behavior.
+struct OverloadOptions {
+  // SLO-aware admission: shed an arrival whose predicted TTFT exceeds
+  // min(admission_ttft_slo_s, its remaining deadline). 0 disables.
+  double admission_ttft_slo_s = 0.0;
+  // CoDel bounded queue: drop the oldest queued request once head-of-line
+  // delay stays above this target for a full interval. 0 disables.
+  double queue_limit_s = 0.0;
+  double codel_interval_s = 1.0;
+  // Enables the OverloadController ladder (budget growth, hedge suspension,
+  // batch-lane output caps and batch-lane shedding under pressure).
+  bool brownout = false;
+  OverloadControllerOptions controller;
+  // Output-token cap applied to batch-lane arrivals at kBrownout and above.
+  int64_t brownout_output_cap = 32;
+
+  bool enabled() const {
+    return admission_ttft_slo_s > 0.0 || queue_limit_s > 0.0 || brownout;
+  }
+};
+
+}  // namespace sarathi
+
+#endif  // SRC_ROBUSTNESS_OVERLOAD_CONTROLLER_H_

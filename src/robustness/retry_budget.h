@@ -1,0 +1,50 @@
+// Retry-storm damping: a token-bucket retry budget plus deterministic
+// full-jitter backoff.
+//
+// The budget bounds retry amplification to (burst + ratio * admitted
+// arrivals) regardless of failure rate, which is what turns a metastable
+// retry storm back into a bounded tail. Full jitter decorrelates the retry
+// instants so the survivors do not arrive as a thundering herd.
+
+#ifndef SRC_ROBUSTNESS_RETRY_BUDGET_H_
+#define SRC_ROBUSTNESS_RETRY_BUDGET_H_
+
+#include <cstdint>
+
+namespace sarathi {
+
+class RetryBudget {
+ public:
+  // `ratio` retry tokens are credited per admitted request, and the balance
+  // is capped at `burst`. ratio <= 0 disables the budget (every retry
+  // allowed), matching the pre-overload-control behavior.
+  RetryBudget(double ratio, double burst);
+
+  // Credits the budget for one admitted (initially routed) request.
+  void OnRequest();
+
+  // Spends one token for a retry; returns false (and counts a denial) when
+  // the bucket is empty.
+  bool TryConsume();
+
+  bool enabled() const { return ratio_ > 0.0; }
+  double balance() const { return balance_; }
+  int64_t consumed() const { return consumed_; }
+  int64_t denied() const { return denied_; }
+
+ private:
+  double ratio_;
+  double burst_;
+  double balance_;
+  int64_t consumed_ = 0;
+  int64_t denied_ = 0;
+};
+
+// Deterministic full-jitter exponential backoff: uniform in
+// [0, base_s * 2^attempt), keyed by (request_id, attempt, seed) so replays
+// are byte-identical. attempt is 0-based.
+double FullJitterBackoffS(double base_s, int attempt, int64_t request_id, uint64_t seed);
+
+}  // namespace sarathi
+
+#endif  // SRC_ROBUSTNESS_RETRY_BUDGET_H_

@@ -21,6 +21,14 @@ class OrcaScheduler : public Scheduler {
 
   std::string name() const override { return "orca"; }
 
+  // FCFS head admission from the lane-ordered queue, so the QoS
+  // no-starvation bound holds whenever lanes are on.
+  SchedulerGuarantees guarantees() const override {
+    SchedulerGuarantees g;
+    g.batch_aging_s = config_.qos_lanes ? config_.batch_aging_s : -1.0;
+    return g;
+  }
+
   ScheduledBatch Schedule() override;
 };
 

@@ -24,7 +24,7 @@ class RequestState {
   explicit RequestState(const Request& request)
       : id_(request.id), arrival_time_s_(request.arrival_time_s),
         prompt_tokens_(request.prompt_tokens), output_tokens_(request.output_tokens),
-        client_id_(request.client_id), deadline_s_(request.deadline_s),
+        client_id_(request.client_id), qos_(request.qos), deadline_s_(request.deadline_s),
         prefill_target_(request.prompt_tokens) {
     CHECK_GT(prompt_tokens_, 0);
     CHECK_GT(output_tokens_, 0);
@@ -35,6 +35,8 @@ class RequestState {
   int64_t prompt_tokens() const { return prompt_tokens_; }
   int64_t output_tokens() const { return output_tokens_; }
   int64_t client_id() const { return client_id_; }
+  // Overload-control lane (brownout/shed ordering under saturation).
+  QosClass qos() const { return qos_; }
   // Client deadline relative to arrival; 0 = none.
   double deadline_s() const { return deadline_s_; }
 
@@ -101,6 +103,7 @@ class RequestState {
     r.prompt_tokens = parent.prompt_tokens_;
     r.output_tokens = parent.output_tokens_;
     r.client_id = parent.client_id_;
+    r.qos = parent.qos_;
     RequestState child(r);
     child.prefill_target_ = parent.prefill_target_;
     child.prefill_done_ = parent.prefill_done_;
@@ -158,6 +161,7 @@ class RequestState {
   int64_t prompt_tokens_;
   int64_t output_tokens_;
   int64_t client_id_;
+  QosClass qos_;
   double deadline_s_;
 
   RequestPhase phase_ = RequestPhase::kQueued;

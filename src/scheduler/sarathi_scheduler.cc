@@ -49,6 +49,41 @@ void SarathiScheduler::ObserveIterationTime(const ScheduledBatch& batch, double 
   }
 }
 
+void SarathiScheduler::SetOverloadLevel(OverloadLevel level) {
+  Scheduler::SetOverloadLevel(level);
+  if (!config_.enable_chunking) {
+    return;  // The no-chunking ablation has no budget to grow.
+  }
+  int64_t base = config_.token_budget;
+  if (config_.dynamic_budget_tbt_slo_s > 0.0) {
+    base = std::clamp(base, config_.min_token_budget, config_.max_token_budget);
+  }
+  int64_t ceiling = std::max(config_.max_token_budget, base);
+  int64_t previous_budget = current_budget_;
+  if (level >= OverloadLevel::kThroughput) {
+    // Throughput mode: larger chunks drain the prefill backlog faster at the
+    // cost of TBT. Doubling per update reaches the ceiling in a few control
+    // periods without a single-iteration latency spike.
+    current_budget_ = std::min(ceiling, std::max(current_budget_ * 2,
+                                                 current_budget_ + config_.budget_tile));
+  } else if (current_budget_ > base) {
+    // Smooth recovery: halve the excess each update, snapping once the gap
+    // falls under a tile.
+    int64_t excess = current_budget_ - base;
+    current_budget_ = excess <= config_.budget_tile ? base : current_budget_ - excess / 2;
+  }
+  if (current_budget_ != previous_budget && obs_ != nullptr) {
+    if (Tracer* tracer = obs_->ActiveTracer()) {
+      tracer->Counter("scheduler", "token_budget", obs_->now_s,
+                      static_cast<double>(current_budget_));
+    }
+    if (obs_->metrics != nullptr) {
+      obs_->metrics->SetGauge("token_budget", obs_->now_s,
+                              static_cast<double>(current_budget_));
+    }
+  }
+}
+
 std::string SarathiScheduler::name() const {
   if (!config_.enable_chunking) {
     return "sarathi/hybrid-batching-only";

@@ -31,8 +31,19 @@ class SarathiScheduler : public Scheduler {
     SchedulerGuarantees g;
     g.token_budget = config_.enable_chunking ? current_budget_ : -1;
     g.stall_free = config_.enable_hybrid;
+    // Admission follows Enqueue's lane-ordered queue, so the QoS
+    // no-starvation bound holds whenever lanes are on. (VTC overrides this
+    // away: virtual-counter priority legitimately reorders across lanes.)
+    g.batch_aging_s = config_.qos_lanes ? config_.batch_aging_s : -1.0;
     return g;
   }
+
+  // Overload-controller feedback: at kThroughput and above the working budget
+  // grows toward max_token_budget (throughput mode — §5.1's budget knob traded
+  // against TBT); on recovery it eases back toward the configured budget one
+  // halving step per update rather than snapping, so TBT improves without a
+  // latency cliff in reverse.
+  void SetOverloadLevel(OverloadLevel level) override;
 
   ScheduledBatch Schedule() override;
 

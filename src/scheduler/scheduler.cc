@@ -24,6 +24,20 @@ std::string_view SchedulerPolicyName(SchedulerPolicy policy) {
   return "unknown";
 }
 
+std::string_view OverloadLevelName(OverloadLevel level) {
+  switch (level) {
+    case OverloadLevel::kNormal:
+      return "normal";
+    case OverloadLevel::kThroughput:
+      return "throughput";
+    case OverloadLevel::kBrownout:
+      return "brownout";
+    case OverloadLevel::kShed:
+      return "shed";
+  }
+  return "unknown";
+}
+
 Scheduler::Scheduler(const SchedulerConfig& config, KvAllocator* allocator)
     : config_(config), allocator_(allocator) {
   CHECK(allocator_ != nullptr);
@@ -78,9 +92,44 @@ void Scheduler::NotifyVerify(SchedVerifyEvent event, const RequestState* request
 void Scheduler::Enqueue(RequestState* request) {
   CHECK(request != nullptr);
   CHECK(request->phase() == RequestPhase::kQueued);
-  queue_.push_back(request);
+  auto pos = queue_.end();
+  if (config_.qos_lanes && request->qos() == QosClass::kInteractive) {
+    // Walk back over batch-lane requests that have waited less than
+    // batch_aging_s (judged at this request's arrival time). A batch request
+    // that already aged past the bound — or any interactive request — stops
+    // the walk, so FCFS order within a lane and the no-starvation promise
+    // both hold.
+    while (pos != queue_.begin()) {
+      RequestState* other = *std::prev(pos);
+      if (other->qos() == QosClass::kBatch &&
+          request->arrival_time_s() - other->arrival_time_s() <= config_.batch_aging_s) {
+        --pos;
+      } else {
+        break;
+      }
+    }
+  }
+  queue_.insert(pos, request);
   NotifyVerify(SchedVerifyEvent::kEnqueue, request);
   EmitSchedulerObs(nullptr, nullptr);  // Arrival instants live in the request span.
+}
+
+RequestState* Scheduler::OldestQueued() const {
+  RequestState* oldest = nullptr;
+  for (RequestState* request : queue_) {
+    if (oldest == nullptr || request->arrival_time_s() < oldest->arrival_time_s()) {
+      oldest = request;
+    }
+  }
+  return oldest;
+}
+
+int64_t Scheduler::QueuedPrefillTokens() const {
+  int64_t total = 0;
+  for (const RequestState* request : queue_) {
+    total += request->prefill_target() - request->prefill_done();
+  }
+  return total;
 }
 
 void Scheduler::AdoptRunning(RequestState* request) {

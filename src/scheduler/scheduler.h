@@ -37,6 +37,17 @@ enum class SchedulerPolicy {
 
 std::string_view SchedulerPolicyName(SchedulerPolicy policy);
 
+// Degradation ladder driven by the overload controller (src/robustness),
+// mildest to harshest. Each level keeps the mitigations of the ones below:
+//  kNormal:     no intervention.
+//  kThroughput: grow the Sarathi token budget toward throughput mode; the
+//               cluster suspends hedged dispatch.
+//  kBrownout:   additionally cap batch-lane output tokens.
+//  kShed:       additionally shed batch-lane arrivals outright.
+enum class OverloadLevel { kNormal = 0, kThroughput = 1, kBrownout = 2, kShed = 3 };
+
+std::string_view OverloadLevelName(OverloadLevel level);
+
 struct SchedulerConfig {
   SchedulerPolicy policy = SchedulerPolicy::kSarathi;
 
@@ -98,6 +109,15 @@ struct SchedulerConfig {
   int64_t min_token_budget = 128;
   int64_t max_token_budget = 8192;
   int64_t budget_tile = 128;  // Adjustment granularity (tile-aligned, §4.3).
+
+  // QoS lanes (overload control): when true, Enqueue keeps an arriving
+  // interactive request ahead of queued batch-lane requests — but never jumps
+  // a batch request that has already waited longer than batch_aging_s (the
+  // no-starvation promise, judged against the arriving request's arrival
+  // time). Off by default; with it off (or with all-interactive traffic)
+  // queue order is plain FCFS, exactly as before.
+  bool qos_lanes = false;
+  double batch_aging_s = 2.0;
 };
 
 // The machine-checkable promises a policy makes about the batches it forms.
@@ -115,6 +135,13 @@ struct SchedulerGuarantees {
   // ever left out of a batch that carries prefill tokens while batch slots
   // and KV memory remain.
   bool stall_free = false;
+  // QoS-lane no-starvation: a batch-lane request is never bypassed at
+  // admission by an interactive request that arrived more than this many
+  // seconds after it (preemption-driven requeues excepted — they legitimately
+  // re-admit at the queue front). Declared only by policies whose admission
+  // follows Enqueue's queue order; MLFQ and fairness policies reorder and
+  // promise nothing. -1 = no promise.
+  double batch_aging_s = -1.0;
 };
 
 class Scheduler {
@@ -137,8 +164,17 @@ class Scheduler {
   // extra state (e.g. Sarathi's dynamic token budget) emit their own series.
   void set_obs(ObsHooks* obs) { obs_ = obs; }
 
-  // Adds an arrived request to the FCFS wait queue.
+  // Adds an arrived request to the wait queue: FCFS, except that with
+  // config().qos_lanes an interactive arrival is inserted ahead of not-yet
+  // aged batch-lane requests (see SchedulerConfig::batch_aging_s).
   void Enqueue(RequestState* request);
+
+  // Overload-controller feedback (default: record only). The Sarathi policy
+  // additionally grows its token budget toward throughput mode at
+  // kThroughput+ and eases it back down on recovery. Called by the driver at
+  // every controller update, so overrides must be cheap and idempotent.
+  virtual void SetOverloadLevel(OverloadLevel level) { overload_level_ = level; }
+  OverloadLevel overload_level() const { return overload_level_; }
 
   // Adopts an already-admitted sequence directly into the running set —
   // used for forked siblings (parallel sampling) whose KV memory was
@@ -191,6 +227,11 @@ class Scheduler {
   bool HasWork() const { return !queue_.empty() || !running_.empty(); }
 
   size_t queue_size() const { return queue_.size(); }
+  // Oldest-arrival waiting request (nullptr when the queue is empty) and the
+  // total prefill work still queued — the overload controller's queue-delay
+  // signal and the admission predictor's backlog term. O(queue) scans.
+  RequestState* OldestQueued() const;
+  int64_t QueuedPrefillTokens() const;
   const std::vector<RequestState*>& running() const { return running_; }
   const SchedulerConfig& config() const { return config_; }
   int64_t preemption_count() const { return preemption_count_; }
@@ -244,6 +285,7 @@ class Scheduler {
   std::vector<RequestState*> running_;  // Admitted, in admission order.
   int64_t preemption_count_ = 0;
   int64_t abort_count_ = 0;
+  OverloadLevel overload_level_ = OverloadLevel::kNormal;
 
  private:
   std::vector<std::vector<BatchItem>> spare_batch_items_;  // Recycled capacity.

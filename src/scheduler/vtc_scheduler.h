@@ -27,6 +27,15 @@ class VtcScheduler : public SarathiScheduler {
 
   std::string name() const override { return "vtc-sarathi"; }
 
+  // Fair sharing reorders the queue by virtual counters, which may
+  // legitimately move an interactive request past an aged batch one — so VTC
+  // makes no QoS no-starvation promise even with lanes on.
+  SchedulerGuarantees guarantees() const override {
+    SchedulerGuarantees g = SarathiScheduler::guarantees();
+    g.batch_aging_s = -1.0;
+    return g;
+  }
+
   ScheduledBatch Schedule() override;
   void OnBatchComplete(const ScheduledBatch& batch) override;
 

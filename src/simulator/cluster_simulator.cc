@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/robustness/retry_budget.h"
 
 namespace sarathi {
 namespace {
@@ -161,7 +162,7 @@ void ClusterSimulator::AgeOutstanding(RouterState* state, double now) const {
 }
 
 int ClusterSimulator::Route(int64_t tokens, double now, int exclude,
-                            RouterState* state) const {
+                            RouterState* state) {
   const int n = options_.num_replicas;
   int num_live = 0;       // Up and not quarantined.
   int num_preferred = 0;  // Live and not detected degraded.
@@ -184,9 +185,36 @@ int ClusterSimulator::Route(int64_t tokens, double now, int exclude,
   int num_eligible = prefer ? num_preferred : num_live;
   bool avoid = exclude >= 0 && !(num_eligible == 1 && live(exclude) &&
                                  (!prefer || !DetectedDegradedAt(exclude, now)));
-  auto allowed = [&](int r) {
+  auto eligible = [&](int r) {
     return live(r) && !(prefer && DetectedDegradedAt(r, now)) && !(avoid && r == exclude);
   };
+  // Backpressure propagation: a replica whose estimated outstanding work
+  // exceeds the bound has a standing queue; while any eligible replica is
+  // under the bound, restrict the choice to those. When every eligible
+  // replica is over the bound, backpressure cannot help and routing falls
+  // back to plain least-loaded (shedding is the admission layer's job).
+  bool shun_pressured = false;
+  auto pressured = [&](int r) {
+    return state->outstanding_tokens[static_cast<size_t>(r)] >
+           options_.backpressure_queue_s * service_rate_;
+  };
+  if (options_.backpressure_queue_s > 0.0) {
+    AgeOutstanding(state, now);
+    int num_unpressured = 0;
+    int num_allowed = 0;
+    for (int r = 0; r < n; ++r) {
+      if (!eligible(r)) {
+        continue;
+      }
+      ++num_allowed;
+      num_unpressured += pressured(r) ? 0 : 1;
+    }
+    if (num_unpressured > 0 && num_unpressured < num_allowed) {
+      shun_pressured = true;
+      ++backpressure_skips_;
+    }
+  }
+  auto allowed = [&](int r) { return eligible(r) && !(shun_pressured && pressured(r)); };
 
   int pick = -1;
   if (options_.routing == RoutingPolicy::kRoundRobin) {
@@ -337,6 +365,15 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
   RouterState router;
   router.outstanding_tokens.assign(static_cast<size_t>(n), 0.0);
   router.last_update.assign(static_cast<size_t>(n), 0.0);
+  backpressure_skips_ = 0;
+
+  // Token-bucket retry budget (overload control): credited by initial
+  // routing, spent by crash retries. A request denied a token never re-asks —
+  // its crash failure stands — so denials are bounded by the request count.
+  RetryBudget retry_budget(options_.retry_budget_ratio, options_.retry_budget_burst);
+  std::vector<bool> retry_denied(num_requests, false);
+  int64_t retries_denied = 0;
+  int64_t hedges_suppressed = 0;
 
   for (size_t i = 0; i < num_requests; ++i) {
     const Request& request = stamped.requests[i];
@@ -377,6 +414,7 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
     CHECK_GE(pick, 0);  // Quarantine is empty during initial routing.
     assignment_[i] = pick;
     chains[i].push_back({pick, t, false});
+    retry_budget.OnRequest();
     InsertSorted(&sub[static_cast<size_t>(pick)], request);
   }
 
@@ -424,7 +462,8 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
       };
       std::vector<Retry> retries;
       for (size_t i = 0; i < num_requests; ++i) {
-        if (shed[i] || failure_override[i].first != FailureKind::kNone) {
+        if (shed[i] || retry_denied[i] ||
+            failure_override[i].first != FailureKind::kNone) {
           continue;
         }
         const Attempt& last = chains[i].back();
@@ -439,7 +478,14 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
         if (used >= options_.max_retries) {
           continue;  // Retries exhausted: the crash failure stands.
         }
-        double backoff = options_.retry_backoff_s * static_cast<double>(int64_t{1} << used);
+        // Full jitter (when enabled) decorrelates the retry instants of
+        // requests interrupted by the same crash, so survivors do not land on
+        // the failover replica as a thundering herd.
+        double backoff =
+            options_.retry_jitter
+                ? FullJitterBackoffS(options_.retry_backoff_s, used,
+                                     stamped.requests[i].id, options_.faults.seed)
+                : options_.retry_backoff_s * static_cast<double>(int64_t{1} << used);
         double t = NextHealthyTime(m.failed_s + backoff);
         if (t == kInfinity) {
           continue;  // No replica ever recovers: the crash failure stands.
@@ -466,6 +512,20 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
       std::set<int> dirty;
       for (const Retry& retry : retries) {
         size_t i = retry.index;
+        // Budget check in dispatch (time) order: under a storm the earliest
+        // retries drain the bucket and the rest keep their crash failures.
+        if (!retry_budget.TryConsume()) {
+          retry_denied[i] = true;
+          ++retries_denied;
+          if (dest_tracer != nullptr) {
+            dest_tracer->Instant("router", "retry_denied", retry.time,
+                                 {Arg("request", stamped.requests[i].id)});
+          }
+          if (dest_metrics != nullptr) {
+            dest_metrics->AddCount("retries_denied", retry.time);
+          }
+          continue;
+        }
         Request attempt = stamped.requests[i];
         attempt.arrival_time_s = retry.time;
         if (attempt.deadline_s > 0.0) {
@@ -735,6 +795,29 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
         if (deadline_abs > 0.0 && t_h >= deadline_abs) {
           continue;
         }
+        if (options_.hedge_suppress_outstanding_s > 0.0) {
+          // Overload brownout: when every live replica is saturated past the
+          // bound, a speculative duplicate only deepens the overload —
+          // suppress the hedge and let the primary ride it out.
+          AgeOutstanding(&router, t_h);
+          double least = kInfinity;
+          for (int r = 0; r < n; ++r) {
+            if (!DownAt(r, t_h) && !quarantined_[static_cast<size_t>(r)]) {
+              least = std::min(least, router.outstanding_tokens[static_cast<size_t>(r)]);
+            }
+          }
+          if (least / service_rate_ > options_.hedge_suppress_outstanding_s) {
+            ++hedges_suppressed;
+            if (dest_tracer != nullptr) {
+              dest_tracer->Instant("router", "hedge_suppressed", t_h,
+                                   {Arg("request", stamped.requests[i].id)});
+            }
+            if (dest_metrics != nullptr) {
+              dest_metrics->AddCount("hedges_suppressed", t_h);
+            }
+            break;
+          }
+        }
         int pick = Route(stamped.requests[i].total_tokens(), t_h, att.replica, &router);
         if (pick < 0 || pick == att.replica) {
           break;  // No healthy alternative to hedge onto.
@@ -966,6 +1049,10 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
     merged.num_slowdown_episodes += result.num_slowdown_episodes;
     merged.degraded_s += result.degraded_s;
     merged.degraded_iterations += result.degraded_iterations;
+    merged.num_shed_admission += result.num_shed_admission;
+    merged.num_shed_queue += result.num_shed_queue;
+    merged.num_browned_out += result.num_browned_out;
+    merged.overload_transitions += result.overload_transitions;
     if (dest_tracer != nullptr && replica_tracers[static_cast<size_t>(r)] != nullptr) {
       dest_tracer->Append(*replica_tracers[static_cast<size_t>(r)]);
     }
@@ -981,6 +1068,9 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
   merged.migrations_cancelled = migrations_cancelled;
   merged.drain_failovers = drain_failovers;
   merged.migrated_kv_bytes = migrated_kv_bytes;
+  merged.num_retries_denied = retries_denied;
+  merged.num_hedges_suppressed = hedges_suppressed;
+  merged.num_backpressure_skips = backpressure_skips_;
   return merged;
 }
 

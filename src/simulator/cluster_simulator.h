@@ -118,6 +118,28 @@ struct ClusterOptions {
   // (benchmarks pin episodes to exact replicas/times). Empty = derive from
   // `faults`; replicas beyond the vector get no episodes.
   std::vector<std::vector<SlowdownEpisode>> slowdown_overrides;
+
+  // ---- Overload control (src/robustness) ----
+  // Full-jitter crash-retry backoff: uniform in [0, retry_backoff_s *
+  // 2^attempt), deterministic in (faults.seed, request id, attempt). Off
+  // keeps the legacy un-jittered exponential backoff.
+  bool retry_jitter = false;
+  // Token-bucket retry budget: every initially-routed request credits
+  // `retry_budget_ratio` tokens (balance capped at retry_budget_burst) and
+  // every crash retry spends one; a request denied a token keeps its crash
+  // failure. Bounds retry amplification to burst + ratio * arrivals, which is
+  // what damps a metastable retry storm. ratio <= 0 disables.
+  double retry_budget_ratio = 0.0;
+  double retry_budget_burst = 8.0;
+  // Backpressure propagation: when any allowed replica's estimated
+  // outstanding work is at most this many seconds of service, routing is
+  // restricted to such replicas (a bounded per-replica queue as seen from the
+  // router). <= 0 disables.
+  double backpressure_queue_s = 0.0;
+  // Suspend hedged dispatch while every live replica's estimated outstanding
+  // work exceeds this many seconds — a hedge under cluster-wide saturation
+  // only adds load. <= 0 disables suppression.
+  double hedge_suppress_outstanding_s = 0.0;
 };
 
 class ClusterSimulator {
@@ -175,9 +197,11 @@ class ClusterSimulator {
 
   // Picks a replica for `tokens` of work arriving at `now` among replicas up
   // and not quarantined at `now`, avoiding `exclude` when any alternative
-  // exists and preferring replicas not detected degraded. Returns -1 when no
-  // replica qualifies.
-  int Route(int64_t tokens, double now, int exclude, RouterState* state) const;
+  // exists and preferring replicas not detected degraded, then not
+  // backpressured (ClusterOptions::backpressure_queue_s). Returns -1 when no
+  // replica qualifies. Non-const: it advances the rotating cursor, the
+  // outstanding-work estimates and the backpressure-skip counter.
+  int Route(int64_t tokens, double now, int exclude, RouterState* state);
 
   ClusterOptions options_;
   // One cost model for the whole cluster, built once at construction: the
@@ -193,6 +217,9 @@ class ClusterSimulator {
   // Replicas the router is migrating off: no new work for the rest of the
   // run, so the checkpointed KV images stay consistent.
   std::vector<bool> quarantined_;
+  // Routing decisions of the most recent Run that avoided a backpressured
+  // replica (reset per Run, reported as SimResult::num_backpressure_skips).
+  int64_t backpressure_skips_ = 0;
 };
 
 }  // namespace sarathi

@@ -144,6 +144,22 @@ struct SimResult {
   int64_t drain_failovers = 0;
   int64_t migrated_kv_bytes = 0;
 
+  // ---- Overload-control accounting ----
+  // Replica-level mitigations: arrivals shed at the door (TTFT-infeasible
+  // under SLO-aware admission, or batch-lane at the shed rung), queued
+  // requests dropped by the CoDel bounded queue, batch-lane arrivals whose
+  // output was capped by a brownout, and ladder level changes. Cluster-level
+  // storm damping: retries denied by the token-bucket retry budget, hedges
+  // suppressed under backpressure, and routing decisions that skipped a
+  // backpressured replica. (num_shed above stays the router-level count.)
+  int64_t num_shed_admission = 0;
+  int64_t num_shed_queue = 0;
+  int64_t num_browned_out = 0;
+  int64_t overload_transitions = 0;
+  int64_t num_retries_denied = 0;
+  int64_t num_hedges_suppressed = 0;
+  int64_t num_backpressure_skips = 0;
+
   // FLOPs / bytes accounting for Model FLOPs & Bandwidth Utilization (§3.1).
   double total_flops = 0.0;
   double peak_flops = 0.0;  // Aggregate device peak (all GPUs).

@@ -1,6 +1,7 @@
 #include "src/simulator/replica_simulator.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <string>
@@ -8,6 +9,9 @@
 
 #include "src/common/logging.h"
 #include "src/memory/block_manager.h"
+#include "src/obs/metrics_registry.h"
+#include "src/robustness/admission.h"
+#include "src/robustness/bounded_queue.h"
 #include "src/scheduler/scheduler_factory.h"
 #include "src/verify/invariant_checker.h"
 
@@ -213,6 +217,73 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
   size_t planned_cursor = 0;
   std::vector<std::pair<double, size_t>> planned_locked;
 
+  // ---- Overload control (src/robustness) ----
+  // All three mechanisms are off by default; this block allocates nothing and
+  // the hot loop pays one branch when OverloadOptions is default-constructed.
+  const OverloadOptions& overload = options_.overload;
+  const bool overload_active = overload.enabled();
+  std::unique_ptr<AdmissionPredictor> admission;
+  if (overload.admission_ttft_slo_s > 0.0) {
+    admission = std::make_unique<AdmissionPredictor>(
+        &engine_->cost_model(), std::max<int64_t>(1, options_.scheduler.token_budget));
+  }
+  std::unique_ptr<CoDelQueue> codel;
+  if (overload.queue_limit_s > 0.0) {
+    codel = std::make_unique<CoDelQueue>(
+        CoDelOptions{overload.queue_limit_s, overload.codel_interval_s});
+  }
+  std::unique_ptr<OverloadController> controller;
+  if (overload.brownout) {
+    controller = std::make_unique<OverloadController>(overload.controller);
+  }
+  // Windowed P99 TBT signal: samples accumulate per elapsed second of
+  // simulation time; the controller reads the last completed window.
+  constexpr double kTbtWindowS = 1.0;
+  LogHistogram tbt_window;
+  double tbt_window_start = 0.0;
+  double tbt_window_p99 = 0.0;
+
+  // Overload mitigations only touch "plain" trace requests. Planned-abort
+  // carriers, parallel-sampling parents and migrated-in arrivals have
+  // cluster-coordinated lifecycles (extraction plans, forks, adopted KV) that
+  // a unilateral shed or truncation would corrupt; forked siblings
+  // (slot >= trace.size()) are born running and never shed.
+  auto overload_eligible = [&](size_t idx) {
+    if (idx >= trace.size()) {
+      return false;
+    }
+    const Request& r = trace.requests[idx];
+    return r.planned_abort == PlannedAbort::kNone && r.num_samples <= 1 &&
+           r.restored_generated <= 0;
+  };
+
+  // Permanent-shed bookkeeping shared by admission sheds, CoDel queue drops
+  // and batch-lane brownout sheds. The request must already be out of the
+  // scheduler (never enqueued, or just aborted); `what` is both the tracer
+  // instant name and the metrics counter.
+  auto mark_shed = [&](size_t idx, double t, const char* what, double retry_after_s) {
+    RequestState* state = states[idx].get();
+    state->set_phase(RequestPhase::kFailed);
+    RequestMetrics& request_metrics = result.requests[idx];
+    request_metrics.failed_s = t;
+    request_metrics.failure = FailureKind::kShed;
+    request_metrics.preemptions = state->preemptions();
+    request_metrics.wasted_tokens =
+        state->wasted_tokens() + state->prefill_done() + state->generated();
+    if (tracer != nullptr) {
+      tracer->Instant("overload", what, t,
+                      {Arg("request", request_metrics.id),
+                       Arg("retry_after_s", retry_after_s)});
+    }
+    span_transition(idx, kSpanClosed, t);
+    if (metrics != nullptr) {
+      metrics->AddCount(what, t);
+      if (retry_after_s > 0.0) {
+        metrics->Observe("retry_after_s", t, retry_after_s);
+      }
+    }
+  };
+
   auto deliver_arrivals = [&](double upto) {
     while (next_arrival < trace.size() &&
            trace.requests[next_arrival].arrival_time_s <= upto) {
@@ -243,8 +314,54 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
           }
         }
       } else {
-        scheduler->Enqueue(state);
-        span_transition(next_arrival, kSpanQueued, arrival);
+        bool shed = false;
+        const char* shed_what = nullptr;
+        double retry_after = 0.0;
+        if (overload_active && overload_eligible(next_arrival)) {
+          OverloadLevel level =
+              controller != nullptr ? controller->level() : OverloadLevel::kNormal;
+          if (level >= OverloadLevel::kShed && state->qos() == QosClass::kBatch) {
+            // Shed rung: batch-lane arrivals are rejected outright so the
+            // interactive lane keeps its SLO through the overload.
+            shed = true;
+            shed_what = "shed_brownout";
+            ++result.num_shed_admission;
+          } else if (admission != nullptr) {
+            // SLO-aware admission: shed when the modeled TTFT cannot meet
+            // min(admission SLO, the client's own deadline), with a modeled
+            // retry-after for the client's backoff.
+            double slo = overload.admission_ttft_slo_s;
+            if (trace.requests[next_arrival].deadline_s > 0.0) {
+              slo = std::min(slo, trace.requests[next_arrival].deadline_s);
+            }
+            int64_t backlog = scheduler->QueuedPrefillTokens();
+            int64_t decodes = static_cast<int64_t>(scheduler->running().size());
+            if (admission->PredictTtftS(backlog, decodes, state->prompt_tokens()) > slo) {
+              shed = true;
+              shed_what = "shed_admission";
+              retry_after =
+                  admission->RetryAfterS(backlog, decodes, state->prompt_tokens(), slo);
+              ++result.num_shed_admission;
+            }
+          }
+        }
+        if (shed) {
+          mark_shed(next_arrival, arrival, shed_what, retry_after);
+        } else {
+          if (controller != nullptr && controller->level() >= OverloadLevel::kBrownout &&
+              state->qos() == QosClass::kBatch && overload.brownout_output_cap > 0 &&
+              overload_eligible(next_arrival)) {
+            // Brownout: batch-lane work is admitted but degraded (capped
+            // generation) to free budget for the interactive lane.
+            state->TruncateOutputAt(overload.brownout_output_cap);
+            ++result.num_browned_out;
+            if (metrics != nullptr) {
+              metrics->AddCount("browned_out", arrival);
+            }
+          }
+          scheduler->Enqueue(state);
+          span_transition(next_arrival, kSpanQueued, arrival);
+        }
       }
       if (metrics != nullptr) {
         metrics->AddCount("arrivals", arrival);
@@ -285,6 +402,10 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
               metrics->Observe("tbt_s", done.exit_s,
                                done.exit_s - request_metrics.token_times_s.back());
             }
+          }
+          if (controller != nullptr && !request_metrics.token_times_s.empty()) {
+            // Feed the controller's windowed P99 TBT signal.
+            tbt_window.Record(done.exit_s - request_metrics.token_times_s.back());
           }
           request_metrics.token_times_s.push_back(done.exit_s);
           ++result.total_output_tokens;
@@ -573,6 +694,64 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
     apply_planned(now);
 
     obs.SetNow(now);
+    if (overload_active) {
+      if (controller != nullptr) {
+        // Roll the TBT window forward; an idle gap spanning several windows
+        // resets the signal (no samples -> no pressure).
+        if (now >= tbt_window_start + kTbtWindowS) {
+          tbt_window_p99 = tbt_window.empty() ? 0.0 : tbt_window.Quantile(0.99);
+          double windows = std::floor((now - tbt_window_start) / kTbtWindowS);
+          tbt_window_start += windows * kTbtWindowS;
+          if (windows > 1.0) {
+            tbt_window_p99 = 0.0;
+          }
+          tbt_window = LogHistogram();
+        }
+        OverloadSignals signals;
+        RequestState* oldest = scheduler->OldestQueued();
+        signals.queue_delay_s = oldest != nullptr ? now - oldest->arrival_time_s() : 0.0;
+        signals.p99_tbt_s = tbt_window_p99;
+        signals.kv_utilization = allocator->Utilization();
+        OverloadLevel prev = controller->level();
+        OverloadLevel level = controller->Update(now, signals);
+        // Every sample, not only on change: the scheduler's budget recovery
+        // ramps down across repeated SetOverloadLevel calls.
+        scheduler->SetOverloadLevel(level);
+        if (level != prev) {
+          if (tracer != nullptr) {
+            tracer->Instant("overload", "overload_level", now,
+                            {Arg("level", std::string(OverloadLevelName(level))),
+                             Arg("queue_delay_s", signals.queue_delay_s),
+                             Arg("p99_tbt_s", signals.p99_tbt_s),
+                             Arg("kv_utilization", signals.kv_utilization)});
+          }
+          if (metrics != nullptr) {
+            metrics->SetGauge("overload_level", now,
+                              static_cast<double>(static_cast<int>(level)));
+          }
+        }
+      }
+      if (codel != nullptr) {
+        // CoDel bounded queue: drop from the head while the controller says
+        // the standing delay warrants it. An ineligible head (planned abort,
+        // sampling parent) pauses dropping entirely — conservative, and those
+        // requests are rare and cluster-managed.
+        while (true) {
+          RequestState* oldest = scheduler->OldestQueued();
+          if (oldest == nullptr || oldest->slot() < 0 ||
+              !overload_eligible(static_cast<size_t>(oldest->slot()))) {
+            break;
+          }
+          if (!codel->ShouldDrop(now - oldest->arrival_time_s(), now)) {
+            break;
+          }
+          size_t idx = static_cast<size_t>(oldest->slot());
+          CHECK(scheduler->Abort(oldest));
+          ++result.num_shed_queue;
+          mark_shed(idx, now, "shed_queue", 0.0);
+        }
+      }
+    }
     ScheduledBatch batch = scheduler->Schedule();
     result.peak_kv_blocks = std::max(result.peak_kv_blocks, allocator->used_units());
     if (batch.empty()) {
@@ -593,6 +772,15 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
       }
       if (planned_cursor < planned_queue.size() && pending_work) {
         next_event = std::min(next_event, planned_queue[planned_cursor].first);
+      }
+      if (codel != nullptr && scheduler->queue_size() > 0) {
+        // A standing queue with an empty batch (KV-blocked) still needs the
+        // CoDel clock to advance so drops can relieve the pressure.
+        RequestState* oldest = scheduler->OldestQueued();
+        if (oldest != nullptr && oldest->slot() >= 0 &&
+            overload_eligible(static_cast<size_t>(oldest->slot()))) {
+          next_event = std::min(next_event, now + overload.codel_interval_s);
+        }
       }
       if (next_event == kInfinity) {
         CHECK(!scheduler->HasWork())
@@ -729,6 +917,9 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
     if (metrics != nullptr) {
       metrics->AddCount("slowdown_episodes", episode.start_s);
     }
+  }
+  if (controller != nullptr) {
+    result.overload_transitions = controller->transitions();
   }
   result.num_preemptions = scheduler->preemption_count() + crash_recomputes;
   result.peak_flops = engine_->cost_model().PeakFlops();

@@ -18,6 +18,7 @@
 #include "src/engine/execution_engine.h"
 #include "src/obs/obs_hooks.h"
 #include "src/perfmodel/iteration_cost.h"
+#include "src/robustness/overload_controller.h"
 #include "src/scheduler/scheduler.h"
 #include "src/scheduler/scheduler_factory.h"
 #include "src/simulator/fault_injector.h"
@@ -105,6 +106,14 @@ struct SimulatorOptions {
   Tracer* tracer = nullptr;
   MetricsRegistry* metrics = nullptr;
   int trace_pid = 0;
+
+  // Overload control (src/robustness): SLO-aware admission, CoDel bounded
+  // queue, and the brownout ladder. All knobs default off; a default
+  // OverloadOptions leaves every run byte-identical to pre-overload behavior.
+  // Mitigations only touch "plain" requests — planned-abort carriers,
+  // parallel-sampling parents and migrated-in arrivals keep their
+  // cluster-coordinated lifecycles.
+  OverloadOptions overload;
 
   // Invariant checker (src/verify), may be null. When set, the simulator
   // binds it to the run (BeginRun/EndRun), threads it through ObsHooks, and

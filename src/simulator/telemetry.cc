@@ -99,6 +99,13 @@ void WriteAggregateCsv(const SimResult& result, std::ostream& out) {
   out << "drain_failovers," << result.drain_failovers << '\n';
   out << "migrated_kv_bytes," << result.migrated_kv_bytes << '\n';
   out << "wasted_recompute_tokens," << result.WastedRecomputeTokens() << '\n';
+  out << "shed_admission," << result.num_shed_admission << '\n';
+  out << "shed_queue," << result.num_shed_queue << '\n';
+  out << "browned_out," << result.num_browned_out << '\n';
+  out << "overload_transitions," << result.overload_transitions << '\n';
+  out << "retries_denied," << result.num_retries_denied << '\n';
+  out << "hedges_suppressed," << result.num_hedges_suppressed << '\n';
+  out << "backpressure_skips," << result.num_backpressure_skips << '\n';
   out << "kv_peak_blocks_in_use," << result.peak_kv_blocks << '\n';
   out << "kv_total_blocks," << result.total_kv_blocks << '\n';
   out << "kv_peak_utilization," << result.PeakKvUtilization() << '\n';

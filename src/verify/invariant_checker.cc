@@ -24,6 +24,8 @@ std::string_view InvariantName(Invariant invariant) {
       return "batch_sanity";
     case Invariant::kMigrationConservation:
       return "migration_conservation";
+    case Invariant::kNoStarvation:
+      return "no_starvation";
   }
   return "unknown";
 }
@@ -75,6 +77,7 @@ void InvariantChecker::BeginRun(const Scheduler* scheduler, const KvAllocator* a
   any_applied_ = false;
   shadows_.clear();
   live_kv_.clear();
+  enqueue_counter_ = 0;
   ++runs_;
 }
 
@@ -321,6 +324,10 @@ void InvariantChecker::OnSchedulerEvent(SchedVerifyEvent event, const RequestSta
       shadow.generated = request->generated();
       shadow.in_flight = false;
       shadow.closed = false;
+      shadow.batch_lane = request->qos() == QosClass::kBatch;
+      shadow.arrival_s = request->arrival_time_s();
+      shadow.waiting = true;
+      shadow.enqueue_seq = ++enqueue_counter_;
       break;
     }
     case SchedVerifyEvent::kAdmit: {
@@ -329,9 +336,12 @@ void InvariantChecker::OnSchedulerEvent(SchedVerifyEvent event, const RequestSta
         AddViolation(Invariant::kBatchSanity, id, "admitted without being enqueued");
         break;
       }
-      if (it->second.closed) {
+      Shadow& shadow = it->second;
+      if (shadow.closed) {
         AddViolation(Invariant::kBatchSanity, id, "admitted after finishing or aborting");
       }
+      shadow.waiting = false;
+      CheckNoStarvation(request, shadow);
       break;
     }
     case SchedVerifyEvent::kAdopt: {
@@ -344,6 +354,9 @@ void InvariantChecker::OnSchedulerEvent(SchedVerifyEvent event, const RequestSta
       shadow.generated = request->generated();
       shadow.in_flight = false;
       shadow.closed = false;
+      shadow.batch_lane = request->qos() == QosClass::kBatch;
+      shadow.arrival_s = request->arrival_time_s();
+      shadow.waiting = false;
       if (!request->prefill_complete()) {
         AddViolation(Invariant::kBatchSanity, id, "adopted with prefill incomplete");
       }
@@ -361,6 +374,9 @@ void InvariantChecker::OnSchedulerEvent(SchedVerifyEvent event, const RequestSta
       shadow.in_flight = false;
       shadow.closed = false;
       shadow.migrated_in = true;
+      shadow.batch_lane = request->qos() == QosClass::kBatch;
+      shadow.arrival_s = request->arrival_time_s();
+      shadow.waiting = false;
       if (!request->prefill_complete()) {
         AddViolation(Invariant::kMigrationConservation, id,
                      "migrated request adopted with prefill incomplete — the transfer "
@@ -410,6 +426,7 @@ void InvariantChecker::OnSchedulerEvent(SchedVerifyEvent event, const RequestSta
       // A memory-pressure preemption of a migrated-in request is a legitimate
       // recompute; it just forfeits the no-recompute property going forward.
       shadow.migrated_in = false;
+      shadow.waiting = true;  // Back at the queue front for re-admission.
       break;
     }
     case SchedVerifyEvent::kAbort: {
@@ -422,6 +439,14 @@ void InvariantChecker::OnSchedulerEvent(SchedVerifyEvent event, const RequestSta
         AddViolation(Invariant::kBatchSanity, id, "aborted while inside an in-flight batch");
       }
       it->second.closed = true;
+      it->second.waiting = false;
+      // KV-clean abort: by the time the scheduler reports an abort (overload
+      // shed, CoDel drop, timeout, drain), the request's KV must already be
+      // released — the per-request form of the end-of-run zero-leak gate.
+      if (live_kv_.contains(id)) {
+        AddViolation(Invariant::kKvConservation, id,
+                     "aborted request still holds a live KV sequence (shed leak)");
+      }
       break;
     }
     case SchedVerifyEvent::kFinish: {
@@ -438,7 +463,34 @@ void InvariantChecker::OnSchedulerEvent(SchedVerifyEvent event, const RequestSta
         AddViolation(Invariant::kTokenConservation, id, out.str());
       }
       it->second.closed = true;
+      it->second.waiting = false;
       break;
+    }
+  }
+}
+
+void InvariantChecker::CheckNoStarvation(const RequestState* request, const Shadow& shadow) {
+  double aging_s = scheduler_->guarantees().batch_aging_s;
+  if (aging_s < 0.0 || shadow.batch_lane) {
+    return;  // No promise declared, or a batch-lane admission (never a jump).
+  }
+  if (request->preemptions() > 0) {
+    return;  // Preemption re-queues at the front; re-admission is exempt.
+  }
+  for (const auto& [other, s] : shadows_) {
+    if (other == request || !s.waiting || s.closed || !s.batch_lane) {
+      continue;
+    }
+    // Only requests enqueued before this one can be "jumped"; retry attempts
+    // enqueue late with their original arrival stamp and don't count.
+    if (s.enqueue_seq < shadow.enqueue_seq &&
+        request->arrival_time_s() - s.arrival_s > aging_s) {
+      std::ostringstream out;
+      out << "interactive request admitted past batch-lane request " << s.id
+          << " that had already waited " << request->arrival_time_s() - s.arrival_s
+          << "s at this request's arrival, beyond the declared " << aging_s
+          << "s aging bound";
+      AddViolation(Invariant::kNoStarvation, request->id(), out.str());
     }
   }
 }
@@ -504,7 +556,7 @@ std::string InvariantChecker::Report() const {
   if (total_violations_ == 0) {
     return out.str();
   }
-  constexpr int kNumInvariants = 7;
+  constexpr int kNumInvariants = 8;
   int64_t counts[kNumInvariants] = {};
   for (const Violation& violation : violations_) {
     ++counts[static_cast<int>(violation.invariant)];

@@ -34,6 +34,17 @@
 //                              intact (> 0, < output), and a prefill target
 //                              equal to the prompt — i.e. the migration
 //                              itself never recomputes or loses tokens.
+//  - no starvation (QoS lanes): when a policy declares a batch_aging_s bound,
+//                              no batch-lane request is bypassed at admission
+//                              by an interactive request that was enqueued
+//                              after it and arrived more than the bound
+//                              later. Preemption-driven re-admissions are
+//                              exempt (they legitimately rejoin at the queue
+//                              front). Additionally, kAbort cross-checks that
+//                              the aborted request holds no live KV — the
+//                              per-request form of the end-of-run zero-leak
+//                              gate, which is what makes overload shedding
+//                              provably clean.
 //
 // Violations carry the run label, iteration, request id and an expected-vs-
 // observed message. By default they accumulate (ok()/Report()); with
@@ -66,6 +77,7 @@ enum class Invariant {
   kClockMonotonic,
   kBatchSanity,
   kMigrationConservation,
+  kNoStarvation,
 };
 
 std::string_view InvariantName(Invariant invariant);
@@ -143,11 +155,22 @@ class InvariantChecker final : public VerifyHook {
     bool in_flight = false;    // Inside a scheduled, not-yet-applied batch.
     bool closed = false;       // Finished or aborted.
     bool migrated_in = false;  // Adopted via live migration, no recompute since.
+    // QoS no-starvation bookkeeping: lane, arrival, whether the request is
+    // currently waiting in the queue, and a monotone enqueue order stamp
+    // (retry attempts can be enqueued late with an early arrival time, so
+    // arrival alone cannot order admissions).
+    bool batch_lane = false;
+    double arrival_s = 0.0;
+    bool waiting = false;
+    int64_t enqueue_seq = -1;
   };
 
   void AddViolation(Invariant invariant, int64_t request_id, std::string message);
   // Runs the allocator self-audit and the live-sequence cross-check.
   void AuditKv(const char* where);
+  // QoS-lane admission-order check (see the no-starvation invariant above);
+  // called on every kAdmit with the admitted request's shadow.
+  void CheckNoStarvation(const RequestState* request, const Shadow& shadow);
   void CheckBatchSanity(const ScheduledBatch& batch);
   void CheckTokenBudget(const ScheduledBatch& batch);
   void CheckStallFree(const ScheduledBatch& batch);
@@ -169,6 +192,7 @@ class InvariantChecker final : public VerifyHook {
   bool any_applied_ = false;
   std::unordered_map<const RequestState*, Shadow> shadows_;
   std::unordered_set<int64_t> live_kv_;
+  int64_t enqueue_counter_ = 0;
 };
 
 }  // namespace sarathi

@@ -19,6 +19,12 @@ namespace sarathi {
 // dispatch race. kNone for normal requests.
 enum class PlannedAbort { kNone = 0, kMigrateOut, kDrain, kHedgeCancel };
 
+// QoS lane for overload control: interactive traffic keeps its latency SLO
+// for as long as possible while batch traffic is browned out first (output
+// caps, then shedding) when the replica saturates. Everything is interactive
+// unless a trace says otherwise, which keeps pre-QoS behavior unchanged.
+enum class QosClass { kInteractive = 0, kBatch = 1 };
+
 struct Request {
   int64_t id = 0;
   double arrival_time_s = 0.0;
@@ -26,6 +32,8 @@ struct Request {
   int64_t output_tokens = 0;
   // Tenant identity for fairness-aware scheduling (kVtc); 0 by default.
   int64_t client_id = 0;
+  // Overload-control lane (brownout ordering); interactive by default.
+  QosClass qos = QosClass::kInteractive;
   // Parallel sampling factor: the prompt prefills once and (num_samples - 1)
   // siblings fork at prefill completion, sharing prompt KV (paged-memory
   // policies only).

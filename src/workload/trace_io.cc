@@ -7,7 +7,9 @@
 namespace sarathi {
 namespace {
 
-constexpr char kHeader[] = "id,arrival_time_s,prompt_tokens,output_tokens,client_id";
+constexpr char kHeader[] = "id,arrival_time_s,prompt_tokens,output_tokens,client_id,qos";
+// Pre-QoS format, still accepted on read (qos defaults to interactive).
+constexpr char kClientHeader[] = "id,arrival_time_s,prompt_tokens,output_tokens,client_id";
 // Pre-multi-tenant format, still accepted on read (client_id defaults to 0).
 constexpr char kLegacyHeader[] = "id,arrival_time_s,prompt_tokens,output_tokens";
 
@@ -30,7 +32,8 @@ void WriteTraceCsv(const Trace& trace, std::ostream& out) {
   out << kHeader << '\n';
   for (const Request& r : trace.requests) {
     out << r.id << ',' << r.arrival_time_s << ',' << r.prompt_tokens << ','
-        << r.output_tokens << ',' << r.client_id << '\n';
+        << r.output_tokens << ',' << r.client_id << ','
+        << static_cast<int>(r.qos) << '\n';
   }
 }
 
@@ -53,7 +56,7 @@ StatusOr<Trace> ReadTraceCsv(std::istream& in) {
       continue;
     }
     if (!header_seen) {
-      if (line != kHeader && line != kLegacyHeader) {
+      if (line != kHeader && line != kClientHeader && line != kLegacyHeader) {
         return InvalidArgumentError("line " + std::to_string(line_number) +
                                     ": expected header '" + kHeader + "', got '" + line + "'");
       }
@@ -61,9 +64,9 @@ StatusOr<Trace> ReadTraceCsv(std::istream& in) {
       continue;
     }
     std::vector<std::string> fields = SplitCsvLine(line);
-    if (fields.size() != 4 && fields.size() != 5) {
+    if (fields.size() < 4 || fields.size() > 6) {
       return InvalidArgumentError("line " + std::to_string(line_number) +
-                                  ": expected 4 or 5 fields");
+                                  ": expected 4 to 6 fields");
     }
     Request request;
     try {
@@ -71,7 +74,15 @@ StatusOr<Trace> ReadTraceCsv(std::istream& in) {
       request.arrival_time_s = std::stod(fields[1]);
       request.prompt_tokens = std::stoll(fields[2]);
       request.output_tokens = std::stoll(fields[3]);
-      request.client_id = fields.size() == 5 ? std::stoll(fields[4]) : 0;
+      request.client_id = fields.size() >= 5 ? std::stoll(fields[4]) : 0;
+      if (fields.size() == 6) {
+        int qos = std::stoi(fields[5]);
+        if (qos != 0 && qos != 1) {
+          return InvalidArgumentError("line " + std::to_string(line_number) +
+                                      ": qos must be 0 (interactive) or 1 (batch)");
+        }
+        request.qos = static_cast<QosClass>(qos);
+      }
     } catch (const std::exception&) {
       return InvalidArgumentError("line " + std::to_string(line_number) + ": parse error");
     }

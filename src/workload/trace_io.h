@@ -5,8 +5,9 @@
 // exact cross-run reproducibility and users can bring their own production
 // traces.
 //
-// Format (header required):
-//   id,arrival_time_s,prompt_tokens,output_tokens
+// Format (header required; the two older, shorter headers are still
+// accepted on read — client_id defaults to 0 and qos to interactive):
+//   id,arrival_time_s,prompt_tokens,output_tokens,client_id,qos
 
 #ifndef SRC_WORKLOAD_TRACE_IO_H_
 #define SRC_WORKLOAD_TRACE_IO_H_

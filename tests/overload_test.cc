@@ -1,0 +1,431 @@
+// Tests for the overload-control subsystem (src/robustness): the degradation
+// ladder's hysteresis, CoDel bounded-queue behavior, SLO-aware admission
+// against the cost model, KV-clean shedding under the invariant checker,
+// QoS-lane brownout, and the cluster-level retry-storm dampers (token-bucket
+// retry budget, full-jitter backoff).
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/serving_system.h"
+#include "src/robustness/admission.h"
+#include "src/robustness/bounded_queue.h"
+#include "src/robustness/overload_controller.h"
+#include "src/robustness/retry_budget.h"
+#include "src/scheduler/scheduler_factory.h"
+#include "src/simulator/cluster_simulator.h"
+#include "src/simulator/replica_simulator.h"
+#include "src/verify/invariant_checker.h"
+#include "src/workload/trace.h"
+
+namespace sarathi {
+namespace {
+
+SimulatorOptions BaseOptions(const SchedulerConfig& scheduler) {
+  Deployment deployment = MistralOnA100();
+  SimulatorOptions options;
+  options.model = deployment.model;
+  options.cluster = deployment.cluster;
+  options.parallel = deployment.parallel;
+  options.scheduler = scheduler;
+  return options;
+}
+
+// Marks every k-th request as batch-lane work.
+void MarkBatch(Trace* trace, int64_t every) {
+  for (size_t i = 0; i < trace->requests.size(); ++i) {
+    if (static_cast<int64_t>(i) % every == 0) {
+      trace->requests[i].qos = QosClass::kBatch;
+    }
+  }
+}
+
+// ---------- OverloadController ladder ----------
+
+OverloadControllerOptions LadderOptions() {
+  OverloadControllerOptions options;
+  options.queue_delay_throughput_s = 1.0;
+  options.queue_delay_brownout_s = 2.0;
+  options.queue_delay_shed_s = 4.0;
+  options.exit_ratio = 0.5;
+  options.min_dwell_s = 1.0;
+  return options;
+}
+
+TEST(OverloadControllerTest, EscalatesImmediatelyOnAnySignal) {
+  OverloadController controller(LadderOptions());
+  EXPECT_EQ(controller.Update(0.0, {0.1, 0.0, 0.0}), OverloadLevel::kNormal);
+  // Queue delay crosses the shed rung: jumps straight to the top, no dwell.
+  EXPECT_EQ(controller.Update(0.1, {5.0, 0.0, 0.0}), OverloadLevel::kShed);
+  EXPECT_EQ(controller.escalations(), 1);
+}
+
+TEST(OverloadControllerTest, KvPressureEscalatesIndependently) {
+  OverloadControllerOptions options = LadderOptions();
+  options.kv_throughput = 0.85;
+  options.kv_brownout = 0.95;
+  options.kv_shed = 0.99;
+  OverloadController controller(options);
+  EXPECT_EQ(controller.Update(0.0, {0.0, 0.0, 0.90}), OverloadLevel::kThroughput);
+  EXPECT_EQ(controller.Update(0.1, {0.0, 0.0, 0.96}), OverloadLevel::kBrownout);
+}
+
+TEST(OverloadControllerTest, RecoveryIsDwellGatedAndOneRungAtATime) {
+  OverloadController controller(LadderOptions());
+  controller.Update(0.0, {5.0, 0.0, 0.0});
+  ASSERT_EQ(controller.level(), OverloadLevel::kShed);
+  // Signals drop to zero, but the dwell has not elapsed: stay put.
+  EXPECT_EQ(controller.Update(0.5, {0.0, 0.0, 0.0}), OverloadLevel::kShed);
+  // After the dwell, recovery steps down exactly one rung per update window,
+  // never straight back to normal.
+  EXPECT_EQ(controller.Update(1.5, {0.0, 0.0, 0.0}), OverloadLevel::kBrownout);
+  EXPECT_EQ(controller.Update(3.0, {0.0, 0.0, 0.0}), OverloadLevel::kThroughput);
+  EXPECT_EQ(controller.Update(4.5, {0.0, 0.0, 0.0}), OverloadLevel::kNormal);
+  EXPECT_EQ(controller.transitions(), 4);
+  EXPECT_EQ(controller.escalations(), 1);
+}
+
+TEST(OverloadControllerTest, HysteresisHoldsLevelUntilSignalsClearExitRatio) {
+  OverloadController controller(LadderOptions());
+  controller.Update(0.0, {1.5, 0.0, 0.0});
+  ASSERT_EQ(controller.level(), OverloadLevel::kThroughput);
+  // 0.8 is below the 1.0 enter rung but above exit_ratio * 1.0 = 0.5, so the
+  // level holds even after the dwell elapses (flap suppression).
+  EXPECT_EQ(controller.Update(2.0, {0.8, 0.0, 0.0}), OverloadLevel::kThroughput);
+  EXPECT_EQ(controller.Update(4.0, {0.4, 0.0, 0.0}), OverloadLevel::kNormal);
+}
+
+// ---------- CoDel bounded queue ----------
+
+TEST(CoDelQueueTest, NoDropsBelowTarget) {
+  CoDelOptions options;
+  options.target_s = 0.5;
+  options.interval_s = 1.0;
+  CoDelQueue codel(options);
+  for (double t = 0.0; t < 10.0; t += 0.1) {
+    EXPECT_FALSE(codel.ShouldDrop(0.4, t));
+  }
+  EXPECT_EQ(codel.drops(), 0);
+}
+
+TEST(CoDelQueueTest, DropsOnlyAfterSustainedExcess) {
+  CoDelOptions options;
+  options.target_s = 0.5;
+  options.interval_s = 1.0;
+  CoDelQueue codel(options);
+  // Delay above target, but for less than one interval: no drop yet.
+  EXPECT_FALSE(codel.ShouldDrop(1.0, 0.0));
+  EXPECT_FALSE(codel.ShouldDrop(1.0, 0.5));
+  // A full interval above target: the first drop fires.
+  EXPECT_TRUE(codel.ShouldDrop(1.0, 1.1));
+  EXPECT_TRUE(codel.dropping());
+  EXPECT_EQ(codel.drops(), 1);
+}
+
+TEST(CoDelQueueTest, DropScheduleAcceleratesWhilePersisting) {
+  CoDelOptions options;
+  options.target_s = 0.1;
+  options.interval_s = 1.0;
+  CoDelQueue codel(options);
+  // Enter dropping state.
+  codel.ShouldDrop(1.0, 0.0);
+  ASSERT_TRUE(codel.ShouldDrop(1.0, 1.05));
+  // Sweep forward and collect drop times; gaps must shrink (1/sqrt(count)).
+  std::vector<double> drop_times;
+  for (double t = 1.05; t < 6.0; t += 0.01) {
+    if (codel.ShouldDrop(1.0, t)) drop_times.push_back(t);
+  }
+  ASSERT_GE(drop_times.size(), 3u);
+  for (size_t i = 2; i < drop_times.size(); ++i) {
+    double prev_gap = drop_times[i - 1] - drop_times[i - 2];
+    double gap = drop_times[i] - drop_times[i - 1];
+    EXPECT_LE(gap, prev_gap + 1e-9);
+  }
+}
+
+TEST(CoDelQueueTest, RecoversWhenDelayClears) {
+  CoDelOptions options;
+  options.target_s = 0.5;
+  options.interval_s = 1.0;
+  CoDelQueue codel(options);
+  codel.ShouldDrop(1.0, 0.0);
+  ASSERT_TRUE(codel.ShouldDrop(1.0, 1.1));
+  // Delay drops under target: dropping state exits and a later excursion
+  // needs a fresh full interval before the next drop.
+  EXPECT_FALSE(codel.ShouldDrop(0.2, 1.2));
+  EXPECT_FALSE(codel.dropping());
+  EXPECT_FALSE(codel.ShouldDrop(1.0, 1.3));
+  EXPECT_FALSE(codel.ShouldDrop(1.0, 2.0));
+  EXPECT_TRUE(codel.ShouldDrop(1.0, 2.4));
+}
+
+// ---------- Admission predictor ----------
+
+TEST(AdmissionPredictorTest, PredictionGrowsWithBacklogAndDecodes) {
+  ServingSystem system(MistralOnA100(), SarathiConfig(512));
+  AdmissionPredictor predictor(&system.cost_model(), 512);
+  double empty = predictor.PredictTtftS(0, 0, 256);
+  double backlogged = predictor.PredictTtftS(8192, 0, 256);
+  double contended = predictor.PredictTtftS(8192, 16, 256);
+  EXPECT_GT(empty, 0.0);
+  EXPECT_GT(backlogged, empty);
+  EXPECT_GT(contended, backlogged);
+  // Retry-after is the modeled time for the excess backlog to clear.
+  EXPECT_GT(predictor.RetryAfterS(8192, 4, 256, /*ttft_slo_s=*/0.5), 0.0);
+  EXPECT_GT(predictor.PrefillRateTokensPerS(0), predictor.PrefillRateTokensPerS(16));
+}
+
+// Admission against the simulator as oracle: with the SLO generous nothing is
+// shed; with it tight, the admitted requests actually meet (a modeled
+// multiple of) the deadline while the rest shed at arrival with zero service.
+TEST(AdmissionPredictorTest, ShedAccuracyAgainstSimulatedTtft) {
+  SchedulerConfig scheduler = SarathiConfig(256);
+  Trace trace = UniformTrace(60, 1024, 8, /*qps=*/0.0);  // All arrive at t=0.
+
+  SimulatorOptions generous = BaseOptions(scheduler);
+  generous.overload.admission_ttft_slo_s = 1e9;
+  SimResult unshed = ReplicaSimulator(generous).Run(trace);
+  EXPECT_EQ(unshed.num_shed_admission, 0);
+  EXPECT_EQ(unshed.CountFailed(), 0);
+
+  SimulatorOptions tight = BaseOptions(scheduler);
+  tight.overload.admission_ttft_slo_s = 2.0;
+  SimResult shed = ReplicaSimulator(tight).Run(trace);
+  EXPECT_GT(shed.num_shed_admission, 0);
+  int64_t admitted = 0;
+  for (const RequestMetrics& r : shed.requests) {
+    if (r.failure == FailureKind::kShed) {
+      // Shed before any service: no tokens, no TTFT.
+      EXPECT_TRUE(r.token_times_s.empty());
+      continue;
+    }
+    ++admitted;
+    // The prediction is a model, not an oracle; admitted requests must land
+    // within a small factor of the SLO the predictor enforced.
+    EXPECT_LE(r.Ttft(), 2.0 * 1.5) << "request " << r.id;
+  }
+  EXPECT_GT(admitted, 0);
+  EXPECT_EQ(static_cast<int64_t>(shed.requests.size()),
+            admitted + shed.num_shed_admission);
+}
+
+// ---------- KV-clean shedding under the checker ----------
+
+TEST(OverloadSimulationTest, CoDelShedsAreKvCleanUnderChecker) {
+  InvariantChecker checker;
+  SchedulerConfig scheduler = SarathiConfig(256);
+  SimulatorOptions options = BaseOptions(scheduler);
+  options.kv_capacity_tokens = 8192;
+  options.kv_max_seq_len = 4096;
+  options.checker = &checker;
+  options.overload.queue_limit_s = 0.5;
+  options.overload.codel_interval_s = 0.25;
+  Trace trace = UniformTrace(80, 512, 16, /*qps=*/0.0);
+  SimResult result = ReplicaSimulator(options).Run(trace);
+  EXPECT_GT(result.num_shed_queue, 0);
+  EXPECT_TRUE(checker.ok()) << checker.Report();
+  // Everything either finished or shed; shed requests emitted no tokens.
+  for (const RequestMetrics& r : result.requests) {
+    if (r.failure == FailureKind::kShed) {
+      EXPECT_TRUE(r.token_times_s.empty());
+    } else {
+      EXPECT_TRUE(r.completed()) << "request " << r.id;
+    }
+  }
+}
+
+TEST(OverloadSimulationTest, AdmissionShedsAreKvCleanUnderChecker) {
+  InvariantChecker checker;
+  SchedulerConfig scheduler = SarathiConfig(256);
+  SimulatorOptions options = BaseOptions(scheduler);
+  options.checker = &checker;
+  options.overload.admission_ttft_slo_s = 1.5;
+  Trace trace = UniformTrace(60, 1024, 8, /*qps=*/0.0);
+  SimResult result = ReplicaSimulator(options).Run(trace);
+  EXPECT_GT(result.num_shed_admission, 0);
+  EXPECT_TRUE(checker.ok()) << checker.Report();
+}
+
+// ---------- Brownout (QoS lanes) ----------
+
+TEST(OverloadSimulationTest, BrownoutCapsOnlyBatchLaneOutput) {
+  InvariantChecker checker;
+  SchedulerConfig scheduler = SarathiConfig(256);
+  scheduler.qos_lanes = true;
+  SimulatorOptions options = BaseOptions(scheduler);
+  options.checker = &checker;
+  options.overload.brownout = true;
+  options.overload.brownout_output_cap = 4;
+  options.overload.controller.queue_delay_throughput_s = 0.25;
+  options.overload.controller.queue_delay_brownout_s = 0.5;
+  options.overload.controller.queue_delay_shed_s = 1e9;  // Never shed here.
+  options.overload.controller.min_dwell_s = 0.5;
+  // Brownout is an arrival-time decision, so the trace needs arrivals landing
+  // *after* the head-of-line burst has tripped the ladder: a big instant
+  // burst builds queue delay, then a trickle (long outputs so a cap at 4
+  // tokens is unambiguous) arrives into the browned-out window.
+  Trace trace = UniformTrace(32, 512, 40, /*qps=*/0.0);
+  Trace trickle = UniformTrace(32, 256, 40, /*qps=*/10.0);
+  for (Request r : trickle.requests) {
+    r.id += static_cast<int64_t>(trace.requests.size());
+    r.arrival_time_s += 1.0;
+    trace.requests.push_back(r);
+  }
+  MarkBatch(&trace, /*every=*/2);
+  SimResult result = ReplicaSimulator(options).Run(trace);
+  EXPECT_GT(result.num_browned_out, 0);
+  EXPECT_GT(result.overload_transitions, 0);
+  EXPECT_TRUE(checker.ok()) << checker.Report();
+  int64_t capped = 0;
+  for (size_t i = 0; i < result.requests.size(); ++i) {
+    const RequestMetrics& r = result.requests[i];
+    ASSERT_TRUE(r.completed()) << "request " << r.id;
+    if (trace.requests[i].qos == QosClass::kInteractive) {
+      // Interactive work is never degraded by brownout.
+      EXPECT_EQ(static_cast<int64_t>(r.token_times_s.size()),
+                trace.requests[i].output_tokens)
+          << "request " << r.id;
+    } else if (static_cast<int64_t>(r.token_times_s.size()) <
+               trace.requests[i].output_tokens) {
+      ++capped;
+      EXPECT_EQ(r.token_times_s.size(), 4u) << "request " << r.id;
+    }
+  }
+  EXPECT_EQ(capped, result.num_browned_out);
+}
+
+TEST(OverloadSimulationTest, ShedRungDropsOnlyBatchArrivals) {
+  SchedulerConfig scheduler = SarathiConfig(256);
+  scheduler.qos_lanes = true;
+  SimulatorOptions options = BaseOptions(scheduler);
+  options.overload.brownout = true;
+  options.overload.brownout_output_cap = 0;  // Isolate the shed rung.
+  options.overload.controller.queue_delay_throughput_s = 0.1;
+  options.overload.controller.queue_delay_brownout_s = 0.2;
+  options.overload.controller.queue_delay_shed_s = 0.4;
+  options.overload.controller.min_dwell_s = 0.25;
+  // A steady trickle behind a big head-of-line burst: the ladder reaches
+  // kShed while batch-lane requests are still arriving.
+  Trace trace = UniformTrace(40, 1024, 8, /*qps=*/0.0);
+  Trace trickle = UniformTrace(40, 64, 4, /*qps=*/20.0);
+  for (Request r : trickle.requests) {
+    r.id += static_cast<int64_t>(trace.requests.size());
+    r.arrival_time_s += 1.0;
+    trace.requests.push_back(r);
+  }
+  MarkBatch(&trace, /*every=*/2);
+  SimResult result = ReplicaSimulator(options).Run(trace);
+  ASSERT_GT(result.num_shed_admission, 0);
+  for (size_t i = 0; i < result.requests.size(); ++i) {
+    if (result.requests[i].failure == FailureKind::kShed) {
+      EXPECT_EQ(trace.requests[i].qos, QosClass::kBatch)
+          << "interactive request " << result.requests[i].id << " was shed";
+    }
+  }
+}
+
+// ---------- Retry budget and jitter ----------
+
+TEST(RetryBudgetTest, CreditsPerRequestAndCapsAtBurst) {
+  RetryBudget budget(/*ratio=*/0.1, /*burst=*/4.0);
+  ASSERT_TRUE(budget.enabled());
+  for (int i = 0; i < 100; ++i) budget.OnRequest();
+  EXPECT_DOUBLE_EQ(budget.balance(), 4.0);  // Clamped at the burst cap.
+  int granted = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (budget.TryConsume()) ++granted;
+  }
+  EXPECT_EQ(granted, 4);
+  EXPECT_EQ(budget.consumed(), 4);
+  EXPECT_EQ(budget.denied(), 6);
+  // New admissions refill the bucket.
+  for (int i = 0; i < 10; ++i) budget.OnRequest();
+  EXPECT_TRUE(budget.TryConsume());
+}
+
+TEST(RetryBudgetTest, DisabledBudgetAlwaysGrants) {
+  RetryBudget budget(/*ratio=*/0.0, /*burst=*/4.0);
+  EXPECT_FALSE(budget.enabled());
+  for (int i = 0; i < 50; ++i) EXPECT_TRUE(budget.TryConsume());
+  EXPECT_EQ(budget.denied(), 0);
+}
+
+TEST(FullJitterBackoffTest, DeterministicBoundedAndSpread) {
+  // Deterministic in (seed, id, attempt).
+  EXPECT_DOUBLE_EQ(FullJitterBackoffS(1.0, 2, 7, 99),
+                   FullJitterBackoffS(1.0, 2, 7, 99));
+  // Full jitter: uniform in [0, base * 2^attempt).
+  for (int attempt = 0; attempt < 6; ++attempt) {
+    for (int64_t id = 0; id < 32; ++id) {
+      double b = FullJitterBackoffS(0.5, attempt, id, 1);
+      EXPECT_GE(b, 0.0);
+      EXPECT_LT(b, 0.5 * static_cast<double>(1 << attempt));
+    }
+  }
+  // Different requests decorrelate (the point of jitter): not all equal.
+  double first = FullJitterBackoffS(1.0, 3, 0, 5);
+  bool any_different = false;
+  for (int64_t id = 1; id < 16; ++id) {
+    if (FullJitterBackoffS(1.0, 3, id, 5) != first) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+// Storm regression: with crashy replicas and no damper, every failure retries
+// in lockstep. The token bucket provably bounds total retries at
+// ratio * admissions + burst, and the denial counter surfaces the shed storm.
+TEST(RetryStormTest, TokenBucketBoundsClusterRetries) {
+  SchedulerConfig scheduler = SarathiConfig(512);
+  ClusterOptions cluster;
+  cluster.replica = BaseOptions(scheduler);
+  cluster.num_replicas = 2;
+  cluster.routing = RoutingPolicy::kLeastOutstandingWork;
+  cluster.faults.seed = 11;
+  cluster.faults.mtbf_s = 3.0;
+  cluster.faults.mttr_s = 1.0;
+  cluster.faults.min_outage_s = 0.5;
+  cluster.max_retries = 4;
+  Trace trace = UniformTrace(80, 500, 16, /*qps=*/4.0);
+
+  SimResult undamped = ClusterSimulator(cluster).Run(trace);
+  ASSERT_GT(undamped.TotalRetries(), 0) << "fault schedule produced no retries";
+  EXPECT_EQ(undamped.num_retries_denied, 0);
+
+  ClusterOptions damped = cluster;
+  damped.retry_budget_ratio = 0.05;
+  damped.retry_budget_burst = 2.0;
+  damped.retry_jitter = true;
+  SimResult bounded = ClusterSimulator(damped).Run(trace);
+  int64_t cap = static_cast<int64_t>(0.05 * static_cast<double>(trace.size())) + 2;
+  EXPECT_LE(bounded.TotalRetries(), cap);
+  EXPECT_LE(bounded.TotalRetries(), undamped.TotalRetries());
+  EXPECT_GT(bounded.num_retries_denied, 0);
+}
+
+// Jittered backoff must not change what completes, only when retries land:
+// the run stays deterministic and every surviving request still finishes.
+TEST(RetryStormTest, JitteredBackoffIsDeterministic) {
+  SchedulerConfig scheduler = SarathiConfig(512);
+  ClusterOptions cluster;
+  cluster.replica = BaseOptions(scheduler);
+  cluster.num_replicas = 2;
+  cluster.faults.seed = 3;
+  cluster.faults.mtbf_s = 4.0;
+  cluster.faults.mttr_s = 1.0;
+  cluster.faults.min_outage_s = 0.5;
+  cluster.retry_jitter = true;
+  Trace trace = UniformTrace(40, 400, 12, /*qps=*/5.0);
+  SimResult a = ClusterSimulator(cluster).Run(trace);
+  SimResult b = ClusterSimulator(cluster).Run(trace);
+  ASSERT_EQ(a.requests.size(), b.requests.size());
+  for (size_t i = 0; i < a.requests.size(); ++i) {
+    EXPECT_EQ(a.requests[i].completion_s, b.requests[i].completion_s);
+    EXPECT_EQ(a.requests[i].retries, b.requests[i].retries);
+  }
+}
+
+}  // namespace
+}  // namespace sarathi

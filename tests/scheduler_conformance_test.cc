@@ -57,17 +57,38 @@ class SchedulerConformanceTest : public testing::TestWithParam<ConformanceParam>
                           std::string(AllocatorKindName(GetParam().allocator)));
   }
 
-  RequestState* Add(int64_t prompt, int64_t output, int64_t client_id = 0) {
+  RequestState* Add(int64_t prompt, int64_t output, int64_t client_id = 0,
+                    QosClass qos = QosClass::kInteractive) {
     Request r;
     r.id = next_id_++;
     r.prompt_tokens = prompt;
     r.output_tokens = output;
     r.client_id = client_id;
+    r.arrival_time_s = now_;
+    r.qos = qos;
     states_.push_back(std::make_unique<RequestState>(r));
     RequestState* state = states_.back().get();
     obs_.SetNow(now_);
     scheduler_->Enqueue(state);
     return state;
+  }
+
+  // Tears down the SetUp scheduler (nothing has run yet) and rebuilds it
+  // with QoS lanes enabled, re-attaching the checker.
+  void RebuildWithQosLanes() {
+    checker_.EndRun();
+    ASSERT_TRUE(checker_.ok()) << checker_.Report();
+    SchedulerConfig config;
+    config.policy = GetParam().policy;
+    config.token_budget = 128;
+    config.max_batch_size = 6;
+    config.client_weights = {{0, 1.0}, {1, 2.0}};
+    config.qos_lanes = true;
+    config.batch_aging_s = 60.0;
+    scheduler_ = MakeScheduler(config, allocator_.get());
+    scheduler_->set_obs(&obs_);
+    checker_.BeginRun(scheduler_.get(), allocator_.get(),
+                      std::string(SchedulerPolicyName(GetParam().policy)) + "/qos");
   }
 
   // One schedule/complete iteration. Returns false on an empty batch.
@@ -182,6 +203,74 @@ TEST_P(SchedulerConformanceTest, MemoryPressureStillConverges) {
   }
   RunToCompletion();
   for (RequestState* state : all) {
+    EXPECT_TRUE(state->finished()) << "request " << state->id();
+  }
+  EXPECT_EQ(allocator_->used_units(), 0);
+  FinishRun();
+}
+
+// The overload-control admission seam: every policy must expose the oldest
+// queued request and the remaining prefill backlog (what the SLO-aware
+// admission predictor and the CoDel drop loop consume), and support a
+// CoDel-style abort of the head without disturbing the rest of the run.
+TEST_P(SchedulerConformanceTest, AdmissionSeamReportsBacklogAndAbortsHead) {
+  EXPECT_EQ(scheduler_->OldestQueued(), nullptr);
+  EXPECT_EQ(scheduler_->QueuedPrefillTokens(), 0);
+  RequestState* first = Add(100, 5);
+  now_ += 0.5;
+  Add(200, 5);
+  now_ += 0.5;
+  Add(300, 5);
+  EXPECT_EQ(scheduler_->OldestQueued(), first);
+  EXPECT_EQ(scheduler_->QueuedPrefillTokens(), 600);
+  // CoDel-style shed: abort the head-of-line request from the queue.
+  RequestState* oldest = scheduler_->OldestQueued();
+  ASSERT_TRUE(scheduler_->Abort(oldest));
+  EXPECT_EQ(oldest->phase(), RequestPhase::kFailed);
+  EXPECT_NE(scheduler_->OldestQueued(), oldest);
+  EXPECT_EQ(scheduler_->QueuedPrefillTokens(), 500);
+  RunToCompletion();
+  EXPECT_EQ(allocator_->num_sequences(), 0);
+  EXPECT_EQ(allocator_->used_units(), 0);
+  FinishRun();
+}
+
+// QoS lanes: an interactive arrival bypasses not-yet-aged batch work in the
+// queue, every policy still drives both lanes to completion, and the
+// no-starvation invariant (where the policy declares it) holds throughout.
+TEST_P(SchedulerConformanceTest, QosLanesCompleteBothLanesWithoutStarvation) {
+  RebuildWithQosLanes();
+  RequestState* batch = Add(128, 6, /*client_id=*/0, QosClass::kBatch);
+  now_ += 0.01;  // Interactive arrives later but should still schedule first.
+  RequestState* interactive = Add(128, 6);
+  // Policies that declare the aging bound insert the fresh interactive
+  // arrival ahead of the un-aged batch request.
+  if (scheduler_->guarantees().batch_aging_s >= 0.0) {
+    EXPECT_EQ(scheduler_->OldestQueued(), batch);  // Oldest is still batch...
+    ScheduledBatch peek = scheduler_->Schedule();
+    ASSERT_FALSE(peek.empty());
+    bool interactive_scheduled = false;
+    for (const BatchItem& item : peek.items) {
+      if (item.request == interactive) interactive_scheduled = true;
+    }
+    EXPECT_TRUE(interactive_scheduled)
+        << "interactive arrival did not bypass the batch lane";
+    checker_.OnBatchScheduled(peek, now_);
+    now_ += 0.01;
+    obs_.SetNow(now_);
+    scheduler_->ObserveIterationTime(peek, 0.01);
+    scheduler_->OnBatchComplete(peek);
+    checker_.OnBatchApplied(peek, now_);
+  }
+  std::vector<RequestState*> rest;
+  for (int i = 0; i < 4; ++i) {
+    rest.push_back(Add(64, 8, /*client_id=*/1,
+                       i % 2 == 0 ? QosClass::kBatch : QosClass::kInteractive));
+  }
+  RunToCompletion();
+  EXPECT_TRUE(batch->finished());
+  EXPECT_TRUE(interactive->finished());
+  for (RequestState* state : rest) {
     EXPECT_TRUE(state->finished()) << "request " << state->id();
   }
   EXPECT_EQ(allocator_->used_units(), 0);

@@ -103,6 +103,15 @@ struct FuzzCase {
   double outage_mtbf_s = 0.0;
   double outage_mttr_s = 0.0;
 
+  // Overload-control dimension (drawn after everything else so pre-existing
+  // seeds keep their cases byte-identical): replica-level admission/CoDel/
+  // brownout knobs, QoS lane marking, and the cluster-level storm dampers.
+  OverloadOptions overload;
+  bool retry_jitter = false;
+  double retry_budget_ratio = 0.0;
+  double backpressure_queue_s = 0.0;
+  bool overload_burst = false;  // Trace got an appended arrival burst.
+
   std::string Summary() const;
 };
 
@@ -129,6 +138,16 @@ std::string FuzzCase::Summary() const {
     out << ", outages (mtbf=" << outage_mtbf_s << ")";
   } else if (faults.any_degradation()) {
     out << ", standalone gray (degrade-mtbf=" << faults.degrade_mtbf_s << ")";
+  }
+  if (overload.enabled() || retry_budget_ratio > 0.0 || backpressure_queue_s > 0.0) {
+    out << ", overload (";
+    if (overload.admission_ttft_slo_s > 0.0) out << "admission=" << overload.admission_ttft_slo_s;
+    if (overload.queue_limit_s > 0.0) out << " codel=" << overload.queue_limit_s;
+    if (overload.brownout) out << " brownout";
+    if (retry_budget_ratio > 0.0) out << " retry-budget=" << retry_budget_ratio;
+    if (backpressure_queue_s > 0.0) out << " backpressure=" << backpressure_queue_s;
+    if (overload_burst) out << " burst";
+    out << ")";
   }
   return out.str();
 }
@@ -232,6 +251,74 @@ FuzzCase MakeCase(uint64_t seed) {
       if (rng.Uniform(0.0, 1.0) < 0.5) fuzz_case.hedge_after_s = rng.Uniform(0.25, 2.0);
     }
   }
+
+  // Overload control. Drawn after the gray-failure block so seeds that
+  // predate this dimension keep their cases byte-identical. Once the gate
+  // fires the seed is new coverage, so retagging earlier requests with QoS
+  // lanes and appending an arrival burst is fair game.
+  if (rng.Uniform(0.0, 1.0) < 0.5) {
+    fuzz_case.scheduler.qos_lanes = true;
+    fuzz_case.scheduler.batch_aging_s = rng.Uniform(0.5, 3.0);
+    double batch_frac = rng.Uniform(0.2, 0.6);
+    for (Request& r : fuzz_case.trace.requests) {
+      if (rng.Uniform(0.0, 1.0) < batch_frac) r.qos = QosClass::kBatch;
+    }
+    if (rng.Uniform(0.0, 1.0) < 0.5) {
+      fuzz_case.overload.admission_ttft_slo_s = rng.Uniform(0.5, 4.0);
+    }
+    if (rng.Uniform(0.0, 1.0) < 0.5) {
+      fuzz_case.overload.queue_limit_s = rng.Uniform(0.2, 2.0);
+      fuzz_case.overload.codel_interval_s = rng.Uniform(0.25, 1.0);
+    }
+    if (rng.Uniform(0.0, 1.0) < 0.5) {
+      fuzz_case.overload.brownout = true;
+      OverloadControllerOptions& ladder = fuzz_case.overload.controller;
+      ladder.queue_delay_throughput_s = rng.Uniform(0.1, 0.5);
+      ladder.queue_delay_brownout_s =
+          ladder.queue_delay_throughput_s + rng.Uniform(0.2, 1.0);
+      ladder.queue_delay_shed_s = ladder.queue_delay_brownout_s + rng.Uniform(0.5, 2.0);
+      ladder.min_dwell_s = rng.Uniform(0.2, 1.0);
+      fuzz_case.overload.brownout_output_cap = rng.UniformInt(4, 32);
+    }
+    if (fuzz_case.cluster_mode) {
+      fuzz_case.retry_jitter = rng.UniformInt(0, 1) == 1;
+      if (rng.Uniform(0.0, 1.0) < 0.5) fuzz_case.retry_budget_ratio = rng.Uniform(0.05, 0.5);
+      if (rng.Uniform(0.0, 1.0) < 0.5) fuzz_case.backpressure_queue_s = rng.Uniform(0.5, 3.0);
+    }
+    // Arrival burst: a pile of extra requests lands at one instant partway
+    // through the trace so the shed/brownout paths actually trip.
+    if (rng.Uniform(0.0, 1.0) < 0.6) {
+      fuzz_case.overload_burst = true;
+      double horizon = 0.0;
+      for (const Request& r : fuzz_case.trace.requests) {
+        horizon = std::max(horizon, r.arrival_time_s);
+      }
+      double burst_t = rng.Uniform(0.0, std::max(horizon, 0.5));
+      int64_t burst_n = rng.UniformInt(8, 24);
+      int64_t next_id = static_cast<int64_t>(fuzz_case.trace.size());
+      for (int64_t j = 0; j < burst_n; ++j) {
+        Request r;
+        r.id = next_id++;
+        r.arrival_time_s = burst_t;
+        // Stay inside the KV sizing drawn above: prompt + 2*output must fit
+        // kv_max_seq_len or crash-recompute re-admission could deadlock.
+        r.prompt_tokens = rng.UniformInt(1, std::max<int64_t>(1, fuzz_case.kv_max_seq_len / 2));
+        int64_t max_output =
+            std::max<int64_t>(1, (fuzz_case.kv_max_seq_len - r.prompt_tokens) / 2);
+        r.output_tokens = rng.UniformInt(1, std::min<int64_t>(48, max_output));
+        r.client_id = rng.UniformInt(0, 3);
+        if (rng.Uniform(0.0, 1.0) < batch_frac) r.qos = QosClass::kBatch;
+        if (rng.Uniform(0.0, 1.0) < 0.25) r.deadline_s = rng.Uniform(0.5, 10.0);
+        fuzz_case.trace.requests.push_back(r);
+      }
+      // The replica simulator consumes arrivals in trace order; keep the
+      // trace sorted (stable, so equal-time order stays deterministic).
+      std::stable_sort(fuzz_case.trace.requests.begin(), fuzz_case.trace.requests.end(),
+                       [](const Request& a, const Request& b) {
+                         return a.arrival_time_s < b.arrival_time_s;
+                       });
+    }
+  }
   return fuzz_case;
 }
 
@@ -255,6 +342,7 @@ SimulatorOptions MakeReplicaOptions(const FuzzCase& fuzz_case, SchedulerPolicy p
   options.kv_capacity_tokens = fuzz_case.kv_capacity_tokens;
   options.kv_max_seq_len = fuzz_case.kv_max_seq_len;
   options.record_iterations = true;
+  options.overload = fuzz_case.overload;
   options.checker = checker;
   return options;
 }
@@ -284,6 +372,9 @@ std::string RunCell(const FuzzCase& fuzz_case, SchedulerPolicy policy, Allocator
     cluster.faults = fuzz_case.faults;
     cluster.degraded_failover = fuzz_case.degraded_failover;
     cluster.hedge_after_s = fuzz_case.hedge_after_s;
+    cluster.retry_jitter = fuzz_case.retry_jitter;
+    cluster.retry_budget_ratio = fuzz_case.retry_budget_ratio;
+    cluster.backpressure_queue_s = fuzz_case.backpressure_queue_s;
     ClusterSimulator simulator(cluster);
     simulator.Run(trace);
   } else {
@@ -368,6 +459,23 @@ DeterminismOutcome RunDeterminismCheck(const FuzzCase& fuzz_case, uint64_t seed)
         seed % 2 == 0 ? FailoverMode::kLiveMigrate : FailoverMode::kRecompute;
   }
   if (cluster.hedge_after_s <= 0.0 && seed % 3 == 0) cluster.hedge_after_s = 0.5;
+  // Overload control is likewise always inside the byte-compare: seeds that
+  // didn't draw the dimension get deterministic, seed-rotated defaults so the
+  // shed/brownout/backpressure paths run under the double-run comparison.
+  cluster.retry_jitter = fuzz_case.retry_jitter;
+  cluster.retry_budget_ratio = fuzz_case.retry_budget_ratio;
+  cluster.backpressure_queue_s = fuzz_case.backpressure_queue_s;
+  OverloadOptions& overload = cluster.replica.overload;
+  if (!overload.enabled()) {
+    overload.admission_ttft_slo_s = 1.0 + static_cast<double>(seed % 3);
+    overload.queue_limit_s = 0.5;
+    overload.brownout = seed % 2 == 0;
+  }
+  if (!cluster.retry_jitter && seed % 2 == 0) cluster.retry_jitter = true;
+  if (cluster.retry_budget_ratio <= 0.0 && seed % 2 == 1) cluster.retry_budget_ratio = 0.25;
+  if (cluster.backpressure_queue_s <= 0.0 && seed % 3 == 1) {
+    cluster.backpressure_queue_s = 1.0;
+  }
 
   DeterminismOutcome outcome;
   std::string first;

@@ -61,6 +61,20 @@ Gray failures (degraded replicas; also route through the cluster simulator):
   --hedge-after=S                      hedge requests stuck on a degraded
                                        replica after S seconds (0 = off)
   --failover=none|recompute|migrate    degraded-replica failover (default none)
+Overload control (any of these also routes through the cluster simulator):
+  --admission=S                        SLO-aware admission: shed arrivals whose
+                                       predicted TTFT exceeds S seconds (0 = off)
+  --queue-limit=S                      CoDel bounded queue: drop from the head
+                                       once its delay stands above S (0 = off)
+  --brownout                           enable the overload ladder (budget growth,
+                                       batch-lane output caps and shedding)
+  --batch-frac=F                       mark fraction F of requests batch-lane
+                                       (QoS lanes on; rest are interactive)
+  --retry-budget=R                     token-bucket retry budget: R retry tokens
+                                       credited per admitted request (0 = off)
+  --retry-jitter                       full-jitter crash-retry backoff
+  --backpressure=S                     route around replicas with more than S
+                                       seconds of outstanding work (0 = off)
 Evaluation:
   --capacity                           binary-search max sustainable QPS
   --slo=strict|relaxed|SECONDS         P99-TBT target (default strict)
@@ -299,7 +313,41 @@ int RunMain(int argc, char** argv) {
   faults.degrade_max_factor = *degrade_max;
   faults.jitter_probability = *jitter_prob;
   faults.jitter_max_extra = *jitter_max;
-  bool fault_run = faults.any_faults() || *shed_after > 0.0;
+
+  // ---- Overload-control flags ----
+  auto admission = args.GetDouble("admission", 0.0);
+  auto queue_limit = args.GetDouble("queue-limit", 0.0);
+  bool brownout = args.GetBool("brownout", false);
+  auto batch_frac = args.GetDouble("batch-frac", 0.0);
+  auto retry_budget = args.GetDouble("retry-budget", 0.0);
+  bool retry_jitter = args.GetBool("retry-jitter", false);
+  auto backpressure = args.GetDouble("backpressure", 0.0);
+  if (!admission.ok() || !queue_limit.ok() || !batch_frac.ok() || !retry_budget.ok() ||
+      !backpressure.ok() || *batch_frac < 0.0 || *batch_frac > 1.0) {
+    std::cerr << "bad overload flag (--admission/--queue-limit/--batch-frac/"
+                 "--retry-budget/--backpressure)\n";
+    return 2;
+  }
+  OverloadOptions overload;
+  overload.admission_ttft_slo_s = *admission;
+  overload.queue_limit_s = *queue_limit;
+  overload.brownout = brownout;
+  bool overload_run = overload.enabled() || *batch_frac > 0.0 || *retry_budget > 0.0 ||
+                      retry_jitter || *backpressure > 0.0;
+  if (*batch_frac > 0.0) {
+    // QoS lanes: spread the batch-lane marks evenly over the trace (request i
+    // is batch when the running fraction crosses an integer), deterministic
+    // for a given trace and fraction.
+    scheduler->qos_lanes = true;
+    for (size_t i = 0; i < trace->requests.size(); ++i) {
+      int64_t before = static_cast<int64_t>(static_cast<double>(i) * *batch_frac);
+      int64_t after = static_cast<int64_t>(static_cast<double>(i + 1) * *batch_frac);
+      if (after > before) {
+        trace->requests[i].qos = QosClass::kBatch;
+      }
+    }
+  }
+  bool fault_run = faults.any_faults() || *shed_after > 0.0 || overload_run;
 
   // ---- Observability sinks ----
   std::string trace_out = args.GetString("trace-out", "");
@@ -333,10 +381,14 @@ int RunMain(int argc, char** argv) {
     cluster.replica.record_iterations = record;
     cluster.replica.tracer = tracer_ptr;
     cluster.replica.metrics = metrics_ptr;
+    cluster.replica.overload = overload;
     cluster.num_replicas = static_cast<int>(*replicas);
     cluster.faults = faults;
     cluster.max_retries = static_cast<int>(*max_retries);
     cluster.shed_outstanding_s = *shed_after;
+    cluster.retry_jitter = retry_jitter;
+    cluster.retry_budget_ratio = *retry_budget;
+    cluster.backpressure_queue_s = *backpressure;
     cluster.prober.probe_interval_s = *probe_interval;
     cluster.hedge_after_s = *hedge_after;
     cluster.degraded_failover = failover;
@@ -388,6 +440,15 @@ int RunMain(int argc, char** argv) {
       table.AddRow({"migrations", Table::Int(result.migrations)});
       table.AddRow({"drain failovers", Table::Int(result.drain_failovers)});
       table.AddRow({"migrated KV bytes", Table::Int(result.migrated_kv_bytes)});
+    }
+    if (overload_run) {
+      table.AddRow({"shed (admission/queue)", Table::Int(result.num_shed_admission) + "/" +
+                                                  Table::Int(result.num_shed_queue)});
+      table.AddRow({"browned out", Table::Int(result.num_browned_out)});
+      table.AddRow({"overload transitions", Table::Int(result.overload_transitions)});
+      table.AddRow({"retries denied", Table::Int(result.num_retries_denied)});
+      table.AddRow({"hedges suppressed", Table::Int(result.num_hedges_suppressed)});
+      table.AddRow({"backpressure skips", Table::Int(result.num_backpressure_skips)});
     }
   }
   table.Print();
