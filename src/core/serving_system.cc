@@ -94,10 +94,13 @@ SimulatorOptions ServingSystem::MakeSimOptions(bool record_iterations) const {
 }
 
 SimResult ServingSystem::Serve(const Trace& trace, bool record_iterations, Tracer* tracer,
-                               MetricsRegistry* metrics) const {
+                               MetricsRegistry* metrics, FlightRecorder* flight,
+                               SloMonitor* slo) const {
   SimulatorOptions options = MakeSimOptions(record_iterations);
   options.tracer = tracer;
   options.metrics = metrics;
+  options.flight = flight;
+  options.slo = slo;
   ReplicaSimulator simulator(options);
   return simulator.Run(trace);
 }

@@ -53,10 +53,13 @@ class ServingSystem {
   ServingSystem(const Deployment& deployment, const SchedulerConfig& scheduler);
 
   // Serves the trace on the simulated replica. Optional observability sinks
-  // (either may be null): the tracer collects request lifecycle spans and
-  // iteration slices, the registry windowed time series.
+  // (any may be null): the tracer collects request lifecycle spans and
+  // iteration slices, the registry windowed time series, the flight recorder
+  // a ring of recent events (auto-dumped on triggers), and the SLO monitor
+  // burn-rate alerts fed live from the run.
   SimResult Serve(const Trace& trace, bool record_iterations = false,
-                  Tracer* tracer = nullptr, MetricsRegistry* metrics = nullptr) const;
+                  Tracer* tracer = nullptr, MetricsRegistry* metrics = nullptr,
+                  FlightRecorder* flight = nullptr, SloMonitor* slo = nullptr) const;
 
   // SLO thresholds for this deployment (Table 3 derivation).
   SloSpec Slo() const;

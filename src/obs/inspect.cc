@@ -1,0 +1,548 @@
+#include "src/obs/inspect.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <initializer_list>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+namespace sarathi {
+namespace {
+
+// Column lookup for one parsed CSV: header name -> index, with typed field
+// accessors that tolerate missing columns (struct defaults stand in).
+class CsvView {
+ public:
+  Status Parse(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) {
+      return InvalidArgumentError("cannot open " + path);
+    }
+    std::string line;
+    if (!std::getline(in, line)) {
+      return InvalidArgumentError(path + " is empty (no header)");
+    }
+    std::vector<std::string> header = SplitCsvLine(line);
+    for (size_t i = 0; i < header.size(); ++i) {
+      columns_[header[i]] = i;
+    }
+    while (std::getline(in, line)) {
+      if (!line.empty()) {
+        rows_.push_back(SplitCsvLine(line));
+      }
+    }
+    return Status::Ok();
+  }
+
+  bool Has(const std::string& column) const { return columns_.count(column) > 0; }
+  size_t num_rows() const { return rows_.size(); }
+
+  const std::string* Field(size_t row, const std::string& column) const {
+    auto it = columns_.find(column);
+    if (it == columns_.end() || it->second >= rows_[row].size()) {
+      return nullptr;
+    }
+    return &rows_[row][it->second];
+  }
+  double Double(size_t row, const std::string& column, double fallback) const {
+    const std::string* field = Field(row, column);
+    return field == nullptr ? fallback : std::strtod(field->c_str(), nullptr);
+  }
+  int64_t Int(size_t row, const std::string& column, int64_t fallback) const {
+    const std::string* field = Field(row, column);
+    return field == nullptr ? fallback : std::strtoll(field->c_str(), nullptr, 10);
+  }
+  std::string String(size_t row, const std::string& column) const {
+    const std::string* field = Field(row, column);
+    return field == nullptr ? std::string() : *field;
+  }
+
+ private:
+  std::unordered_map<std::string, size_t> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+Status RequireColumns(const CsvView& csv, const std::string& path,
+                      std::initializer_list<const char*> columns) {
+  for (const char* column : columns) {
+    if (!csv.Has(column)) {
+      return InvalidArgumentError(path + " is missing required column '" +
+                                  std::string(column) + "'");
+    }
+  }
+  return Status::Ok();
+}
+
+void Append(std::string* out, const char* format, ...) {
+  char buffer[512];
+  va_list ap;
+  va_start(ap, format);
+  vsnprintf(buffer, sizeof(buffer), format, ap);
+  va_end(ap);
+  *out += buffer;
+}
+
+}  // namespace
+
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool quoted = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field += '"';  // Doubled quote inside a quoted field.
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"' && field.empty()) {
+      quoted = true;
+    } else if (c == ',') {
+      fields.push_back(field);
+      field.clear();
+    } else if (c != '\r') {
+      field += c;
+    }
+  }
+  fields.push_back(field);
+  return fields;
+}
+
+Status LoadRequestsCsv(const std::string& path, std::vector<RequestRow>* out) {
+  CsvView csv;
+  RETURN_IF_ERROR(csv.Parse(path));
+  RETURN_IF_ERROR(RequireColumns(csv, path, {"id", "arrival_s", "ttft_s"}));
+  out->clear();
+  out->reserve(csv.num_rows());
+  for (size_t i = 0; i < csv.num_rows(); ++i) {
+    RequestRow row;
+    row.id = csv.Int(i, "id", 0);
+    row.arrival_s = csv.Double(i, "arrival_s", 0.0);
+    row.scheduling_delay_s = csv.Double(i, "scheduling_delay_s", 0.0);
+    row.ttft_s = csv.Double(i, "ttft_s", 0.0);
+    row.completion_s = csv.Double(i, "completion_s", 0.0);
+    row.latency_s = csv.Double(i, "latency_s", -1.0);
+    row.num_tokens = csv.Int(i, "num_tokens", 0);
+    row.p99_tbt_s = csv.Double(i, "p99_tbt_s", 0.0);
+    row.max_tbt_s = csv.Double(i, "max_tbt_s", 0.0);
+    row.preemptions = csv.Int(i, "preemptions", 0);
+    row.deadline_s = csv.Double(i, "deadline_s", 0.0);
+    row.failed_s = csv.Double(i, "failed_s", 0.0);
+    row.failure = csv.String(i, "failure");
+    row.retries = csv.Int(i, "retries", 0);
+    row.wasted_tokens = csv.Int(i, "wasted_tokens", 0);
+    row.hedges = csv.Int(i, "hedges", 0);
+    row.migrations = csv.Int(i, "migrations", 0);
+    out->push_back(std::move(row));
+  }
+  return Status::Ok();
+}
+
+Status LoadIterationsCsv(const std::string& path, std::vector<IterationRow>* out) {
+  CsvView csv;
+  RETURN_IF_ERROR(csv.Parse(path));
+  RETURN_IF_ERROR(RequireColumns(csv, path, {"iter", "start_s", "stage_time_s"}));
+  out->clear();
+  out->reserve(csv.num_rows());
+  for (size_t i = 0; i < csv.num_rows(); ++i) {
+    IterationRow row;
+    row.iter = csv.Int(i, "iter", 0);
+    row.start_s = csv.Double(i, "start_s", 0.0);
+    row.stage_time_s = csv.Double(i, "stage_time_s", 0.0);
+    row.exit_s = csv.Double(i, "exit_s", 0.0);
+    row.total_tokens = csv.Int(i, "total_tokens", 0);
+    row.num_decodes = csv.Int(i, "num_decodes", 0);
+    row.prefill_tokens = csv.Int(i, "prefill_tokens", 0);
+    row.description = csv.String(i, "description");
+    out->push_back(std::move(row));
+  }
+  return Status::Ok();
+}
+
+Status LoadTbtCsv(const std::string& path, std::vector<TbtRow>* out) {
+  CsvView csv;
+  RETURN_IF_ERROR(csv.Parse(path));
+  RETURN_IF_ERROR(RequireColumns(csv, path, {"request_id", "tbt_s"}));
+  out->clear();
+  out->reserve(csv.num_rows());
+  for (size_t i = 0; i < csv.num_rows(); ++i) {
+    TbtRow row;
+    row.request_id = csv.Int(i, "request_id", 0);
+    row.token_index = csv.Int(i, "token_index", 0);
+    row.tbt_s = csv.Double(i, "tbt_s", 0.0);
+    out->push_back(row);
+  }
+  return Status::Ok();
+}
+
+Status LoadSpansCsv(const std::string& path, std::vector<SpanRow>* out) {
+  CsvView csv;
+  RETURN_IF_ERROR(csv.Parse(path));
+  RETURN_IF_ERROR(RequireColumns(csv, path, {"category", "name", "begin_s"}));
+  out->clear();
+  out->reserve(csv.num_rows());
+  for (size_t i = 0; i < csv.num_rows(); ++i) {
+    SpanRow row;
+    row.pid = static_cast<int>(csv.Int(i, "pid", 0));
+    row.category = csv.String(i, "category");
+    row.id = csv.Int(i, "id", 0);
+    row.name = csv.String(i, "name");
+    row.begin_s = csv.Double(i, "begin_s", 0.0);
+    row.end_s = csv.Double(i, "end_s", -1.0);
+    row.duration_s = csv.Double(i, "duration_s", -1.0);
+    out->push_back(std::move(row));
+  }
+  return Status::Ok();
+}
+
+std::vector<RequestBreakdown> ComputeBreakdowns(const std::vector<RequestRow>& requests,
+                                                const std::vector<TbtRow>& tbt,
+                                                double stall_threshold_s) {
+  // Sum of above-threshold token gaps per request id, one pass over samples.
+  std::unordered_map<int64_t, std::pair<double, int64_t>> stalls;
+  for (const TbtRow& sample : tbt) {
+    if (sample.tbt_s > stall_threshold_s) {
+      auto& entry = stalls[sample.request_id];
+      entry.first += sample.tbt_s;
+      entry.second += 1;
+    }
+  }
+  std::vector<RequestBreakdown> breakdowns;
+  breakdowns.reserve(requests.size());
+  for (const RequestRow& r : requests) {
+    RequestBreakdown b;
+    b.id = r.id;
+    b.arrival_s = r.arrival_s;
+    b.latency_s = r.latency_s;
+    b.num_tokens = r.num_tokens;
+    b.completed = r.completed();
+    b.failure = r.failed() ? r.failure : "";
+    if (r.ttft_s >= 0.0 && r.num_tokens > 0) {
+      b.queued_s = std::max(0.0, r.scheduling_delay_s);
+      b.prefill_s = std::max(0.0, r.ttft_s - b.queued_s);
+      if (b.completed) {
+        b.decode_s = std::max(0.0, r.latency_s - r.ttft_s);
+      }
+    } else if (b.completed) {
+      b.queued_s = std::max(0.0, r.scheduling_delay_s);
+    }
+    auto it = stalls.find(r.id);
+    if (it != stalls.end()) {
+      b.stall_s = it->second.first;
+      b.stall_count = it->second.second;
+    }
+    breakdowns.push_back(std::move(b));
+  }
+  return breakdowns;
+}
+
+std::vector<RequestBreakdown> TopKWorst(const std::vector<RequestBreakdown>& breakdowns,
+                                        int64_t k) {
+  std::vector<RequestBreakdown> completed;
+  for (const RequestBreakdown& b : breakdowns) {
+    if (b.completed) {
+      completed.push_back(b);
+    }
+  }
+  std::sort(completed.begin(), completed.end(),
+            [](const RequestBreakdown& a, const RequestBreakdown& b) {
+              if (a.latency_s != b.latency_s) {
+                return a.latency_s > b.latency_s;
+              }
+              return a.id < b.id;
+            });
+  if (k >= 0 && static_cast<size_t>(k) < completed.size()) {
+    completed.resize(static_cast<size_t>(k));
+  }
+  return completed;
+}
+
+IterationAttribution AttributeIterations(const std::vector<IterationRow>& iterations) {
+  IterationAttribution a;
+  a.iterations = static_cast<int64_t>(iterations.size());
+  if (iterations.empty()) {
+    return a;
+  }
+  double first_start = iterations.front().start_s;
+  double last_exit = iterations.front().exit_s;
+  for (const IterationRow& it : iterations) {
+    first_start = std::min(first_start, it.start_s);
+    last_exit = std::max(last_exit, it.exit_s);
+    a.busy_s += it.stage_time_s;
+    a.total_tokens += it.total_tokens;
+    a.prefill_tokens += it.prefill_tokens;
+    a.decode_tokens += it.total_tokens - it.prefill_tokens;
+    a.max_stage_time_s = std::max(a.max_stage_time_s, it.stage_time_s);
+    bool has_prefill = it.prefill_tokens > 0;
+    bool has_decode = it.num_decodes > 0;
+    if (has_prefill && has_decode) {
+      ++a.hybrid;
+      a.hybrid_s += it.stage_time_s;
+    } else if (has_prefill) {
+      ++a.prefill_only;
+      a.prefill_only_s += it.stage_time_s;
+    } else if (has_decode) {
+      ++a.decode_only;
+      a.decode_only_s += it.stage_time_s;
+    } else {
+      ++a.empty;
+    }
+  }
+  a.span_s = std::max(0.0, last_exit - first_start);
+  a.bubble_s = std::max(0.0, a.span_s - a.busy_s);
+  return a;
+}
+
+std::vector<SpanSummary> SummarizeSpans(const std::vector<SpanRow>& spans) {
+  std::unordered_map<std::string, SpanSummary> groups;
+  std::vector<std::string> order;  // Deterministic first-seen grouping order.
+  for (const SpanRow& span : spans) {
+    std::string key = span.category + "\x1f" + span.name;
+    auto it = groups.find(key);
+    if (it == groups.end()) {
+      SpanSummary summary;
+      summary.category = span.category;
+      summary.name = span.name;
+      it = groups.emplace(key, std::move(summary)).first;
+      order.push_back(key);
+    }
+    SpanSummary& summary = it->second;
+    ++summary.count;
+    if (span.duration_s < 0.0) {
+      ++summary.open;
+    } else {
+      summary.total_s += span.duration_s;
+      summary.max_s = std::max(summary.max_s, span.duration_s);
+    }
+  }
+  std::vector<SpanSummary> result;
+  result.reserve(order.size());
+  for (const std::string& key : order) {
+    result.push_back(groups[key]);
+  }
+  std::stable_sort(result.begin(), result.end(),
+                   [](const SpanSummary& a, const SpanSummary& b) {
+                     return a.total_s > b.total_s;
+                   });
+  return result;
+}
+
+std::vector<SloCheck> CheckSlo(const std::vector<RequestRow>& requests,
+                               const std::vector<TbtRow>& tbt, double ttft_slo_s,
+                               double tbt_slo_s, double target) {
+  std::vector<SloCheck> checks;
+  if (ttft_slo_s > 0.0) {
+    SloCheck check;
+    check.name = "ttft";
+    check.threshold_s = ttft_slo_s;
+    check.target = target;
+    for (const RequestRow& r : requests) {
+      if (r.num_tokens <= 0 || r.ttft_s < 0.0) {
+        continue;  // Never produced a first token: covered by goodput.
+      }
+      (r.ttft_s <= ttft_slo_s ? check.good : check.bad) += 1;
+    }
+    checks.push_back(check);
+  }
+  if (tbt_slo_s > 0.0 && !tbt.empty()) {
+    SloCheck check;
+    check.name = "tbt";
+    check.threshold_s = tbt_slo_s;
+    check.target = target;
+    for (const TbtRow& sample : tbt) {
+      (sample.tbt_s <= tbt_slo_s ? check.good : check.bad) += 1;
+    }
+    checks.push_back(check);
+  }
+  SloCheck goodput;
+  goodput.name = "goodput";
+  goodput.target = target;
+  for (const RequestRow& r : requests) {
+    bool good = r.completed() && (r.deadline_s <= 0.0 || r.latency_s <= r.deadline_s);
+    (good ? goodput.good : goodput.bad) += 1;
+  }
+  checks.push_back(goodput);
+  return checks;
+}
+
+Status ScanTraceJson(const std::string& path, TraceScan* out) {
+  std::ifstream in(path);
+  if (!in) {
+    return InvalidArgumentError("cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string text = buffer.str();
+  if (text.find("\"traceEvents\"") == std::string::npos) {
+    return InvalidArgumentError(path + " does not look like a Chrome trace (no traceEvents)");
+  }
+  *out = TraceScan();
+  bool first_ts = true;
+  size_t pos = 0;
+  const std::string ph_key = "\"ph\":\"";
+  const std::string ts_key = "\"ts\":";
+  while ((pos = text.find(ph_key, pos)) != std::string::npos) {
+    pos += ph_key.size();
+    if (pos >= text.size()) {
+      break;
+    }
+    ++out->events;
+    switch (text[pos]) {
+      case 'b':
+        ++out->begins;
+        break;
+      case 'e':
+        ++out->ends;
+        break;
+      case 'i':
+        ++out->instants;
+        break;
+      case 'X':
+        ++out->completes;
+        break;
+      case 'C':
+        ++out->counters;
+        break;
+      case 'M':
+        ++out->metadata;
+        break;
+      default:
+        break;
+    }
+  }
+  pos = 0;
+  while ((pos = text.find(ts_key, pos)) != std::string::npos) {
+    pos += ts_key.size();
+    double ts_s = std::strtod(text.c_str() + pos, nullptr) / 1e6;
+    if (first_ts) {
+      out->min_ts_s = out->max_ts_s = ts_s;
+      first_ts = false;
+    } else {
+      out->min_ts_s = std::min(out->min_ts_s, ts_s);
+      out->max_ts_s = std::max(out->max_ts_s, ts_s);
+    }
+  }
+  return Status::Ok();
+}
+
+std::string RenderRequestReport(const std::vector<RequestBreakdown>& breakdowns,
+                                int64_t top_k) {
+  std::string out;
+  int64_t completed = 0;
+  int64_t failed = 0;
+  double queued = 0.0;
+  double prefill = 0.0;
+  double decode = 0.0;
+  double stall = 0.0;
+  for (const RequestBreakdown& b : breakdowns) {
+    if (b.completed) {
+      ++completed;
+      queued += b.queued_s;
+      prefill += b.prefill_s;
+      decode += b.decode_s;
+      stall += b.stall_s;
+    }
+    if (!b.failure.empty()) {
+      ++failed;
+    }
+  }
+  Append(&out, "Requests: %lld total, %lld completed, %lld failed\n",
+         static_cast<long long>(breakdowns.size()), static_cast<long long>(completed),
+         static_cast<long long>(failed));
+  if (completed > 0) {
+    double n = static_cast<double>(completed);
+    Append(&out,
+           "Mean latency breakdown (completed): queued %.3f s, prefill %.3f s, "
+           "decode %.3f s (stalled %.3f s)\n",
+           queued / n, prefill / n, decode / n, stall / n);
+  }
+  std::vector<RequestBreakdown> worst = TopKWorst(breakdowns, top_k);
+  if (!worst.empty()) {
+    Append(&out, "Worst %lld requests by latency:\n", static_cast<long long>(worst.size()));
+    Append(&out, "  %10s %10s %9s %9s %9s %9s %7s %7s %10s\n", "id", "arrival_s", "queued_s",
+           "prefill_s", "decode_s", "stall_s", "stalls", "tokens", "latency_s");
+    for (const RequestBreakdown& b : worst) {
+      Append(&out, "  %10lld %10.3f %9.3f %9.3f %9.3f %9.3f %7lld %7lld %10.3f\n",
+             static_cast<long long>(b.id), b.arrival_s, b.queued_s, b.prefill_s, b.decode_s,
+             b.stall_s, static_cast<long long>(b.stall_count),
+             static_cast<long long>(b.num_tokens), b.latency_s);
+    }
+  }
+  return out;
+}
+
+std::string RenderIterationReport(const IterationAttribution& a) {
+  std::string out;
+  Append(&out, "Iterations: %lld over %.3f s (busy %.3f s, bubbles %.3f s",
+         static_cast<long long>(a.iterations), a.span_s, a.busy_s, a.bubble_s);
+  if (a.span_s > 0.0) {
+    Append(&out, " = %.1f%%", 100.0 * a.bubble_s / a.span_s);
+  }
+  Append(&out, ")\n");
+  Append(&out, "  hybrid:       %8lld iterations, %.3f s\n", static_cast<long long>(a.hybrid),
+         a.hybrid_s);
+  Append(&out, "  prefill-only: %8lld iterations, %.3f s\n",
+         static_cast<long long>(a.prefill_only), a.prefill_only_s);
+  Append(&out, "  decode-only:  %8lld iterations, %.3f s\n",
+         static_cast<long long>(a.decode_only), a.decode_only_s);
+  if (a.empty > 0) {
+    Append(&out, "  empty:        %8lld iterations\n", static_cast<long long>(a.empty));
+  }
+  Append(&out, "  tokens: %lld total (%lld prefill, %lld decode), max stage time %.4f s\n",
+         static_cast<long long>(a.total_tokens), static_cast<long long>(a.prefill_tokens),
+         static_cast<long long>(a.decode_tokens), a.max_stage_time_s);
+  return out;
+}
+
+std::string RenderSpanReport(const std::vector<SpanSummary>& summaries) {
+  std::string out;
+  Append(&out, "Spans by (category, name), descending total time:\n");
+  Append(&out, "  %-12s %-12s %8s %6s %12s %10s\n", "category", "name", "count", "open",
+         "total_s", "max_s");
+  for (const SpanSummary& s : summaries) {
+    Append(&out, "  %-12s %-12s %8lld %6lld %12.3f %10.3f\n", s.category.c_str(),
+           s.name.c_str(), static_cast<long long>(s.count), static_cast<long long>(s.open),
+           s.total_s, s.max_s);
+  }
+  return out;
+}
+
+std::string RenderSloCheckReport(const std::vector<SloCheck>& checks) {
+  std::string out;
+  Append(&out, "SLO compliance:\n");
+  for (const SloCheck& check : checks) {
+    if (check.threshold_s > 0.0) {
+      Append(&out, "  %-8s <= %.3f s:", check.name.c_str(), check.threshold_s);
+    } else {
+      Append(&out, "  %-8s            :", check.name.c_str());
+    }
+    Append(&out, " %lld/%lld = %.4f (target %.4f) %s\n", static_cast<long long>(check.good),
+           static_cast<long long>(check.total()), check.attainment(), check.target,
+           check.met() ? "OK" : "VIOLATED");
+  }
+  return out;
+}
+
+std::string RenderTraceScan(const TraceScan& scan) {
+  std::string out;
+  Append(&out, "Trace: %lld events over [%.3f s, %.3f s]\n",
+         static_cast<long long>(scan.events), scan.min_ts_s, scan.max_ts_s);
+  Append(&out,
+         "  complete %lld, instant %lld, counter %lld, async begin %lld / end %lld, "
+         "metadata %lld\n",
+         static_cast<long long>(scan.completes), static_cast<long long>(scan.instants),
+         static_cast<long long>(scan.counters), static_cast<long long>(scan.begins),
+         static_cast<long long>(scan.ends), static_cast<long long>(scan.metadata));
+  return out;
+}
+
+}  // namespace sarathi

@@ -1,0 +1,217 @@
+// Post-hoc analysis of sarathi observability artifacts.
+//
+// A simulation run leaves machine-readable artifacts behind: telemetry CSVs
+// (per-request, per-iteration, per-TBT-sample), lifecycle span CSVs, Chrome
+// trace JSON, and flight-recorder dumps. This library reads them back and
+// answers the questions an on-call engineer asks first: where did each
+// request's latency go (queued vs. prefill vs. decode vs. stalled), what was
+// the scheduler doing each iteration, which requests hurt the most, and did
+// the run meet its SLOs. The sarathi_inspect tool is a thin flag wrapper
+// over these functions; tests exercise them directly.
+//
+// All loaders resolve columns by header name, so they tolerate column
+// additions and reordering in future telemetry schema revisions.
+
+#ifndef SRC_OBS_INSPECT_H_
+#define SRC_OBS_INSPECT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace sarathi {
+
+// Splits one CSV line into fields, honoring RFC 4180 double-quoted fields
+// with embedded commas and doubled quotes (the inverse of CsvEscape).
+std::vector<std::string> SplitCsvLine(const std::string& line);
+
+// ---- Artifact rows ----
+
+// One row of <prefix>_requests.csv (WriteRequestMetricsCsv).
+struct RequestRow {
+  int64_t id = 0;
+  double arrival_s = 0.0;
+  double scheduling_delay_s = 0.0;
+  double ttft_s = 0.0;
+  double completion_s = 0.0;
+  double latency_s = -1.0;  // -1 when the request never completed
+  int64_t num_tokens = 0;
+  double p99_tbt_s = 0.0;
+  double max_tbt_s = 0.0;
+  int64_t preemptions = 0;
+  double deadline_s = 0.0;
+  double failed_s = 0.0;
+  std::string failure;  // "none" when the request did not fail
+  int64_t retries = 0;
+  int64_t wasted_tokens = 0;
+  int64_t hedges = 0;
+  int64_t migrations = 0;
+
+  bool completed() const { return latency_s >= 0.0; }
+  bool failed() const { return !failure.empty() && failure != "none"; }
+};
+
+// One row of <prefix>_iterations.csv (WriteIterationLogCsv).
+struct IterationRow {
+  int64_t iter = 0;
+  double start_s = 0.0;
+  double stage_time_s = 0.0;
+  double exit_s = 0.0;
+  int64_t total_tokens = 0;
+  int64_t num_decodes = 0;
+  int64_t prefill_tokens = 0;
+  std::string description;
+};
+
+// One row of <prefix>_tbt.csv (WriteTbtSamplesCsv).
+struct TbtRow {
+  int64_t request_id = 0;
+  int64_t token_index = 0;
+  double tbt_s = 0.0;
+};
+
+// One row of a span CSV (Tracer::WriteSpanCsv). end_s and duration_s are -1
+// for spans that never closed.
+struct SpanRow {
+  int pid = 0;
+  std::string category;
+  int64_t id = 0;
+  std::string name;
+  double begin_s = 0.0;
+  double end_s = -1.0;
+  double duration_s = -1.0;
+};
+
+Status LoadRequestsCsv(const std::string& path, std::vector<RequestRow>* out);
+Status LoadIterationsCsv(const std::string& path, std::vector<IterationRow>* out);
+Status LoadTbtCsv(const std::string& path, std::vector<TbtRow>* out);
+Status LoadSpansCsv(const std::string& path, std::vector<SpanRow>* out);
+
+// ---- Per-request latency breakdown ----
+
+// Where a request's client-visible latency went. queued/prefill/decode
+// partition the completed request's latency; stall_s is the portion of
+// decode spent inside token gaps above the stall threshold (only available
+// when TBT samples were loaded).
+struct RequestBreakdown {
+  int64_t id = 0;
+  double arrival_s = 0.0;
+  double queued_s = 0.0;   // arrival -> first scheduled
+  double prefill_s = 0.0;  // first scheduled -> first token
+  double decode_s = 0.0;   // first token -> completion
+  double stall_s = 0.0;    // time inside token gaps > threshold
+  int64_t stall_count = 0;
+  double latency_s = -1.0;
+  int64_t num_tokens = 0;
+  bool completed = false;
+  std::string failure;
+};
+
+// Joins the request rows with the (optional, may be empty) TBT samples.
+// Token gaps strictly above `stall_threshold_s` count toward stall_s.
+std::vector<RequestBreakdown> ComputeBreakdowns(const std::vector<RequestRow>& requests,
+                                                const std::vector<TbtRow>& tbt,
+                                                double stall_threshold_s);
+
+// The k completed requests with the highest latency, worst first. Ties break
+// toward the lower request id so reports are deterministic.
+std::vector<RequestBreakdown> TopKWorst(const std::vector<RequestBreakdown>& breakdowns,
+                                        int64_t k);
+
+// ---- Scheduler iteration attribution ----
+
+// How the scheduler's iterations split between hybrid (prefill+decode),
+// prefill-only, and decode-only batches — the Sarathi coalescing picture.
+struct IterationAttribution {
+  int64_t iterations = 0;
+  int64_t hybrid = 0;
+  int64_t prefill_only = 0;
+  int64_t decode_only = 0;
+  int64_t empty = 0;
+  double busy_s = 0.0;
+  double hybrid_s = 0.0;
+  double prefill_only_s = 0.0;
+  double decode_only_s = 0.0;
+  double span_s = 0.0;    // last exit - first start
+  double bubble_s = 0.0;  // span_s - busy_s (time with no iteration running)
+  int64_t total_tokens = 0;
+  int64_t prefill_tokens = 0;
+  int64_t decode_tokens = 0;
+  double max_stage_time_s = 0.0;
+};
+
+IterationAttribution AttributeIterations(const std::vector<IterationRow>& iterations);
+
+// ---- Span summary ----
+
+// Aggregate of all spans sharing one (category, name): how many, how many
+// never closed, and the closed spans' total/max durations.
+struct SpanSummary {
+  std::string category;
+  std::string name;
+  int64_t count = 0;
+  int64_t open = 0;
+  double total_s = 0.0;
+  double max_s = 0.0;
+};
+
+// Grouped by (category, name), sorted by descending total_s.
+std::vector<SpanSummary> SummarizeSpans(const std::vector<SpanRow>& spans);
+
+// ---- SLO compliance ----
+
+// One offline SLO check: attainment of a latency threshold (or of request
+// goodput) against a target fraction.
+struct SloCheck {
+  std::string name;
+  double threshold_s = 0.0;
+  double target = 0.0;
+  int64_t good = 0;
+  int64_t bad = 0;
+
+  int64_t total() const { return good + bad; }
+  double attainment() const {
+    return total() == 0 ? 1.0 : static_cast<double>(good) / static_cast<double>(total());
+  }
+  bool met() const { return attainment() >= target; }
+};
+
+// Evaluates TTFT (per request with a first token), TBT (per token gap, when
+// samples were loaded), and goodput (completed within deadline) against
+// `target`. A threshold <= 0 skips that check.
+std::vector<SloCheck> CheckSlo(const std::vector<RequestRow>& requests,
+                               const std::vector<TbtRow>& tbt, double ttft_slo_s,
+                               double tbt_slo_s, double target);
+
+// ---- Trace JSON scan ----
+
+// Cheap structural summary of a Chrome trace JSON (full trace or flight
+// dump): event counts per phase and the covered time range. Not a full JSON
+// parse — it scans for "ph" and "ts" keys the way the tracer writes them.
+struct TraceScan {
+  int64_t events = 0;
+  int64_t begins = 0;     // ph "b"
+  int64_t ends = 0;       // ph "e"
+  int64_t instants = 0;   // ph "i"
+  int64_t completes = 0;  // ph "X"
+  int64_t counters = 0;   // ph "C"
+  int64_t metadata = 0;   // ph "M"
+  double min_ts_s = 0.0;
+  double max_ts_s = 0.0;
+};
+
+Status ScanTraceJson(const std::string& path, TraceScan* out);
+
+// ---- Report rendering ----
+
+std::string RenderRequestReport(const std::vector<RequestBreakdown>& breakdowns, int64_t top_k);
+std::string RenderIterationReport(const IterationAttribution& attribution);
+std::string RenderSpanReport(const std::vector<SpanSummary>& summaries);
+std::string RenderSloCheckReport(const std::vector<SloCheck>& checks);
+std::string RenderTraceScan(const TraceScan& scan);
+
+}  // namespace sarathi
+
+#endif  // SRC_OBS_INSPECT_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <fstream>
 
 #include "src/common/logging.h"
@@ -311,6 +312,85 @@ void MetricsRegistry::WriteTimeSeriesCsv(std::ostream& out) const {
     }
     out << '\n';
   }
+}
+
+namespace {
+
+// Prometheus metric names are [a-zA-Z_:][a-zA-Z0-9_:]*; our internal names
+// are already close (snake_case), so sanitization just maps stragglers to _.
+std::string PrometheusName(const std::string& name) {
+  std::string out = "sarathi_" + name;
+  for (char& c : out) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) {
+      c = '_';
+    }
+  }
+  return out;
+}
+
+void PrometheusValue(std::ostream& out, double value) {
+  if (std::isnan(value)) {
+    out << "NaN";
+  } else if (std::isinf(value)) {
+    out << (value > 0 ? "+Inf" : "-Inf");
+  } else {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.12g", value);
+    out << buffer;
+  }
+}
+
+}  // namespace
+
+void MetricsRegistry::WritePrometheus(std::ostream& out) const {
+  for (const auto& [name, metric] : metrics_) {
+    const std::string prom = PrometheusName(name);
+    switch (metric.kind) {
+      case Kind::kCounter: {
+        out << "# TYPE " << prom << "_total counter\n" << prom << "_total ";
+        PrometheusValue(out, metric.total);
+        out << '\n';
+        break;
+      }
+      case Kind::kGauge: {
+        out << "# TYPE " << prom << " gauge\n" << prom << ' ';
+        PrometheusValue(out, metric.last_value);
+        out << '\n';
+        break;
+      }
+      case Kind::kHistogram: {
+        // Summary exposition: pre-computed quantiles from the cumulative
+        // log-bucket histogram plus _sum/_count.
+        const LogHistogram& h = metric.cumulative;
+        out << "# TYPE " << prom << " summary\n";
+        out << prom << "{quantile=\"0.5\"} ";
+        PrometheusValue(out, h.Quantile(0.5));
+        out << '\n' << prom << "{quantile=\"0.9\"} ";
+        PrometheusValue(out, h.Quantile(0.9));
+        out << '\n' << prom << "{quantile=\"0.99\"} ";
+        PrometheusValue(out, h.Quantile(0.99));
+        out << '\n' << prom << "_sum ";
+        PrometheusValue(out, h.sum());
+        out << '\n' << prom << "_count " << h.count() << '\n';
+        break;
+      }
+    }
+  }
+}
+
+Status MetricsRegistry::WritePrometheusFile(const std::string& path) const {
+  RETURN_IF_ERROR(EnsureParentDirectory(path));
+  std::ofstream out(path);
+  if (!out) {
+    return InternalError("cannot open " + path + " for writing");
+  }
+  WritePrometheus(out);
+  if (!out) {
+    return InternalError("write failed for " + path);
+  }
+  return Status::Ok();
 }
 
 Status MetricsRegistry::WriteTimeSeriesFile(const std::string& path) const {

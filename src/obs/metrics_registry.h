@@ -121,6 +121,13 @@ class MetricsRegistry {
   // Writes the CSV to `path`, creating parent directories as needed.
   Status WriteTimeSeriesFile(const std::string& path) const;
 
+  // Prometheus text exposition (version 0.0.4) of the cumulative state — the
+  // scrape seam for a future serving daemon. Names are prefixed `sarathi_`
+  // and sanitized to [a-zA-Z0-9_:]; counters append `_total`, histograms
+  // export as summaries (p50/p99 quantiles + `_sum` + `_count`).
+  void WritePrometheus(std::ostream& out) const;
+  Status WritePrometheusFile(const std::string& path) const;
+
  private:
   enum class Kind { kCounter, kGauge, kHistogram };
 

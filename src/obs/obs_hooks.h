@@ -10,6 +10,7 @@
 #ifndef SRC_OBS_OBS_HOOKS_H_
 #define SRC_OBS_OBS_HOOKS_H_
 
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics_registry.h"
 #include "src/obs/tracer.h"
 #include "src/obs/verify_hook.h"
@@ -21,10 +22,14 @@ struct ObsHooks {
   MetricsRegistry* metrics = nullptr;
   // Invariant checker (src/verify); observes semantic scheduler/KV events.
   VerifyHook* verify = nullptr;
+  // Always-on ring buffer; unlike the tracer it is allocation-free, so hot
+  // paths may feed it even in steady state.
+  FlightRecorder* flight = nullptr;
   double now_s = 0.0;
 
   bool active() const {
-    return tracer != nullptr || metrics != nullptr || verify != nullptr;
+    return tracer != nullptr || metrics != nullptr || verify != nullptr ||
+           flight != nullptr;
   }
 
   // Advances the shared clock (also mirrored into the tracer's clock).

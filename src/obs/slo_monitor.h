@@ -1,0 +1,175 @@
+// Declarative SLO specs evaluated live as multi-window burn rates.
+//
+// A SloPolicy promises "`target` of <signal> events in lane <lane> are good"
+// (for latency signals, good means value <= threshold). The monitor keeps a
+// ring of fixed-width time buckets per policy and evaluates the SRE-style
+// multi-window multi-burn-rate condition whenever the clock crosses into a
+// new bucket:
+//
+//   burn(window) = bad_fraction(window) / (1 - target)
+//
+// burn == 1 consumes the error budget exactly at the promised rate; an alert
+// fires on the rising edge of (fast-window burn >= fast_burn AND slow-window
+// burn >= slow_burn) — the fast window catches the spike, the slow window
+// suppresses blips. Alerts are emitted into the bound tracer ("slo" instants),
+// metrics registry (slo_alerts counter), and flight recorder (Trigger →
+// auto-dump), and collected for telemetry export.
+//
+// Hot-loop discipline: Record* is allocation-free in steady state (bucket
+// rings are preallocated, the alert vector is reserved up to max_alerts);
+// only an actual alert emission allocates, and alerting is not steady state.
+
+#ifndef SRC_OBS_SLO_MONITOR_H_
+#define SRC_OBS_SLO_MONITOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/metrics_registry.h"
+#include "src/obs/tracer.h"
+#include "src/workload/trace.h"
+
+namespace sarathi {
+
+enum class SloSignal {
+  kTtft = 0,     // Time to first token; one event per request.
+  kTbt = 1,      // Time between tokens; one event per decode token.
+  kGoodput = 2,  // Request outcome; good = completed within deadline.
+};
+
+const char* SloSignalName(SloSignal signal);
+
+// One declarative SLO. Named `SloPolicy` (not SloSpec) because
+// src/capacity/slo.h already owns that name for the derived capacity SLO.
+struct SloPolicy {
+  std::string name;  // e.g. "interactive-tbt"; used in alerts and reports.
+  SloSignal signal = SloSignal::kTbt;
+  // Lane filter: when all_lanes, every request feeds this policy.
+  bool all_lanes = true;
+  QosClass lane = QosClass::kInteractive;
+  // Latency threshold (kTtft/kTbt): an event is good iff value <= threshold.
+  // Ignored for kGoodput, where the caller reports good/bad directly.
+  double threshold_s = 0.0;
+  // Promised good fraction; the error budget is 1 - target.
+  double target = 0.99;
+  // Multi-window burn-rate alert condition.
+  double fast_window_s = 10.0;
+  double slow_window_s = 60.0;
+  double fast_burn = 6.0;
+  double slow_burn = 3.0;
+};
+
+struct SloAlert {
+  int policy = 0;  // Index into policies().
+  std::string name;
+  double time_s = 0.0;
+  double fast_burn = 0.0;
+  double slow_burn = 0.0;
+};
+
+// Whole-run attainment of one policy (ComplianceReport row).
+struct SloComplianceRow {
+  std::string name;
+  SloSignal signal = SloSignal::kTbt;
+  double target = 0.0;
+  int64_t good = 0;
+  int64_t bad = 0;
+  int64_t alerts = 0;
+
+  int64_t total() const { return good + bad; }
+  double attainment() const {
+    return total() > 0 ? static_cast<double>(good) / static_cast<double>(total()) : 1.0;
+  }
+  bool met() const { return attainment() >= target; }
+};
+
+class SloMonitor {
+ public:
+  struct Options {
+    // Bucket width; windows are rounded up to whole buckets.
+    double tick_s = 0.5;
+    // Alert vector reservation AND hard cap (keeps alert storms bounded and
+    // the record path allocation-free).
+    int64_t max_alerts = 256;
+  };
+
+  SloMonitor() : SloMonitor(Options()) {}
+  explicit SloMonitor(const Options& options);
+
+  // Returns the policy index. All policies must be added before recording.
+  int AddPolicy(const SloPolicy& policy);
+
+  // Alert sinks; any may be null. Safe to rebind between runs.
+  void Bind(Tracer* tracer, MetricsRegistry* metrics, FlightRecorder* flight);
+
+  bool enabled() const { return !states_.empty(); }
+
+  // ---- Recording (allocation-free in steady state) ----
+
+  // Feeds one latency sample (TTFT at first token, TBT per decode token) to
+  // every kTtft/kTbt policy whose lane matches.
+  void RecordLatency(SloSignal signal, QosClass lane, double value_s, double now_s);
+  // Feeds one request outcome to every kGoodput policy whose lane matches.
+  void RecordOutcome(QosClass lane, bool good, double now_s);
+  // Advances all windows to `end_s` (evaluating any pending buckets) without
+  // recording; call at end of run so trailing badness can still alert.
+  void AdvanceTo(double end_s);
+
+  // ---- Results ----
+
+  const std::vector<SloPolicy>& policies() const { return policies_; }
+  const std::vector<SloAlert>& alerts() const { return alerts_; }
+  int64_t alerts_suppressed() const { return alerts_suppressed_; }
+  // Burn rate over the trailing `window_s` ending at the latest recorded
+  // bucket (test/report helper).
+  double BurnRate(int policy, double window_s) const;
+  std::vector<SloComplianceRow> ComplianceReport() const;
+  // Multi-line human-readable compliance table ("" when no policies).
+  std::string RenderComplianceReport() const;
+  // CSV: policy,name,signal,time_s,fast_burn,slow_burn.
+  Status WriteAlertsCsv(const std::string& path) const;
+
+ private:
+  struct Bucket {
+    int64_t good = 0;
+    int64_t bad = 0;
+  };
+  struct PolicyState {
+    std::vector<Bucket> ring;  // Indexed by tick % ring.size().
+    int64_t current_tick = 0;  // Highest tick seen so far.
+    int64_t fast_ticks = 1;
+    int64_t slow_ticks = 1;
+    int64_t total_good = 0;
+    int64_t total_bad = 0;
+    int64_t alert_count = 0;
+    bool alerting = false;  // For rising-edge detection.
+  };
+
+  bool LaneMatches(const SloPolicy& policy, QosClass lane) const {
+    return policy.all_lanes || policy.lane == lane;
+  }
+  // Moves the ring forward to now_s's bucket, zeroing skipped buckets and
+  // evaluating the alert condition at each boundary crossed.
+  void Advance(int index, double now_s);
+  void RecordInto(int index, bool good, double now_s);
+  double WindowBurn(const PolicyState& state, const SloPolicy& policy,
+                    int64_t window_ticks) const;
+  void Evaluate(int index, double now_s);
+  void EmitAlert(int index, double now_s, double fast, double slow);
+
+  Options options_;
+  std::vector<SloPolicy> policies_;
+  std::vector<PolicyState> states_;
+  std::vector<SloAlert> alerts_;
+  int64_t alerts_suppressed_ = 0;
+  Tracer* tracer_ = nullptr;
+  MetricsRegistry* metrics_ = nullptr;
+  FlightRecorder* flight_ = nullptr;
+};
+
+}  // namespace sarathi
+
+#endif  // SRC_OBS_SLO_MONITOR_H_

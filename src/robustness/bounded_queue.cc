@@ -29,6 +29,7 @@ bool CoDelQueue::ShouldDrop(double head_delay_s, double now_s) {
     ++count_;
     ++drops_;
     drop_next_s_ = ControlLaw(drop_next_s_);
+    EmitDrop(head_delay_s, now_s);
     return true;
   }
   if (first_above_time_s_ == 0.0) {
@@ -47,7 +48,21 @@ bool CoDelQueue::ShouldDrop(double head_delay_s, double now_s) {
   last_count_ = count_;
   ++drops_;
   drop_next_s_ = ControlLaw(now_s);
+  EmitDrop(head_delay_s, now_s);
   return true;
+}
+
+void CoDelQueue::EmitDrop(double head_delay_s, double now_s) {
+  if (obs_ == nullptr) {
+    return;
+  }
+  if (Tracer* tracer = obs_->ActiveTracer()) {
+    tracer->Instant("overload", "codel_head_drop", now_s,
+                    {Arg("head_delay_s", head_delay_s), Arg("episode_drops", count_)});
+  }
+  if (obs_->metrics != nullptr) {
+    obs_->metrics->AddCount("codel_head_drops", now_s);
+  }
 }
 
 }  // namespace sarathi

@@ -12,6 +12,8 @@
 
 #include <cstdint>
 
+#include "src/obs/obs_hooks.h"
+
 namespace sarathi {
 
 struct CoDelOptions {
@@ -31,10 +33,16 @@ class CoDelQueue {
   int64_t drops() const { return drops_; }
   bool dropping() const { return dropping_; }
 
+  // Observability (may be null): each head drop emits a "codel_head_drop"
+  // instant carrying the head delay plus a codel_head_drops counter.
+  void set_obs(const ObsHooks* obs) { obs_ = obs; }
+
  private:
   double ControlLaw(double t) const;
+  void EmitDrop(double head_delay_s, double now_s);
 
   CoDelOptions options_;
+  const ObsHooks* obs_ = nullptr;
   // Deadline by which the delay must recover before the first drop; 0 = delay
   // currently below target.
   double first_above_time_s_ = 0.0;

@@ -41,6 +41,7 @@ OverloadLevel OverloadController::Update(double now_s, const OverloadSignals& si
     last_change_s_ = now_s;
     ++transitions_;
     ++escalations_;
+    EmitTransition(now_s, /*escalation=*/true);
     return level_;
   }
   if (level_ == OverloadLevel::kNormal) {
@@ -56,7 +57,25 @@ OverloadLevel OverloadController::Update(double now_s, const OverloadSignals& si
   level_ = static_cast<OverloadLevel>(static_cast<int>(level_) - 1);
   last_change_s_ = now_s;
   ++transitions_;
+  EmitTransition(now_s, /*escalation=*/false);
   return level_;
+}
+
+void OverloadController::EmitTransition(double now_s, bool escalation) {
+  if (obs_ == nullptr) {
+    return;
+  }
+  if (Tracer* tracer = obs_->ActiveTracer()) {
+    // Counter track: Perfetto renders the ladder as a step function.
+    tracer->Counter("overload", "overload_rung", now_s,
+                    static_cast<double>(static_cast<int>(level_)));
+  }
+  if (obs_->metrics != nullptr) {
+    obs_->metrics->AddCount("overload_transitions", now_s);
+    if (escalation) {
+      obs_->metrics->AddCount("overload_escalations", now_s);
+    }
+  }
 }
 
 }  // namespace sarathi

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <string_view>
 
+#include "src/obs/obs_hooks.h"
 #include "src/scheduler/scheduler.h"
 
 namespace sarathi {
@@ -58,12 +59,20 @@ class OverloadController {
   int64_t transitions() const { return transitions_; }
   int64_t escalations() const { return escalations_; }
 
+  // Observability (may be null): every rung transition emits a counter-track
+  // sample ("overload_rung", so Perfetto plots the ladder as a step function)
+  // and transition/escalation counters.
+  void set_obs(const ObsHooks* obs) { obs_ = obs; }
+
  private:
+  void EmitTransition(double now_s, bool escalation);
+
   // Highest rung any signal clears; `scale` shrinks the thresholds (used with
   // exit_ratio to decide whether the current level is still warranted).
   OverloadLevel SignalLevel(const OverloadSignals& signals, double scale) const;
 
   OverloadControllerOptions options_;
+  const ObsHooks* obs_ = nullptr;
   OverloadLevel level_ = OverloadLevel::kNormal;
   double last_change_s_ = 0.0;
   int64_t transitions_ = 0;

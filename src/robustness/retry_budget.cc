@@ -23,12 +23,13 @@ RetryBudget::RetryBudget(double ratio, double burst)
   CHECK(burst >= 0.0) << "retry-budget burst must be non-negative";
 }
 
-void RetryBudget::OnRequest() {
+void RetryBudget::OnRequest(double now_s) {
   if (!enabled()) return;
   balance_ = std::min(burst_, balance_ + ratio_);
+  EmitBalance(now_s);
 }
 
-bool RetryBudget::TryConsume() {
+bool RetryBudget::TryConsume(double now_s) {
   if (!enabled()) {
     ++consumed_;
     return true;
@@ -39,11 +40,27 @@ bool RetryBudget::TryConsume() {
   constexpr double kEps = 1e-9;
   if (balance_ < 1.0 - kEps) {
     ++denied_;
+    if (obs_ != nullptr && now_s >= 0.0) {
+      if (Tracer* tracer = obs_->ActiveTracer()) {
+        tracer->Instant("overload", "retry_denied", now_s, {Arg("balance", balance_)});
+      }
+      if (obs_->metrics != nullptr) {
+        obs_->metrics->AddCount("retry_budget_denied", now_s);
+      }
+    }
     return false;
   }
   balance_ = std::max(0.0, balance_ - 1.0);
   ++consumed_;
+  EmitBalance(now_s);
   return true;
+}
+
+void RetryBudget::EmitBalance(double now_s) {
+  if (obs_ == nullptr || now_s < 0.0 || obs_->metrics == nullptr) {
+    return;
+  }
+  obs_->metrics->SetGauge("retry_budget_balance", now_s, balance_);
 }
 
 double FullJitterBackoffS(double base_s, int attempt, int64_t request_id, uint64_t seed) {

@@ -11,6 +11,8 @@
 
 #include <cstdint>
 
+#include "src/obs/obs_hooks.h"
+
 namespace sarathi {
 
 class RetryBudget {
@@ -20,22 +22,31 @@ class RetryBudget {
   // allowed), matching the pre-overload-control behavior.
   RetryBudget(double ratio, double burst);
 
-  // Credits the budget for one admitted (initially routed) request.
-  void OnRequest();
+  // Credits the budget for one admitted (initially routed) request. Pass the
+  // simulation time so the bound registry can track the balance as a gauge;
+  // now_s < 0 (the default) skips the emission.
+  void OnRequest(double now_s = -1.0);
 
   // Spends one token for a retry; returns false (and counts a denial) when
   // the bucket is empty.
-  bool TryConsume();
+  bool TryConsume(double now_s = -1.0);
 
   bool enabled() const { return ratio_ > 0.0; }
   double balance() const { return balance_; }
   int64_t consumed() const { return consumed_; }
   int64_t denied() const { return denied_; }
 
+  // Observability (may be null): balance changes export the
+  // retry_budget_balance gauge; denials emit an instant + counter.
+  void set_obs(const ObsHooks* obs) { obs_ = obs; }
+
  private:
+  void EmitBalance(double now_s);
+
   double ratio_;
   double burst_;
   double balance_;
+  const ObsHooks* obs_ = nullptr;
   int64_t consumed_ = 0;
   int64_t denied_ = 0;
 };

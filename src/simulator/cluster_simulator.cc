@@ -7,7 +7,10 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/obs_hooks.h"
 #include "src/robustness/retry_budget.h"
+#include "src/simulator/telemetry.h"
 
 namespace sarathi {
 namespace {
@@ -326,6 +329,15 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
           ? options_.replica.tracer
           : nullptr;
   MetricsRegistry* dest_metrics = options_.replica.metrics;
+  // The flight recorder and SLO monitor get the merged, client-visible
+  // timeline replayed post-hoc (end of Run) rather than the per-round replica
+  // feeds, which would double-count every re-simulated attempt and fire
+  // triggers for rounds that were discarded.
+  FlightRecorder* flight = options_.replica.flight;
+  SloMonitor* slo = options_.replica.slo;
+  ObsHooks router_obs;
+  router_obs.tracer = dest_tracer;
+  router_obs.metrics = dest_metrics;
   std::vector<std::unique_ptr<Tracer>> replica_tracers(static_cast<size_t>(n));
   std::vector<std::unique_ptr<MetricsRegistry>> replica_metrics(static_cast<size_t>(n));
   if (dest_tracer != nullptr) {
@@ -371,6 +383,9 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
   // routing, spent by crash retries. A request denied a token never re-asks —
   // its crash failure stands — so denials are bounded by the request count.
   RetryBudget retry_budget(options_.retry_budget_ratio, options_.retry_budget_burst);
+  if (router_obs.active()) {
+    retry_budget.set_obs(&router_obs);
+  }
   std::vector<bool> retry_denied(num_requests, false);
   int64_t retries_denied = 0;
   int64_t hedges_suppressed = 0;
@@ -414,7 +429,7 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
     CHECK_GE(pick, 0);  // Quarantine is empty during initial routing.
     assignment_[i] = pick;
     chains[i].push_back({pick, t, false});
-    retry_budget.OnRequest();
+    retry_budget.OnRequest(t);
     InsertSorted(&sub[static_cast<size_t>(pick)], request);
   }
 
@@ -432,6 +447,10 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
     replica_options.trace_pid = r;
     replica_options.tracer = nullptr;
     replica_options.metrics = nullptr;
+    // Shared PR-level sinks never see discarded retry rounds; the merged
+    // result is replayed into them once at the end of Run.
+    replica_options.flight = nullptr;
+    replica_options.slo = nullptr;
     if (dest_tracer != nullptr) {
       replica_tracers[static_cast<size_t>(r)] = std::make_unique<Tracer>();
       replica_options.tracer = replica_tracers[static_cast<size_t>(r)].get();
@@ -514,7 +533,7 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
         size_t i = retry.index;
         // Budget check in dispatch (time) order: under a storm the earliest
         // retries drain the bucket and the rest keep their crash failures.
-        if (!retry_budget.TryConsume()) {
+        if (!retry_budget.TryConsume(retry.time)) {
           retry_denied[i] = true;
           ++retries_denied;
           if (dest_tracer != nullptr) {
@@ -528,6 +547,9 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
         }
         Request attempt = stamped.requests[i];
         attempt.arrival_time_s = retry.time;
+        // Distinct round → distinct async-span id, even when the retry lands
+        // back on a replica that already traced an attempt of this request.
+        attempt.retry_round = static_cast<int64_t>(chains[i].size());
         if (attempt.deadline_s > 0.0) {
           // The clock started at the original arrival; only the remainder is
           // available to the retried attempt.
@@ -684,6 +706,7 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
         }
         Request attempt = stamped.requests[d.index];
         attempt.arrival_time_s = t;
+        attempt.retry_round = static_cast<int64_t>(chains[d.index].size());
         attempt.num_samples = 1;
         if (attempt.deadline_s > 0.0) {
           attempt.deadline_s = deadline_abs - t;
@@ -730,6 +753,7 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
       }
       Request attempt = original;
       attempt.arrival_time_s = ready;
+      attempt.retry_round = static_cast<int64_t>(chains[tr.index].size());
       attempt.num_samples = 1;
       attempt.restored_generated = tr.generated;
       if (attempt.deadline_s > 0.0) {
@@ -824,6 +848,10 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
         }
         Request attempt = stamped.requests[i];
         attempt.arrival_time_s = t_h;
+        // Hedges sit outside the retry chain but still need a round of their
+        // own: chains[i].size() is one past the last chained attempt's round,
+        // and no further chain attempt is created after hedging.
+        attempt.retry_round = static_cast<int64_t>(chains[i].size());
         attempt.num_samples = 1;
         if (attempt.deadline_s > 0.0) {
           attempt.deadline_s = deadline_abs - t_h;
@@ -904,6 +932,7 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
     if (shed[i]) {
       RequestMetrics m;
       m.id = original.id;
+      m.qos = original.qos;
       m.arrival_s = original.arrival_time_s;
       m.deadline_s = original.deadline_s;
       m.failed_s = original.arrival_time_s;
@@ -1071,6 +1100,71 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
   merged.num_retries_denied = retries_denied;
   merged.num_hedges_suppressed = hedges_suppressed;
   merged.num_backpressure_skips = backpressure_skips_;
+
+  // ---- Post-hoc flight / SLO replay ----
+  // Only the merged result is the client-visible timeline, so the shared
+  // sinks are fed here, in global time order, once per Run.
+  if (flight != nullptr) {
+    enum ReplayKind { kArrival, kCompletion, kFailure, kProbe, kCrash, kRecover };
+    struct FlightReplay {
+      double t;
+      ReplayKind kind;
+      int pid;
+      int64_t id;
+      double value;
+    };
+    std::vector<FlightReplay> replay;
+    for (const RequestMetrics& m : merged.requests) {
+      replay.push_back({m.arrival_s, kArrival, n, m.id, 0.0});
+      if (m.completed()) {
+        replay.push_back({m.completion_s, kCompletion, n, m.id, m.completion_s - m.arrival_s});
+      } else if (m.failed()) {
+        replay.push_back(
+            {m.failed_s, kFailure, n, m.id, static_cast<double>(static_cast<int>(m.failure))});
+      }
+    }
+    for (const HealthTransition& tr : prober.transitions()) {
+      replay.push_back({tr.time_s, kProbe, tr.replica, static_cast<int64_t>(tr.to), 0.0});
+    }
+    for (int r = 0; r < n; ++r) {
+      for (const ReplicaOutage& outage : outage_schedules_[static_cast<size_t>(r)]) {
+        if (outage.down_s > merged.makespan_s) {
+          continue;
+        }
+        replay.push_back({outage.down_s, kCrash, r, 0, 0.0});
+        replay.push_back({outage.up_s, kRecover, r, 0, 0.0});
+      }
+    }
+    std::stable_sort(replay.begin(), replay.end(),
+                     [](const FlightReplay& a, const FlightReplay& b) { return a.t < b.t; });
+    for (const FlightReplay& e : replay) {
+      switch (e.kind) {
+        case kArrival:
+          flight->RecordInstant("request", "arrival", e.t, e.pid,
+                                {{"request", static_cast<double>(e.id)}});
+          break;
+        case kCompletion:
+          flight->RecordInstant("request", "completion", e.t, e.pid,
+                                {{"request", static_cast<double>(e.id)}, {"latency_s", e.value}});
+          break;
+        case kFailure:
+          flight->RecordInstant("fault", "failure", e.t, e.pid,
+                                {{"request", static_cast<double>(e.id)}, {"failure", e.value}});
+          break;
+        case kProbe:
+          flight->RecordInstant("router", "probe_transition", e.t, e.pid,
+                                {{"health", static_cast<double>(e.id)}});
+          break;
+        case kCrash:
+          flight->Trigger("replica_crash", e.t, e.pid);
+          break;
+        case kRecover:
+          flight->RecordInstant("fault", "recovered", e.t, e.pid);
+          break;
+      }
+    }
+  }
+  ReplaySloFromResult(merged, slo);
   return merged;
 }
 

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/common/stats.h"
+#include "src/workload/trace.h"
 
 namespace sarathi {
 
@@ -33,6 +34,8 @@ std::string_view FailureKindName(FailureKind kind);
 struct RequestMetrics {
   int64_t id = 0;
   double arrival_s = 0.0;
+  // Overload-control lane the request ran in; SLO policies filter on it.
+  QosClass qos = QosClass::kInteractive;
   // First time any chunk of the request was scheduled (-1 until then).
   double first_scheduled_s = -1.0;
   // Emission time of each output token (index 0 is the TTFT point).

@@ -70,17 +70,24 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
   obs.tracer = options_.tracer;
   obs.metrics = options_.metrics;
   obs.verify = options_.checker;
+  obs.flight = options_.flight;
   if (obs.active()) {
     allocator->set_obs(&obs);
     scheduler->set_obs(&obs);
   }
   InvariantChecker* checker = options_.checker;
   if (checker != nullptr) {
+    if (options_.flight != nullptr) {
+      checker->set_flight(options_.flight);
+    }
     checker->BeginRun(scheduler.get(), allocator.get(),
                       scheduler->name() + "/replica" + std::to_string(options_.trace_pid));
   }
   Tracer* tracer = obs.ActiveTracer();
   MetricsRegistry* metrics = obs.metrics;
+  FlightRecorder* flight = options_.flight;
+  SloMonitor* slo_monitor = options_.slo;
+  const int fpid = options_.trace_pid;
   if (tracer != nullptr) {
     tracer->set_default_pid(options_.trace_pid);
     tracer->SetProcessName(options_.trace_pid, "replica " + std::to_string(options_.trace_pid));
@@ -107,6 +114,7 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
     result.requests[i].id = trace.requests[i].id;
     result.requests[i].arrival_s = trace.requests[i].arrival_time_s;
     result.requests[i].deadline_s = trace.requests[i].deadline_s;
+    result.requests[i].qos = trace.requests[i].qos;
     if (options_.reuse_buffers) {
       // One emission per output token; reserving up front keeps steady-state
       // iterations free of telemetry-buffer growth.
@@ -127,6 +135,15 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
   // the same (category, id) but distinct names render nested in Perfetto.
   enum SpanPhase : uint8_t { kSpanNone = 0, kSpanQueued, kSpanPrefill, kSpanDecode, kSpanClosed };
   std::vector<uint8_t> span_phase(trace.size(), kSpanNone);
+  // Async spans are keyed by (pid, category, id), but cluster retry rounds
+  // re-dispatch the same request id — two attempts on one replica would
+  // cross-match begins/ends. Each attempt's span id therefore folds in its
+  // retry round; round 0 keeps the raw id (byte-identical traces when no
+  // retries happen). Forked siblings are always round 0.
+  std::vector<int64_t> span_round(trace.size(), 0);
+  for (size_t i = 0; i < trace.size(); ++i) {
+    span_round[i] = trace.requests[i].retry_round;
+  }
   auto span_name = [](uint8_t phase) -> const char* {
     switch (phase) {
       case kSpanQueued:
@@ -149,9 +166,16 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
     if (current == phase || current == kSpanClosed) {
       return;
     }
-    int64_t id = result.requests[idx].id;
+    int64_t request_id = result.requests[idx].id;
+    int64_t round = span_round[idx];
+    int64_t id = SpanIdForAttempt(request_id, round);
     if (current == kSpanNone) {
-      tracer->AsyncBegin("request", "request", id, t, {Arg("request", id)});
+      if (round > 0) {
+        tracer->AsyncBegin("request", "request", id, t,
+                           {Arg("request", request_id), Arg("round", round)});
+      } else {
+        tracer->AsyncBegin("request", "request", id, t, {Arg("request", request_id)});
+      }
     } else {
       tracer->AsyncEnd("request", span_name(current), id, t);
     }
@@ -231,10 +255,16 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
   if (overload.queue_limit_s > 0.0) {
     codel = std::make_unique<CoDelQueue>(
         CoDelOptions{overload.queue_limit_s, overload.codel_interval_s});
+    if (obs.active()) {
+      codel->set_obs(&obs);
+    }
   }
   std::unique_ptr<OverloadController> controller;
   if (overload.brownout) {
     controller = std::make_unique<OverloadController>(overload.controller);
+    if (obs.active()) {
+      controller->set_obs(&obs);
+    }
   }
   // Windowed P99 TBT signal: samples accumulate per elapsed second of
   // simulation time; the controller reads the last completed window.
@@ -261,7 +291,8 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
   // and batch-lane brownout sheds. The request must already be out of the
   // scheduler (never enqueued, or just aborted); `what` is both the tracer
   // instant name and the metrics counter.
-  auto mark_shed = [&](size_t idx, double t, const char* what, double retry_after_s) {
+  auto mark_shed = [&](size_t idx, double t, const char* what, double retry_after_s,
+                       double predicted_ttft_s) {
     RequestState* state = states[idx].get();
     state->set_phase(RequestPhase::kFailed);
     RequestMetrics& request_metrics = result.requests[idx];
@@ -271,9 +302,16 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
     request_metrics.wasted_tokens =
         state->wasted_tokens() + state->prefill_done() + state->generated();
     if (tracer != nullptr) {
-      tracer->Instant("overload", what, t,
-                      {Arg("request", request_metrics.id),
-                       Arg("retry_after_s", retry_after_s)});
+      if (predicted_ttft_s > 0.0) {
+        tracer->Instant("overload", what, t,
+                        {Arg("request", request_metrics.id),
+                         Arg("retry_after_s", retry_after_s),
+                         Arg("predicted_ttft_s", predicted_ttft_s)});
+      } else {
+        tracer->Instant("overload", what, t,
+                        {Arg("request", request_metrics.id),
+                         Arg("retry_after_s", retry_after_s)});
+      }
     }
     span_transition(idx, kSpanClosed, t);
     if (metrics != nullptr) {
@@ -281,6 +319,18 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
       if (retry_after_s > 0.0) {
         metrics->Observe("retry_after_s", t, retry_after_s);
       }
+      if (predicted_ttft_s > 0.0) {
+        metrics->Observe("shed_predicted_ttft_s", t, predicted_ttft_s);
+      }
+    }
+    if (flight != nullptr) {
+      flight->RecordInstant("overload", what, t, fpid,
+                            {{"request", static_cast<double>(request_metrics.id)},
+                             {"retry_after_s", retry_after_s},
+                             {"predicted_ttft_s", predicted_ttft_s}});
+    }
+    if (slo_monitor != nullptr) {
+      slo_monitor->RecordOutcome(request_metrics.qos, /*good=*/false, t);
     }
   };
 
@@ -317,6 +367,7 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
         bool shed = false;
         const char* shed_what = nullptr;
         double retry_after = 0.0;
+        double predicted_ttft = 0.0;
         if (overload_active && overload_eligible(next_arrival)) {
           OverloadLevel level =
               controller != nullptr ? controller->level() : OverloadLevel::kNormal;
@@ -336,9 +387,11 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
             }
             int64_t backlog = scheduler->QueuedPrefillTokens();
             int64_t decodes = static_cast<int64_t>(scheduler->running().size());
-            if (admission->PredictTtftS(backlog, decodes, state->prompt_tokens()) > slo) {
+            double predicted = admission->PredictTtftS(backlog, decodes, state->prompt_tokens());
+            if (predicted > slo) {
               shed = true;
               shed_what = "shed_admission";
+              predicted_ttft = predicted;
               retry_after =
                   admission->RetryAfterS(backlog, decodes, state->prompt_tokens(), slo);
               ++result.num_shed_admission;
@@ -346,7 +399,7 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
           }
         }
         if (shed) {
-          mark_shed(next_arrival, arrival, shed_what, retry_after);
+          mark_shed(next_arrival, arrival, shed_what, retry_after, predicted_ttft);
         } else {
           if (controller != nullptr && controller->level() >= OverloadLevel::kBrownout &&
               state->qos() == QosClass::kBatch && overload.brownout_output_cap > 0 &&
@@ -365,6 +418,10 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
       }
       if (metrics != nullptr) {
         metrics->AddCount("arrivals", arrival);
+      }
+      if (flight != nullptr) {
+        flight->RecordInstant("request", "arrival", arrival, fpid,
+                              {{"request", static_cast<double>(trace.requests[next_arrival].id)}});
       }
       ++next_arrival;
     }
@@ -403,6 +460,16 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
                                done.exit_s - request_metrics.token_times_s.back());
             }
           }
+          if (slo_monitor != nullptr) {
+            if (request_metrics.token_times_s.empty()) {
+              slo_monitor->RecordLatency(SloSignal::kTtft, request_metrics.qos,
+                                         done.exit_s - request_metrics.arrival_s, done.exit_s);
+            } else {
+              slo_monitor->RecordLatency(SloSignal::kTbt, request_metrics.qos,
+                                         done.exit_s - request_metrics.token_times_s.back(),
+                                         done.exit_s);
+            }
+          }
           if (controller != nullptr && !request_metrics.token_times_s.empty()) {
             // Feed the controller's windowed P99 TBT signal.
             tbt_window.Record(done.exit_s - request_metrics.token_times_s.back());
@@ -436,6 +503,7 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
 
           RequestMetrics child_metrics;
           child_metrics.id = child_id;
+          child_metrics.qos = item.request->qos();
           child_metrics.arrival_s = item.request->arrival_time_s();
           child_metrics.first_scheduled_s = parent_first_scheduled;
           child_metrics.token_times_s.push_back(done.exit_s);
@@ -456,6 +524,7 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
           // Sibling spans begin at the fork point, already decoding (or
           // instantly closed for single-token samples).
           span_phase.push_back(kSpanNone);
+          span_round.push_back(0);
           span_transition(result.requests.size() - 1, kSpanDecode, done.exit_s);
           if (child_done) {
             span_transition(result.requests.size() - 1, kSpanClosed, done.exit_s);
@@ -484,6 +553,14 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
           span_transition(idx, kSpanClosed, done.exit_s);
           if (metrics != nullptr) {
             metrics->AddCount("completions", done.exit_s);
+          }
+          if (flight != nullptr) {
+            flight->RecordInstant("request", "completion", done.exit_s, fpid,
+                                  {{"request", static_cast<double>(request_metrics.id)}});
+          }
+          if (slo_monitor != nullptr) {
+            slo_monitor->RecordOutcome(request_metrics.qos, request_metrics.good(),
+                                       done.exit_s);
           }
         }
       }
@@ -522,6 +599,13 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
       span_transition(idx, kSpanClosed, deadline_abs);
       if (metrics != nullptr) {
         metrics->AddCount("timeouts", deadline_abs);
+      }
+      if (flight != nullptr) {
+        flight->RecordInstant("fault", "timeout", deadline_abs, fpid,
+                              {{"request", static_cast<double>(request_metrics.id)}});
+      }
+      if (slo_monitor != nullptr) {
+        slo_monitor->RecordOutcome(request_metrics.qos, /*good=*/false, deadline_abs);
       }
       return true;
     };
@@ -667,6 +751,12 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
     if (metrics != nullptr) {
       metrics->AddCount("outages", outage.down_s);
     }
+    if (flight != nullptr) {
+      // The trigger instant itself carries the reason; the recovery edge is
+      // recorded so a post-crash dump shows the outage extent.
+      flight->Trigger("replica_crash", outage.down_s, fpid);
+      flight->RecordInstant("fault", "recovered", outage.up_s, fpid);
+    }
     for (double& f : stage_free) {
       f = std::max(f, outage.up_s);
     }
@@ -729,6 +819,15 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
             metrics->SetGauge("overload_level", now,
                               static_cast<double>(static_cast<int>(level)));
           }
+          if (flight != nullptr) {
+            flight->RecordCounter("overload", "overload_level", now, fpid,
+                                  static_cast<double>(static_cast<int>(level)));
+            if (level > prev && level >= OverloadLevel::kBrownout) {
+              flight->Trigger(level >= OverloadLevel::kShed ? "overload_shed"
+                                                            : "overload_brownout",
+                              now, fpid);
+            }
+          }
         }
       }
       if (codel != nullptr) {
@@ -748,7 +847,7 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
           size_t idx = static_cast<size_t>(oldest->slot());
           CHECK(scheduler->Abort(oldest));
           ++result.num_shed_queue;
-          mark_shed(idx, now, "shed_queue", 0.0);
+          mark_shed(idx, now, "shed_queue", 0.0, 0.0);
         }
       }
     }
@@ -846,6 +945,14 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
                          {Arg("tokens", batch.TotalTokens()), Arg("decodes", batch.NumDecodes()),
                           Arg("prefill_tokens", batch.NumPrefillTokens())});
       }
+      if (flight != nullptr) {
+        // Literal name (not batch.Describe()): the flight path must not
+        // allocate in steady state; the shape args carry the batch identity.
+        flight->RecordComplete("iteration", "iteration", stage_start, stage_time, fpid, s,
+                               {{"tokens", static_cast<double>(batch.TotalTokens())},
+                                {"decodes", static_cast<double>(batch.NumDecodes())},
+                                {"prefill_tokens", static_cast<double>(batch.NumPrefillTokens())}});
+      }
       enter = stage_start + stage_time;
       stage_free[static_cast<size_t>(s)] = enter;
     }
@@ -929,6 +1036,10 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
   result.total_kv_blocks = allocator->total_units();
   if (metrics != nullptr) {
     metrics->Finalize(result.makespan_s);
+  }
+  if (slo_monitor != nullptr) {
+    // Close out the burn-rate windows so trailing badness still alerts.
+    slo_monitor->AdvanceTo(result.makespan_s);
   }
   return result;
 }

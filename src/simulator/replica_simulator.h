@@ -17,6 +17,7 @@
 
 #include "src/engine/execution_engine.h"
 #include "src/obs/obs_hooks.h"
+#include "src/obs/slo_monitor.h"
 #include "src/perfmodel/iteration_cost.h"
 #include "src/robustness/overload_controller.h"
 #include "src/scheduler/scheduler.h"
@@ -106,6 +107,19 @@ struct SimulatorOptions {
   Tracer* tracer = nullptr;
   MetricsRegistry* metrics = nullptr;
   int trace_pid = 0;
+
+  // Always-on flight recorder (may be null). Unlike the tracer it records
+  // without allocating, so it stays enabled in steady state; the simulator
+  // feeds it arrivals, per-stage iteration slices, sheds/timeouts,
+  // completions, overload-ladder moves and crashes, and fires Trigger() on
+  // an overload escalation to brownout/shed and on a replica crash.
+  FlightRecorder* flight = nullptr;
+
+  // Live SLO burn-rate monitor (may be null). The simulator feeds TTFT/TBT
+  // samples at token emission and request outcomes at completion/timeout/
+  // shed; alert emission goes through the sinks the caller bound with
+  // SloMonitor::Bind.
+  SloMonitor* slo = nullptr;
 
   // Overload control (src/robustness): SLO-aware admission, CoDel bounded
   // queue, and the brownout ladder. All knobs default off; a default

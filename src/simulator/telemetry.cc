@@ -111,6 +111,48 @@ void WriteAggregateCsv(const SimResult& result, std::ostream& out) {
   out << "kv_peak_utilization," << result.PeakKvUtilization() << '\n';
 }
 
+void ReplaySloFromResult(const SimResult& result, SloMonitor* slo) {
+  if (slo == nullptr || !slo->enabled()) {
+    return;
+  }
+  struct Event {
+    double t;
+    SloSignal signal;
+    QosClass qos;
+    double value;  // latency sample for kTtft/kTbt; unused for outcomes
+    bool is_outcome;
+    bool good;
+  };
+  std::vector<Event> events;
+  for (const RequestMetrics& r : result.requests) {
+    if (!r.token_times_s.empty()) {
+      double first = r.token_times_s.front();
+      events.push_back({first, SloSignal::kTtft, r.qos, first - r.arrival_s, false, false});
+      for (size_t i = 1; i < r.token_times_s.size(); ++i) {
+        events.push_back({r.token_times_s[i], SloSignal::kTbt, r.qos,
+                          r.token_times_s[i] - r.token_times_s[i - 1], false, false});
+      }
+    }
+    if (r.completed()) {
+      events.push_back({r.completion_s, SloSignal::kGoodput, r.qos, 0.0, true, r.good()});
+    } else if (r.failed()) {
+      events.push_back({r.failed_s, SloSignal::kGoodput, r.qos, 0.0, true, false});
+    }
+  }
+  // The monitor's clock only moves forward; a time-sorted replay lands every
+  // sample in its own burn-rate bucket instead of the tail one.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& a, const Event& b) { return a.t < b.t; });
+  for (const Event& e : events) {
+    if (e.is_outcome) {
+      slo->RecordOutcome(e.qos, e.good, e.t);
+    } else {
+      slo->RecordLatency(e.signal, e.qos, e.value, e.t);
+    }
+  }
+  slo->AdvanceTo(result.makespan_s);
+}
+
 Status ExportTelemetry(const SimResult& result, const std::string& directory,
                        const std::string& prefix) {
   struct Section {

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "src/common/status.h"
+#include "src/obs/slo_monitor.h"
 #include "src/simulator/metrics.h"
 
 namespace sarathi {
@@ -47,6 +48,14 @@ void WriteAggregateCsv(const SimResult& result, std::ostream& out);
 // Status if creation or any write fails.
 Status ExportTelemetry(const SimResult& result, const std::string& directory,
                        const std::string& prefix);
+
+// Feeds a finished run's client-visible timeline into an SLO monitor in
+// global time order: a TTFT sample at each request's first token, a TBT
+// sample per token gap, and a good/bad outcome at completion or failure.
+// Cluster runs use this instead of live per-replica feeding — retry rounds
+// re-simulate replicas from scratch, so only the merged result reflects what
+// the client experienced. No-op when `slo` is null or has no policies.
+void ReplaySloFromResult(const SimResult& result, SloMonitor* slo);
 
 }  // namespace sarathi
 

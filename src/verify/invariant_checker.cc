@@ -1,5 +1,6 @@
 #include "src/verify/invariant_checker.h"
 
+#include <algorithm>
 #include <sstream>
 #include <utility>
 
@@ -55,6 +56,12 @@ void InvariantChecker::AddViolation(Invariant invariant, int64_t request_id,
   violation.request_id = request_id;
   violation.message = std::move(message);
   ++total_violations_;
+  if (flight_ != nullptr) {
+    // Dump the flight ring before a fatal abort can tear the process down;
+    // the events preceding the violation are the record worth keeping.
+    flight_->Trigger("invariant_violation",
+                     std::max(last_schedule_s_, last_apply_s_));
+  }
   if (options_.fatal) {
     LOG(Fatal) << "invariant violation: " << violation.Render();
   }

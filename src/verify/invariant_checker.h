@@ -63,6 +63,7 @@
 #include <vector>
 
 #include "src/memory/kv_allocator.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/verify_hook.h"
 #include "src/scheduler/batch.h"
 #include "src/scheduler/scheduler.h"
@@ -132,6 +133,10 @@ class InvariantChecker final : public VerifyHook {
   void OnSchedulerEvent(SchedVerifyEvent event, const RequestState* request) override;
   void OnKvEvent(KvVerifyEvent event, int64_t seq_id) override;
 
+  // Flight recorder to fire on the first violation (may be null). Fired
+  // before a fatal abort, so the dump survives even in fatal mode.
+  void set_flight(FlightRecorder* flight) { flight_ = flight; }
+
   bool ok() const { return total_violations_ == 0; }
   const std::vector<Violation>& violations() const { return violations_; }
   int64_t total_violations() const { return total_violations_; }
@@ -176,6 +181,7 @@ class InvariantChecker final : public VerifyHook {
   void CheckStallFree(const ScheduledBatch& batch);
 
   Options options_;
+  FlightRecorder* flight_ = nullptr;
   std::vector<Violation> violations_;
   int64_t total_violations_ = 0;
   int64_t total_iterations_ = 0;

@@ -51,9 +51,24 @@ struct Request {
   // already generated on another replica and its prompt+generated KV in
   // tow; it resumes decoding without recomputing. 0 for normal requests.
   int64_t restored_generated = 0;
+  // Which cluster attempt this is (0 = original dispatch; crash retries,
+  // drain/migration failovers and hedges each get the next round). Request
+  // ids repeat across rounds, so observability keys that must be unique per
+  // attempt — tracer async-span ids — combine (retry_round, id).
+  int64_t retry_round = 0;
 
   int64_t total_tokens() const { return prompt_tokens + output_tokens; }
 };
+
+// Async-span key for one attempt: id + retry_round * stride. Keeps round-0
+// spans keyed by the raw request id (byte-identical traces for runs without
+// retries) while later rounds land in disjoint id ranges; analysis tools
+// invert it with id % / id / kSpanIdRoundStride.
+constexpr int64_t kSpanIdRoundStride = 1000000000000;
+
+inline int64_t SpanIdForAttempt(int64_t request_id, int64_t retry_round) {
+  return request_id + retry_round * kSpanIdRoundStride;
+}
 
 struct Trace {
   std::string name;

@@ -14,6 +14,8 @@
 #include <gtest/gtest.h>
 
 #include "src/core/serving_system.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/slo_monitor.h"
 #include "src/simulator/replica_simulator.h"
 #include "src/workload/trace.h"
 
@@ -96,6 +98,54 @@ TEST(AllocationTest, SteadyStateDecodeIterationsAreAllocationFree) {
   EXPECT_EQ(short_allocs, long_allocs)
       << "the longer run allocated " << (long_allocs - short_allocs)
       << " more times; some per-iteration path still touches the heap";
+}
+
+TEST(AllocationTest, FlightRecorderAndSloMonitorStayAllocationFree) {
+  // The flight recorder is "always on" precisely because its record path is a
+  // struct write into a preallocated ring; the SLO monitor's record path is a
+  // bucket increment in a preallocated window ring. With both attached, extra
+  // steady-state decode iterations must still cost zero allocations.
+  Deployment deployment = MistralOnA100();
+  SimulatorOptions options = BaseOptions(deployment, 512);
+  auto model = std::make_shared<IterationCostModel>(deployment.model, deployment.cluster,
+                                                    deployment.parallel);
+  options.cost_model = model;
+
+  Trace short_trace = UniformTrace(4, 512, 32, 0.0);
+  Trace long_trace = UniformTrace(4, 512, 160, 0.0);
+  ReplicaSimulator(options).Run(long_trace);
+  ReplicaSimulator(options).Run(short_trace);
+
+  // Recorder and monitor are built inside the counted region: their setup
+  // allocations are identical across the two traces, so any difference comes
+  // from per-iteration or per-token recording.
+  auto allocations_for = [&](const Trace& trace) {
+    int64_t before = g_allocations.load(std::memory_order_relaxed);
+    FlightRecorder::Options flight_options;
+    flight_options.capacity = 512;
+    FlightRecorder recorder(flight_options);
+    SloMonitor monitor;
+    SloPolicy policy;
+    policy.name = "tbt";
+    policy.signal = SloSignal::kTbt;
+    // Unmissable threshold: nothing alerts, and alert emission is the one
+    // monitor path allowed to allocate.
+    policy.threshold_s = 10.0;
+    monitor.AddPolicy(policy);
+    SimulatorOptions observed = options;
+    observed.flight = &recorder;
+    observed.slo = &monitor;
+    ReplicaSimulator(observed).Run(trace);
+    EXPECT_GT(recorder.total_recorded(), 0);
+    EXPECT_TRUE(monitor.alerts().empty());
+    return g_allocations.load(std::memory_order_relaxed) - before;
+  };
+
+  int64_t short_allocs = allocations_for(short_trace);
+  int64_t long_allocs = allocations_for(long_trace);
+  EXPECT_EQ(short_allocs, long_allocs)
+      << "with the flight recorder and SLO monitor attached the longer run "
+      << "allocated " << (long_allocs - short_allocs) << " more times";
 }
 
 TEST(AllocationTest, ReuseBuffersOffAllocatesPerIteration) {

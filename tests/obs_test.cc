@@ -16,7 +16,10 @@
 #include <gtest/gtest.h>
 
 #include "src/core/serving_system.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/inspect.h"
 #include "src/obs/metrics_registry.h"
+#include "src/obs/slo_monitor.h"
 #include "src/obs/tracer.h"
 #include "src/simulator/cluster_simulator.h"
 #include "src/simulator/replica_simulator.h"
@@ -828,6 +831,592 @@ TEST(SimulatorObsTest, ClusterFaultRunTracesAllProcesses) {
   std::ostringstream out;
   tracer.WriteChromeTraceJson(out);
   EXPECT_TRUE(MiniJsonParser(out.str()).Validate());
+}
+
+// ---- Flight recorder ----
+
+TEST(FlightRecorderTest, RingWrapsKeepingNewestEvents) {
+  FlightRecorder::Options options;
+  options.capacity = 8;
+  FlightRecorder recorder(options);
+  for (int i = 0; i < 20; ++i) {
+    recorder.RecordInstant("test", "tick", 0.1 * i, /*pid=*/0,
+                           {{"i", static_cast<double>(i)}});
+  }
+  EXPECT_EQ(recorder.capacity(), 8);
+  EXPECT_EQ(recorder.size(), 8);
+  EXPECT_EQ(recorder.total_recorded(), 20);
+
+  std::vector<FlightEvent> snapshot = recorder.Snapshot();
+  ASSERT_EQ(snapshot.size(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    // Oldest-to-newest: the 8 survivors are events 12..19.
+    EXPECT_DOUBLE_EQ(snapshot[i].ts_s, 0.1 * (12 + i));
+    ASSERT_EQ(snapshot[i].num_args, 1);
+    EXPECT_DOUBLE_EQ(snapshot[i].args[0].value, static_cast<double>(12 + i));
+  }
+}
+
+TEST(FlightRecorderTest, FirstTriggerAutoDumpsValidChromeTrace) {
+  std::string dir = TestDir("flight_dump");
+  FlightRecorder::Options options;
+  options.capacity = 64;
+  options.dump_path = dir + "/flight.json";
+  FlightRecorder recorder(options);
+  for (int i = 0; i < 10; ++i) {
+    recorder.RecordInstant("scheduler", "admit", 0.1 * i, 0);
+  }
+  recorder.RecordComplete("iteration", "batch", 1.0, 0.05, 0, 1, {{"tokens", 256.0}});
+  recorder.RecordCounter("kv", "blocks", 1.1, 0, 12.0);
+
+  ASSERT_TRUE(recorder.Trigger("invariant_violation", 1.2).ok());
+  EXPECT_EQ(recorder.triggers(), 1);
+  EXPECT_STREQ(recorder.trigger_reason(), "invariant_violation");
+  EXPECT_TRUE(recorder.dumped());
+  EXPECT_TRUE(recorder.dump_status().ok());
+
+  std::ifstream in(options.dump_path);
+  ASSERT_TRUE(in.good()) << "auto-dump missing at " << options.dump_path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::string json = buffer.str();
+  EXPECT_TRUE(MiniJsonParser(json).Validate()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+
+  // Every event recorded before the trigger is in the dump, ahead of the
+  // trigger instant (the whole point of a flight recorder).
+  size_t trigger_pos = json.find("invariant_violation");
+  ASSERT_NE(trigger_pos, std::string::npos);
+  int64_t admits = 0;
+  for (size_t pos = json.find("admit"); pos != std::string::npos;
+       pos = json.find("admit", pos + 1)) {
+    EXPECT_LT(pos, trigger_pos);
+    ++admits;
+  }
+  EXPECT_EQ(admits, 10);
+  EXPECT_LT(json.find("\"ph\":\"X\""), trigger_pos);
+  EXPECT_LT(json.find("\"ph\":\"C\""), trigger_pos);
+
+  // Later triggers count but keep the first dump and reason.
+  ASSERT_TRUE(recorder.Trigger("slo_burn_alert", 2.0).ok());
+  EXPECT_EQ(recorder.triggers(), 2);
+  EXPECT_STREQ(recorder.trigger_reason(), "invariant_violation");
+}
+
+TEST(FlightRecorderTest, TriggerWithoutDumpPathOnlyCounts) {
+  FlightRecorder recorder;
+  recorder.RecordInstant("test", "tick", 0.0, 0);
+  ASSERT_TRUE(recorder.Trigger("overload_shed", 0.5).ok());
+  EXPECT_EQ(recorder.triggers(), 1);
+  EXPECT_FALSE(recorder.dumped());
+  EXPECT_TRUE(recorder.dump_status().ok());
+
+  // An explicit export still works and matches the tracer JSON dialect.
+  std::ostringstream out;
+  recorder.WriteChromeTraceJson(out);
+  EXPECT_TRUE(MiniJsonParser(out.str()).Validate()) << out.str();
+}
+
+// ---- SLO monitor ----
+
+SloPolicy TbtBurnPolicy() {
+  SloPolicy policy;
+  policy.name = "interactive-tbt";
+  policy.signal = SloSignal::kTbt;
+  policy.threshold_s = 0.1;
+  policy.target = 0.9;
+  policy.fast_window_s = 2.0;
+  policy.slow_window_s = 6.0;
+  policy.fast_burn = 6.0;
+  policy.slow_burn = 3.0;
+  return policy;
+}
+
+TEST(SloMonitorTest, SustainedBurnAlertsOnceOnRisingEdge) {
+  SloMonitor monitor;
+  int index = monitor.AddPolicy(TbtBurnPolicy());
+  ASSERT_TRUE(monitor.enabled());
+
+  // 10 seconds of all-bad samples at 10 Hz: burn = 1 / (1 - 0.9) = 10, above
+  // both the fast (6x) and slow (3x) thresholds, but the condition only
+  // crosses from quiet to firing once.
+  for (int i = 0; i < 100; ++i) {
+    monitor.RecordLatency(SloSignal::kTbt, QosClass::kInteractive, 0.5, 0.1 * i);
+  }
+  monitor.AdvanceTo(10.0);
+
+  ASSERT_EQ(monitor.alerts().size(), 1u);
+  const SloAlert& alert = monitor.alerts()[0];
+  EXPECT_EQ(alert.policy, index);
+  EXPECT_EQ(alert.name, "interactive-tbt");
+  EXPECT_GE(alert.fast_burn, 6.0);
+  EXPECT_GE(alert.slow_burn, 3.0);
+  EXPECT_NEAR(monitor.BurnRate(index, 6.0), 10.0, 1e-9);
+
+  std::vector<SloComplianceRow> report = monitor.ComplianceReport();
+  ASSERT_EQ(report.size(), 1u);
+  EXPECT_EQ(report[0].good, 0);
+  EXPECT_EQ(report[0].bad, 100);
+  EXPECT_EQ(report[0].alerts, 1);
+  EXPECT_FALSE(report[0].met());
+  EXPECT_NE(monitor.RenderComplianceReport().find("VIOLATED"), std::string::npos);
+}
+
+TEST(SloMonitorTest, ShortBlipIsSuppressedByTheSlowWindow) {
+  SloMonitor monitor;
+  monitor.AddPolicy(TbtBurnPolicy());
+
+  // One minute of healthy traffic at 10 Hz with a single 0.5 s bad burst:
+  // the fast window spikes but the slow window never crosses 3x burn.
+  for (int i = 0; i < 600; ++i) {
+    double t = 0.1 * i;
+    bool bad = t >= 30.0 && t < 30.5;
+    monitor.RecordLatency(SloSignal::kTbt, QosClass::kInteractive, bad ? 0.5 : 0.01, t);
+  }
+  monitor.AdvanceTo(60.0);
+
+  EXPECT_TRUE(monitor.alerts().empty());
+  std::vector<SloComplianceRow> report = monitor.ComplianceReport();
+  ASSERT_EQ(report.size(), 1u);
+  EXPECT_EQ(report[0].bad, 5);
+  EXPECT_TRUE(report[0].met());  // 595/600 > 0.9.
+}
+
+TEST(SloMonitorTest, LaneFilterRoutesOnlyMatchingTraffic) {
+  SloMonitor monitor;
+  SloPolicy policy = TbtBurnPolicy();
+  policy.all_lanes = false;
+  policy.lane = QosClass::kInteractive;
+  monitor.AddPolicy(policy);
+
+  for (int i = 0; i < 50; ++i) {
+    monitor.RecordLatency(SloSignal::kTbt, QosClass::kBatch, 0.5, 0.1 * i);
+  }
+  monitor.AdvanceTo(5.0);
+  EXPECT_TRUE(monitor.alerts().empty());
+  EXPECT_EQ(monitor.ComplianceReport()[0].total(), 0);
+  EXPECT_TRUE(monitor.ComplianceReport()[0].met());  // Vacuously: no traffic.
+
+  monitor.RecordLatency(SloSignal::kTbt, QosClass::kInteractive, 0.5, 5.1);
+  EXPECT_EQ(monitor.ComplianceReport()[0].total(), 1);
+}
+
+TEST(SloMonitorTest, AlertsFanOutToTracerRegistryAndFlightRecorder) {
+  Tracer tracer;
+  MetricsRegistry registry(1.0);
+  FlightRecorder flight;
+  SloMonitor monitor;
+  monitor.AddPolicy(TbtBurnPolicy());
+  monitor.Bind(&tracer, &registry, &flight);
+
+  for (int i = 0; i < 100; ++i) {
+    monitor.RecordLatency(SloSignal::kTbt, QosClass::kInteractive, 0.5, 0.1 * i);
+  }
+  monitor.AdvanceTo(10.0);
+  ASSERT_FALSE(monitor.alerts().empty());
+
+  int64_t slo_instants = 0;
+  for (const TraceEvent& event : tracer.events()) {
+    if (event.phase == TracePhase::kInstant && event.name == "slo_burn_alert") {
+      EXPECT_EQ(event.category, "slo");
+      ++slo_instants;
+    }
+  }
+  EXPECT_EQ(slo_instants, static_cast<int64_t>(monitor.alerts().size()));
+  EXPECT_DOUBLE_EQ(registry.CounterTotal("slo_alerts"),
+                   static_cast<double>(monitor.alerts().size()));
+  EXPECT_GE(flight.triggers(), 1);
+  EXPECT_STREQ(flight.trigger_reason(), "slo_burn_alert");
+}
+
+TEST(SloMonitorTest, GoodputPolicyUsesReportedOutcomes) {
+  SloMonitor monitor;
+  SloPolicy policy;
+  policy.name = "goodput";
+  policy.signal = SloSignal::kGoodput;
+  policy.target = 0.5;
+  monitor.AddPolicy(policy);
+
+  for (int i = 0; i < 8; ++i) {
+    monitor.RecordOutcome(QosClass::kInteractive, /*good=*/i % 2 == 0, 0.1 * i);
+  }
+  monitor.AdvanceTo(1.0);
+  std::vector<SloComplianceRow> report = monitor.ComplianceReport();
+  ASSERT_EQ(report.size(), 1u);
+  EXPECT_EQ(report[0].good, 4);
+  EXPECT_EQ(report[0].bad, 4);
+  EXPECT_TRUE(report[0].met());
+}
+
+TEST(SloMonitorTest, WriteAlertsCsvRoundTrips) {
+  std::string dir = TestDir("slo_alerts");
+  SloMonitor monitor;
+  monitor.AddPolicy(TbtBurnPolicy());
+  for (int i = 0; i < 100; ++i) {
+    monitor.RecordLatency(SloSignal::kTbt, QosClass::kInteractive, 0.5, 0.1 * i);
+  }
+  monitor.AdvanceTo(10.0);
+  ASSERT_FALSE(monitor.alerts().empty());
+
+  std::string path = dir + "/alerts.csv";
+  ASSERT_TRUE(monitor.WriteAlertsCsv(path).ok());
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  auto rows = ParseCsv(buffer.str());
+  ASSERT_EQ(rows.size(), monitor.alerts().size() + 1);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"policy", "name", "signal", "time_s",
+                                               "fast_burn", "slow_burn"}));
+  EXPECT_EQ(rows[1][1], "interactive-tbt");
+  EXPECT_EQ(rows[1][2], "tbt");
+}
+
+// ---- LogHistogram edge cases ----
+
+TEST(LogHistogramTest, QuantileEndpointsClampToExactExtremes) {
+  LogHistogram h;
+  for (double v : {0.0013, 0.02, 0.3, 5.7}) {
+    h.Record(v);
+  }
+  // Geometric interpolation stays inside the bucket, but q=0 and q=1 must
+  // return the exact observed extremes, not bucket boundaries.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 0.0013);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 5.7);
+  EXPECT_DOUBLE_EQ(h.Min(), 0.0013);
+  EXPECT_DOUBLE_EQ(h.Max(), 5.7);
+}
+
+TEST(LogHistogramTest, MergeFromEmptyIsANoOpAndIntoEmptyCopies) {
+  LogHistogram populated;
+  populated.Record(0.5);
+  populated.Record(1.5);
+  LogHistogram empty;
+
+  populated.MergeFrom(empty);
+  EXPECT_EQ(populated.count(), 2);
+  EXPECT_DOUBLE_EQ(populated.sum(), 2.0);
+  EXPECT_DOUBLE_EQ(populated.Min(), 0.5);
+  EXPECT_DOUBLE_EQ(populated.Max(), 1.5);
+
+  empty.MergeFrom(populated);
+  EXPECT_EQ(empty.count(), 2);
+  EXPECT_DOUBLE_EQ(empty.Min(), 0.5);
+  EXPECT_DOUBLE_EQ(empty.Max(), 1.5);
+  EXPECT_DOUBLE_EQ(empty.Quantile(0.99), populated.Quantile(0.99));
+}
+
+TEST(LogHistogramDeathTest, MergeFromMismatchedShapesDies) {
+  LogHistogram standard;
+  LogHistogram::Options narrow;
+  narrow.min_value = 1e-3;
+  narrow.max_value = 10.0;
+  LogHistogram mismatched(narrow);
+  EXPECT_DEATH(standard.MergeFrom(mismatched), "shapes differ");
+}
+
+// ---- Metrics registry: partial windows and Prometheus exposition ----
+
+TEST(MetricsRegistryTest, PartialFinalWindowStillExportsPercentiles) {
+  MetricsRegistry registry(1.0);
+  registry.Observe("tbt_s", 0.1, 0.05);
+  registry.Observe("tbt_s", 0.2, 0.08);
+  registry.Observe("tbt_s", 0.3, 0.5);
+  registry.Finalize(0.35);  // Run ends mid-window.
+  EXPECT_EQ(registry.NumWindows(), 1);
+
+  std::ostringstream out;
+  registry.WriteTimeSeriesCsv(out);
+  auto rows = ParseCsv(out.str());
+  ASSERT_EQ(rows.size(), 2u);
+  auto column = [&](const std::string& name) {
+    for (size_t c = 0; c < rows[0].size(); ++c) {
+      if (rows[0][c] == name) {
+        return c;
+      }
+    }
+    ADD_FAILURE() << "missing column " << name;
+    return size_t{0};
+  };
+  EXPECT_EQ(rows[1][column("tbt_s_count")], "3");
+  double p99 = std::stod(rows[1][column("tbt_s_p99")]);
+  EXPECT_NEAR(p99, 0.5, 0.5 * 0.1);  // Within the log-bucket relative error.
+}
+
+TEST(MetricsRegistryTest, PrometheusExpositionIsTypedAndSanitized) {
+  MetricsRegistry registry(1.0);
+  registry.AddCount("output-tokens", 0.5, 128.0);  // Hyphen must sanitize.
+  registry.SetGauge("queue_depth", 0.0, 3.0);
+  registry.Observe("tbt_s", 0.2, 0.05);
+  registry.Observe("tbt_s", 0.4, 0.1);
+  registry.Finalize(1.0);
+
+  std::ostringstream out;
+  registry.WritePrometheus(out);
+  std::string text = out.str();
+  for (const char* needle :
+       {"# TYPE sarathi_output_tokens_total counter", "sarathi_output_tokens_total 128",
+        "# TYPE sarathi_queue_depth gauge", "sarathi_queue_depth 3",
+        "# TYPE sarathi_tbt_s summary", "sarathi_tbt_s{quantile=\"0.5\"}",
+        "sarathi_tbt_s{quantile=\"0.9\"}", "sarathi_tbt_s{quantile=\"0.99\"}",
+        "sarathi_tbt_s_sum", "sarathi_tbt_s_count 2"}) {
+    EXPECT_NE(text.find(needle), std::string::npos) << needle << "\n" << text;
+  }
+  // Exposition lint: every line is either a TYPE comment or a sample, and
+  // every family carries the sarathi_ prefix.
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_TRUE(line.rfind("# TYPE sarathi_", 0) == 0 || line.rfind("sarathi_", 0) == 0)
+        << line;
+  }
+}
+
+// ---- Span-id regression: retry rounds must not collide ----
+
+TEST(TracerTest, RetryRoundsGetDistinctSpanIds) {
+  Deployment deployment = MistralOnA100();
+  SimulatorOptions options;
+  options.model = deployment.model;
+  options.cluster = deployment.cluster;
+  options.parallel = deployment.parallel;
+  options.scheduler = SarathiConfig(512);
+  Tracer tracer;
+  options.tracer = &tracer;
+
+  // Two attempts of the same requests on one tracer — exactly what a cluster
+  // retry round produces. Before spans were keyed by (round, id), the second
+  // attempt reused the first attempt's async-span ids and the merged trace
+  // cross-matched begins and ends across attempts.
+  Trace trace = UniformTrace(2, 400, 16, 0.0);
+  ReplicaSimulator(options).Run(trace);
+  for (Request& request : trace.requests) {
+    request.retry_round = 1;
+  }
+  ReplicaSimulator(options).Run(trace);
+
+  std::ostringstream out;
+  tracer.WriteSpanCsv(out);
+  auto rows = ParseCsv(out.str());
+  ASSERT_GT(rows.size(), 1u);
+  std::set<int64_t> request_span_ids;
+  for (size_t i = 1; i < rows.size(); ++i) {
+    ASSERT_EQ(rows[i].size(), 7u);
+    EXPECT_GE(std::stod(rows[i][5]), 0.0) << "unclosed span " << rows[i][3];
+    if (rows[i][3] == "request") {
+      request_span_ids.insert(std::stoll(rows[i][2]));
+    }
+  }
+  // Round 0 keeps raw request ids (existing traces stay byte-identical);
+  // round 1 is offset by the stride, so four distinct lifecycles remain.
+  EXPECT_EQ(request_span_ids.size(), 4u);
+  EXPECT_TRUE(request_span_ids.count(0));
+  EXPECT_TRUE(request_span_ids.count(1));
+  EXPECT_TRUE(request_span_ids.count(SpanIdForAttempt(0, 1)));
+  EXPECT_TRUE(request_span_ids.count(SpanIdForAttempt(1, 1)));
+
+  // The merged trace is still valid Chrome JSON.
+  std::ostringstream json;
+  tracer.WriteChromeTraceJson(json);
+  EXPECT_TRUE(MiniJsonParser(json.str()).Validate());
+}
+
+// ---- Post-hoc analysis (sarathi_inspect library) ----
+
+TEST(InspectTest, SplitCsvLineHandlesQuotedFields) {
+  EXPECT_EQ(SplitCsvLine("a,b,c"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(SplitCsvLine("a,\"b,c\",\"d\"\"e\""),
+            (std::vector<std::string>{"a", "b,c", "d\"e"}));
+  EXPECT_EQ(SplitCsvLine(""), (std::vector<std::string>{""}));
+  EXPECT_EQ(SplitCsvLine("x,"), (std::vector<std::string>{"x", ""}));
+}
+
+TEST(InspectTest, LoadersResolveColumnsByHeaderName) {
+  std::string dir = TestDir("inspect_loader");
+  ASSERT_TRUE(EnsureParentDirectory(dir + "/x").ok());
+  std::ofstream out(dir + "/requests.csv");
+  // Reordered columns plus an unknown extra one: loaders must key on names.
+  out << "ttft_s,id,extra,arrival_s,latency_s,failure\n"
+      << "1.25,7,ignored,0.5,3.5,none\n"
+      << "0.0,8,ignored,0.6,-1,timeout\n";
+  out.close();
+
+  std::vector<RequestRow> rows;
+  ASSERT_TRUE(LoadRequestsCsv(dir + "/requests.csv", &rows).ok());
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].id, 7);
+  EXPECT_DOUBLE_EQ(rows[0].arrival_s, 0.5);
+  EXPECT_DOUBLE_EQ(rows[0].ttft_s, 1.25);
+  EXPECT_TRUE(rows[0].completed());
+  EXPECT_FALSE(rows[0].failed());
+  EXPECT_FALSE(rows[1].completed());
+  EXPECT_TRUE(rows[1].failed());
+
+  // A file missing a required column is rejected, not misread.
+  std::ofstream bad(dir + "/bad.csv");
+  bad << "id,arrival_s\n1,0.0\n";
+  bad.close();
+  std::vector<RequestRow> ignored;
+  EXPECT_FALSE(LoadRequestsCsv(dir + "/bad.csv", &ignored).ok());
+}
+
+TEST(InspectTest, BreakdownsPartitionLatencyAndFlagStalls) {
+  RequestRow row;
+  row.id = 1;
+  row.arrival_s = 2.0;
+  row.scheduling_delay_s = 0.5;
+  row.ttft_s = 1.5;
+  row.latency_s = 3.0;
+  row.num_tokens = 4;
+  std::vector<TbtRow> tbt = {{1, 1, 0.3}, {1, 2, 0.05}, {1, 3, 0.25}, {99, 1, 9.0}};
+
+  std::vector<RequestBreakdown> breakdowns = ComputeBreakdowns({row}, tbt, 0.2);
+  ASSERT_EQ(breakdowns.size(), 1u);
+  const RequestBreakdown& b = breakdowns[0];
+  EXPECT_TRUE(b.completed);
+  EXPECT_DOUBLE_EQ(b.queued_s, 0.5);
+  EXPECT_DOUBLE_EQ(b.prefill_s, 1.0);
+  EXPECT_DOUBLE_EQ(b.decode_s, 1.5);
+  EXPECT_DOUBLE_EQ(b.queued_s + b.prefill_s + b.decode_s, b.latency_s);
+  EXPECT_EQ(b.stall_count, 2);  // Only this request's gaps above 0.2 s.
+  EXPECT_DOUBLE_EQ(b.stall_s, 0.55);
+}
+
+TEST(InspectTest, TopKWorstOrdersByLatencyThenId) {
+  std::vector<RequestBreakdown> breakdowns(4);
+  breakdowns[0].id = 3;
+  breakdowns[0].latency_s = 5.0;
+  breakdowns[0].completed = true;
+  breakdowns[1].id = 2;
+  breakdowns[1].latency_s = 7.0;
+  breakdowns[1].completed = true;
+  breakdowns[2].id = 1;
+  breakdowns[2].latency_s = 7.0;
+  breakdowns[2].completed = true;
+  breakdowns[3].id = 0;
+  breakdowns[3].latency_s = 99.0;
+  breakdowns[3].completed = false;  // Incomplete requests never rank.
+
+  std::vector<RequestBreakdown> worst = TopKWorst(breakdowns, 2);
+  ASSERT_EQ(worst.size(), 2u);
+  EXPECT_EQ(worst[0].id, 1);  // Tie on latency breaks toward the lower id.
+  EXPECT_EQ(worst[1].id, 2);
+}
+
+TEST(InspectTest, AttributeIterationsClassifiesBatchMix) {
+  std::vector<IterationRow> iterations(4);
+  iterations[0] = {0, 0.0, 0.4, 0.4, 256, 2, 254, "hybrid"};
+  iterations[1] = {1, 0.4, 0.3, 0.7, 512, 0, 512, "prefill"};
+  iterations[2] = {2, 0.9, 0.2, 1.1, 3, 3, 0, "decode"};
+  iterations[3] = {3, 1.1, 0.1, 1.2, 0, 0, 0, "empty"};
+
+  IterationAttribution a = AttributeIterations(iterations);
+  EXPECT_EQ(a.iterations, 4);
+  EXPECT_EQ(a.hybrid, 1);
+  EXPECT_EQ(a.prefill_only, 1);
+  EXPECT_EQ(a.decode_only, 1);
+  EXPECT_EQ(a.empty, 1);
+  EXPECT_DOUBLE_EQ(a.busy_s, 1.0);
+  EXPECT_DOUBLE_EQ(a.span_s, 1.2);
+  EXPECT_NEAR(a.bubble_s, 0.2, 1e-12);
+  EXPECT_EQ(a.total_tokens, 771);
+  EXPECT_EQ(a.prefill_tokens, 766);
+  EXPECT_EQ(a.decode_tokens, 5);
+  EXPECT_DOUBLE_EQ(a.max_stage_time_s, 0.4);
+}
+
+TEST(InspectTest, CheckSloCountsAttainmentPerSignal) {
+  std::vector<RequestRow> requests(3);
+  requests[0].id = 0;
+  requests[0].ttft_s = 0.5;
+  requests[0].latency_s = 2.0;
+  requests[0].num_tokens = 8;
+  requests[1].id = 1;
+  requests[1].ttft_s = 3.0;  // TTFT miss.
+  requests[1].latency_s = 5.0;
+  requests[1].num_tokens = 8;
+  requests[2].id = 2;  // Never completed: goodput-bad, skipped for TTFT.
+  requests[2].num_tokens = 0;
+  requests[2].failure = "timeout";
+  std::vector<TbtRow> tbt = {{0, 1, 0.05}, {0, 2, 0.4}, {1, 1, 0.1}};
+
+  std::vector<SloCheck> checks = CheckSlo(requests, tbt, 1.0, 0.2, 0.9);
+  ASSERT_EQ(checks.size(), 3u);
+  EXPECT_EQ(checks[0].name, "ttft");
+  EXPECT_EQ(checks[0].good, 1);
+  EXPECT_EQ(checks[0].bad, 1);
+  EXPECT_EQ(checks[1].name, "tbt");
+  EXPECT_EQ(checks[1].good, 2);
+  EXPECT_EQ(checks[1].bad, 1);
+  EXPECT_EQ(checks[2].name, "goodput");
+  EXPECT_EQ(checks[2].good, 2);
+  EXPECT_EQ(checks[2].bad, 1);
+  EXPECT_FALSE(checks[0].met());
+  EXPECT_NE(RenderSloCheckReport(checks).find("goodput"), std::string::npos);
+}
+
+TEST(InspectTest, ScanTraceJsonCountsPhases) {
+  std::string dir = TestDir("inspect_scan");
+  Tracer tracer;
+  tracer.SetProcessName(0, "replica 0");
+  tracer.Instant("scheduler", "admit", 0.5);
+  tracer.Instant("fault", "crash", 2.5);
+  tracer.Complete("iteration", "batch", 1.0, 0.25, 0);
+  tracer.Counter("kv", "blocks", 1.5, 32.0);
+  tracer.AsyncBegin("request", "request", 7, 0.25);
+  tracer.AsyncEnd("request", "request", 7, 2.0);
+  std::string path = dir + "/trace.json";
+  ASSERT_TRUE(tracer.WriteChromeTraceFile(path).ok());
+
+  TraceScan scan;
+  ASSERT_TRUE(ScanTraceJson(path, &scan).ok());
+  EXPECT_EQ(scan.events, 7);
+  EXPECT_EQ(scan.metadata, 1);
+  EXPECT_EQ(scan.instants, 2);
+  EXPECT_EQ(scan.completes, 1);
+  EXPECT_EQ(scan.counters, 1);
+  EXPECT_EQ(scan.begins, 1);
+  EXPECT_EQ(scan.ends, 1);
+  EXPECT_NEAR(scan.max_ts_s, 2.5, 1e-9);
+  EXPECT_NE(RenderTraceScan(scan).find("events"), std::string::npos);
+
+  TraceScan rejected;
+  std::ofstream not_a_trace(dir + "/nope.json");
+  not_a_trace << "{\"foo\": 1}";
+  not_a_trace.close();
+  EXPECT_FALSE(ScanTraceJson(dir + "/nope.json", &rejected).ok());
+}
+
+TEST(InspectTest, EndToEndTelemetryRoundTrip) {
+  std::string dir = TestDir("inspect_roundtrip");
+  SimResult result = SmallRun();
+  ASSERT_TRUE(ExportTelemetry(result, dir, "run").ok());
+
+  std::vector<RequestRow> requests;
+  std::vector<IterationRow> iterations;
+  std::vector<TbtRow> tbt;
+  ASSERT_TRUE(LoadRequestsCsv(dir + "/run_requests.csv", &requests).ok());
+  ASSERT_TRUE(LoadIterationsCsv(dir + "/run_iterations.csv", &iterations).ok());
+  ASSERT_TRUE(LoadTbtCsv(dir + "/run_tbt.csv", &tbt).ok());
+  EXPECT_EQ(requests.size(), 24u);
+  EXPECT_EQ(static_cast<int64_t>(iterations.size()), result.num_iterations);
+
+  // The loaded breakdowns partition each completed request's latency.
+  std::vector<RequestBreakdown> breakdowns = ComputeBreakdowns(requests, tbt, 0.2);
+  ASSERT_EQ(breakdowns.size(), 24u);
+  for (const RequestBreakdown& b : breakdowns) {
+    ASSERT_TRUE(b.completed);
+    EXPECT_NEAR(b.queued_s + b.prefill_s + b.decode_s, b.latency_s, 1e-6);
+  }
+
+  IterationAttribution attribution = AttributeIterations(iterations);
+  EXPECT_EQ(attribution.iterations, result.num_iterations);
+  EXPECT_GT(attribution.busy_s, 0.0);
+  EXPECT_EQ(attribution.empty, 0);
+
+  std::string report = RenderRequestReport(breakdowns, 5);
+  EXPECT_NE(report.find("24 total, 24 completed"), std::string::npos) << report;
+  EXPECT_NE(RenderIterationReport(attribution).find("Iterations:"), std::string::npos);
 }
 
 }  // namespace

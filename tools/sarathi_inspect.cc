@@ -1,0 +1,148 @@
+// sarathi_inspect: offline analyzer for sarathi_sim observability artifacts.
+//
+// Point it at whatever a run left behind — telemetry CSVs, span CSVs, Chrome
+// trace JSON, flight-recorder dumps — and it prints per-request latency
+// breakdowns, scheduler iteration attribution, the top-K worst requests, and
+// an SLO compliance report. Sections appear for whichever inputs are given.
+//
+// Examples:
+//   sarathi_inspect --requests=out/run_requests.csv --tbt=out/run_tbt.csv
+//                   --iterations=out/run_iterations.csv --top=10
+//   sarathi_inspect --spans=out/spans.csv --trace=out/trace.json
+//   sarathi_inspect --requests=out/run_requests.csv --slo-ttft=2.0
+//                   --slo-tbt=0.2 --slo-target=0.99
+//   sarathi_inspect --flight=out/flight.json
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/common/args.h"
+#include "src/obs/inspect.h"
+
+namespace sarathi {
+namespace {
+
+constexpr char kUsage[] = R"(sarathi_inspect: post-hoc analysis of sarathi_sim artifacts
+
+Inputs (any subset; sections print for what is given):
+  --requests=FILE.csv        per-request telemetry (<prefix>_requests.csv)
+  --iterations=FILE.csv      per-iteration log (<prefix>_iterations.csv)
+  --tbt=FILE.csv             raw TBT samples (<prefix>_tbt.csv)
+  --spans=FILE.csv           request lifecycle spans (--spans-out)
+  --trace=FILE.json          Chrome trace JSON (--trace-out)
+  --flight=FILE.json         flight-recorder dump (--flight-out)
+Analysis:
+  --top=N                    worst requests to list (default 10)
+  --stall-threshold=S        token gaps above S count as stalls (default 0.2)
+  --slo-ttft=S               TTFT threshold for the compliance report (0 = skip)
+  --slo-tbt=S                TBT threshold for the compliance report (0 = skip)
+  --slo-target=F             attainment target (default 0.99)
+)";
+
+int Run(int argc, char** argv) {
+  auto parsed = ArgParser::Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::cerr << parsed.status().ToString() << "\n" << kUsage;
+    return 2;
+  }
+  ArgParser args = std::move(parsed).value();
+  if (args.GetBool("help", false)) {
+    std::cout << kUsage;
+    return 0;
+  }
+  std::string requests_path = args.GetString("requests", "");
+  std::string iterations_path = args.GetString("iterations", "");
+  std::string tbt_path = args.GetString("tbt", "");
+  std::string spans_path = args.GetString("spans", "");
+  std::string trace_path = args.GetString("trace", "");
+  std::string flight_path = args.GetString("flight", "");
+  auto top = args.GetInt("top", 10);
+  auto stall_threshold = args.GetDouble("stall-threshold", 0.2);
+  auto slo_ttft = args.GetDouble("slo-ttft", 0.0);
+  auto slo_tbt = args.GetDouble("slo-tbt", 0.0);
+  auto slo_target = args.GetDouble("slo-target", 0.99);
+  if (!top.ok() || !stall_threshold.ok() || !slo_ttft.ok() || !slo_tbt.ok() ||
+      !slo_target.ok()) {
+    std::cerr << "bad flag (--top/--stall-threshold/--slo-ttft/--slo-tbt/--slo-target)\n";
+    return 2;
+  }
+  if (requests_path.empty() && iterations_path.empty() && spans_path.empty() &&
+      trace_path.empty() && flight_path.empty()) {
+    std::cerr << "nothing to inspect: give at least one input flag\n" << kUsage;
+    return 2;
+  }
+
+  bool first_section = true;
+  auto section = [&](const std::string& body) {
+    if (!first_section) {
+      std::cout << "\n";
+    }
+    first_section = false;
+    std::cout << body;
+  };
+
+  std::vector<TbtRow> tbt;
+  if (!tbt_path.empty()) {
+    Status loaded = LoadTbtCsv(tbt_path, &tbt);
+    if (!loaded.ok()) {
+      std::cerr << loaded.ToString() << "\n";
+      return 1;
+    }
+  }
+  if (!requests_path.empty()) {
+    std::vector<RequestRow> requests;
+    Status loaded = LoadRequestsCsv(requests_path, &requests);
+    if (!loaded.ok()) {
+      std::cerr << loaded.ToString() << "\n";
+      return 1;
+    }
+    std::vector<RequestBreakdown> breakdowns =
+        ComputeBreakdowns(requests, tbt, *stall_threshold);
+    section(RenderRequestReport(breakdowns, *top));
+    if (*slo_ttft > 0.0 || *slo_tbt > 0.0) {
+      section(RenderSloCheckReport(
+          CheckSlo(requests, tbt, *slo_ttft, *slo_tbt, *slo_target)));
+    }
+  }
+  if (!iterations_path.empty()) {
+    std::vector<IterationRow> iterations;
+    Status loaded = LoadIterationsCsv(iterations_path, &iterations);
+    if (!loaded.ok()) {
+      std::cerr << loaded.ToString() << "\n";
+      return 1;
+    }
+    section(RenderIterationReport(AttributeIterations(iterations)));
+  }
+  if (!spans_path.empty()) {
+    std::vector<SpanRow> spans;
+    Status loaded = LoadSpansCsv(spans_path, &spans);
+    if (!loaded.ok()) {
+      std::cerr << loaded.ToString() << "\n";
+      return 1;
+    }
+    section(RenderSpanReport(SummarizeSpans(spans)));
+  }
+  for (const std::string& path : {trace_path, flight_path}) {
+    if (path.empty()) {
+      continue;
+    }
+    TraceScan scan;
+    Status scanned = ScanTraceJson(path, &scan);
+    if (!scanned.ok()) {
+      std::cerr << scanned.ToString() << "\n";
+      return 1;
+    }
+    section((path == flight_path ? "Flight dump " + path + "\n" : "Trace " + path + "\n") +
+            RenderTraceScan(scan));
+  }
+  for (const std::string& key : args.UnconsumedKeys()) {
+    std::cerr << "warning: unknown flag --" << key << " ignored\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace sarathi
+
+int main(int argc, char** argv) { return sarathi::Run(argc, argv); }

@@ -11,12 +11,15 @@
 // Run with --help for the full flag list.
 
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "src/common/args.h"
 #include "src/common/table.h"
 #include "src/core/serving_system.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics_registry.h"
+#include "src/obs/slo_monitor.h"
 #include "src/obs/tracer.h"
 #include "src/scheduler/token_budget.h"
 #include "src/simulator/cluster_simulator.h"
@@ -86,6 +89,18 @@ Output:
   --spans-out=FILE.csv                 per-request lifecycle span CSV
   --timeseries-out=FILE.csv            windowed metric time series CSV
   --timeseries-window=S                time-series window length (default 1.0)
+  --prom-out=FILE.txt                  Prometheus text exposition of final metrics
+  --flight-out=FILE.json               always-on flight recorder: auto-dumps the
+                                       most recent events as Chrome trace JSON on
+                                       a trigger (invariant violation, SLO burn
+                                       alert, brownout escalation, replica
+                                       crash); written at exit if never triggered
+  --flight-capacity=N                  flight ring capacity in events (default 4096)
+SLO burn-rate monitoring (alerts land in the trace, metrics and flight sinks):
+  --slo-ttft=S                         TTFT SLO threshold, seconds (0 = off)
+  --slo-tbt=S                          TBT SLO threshold, seconds (0 = off)
+  --slo-target=F                       attainment target (default 0.99)
+  --slo-out=FILE.csv                   write the burn-rate alert log CSV
 )";
 
 StatusOr<Deployment> PickDeployment(const std::string& name) {
@@ -353,15 +368,65 @@ int RunMain(int argc, char** argv) {
   std::string trace_out = args.GetString("trace-out", "");
   std::string spans_out = args.GetString("spans-out", "");
   std::string timeseries_out = args.GetString("timeseries-out", "");
+  std::string prom_out = args.GetString("prom-out", "");
   auto window = args.GetDouble("timeseries-window", 1.0);
   if (!window.ok() || *window <= 0.0) {
     std::cerr << "--timeseries-window expects a positive number of seconds\n";
     return 2;
   }
+  std::string flight_out = args.GetString("flight-out", "");
+  auto flight_capacity = args.GetInt("flight-capacity", 4096);
+  auto slo_ttft = args.GetDouble("slo-ttft", 0.0);
+  auto slo_tbt = args.GetDouble("slo-tbt", 0.0);
+  auto slo_target = args.GetDouble("slo-target", 0.99);
+  std::string slo_out = args.GetString("slo-out", "");
+  if (!flight_capacity.ok() || *flight_capacity <= 0 || !slo_ttft.ok() || !slo_tbt.ok() ||
+      !slo_target.ok() || *slo_target <= 0.0 || *slo_target > 1.0) {
+    std::cerr << "bad observability flag (--flight-capacity/--slo-ttft/--slo-tbt/"
+                 "--slo-target)\n";
+    return 2;
+  }
   Tracer tracer;
   MetricsRegistry registry(*window);
   Tracer* tracer_ptr = trace_out.empty() && spans_out.empty() ? nullptr : &tracer;
-  MetricsRegistry* metrics_ptr = timeseries_out.empty() ? nullptr : &registry;
+  MetricsRegistry* metrics_ptr =
+      timeseries_out.empty() && prom_out.empty() ? nullptr : &registry;
+
+  std::unique_ptr<FlightRecorder> flight;
+  if (!flight_out.empty()) {
+    FlightRecorder::Options flight_options;
+    flight_options.capacity = *flight_capacity;
+    flight_options.dump_path = flight_out;
+    flight = std::make_unique<FlightRecorder>(flight_options);
+  }
+  SloMonitor slo_monitor;
+  if (*slo_ttft > 0.0) {
+    SloPolicy policy;
+    policy.name = "ttft";
+    policy.signal = SloSignal::kTtft;
+    policy.threshold_s = *slo_ttft;
+    policy.target = *slo_target;
+    slo_monitor.AddPolicy(policy);
+  }
+  if (*slo_tbt > 0.0) {
+    SloPolicy policy;
+    policy.name = "tbt";
+    policy.signal = SloSignal::kTbt;
+    policy.threshold_s = *slo_tbt;
+    policy.target = *slo_target;
+    slo_monitor.AddPolicy(policy);
+  }
+  if (slo_monitor.enabled()) {
+    // Request-level goodput rides along with any latency SLO: completions
+    // count good, sheds/timeouts/crash failures count bad.
+    SloPolicy policy;
+    policy.name = "goodput";
+    policy.signal = SloSignal::kGoodput;
+    policy.target = *slo_target;
+    slo_monitor.AddPolicy(policy);
+    slo_monitor.Bind(tracer_ptr, metrics_ptr, flight.get());
+  }
+  SloMonitor* slo_ptr = slo_monitor.enabled() ? &slo_monitor : nullptr;
 
   std::cout << "Deployment: " << deployment->Name();
   if (*replicas > 1) {
@@ -381,6 +446,8 @@ int RunMain(int argc, char** argv) {
     cluster.replica.record_iterations = record;
     cluster.replica.tracer = tracer_ptr;
     cluster.replica.metrics = metrics_ptr;
+    cluster.replica.flight = flight.get();
+    cluster.replica.slo = slo_ptr;
     cluster.replica.overload = overload;
     cluster.num_replicas = static_cast<int>(*replicas);
     cluster.faults = faults;
@@ -405,7 +472,7 @@ int RunMain(int argc, char** argv) {
     result = simulator.Run(*trace);
   } else {
     (void)args.GetString("routing", "");  // Consume so no spurious warning.
-    result = system.Serve(*trace, record, tracer_ptr, metrics_ptr);
+    result = system.Serve(*trace, record, tracer_ptr, metrics_ptr, flight.get(), slo_ptr);
   }
 
   Table table({"metric", "value"});
@@ -487,6 +554,46 @@ int RunMain(int argc, char** argv) {
     }
     std::cout << "Time series written to " << timeseries_out << " (" << registry.NumWindows()
               << " windows)\n";
+  }
+  if (!prom_out.empty()) {
+    Status written = registry.WritePrometheusFile(prom_out);
+    if (!written.ok()) {
+      std::cerr << written.ToString() << "\n";
+      return 1;
+    }
+    std::cout << "Prometheus exposition written to " << prom_out << "\n";
+  }
+  if (slo_ptr != nullptr) {
+    std::cout << slo_monitor.RenderComplianceReport();
+    std::cout << "SLO burn alerts: " << slo_monitor.alerts().size() << "\n";
+    if (!slo_out.empty()) {
+      Status written = slo_monitor.WriteAlertsCsv(slo_out);
+      if (!written.ok()) {
+        std::cerr << written.ToString() << "\n";
+        return 1;
+      }
+      std::cout << "SLO alert log written to " << slo_out << "\n";
+    }
+  }
+  if (flight != nullptr) {
+    if (flight->triggers() > 0) {
+      std::cout << "Flight recorder triggered (" << flight->trigger_reason() << "): dump at "
+                << flight_out << "\n";
+      if (!flight->dump_status().ok()) {
+        std::cerr << flight->dump_status().ToString() << "\n";
+        return 1;
+      }
+    } else {
+      // Never triggered: dump the final ring anyway so the artifact always
+      // exists for post-hoc inspection.
+      Status written = flight->WriteChromeTraceFile(flight_out);
+      if (!written.ok()) {
+        std::cerr << written.ToString() << "\n";
+        return 1;
+      }
+      std::cout << "Flight recorder never triggered; final ring written to " << flight_out
+                << " (" << flight->size() << " events)\n";
+    }
   }
 
   for (const std::string& key : args.UnconsumedKeys()) {
