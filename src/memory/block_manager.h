@@ -98,7 +98,10 @@ class PagedBlockManager : public KvAllocator {
   // Logical token count of the sequence.
   int64_t SequenceTokens(SeqId id) const;
 
- private:
+ protected:
+  // Internals are protected (not private) so PrefixCachingAllocator can layer
+  // a radix index over the same block pool without duplicating the
+  // refcount/free-list machinery.
   struct SequenceState {
     std::vector<int64_t> blocks;
     int64_t num_tokens = 0;

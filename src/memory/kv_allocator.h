@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace sarathi {
 
@@ -33,8 +34,17 @@ class KvAllocator {
   // `max_total_len` total tokens over its lifetime) can be admitted now.
   virtual bool CanAdmit(int64_t prompt_len, int64_t max_total_len) const = 0;
 
+  // Sequence-aware admission probe. Identical to CanAdmit by default; a
+  // prefix-caching allocator overrides it to credit blocks the sequence
+  // already holds pinned from a prefix-cache hit (and blocks it could evict),
+  // so a mostly-cached prompt admits under memory pressure that would reject
+  // a cold one. Schedulers call this form when they know the sequence id.
+  virtual bool CanAdmitSeq(SeqId /*id*/, int64_t prompt_len, int64_t max_total_len) const {
+    return CanAdmit(prompt_len, max_total_len);
+  }
+
   // Admits the sequence and reserves memory for its prompt. Must only be
-  // called when CanAdmit returned true.
+  // called when CanAdmit (or CanAdmitSeq for the same id) returned true.
   virtual void Admit(SeqId id, int64_t prompt_len, int64_t max_total_len) = 0;
 
   // Whether one more token can be appended to the sequence.
@@ -45,6 +55,25 @@ class KvAllocator {
 
   // Releases everything held by the sequence (finish or preemption).
   virtual void Release(SeqId id) = 0;
+
+  // Terminal release for a sequence that finished normally. Identical to
+  // Release by default; a prefix-caching allocator overrides it to retain the
+  // sequence's full KV blocks in its radix index before dropping the
+  // sequence's own references, so future requests sharing the prefix skip
+  // recompute. Preemption keeps using plain Release (the blocks' contents are
+  // also retained-eligible, but the simple policy is retain-on-finish only).
+  virtual void ReleaseFinished(SeqId id) { Release(id); }
+
+  // A request that was never admitted (still queued) is leaving the system —
+  // abort, shed, crash drain. No-op by default; a prefix-caching allocator
+  // releases any prefix pin the request acquired at enqueue. Also safe to
+  // call after Release for admitted sequences (clears per-sequence cache
+  // metadata).
+  virtual void OnRequestDropped(SeqId /*id*/) {}
+
+  // Allocation units currently held by a prefix cache (retained blocks that
+  // no live sequence references exclusively). 0 for cache-less allocators.
+  virtual int64_t cached_units() const { return 0; }
 
   // Occupancy introspection for metrics.
   virtual double Utilization() const = 0;
@@ -66,6 +95,12 @@ class KvAllocator {
   // consistent, else a human-readable description of the first inconsistency
   // found. O(capacity) — meant for tests and fuzzing, not the serving path.
   virtual std::string AuditInvariants() const = 0;
+
+  // Prefix-cache structural self-audit: every cached block referenced exactly
+  // once by the radix index (live sequences add their own references on top),
+  // index chains intact, pins consistent. Empty string for cache-less
+  // allocators and for a consistent cache; else the first inconsistency.
+  virtual std::string AuditCache() const { return ""; }
 
  protected:
   ObsHooks* obs_ = nullptr;

@@ -19,7 +19,12 @@ int FastServeScheduler::LevelOf(const RequestState* request) const {
   if (it != mlfq_.end()) {
     return it->second.level;
   }
-  return InitialLevel(request->prefill_target());
+  // Skip-join on the prefill work actually demanded: a prefix-cache hit
+  // starts at the matched boundary, so only the uncached remainder counts.
+  // Post-prefill requests without history (fork-adopted children) keep the
+  // full-prompt basis — their prefill was paid by the parent.
+  return InitialLevel(request->prefill_complete() ? request->prefill_target()
+                                                  : request->remaining_prefill());
 }
 
 int FastServeScheduler::InitialLevel(int64_t prompt_tokens) const {
@@ -90,8 +95,8 @@ ScheduledBatch FastServeScheduler::Schedule() {
       if (prefill_tokens > 0 && prefill_tokens + prompt > config_.max_prefill_tokens) {
         continue;  // Another (lower-priority) candidate may still fit.
       }
-      if (!allocator_->CanAdmit(request->prefill_target(),
-                                request->prefill_target() + request->output_tokens())) {
+      if (!allocator_->CanAdmitSeq(request->id(), request->prefill_target(),
+                                   request->prefill_target() + request->output_tokens())) {
         continue;
       }
       // Admit out of FCFS order: MLFQ priority owns the queue.

@@ -11,6 +11,8 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
+#include <vector>
 
 #include "src/common/logging.h"
 #include "src/workload/trace.h"
@@ -25,7 +27,7 @@ class RequestState {
       : id_(request.id), arrival_time_s_(request.arrival_time_s),
         prompt_tokens_(request.prompt_tokens), output_tokens_(request.output_tokens),
         client_id_(request.client_id), qos_(request.qos), deadline_s_(request.deadline_s),
-        prefill_target_(request.prompt_tokens) {
+        token_ids_(request.token_ids), prefill_target_(request.prompt_tokens) {
     CHECK_GT(prompt_tokens_, 0);
     CHECK_GT(output_tokens_, 0);
   }
@@ -39,6 +41,9 @@ class RequestState {
   QosClass qos() const { return qos_; }
   // Client deadline relative to arrival; 0 = none.
   double deadline_s() const { return deadline_s_; }
+  // Token identity (prompt + scripted output ids) for shared-prefix KV reuse;
+  // null means unique content.
+  const std::shared_ptr<const std::vector<int32_t>>& token_ids() const { return token_ids_; }
 
   RequestPhase phase() const { return phase_; }
   void set_phase(RequestPhase phase) { phase_ = phase; }
@@ -74,6 +79,23 @@ class RequestState {
   int64_t slot() const { return slot_; }
   void set_slot(int64_t slot) { slot_ = slot; }
 
+  // Prefill tokens served from the prefix cache at enqueue (no compute ever
+  // performed for them); prefill_done() starts at this value instead of 0.
+  int64_t cached_prefill() const { return cached_prefill_; }
+
+  // Applies a prefix-cache hit resolved before enqueue: `num_tokens` prompt
+  // tokens already have their KV mapped into the sequence, so prefill starts
+  // at the matched boundary. Only valid on a fresh, never-scheduled request.
+  void ApplyCachedPrefix(int64_t num_tokens) {
+    CHECK(phase_ == RequestPhase::kQueued);
+    CHECK_EQ(prefill_done_, 0);
+    CHECK_EQ(generated_, 0);
+    CHECK_GE(num_tokens, 0);
+    CHECK_LT(num_tokens, prompt_tokens_);
+    cached_prefill_ = num_tokens;
+    prefill_done_ = num_tokens;
+  }
+
   // Applies completion of a prefill chunk of `num_tokens`. Returns true if
   // this chunk completed the prefill (=> one output token was emitted).
   bool AdvancePrefill(int64_t num_tokens) {
@@ -104,9 +126,11 @@ class RequestState {
     r.output_tokens = parent.output_tokens_;
     r.client_id = parent.client_id_;
     r.qos = parent.qos_;
+    r.token_ids = parent.token_ids_;
     RequestState child(r);
     child.prefill_target_ = parent.prefill_target_;
     child.prefill_done_ = parent.prefill_done_;
+    child.cached_prefill_ = parent.cached_prefill_;
     child.generated_ = parent.generated_;
     child.phase_ = RequestPhase::kRunning;
     return child;
@@ -123,9 +147,12 @@ class RequestState {
   // the prompt plus all generated context. The discarded prefill progress and
   // the re-prefilled generated context count as wasted recompute work.
   void ResetForRecompute() {
-    wasted_tokens_ += prefill_done_ + generated_;
+    // Cache-served prefill was never computed, so it isn't wasted compute —
+    // but its KV is discarded with the rest, so the re-prefill covers it.
+    wasted_tokens_ += prefill_done_ - cached_prefill_ + generated_;
     prefill_target_ = prompt_tokens_ + generated_;
     prefill_done_ = 0;
+    cached_prefill_ = 0;
     phase_ = RequestPhase::kQueued;
     migrated_in_ = false;
     ++preemptions_;
@@ -163,9 +190,11 @@ class RequestState {
   int64_t client_id_;
   QosClass qos_;
   double deadline_s_;
+  std::shared_ptr<const std::vector<int32_t>> token_ids_;
 
   RequestPhase phase_ = RequestPhase::kQueued;
   int64_t prefill_done_ = 0;
+  int64_t cached_prefill_ = 0;
   int64_t prefill_target_;
   int64_t generated_ = 0;
   bool locked_ = false;

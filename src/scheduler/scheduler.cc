@@ -149,7 +149,7 @@ bool Scheduler::AdoptMigrated(RequestState* request) {
   // reserves its slot via PrepareDecodeSlot, exactly like a local decode).
   int64_t held_tokens = request->context_len() - 1;
   int64_t max_total = request->prefill_target() + request->output_tokens();
-  if (!allocator_->CanAdmit(held_tokens, max_total)) {
+  if (!allocator_->CanAdmitSeq(request->id(), held_tokens, max_total)) {
     return false;
   }
   allocator_->Admit(request->id(), held_tokens, max_total);
@@ -165,8 +165,9 @@ bool Scheduler::CanAdmitHead() const {
     return false;
   }
   const RequestState* head = queue_.front();
-  return allocator_->CanAdmit(head->prefill_target(),
-                              head->prefill_target() + head->output_tokens());
+  // The sequence-aware form credits blocks a prefix-cache pin already holds.
+  return allocator_->CanAdmitSeq(head->id(), head->prefill_target(),
+                                 head->prefill_target() + head->output_tokens());
 }
 
 RequestState* Scheduler::AdmitHead() {
@@ -229,6 +230,9 @@ bool Scheduler::Abort(RequestState* request) {
   auto qit = std::find(queue_.begin(), queue_.end(), request);
   if (qit != queue_.end()) {
     queue_.erase(qit);
+    // A queued request was never admitted, but it may hold a prefix-cache
+    // pin acquired at enqueue; the allocator releases it here.
+    allocator_->OnRequestDropped(request->id());
     request->set_phase(RequestPhase::kFailed);
     ++abort_count_;
     NotifyVerify(SchedVerifyEvent::kAbort, request);
@@ -242,6 +246,7 @@ bool Scheduler::Abort(RequestState* request) {
   CHECK(!request->locked()) << "cannot abort a request inside an in-flight batch";
   running_.erase(rit);
   allocator_->Release(request->id());
+  allocator_->OnRequestDropped(request->id());
   request->set_phase(RequestPhase::kFailed);
   ++abort_count_;
   NotifyVerify(SchedVerifyEvent::kAbort, request);
@@ -285,7 +290,9 @@ void Scheduler::FinishRequest(RequestState* request) {
   auto it = std::find(running_.begin(), running_.end(), request);
   CHECK(it != running_.end());
   running_.erase(it);
-  allocator_->Release(request->id());
+  // Terminal release: a prefix-caching allocator retains the finished
+  // sequence's full blocks in its radix index before freeing the rest.
+  allocator_->ReleaseFinished(request->id());
   request->set_phase(RequestPhase::kFinished);
   NotifyVerify(SchedVerifyEvent::kFinish, request);
   EmitSchedulerObs(nullptr, nullptr);  // Completion instants live in the request span.

@@ -2,6 +2,7 @@
 
 #include "src/common/logging.h"
 #include "src/memory/block_manager.h"
+#include "src/memory/prefix_cache.h"
 #include "src/scheduler/fastserve_scheduler.h"
 #include "src/scheduler/ft_scheduler.h"
 #include "src/scheduler/orca_scheduler.h"
@@ -57,6 +58,8 @@ std::string_view AllocatorKindName(AllocatorKind kind) {
       return "paged";
     case AllocatorKind::kReservation:
       return "reservation";
+    case AllocatorKind::kPagedCached:
+      return "paged_cached";
   }
   return "unknown";
 }
@@ -79,6 +82,17 @@ std::unique_ptr<KvAllocator> MakeAllocator(AllocatorKind kind, SchedulerPolicy p
     case AllocatorKind::kReservation:
       return std::make_unique<ReservationAllocator>(options.capacity_tokens,
                                                     options.max_seq_len);
+    case AllocatorKind::kPagedCached: {
+      PagedBlockManager::Options paged;
+      paged.num_blocks = options.capacity_tokens / options.block_size;
+      paged.block_size = options.block_size;
+      paged.watermark = options.watermark;
+      // The PrefixCachingAllocator constructor rejects sliding windows:
+      // window clamping recycles blocks in place, destroying the stable
+      // position->block identity the radix index depends on.
+      paged.sliding_window = options.sliding_window;
+      return std::make_unique<PrefixCachingAllocator>(paged);
+    }
     case AllocatorKind::kPolicyDefault:
       break;
   }

@@ -33,10 +33,13 @@ std::unique_ptr<KvAllocator> MakeAllocatorFor(SchedulerPolicy policy,
 // Explicit allocator selection, for differential testing of every policy on
 // both memory managers (the fuzzer's scheduler x allocator matrix).
 // kPolicyDefault defers to MakeAllocatorFor's per-policy mapping.
+// kPagedCached layers the radix prefix cache (src/memory/prefix_cache.h)
+// over the paged manager; it requires sliding_window == 0.
 enum class AllocatorKind {
   kPolicyDefault,
   kPaged,
   kReservation,
+  kPagedCached,
 };
 
 std::string_view AllocatorKindName(AllocatorKind kind);

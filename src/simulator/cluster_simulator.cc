@@ -953,6 +953,7 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
     std::vector<double> fresh;
     int64_t emitted = 0;
     int64_t wasted = 0;
+    int64_t cached = 0;
     int64_t crash_retries = 0;
     int64_t num_migrated_in = 0;
     double first_sched = -1.0;
@@ -965,6 +966,7 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
       const RequestMetrics& am = replica_result.requests[slot];
       emitted += static_cast<int64_t>(am.token_times_s.size());
       wasted += am.wasted_tokens;
+      cached += am.cached_prefill_tokens;
       if (am.failure == FailureKind::kHedgeCancelled) {
         ++merged.hedges_cancelled;
       }
@@ -1010,6 +1012,7 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
       const RequestMetrics& hm = hedge_result.requests[hslot];
       emitted += static_cast<int64_t>(hm.token_times_s.size());
       wasted += hm.wasted_tokens;
+      cached += hm.cached_prefill_tokens;
       if (hm.failure == FailureKind::kHedgeCancelled) {
         ++merged.hedges_cancelled;
       }
@@ -1038,6 +1041,8 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
     m.migrations = num_migrated_in;
     m.hedges = hedged;
     m.wasted_tokens = wasted;
+    // Every attempt's cache-served prefill was real reuse on its replica.
+    m.cached_prefill_tokens = cached;
     if (failure_override[i].first != FailureKind::kNone) {
       m.failure = failure_override[i].first;
       m.failed_s = failure_override[i].second;
@@ -1075,6 +1080,11 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
     merged.replica_downtime_s.push_back(result.downtime_s);
     merged.peak_kv_blocks += result.peak_kv_blocks;
     merged.total_kv_blocks += result.total_kv_blocks;
+    merged.prefix_lookups += result.prefix_lookups;
+    merged.prefix_hits += result.prefix_hits;
+    merged.cached_prefill_tokens += result.cached_prefill_tokens;
+    merged.prefix_evictions += result.prefix_evictions;
+    merged.peak_cached_blocks += result.peak_cached_blocks;
     merged.num_slowdown_episodes += result.num_slowdown_episodes;
     merged.degraded_s += result.degraded_s;
     merged.degraded_iterations += result.degraded_iterations;

@@ -62,6 +62,11 @@ struct RequestMetrics {
   // Live KV migrations this request went through.
   int64_t migrations = 0;
 
+  // ---- Prefix-cache accounting ----
+  // Prompt tokens served from the radix prefix cache at admission (KV mapped
+  // from retained blocks; prefill skipped them entirely).
+  int64_t cached_prefill_tokens = 0;
+
   bool completed() const { return completion_s >= 0.0; }
   bool failed() const { return failed_s >= 0.0; }
   // Completed in time: within the deadline when one exists.
@@ -125,6 +130,18 @@ struct SimResult {
   // both across replicas.
   int64_t peak_kv_blocks = 0;
   int64_t total_kv_blocks = 0;
+
+  // ---- Prefix-cache accounting (kPagedCached runs; zero otherwise) ----
+  // Admission-time lookups against the radix index, how many matched at
+  // least one full block, the prompt tokens those matches covered (work the
+  // prefill never performed), LRU evictions forced by allocation pressure,
+  // and the high-water mark of blocks retained by the cache. Cluster runs
+  // sum all five across replicas.
+  int64_t prefix_lookups = 0;
+  int64_t prefix_hits = 0;
+  int64_t cached_prefill_tokens = 0;
+  int64_t prefix_evictions = 0;
+  int64_t peak_cached_blocks = 0;
 
   // ---- Gray-failure accounting ----
   // Slowdown episodes that affected the run, the wall-clock spent degraded,

@@ -9,6 +9,7 @@
 
 #include "src/common/logging.h"
 #include "src/memory/block_manager.h"
+#include "src/memory/prefix_cache.h"
 #include "src/obs/metrics_registry.h"
 #include "src/robustness/admission.h"
 #include "src/robustness/bounded_queue.h"
@@ -49,8 +50,16 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
   allocator_options.sliding_window = options_.model.sliding_window;
   allocator_options.max_seq_len =
       options_.kv_max_seq_len > 0 ? options_.kv_max_seq_len : options_.model.max_seq_len;
+  // Prefix caching requires stable position->block identity, which a sliding
+  // window destroys (blocks are recycled in place as the window advances).
+  // Windowed models therefore degrade kPagedCached to the plain paged
+  // manager instead of failing the run.
+  AllocatorKind allocator_kind = options_.allocator_kind;
+  if (allocator_kind == AllocatorKind::kPagedCached && options_.model.sliding_window > 0) {
+    allocator_kind = AllocatorKind::kPaged;
+  }
   std::unique_ptr<KvAllocator> allocator =
-      MakeAllocator(options_.allocator_kind, options_.scheduler.policy, allocator_options);
+      MakeAllocator(allocator_kind, options_.scheduler.policy, allocator_options);
   std::unique_ptr<Scheduler> scheduler = MakeScheduler(options_.scheduler, allocator.get());
 
   // Parallel sampling (num_samples > 1) forks siblings at prefill completion
@@ -63,6 +72,9 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
   auto* paged = dynamic_cast<PagedBlockManager*>(allocator.get());
   CHECK(!any_forking || paged != nullptr)
       << "num_samples > 1 requires a paged-memory policy (sarathi/vllm/fastserve/vtc)";
+  // Non-null iff the run uses the radix prefix cache (kPagedCached, not
+  // downgraded above); drives admission-time lookups and end-of-run audit.
+  auto* prefix_cache = dynamic_cast<PrefixCachingAllocator*>(allocator.get());
 
   // Observability hooks: the simulator owns the clock; schedulers and the
   // allocator emit against it. Null hooks cost one branch per emission site.
@@ -401,6 +413,32 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
         if (shed) {
           mark_shed(next_arrival, arrival, shed_what, retry_after, predicted_ttft);
         } else {
+          if (prefix_cache != nullptr && state->token_ids() != nullptr) {
+            // Radix-cache lookup before enqueue: matched full blocks are
+            // refcount-pinned so eviction cannot race the admission, and the
+            // request's prefill starts at the matched boundary. Admission
+            // later transplants the pinned chain into the block table.
+            int64_t cached = prefix_cache->PinPrefix(state->id(), state->token_ids(),
+                                                     state->prompt_tokens());
+            if (cached > 0) {
+              state->ApplyCachedPrefix(cached);
+              result.requests[next_arrival].cached_prefill_tokens = cached;
+              if (tracer != nullptr) {
+                tracer->Instant("kv", "prefix_hit", arrival,
+                                {Arg("request", state->id()), Arg("cached_tokens", cached)});
+              }
+              if (metrics != nullptr) {
+                metrics->AddCount("prefix_hits", arrival);
+                metrics->AddCount("cached_prefill_tokens", arrival,
+                                  static_cast<double>(cached));
+              }
+              if (flight != nullptr) {
+                flight->RecordInstant("kv", "prefix_hit", arrival, fpid,
+                                      {{"request", static_cast<double>(state->id())},
+                                       {"cached_tokens", static_cast<double>(cached)}});
+              }
+            }
+          }
           if (controller != nullptr && controller->level() >= OverloadLevel::kBrownout &&
               state->qos() == QosClass::kBatch && overload.brownout_output_cap > 0 &&
               overload_eligible(next_arrival)) {
@@ -1003,6 +1041,18 @@ SimResult ReplicaSimulator::Run(const Trace& trace) {
     in_flight.push_back(InFlightBatch{std::move(batch), start, exit});
   }
 
+  if (prefix_cache != nullptr) {
+    const PrefixCachingAllocator::CacheStats& cache_stats = prefix_cache->stats();
+    result.prefix_lookups = cache_stats.lookups;
+    result.prefix_hits = cache_stats.hits;
+    result.cached_prefill_tokens = cache_stats.cached_tokens;
+    result.prefix_evictions = cache_stats.evictions;
+    result.peak_cached_blocks = cache_stats.peak_cached_blocks;
+    // Drain retained blocks before the end-of-run audit: with the cache
+    // empty, a leak-free run must account for every block exactly like the
+    // plain paged manager does.
+    prefix_cache->DrainCache();
+  }
   if (checker != nullptr) {
     checker->EndRun();
   }

@@ -56,7 +56,12 @@ struct SimulatorOptions {
   // KV allocator selection. kPolicyDefault picks the memory manager each
   // policy assumes (paged for Sarathi/vLLM/FastServe/VTC, max-length
   // reservations for Orca/FT); the explicit kinds exist for differential
-  // testing of every policy on both managers.
+  // testing of every policy on both managers. kPagedCached layers the radix
+  // prefix cache over the paged manager: arrivals carrying token_ids are
+  // looked up before enqueue and matched full blocks are reused with zero
+  // recompute. Models with a sliding window silently downgrade kPagedCached
+  // to kPaged (window clamping recycles blocks in place, which breaks the
+  // cache's position->block identity).
   AllocatorKind allocator_kind = AllocatorKind::kPolicyDefault;
   // Overrides for the allocator's capacity and per-sequence reservation
   // size; <= 0 derives them from the cost model (MaxKvTokens()) and the

@@ -35,7 +35,7 @@ void WriteIterationLogCsv(const SimResult& result, std::ostream& out) {
 void WriteRequestMetricsCsv(const SimResult& result, std::ostream& out) {
   out << "id,arrival_s,scheduling_delay_s,ttft_s,completion_s,latency_s,num_tokens,"
          "p99_tbt_s,max_tbt_s,preemptions,deadline_s,failed_s,failure,retries,"
-         "wasted_tokens,hedges,migrations\n";
+         "wasted_tokens,hedges,migrations,cached_prefill_tokens\n";
   for (const RequestMetrics& r : result.requests) {
     Summary tbt;
     tbt.AddAll(r.TbtSamples());
@@ -46,7 +46,7 @@ void WriteRequestMetricsCsv(const SimResult& result, std::ostream& out) {
         << r.completion_s << ',' << latency << ',' << r.token_times_s.size() << ',' << p99
         << ',' << max_tbt << ',' << r.preemptions << ',' << r.deadline_s << ',' << r.failed_s
         << ',' << FailureKindName(r.failure) << ',' << r.retries << ',' << r.wasted_tokens
-        << ',' << r.hedges << ',' << r.migrations << '\n';
+        << ',' << r.hedges << ',' << r.migrations << ',' << r.cached_prefill_tokens << '\n';
   }
 }
 
@@ -109,6 +109,17 @@ void WriteAggregateCsv(const SimResult& result, std::ostream& out) {
   out << "kv_peak_blocks_in_use," << result.peak_kv_blocks << '\n';
   out << "kv_total_blocks," << result.total_kv_blocks << '\n';
   out << "kv_peak_utilization," << result.PeakKvUtilization() << '\n';
+  out << "prefix_lookups," << result.prefix_lookups << '\n';
+  out << "prefix_hits," << result.prefix_hits << '\n';
+  out << "prefix_hit_rate,"
+      << (result.prefix_lookups > 0
+              ? static_cast<double>(result.prefix_hits) /
+                    static_cast<double>(result.prefix_lookups)
+              : 0.0)
+      << '\n';
+  out << "cached_prefill_tokens," << result.cached_prefill_tokens << '\n';
+  out << "prefix_evictions," << result.prefix_evictions << '\n';
+  out << "kv_peak_cached_blocks," << result.peak_cached_blocks << '\n';
 }
 
 void ReplaySloFromResult(const SimResult& result, SloMonitor* slo) {

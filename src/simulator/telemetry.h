@@ -31,7 +31,8 @@ void WriteIterationLogCsv(const SimResult& result, std::ostream& out);
 // One line per request.
 // Columns: id,arrival_s,scheduling_delay_s,ttft_s,completion_s,latency_s,
 //          num_tokens,p99_tbt_s,max_tbt_s,preemptions,deadline_s,failed_s,
-//          failure,retries,wasted_tokens,hedges,migrations
+//          failure,retries,wasted_tokens,hedges,migrations,
+//          cached_prefill_tokens
 void WriteRequestMetricsCsv(const SimResult& result, std::ostream& out);
 
 // One line per TBT sample (request id, token index, gap): the raw series

@@ -27,6 +27,8 @@ std::string_view InvariantName(Invariant invariant) {
       return "migration_conservation";
     case Invariant::kNoStarvation:
       return "no_starvation";
+    case Invariant::kPrefixCache:
+      return "prefix_cache";
   }
   return "unknown";
 }
@@ -93,6 +95,14 @@ void InvariantChecker::AuditKv(const char* where) {
   if (!audit.empty()) {
     AddViolation(Invariant::kKvConservation, -1,
                  std::string("allocator audit failed after ") + where + ": " + audit);
+  }
+  // Structural self-audit of the radix prefix cache (empty string for
+  // allocators without one): retained chains intact, no block cached twice,
+  // no eviction of a block a live sequence or pin still maps.
+  std::string cache_audit = allocator_->AuditCache();
+  if (!cache_audit.empty()) {
+    AddViolation(Invariant::kPrefixCache, -1,
+                 std::string("prefix-cache audit failed after ") + where + ": " + cache_audit);
   }
   int64_t observed = allocator_->num_sequences();
   auto expected = static_cast<int64_t>(live_kv_.size());
@@ -300,9 +310,13 @@ void InvariantChecker::OnSchedulerEvent(SchedVerifyEvent event, const RequestSta
     case SchedVerifyEvent::kEnqueue: {
       auto [it, inserted] = shadows_.try_emplace(request);
       Shadow& shadow = it->second;
-      if (request->prefill_done() != 0) {
+      // A prefix-cache hit legitimately starts prefill at the matched
+      // boundary; anything beyond cached_prefill() is unexplained progress.
+      if (request->prefill_done() != request->cached_prefill()) {
         std::ostringstream out;
-        out << "enqueued with prefill already at " << request->prefill_done() << " tokens";
+        out << "enqueued with prefill already at " << request->prefill_done()
+            << " tokens, of which only " << request->cached_prefill()
+            << " are prefix-cache served";
         AddViolation(Invariant::kTokenConservation, id, out.str());
       }
       if (request->prefill_target() != request->prompt_tokens() + request->generated()) {
@@ -563,7 +577,7 @@ std::string InvariantChecker::Report() const {
   if (total_violations_ == 0) {
     return out.str();
   }
-  constexpr int kNumInvariants = 8;
+  constexpr int kNumInvariants = 9;
   int64_t counts[kNumInvariants] = {};
   for (const Violation& violation : violations_) {
     ++counts[static_cast<int>(violation.invariant)];

@@ -34,6 +34,14 @@
 //                              intact (> 0, < output), and a prefill target
 //                              equal to the prompt — i.e. the migration
 //                              itself never recomputes or loses tokens.
+//  - prefix-cache conservation: the radix index's structural self-audit
+//                              (PrefixCachingAllocator::AuditCache) — every
+//                              cached block holds the index's reference, a
+//                              chain reference always covers its ancestors,
+//                              and eviction never frees a block a live
+//                              sequence or pin still maps. Runs alongside
+//                              the KV audit on every batch; trivially clean
+//                              for non-caching allocators.
 //  - no starvation (QoS lanes): when a policy declares a batch_aging_s bound,
 //                              no batch-lane request is bypassed at admission
 //                              by an interactive request that was enqueued
@@ -79,6 +87,7 @@ enum class Invariant {
   kBatchSanity,
   kMigrationConservation,
   kNoStarvation,
+  kPrefixCache,
 };
 
 std::string_view InvariantName(Invariant invariant);

@@ -4,6 +4,7 @@
 #define SRC_WORKLOAD_TRACE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -56,6 +57,13 @@ struct Request {
   // ids repeat across rounds, so observability keys that must be unique per
   // attempt — tracer async-span ids — combine (retry_round, id).
   int64_t retry_round = 0;
+  // Token identity for shared-prefix KV reuse: the request's prompt token ids
+  // followed by its (pre-scripted) output token ids, so multi-turn follow-ups
+  // can carry the prior turn verbatim. Null means unique content — the
+  // prefix cache skips the request entirely. Shared (not copied) across the
+  // trace copies cluster retries make; the generators that set it guarantee
+  // size() >= prompt_tokens.
+  std::shared_ptr<const std::vector<int32_t>> token_ids;
 
   int64_t total_tokens() const { return prompt_tokens + output_tokens; }
 };

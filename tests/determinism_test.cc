@@ -14,6 +14,7 @@
 #include "src/simulator/cluster_simulator.h"
 #include "src/simulator/replica_simulator.h"
 #include "src/simulator/telemetry.h"
+#include "src/workload/session_trace.h"
 #include "src/workload/trace.h"
 
 namespace sarathi {
@@ -105,6 +106,56 @@ TEST(DeterminismTest, ClusterSimulatorWithFaultsIsDeterministic) {
   std::string second = Fingerprint(ClusterSimulator(options).Run(trace));
   ASSERT_FALSE(first.empty());
   EXPECT_EQ(first, second);
+}
+
+// Prefix cache on (Yi-34B: no sliding window, so kPagedCached sticks), over
+// a multi-turn workload with real token identity and KV pressure: repeated
+// runs must stay byte-identical even with radix lookups, pin/transplant
+// admissions, finish-time retention, and LRU eviction in the loop.
+TEST(DeterminismTest, PrefixCacheRunsAreReproducible) {
+  MultiTurnChatOptions chat;
+  chat.num_sessions = 16;
+  chat.start_qps = 1.0;
+  chat.max_context = 3072;
+  Trace trace = GenerateMultiTurnChatTrace(chat);
+  Deployment deployment = YiOnA100Tp2();
+  SimulatorOptions options;
+  options.model = deployment.model;
+  options.cluster = deployment.cluster;
+  options.parallel = deployment.parallel;
+  options.scheduler = SarathiConfig(256, 8);
+  options.allocator_kind = AllocatorKind::kPagedCached;
+  options.kv_capacity_tokens = 8192;  // Tight: retention evicts constantly.
+  options.kv_max_seq_len = 4096;
+  options.record_iterations = true;
+  SimResult first_result = ReplicaSimulator(options).Run(trace);
+  EXPECT_GT(first_result.prefix_hits, 0) << "cache never engaged";
+  EXPECT_GT(first_result.cached_prefill_tokens, 0);
+  std::string first = Fingerprint(first_result);
+  std::string second = Fingerprint(ReplicaSimulator(options).Run(trace));
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+// Knobs off means byte-identical to the pre-cache simulator: the default
+// allocator on a trace without token identity must produce the same
+// fingerprint as an explicit kPagedCached run of that trace (every lookup
+// misses, nothing is retained that changes scheduling), and the per-request
+// cached_prefill_tokens column stays all-zero.
+TEST(DeterminismTest, CacheWithoutTokenIdentityMatchesPlainPaged) {
+  Trace trace = FuzzishTrace();  // No token_ids anywhere.
+  SimulatorOptions options = ReplicaOptions();
+  Deployment deployment = YiOnA100Tp2();  // Non-windowed: no silent downgrade.
+  options.model = deployment.model;
+  options.cluster = deployment.cluster;
+  options.parallel = deployment.parallel;
+  options.allocator_kind = AllocatorKind::kPaged;
+  std::string off = Fingerprint(ReplicaSimulator(options).Run(trace));
+  options.allocator_kind = AllocatorKind::kPagedCached;
+  SimResult cached_result = ReplicaSimulator(options).Run(trace);
+  EXPECT_EQ(cached_result.prefix_hits, 0);
+  EXPECT_EQ(cached_result.cached_prefill_tokens, 0);
+  EXPECT_EQ(off, Fingerprint(cached_result));
 }
 
 TEST(DeterminismTest, DifferentFaultSeedsDiverge) {

@@ -6,6 +6,7 @@
 // dead sequences or out-of-range blocks — across many seeds.
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -14,6 +15,7 @@
 
 #include "src/common/rng.h"
 #include "src/memory/block_manager.h"
+#include "src/memory/prefix_cache.h"
 
 namespace sarathi {
 namespace {
@@ -167,6 +169,307 @@ TEST(PagedBlockManagerPropertyTest, RandomOpsKeepInvariantsWithSlidingWindow) {
   for (uint64_t seed = 100; seed < 100 + kNumSeeds; ++seed) {
     RunSeed(seed, /*sliding_window=*/4 * kBlockSize);
   }
+}
+
+// ---------------------------------------------------------------------------
+// PrefixCachingAllocator battery: random interleavings of the full cached
+// lifecycle — pin-with-lookup, admit (consuming the pin), append, fork,
+// preempt + recompute re-admission, finish-and-retain, drop-while-queued —
+// against a pool small enough that retention keeps the allocator at the
+// eviction watermark, so the LRU path runs on most admissions. Both
+// self-audits (block conservation including the cached-chain ledger, and the
+// radix-index structural audit) run after every operation, across >= 50
+// seeds. Token ids are drawn from a tiny alphabet so block-sized chunks
+// collide constantly: retention dedup, hash-collision rejection, and partial
+// matches all get exercised, not just the clean hit path.
+// ---------------------------------------------------------------------------
+
+constexpr uint64_t kNumPrefixSeeds = 50;
+constexpr int kPrefixOpsPerSeed = 600;
+constexpr int32_t kAlphabet = 4;  // Tiny vocabulary: chunk collisions abound.
+
+struct PendingSeq {
+  std::shared_ptr<const std::vector<int32_t>> tokens;  // May be null.
+  int64_t prompt = 0;
+  int64_t max_total = 0;
+};
+
+struct CacheModel {
+  std::map<SeqId, PendingSeq> pinned;     // PinPrefix'd, not yet admitted.
+  std::map<SeqId, int64_t> admitted;      // Live in the manager -> token count.
+  std::map<SeqId, PendingSeq> preempted;  // Released, awaiting recompute.
+  // Token identity per non-terminal sequence (absent for anonymous requests
+  // and fork children), mirroring the allocator's own registry.
+  std::map<SeqId, std::shared_ptr<const std::vector<int32_t>>> identity;
+  // Finished streams: later requests re-send prefixes of these (the
+  // multi-turn pattern the cache exists for).
+  std::vector<std::shared_ptr<const std::vector<int32_t>>> history;
+};
+
+std::optional<SeqId> PickAdmitted(const CacheModel& model, Rng& rng) {
+  if (model.admitted.empty()) {
+    return std::nullopt;
+  }
+  auto it = model.admitted.begin();
+  std::advance(it,
+               rng.UniformInt(0, static_cast<int64_t>(model.admitted.size()) - 1));
+  return it->first;
+}
+
+void CheckCacheConsistent(const PrefixCachingAllocator& manager,
+                          const CacheModel& model, uint64_t seed, int op) {
+  std::string audit = manager.AuditInvariants();
+  ASSERT_EQ(audit, "") << "seed " << seed << " op " << op << ": " << audit;
+  audit = manager.AuditCache();
+  ASSERT_EQ(audit, "") << "seed " << seed << " op " << op << ": " << audit;
+  ASSERT_EQ(manager.used_blocks() + manager.free_blocks(), kNumBlocks)
+      << "seed " << seed << " op " << op;
+  ASSERT_EQ(manager.num_sequences(), static_cast<int64_t>(model.admitted.size()))
+      << "seed " << seed << " op " << op;
+  for (const auto& [id, tokens] : model.admitted) {
+    ASSERT_EQ(manager.SequenceTokens(id), tokens) << "seed " << seed << " op " << op;
+  }
+  ASSERT_LE(manager.evictable_blocks(), manager.cached_blocks())
+      << "seed " << seed << " op " << op;
+  ASSERT_LE(manager.cached_blocks(), manager.stats().peak_cached_blocks)
+      << "seed " << seed << " op " << op;
+  ASSERT_LE(manager.stats().hits, manager.stats().lookups)
+      << "seed " << seed << " op " << op;
+}
+
+void RunPrefixSeed(uint64_t seed) {
+  PagedBlockManager::Options options;
+  options.num_blocks = kNumBlocks;
+  options.block_size = kBlockSize;
+  options.watermark = 0.0;
+  PrefixCachingAllocator manager(options);
+
+  Rng rng(seed);
+  CacheModel model;
+  SeqId next_id = 0;
+
+  for (int op = 0; op < kPrefixOpsPerSeed; ++op) {
+    switch (rng.UniformInt(0, 6)) {
+      case 0: {  // Pin a new request (lookup happens here, before enqueue).
+        SeqId id = next_id++;
+        PendingSeq seq;
+        seq.prompt = rng.UniformInt(1, 6 * kBlockSize);
+        seq.max_total = seq.prompt + rng.UniformInt(1, 8);
+        if (rng.UniformInt(0, 9) == 0) {
+          // Anonymous request (no token identity): must behave exactly like
+          // the plain paged path — lookup returns 0, retention is skipped.
+          int64_t matched = manager.PinPrefix(id, nullptr, seq.prompt);
+          ASSERT_EQ(matched, 0) << "seed " << seed << " op " << op;
+        } else {
+          auto tokens = std::make_shared<std::vector<int32_t>>();
+          if (!model.history.empty() && rng.UniformInt(0, 2) > 0) {
+            // Re-send a (possibly partial) prefix of a finished stream.
+            const auto& base = *model.history[static_cast<size_t>(rng.UniformInt(
+                0, static_cast<int64_t>(model.history.size()) - 1))];
+            int64_t take = rng.UniformInt(
+                0, std::min<int64_t>(static_cast<int64_t>(base.size()), seq.prompt));
+            tokens->assign(base.begin(), base.begin() + take);
+          }
+          while (static_cast<int64_t>(tokens->size()) < seq.max_total) {
+            tokens->push_back(static_cast<int32_t>(rng.UniformInt(0, kAlphabet - 1)));
+          }
+          seq.tokens = tokens;
+          int64_t matched = manager.PinPrefix(id, seq.tokens, seq.prompt);
+          ASSERT_GE(matched, 0) << "seed " << seed << " op " << op;
+          ASSERT_LT(matched, seq.prompt) << "seed " << seed << " op " << op;
+          ASSERT_EQ(matched % kBlockSize, 0) << "seed " << seed << " op " << op;
+          ASSERT_EQ(manager.PinnedTokens(id), matched) << "seed " << seed << " op " << op;
+          model.identity[id] = seq.tokens;
+        }
+        model.pinned[id] = std::move(seq);
+        break;
+      }
+      case 1: {  // Admit a pinned request (consumes the pin) or a preempted
+                 // one (recompute re-admission, no pin).
+        auto* pool = rng.UniformInt(0, 1) == 0 && !model.preempted.empty()
+                         ? &model.preempted
+                         : &model.pinned;
+        if (pool->empty()) pool = pool == &model.pinned ? &model.preempted : &model.pinned;
+        if (pool->empty()) break;
+        auto it = pool->begin();
+        std::advance(it, rng.UniformInt(0, static_cast<int64_t>(pool->size()) - 1));
+        SeqId id = it->first;
+        PendingSeq seq = it->second;
+        if (manager.CanAdmitSeq(id, seq.prompt, seq.max_total)) {
+          manager.Admit(id, seq.prompt, seq.max_total);
+          model.admitted[id] = seq.prompt;
+          pool->erase(it);
+        }
+        break;
+      }
+      case 2: {  // Decode append (evicts a retained block when the pool is dry).
+        auto id = PickAdmitted(model, rng);
+        if (id.has_value() && manager.CanAppendToken(*id)) {
+          manager.AppendToken(*id);
+          ++model.admitted[*id];
+        }
+        break;
+      }
+      case 3: {  // Fork (parallel sampling child: shares blocks, no identity).
+        auto parent = PickAdmitted(model, rng);
+        if (parent.has_value() && manager.CanFork(*parent)) {
+          SeqId child = next_id++;
+          manager.Fork(*parent, child);
+          model.admitted[child] = model.admitted[*parent];
+        }
+        break;
+      }
+      case 4: {  // Finish: retain full blocks in the radix index.
+        auto id = PickAdmitted(model, rng);
+        if (!id.has_value()) break;
+        manager.ReleaseFinished(*id);
+        model.admitted.erase(*id);
+        auto identity = model.identity.find(*id);
+        if (identity != model.identity.end()) {
+          // Finished streams seed future shared-prefix draws (bounded pool).
+          if (model.history.size() >= 16) model.history.erase(model.history.begin());
+          model.history.push_back(identity->second);
+          model.identity.erase(identity);
+        }
+        break;
+      }
+      case 5: {  // Drop while queued (shed/abort before admission).
+        if (model.pinned.empty()) break;
+        auto it = model.pinned.begin();
+        std::advance(it,
+                     rng.UniformInt(0, static_cast<int64_t>(model.pinned.size()) - 1));
+        manager.OnRequestDropped(it->first);
+        model.identity.erase(it->first);
+        model.pinned.erase(it);
+        break;
+      }
+      case 6: {  // Preempt: release blocks, keep identity for recompute.
+        auto id = PickAdmitted(model, rng);
+        if (!id.has_value()) break;
+        PendingSeq seq;
+        seq.prompt = model.admitted[*id];  // Recompute re-prefills everything.
+        seq.max_total = seq.prompt + rng.UniformInt(1, 8);
+        auto identity = model.identity.find(*id);
+        if (identity != model.identity.end()) seq.tokens = identity->second;
+        manager.Release(*id);
+        model.admitted.erase(*id);
+        model.preempted[*id] = seq;
+        break;
+      }
+    }
+    CheckCacheConsistent(manager, model, seed, op);
+  }
+
+  // Teardown mirrors end-of-run: drop every queued pin, finish every live
+  // sequence (retaining), then drain the cache — the pool must come back
+  // pristine, or blocks leaked into (or out of) the radix index.
+  while (!model.pinned.empty()) {
+    manager.OnRequestDropped(model.pinned.begin()->first);
+    model.pinned.erase(model.pinned.begin());
+  }
+  while (!model.admitted.empty()) {
+    manager.ReleaseFinished(model.admitted.begin()->first);
+    model.admitted.erase(model.admitted.begin());
+  }
+  manager.DrainCache();
+  ASSERT_EQ(manager.AuditInvariants(), "") << "seed " << seed;
+  ASSERT_EQ(manager.AuditCache(), "") << "seed " << seed;
+  ASSERT_EQ(manager.used_blocks(), 0) << "seed " << seed;
+  ASSERT_EQ(manager.free_blocks(), kNumBlocks) << "seed " << seed;
+  ASSERT_EQ(manager.cached_blocks(), 0) << "seed " << seed;
+  ASSERT_EQ(manager.num_sequences(), 0) << "seed " << seed;
+}
+
+TEST(PrefixCachePropertyTest, RandomOpsKeepInvariants) {
+  for (uint64_t seed = 0; seed < kNumPrefixSeeds; ++seed) {
+    RunPrefixSeed(seed);
+  }
+}
+
+// Directed: finishing a sequence and re-sending its exact stream matches the
+// largest block multiple <= prompt - 1, and the hit admission only allocates
+// the uncovered tail.
+TEST(PrefixCachePropertyTest, RetainThenLookupRoundTrip) {
+  PagedBlockManager::Options options;
+  options.num_blocks = kNumBlocks;
+  options.block_size = kBlockSize;
+  options.watermark = 0.0;
+  PrefixCachingAllocator manager(options);
+
+  auto tokens = std::make_shared<std::vector<int32_t>>();
+  for (int32_t i = 0; i < 20; ++i) tokens->push_back(i);
+  const int64_t prompt = 17;  // 4 full blocks + 1; retention keeps 5 full
+                              // blocks of the 20-token stream.
+  ASSERT_EQ(manager.PinPrefix(0, tokens, prompt), 0);
+  manager.Admit(0, prompt, 20);
+  while (manager.SequenceTokens(0) < 20) manager.AppendToken(0);
+  manager.ReleaseFinished(0);
+  EXPECT_EQ(manager.cached_blocks(), 5);
+  EXPECT_EQ(manager.used_blocks(), 5);
+
+  // Same stream again: the match is capped at 16 = largest multiple of 4
+  // <= prompt - 1, even though 20 tokens sit in the index.
+  EXPECT_EQ(manager.PinPrefix(1, tokens, prompt), 16);
+  int64_t free_before = manager.free_blocks();
+  manager.Admit(1, prompt, 20);
+  // Only the single uncovered block is fresh; the 4 matched blocks are shared.
+  EXPECT_EQ(free_before - manager.free_blocks(), 1);
+  EXPECT_EQ(manager.SequenceTokens(1), prompt);
+  EXPECT_EQ(manager.AuditInvariants(), "");
+  manager.ReleaseFinished(1);
+  manager.DrainCache();
+  EXPECT_EQ(manager.free_blocks(), kNumBlocks);
+}
+
+// Directed: retained blocks never starve decode — with the pool fully
+// retained, admission and append both evict LRU leaves on demand.
+TEST(PrefixCachePropertyTest, EvictionUnderPressureFreesRetainedBlocks) {
+  PagedBlockManager::Options options;
+  options.num_blocks = kNumBlocks;
+  options.block_size = kBlockSize;
+  options.watermark = 0.0;
+  PrefixCachingAllocator manager(options);
+
+  // Fill the whole pool with retained chains from distinct finished streams.
+  SeqId id = 0;
+  Rng rng(7);
+  while (manager.free_blocks() >= 4) {
+    auto tokens = std::make_shared<std::vector<int32_t>>();
+    for (int i = 0; i < 16; ++i) {
+      tokens->push_back(static_cast<int32_t>(rng.UniformInt(0, 1000000)));
+    }
+    SeqId seq = id++;
+    ASSERT_EQ(manager.PinPrefix(seq, tokens, 16), 0);
+    if (!manager.CanAdmitSeq(seq, 16, 16)) {
+      manager.OnRequestDropped(seq);
+      break;
+    }
+    manager.Admit(seq, 16, 16);
+    manager.ReleaseFinished(seq);
+  }
+  ASSERT_GT(manager.cached_blocks(), 0);
+  ASSERT_GT(manager.evictable_blocks(), 0);
+
+  // A fresh admission that needs more than the free pool must still succeed
+  // by evicting, and must leave both audits clean.
+  int64_t evictions_before = manager.stats().evictions;
+  ASSERT_TRUE(manager.CanAdmit(24, 32));
+  SeqId fresh = id++;
+  ASSERT_EQ(manager.PinPrefix(fresh, nullptr, 24), 0);
+  manager.Admit(fresh, 24, 32);
+  EXPECT_GT(manager.stats().evictions, evictions_before);
+  EXPECT_EQ(manager.AuditInvariants(), "");
+  EXPECT_EQ(manager.AuditCache(), "");
+
+  // Decode append keeps evicting as the pool drains.
+  while (manager.CanAppendToken(fresh) && manager.SequenceTokens(fresh) < 32) {
+    manager.AppendToken(fresh);
+    ASSERT_EQ(manager.AuditInvariants(), "");
+  }
+  manager.ReleaseFinished(fresh);
+  manager.DrainCache();
+  EXPECT_EQ(manager.free_blocks(), kNumBlocks);
+  EXPECT_EQ(manager.AuditInvariants(), "");
 }
 
 }  // namespace

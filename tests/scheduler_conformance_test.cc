@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/memory/prefix_cache.h"
 #include "src/scheduler/scheduler_factory.h"
 #include "src/verify/invariant_checker.h"
 #include "src/workload/trace.h"
@@ -89,6 +90,92 @@ class SchedulerConformanceTest : public testing::TestWithParam<ConformanceParam>
     scheduler_->set_obs(&obs_);
     checker_.BeginRun(scheduler_.get(), allocator_.get(),
                       std::string(SchedulerPolicyName(GetParam().policy)) + "/qos");
+  }
+
+  // Tears down the SetUp scheduler (nothing has run yet) and rebuilds it
+  // over the prefix-caching allocator when the param allocator is paged; the
+  // reservation leg keeps its allocator, making these cases a differential:
+  // token identity must be completely inert without a cache.
+  void RebuildWithPrefixCache() {
+    checker_.EndRun();
+    ASSERT_TRUE(checker_.ok()) << checker_.Report();
+    if (GetParam().allocator == AllocatorKind::kPaged) {
+      AllocatorOptions allocator_options;
+      allocator_options.capacity_tokens = 4 * kMaxSeqLen;
+      allocator_options.block_size = 16;
+      allocator_options.watermark = 0.0;
+      allocator_options.max_seq_len = kMaxSeqLen;
+      allocator_ =
+          MakeAllocator(AllocatorKind::kPagedCached, GetParam().policy, allocator_options);
+      allocator_->set_obs(&obs_);
+    }
+    SchedulerConfig config;
+    config.policy = GetParam().policy;
+    config.token_budget = 128;
+    config.max_batch_size = 6;
+    config.client_weights = {{0, 1.0}, {1, 2.0}};
+    scheduler_ = MakeScheduler(config, allocator_.get());
+    scheduler_->set_obs(&obs_);
+    checker_.BeginRun(scheduler_.get(), allocator_.get(),
+                      std::string(SchedulerPolicyName(GetParam().policy)) + "/prefix");
+  }
+
+  PrefixCachingAllocator* prefix_cache() {
+    return dynamic_cast<PrefixCachingAllocator*>(allocator_.get());
+  }
+
+  // Mirrors the simulator's pin-at-enqueue: resolve the longest cached
+  // prefix before Enqueue and pre-set the request's prefill progress on a
+  // hit. No-op (always a miss) when the allocator has no cache.
+  RequestState* AddWithTokens(std::shared_ptr<const std::vector<int32_t>> tokens,
+                              int64_t prompt, int64_t output) {
+    Request r;
+    r.id = next_id_++;
+    r.prompt_tokens = prompt;
+    r.output_tokens = output;
+    r.arrival_time_s = now_;
+    r.token_ids = std::move(tokens);
+    states_.push_back(std::make_unique<RequestState>(r));
+    RequestState* state = states_.back().get();
+    if (PrefixCachingAllocator* cache = prefix_cache()) {
+      int64_t cached = cache->PinPrefix(state->id(), state->token_ids(), prompt);
+      if (cached > 0) {
+        state->ApplyCachedPrefix(cached);
+      }
+    }
+    obs_.SetNow(now_);
+    scheduler_->Enqueue(state);
+    return state;
+  }
+
+  static std::shared_ptr<const std::vector<int32_t>> Stream(int64_t length,
+                                                            int32_t salt) {
+    auto tokens = std::make_shared<std::vector<int32_t>>();
+    for (int64_t i = 0; i < length; ++i) {
+      tokens->push_back(static_cast<int32_t>(i * 7 + salt));
+    }
+    return tokens;
+  }
+
+  // RunToCompletion that reports how many iterations the drain took.
+  int64_t StepsToDrain() {
+    int64_t steps = 0;
+    while (scheduler_->HasWork()) {
+      EXPECT_TRUE(Step()) << "scheduler stuck";
+      if (++steps > 100000) {
+        ADD_FAILURE() << "no convergence after 100k iterations";
+        break;
+      }
+    }
+    return steps;
+  }
+
+  // The checker's end-of-run zero-leak audit expects an empty pool, so tests
+  // that retained chains must drain them first (as the simulator does).
+  void DrainPrefixCache() {
+    if (PrefixCachingAllocator* cache = prefix_cache()) {
+      cache->DrainCache();
+    }
   }
 
   // One schedule/complete iteration. Returns false on an empty batch.
@@ -274,6 +361,123 @@ TEST_P(SchedulerConformanceTest, QosLanesCompleteBothLanesWithoutStarvation) {
     EXPECT_TRUE(state->finished()) << "request " << state->id();
   }
   EXPECT_EQ(allocator_->used_units(), 0);
+  FinishRun();
+}
+
+// A finished request's KV chain is retained; an identical follow-up starts
+// prefill at the matched block boundary (240 of 256 prompt tokens: the
+// largest block multiple <= prompt - 1) and still completes in full. The
+// reservation leg has no cache, so the identical script must behave exactly
+// as an anonymous request — same iteration count, zero cached tokens.
+TEST_P(SchedulerConformanceTest, PrefixHitShortenedPrefillCompletes) {
+  RebuildWithPrefixCache();
+  auto stream = Stream(272, /*salt=*/3);
+  const int64_t prompt = 256;
+  const int64_t output = 16;
+  RequestState* cold = AddWithTokens(stream, prompt, output);
+  EXPECT_EQ(cold->cached_prefill(), 0);
+  int64_t cold_steps = StepsToDrain();
+  ASSERT_TRUE(cold->finished());
+
+  RequestState* follower = AddWithTokens(stream, prompt, output);
+  const bool cached_leg = prefix_cache() != nullptr;
+  EXPECT_EQ(follower->cached_prefill(), cached_leg ? 240 : 0);
+  EXPECT_EQ(follower->prefill_done(), follower->cached_prefill());
+  int64_t hit_steps = StepsToDrain();
+  ASSERT_TRUE(follower->finished());
+  EXPECT_EQ(follower->generated(), output);
+  if (cached_leg && scheduler_->guarantees().token_budget > 0) {
+    // Chunking policies needed two 128-token iterations for the cold prefill
+    // but only one for the 16 uncovered tokens: a hit must shorten the run.
+    EXPECT_LT(hit_steps, cold_steps);
+  } else if (cached_leg) {
+    EXPECT_LE(hit_steps, cold_steps);
+  } else {
+    EXPECT_EQ(hit_steps, cold_steps);
+  }
+  DrainPrefixCache();
+  EXPECT_EQ(allocator_->used_units(), 0);
+  FinishRun();
+}
+
+// Cache hits charge only their uncovered prefill against the token budget:
+// four warm followers leave 4 x 16 = 64 fresh prefill tokens, which Sarathi
+// packs into a single 128-token iteration where the cold versions would need
+// eight. The invariant checker certifies budget compliance and block
+// conservation on every scheduled batch along the way.
+TEST_P(SchedulerConformanceTest, PrefixHitsChargeOnlyUncachedPrefillToBudget) {
+  RebuildWithPrefixCache();
+  auto stream = Stream(272, /*salt=*/9);
+  RequestState* warm = AddWithTokens(stream, 256, 16);
+  StepsToDrain();
+  ASSERT_TRUE(warm->finished());
+
+  std::vector<RequestState*> followers;
+  for (int i = 0; i < 4; ++i) {
+    followers.push_back(AddWithTokens(stream, 256, 8));
+  }
+  if (prefix_cache() != nullptr && GetParam().policy == SchedulerPolicy::kSarathi) {
+    ASSERT_TRUE(Step());
+    for (RequestState* f : followers) {
+      EXPECT_TRUE(f->prefill_complete())
+          << "request " << f->id() << ": 64 uncovered tokens must fit one budget";
+    }
+  }
+  RunToCompletion();
+  for (RequestState* f : followers) {
+    EXPECT_TRUE(f->finished()) << "request " << f->id();
+    EXPECT_EQ(f->generated(), 8) << "request " << f->id();
+    if (prefix_cache() != nullptr) {
+      EXPECT_EQ(f->cached_prefill(), 240) << "request " << f->id();
+      EXPECT_EQ(f->wasted_tokens(), 0) << "request " << f->id();
+    }
+  }
+  DrainPrefixCache();
+  EXPECT_EQ(allocator_->used_units(), 0);
+  FinishRun();
+}
+
+// Aborting a cache-hit request — from the queue (pin released) or from the
+// running set (private blocks released) — must leave the retained chain
+// cached and return exactly the request's private blocks to the pool.
+TEST_P(SchedulerConformanceTest, AbortOfHitRequestReleasesOnlyPrivateBlocks) {
+  RebuildWithPrefixCache();
+  auto stream = Stream(272, /*salt=*/5);
+  RequestState* warm = AddWithTokens(stream, 256, 16);
+  StepsToDrain();
+  ASSERT_TRUE(warm->finished());
+  PrefixCachingAllocator* cache = prefix_cache();
+  const int64_t cached_before = cache != nullptr ? cache->cached_blocks() : 0;
+  const int64_t used_before = allocator_->used_units();
+
+  // Queued abort: the pin is the only cache-side state to unwind.
+  RequestState* queued = AddWithTokens(stream, 256, 16);
+  ASSERT_TRUE(scheduler_->Abort(queued));
+  EXPECT_EQ(queued->phase(), RequestPhase::kFailed);
+  EXPECT_EQ(allocator_->used_units(), used_before);
+  if (cache != nullptr) {
+    EXPECT_EQ(cache->cached_blocks(), cached_before);
+    EXPECT_EQ(cache->AuditInvariants(), "");
+    EXPECT_EQ(cache->AuditCache(), "");
+  }
+
+  // Running abort: shared chain blocks must survive, private ones must not.
+  RequestState* running = AddWithTokens(stream, 256, 16);
+  ASSERT_TRUE(Step());
+  if (!running->locked() && !running->finished()) {
+    ASSERT_TRUE(scheduler_->Abort(running));
+    EXPECT_EQ(running->phase(), RequestPhase::kFailed);
+  }
+  RunToCompletion();
+  EXPECT_EQ(allocator_->used_units(), used_before);
+  if (cache != nullptr) {
+    EXPECT_EQ(cache->cached_blocks(), cached_before);
+    EXPECT_EQ(cache->AuditInvariants(), "");
+    EXPECT_EQ(cache->AuditCache(), "");
+  }
+  DrainPrefixCache();
+  EXPECT_EQ(allocator_->used_units(), 0);
+  EXPECT_EQ(allocator_->num_sequences(), 0);
   FinishRun();
 }
 

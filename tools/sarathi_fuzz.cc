@@ -26,6 +26,9 @@
 //   --verbose        one line per seed instead of a progress line per 10
 //   --force-gray     force every seed into a gray-failure cluster case
 //                    (slowdown episodes + seed-rotated failover/hedging)
+//   --force-prefix   force the prefix-cache dimension on every seed: token
+//                    identity is synthesized for the whole trace and the
+//                    cached allocator joins the differential matrix
 //   --jobs=N         fan seeds across N worker threads (0 = hardware
 //                    concurrency). Seeds are independent; outcomes are
 //                    replayed in seed order, so stdout/stderr and the exit
@@ -66,6 +69,7 @@ constexpr char kUsage[] = R"(sarathi_fuzz: randomized invariant fuzzer (see docs
   --repro-out=DIR  write a repro report per failing seed into DIR
   --verbose        per-seed progress lines
   --force-gray     force every seed into a gray-failure cluster case
+  --force-prefix   force the prefix-cache dimension on every seed
   --jobs=N         run seeds on N threads (0 = hardware concurrency);
                    output stays byte-identical to --jobs=1
   --fingerprint-out=FILE  one "seed,bytes,fnv1a" telemetry line per seed
@@ -112,6 +116,11 @@ struct FuzzCase {
   double backpressure_queue_s = 0.0;
   bool overload_burst = false;  // Trace got an appended arrival burst.
 
+  // Prefix-cache dimension (drawn after overload so pre-existing seeds keep
+  // their cases byte-identical): requests carry synthesized token identity
+  // with shared-prefix families, and kPagedCached joins the allocator matrix.
+  bool prefix_cache = false;
+
   std::string Summary() const;
 };
 
@@ -149,7 +158,41 @@ std::string FuzzCase::Summary() const {
     if (overload_burst) out << " burst";
     out << ")";
   }
+  if (prefix_cache) out << ", prefix-cache";
   return out.str();
+}
+
+// Synthesizes token identity for the trace: a few shared token streams
+// ("families") stand in for system prompts / conversation histories, and
+// most requests open with a family prefix — the multi-turn shape the radix
+// cache exploits. Shapes (prompt/output counts, arrivals) are untouched, so
+// cache-off matrix cells behave exactly as before.
+void AttachTokenIdentity(Trace* trace, Rng& rng) {
+  constexpr int32_t kVocab = 32000;
+  int64_t max_len = 1;
+  for (const Request& r : trace->requests) {
+    max_len = std::max(max_len, r.prompt_tokens + r.output_tokens);
+  }
+  int64_t num_families = rng.UniformInt(1, 4);
+  std::vector<std::vector<int32_t>> families(static_cast<size_t>(num_families));
+  for (auto& family : families) {
+    family.reserve(static_cast<size_t>(max_len));
+    for (int64_t i = 0; i < max_len; ++i) {
+      family.push_back(static_cast<int32_t>(rng.UniformInt(0, kVocab - 1)));
+    }
+  }
+  for (Request& r : trace->requests) {
+    if (rng.Uniform(0.0, 1.0) < 0.2) continue;  // Keep some anonymous.
+    const std::vector<int32_t>& family =
+        families[static_cast<size_t>(rng.UniformInt(0, num_families - 1))];
+    int64_t shared = rng.UniformInt(0, r.prompt_tokens);
+    auto tokens = std::make_shared<std::vector<int32_t>>(
+        family.begin(), family.begin() + shared);
+    while (static_cast<int64_t>(tokens->size()) < r.prompt_tokens + r.output_tokens) {
+      tokens->push_back(static_cast<int32_t>(rng.UniformInt(0, kVocab - 1)));
+    }
+    r.token_ids = std::move(tokens);
+  }
 }
 
 Trace MakeTrace(Rng& rng) {
@@ -319,6 +362,19 @@ FuzzCase MakeCase(uint64_t seed) {
                        });
     }
   }
+
+  // Prefix cache. Drawn after the overload block so seeds that predate this
+  // dimension keep their cases byte-identical. Once the gate fires the seed
+  // is new coverage: token identity is attached to the existing requests and
+  // windowed deployments (Mistral's sliding window recycles block contents,
+  // so the cached allocator rejects it) move to the non-windowed Yi-34B.
+  if (rng.Uniform(0.0, 1.0) < 0.5) {
+    fuzz_case.prefix_cache = true;
+    AttachTokenIdentity(&fuzz_case.trace, rng);
+    if (fuzz_case.deployment.model.sliding_window > 0) {
+      fuzz_case.deployment = YiOnA100Tp2();
+    }
+  }
   return fuzz_case;
 }
 
@@ -435,7 +491,12 @@ struct DeterminismOutcome {
 DeterminismOutcome RunDeterminismCheck(const FuzzCase& fuzz_case, uint64_t seed) {
   SchedulerPolicy policy = kPolicies[seed % (sizeof(kPolicies) / sizeof(kPolicies[0]))];
   ClusterOptions cluster;
-  cluster.replica = MakeReplicaOptions(fuzz_case, policy, AllocatorKind::kPaged, nullptr);
+  // The cached allocator is always inside the byte-compare: radix lookups,
+  // pin/transplant admissions, retention, and LRU eviction must all replay
+  // identically. Seeds without token identity still run the cached code with
+  // every lookup missing; windowed deployments silently downgrade to kPaged.
+  cluster.replica =
+      MakeReplicaOptions(fuzz_case, policy, AllocatorKind::kPagedCached, nullptr);
   cluster.num_replicas = fuzz_case.cluster_mode ? fuzz_case.num_replicas : 2;
   cluster.routing = fuzz_case.routing;
   cluster.faults = fuzz_case.faults;
@@ -510,10 +571,21 @@ struct SeedOutcome {
   uint64_t fingerprint_hash = 0;
 };
 
-SeedOutcome RunSeed(uint64_t seed, bool fatal, bool force_gray) {
+SeedOutcome RunSeed(uint64_t seed, bool fatal, bool force_gray, bool force_prefix) {
   SeedOutcome outcome;
   outcome.seed = seed;
   FuzzCase fuzz_case = MakeCase(seed);
+  if (force_prefix && !fuzz_case.prefix_cache) {
+    // CI smoke mode: every seed exercises the cached allocator. Token
+    // identity comes from a side Rng stream so the seed's own case draws
+    // stay byte-identical to an unforced run.
+    fuzz_case.prefix_cache = true;
+    Rng prefix_rng(seed * 0x9e3779b97f4a7c15ULL + 7);
+    AttachTokenIdentity(&fuzz_case.trace, prefix_rng);
+    if (fuzz_case.deployment.model.sliding_window > 0) {
+      fuzz_case.deployment = YiOnA100Tp2();
+    }
+  }
   if (force_gray) {
     // CI smoke mode: every seed becomes a gray-failure cluster case, with
     // the failover mode and hedging rotating deterministically by seed.
@@ -535,8 +607,12 @@ SeedOutcome RunSeed(uint64_t seed, bool fatal, bool force_gray) {
   }
   outcome.summary = fuzz_case.Summary();
 
+  std::vector<AllocatorKind> kinds = {AllocatorKind::kPaged, AllocatorKind::kReservation};
+  if (fuzz_case.prefix_cache) {
+    kinds.push_back(AllocatorKind::kPagedCached);
+  }
   for (SchedulerPolicy policy : kPolicies) {
-    for (AllocatorKind kind : {AllocatorKind::kPaged, AllocatorKind::kReservation}) {
+    for (AllocatorKind kind : kinds) {
       std::string report = RunCell(fuzz_case, policy, kind, fatal);
       ++outcome.runs;
       if (!report.empty()) {
@@ -584,6 +660,7 @@ int RunMain(int argc, char** argv) {
   bool fatal = args.GetBool("fatal", false);
   bool verbose = args.GetBool("verbose", false);
   bool force_gray = args.GetBool("force-gray", false);
+  bool force_prefix = args.GetBool("force-prefix", false);
   std::string repro_dir = args.GetString("repro-out", "");
   std::string fingerprint_path = args.GetString("fingerprint-out", "");
   int jobs = ResolveJobs(static_cast<int>(jobs_arg.value()));
@@ -613,7 +690,8 @@ int RunMain(int argc, char** argv) {
   for (int64_t chunk_start = 0; chunk_start < num_seeds && !stopped; chunk_start += jobs) {
     int64_t chunk = std::min<int64_t>(jobs, num_seeds - chunk_start);
     std::vector<SeedOutcome> outcomes = RunMany(jobs, chunk, [&](int64_t k) {
-      return RunSeed(static_cast<uint64_t>(start + chunk_start + k), fatal, force_gray);
+      return RunSeed(static_cast<uint64_t>(start + chunk_start + k), fatal, force_gray,
+                     force_prefix);
     });
     for (int64_t k = 0; k < chunk && !stopped; ++k) {
       const SeedOutcome& outcome = outcomes[static_cast<size_t>(k)];
@@ -656,7 +734,7 @@ int RunMain(int argc, char** argv) {
     return 1;
   }
   std::cout << "fuzz clean: " << num_seeds << " seeds, " << runs
-            << " runs (6 policies x 2 allocators + determinism), 0 violations\n";
+            << " runs (6 policies x 2-3 allocators + determinism), 0 violations\n";
   return 0;
 }
 
