@@ -19,6 +19,12 @@ echo
 echo "== fuzz smoke: invariant checker over 100 seeds =="
 build/tools/sarathi_fuzz --seeds=100 --repro-out=build/fuzz-repro
 
+echo
+echo "== cascade smoke: correlated faults, partitions, metastable recovery =="
+build/tools/sarathi_fuzz --seeds=100 --force-cascade --repro-out=build/fuzz-repro
+cmake --build build -j --target bench_ext_cascade
+build/bench/bench_ext_cascade --quick --selfcheck --jobs=2
+
 if [ "$SANITIZE" = "1" ]; then
   echo
   echo "== tier-1 under ASan + UBSan =="

@@ -1,0 +1,148 @@
+#include "src/robustness/cascade.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace sarathi {
+
+CascadeBreaker::CascadeBreaker(const CascadeBreakerOptions& options) : options_(options) {
+  options_.headroom = std::min(1.0, std::max(0.05, options_.headroom));
+  options_.trip_utilization = std::max(options_.headroom, options_.trip_utilization);
+  if (options_.window_s <= 0.0) {
+    options_.window_s = 2.0;
+  }
+  options_.burst_s = std::max(0.0, options_.burst_s);
+}
+
+double CascadeBreaker::CapacityAt(double t) const {
+  double rate = 0.0;
+  for (const RateSample& sample : capacity_) {
+    if (sample.t_s > t) {
+      break;
+    }
+    rate = sample.rate;
+  }
+  return rate;
+}
+
+void CascadeBreaker::Build(const std::vector<RateSample>& arrivals,
+                           const std::vector<RateSample>& capacity, double horizon_s) {
+  capacity_ = capacity;
+  engaged_.clear();
+  horizon_s_ = horizon_s;
+  bucket_ = 0.0;
+  bucket_t_ = 0.0;
+  bucket_primed_ = false;
+  sheds_ = 0;
+  if (!options_.enabled || horizon_s <= 0.0) {
+    return;
+  }
+  const double dt = options_.window_s;
+  const int64_t num_windows = static_cast<int64_t>(std::ceil(horizon_s / dt));
+  // Window-bucketed offered load, tokens per second. `arrivals` carries one
+  // sample per request: t_s = arrival, rate = total tokens offered.
+  std::vector<double> offered(static_cast<size_t>(num_windows), 0.0);
+  for (const RateSample& arrival : arrivals) {
+    if (arrival.t_s < 0.0 || arrival.t_s >= horizon_s) {
+      continue;
+    }
+    offered[static_cast<size_t>(arrival.t_s / dt)] += arrival.rate / dt;
+  }
+  // Walk the windows tracking the un-served backlog. Trip when offered load
+  // exceeds trip_utilization x surviving capacity; once engaged, admission is
+  // capped at headroom x capacity, so the backlog drains at >= (1 - headroom)
+  // x capacity per second. Clear only when the load is back inside the
+  // stability boundary AND the backlog has drained — the two conditions that
+  // end a metastable episode.
+  bool engaged = false;
+  double begin_s = 0.0;
+  double backlog_tokens = 0.0;
+  for (int64_t w = 0; w < num_windows; ++w) {
+    const double t0 = static_cast<double>(w) * dt;
+    const double cap = CapacityAt(t0 + 0.5 * dt);
+    const double off = offered[static_cast<size_t>(w)];
+    if (!engaged && cap > 0.0 && off > options_.trip_utilization * cap) {
+      engaged = true;
+      begin_s = t0;
+    }
+    const double admitted = engaged ? std::min(off, options_.headroom * cap) : off;
+    backlog_tokens = std::max(0.0, backlog_tokens + (admitted - cap) * dt);
+    if (engaged && off <= options_.trip_utilization * cap && backlog_tokens <= 1e-9) {
+      engaged = false;
+      engaged_.push_back(CascadeInterval{begin_s, t0 + dt});
+    }
+  }
+  if (engaged) {
+    engaged_.push_back(CascadeInterval{begin_s, horizon_s});
+  }
+}
+
+bool CascadeBreaker::EngagedAt(double t) const {
+  for (const CascadeInterval& interval : engaged_) {
+    if (t >= interval.begin_s && t < interval.end_s) {
+      return true;
+    }
+    if (interval.begin_s > t) {
+      break;
+    }
+  }
+  return false;
+}
+
+bool CascadeBreaker::AdmitArrival(double t, int64_t tokens) {
+  if (!EngagedAt(t)) {
+    // Bucket state does not persist across disengaged gaps: each engaged
+    // interval starts with a fresh burst allowance.
+    bucket_primed_ = false;
+    return true;
+  }
+  const double rate = options_.headroom * CapacityAt(t);
+  const double burst = options_.burst_s * rate;
+  if (!bucket_primed_) {
+    bucket_ = burst;
+    bucket_primed_ = true;
+  } else {
+    CHECK_GE(t, bucket_t_) << "cascade admissions must arrive in time order";
+    bucket_ = std::min(burst, bucket_ + rate * (t - bucket_t_));
+  }
+  bucket_t_ = t;
+  // Debt model: a request is admitted while the balance is non-negative and
+  // then charges its full size, so long-run admitted throughput tracks
+  // headroom x capacity no matter how request sizes straddle the refill.
+  if (bucket_ < 0.0 || rate <= 0.0) {
+    ++sheds_;
+    return false;
+  }
+  bucket_ -= static_cast<double>(tokens);
+  return true;
+}
+
+double CascadeBreaker::engaged_duration_s() const {
+  double total = 0.0;
+  for (const CascadeInterval& interval : engaged_) {
+    total += std::min(interval.end_s, horizon_s_) - interval.begin_s;
+  }
+  return total;
+}
+
+double SlowStartFraction(const SlowStartOptions& options, double rejoin_s,
+                         int stagger_index, double t) {
+  if (!options.enabled) {
+    return 1.0;
+  }
+  const double gate_s =
+      rejoin_s + static_cast<double>(std::max(0, stagger_index)) * options.stagger_s;
+  if (t < gate_s) {
+    return 0.0;
+  }
+  if (options.ramp_s <= 0.0) {
+    return 1.0;
+  }
+  const double initial = std::min(1.0, std::max(0.0, options.initial_fraction));
+  const double progress = std::min(1.0, (t - gate_s) / options.ramp_s);
+  return initial + (1.0 - initial) * progress;
+}
+
+}  // namespace sarathi

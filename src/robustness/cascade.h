@@ -1,0 +1,123 @@
+// Cascade breaker + slow-start re-admission: the recovery orchestration that
+// keeps a partial-capacity cluster out of the metastable regime.
+//
+// When a failure domain takes out a quarter of the fleet, the router happily
+// redistributes the full offered load onto the survivors. If offered load
+// exceeds surviving capacity, queues grow without bound, every admitted
+// request times out after consuming service, and the timeouts feed a
+// synchronized retry storm — a metastable failure: throughput stays collapsed
+// long after the domain comes back, because the backlog plus retry
+// amplification keeps the system past its stability boundary ("load exceeds
+// capacity" is self-sustaining once client retries re-offer the work).
+//
+// The breaker is the load->capacity stability check made explicit: it
+// compares the offered-load timeline against the surviving-capacity timeline
+// (both known to the simulator up front — capacity comes from the memoized
+// cost model, outages from the fault schedule) and computes the engaged
+// intervals during which the cluster must shed to survivable load. While
+// engaged, arrivals pass through a deterministic token bucket at
+// headroom * surviving capacity and timeout-retries are denied outright.
+// Slow-start staggers each rejoining replica's re-admission ramp so recovery
+// itself does not arrive as a thundering herd of queued work and recompute.
+
+#ifndef SRC_ROBUSTNESS_CASCADE_H_
+#define SRC_ROBUSTNESS_CASCADE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace sarathi {
+
+struct CascadeBreakerOptions {
+  bool enabled = false;
+  // Admission target while engaged, as a fraction of surviving capacity.
+  // Below 1.0 so the survivors have headroom to drain the backlog.
+  double headroom = 0.85;
+  // Trip when offered load exceeds this multiple of surviving capacity.
+  double trip_utilization = 1.0;
+  // Load/capacity comparison window. Smaller reacts faster; larger smooths
+  // arrival burstiness.
+  double window_s = 2.0;
+  // Token-bucket burst while engaged, in seconds of headroom-rate credit.
+  double burst_s = 1.0;
+};
+
+// One step of a piecewise-constant rate timeline: `rate` holds from t_s until
+// the next sample's t_s (or forever for the last).
+struct RateSample {
+  double t_s = 0.0;
+  double rate = 0.0;
+};
+
+// One engaged interval of the breaker, absolute simulation time.
+struct CascadeInterval {
+  double begin_s = 0.0;
+  double end_s = 0.0;
+};
+
+class CascadeBreaker {
+ public:
+  explicit CascadeBreaker(const CascadeBreakerOptions& options);
+
+  // Computes the engaged intervals from the offered-load arrivals (time,
+  // tokens — must be sorted by time) and the surviving-capacity timeline
+  // (piecewise-constant token rate; must be sorted, first sample at t <= 0).
+  // A pure function of its inputs: byte-identical across runs and
+  // thread-count. Resets any previous build and admission state.
+  void Build(const std::vector<RateSample>& arrivals,
+             const std::vector<RateSample>& capacity, double horizon_s);
+
+  // True when the breaker is engaged (shedding to survivable load) at `t`.
+  bool EngagedAt(double t) const;
+
+  // Admission decision for one arrival of `tokens` at time `t`. Outside
+  // engaged intervals everything is admitted; inside, a token bucket refilled
+  // at headroom * surviving capacity admits up to survivable load and sheds
+  // the rest. MUST be called in non-decreasing `t` order (arrival order),
+  // which makes the decision sequence deterministic. Counts sheds.
+  bool AdmitArrival(double t, int64_t tokens);
+
+  const std::vector<CascadeInterval>& engaged() const { return engaged_; }
+  int64_t sheds() const { return sheds_; }
+  // Total time the breaker spent engaged (clamped to the build horizon).
+  double engaged_duration_s() const;
+
+ private:
+  double CapacityAt(double t) const;
+
+  CascadeBreakerOptions options_;
+  std::vector<RateSample> capacity_;
+  std::vector<CascadeInterval> engaged_;
+  double horizon_s_ = 0.0;
+  // Token-bucket admission state (debt model: admit while balance >= 0).
+  double bucket_ = 0.0;
+  double bucket_t_ = 0.0;
+  bool bucket_primed_ = false;
+  int64_t sheds_ = 0;
+};
+
+struct SlowStartOptions {
+  bool enabled = false;
+  // Re-admission ramp length per replica: eligibility fraction grows linearly
+  // from initial_fraction to 1 over this long after the replica's gate opens.
+  double ramp_s = 5.0;
+  // Gate stagger between members of the same rejoining domain: member k may
+  // not take new work before rejoin + k * stagger_s. Breaks the synchronized
+  // re-admission spike of a whole domain coming back at once.
+  double stagger_s = 1.0;
+  // Eligibility fraction at the moment the gate opens.
+  double initial_fraction = 0.25;
+};
+
+// The slow-start eligibility fraction of a replica at time `t`, given the
+// time its outage/partition ended and its 0-based index within the rejoining
+// domain. 0 before the staggered gate opens (the replica takes no new work),
+// then a linear ramp from initial_fraction to 1. Returns 1 when disabled or
+// once the ramp completes. The router multiplies this into the replica's
+// outstanding-work admission cap.
+double SlowStartFraction(const SlowStartOptions& options, double rejoin_s,
+                         int stagger_index, double t);
+
+}  // namespace sarathi
+
+#endif  // SRC_ROBUSTNESS_CASCADE_H_

@@ -11,6 +11,7 @@
 #include "src/obs/obs_hooks.h"
 #include "src/robustness/retry_budget.h"
 #include "src/simulator/telemetry.h"
+#include "src/verify/invariant_checker.h"
 
 namespace sarathi {
 namespace {
@@ -47,6 +48,28 @@ Request* FindSubRequest(Trace* trace, int64_t id, double arrival_s) {
     }
   }
   return nullptr;
+}
+
+// Sorts and coalesces overlapping/adjacent intervals in place. Domain crash
+// faults merge into the independent per-replica outage schedule, which every
+// consumer (DownAt, ReplicaSimulator) expects sorted and non-overlapping.
+void MergeIntervals(std::vector<ReplicaOutage>* intervals) {
+  std::sort(intervals->begin(), intervals->end(),
+            [](const ReplicaOutage& a, const ReplicaOutage& b) {
+              if (a.down_s != b.down_s) {
+                return a.down_s < b.down_s;
+              }
+              return a.up_s < b.up_s;
+            });
+  std::vector<ReplicaOutage> merged;
+  for (const ReplicaOutage& interval : *intervals) {
+    if (!merged.empty() && interval.down_s <= merged.back().up_s) {
+      merged.back().up_s = std::max(merged.back().up_s, interval.up_s);
+    } else {
+      merged.push_back(interval);
+    }
+  }
+  *intervals = std::move(merged);
 }
 
 }  // namespace
@@ -115,6 +138,18 @@ bool ClusterSimulator::DownAt(int replica, double t) const {
   return false;
 }
 
+bool ClusterSimulator::PartitionedAt(int replica, double t) const {
+  for (const ReplicaOutage& window : partition_windows_[static_cast<size_t>(replica)]) {
+    if (t < window.down_s) {
+      return false;
+    }
+    if (t < window.up_s) {
+      return true;
+    }
+  }
+  return false;
+}
+
 double ClusterSimulator::SlowdownFactorAt(int replica, double t) const {
   for (const SlowdownEpisode& episode : slowdown_schedules_[static_cast<size_t>(replica)]) {
     if (t < episode.start_s) {
@@ -134,6 +169,33 @@ bool ClusterSimulator::DetectedDegradedAt(int replica, double t) const {
     }
   }
   return false;
+}
+
+bool ClusterSimulator::DetectedUnreachableAt(int replica, double t) const {
+  for (const DetectedInterval& interval : detected_unreachable_[static_cast<size_t>(replica)]) {
+    if (t >= interval.begin_s && t < interval.end_s) {
+      return true;
+    }
+  }
+  return false;
+}
+
+double ClusterSimulator::SlowStartFractionAt(int replica, double t) const {
+  if (!options_.slow_start.enabled) {
+    return 1.0;
+  }
+  // The ramp opened by the latest rejoin at or before t governs; earlier
+  // ramps have either completed or been superseded.
+  const auto& rejoins = rejoins_[static_cast<size_t>(replica)];
+  double fraction = 1.0;
+  for (auto it = rejoins.rbegin(); it != rejoins.rend(); ++it) {
+    if (*it <= t) {
+      fraction = SlowStartFraction(options_.slow_start, *it,
+                                   domain_index_of_[static_cast<size_t>(replica)], t);
+      break;
+    }
+  }
+  return fraction;
 }
 
 double ClusterSimulator::NextHealthyTime(double t) const {
@@ -167,19 +229,29 @@ void ClusterSimulator::AgeOutstanding(RouterState* state, double now) const {
 int ClusterSimulator::Route(int64_t tokens, double now, int exclude,
                             RouterState* state) {
   const int n = options_.num_replicas;
-  int num_live = 0;       // Up and not quarantined.
-  int num_preferred = 0;  // Live and not detected degraded.
+  // A ground-truth-partitioned replica is not dispatchable: a new connection
+  // to it never answers, so the router's dispatch attempt fails exactly like
+  // a connection to a crashed host — what it cannot tell (dead vs
+  // unreachable) is how to treat the work already in flight there, which is
+  // the prober's job.
+  auto live = [&](int r) {
+    return !DownAt(r, now) && !PartitionedAt(r, now) && !quarantined_[static_cast<size_t>(r)];
+  };
+  // Detected-degraded and detected-unreachable replicas are shunned alike
+  // while a clean alternative exists.
+  auto suspect = [&](int r) {
+    return DetectedDegradedAt(r, now) || DetectedUnreachableAt(r, now);
+  };
+  int num_live = 0;       // Up, reachable, and not quarantined.
+  int num_preferred = 0;  // Live and not detected degraded/unreachable.
   for (int r = 0; r < n; ++r) {
-    bool live = !DownAt(r, now) && !quarantined_[static_cast<size_t>(r)];
-    num_live += live ? 1 : 0;
-    num_preferred += (live && !DetectedDegradedAt(r, now)) ? 1 : 0;
+    bool is_live = live(r);
+    num_live += is_live ? 1 : 0;
+    num_preferred += (is_live && !suspect(r)) ? 1 : 0;
   }
   if (num_live == 0) {
     return -1;
   }
-  auto live = [&](int r) {
-    return !DownAt(r, now) && !quarantined_[static_cast<size_t>(r)];
-  };
   // Circuit breaker: when any live replica is not detected degraded, restrict
   // the choice to those; otherwise fall back to whatever is live.
   bool prefer = options_.avoid_degraded && num_preferred > 0;
@@ -187,9 +259,9 @@ int ClusterSimulator::Route(int64_t tokens, double now, int exclude,
   // eligible one standing.
   int num_eligible = prefer ? num_preferred : num_live;
   bool avoid = exclude >= 0 && !(num_eligible == 1 && live(exclude) &&
-                                 (!prefer || !DetectedDegradedAt(exclude, now)));
+                                 (!prefer || !suspect(exclude)));
   auto eligible = [&](int r) {
-    return live(r) && !(prefer && DetectedDegradedAt(r, now)) && !(avoid && r == exclude);
+    return live(r) && !(prefer && suspect(r)) && !(avoid && r == exclude);
   };
   // Backpressure propagation: a replica whose estimated outstanding work
   // exceeds the bound has a standing queue; while any eligible replica is
@@ -217,7 +289,46 @@ int ClusterSimulator::Route(int64_t tokens, double now, int exclude,
       ++backpressure_skips_;
     }
   }
-  auto allowed = [&](int r) { return eligible(r) && !(shun_pressured && pressured(r)); };
+  // Slow-start gating (anti-metastable): a replica still ramping after a
+  // rejoin only accepts outstanding work up to its current admission fraction
+  // of the queue bound. While any eligible replica is not ramp-limited,
+  // restrict the choice to those; when every choice is ramping, the
+  // least-loaded fallback still routes (the breaker, not the router, decides
+  // what to refuse outright).
+  bool shun_ramping = false;
+  auto ramp_limited = [&](int r) {
+    double fraction = SlowStartFractionAt(r, now);
+    if (fraction >= 1.0) {
+      return false;
+    }
+    if (fraction <= 0.0) {
+      return true;  // Stagger gate not open yet: admit nothing.
+    }
+    double cap_s = options_.slow_start_cap_s > 0.0       ? options_.slow_start_cap_s
+                   : options_.backpressure_queue_s > 0.0 ? options_.backpressure_queue_s
+                                                         : 4.0;
+    return state->outstanding_tokens[static_cast<size_t>(r)] >
+           fraction * cap_s * service_rate_;
+  };
+  if (options_.slow_start.enabled) {
+    AgeOutstanding(state, now);
+    int num_open = 0;
+    int num_allowed = 0;
+    for (int r = 0; r < n; ++r) {
+      if (!eligible(r)) {
+        continue;
+      }
+      ++num_allowed;
+      num_open += ramp_limited(r) ? 0 : 1;
+    }
+    if (num_open > 0 && num_open < num_allowed) {
+      shun_ramping = true;
+    }
+  }
+  auto allowed = [&](int r) {
+    return eligible(r) && !(shun_pressured && pressured(r)) &&
+           !(shun_ramping && ramp_limited(r));
+  };
 
   int pick = -1;
   if (options_.routing == RoutingPolicy::kRoundRobin) {
@@ -247,6 +358,9 @@ int ClusterSimulator::Route(int64_t tokens, double now, int exclude,
   state->rr_cursor = (state->rr_cursor + 1) % n;
   if (pick < 0) {
     return -1;  // Everything live was excluded.
+  }
+  if (options_.slow_start.enabled && SlowStartFractionAt(pick, now) < 1.0) {
+    ++slow_start_admits_;  // Admitted under a rejoining replica's ramp.
   }
   state->outstanding_tokens[static_cast<size_t>(pick)] += static_cast<double>(tokens);
   return pick;
@@ -287,6 +401,71 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
   }
   quarantined_.assign(static_cast<size_t>(n), false);
 
+  // ---- Correlated failure domains ----
+  // Replicas are grouped into contiguous, balanced domains; a domain fault
+  // takes every member out at once. Crash faults merge into the members'
+  // independent outage schedules (every downstream consumer sees one sorted,
+  // non-overlapping schedule). Partition faults form their own windows: the
+  // member keeps executing, but nothing it emits reaches the client and no
+  // new work can be dispatched to it until the window heals.
+  partition_windows_.assign(static_cast<size_t>(n), {});
+  domain_of_.assign(static_cast<size_t>(n), 0);
+  domain_index_of_.assign(static_cast<size_t>(n), 0);
+  std::vector<DomainStatus> domain_status;
+  if (options_.faults.any_domain_faults()) {
+    const int num_domains = std::min(options_.faults.num_domains, n);
+    domain_status.resize(static_cast<size_t>(num_domains));
+    std::vector<int> members_seen(static_cast<size_t>(num_domains), 0);
+    for (int r = 0; r < n; ++r) {
+      int d = r * num_domains / n;
+      domain_of_[static_cast<size_t>(r)] = d;
+      domain_index_of_[static_cast<size_t>(r)] = members_seen[static_cast<size_t>(d)]++;
+    }
+    for (int d = 0; d < num_domains; ++d) {
+      DomainStatus& status = domain_status[static_cast<size_t>(d)];
+      status.domain = d;
+      status.num_replicas = members_seen[static_cast<size_t>(d)];
+      for (const DomainFault& fault : injector.DomainFaultsFor(d, horizon)) {
+        double span = std::min(fault.up_s, horizon) - fault.down_s;
+        if (fault.kind == DomainFaultKind::kCrash) {
+          ++status.crashes;
+          status.down_s += span * status.num_replicas;
+        } else {
+          ++status.partitions;
+          status.partitioned_s += span * status.num_replicas;
+        }
+        for (int r = 0; r < n; ++r) {
+          if (domain_of_[static_cast<size_t>(r)] != d) {
+            continue;
+          }
+          auto* schedule = fault.kind == DomainFaultKind::kCrash
+                               ? &outage_schedules_[static_cast<size_t>(r)]
+                               : &partition_windows_[static_cast<size_t>(r)];
+          schedule->push_back({fault.down_s, fault.up_s});
+        }
+      }
+    }
+    for (int r = 0; r < n; ++r) {
+      MergeIntervals(&outage_schedules_[static_cast<size_t>(r)]);
+      MergeIntervals(&partition_windows_[static_cast<size_t>(r)]);
+    }
+  }
+  // Slow-start ramps open at every rejoin — crash recovery or partition heal,
+  // domain-correlated or independent alike.
+  rejoins_.assign(static_cast<size_t>(n), {});
+  if (options_.slow_start.enabled) {
+    for (int r = 0; r < n; ++r) {
+      auto& rejoins = rejoins_[static_cast<size_t>(r)];
+      for (const ReplicaOutage& outage : outage_schedules_[static_cast<size_t>(r)]) {
+        rejoins.push_back(outage.up_s);
+      }
+      for (const ReplicaOutage& window : partition_windows_[static_cast<size_t>(r)]) {
+        rejoins.push_back(window.up_s);
+      }
+      std::sort(rejoins.begin(), rejoins.end());
+    }
+  }
+
   // ---- Health probing ----
   // The prober replays the fault schedules (ground truth the replicas will
   // execute) on its fixed cadence before any simulation: detection intervals
@@ -294,18 +473,26 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
   // warm-up and hysteresis, and are then consulted by every routing decision
   // at that decision's own timestamp — no oracle.
   detected_.assign(static_cast<size_t>(n), {});
+  detected_unreachable_.assign(static_cast<size_t>(n), {});
   HealthProber prober(n, options_.prober);
   bool any_signal = false;
   for (int r = 0; r < n; ++r) {
     any_signal |= !outage_schedules_[static_cast<size_t>(r)].empty() ||
-                  !slowdown_schedules_[static_cast<size_t>(r)].empty();
+                  !slowdown_schedules_[static_cast<size_t>(r)].empty() ||
+                  !partition_windows_[static_cast<size_t>(r)].empty();
   }
   if (any_signal) {
     for (double t = options_.prober.probe_interval_s; t <= horizon;
          t += options_.prober.probe_interval_s) {
       for (int r = 0; r < n; ++r) {
         if (DownAt(r, t)) {
+          // Connection refused: the prober knows the replica is dead.
           prober.MarkDown(r, t);
+        } else if (PartitionedAt(r, t)) {
+          // Probe sent, no answer: silence, which the prober must not
+          // misread as death — after enough consecutive silent samples it
+          // declares the replica unreachable instead.
+          prober.ObserveSilence(r, t);
         } else {
           prober.Observe(r, t, SlowdownFactorAt(r, t));
         }
@@ -313,6 +500,7 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
     }
     for (int r = 0; r < n; ++r) {
       detected_[static_cast<size_t>(r)] = prober.DegradedIntervals(r);
+      detected_unreachable_[static_cast<size_t>(r)] = prober.UnreachableIntervals(r);
     }
   }
 
@@ -347,6 +535,14 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
       dest_tracer->Instant("router", std::string(ReplicaHealthName(tr.to)), tr.time_s,
                            {Arg("replica", static_cast<int64_t>(tr.replica))});
     }
+    for (int r = 0; r < n; ++r) {
+      for (const ReplicaOutage& window : partition_windows_[static_cast<size_t>(r)]) {
+        dest_tracer->Instant("router", "partition", window.down_s,
+                             {Arg("replica", static_cast<int64_t>(r))});
+        dest_tracer->Instant("router", "rejoined", window.up_s,
+                             {Arg("replica", static_cast<int64_t>(r))});
+      }
+    }
   }
   if (dest_metrics != nullptr) {
     for (const HealthTransition& tr : prober.transitions()) {
@@ -378,6 +574,57 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
   router.outstanding_tokens.assign(static_cast<size_t>(n), 0.0);
   router.last_update.assign(static_cast<size_t>(n), 0.0);
   backpressure_skips_ = 0;
+  slow_start_admits_ = 0;
+
+  // ---- Cascade breaker ----
+  // The breaker works from the offered-load and surviving-capacity timelines
+  // alone — both known up front (arrivals from the trace, capacity steps from
+  // the ground-truth fault schedules and the memoized cost model's
+  // service-rate estimate). It engages when offered load outruns surviving
+  // capacity, sheds down to a survivable fraction while engaged, and clears
+  // only once the modeled backlog has drained — the condition that prevents
+  // metastable lock-in.
+  cascade_engaged_.clear();
+  CascadeBreaker breaker(options_.cascade);
+  if (options_.cascade.enabled) {
+    std::vector<RateSample> arrivals;
+    arrivals.reserve(num_requests);
+    for (const Request& r : stamped.requests) {
+      arrivals.push_back({r.arrival_time_s, static_cast<double>(r.total_tokens())});
+    }
+    std::sort(arrivals.begin(), arrivals.end(),
+              [](const RateSample& a, const RateSample& b) { return a.t_s < b.t_s; });
+    std::vector<double> edges = {0.0};
+    for (int r = 0; r < n; ++r) {
+      for (const ReplicaOutage& outage : outage_schedules_[static_cast<size_t>(r)]) {
+        edges.push_back(outage.down_s);
+        edges.push_back(outage.up_s);
+      }
+      for (const ReplicaOutage& window : partition_windows_[static_cast<size_t>(r)]) {
+        edges.push_back(window.down_s);
+        edges.push_back(window.up_s);
+      }
+    }
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+    std::vector<RateSample> capacity;
+    capacity.reserve(edges.size());
+    for (double e : edges) {
+      int up = 0;
+      for (int r = 0; r < n; ++r) {
+        up += (!DownAt(r, e) && !PartitionedAt(r, e)) ? 1 : 0;
+      }
+      capacity.push_back({e, static_cast<double>(up) * service_rate_});
+    }
+    breaker.Build(arrivals, capacity, horizon);
+    cascade_engaged_ = breaker.engaged();
+    if (dest_tracer != nullptr) {
+      for (const CascadeInterval& interval : cascade_engaged_) {
+        dest_tracer->Instant("router", "cascade_engaged", interval.begin_s);
+        dest_tracer->Instant("router", "cascade_cleared", interval.end_s);
+      }
+    }
+  }
 
   // Token-bucket retry budget (overload control): credited by initial
   // routing, spent by crash retries. A request denied a token never re-asks —
@@ -395,7 +642,7 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
     double t = request.arrival_time_s;
     bool any_up = false;
     for (int r = 0; r < n; ++r) {
-      any_up |= !DownAt(r, t);
+      any_up |= !DownAt(r, t) && !PartitionedAt(r, t);
     }
     auto record_shed = [&](const char* reason) {
       if (dest_tracer != nullptr) {
@@ -425,12 +672,27 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
         continue;
       }
     }
+    if (options_.cascade.enabled && !breaker.AdmitArrival(t, request.total_tokens())) {
+      shed[i] = true;  // Breaker engaged: shed down to survivable load.
+      record_shed("cascade");
+      continue;
+    }
     int pick = Route(request.total_tokens(), t, /*exclude=*/-1, &router);
     CHECK_GE(pick, 0);  // Quarantine is empty during initial routing.
     assignment_[i] = pick;
     chains[i].push_back({pick, t, false});
     retry_budget.OnRequest(t);
     InsertSorted(&sub[static_cast<size_t>(pick)], request);
+  }
+
+  // Absolute client deadline per request (0 = none). A client timeout-retry
+  // restarts the client's clock, so the window is mutable state rather than a
+  // pure function of the stamped trace.
+  std::vector<double> deadline_abs(num_requests, 0.0);
+  for (size_t i = 0; i < num_requests; ++i) {
+    if (stamped.requests[i].deadline_s > 0.0) {
+      deadline_abs[i] = stamped.requests[i].arrival_time_s + stamped.requests[i].deadline_s;
+    }
   }
 
   // ---- Simulate; re-route crash-interrupted requests until quiescent ----
@@ -509,12 +771,8 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
         if (t == kInfinity) {
           continue;  // No replica ever recovers: the crash failure stands.
         }
-        double deadline_abs =
-            stamped.requests[i].deadline_s > 0.0
-                ? stamped.requests[i].arrival_time_s + stamped.requests[i].deadline_s
-                : 0.0;
-        if (deadline_abs > 0.0 && t >= deadline_abs) {
-          failure_override[i] = {FailureKind::kTimeout, deadline_abs};
+        if (deadline_abs[i] > 0.0 && t >= deadline_abs[i]) {
+          failure_override[i] = {FailureKind::kTimeout, deadline_abs[i]};
           continue;  // The client will have given up before the retry lands.
         }
         retries.push_back({t, i});
@@ -551,10 +809,9 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
         // back on a replica that already traced an attempt of this request.
         attempt.retry_round = static_cast<int64_t>(chains[i].size());
         if (attempt.deadline_s > 0.0) {
-          // The clock started at the original arrival; only the remainder is
-          // available to the retried attempt.
-          attempt.deadline_s = stamped.requests[i].arrival_time_s +
-                               stamped.requests[i].deadline_s - retry.time;
+          // The client's clock is already running; only the remainder of its
+          // current window is available to the retried attempt.
+          attempt.deadline_s = deadline_abs[i] - retry.time;
         }
         int pick = Route(attempt.total_tokens(), retry.time, chains[i].back().replica, &router);
         if (pick < 0) {
@@ -582,17 +839,116 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
   };
   run_retry_rounds();
 
-  auto deadline_abs_of = [&](size_t i) {
-    return stamped.requests[i].deadline_s > 0.0
-               ? stamped.requests[i].arrival_time_s + stamped.requests[i].deadline_s
-               : 0.0;
-  };
+  auto deadline_abs_of = [&](size_t i) { return deadline_abs[i]; };
   auto attempt_metrics = [&](const Attempt& attempt, int64_t id) -> const RequestMetrics& {
     size_t slot =
         FindAttemptSlot(results[static_cast<size_t>(attempt.replica)], id, attempt.arrival_s);
     CHECK_NE(slot, kNoSlot);
     return results[static_cast<size_t>(attempt.replica)].requests[slot];
   };
+
+  // ---- Client timeout-retries (the metastable amplification source) ----
+  // A client whose deadline expired re-offers the request after a fixed,
+  // deliberately synchronized backoff, with a fresh full deadline. During a
+  // capacity dip every timed-out client re-offers at once, the re-offered
+  // load times out again, and the cluster locks into serving work that can
+  // never finish — metastable overload. The cascade breaker (when enabled)
+  // denies re-offers while engaged, which is what breaks the loop.
+  int64_t timeout_retries = 0;
+  int64_t cascade_retry_denied = 0;
+  std::vector<int> timeout_tries(num_requests, 0);
+  if (options_.timeout_retry_max > 0) {
+    int guard = options_.timeout_retry_max + 1;
+    while (guard-- > 0) {
+      struct Reoffer {
+        double time;
+        size_t index;
+      };
+      std::vector<Reoffer> reoffers;
+      for (size_t i = 0; i < num_requests; ++i) {
+        if (shed[i] || retry_denied[i] ||
+            timeout_tries[i] >= options_.timeout_retry_max) {
+          continue;
+        }
+        // The timeout may be router-decided (failure_override) or observed by
+        // the replica attempt itself.
+        double failed_at = -1.0;
+        if (failure_override[i].first == FailureKind::kTimeout) {
+          failed_at = failure_override[i].second;
+        } else if (failure_override[i].first != FailureKind::kNone) {
+          continue;
+        } else {
+          const RequestMetrics& m =
+              attempt_metrics(chains[i].back(), stamped.requests[i].id);
+          if (!m.failed() || m.failure != FailureKind::kTimeout) {
+            continue;
+          }
+          failed_at = m.failed_s;
+        }
+        reoffers.push_back({failed_at + options_.timeout_retry_backoff_s, i});
+      }
+      if (reoffers.empty()) {
+        break;
+      }
+      std::sort(reoffers.begin(), reoffers.end(), [](const Reoffer& a, const Reoffer& b) {
+        if (a.time != b.time) {
+          return a.time < b.time;
+        }
+        return a.index < b.index;
+      });
+      std::set<int> dirty;
+      for (const Reoffer& re : reoffers) {
+        size_t i = re.index;
+        ++timeout_tries[i];
+        if (options_.cascade.enabled && breaker.EngagedAt(re.time)) {
+          ++cascade_retry_denied;  // The timeout stands; the breaker refused.
+          if (dest_tracer != nullptr) {
+            dest_tracer->Instant("router", "cascade_denied", re.time,
+                                 {Arg("request", stamped.requests[i].id)});
+          }
+          continue;
+        }
+        bool any_up = false;
+        for (int r = 0; r < n; ++r) {
+          any_up |= !DownAt(r, re.time) && !PartitionedAt(r, re.time);
+        }
+        if (!any_up) {
+          continue;  // Nothing to re-offer to: the timeout stands.
+        }
+        Request attempt = stamped.requests[i];
+        attempt.arrival_time_s = re.time;
+        attempt.retry_round = static_cast<int64_t>(chains[i].size());
+        int pick = Route(attempt.total_tokens(), re.time, /*exclude=*/-1, &router);
+        if (pick < 0) {
+          continue;
+        }
+        if (attempt.deadline_s > 0.0) {
+          // Fresh full window: the client's clock restarts at the re-offer.
+          deadline_abs[i] = re.time + stamped.requests[i].deadline_s;
+        }
+        failure_override[i] = {FailureKind::kNone, -1.0};
+        chains[i].push_back({pick, re.time, false});
+        InsertSorted(&sub[static_cast<size_t>(pick)], attempt);
+        dirty.insert(pick);
+        ++timeout_retries;
+        if (dest_tracer != nullptr) {
+          dest_tracer->Instant("router", "timeout_retry", re.time,
+                               {Arg("request", attempt.id),
+                                Arg("replica", static_cast<int64_t>(pick))});
+        }
+        if (dest_metrics != nullptr) {
+          dest_metrics->AddCount("timeout_retries", re.time);
+        }
+      }
+      if (dirty.empty()) {
+        break;
+      }
+      for (int r : dirty) {
+        simulate(r);
+      }
+      run_retry_rounds();  // Re-offered attempts can crash like anything else.
+    }
+  }
 
   // ---- Degraded failover: drain-and-recompute or live KV migration ----
   int64_t migrations_done = 0;
@@ -631,6 +987,9 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
         }
         if (deadline_abs > 0.0 && t_m >= deadline_abs) {
           continue;  // The client gives up before the failover lands.
+        }
+        if (PartitionedAt(att.replica, t_m)) {
+          continue;  // No orchestrating a drain/migration through a partition.
         }
         decisions.push_back({i, att.replica, t_m});
         break;
@@ -780,6 +1139,141 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
     run_retry_rounds();  // Destinations can crash like anything else.
   }
 
+  // ---- Partition redispatch & reconciliation ----
+  // A request in flight on a replica that partitions keeps executing there
+  // (the far side), but nothing it emits reaches the client until the window
+  // heals. Once the prober declares the replica unreachable, the router
+  // redispatches a duplicate near-side. At reconciliation exactly one
+  // attempt's stream is delivered: whichever completion becomes
+  // client-visible first wins (far-side emissions inside the window deliver
+  // at the window's end), and the loser is suppressed — cancelled mid-service
+  // where a cancel can reach it.
+  struct PartitionDup {
+    bool issued = false;
+    int replica = -1;
+    double arrival_s = 0.0;
+    double p_begin = 0.0;
+    double p_end = 0.0;
+  };
+  std::vector<PartitionDup> pdups(num_requests);
+  int64_t partition_redispatches = 0;
+  int64_t partition_reconciled = 0;
+  // Client-visible delivery time of an emission from `replica` at time t:
+  // deferred to the end of the partition window when inside one.
+  auto deliver_time = [&](int replica, double t) {
+    for (const ReplicaOutage& window : partition_windows_[static_cast<size_t>(replica)]) {
+      if (t < window.down_s) {
+        return t;
+      }
+      if (t < window.up_s) {
+        return window.up_s;
+      }
+    }
+    return t;
+  };
+  {
+    std::set<int> dirty;
+    for (size_t i = 0; i < num_requests; ++i) {
+      if (shed[i] || failure_override[i].first != FailureKind::kNone ||
+          stamped.requests[i].num_samples > 1) {
+        continue;
+      }
+      const Attempt& att = chains[i].back();
+      if (att.migrated_in || quarantined_[static_cast<size_t>(att.replica)] ||
+          partition_windows_[static_cast<size_t>(att.replica)].empty()) {
+        continue;
+      }
+      const RequestMetrics& m = attempt_metrics(att, stamped.requests[i].id);
+      if (m.failure == FailureKind::kReplicaCrash) {
+        continue;  // The retry machinery owns crash-interrupted attempts.
+      }
+      double done_t = m.completed() ? m.completion_s : (m.failed() ? m.failed_s : kInfinity);
+      for (const ReplicaOutage& w : partition_windows_[static_cast<size_t>(att.replica)]) {
+        if (att.arrival_s >= w.down_s) {
+          continue;  // Dispatched after the cut; the router never saw it vanish.
+        }
+        if (done_t <= w.down_s) {
+          continue;  // Finished client-visibly before the cut.
+        }
+        // The router acts when the prober's verdict lands inside the window.
+        double td = -1.0;
+        for (const DetectedInterval& d : detected_unreachable_[static_cast<size_t>(att.replica)]) {
+          if (d.begin_s >= w.down_s && d.begin_s < w.up_s) {
+            td = d.begin_s;
+            break;
+          }
+        }
+        if (td < 0.0) {
+          break;  // Window shorter than the prober's hysteresis: ride it out.
+        }
+        if (deadline_abs[i] > 0.0 && td >= deadline_abs[i]) {
+          break;  // The client gives up before the duplicate could land.
+        }
+        Request attempt = stamped.requests[i];
+        attempt.arrival_time_s = td;
+        attempt.retry_round = static_cast<int64_t>(chains[i].size());
+        attempt.num_samples = 1;
+        if (attempt.deadline_s > 0.0) {
+          attempt.deadline_s = deadline_abs[i] - td;
+        }
+        int pick = Route(attempt.total_tokens(), td, att.replica, &router);
+        if (pick < 0 || pick == att.replica) {
+          break;  // Nowhere reachable to duplicate onto.
+        }
+        pdups[i] = {true, pick, td, w.down_s, w.up_s};
+        InsertSorted(&sub[static_cast<size_t>(pick)], attempt);
+        dirty.insert(pick);
+        ++partition_redispatches;
+        if (dest_tracer != nullptr) {
+          dest_tracer->Instant("router", "partition_redispatch", td,
+                               {Arg("request", attempt.id),
+                                Arg("replica", static_cast<int64_t>(pick))});
+        }
+        if (dest_metrics != nullptr) {
+          dest_metrics->AddCount("partition_redispatches", td);
+        }
+        break;
+      }
+    }
+    for (int r : dirty) {
+      simulate(r);
+    }
+    // First-visible-completion-wins: the far attempt's completion counts at
+    // its delivery time (deferred past the window). The loser is cancelled —
+    // at the winner's visible completion for the near-side loser; no earlier
+    // than the window's end for the far-side loser, since the cancel itself
+    // cannot cross the partition.
+    std::set<int> dirty_cancel;
+    for (size_t i = 0; i < num_requests; ++i) {
+      if (!pdups[i].issued) {
+        continue;
+      }
+      const Attempt& far = chains[i].back();
+      const RequestMetrics& fm = attempt_metrics(far, stamped.requests[i].id);
+      Attempt dup_attempt{pdups[i].replica, pdups[i].arrival_s, false};
+      const RequestMetrics& dm = attempt_metrics(dup_attempt, stamped.requests[i].id);
+      double f_fin = fm.completed() ? deliver_time(far.replica, fm.completion_s) : kInfinity;
+      double d_fin = dm.completed() ? dm.completion_s : kInfinity;
+      if (f_fin == kInfinity && d_fin == kInfinity) {
+        continue;  // Neither attempt ever completes; nothing to suppress.
+      }
+      bool far_wins = f_fin <= d_fin;  // Ties go to the original attempt.
+      double t_win = far_wins ? f_fin : d_fin;
+      int loser_replica = far_wins ? pdups[i].replica : far.replica;
+      double loser_arrival = far_wins ? pdups[i].arrival_s : far.arrival_s;
+      double t_cancel = far_wins ? t_win : std::max(t_win, pdups[i].p_end);
+      Request* sub_request = FindSubRequest(&sub[static_cast<size_t>(loser_replica)],
+                                            stamped.requests[i].id, loser_arrival);
+      CHECK(sub_request != nullptr);
+      sub_request->planned_abort = PlannedAbort::kHedgeCancel;
+      sub_request->planned_abort_s = t_cancel;
+      dirty_cancel.insert(loser_replica);
+    }
+    for (int r : dirty_cancel) {
+      simulate(r);
+    }
+  }
+
   // ---- Hedged dispatch ----
   // A request still unfinished hedge_after_s into its replica's detected
   // degradation is duplicated onto a healthy replica; whichever attempt
@@ -804,8 +1298,10 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
       const Attempt& att = chains[i].back();
       // Requests on (or migrated off) a quarantined replica are already being
       // handled by the failover path; hedging them too would stamp cancels
-      // onto a replica whose checkpoint timings must stay frozen.
-      if (att.migrated_in || quarantined_[static_cast<size_t>(att.replica)]) {
+      // onto a replica whose checkpoint timings must stay frozen. Requests
+      // caught behind a partition are owned by the redispatch path above.
+      if (att.migrated_in || quarantined_[static_cast<size_t>(att.replica)] ||
+          pdups[i].issued) {
         continue;
       }
       const RequestMetrics& m = attempt_metrics(att, stamped.requests[i].id);
@@ -841,6 +1337,24 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
             }
             break;
           }
+        }
+        // A hedge is pure speculation, so its target must be clean: down,
+        // partitioned, quarantined, detected-degraded, and detected-
+        // unreachable replicas are excluded outright — with no fall-back,
+        // unlike regular routing, because a duplicate on a suspect replica is
+        // only added load.
+        bool have_target = false;
+        for (int r = 0; r < n; ++r) {
+          if (r == att.replica || DownAt(r, t_h) || PartitionedAt(r, t_h) ||
+              quarantined_[static_cast<size_t>(r)] || DetectedDegradedAt(r, t_h) ||
+              DetectedUnreachableAt(r, t_h)) {
+            continue;
+          }
+          have_target = true;
+          break;
+        }
+        if (!have_target) {
+          break;  // No clean alternative to hedge onto.
         }
         int pick = Route(stamped.requests[i].total_tokens(), t_h, att.replica, &router);
         if (pick < 0 || pick == att.replica) {
@@ -958,6 +1472,7 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
     int64_t num_migrated_in = 0;
     double first_sched = -1.0;
     const RequestMetrics* final_attempt = nullptr;
+    int final_replica = chain.back().replica;
     for (size_t a = 0; a < chain.size(); ++a) {
       SimResult& replica_result = results[static_cast<size_t>(chain[a].replica)];
       size_t slot = FindAttemptSlot(replica_result, original.id, chain[a].arrival_s);
@@ -981,6 +1496,13 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
         fresh.assign(am.token_times_s.begin() + static_cast<long>(drop),
                      am.token_times_s.end());
       }
+      // Far-side emissions inside a partition window only become
+      // client-visible when the window heals.
+      if (!partition_windows_[static_cast<size_t>(chain[a].replica)].empty()) {
+        for (double& t : fresh) {
+          t = deliver_time(chain[a].replica, t);
+        }
+      }
       if (a + 1 < chain.size()) {
         bool preserved =
             (am.failure == FailureKind::kMigrated && chain[a + 1].migrated_in) ||
@@ -990,7 +1512,10 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
         } else {
           carried.clear();  // Crash hop: the retry restarts the stream.
           first_sched = -1.0;
-          ++crash_retries;
+          if (am.failure != FailureKind::kTimeout) {
+            // Timeout hops are client re-offers, counted in timeout_retries.
+            ++crash_retries;
+          }
         }
       } else {
         final_attempt = &am;
@@ -1016,26 +1541,93 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
       if (hm.failure == FailureKind::kHedgeCancelled) {
         ++merged.hedges_cancelled;
       }
-      double p_fin = final_attempt->completed() ? final_attempt->completion_s : kInfinity;
-      double h_fin = hm.completed() ? hm.completion_s : kInfinity;
+      double p_fin = final_attempt->completed()
+                         ? deliver_time(final_replica, final_attempt->completion_s)
+                         : kInfinity;
+      double h_fin =
+          hm.completed() ? deliver_time(hedges[i].replica, hm.completion_s) : kInfinity;
       if (h_fin < p_fin) {
         ++merged.hedges_won;
         size_t drop = std::min(carried.size(), hm.token_times_s.size());
         stream = carried;
-        stream.insert(stream.end(), hm.token_times_s.begin() + static_cast<long>(drop),
-                      hm.token_times_s.end());
+        for (size_t k = drop; k < hm.token_times_s.size(); ++k) {
+          stream.push_back(deliver_time(hedges[i].replica, hm.token_times_s[k]));
+        }
         if (carried.empty()) {
           first_sched = hm.first_scheduled_s;
         }
         final_attempt = &hm;
+        final_replica = hedges[i].replica;
+      }
+    }
+    // Partition reconciliation: pick the client-visible winner between the
+    // far (partitioned) attempt and its near-side duplicate, deliver exactly
+    // one stream, and audit the outcome against partition_conservation.
+    if (pdups[i].issued) {
+      SimResult& dup_result = results[static_cast<size_t>(pdups[i].replica)];
+      size_t dslot = FindAttemptSlot(dup_result, original.id, pdups[i].arrival_s);
+      CHECK_NE(dslot, kNoSlot);
+      consumed[static_cast<size_t>(pdups[i].replica)][dslot] = true;
+      const RequestMetrics& dm = dup_result.requests[dslot];
+      emitted += static_cast<int64_t>(dm.token_times_s.size());
+      wasted += dm.wasted_tokens;
+      cached += dm.cached_prefill_tokens;
+      double f_fin = final_attempt->completed()
+                         ? deliver_time(final_replica, final_attempt->completion_s)
+                         : kInfinity;
+      double d_fin =
+          dm.completed() ? deliver_time(pdups[i].replica, dm.completion_s) : kInfinity;
+      if (f_fin < kInfinity || d_fin < kInfinity) {
+        bool far_wins = f_fin <= d_fin;  // Ties go to the original attempt.
+        const RequestMetrics* loser = far_wins ? &dm : final_attempt;
+        if (!far_wins) {
+          size_t drop = std::min(carried.size(), dm.token_times_s.size());
+          stream = carried;
+          for (size_t k = drop; k < dm.token_times_s.size(); ++k) {
+            stream.push_back(deliver_time(pdups[i].replica, dm.token_times_s[k]));
+          }
+          if (carried.empty()) {
+            first_sched = dm.first_scheduled_s;
+          }
+          final_attempt = &dm;
+          final_replica = pdups[i].replica;
+        }
+        ++partition_reconciled;
+        if (options_.replica.checker != nullptr) {
+          PartitionReconcile rec;
+          rec.request_id = original.id;
+          rec.partition_begin_s = pdups[i].p_begin;
+          rec.partition_end_s = pdups[i].p_end;
+          rec.winner_far = far_wins;
+          rec.winner_token_times_s = stream;
+          rec.winner_completion_s = far_wins ? f_fin : d_fin;
+          rec.delivered_token_times_s = stream;
+          rec.delivered_completion_s = rec.winner_completion_s;
+          // Client-side suppression: once a winner is delivered, the losing
+          // completion never reaches the client, whether or not the cancel
+          // caught the loser mid-service.
+          rec.loser_suppressed = true;
+          rec.loser_completed = loser->completed();
+          rec.output_tokens = original.output_tokens;
+          options_.replica.checker->CheckPartitionReconcile(rec);
+        }
       }
     }
     RequestMetrics m = *final_attempt;
     m.token_times_s = stream;
+    if (m.completed()) {
+      m.completion_s = deliver_time(final_replica, m.completion_s);
+    }
     // Latency metrics measure from the client's original arrival, covering
     // every failed attempt, backoff wait, and migration transfer.
     m.arrival_s = original.arrival_time_s;
     m.deadline_s = original.deadline_s;
+    if (original.deadline_s > 0.0 &&
+        deadline_abs[i] > original.arrival_time_s + original.deadline_s) {
+      // Client timeout-retries restarted the clock; goodput judges against
+      // the final re-offer's window.
+      m.deadline_s = deadline_abs[i] - original.arrival_time_s;
+    }
     m.first_scheduled_s = first_sched;
     m.retries = crash_retries;
     m.migrations = num_migrated_in;
@@ -1110,12 +1702,40 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
   merged.num_retries_denied = retries_denied;
   merged.num_hedges_suppressed = hedges_suppressed;
   merged.num_backpressure_skips = backpressure_skips_;
+  for (const DomainStatus& status : domain_status) {
+    merged.num_domain_faults += status.crashes + status.partitions;
+    merged.num_partitions += status.partitions;
+  }
+  for (int r = 0; r < n; ++r) {
+    for (const ReplicaOutage& window : partition_windows_[static_cast<size_t>(r)]) {
+      merged.partitioned_s += std::min(window.up_s, horizon) - window.down_s;
+    }
+  }
+  merged.partition_redispatches = partition_redispatches;
+  merged.partition_reconciled = partition_reconciled;
+  merged.cascade_sheds =
+      (options_.cascade.enabled ? breaker.sheds() : 0) + cascade_retry_denied;
+  merged.cascade_engaged_s = options_.cascade.enabled ? breaker.engaged_duration_s() : 0.0;
+  merged.slow_start_admits = slow_start_admits_;
+  merged.timeout_retries = timeout_retries;
+  merged.domains = domain_status;
 
   // ---- Post-hoc flight / SLO replay ----
   // Only the merged result is the client-visible timeline, so the shared
   // sinks are fed here, in global time order, once per Run.
   if (flight != nullptr) {
-    enum ReplayKind { kArrival, kCompletion, kFailure, kProbe, kCrash, kRecover };
+    enum ReplayKind {
+      kArrival,
+      kCompletion,
+      kFailure,
+      kProbe,
+      kCrash,
+      kRecover,
+      kPartitionBegin,
+      kPartitionEnd,
+      kCascade,
+      kCascadeClear
+    };
     struct FlightReplay {
       double t;
       ReplayKind kind;
@@ -1144,6 +1764,20 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
         replay.push_back({outage.down_s, kCrash, r, 0, 0.0});
         replay.push_back({outage.up_s, kRecover, r, 0, 0.0});
       }
+      for (const ReplicaOutage& window : partition_windows_[static_cast<size_t>(r)]) {
+        if (window.down_s > merged.makespan_s) {
+          continue;
+        }
+        replay.push_back({window.down_s, kPartitionBegin, r, 0, 0.0});
+        replay.push_back({window.up_s, kPartitionEnd, r, 0, 0.0});
+      }
+    }
+    for (const CascadeInterval& interval : cascade_engaged_) {
+      if (interval.begin_s > merged.makespan_s) {
+        continue;
+      }
+      replay.push_back({interval.begin_s, kCascade, n, 0, 0.0});
+      replay.push_back({interval.end_s, kCascadeClear, n, 0, 0.0});
     }
     std::stable_sort(replay.begin(), replay.end(),
                      [](const FlightReplay& a, const FlightReplay& b) { return a.t < b.t; });
@@ -1170,6 +1804,20 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
           break;
         case kRecover:
           flight->RecordInstant("fault", "recovered", e.t, e.pid);
+          break;
+        case kPartitionBegin:
+          flight->RecordInstant("fault", "partition", e.t, e.pid);
+          break;
+        case kPartitionEnd:
+          flight->RecordInstant("fault", "rejoined", e.t, e.pid);
+          break;
+        case kCascade:
+          // A detected cascade is exactly the post-mortem a flight recorder
+          // exists for: dump the ring on the first engagement.
+          flight->Trigger("cascade_detected", e.t, e.pid);
+          break;
+        case kCascadeClear:
+          flight->RecordInstant("router", "cascade_cleared", e.t, e.pid);
           break;
       }
     }

@@ -46,6 +46,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/robustness/cascade.h"
 #include "src/simulator/fault_injector.h"
 #include "src/simulator/health_prober.h"
 #include "src/simulator/replica_simulator.h"
@@ -140,6 +141,37 @@ struct ClusterOptions {
   // work exceeds this many seconds — a hedge under cluster-wide saturation
   // only adds load. <= 0 disables suppression.
   double hedge_suppress_outstanding_s = 0.0;
+
+  // ---- Cascade resilience (correlated domains, partitions, recovery) ----
+  // Correlated failure domains and network partitions arrive through
+  // `faults` (FaultOptions::num_domains / domain_mtbf_s /
+  // domain_partition_fraction). Replicas are assigned to contiguous balanced
+  // domains; a domain crash merges into every member's outage schedule, a
+  // domain partition leaves members executing but unreachable.
+  //
+  // Client timeout-retry behavior: a request whose deadline expired is
+  // re-offered to the cluster up to this many times, each after a fixed
+  // (deliberately synchronized — that is what real fleets of clients do)
+  // timeout_retry_backoff_s, with a fresh full deadline. This is the
+  // amplification loop that makes overload metastable: every timed-out
+  // request comes back as new load. 0 disables (default).
+  int timeout_retry_max = 0;
+  double timeout_retry_backoff_s = 1.0;
+  // Cascade breaker (src/robustness/cascade.h): compares offered load
+  // against surviving capacity (from the shared cost model and the fault
+  // schedules) and, while engaged, sheds arrivals beyond headroom x capacity
+  // and denies timeout-retries outright. Default off.
+  CascadeBreakerOptions cascade;
+  // Slow-start staggered re-admission: a replica rejoining after a crash or
+  // partition takes new work only through a ramped admission cap, members of
+  // the same domain staggered so a domain rejoin is not a synchronized
+  // re-admission spike. Default off.
+  SlowStartOptions slow_start;
+  // Nominal per-replica queue bound (seconds of service) the slow-start ramp
+  // scales: a ramping replica at fraction f admits work only while its
+  // estimated outstanding work is under f x this bound. <= 0 derives
+  // backpressure_queue_s when set, else 4 s.
+  double slow_start_cap_s = 0.0;
 };
 
 class ClusterSimulator {
@@ -176,6 +208,27 @@ class ClusterSimulator {
     return detected_;
   }
 
+  // The ground-truth partition windows the most recent Run injected (one
+  // vector per replica; ReplicaOutage reused as a plain interval — the
+  // replica keeps executing, it is only unreachable).
+  const std::vector<std::vector<ReplicaOutage>>& partition_schedules() const {
+    return partition_windows_;
+  }
+
+  // The unreachable intervals the prober detected in the most recent Run
+  // (silence hysteresis on the onset edge, first answered probe on the clear
+  // edge).
+  const std::vector<std::vector<DetectedInterval>>& detected_unreachable() const {
+    return detected_unreachable_;
+  }
+
+  // The replica -> failure-domain assignment of the most recent Run (empty
+  // when no domains are configured).
+  const std::vector<int>& domain_assignment() const { return domain_of_; }
+
+  // The cascade breaker's engaged intervals in the most recent Run.
+  const std::vector<CascadeInterval>& cascade_engaged() const { return cascade_engaged_; }
+
  private:
   struct RouterState {
     std::vector<double> outstanding_tokens;
@@ -185,10 +238,18 @@ class ClusterSimulator {
 
   // True if `replica` is inside an outage at time `t`.
   bool DownAt(int replica, double t) const;
+  // True if `replica` is inside a ground-truth partition at time `t` (still
+  // executing, unreachable from the router).
+  bool PartitionedAt(int replica, double t) const;
   // The injected slowdown factor of `replica` at time `t` (1.0 when healthy).
   double SlowdownFactorAt(int replica, double t) const;
   // True if the prober had classified `replica` degraded at time `t`.
   bool DetectedDegradedAt(int replica, double t) const;
+  // True if the prober had classified `replica` unreachable at time `t`.
+  bool DetectedUnreachableAt(int replica, double t) const;
+  // Slow-start admission fraction of `replica` at `t`: 1 when no ramp is
+  // active, 0 before its staggered gate opens, the linear ramp in between.
+  double SlowStartFractionAt(int replica, double t) const;
   // Earliest time >= t at which any replica is up; t itself if one already is.
   double NextHealthyTime(double t) const;
 
@@ -214,6 +275,16 @@ class ClusterSimulator {
   std::vector<std::vector<ReplicaOutage>> outage_schedules_;
   std::vector<std::vector<SlowdownEpisode>> slowdown_schedules_;
   std::vector<std::vector<DetectedInterval>> detected_;
+  // ---- Cascade-resilience state (rebuilt per Run) ----
+  std::vector<std::vector<ReplicaOutage>> partition_windows_;
+  std::vector<std::vector<DetectedInterval>> detected_unreachable_;
+  std::vector<int> domain_of_;        // Replica -> domain (-1 without domains).
+  std::vector<int> domain_index_of_;  // 0-based index within the domain.
+  // Rejoin instants (crash repair or partition heal) per replica, sorted —
+  // each opens a slow-start ramp staggered by domain_index_of_.
+  std::vector<std::vector<double>> rejoins_;
+  std::vector<CascadeInterval> cascade_engaged_;
+  int64_t slow_start_admits_ = 0;
   // Replicas the router is migrating off: no new work for the rest of the
   // run, so the checkpointed KV images stay consistent.
   std::vector<bool> quarantined_;

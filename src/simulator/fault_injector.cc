@@ -49,6 +49,14 @@ FaultInjector::FaultInjector(const FaultOptions& options) : options_(options) {
       std::max(options_.degrade_min_factor, options_.degrade_max_factor);
   options_.jitter_probability = ClampProbability(options_.jitter_probability);
   options_.jitter_max_extra = std::max(0.0, options_.jitter_max_extra);
+  options_.num_domains = std::max(0, options_.num_domains);
+  if (options_.min_domain_outage_s <= 0.0) {
+    options_.min_domain_outage_s = 1e-3;
+  }
+  if (options_.domain_mtbf_s > 0.0 && options_.domain_mttr_s <= 0.0) {
+    options_.domain_mttr_s = options_.min_domain_outage_s;
+  }
+  options_.domain_partition_fraction = ClampProbability(options_.domain_partition_fraction);
 }
 
 std::vector<ReplicaOutage> FaultInjector::OutagesFor(int replica_id, double horizon_s) const {
@@ -66,6 +74,36 @@ std::vector<ReplicaOutage> FaultInjector::OutagesFor(int replica_id, double hori
     }
     double repair = std::max(options_.min_outage_s, rng.Exponential(1.0 / options_.mttr_s));
     outages.push_back(ReplicaOutage{down, down + repair});
+    now = down + repair;
+  }
+}
+
+std::vector<DomainFault> FaultInjector::DomainFaultsFor(int domain_id,
+                                                        double horizon_s) const {
+  std::vector<DomainFault> faults;
+  if (!options_.any_domain_faults() || horizon_s <= 0.0) {
+    return faults;
+  }
+  // Distinct stream key from every per-replica process: domain faults are an
+  // independent overlay, so enabling them never reshuffles existing
+  // per-replica crash/slowdown/timeout schedules.
+  Rng rng(Mix(options_.seed ^ Mix(0xd03a12ull + static_cast<uint64_t>(domain_id))));
+  double now = 0.0;
+  while (true) {
+    double up_for = rng.Exponential(1.0 / options_.domain_mtbf_s);
+    double down = now + up_for;
+    // The kind draw happens even for the fault that falls past the horizon so
+    // the stream position stays a pure function of how many faults were drawn.
+    double kind_draw = rng.Uniform(0.0, 1.0);
+    if (down >= horizon_s) {
+      return faults;
+    }
+    double repair =
+        std::max(options_.min_domain_outage_s, rng.Exponential(1.0 / options_.domain_mttr_s));
+    DomainFaultKind kind = kind_draw < options_.domain_partition_fraction
+                               ? DomainFaultKind::kPartition
+                               : DomainFaultKind::kCrash;
+    faults.push_back(DomainFault{down, down + repair, kind});
     now = down + repair;
   }
 }

@@ -29,6 +29,26 @@ struct ReplicaOutage {
   double duration() const { return up_s - down_s; }
 };
 
+// How a correlated domain fault manifests for every replica in the domain.
+enum class DomainFaultKind {
+  // Power/host loss: every member crashes (KV lost, execution stops), exactly
+  // as an independent ReplicaOutage would.
+  kCrash,
+  // Router<->domain network partition: members keep executing and keep all
+  // state, but are unreachable from the router for the fault's duration.
+  kPartition,
+};
+
+// One correlated failure-domain event: every replica assigned to the domain
+// is affected in [down_s, up_s).
+struct DomainFault {
+  double down_s = 0.0;
+  double up_s = 0.0;
+  DomainFaultKind kind = DomainFaultKind::kCrash;
+
+  double duration() const { return up_s - down_s; }
+};
+
 // One gray-failure episode: the replica stays up and keeps all state, but
 // every iteration started in [start_s, end_s) runs `factor` times slower
 // (thermal throttling, interconnect congestion, memory pressure, ...).
@@ -68,6 +88,20 @@ struct FaultOptions {
   double jitter_probability = 0.0;
   double jitter_max_extra = 0.0;
 
+  // Correlated failure domains: replicas are grouped into `num_domains`
+  // contiguous, balanced racks/zones (replica r belongs to domain
+  // r % num_domains when num_domains <= num_replicas; the cluster owns the
+  // actual assignment). Each domain independently draws a fault process with
+  // exponential time-between-faults `domain_mtbf_s` (<= 0 disables) and
+  // exponential repair `domain_mttr_s` floored at `min_domain_outage_s`.
+  // Each fault is a partition with probability `domain_partition_fraction`,
+  // a whole-domain crash otherwise.
+  int num_domains = 0;
+  double domain_mtbf_s = 0.0;
+  double domain_mttr_s = 30.0;
+  double min_domain_outage_s = 1.0;
+  double domain_partition_fraction = 0.0;
+
   // Client-timeout process: each request independently carries a deadline
   // with this probability; <= 0 disables timeouts.
   double request_timeout_probability = 0.0;
@@ -79,8 +113,10 @@ struct FaultOptions {
     return degrade_mtbf_s > 0.0 || (jitter_probability > 0.0 && jitter_max_extra > 0.0);
   }
 
+  bool any_domain_faults() const { return num_domains > 0 && domain_mtbf_s > 0.0; }
+
   bool any_faults() const {
-    return mtbf_s > 0.0 || any_degradation() ||
+    return mtbf_s > 0.0 || any_degradation() || any_domain_faults() ||
            (request_timeout_probability > 0.0 && request_timeout_s > 0.0);
   }
 };
@@ -96,6 +132,14 @@ class FaultInjector {
   // non-overlapping outages. Deterministic in (seed, replica_id) alone.
   // Every outage starts before the horizon; the last one may end after it.
   std::vector<ReplicaOutage> OutagesFor(int replica_id, double horizon_s) const;
+
+  // The correlated fault schedule of failure domain `domain_id` up to
+  // `horizon_s`: sorted, non-overlapping faults, each tagged crash or
+  // partition. Deterministic in (seed, domain_id) alone, from a stream
+  // independent of the per-replica processes — adding domains never perturbs
+  // existing per-replica schedules. Every fault starts before the horizon;
+  // the last one may end after it.
+  std::vector<DomainFault> DomainFaultsFor(int domain_id, double horizon_s) const;
 
   // The gray-failure schedule of `replica_id` up to `horizon_s`: sorted,
   // non-overlapping slowdown episodes. Deterministic in (seed, replica_id);

@@ -14,6 +14,8 @@ std::string_view ReplicaHealthName(ReplicaHealth health) {
       return "degraded";
     case ReplicaHealth::kDown:
       return "down";
+    case ReplicaHealth::kUnreachable:
+      return "unreachable";
   }
   return "unknown";
 }
@@ -26,6 +28,7 @@ HealthProber::HealthProber(int num_replicas, const ProberOptions& options)
   CHECK_LE(options_.ewma_alpha, 1.0);
   CHECK_GE(options_.degrade_threshold, options_.clear_threshold);
   CHECK_GE(options_.hysteresis_samples, 1);
+  CHECK_GE(options_.unreachable_after_samples, 1);
 }
 
 void HealthProber::Transition(int replica, double t, ReplicaHealth to) {
@@ -41,20 +44,41 @@ void HealthProber::Transition(int replica, double t, ReplicaHealth to) {
     state.intervals.push_back(
         DetectedInterval{t, std::numeric_limits<double>::infinity()});
   }
+  if (state.health == ReplicaHealth::kUnreachable) {
+    CHECK(!state.unreachable.empty());
+    state.unreachable.back().end_s = t;
+  }
+  if (to == ReplicaHealth::kUnreachable) {
+    state.unreachable.push_back(
+        DetectedInterval{t, std::numeric_limits<double>::infinity()});
+  }
   transitions_.push_back(HealthTransition{replica, t, state.health, to});
   state.health = to;
   state.samples_above = 0;
   state.samples_below = 0;
+  state.silent_samples = 0;
 }
 
 void HealthProber::Observe(int replica, double t, double latency_ratio) {
   ReplicaState& state = replicas_[static_cast<size_t>(replica)];
-  if (state.health == ReplicaHealth::kDown) {
-    // First post-repair sample: the replica restarted, so the old EWMA is
-    // stale; re-seed and classify from scratch.
+  if (state.health == ReplicaHealth::kDown ||
+      state.health == ReplicaHealth::kUnreachable) {
+    // First post-repair / post-rejoin sample: whatever the EWMA described no
+    // longer exists (restart, or the regime on the far side of the
+    // partition), so re-seed and classify from scratch. Carrying the stale
+    // estimate across the gap is the EWMA wind-up bug: one pre-outage
+    // degraded episode would re-trip the breaker within hysteresis_samples
+    // of a perfectly healthy rejoin.
     Transition(replica, t, ReplicaHealth::kHealthy);
     state.warm = false;
+  } else if (state.warm && options_.ewma_staleness_s > 0.0 &&
+             t - state.last_sample_s > options_.ewma_staleness_s) {
+    // Silent gap without an explicit down/unreachable verdict: same
+    // staleness argument, opt-in via ewma_staleness_s.
+    state.warm = false;
   }
+  state.silent_samples = 0;
+  state.last_sample_s = t;
   if (!state.warm) {
     state.ewma = latency_ratio;
     state.warm = true;
@@ -80,6 +104,19 @@ void HealthProber::Observe(int replica, double t, double latency_ratio) {
   }
 }
 
+void HealthProber::ObserveSilence(int replica, double t) {
+  ReplicaState& state = replicas_[static_cast<size_t>(replica)];
+  if (state.health == ReplicaHealth::kDown) {
+    return;  // A crashed replica is expected to be silent.
+  }
+  if (state.health == ReplicaHealth::kUnreachable) {
+    return;  // Continued silence sustains the verdict.
+  }
+  if (++state.silent_samples >= options_.unreachable_after_samples) {
+    Transition(replica, t, ReplicaHealth::kUnreachable);
+  }
+}
+
 void HealthProber::MarkDown(int replica, double t) {
   ReplicaState& state = replicas_[static_cast<size_t>(replica)];
   if (state.health != ReplicaHealth::kDown) {
@@ -101,6 +138,19 @@ const std::vector<DetectedInterval>& HealthProber::DegradedIntervals(int replica
 
 bool HealthProber::DegradedAt(int replica, double t) const {
   for (const DetectedInterval& interval : DegradedIntervals(replica)) {
+    if (t >= interval.begin_s && t < interval.end_s) {
+      return true;
+    }
+  }
+  return false;
+}
+
+const std::vector<DetectedInterval>& HealthProber::UnreachableIntervals(int replica) const {
+  return replicas_[static_cast<size_t>(replica)].unreachable;
+}
+
+bool HealthProber::UnreachableAt(int replica, double t) const {
+  for (const DetectedInterval& interval : UnreachableIntervals(replica)) {
     if (t >= interval.begin_s && t < interval.end_s) {
       return true;
     }

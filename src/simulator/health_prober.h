@@ -24,7 +24,13 @@
 
 namespace sarathi {
 
-enum class ReplicaHealth { kHealthy = 0, kDegraded, kDown };
+// kUnreachable is the partition verdict: probes go unanswered (silence) but
+// the connection is not refused, so the replica may well still be executing.
+// It is distinct from kDown (crash: connection refused, state lost) because
+// the router must treat the two differently — a dead replica's work needs a
+// fresh retry, a partitioned replica's work may complete on the far side and
+// must be reconciled at rejoin.
+enum class ReplicaHealth { kHealthy = 0, kDegraded, kDown, kUnreachable };
 
 std::string_view ReplicaHealthName(ReplicaHealth health);
 
@@ -39,6 +45,16 @@ struct ProberOptions {
   double clear_threshold = 1.15;
   // Consecutive samples past a threshold required to flip state.
   int hysteresis_samples = 3;
+  // Consecutive unanswered probes (ObserveSilence) before a replica is
+  // classified kUnreachable. Silence is not a crash: the first missed probe
+  // could be a stalled iteration, so the verdict needs its own hysteresis.
+  int unreachable_after_samples = 3;
+  // EWMA staleness guard: when more than this much time passes between two
+  // latency samples of a replica, the old EWMA is discarded and the next
+  // sample re-seeds it (the estimate describes a regime that no longer
+  // exists). <= 0 disables; rejoin from kDown or kUnreachable always
+  // re-seeds regardless.
+  double ewma_staleness_s = 0.0;
 };
 
 // One detected degradation interval of a replica, in absolute simulation
@@ -66,6 +82,14 @@ class HealthProber {
   // transitions back to healthy (fresh EWMA) on its first post-repair sample.
   void Observe(int replica, double t, double latency_ratio);
 
+  // Feeds one unanswered probe (no response, connection NOT refused) for
+  // `replica` at time `t`. After `unreachable_after_samples` consecutive
+  // silences the replica is classified kUnreachable; the next answered
+  // Observe clears it back to healthy with a fresh EWMA (the stale
+  // pre-partition estimate must not re-trip the degraded breaker — the EWMA
+  // wind-up bug). Ignored while the replica is marked down.
+  void ObserveSilence(int replica, double t);
+
   // Crash-outage edges, fed from the outage schedule.
   void MarkDown(int replica, double t);
 
@@ -79,6 +103,13 @@ class HealthProber {
   // True if `replica` was classified degraded at time `t`.
   bool DegradedAt(int replica, double t) const;
 
+  // Detected unreachable intervals so far, in order. Open intervals have
+  // end_s = +infinity.
+  const std::vector<DetectedInterval>& UnreachableIntervals(int replica) const;
+
+  // True if `replica` was classified unreachable at time `t`.
+  bool UnreachableAt(int replica, double t) const;
+
   const std::vector<HealthTransition>& transitions() const { return transitions_; }
 
  private:
@@ -88,7 +119,10 @@ class HealthProber {
     bool warm = false;  // First sample seeds the EWMA directly.
     int samples_above = 0;
     int samples_below = 0;
+    int silent_samples = 0;
+    double last_sample_s = 0.0;  // Time of the last answered Observe.
     std::vector<DetectedInterval> intervals;
+    std::vector<DetectedInterval> unreachable;
   };
 
   void Transition(int replica, double t, ReplicaHealth to);

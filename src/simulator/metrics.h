@@ -92,6 +92,17 @@ struct IterationRecord {
   int64_t prefill_tokens = 0;
 };
 
+// One correlated failure domain's status row (cluster runs with failure
+// domains configured; empty otherwise).
+struct DomainStatus {
+  int domain = 0;
+  int num_replicas = 0;     // Members assigned to the domain.
+  int64_t crashes = 0;      // Whole-domain crash faults.
+  int64_t partitions = 0;   // Whole-domain partition faults.
+  double down_s = 0.0;         // Summed member wall-clock lost to crashes.
+  double partitioned_s = 0.0;  // Summed member wall-clock spent unreachable.
+};
+
 struct SimResult {
   std::string scheduler_name;
 
@@ -179,6 +190,31 @@ struct SimResult {
   int64_t num_retries_denied = 0;
   int64_t num_hedges_suppressed = 0;
   int64_t num_backpressure_skips = 0;
+
+  // ---- Cascade-resilience accounting ----
+  // Correlated failure-domain events observed during the run (crash +
+  // partition), and the summed wall-clock replicas spent partitioned
+  // (unreachable but executing). Per-domain breakdown in `domains`.
+  int64_t num_domain_faults = 0;
+  int64_t num_partitions = 0;
+  double partitioned_s = 0.0;
+  // Requests whose in-flight far-side attempt was redispatched when the
+  // router declared its replica unreachable, and how many of those were
+  // reconciled at rejoin (duplicate-completion suppression applied).
+  int64_t partition_redispatches = 0;
+  int64_t partition_reconciled = 0;
+  // Cascade breaker: arrivals/retries shed while engaged, and total time the
+  // breaker spent engaged.
+  int64_t cascade_sheds = 0;
+  double cascade_engaged_s = 0.0;
+  // Slow-start: routing decisions deferred or admitted under a rejoining
+  // replica's ramp.
+  int64_t slow_start_admits = 0;
+  // Client timeout-retries re-offered to the cluster (the metastable
+  // amplification source; 0 unless ClusterOptions::timeout_retry_max > 0).
+  int64_t timeout_retries = 0;
+  // Per-domain breakdown; empty when no failure domains are configured.
+  std::vector<DomainStatus> domains;
 
   // FLOPs / bytes accounting for Model FLOPs & Bandwidth Utilization (§3.1).
   double total_flops = 0.0;

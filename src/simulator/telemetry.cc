@@ -120,6 +120,23 @@ void WriteAggregateCsv(const SimResult& result, std::ostream& out) {
   out << "cached_prefill_tokens," << result.cached_prefill_tokens << '\n';
   out << "prefix_evictions," << result.prefix_evictions << '\n';
   out << "kv_peak_cached_blocks," << result.peak_cached_blocks << '\n';
+  out << "domain_faults," << result.num_domain_faults << '\n';
+  out << "partitions," << result.num_partitions << '\n';
+  out << "partitioned_s," << result.partitioned_s << '\n';
+  out << "partition_redispatches," << result.partition_redispatches << '\n';
+  out << "partition_reconciled," << result.partition_reconciled << '\n';
+  out << "cascade_sheds," << result.cascade_sheds << '\n';
+  out << "cascade_engaged_s," << result.cascade_engaged_s << '\n';
+  out << "slow_start_admits," << result.slow_start_admits << '\n';
+  out << "timeout_retries," << result.timeout_retries << '\n';
+}
+
+void WriteDomainStatusCsv(const SimResult& result, std::ostream& out) {
+  out << "domain,num_replicas,crashes,partitions,down_s,partitioned_s\n";
+  for (const DomainStatus& d : result.domains) {
+    out << d.domain << ',' << d.num_replicas << ',' << d.crashes << ',' << d.partitions
+        << ',' << d.down_s << ',' << d.partitioned_s << '\n';
+  }
 }
 
 void ReplaySloFromResult(const SimResult& result, SloMonitor* slo) {
@@ -188,6 +205,20 @@ Status ExportTelemetry(const SimResult& result, const std::string& directory,
       return InternalError("cannot open " + path + " for writing");
     }
     section.writer(result, out);
+    if (!out) {
+      return InternalError("write failed for " + path);
+    }
+  }
+  // Per-domain status rows exist only for runs with failure domains
+  // configured; runs without them keep producing exactly the four files
+  // they always did.
+  if (!result.domains.empty()) {
+    std::string path = directory + "/" + prefix + "_domains.csv";
+    std::ofstream out(path);
+    if (!out) {
+      return InternalError("cannot open " + path + " for writing");
+    }
+    WriteDomainStatusCsv(result, out);
     if (!out) {
       return InternalError("write failed for " + path);
     }

@@ -42,9 +42,16 @@ void WriteTbtSamplesCsv(const SimResult& result, std::ostream& out);
 // Key/value aggregate block (scheduler, makespan, p99 TBT, MFU, bubbles...).
 void WriteAggregateCsv(const SimResult& result, std::ostream& out);
 
+// One line per correlated failure domain (cluster runs with failure domains
+// configured; header-only otherwise).
+// Columns: domain,num_replicas,crashes,partitions,down_s,partitioned_s
+void WriteDomainStatusCsv(const SimResult& result, std::ostream& out);
+
 // Writes all four sections to files under `directory` with the given prefix:
 //   <prefix>_iterations.csv, <prefix>_requests.csv, <prefix>_tbt.csv,
 //   <prefix>_aggregate.csv
+// plus <prefix>_domains.csv when the result carries per-domain status rows
+// (cluster runs with correlated failure domains configured).
 // Creates `directory` (and any missing ancestors) first; returns a non-OK
 // Status if creation or any write fails.
 Status ExportTelemetry(const SimResult& result, const std::string& directory,

@@ -29,6 +29,8 @@ std::string_view InvariantName(Invariant invariant) {
       return "no_starvation";
     case Invariant::kPrefixCache:
       return "prefix_cache";
+    case Invariant::kPartitionConservation:
+      return "partition_conservation";
   }
   return "unknown";
 }
@@ -69,6 +71,75 @@ void InvariantChecker::AddViolation(Invariant invariant, int64_t request_id,
   }
   if (static_cast<int64_t>(violations_.size()) < options_.max_violations) {
     violations_.push_back(std::move(violation));
+  }
+}
+
+void InvariantChecker::CheckPartitionReconcile(const PartitionReconcile& reconcile) {
+  const int64_t id = reconcile.request_id;
+  // Exactly one completion: whenever both attempts ran to completion, the
+  // losing one's completion must have been suppressed before delivery.
+  if (reconcile.loser_completed && !reconcile.loser_suppressed) {
+    AddViolation(Invariant::kPartitionConservation, id,
+                 "duplicate completion: losing attempt finished but was not suppressed");
+  }
+  // Delivery deferral: a far-side winner's output cannot reach the client
+  // strictly inside the partition window — the link was down.
+  if (reconcile.winner_far) {
+    for (double t : reconcile.delivered_token_times_s) {
+      if (t > reconcile.partition_begin_s && t < reconcile.partition_end_s) {
+        std::ostringstream out;
+        out << "token delivered at " << t << " inside partition window ["
+            << reconcile.partition_begin_s << ", " << reconcile.partition_end_s << ")";
+        AddViolation(Invariant::kPartitionConservation, id, out.str());
+        break;
+      }
+    }
+  }
+  // Conservation: the client sees the winning attempt's stream, token for
+  // token — nothing lost, nothing double-delivered from merging the two
+  // attempts.
+  if (reconcile.delivered_token_times_s.size() != reconcile.winner_token_times_s.size()) {
+    std::ostringstream out;
+    out << "delivered " << reconcile.delivered_token_times_s.size()
+        << " tokens but the winning attempt produced "
+        << reconcile.winner_token_times_s.size();
+    AddViolation(Invariant::kPartitionConservation, id, out.str());
+  } else {
+    for (size_t i = 0; i < reconcile.delivered_token_times_s.size(); ++i) {
+      if (reconcile.delivered_token_times_s[i] != reconcile.winner_token_times_s[i]) {
+        std::ostringstream out;
+        out << "delivered token " << i << " at " << reconcile.delivered_token_times_s[i]
+            << " but the winner emitted it at " << reconcile.winner_token_times_s[i];
+        AddViolation(Invariant::kPartitionConservation, id, out.str());
+        break;
+      }
+    }
+  }
+  if (reconcile.output_tokens > 0 &&
+      static_cast<int64_t>(reconcile.delivered_token_times_s.size()) >
+          reconcile.output_tokens) {
+    std::ostringstream out;
+    out << "delivered " << reconcile.delivered_token_times_s.size()
+        << " tokens for a request of " << reconcile.output_tokens;
+    AddViolation(Invariant::kPartitionConservation, id, out.str());
+  }
+  for (size_t i = 1; i < reconcile.delivered_token_times_s.size(); ++i) {
+    if (reconcile.delivered_token_times_s[i] < reconcile.delivered_token_times_s[i - 1]) {
+      std::ostringstream out;
+      out << "delivered stream not monotone: token " << i << " at "
+          << reconcile.delivered_token_times_s[i] << " precedes token " << i - 1 << " at "
+          << reconcile.delivered_token_times_s[i - 1];
+      AddViolation(Invariant::kPartitionConservation, id, out.str());
+      break;
+    }
+  }
+  if (reconcile.delivered_completion_s > 0.0 &&
+      !reconcile.delivered_token_times_s.empty() &&
+      reconcile.delivered_completion_s < reconcile.delivered_token_times_s.back()) {
+    std::ostringstream out;
+    out << "completion delivered at " << reconcile.delivered_completion_s
+        << " before the last token at " << reconcile.delivered_token_times_s.back();
+    AddViolation(Invariant::kPartitionConservation, id, out.str());
   }
 }
 
@@ -577,7 +648,7 @@ std::string InvariantChecker::Report() const {
   if (total_violations_ == 0) {
     return out.str();
   }
-  constexpr int kNumInvariants = 9;
+  constexpr int kNumInvariants = 10;
   int64_t counts[kNumInvariants] = {};
   for (const Violation& violation : violations_) {
     ++counts[static_cast<int>(violation.invariant)];

@@ -88,9 +88,39 @@ enum class Invariant {
   kMigrationConservation,
   kNoStarvation,
   kPrefixCache,
+  kPartitionConservation,
 };
 
 std::string_view InvariantName(Invariant invariant);
+
+// Everything the router reconciled for one request caught on the far side of
+// a network partition: the far (partitioned) attempt kept executing while a
+// duplicate was redispatched near-side, and at rejoin exactly one of them may
+// reach the client. The cluster simulator feeds this record into
+// InvariantChecker::CheckPartitionReconcile after every reconciliation.
+struct PartitionReconcile {
+  int64_t request_id = -1;
+  // The ground-truth partition window of the far replica.
+  double partition_begin_s = 0.0;
+  double partition_end_s = 0.0;
+  // True when the far-side attempt won (its completion reached the client
+  // first, counting delivery deferral); false when the duplicate won.
+  bool winner_far = false;
+  // The winning attempt's client-visible token stream and completion, after
+  // delivery deferral (far-side emissions inside the window deliver at
+  // partition_end_s).
+  std::vector<double> winner_token_times_s;
+  double winner_completion_s = 0.0;
+  // The merged stream actually delivered to the client.
+  std::vector<double> delivered_token_times_s;
+  double delivered_completion_s = 0.0;
+  // True when the losing attempt's completion was suppressed (it must be
+  // whenever both attempts ran to completion).
+  bool loser_suppressed = false;
+  bool loser_completed = false;
+  // The request's requested output length: an upper bound on delivery.
+  int64_t output_tokens = 0;
+};
 
 struct Violation {
   Invariant invariant = Invariant::kBatchSanity;
@@ -137,6 +167,15 @@ class InvariantChecker final : public VerifyHook {
   // Closes the run: no live KV sequences, no used memory, no in-flight
   // batches, every tracked request finished or aborted.
   void EndRun();
+
+  // Partition-reconciliation conservation (the partition_conservation
+  // invariant): exactly one attempt's stream reaches the client, token for
+  // token, with far-side emissions deferred past the partition window and the
+  // losing completion suppressed. Called by the cluster simulator once per
+  // reconciled request; standalone replica runs never see it. Safe to call
+  // outside BeginRun/EndRun (violations are tagged with the current or last
+  // run label).
+  void CheckPartitionReconcile(const PartitionReconcile& reconcile);
 
   // VerifyHook:
   void OnSchedulerEvent(SchedVerifyEvent event, const RequestState* request) override;

@@ -252,6 +252,139 @@ TEST(InvariantCheckerTest, CleanReplicaSimulationIsClean) {
   EXPECT_GT(checker.iterations_checked(), 0);
 }
 
+// ---------- partition_conservation ----------
+
+// A clean reconciliation record: the far-side attempt won, its stream was
+// delivered verbatim with in-window emissions deferred to the heal, and the
+// losing duplicate's completion was suppressed.
+PartitionReconcile CleanReconcile() {
+  PartitionReconcile reconcile;
+  reconcile.request_id = 42;
+  reconcile.partition_begin_s = 1.0;
+  reconcile.partition_end_s = 3.0;
+  reconcile.winner_far = true;
+  reconcile.winner_token_times_s = {0.5, 3.0, 3.0, 3.5};
+  reconcile.winner_completion_s = 3.5;
+  reconcile.delivered_token_times_s = {0.5, 3.0, 3.0, 3.5};
+  reconcile.delivered_completion_s = 3.5;
+  reconcile.loser_completed = true;
+  reconcile.loser_suppressed = true;
+  reconcile.output_tokens = 4;
+  return reconcile;
+}
+
+TEST(PartitionConservationTest, CleanReconcileRecordPasses) {
+  InvariantChecker checker;
+  checker.CheckPartitionReconcile(CleanReconcile());
+  EXPECT_TRUE(checker.ok()) << checker.Report();
+}
+
+TEST(PartitionConservationTest, UnsuppressedDuplicateCompletionIsCaught) {
+  InvariantChecker checker;
+  PartitionReconcile reconcile = CleanReconcile();
+  reconcile.loser_suppressed = false;  // Both attempts completed to the client.
+  checker.CheckPartitionReconcile(reconcile);
+  ASSERT_TRUE(HasInvariant(checker, Invariant::kPartitionConservation))
+      << checker.Report();
+  const Violation& v = checker.violations().front();
+  EXPECT_EQ(v.request_id, 42);
+  EXPECT_NE(v.message.find("duplicate completion"), std::string::npos) << v.Render();
+}
+
+TEST(PartitionConservationTest, DeliveryInsidePartitionWindowIsCaught) {
+  InvariantChecker checker;
+  PartitionReconcile reconcile = CleanReconcile();
+  // A far-side token leaked to the client while the link was down.
+  reconcile.winner_token_times_s[1] = 2.0;
+  reconcile.delivered_token_times_s[1] = 2.0;
+  checker.CheckPartitionReconcile(reconcile);
+  ASSERT_TRUE(HasInvariant(checker, Invariant::kPartitionConservation))
+      << checker.Report();
+  EXPECT_NE(checker.Report().find("inside partition window"), std::string::npos);
+}
+
+TEST(PartitionConservationTest, LostTokensAreCaught) {
+  InvariantChecker checker;
+  PartitionReconcile reconcile = CleanReconcile();
+  reconcile.delivered_token_times_s.pop_back();  // Merging dropped a token.
+  checker.CheckPartitionReconcile(reconcile);
+  ASSERT_TRUE(HasInvariant(checker, Invariant::kPartitionConservation))
+      << checker.Report();
+  EXPECT_NE(checker.Report().find("but the winning attempt produced"),
+            std::string::npos);
+}
+
+TEST(PartitionConservationTest, RetimedTokensAreCaught) {
+  InvariantChecker checker;
+  PartitionReconcile reconcile = CleanReconcile();
+  reconcile.delivered_token_times_s[3] = 3.6;  // Same count, wrong emission.
+  reconcile.delivered_completion_s = 3.6;
+  checker.CheckPartitionReconcile(reconcile);
+  ASSERT_TRUE(HasInvariant(checker, Invariant::kPartitionConservation))
+      << checker.Report();
+  EXPECT_NE(checker.Report().find("but the winner emitted it at"), std::string::npos);
+}
+
+TEST(PartitionConservationTest, OverDeliveryIsCaught) {
+  InvariantChecker checker;
+  PartitionReconcile reconcile = CleanReconcile();
+  reconcile.output_tokens = 3;  // Delivered 4 tokens for a 3-token request.
+  checker.CheckPartitionReconcile(reconcile);
+  ASSERT_TRUE(HasInvariant(checker, Invariant::kPartitionConservation))
+      << checker.Report();
+  EXPECT_NE(checker.Report().find("tokens for a request of"), std::string::npos);
+}
+
+TEST(PartitionConservationTest, NonMonotoneDeliveredStreamIsCaught) {
+  InvariantChecker checker;
+  PartitionReconcile reconcile = CleanReconcile();
+  reconcile.winner_token_times_s = {0.5, 3.0, 2.9, 3.5};
+  reconcile.delivered_token_times_s = reconcile.winner_token_times_s;
+  reconcile.winner_far = false;  // Skip the deferral check; monotonicity fires.
+  checker.CheckPartitionReconcile(reconcile);
+  ASSERT_TRUE(HasInvariant(checker, Invariant::kPartitionConservation))
+      << checker.Report();
+  EXPECT_NE(checker.Report().find("not monotone"), std::string::npos);
+}
+
+TEST(PartitionConservationTest, CompletionBeforeLastTokenIsCaught) {
+  InvariantChecker checker;
+  PartitionReconcile reconcile = CleanReconcile();
+  reconcile.delivered_completion_s = 3.2;  // Last token delivers at 3.5.
+  reconcile.winner_completion_s = 3.2;
+  checker.CheckPartitionReconcile(reconcile);
+  ASSERT_TRUE(HasInvariant(checker, Invariant::kPartitionConservation))
+      << checker.Report();
+  EXPECT_NE(checker.Report().find("completion delivered at"), std::string::npos);
+}
+
+TEST(InvariantCheckerTest, CleanClusterPartitionRunIsClean) {
+  Deployment deployment = MistralOnA100();
+  InvariantChecker checker;
+  ClusterOptions options;
+  options.replica.model = deployment.model;
+  options.replica.cluster = deployment.cluster;
+  options.replica.parallel = deployment.parallel;
+  options.replica.scheduler = SarathiConfig(256, 8);
+  options.replica.kv_capacity_tokens = 4096;
+  options.replica.kv_max_seq_len = 1024;
+  options.replica.checker = &checker;
+  options.num_replicas = 2;
+  options.faults.seed = 9;
+  options.faults.num_domains = 2;
+  options.faults.domain_mtbf_s = 2.0;
+  options.faults.domain_mttr_s = 3.0;
+  options.faults.min_domain_outage_s = 1.0;
+  options.faults.domain_partition_fraction = 1.0;
+  ClusterSimulator simulator(options);
+  SimResult result = simulator.Run(UniformTrace(24, 256, 64, 0.05));
+  EXPECT_GT(result.num_partitions, 0);
+  // Every reconciliation the router performed passed through
+  // CheckPartitionReconcile; a clean run reports zero violations.
+  EXPECT_TRUE(checker.ok()) << checker.Report();
+  EXPECT_FALSE(HasInvariant(checker, Invariant::kPartitionConservation));
+}
+
 TEST(InvariantCheckerTest, CleanClusterRunWithFaultsIsClean) {
   Deployment deployment = MistralOnA100();
   InvariantChecker checker;

@@ -6,7 +6,8 @@
 // randomized scheduler configuration (budget, batch size, ablations, dynamic
 // budget controller), and a fault schedule (replica crashes, client timeouts,
 // gray-failure slowdown episodes with jitter, hedged dispatch, drain or live
-// KV-migration failover), then runs every scheduling policy on both KV
+// KV-migration failover, correlated domain crashes and network partitions
+// with the cascade-mitigation knobs), then runs every scheduling policy on both KV
 // allocators with an InvariantChecker attached. Any violation of the paper's guarantees (token
 // budget, stall-free batching, token/KV conservation, clock monotonicity) is
 // reported with the seed, run label, iteration, and request id needed to
@@ -29,6 +30,10 @@
 //   --force-prefix   force the prefix-cache dimension on every seed: token
 //                    identity is synthesized for the whole trace and the
 //                    cached allocator joins the differential matrix
+//   --force-cascade  force the correlated-fault dimension on every seed:
+//                    failure domains with seed-rotated partition fractions
+//                    and mitigation knobs (timeout re-offers, cascade
+//                    breaker, slow-start re-admission)
 //   --jobs=N         fan seeds across N worker threads (0 = hardware
 //                    concurrency). Seeds are independent; outcomes are
 //                    replayed in seed order, so stdout/stderr and the exit
@@ -70,6 +75,7 @@ constexpr char kUsage[] = R"(sarathi_fuzz: randomized invariant fuzzer (see docs
   --verbose        per-seed progress lines
   --force-gray     force every seed into a gray-failure cluster case
   --force-prefix   force the prefix-cache dimension on every seed
+  --force-cascade  force the correlated-fault/cascade dimension on every seed
   --jobs=N         run seeds on N threads (0 = hardware concurrency);
                    output stays byte-identical to --jobs=1
   --fingerprint-out=FILE  one "seed,bytes,fnv1a" telemetry line per seed
@@ -121,6 +127,15 @@ struct FuzzCase {
   // with shared-prefix families, and kPagedCached joins the allocator matrix.
   bool prefix_cache = false;
 
+  // Correlated-fault / cascade dimension (drawn after prefix so pre-existing
+  // seeds keep their cases byte-identical): failure domains with partitions,
+  // client timeout re-offers, the cascade breaker, and slow-start re-admission.
+  bool cascade = false;
+  int timeout_retry_max = 0;
+  double timeout_retry_backoff_s = 1.0;
+  CascadeBreakerOptions cascade_breaker;
+  SlowStartOptions slow_start;
+
   std::string Summary() const;
 };
 
@@ -159,6 +174,14 @@ std::string FuzzCase::Summary() const {
     out << ")";
   }
   if (prefix_cache) out << ", prefix-cache";
+  if (cascade) {
+    out << ", cascade (domains=" << faults.num_domains
+        << ", part-frac=" << faults.domain_partition_fraction;
+    if (timeout_retry_max > 0) out << ", timeout-retries=" << timeout_retry_max;
+    if (cascade_breaker.enabled) out << ", breaker";
+    if (slow_start.enabled) out << ", slow-start";
+    out << ")";
+  }
   return out.str();
 }
 
@@ -375,6 +398,41 @@ FuzzCase MakeCase(uint64_t seed) {
       fuzz_case.deployment = YiOnA100Tp2();
     }
   }
+
+  // Correlated-fault / cascade dimension. Drawn after the prefix block so
+  // seeds that predate this dimension keep their cases byte-identical. The
+  // domain process layers whole-domain crashes and network partitions on top
+  // of whatever independent faults the seed already drew; the mitigation
+  // knobs (timeout re-offers, breaker, slow-start) toggle independently so
+  // mitigated and unmitigated cascades both stay inside the matrix.
+  if (rng.Uniform(0.0, 1.0) < 0.4) {
+    fuzz_case.cascade = true;
+    if (!fuzz_case.cluster_mode) {
+      fuzz_case.cluster_mode = true;
+      fuzz_case.standalone_outages = false;
+      fuzz_case.num_replicas = static_cast<int>(rng.UniformInt(3, 4));
+      fuzz_case.faults.seed = seed + 17;
+    }
+    fuzz_case.faults.num_domains =
+        static_cast<int>(rng.UniformInt(2, std::min<int64_t>(3, fuzz_case.num_replicas)));
+    fuzz_case.faults.domain_mtbf_s = rng.Uniform(4.0, 15.0);
+    fuzz_case.faults.domain_mttr_s = rng.Uniform(1.0, 4.0);
+    fuzz_case.faults.min_domain_outage_s = 0.5;
+    fuzz_case.faults.domain_partition_fraction = rng.Uniform(0.0, 1.0);
+    if (rng.Uniform(0.0, 1.0) < 0.5) {
+      fuzz_case.timeout_retry_max = static_cast<int>(rng.UniformInt(1, 3));
+      fuzz_case.timeout_retry_backoff_s = rng.Uniform(0.25, 1.5);
+    }
+    if (rng.Uniform(0.0, 1.0) < 0.5) {
+      fuzz_case.cascade_breaker.enabled = true;
+      fuzz_case.cascade_breaker.headroom = rng.Uniform(0.6, 0.95);
+    }
+    if (rng.Uniform(0.0, 1.0) < 0.5) {
+      fuzz_case.slow_start.enabled = true;
+      fuzz_case.slow_start.ramp_s = rng.Uniform(1.0, 6.0);
+      fuzz_case.slow_start.stagger_s = rng.Uniform(0.25, 1.5);
+    }
+  }
   return fuzz_case;
 }
 
@@ -431,6 +489,10 @@ std::string RunCell(const FuzzCase& fuzz_case, SchedulerPolicy policy, Allocator
     cluster.retry_jitter = fuzz_case.retry_jitter;
     cluster.retry_budget_ratio = fuzz_case.retry_budget_ratio;
     cluster.backpressure_queue_s = fuzz_case.backpressure_queue_s;
+    cluster.timeout_retry_max = fuzz_case.timeout_retry_max;
+    cluster.timeout_retry_backoff_s = fuzz_case.timeout_retry_backoff_s;
+    cluster.cascade = fuzz_case.cascade_breaker;
+    cluster.slow_start = fuzz_case.slow_start;
     ClusterSimulator simulator(cluster);
     simulator.Run(trace);
   } else {
@@ -537,6 +599,28 @@ DeterminismOutcome RunDeterminismCheck(const FuzzCase& fuzz_case, uint64_t seed)
   if (cluster.backpressure_queue_s <= 0.0 && seed % 3 == 1) {
     cluster.backpressure_queue_s = 1.0;
   }
+  // Correlated domains are always inside the byte-compare: partition token
+  // deferral, redispatch, rejoin reconciliation, and the breaker/slow-start
+  // gates must all replay identically. Seeds that didn't draw the dimension
+  // get deterministic, seed-rotated defaults.
+  cluster.timeout_retry_max = fuzz_case.timeout_retry_max;
+  cluster.timeout_retry_backoff_s = fuzz_case.timeout_retry_backoff_s;
+  cluster.cascade = fuzz_case.cascade_breaker;
+  cluster.slow_start = fuzz_case.slow_start;
+  if (cluster.faults.num_domains == 0) {
+    cluster.faults.num_domains = 2;
+    cluster.faults.domain_mtbf_s = 6.0 + static_cast<double>(seed % 5);
+    cluster.faults.domain_mttr_s = 1.5;
+    cluster.faults.min_domain_outage_s = 0.5;
+    cluster.faults.domain_partition_fraction = seed % 2 == 0 ? 1.0 : 0.5;
+  }
+  if (cluster.timeout_retry_max == 0 && seed % 2 == 0) cluster.timeout_retry_max = 2;
+  if (!cluster.cascade.enabled && seed % 3 == 0) cluster.cascade.enabled = true;
+  if (!cluster.slow_start.enabled && seed % 3 == 2) {
+    cluster.slow_start.enabled = true;
+    cluster.slow_start.ramp_s = 3.0;
+    cluster.slow_start.stagger_s = 0.5;
+  }
 
   DeterminismOutcome outcome;
   std::string first;
@@ -571,7 +655,8 @@ struct SeedOutcome {
   uint64_t fingerprint_hash = 0;
 };
 
-SeedOutcome RunSeed(uint64_t seed, bool fatal, bool force_gray, bool force_prefix) {
+SeedOutcome RunSeed(uint64_t seed, bool fatal, bool force_gray, bool force_prefix,
+                    bool force_cascade) {
   SeedOutcome outcome;
   outcome.seed = seed;
   FuzzCase fuzz_case = MakeCase(seed);
@@ -604,6 +689,32 @@ SeedOutcome RunSeed(uint64_t seed, bool fatal, bool force_gray, bool force_prefi
                                   : seed % 3 == 1 ? FailoverMode::kRecompute
                                                   : FailoverMode::kLiveMigrate;
     fuzz_case.hedge_after_s = seed % 2 == 0 ? 0.5 : 0.0;
+  }
+  if (force_cascade && !fuzz_case.cascade) {
+    // CI smoke mode: every seed exercises the correlated-fault dimension,
+    // with the partition fraction and mitigation knobs rotating
+    // deterministically by seed so crash-domains, partition-domains, and
+    // mitigated/unmitigated cascades all get forced coverage.
+    fuzz_case.cascade = true;
+    if (!fuzz_case.cluster_mode) {
+      fuzz_case.cluster_mode = true;
+      fuzz_case.standalone_outages = false;
+      fuzz_case.num_replicas = 3 + static_cast<int>(seed % 2);
+      fuzz_case.faults.seed = seed + 17;
+    }
+    fuzz_case.faults.num_domains = 2;
+    fuzz_case.faults.domain_mtbf_s = 5.0 + static_cast<double>(seed % 7);
+    fuzz_case.faults.domain_mttr_s = 1.0 + static_cast<double>(seed % 3);
+    fuzz_case.faults.min_domain_outage_s = 0.5;
+    fuzz_case.faults.domain_partition_fraction =
+        seed % 3 == 0 ? 1.0 : seed % 3 == 1 ? 0.5 : 0.0;
+    if (seed % 2 == 0) fuzz_case.timeout_retry_max = 2;
+    fuzz_case.cascade_breaker.enabled = seed % 2 == 1;
+    if (seed % 3 != 0) {
+      fuzz_case.slow_start.enabled = true;
+      fuzz_case.slow_start.ramp_s = 2.0 + static_cast<double>(seed % 3);
+      fuzz_case.slow_start.stagger_s = 0.5;
+    }
   }
   outcome.summary = fuzz_case.Summary();
 
@@ -661,6 +772,7 @@ int RunMain(int argc, char** argv) {
   bool verbose = args.GetBool("verbose", false);
   bool force_gray = args.GetBool("force-gray", false);
   bool force_prefix = args.GetBool("force-prefix", false);
+  bool force_cascade = args.GetBool("force-cascade", false);
   std::string repro_dir = args.GetString("repro-out", "");
   std::string fingerprint_path = args.GetString("fingerprint-out", "");
   int jobs = ResolveJobs(static_cast<int>(jobs_arg.value()));
@@ -691,7 +803,7 @@ int RunMain(int argc, char** argv) {
     int64_t chunk = std::min<int64_t>(jobs, num_seeds - chunk_start);
     std::vector<SeedOutcome> outcomes = RunMany(jobs, chunk, [&](int64_t k) {
       return RunSeed(static_cast<uint64_t>(start + chunk_start + k), fatal, force_gray,
-                     force_prefix);
+                     force_prefix, force_cascade);
     });
     for (int64_t k = 0; k < chunk && !stopped; ++k) {
       const SeedOutcome& outcome = outcomes[static_cast<size_t>(k)];

@@ -78,6 +78,22 @@ Overload control (any of these also routes through the cluster simulator):
   --retry-jitter                       full-jitter crash-retry backoff
   --backpressure=S                     route around replicas with more than S
                                        seconds of outstanding work (0 = off)
+Cascade resilience (correlated domains; also route through the cluster simulator):
+  --domains=N                          group replicas into N failure domains
+  --domain-mtbf=S --domain-mttr=S      whole-domain fault process, exponential (s)
+  --partition-frac=P                   fraction of domain faults that are network
+                                       partitions instead of crashes (default 0)
+  --timeout-retries=N                  client re-offers after a timeout, up to N
+                                       times with a fresh deadline (0 = off; the
+                                       metastable amplification source)
+  --timeout-retry-backoff=S            fixed re-offer backoff (default 1.0)
+  --cascade-breaker                    engage the cascade breaker when offered
+                                       load outruns surviving capacity
+  --cascade-headroom=F                 breaker admission fraction of surviving
+                                       capacity while engaged (default 0.85)
+  --slow-start                         ramp rejoining replicas back to full load
+  --slow-start-ramp=S                  ramp length per rejoin (default 5.0)
+  --slow-start-stagger=S               per-domain-member gate stagger (default 1.0)
 Evaluation:
   --capacity                           binary-search max sustainable QPS
   --slo=strict|relaxed|SECONDS         P99-TBT target (default strict)
@@ -362,7 +378,35 @@ int RunMain(int argc, char** argv) {
       }
     }
   }
-  bool fault_run = faults.any_faults() || *shed_after > 0.0 || overload_run;
+  // ---- Cascade-resilience flags ----
+  auto domains = args.GetInt("domains", 0);
+  auto domain_mtbf = args.GetDouble("domain-mtbf", 0.0);
+  auto domain_mttr = args.GetDouble("domain-mttr", 30.0);
+  auto partition_frac = args.GetDouble("partition-frac", 0.0);
+  auto timeout_retries = args.GetInt("timeout-retries", 0);
+  auto timeout_retry_backoff = args.GetDouble("timeout-retry-backoff", 1.0);
+  bool cascade_breaker = args.GetBool("cascade-breaker", false);
+  auto cascade_headroom = args.GetDouble("cascade-headroom", 0.85);
+  bool slow_start = args.GetBool("slow-start", false);
+  auto slow_start_ramp = args.GetDouble("slow-start-ramp", 5.0);
+  auto slow_start_stagger = args.GetDouble("slow-start-stagger", 1.0);
+  if (!domains.ok() || !domain_mtbf.ok() || !domain_mttr.ok() || !partition_frac.ok() ||
+      !timeout_retries.ok() || !timeout_retry_backoff.ok() || !cascade_headroom.ok() ||
+      !slow_start_ramp.ok() || !slow_start_stagger.ok() || *domains < 0 ||
+      *partition_frac < 0.0 || *partition_frac > 1.0 || *timeout_retries < 0 ||
+      *timeout_retry_backoff <= 0.0) {
+    std::cerr << "bad cascade flag (--domains/--domain-mtbf/--domain-mttr/"
+                 "--partition-frac/--timeout-retries/--timeout-retry-backoff/"
+                 "--cascade-headroom/--slow-start-ramp/--slow-start-stagger)\n";
+    return 2;
+  }
+  faults.num_domains = static_cast<int>(*domains);
+  faults.domain_mtbf_s = *domain_mtbf;
+  faults.domain_mttr_s = *domain_mttr;
+  faults.domain_partition_fraction = *partition_frac;
+  bool cascade_run =
+      *timeout_retries > 0 || cascade_breaker || slow_start || faults.any_domain_faults();
+  bool fault_run = faults.any_faults() || *shed_after > 0.0 || overload_run || cascade_run;
 
   // ---- Observability sinks ----
   std::string trace_out = args.GetString("trace-out", "");
@@ -459,6 +503,13 @@ int RunMain(int argc, char** argv) {
     cluster.prober.probe_interval_s = *probe_interval;
     cluster.hedge_after_s = *hedge_after;
     cluster.degraded_failover = failover;
+    cluster.timeout_retry_max = static_cast<int>(*timeout_retries);
+    cluster.timeout_retry_backoff_s = *timeout_retry_backoff;
+    cluster.cascade.enabled = cascade_breaker;
+    cluster.cascade.headroom = *cascade_headroom;
+    cluster.slow_start.enabled = slow_start;
+    cluster.slow_start.ramp_s = *slow_start_ramp;
+    cluster.slow_start.stagger_s = *slow_start_stagger;
     std::string routing = args.GetString("routing", "least-work");
     if (routing == "rr") {
       cluster.routing = RoutingPolicy::kRoundRobin;
@@ -516,6 +567,18 @@ int RunMain(int argc, char** argv) {
       table.AddRow({"retries denied", Table::Int(result.num_retries_denied)});
       table.AddRow({"hedges suppressed", Table::Int(result.num_hedges_suppressed)});
       table.AddRow({"backpressure skips", Table::Int(result.num_backpressure_skips)});
+    }
+    if (cascade_run) {
+      table.AddRow({"domain faults (partitions)", Table::Int(result.num_domain_faults) + " (" +
+                                                      Table::Int(result.num_partitions) + ")"});
+      table.AddRow({"partitioned (s)", Table::Num(result.partitioned_s, 2)});
+      table.AddRow(
+          {"partition redispatch/reconciled", Table::Int(result.partition_redispatches) + "/" +
+                                                  Table::Int(result.partition_reconciled)});
+      table.AddRow({"timeout retries", Table::Int(result.timeout_retries)});
+      table.AddRow({"cascade sheds", Table::Int(result.cascade_sheds)});
+      table.AddRow({"cascade engaged (s)", Table::Num(result.cascade_engaged_s, 2)});
+      table.AddRow({"slow-start admits", Table::Int(result.slow_start_admits)});
     }
   }
   table.Print();
