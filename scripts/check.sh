@@ -25,6 +25,11 @@ build/tools/sarathi_fuzz --seeds=100 --force-cascade --repro-out=build/fuzz-repr
 cmake --build build -j --target bench_ext_cascade
 build/bench/bench_ext_cascade --quick --selfcheck --jobs=2
 
+echo
+echo "== cluster-scale smoke: sharded parallel engine + autoscaled megafleet =="
+cmake --build build -j --target bench_ext_cluster_scale
+build/bench/bench_ext_cluster_scale --quick --selfcheck --out=build/BENCH_cluster_scale.json
+
 if [ "$SANITIZE" = "1" ]; then
   echo
   echo "== tier-1 under ASan + UBSan =="

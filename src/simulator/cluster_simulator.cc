@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <limits>
 #include <memory>
+#include <numeric>
 #include <set>
+#include <unordered_map>
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/common/thread_pool.h"
 #include "src/obs/flight_recorder.h"
 #include "src/obs/obs_hooks.h"
 #include "src/robustness/retry_budget.h"
@@ -26,17 +29,6 @@ void InsertSorted(Trace* trace, const Request& request) {
                              request.arrival_time_s,
                              [](double t, const Request& r) { return t < r.arrival_time_s; });
   trace->requests.insert(it, request);
-}
-
-// Metrics slot of the service attempt with this id and attempt arrival time
-// (an id can appear several times on one replica if retries return to it).
-size_t FindAttemptSlot(const SimResult& result, int64_t id, double arrival_s) {
-  for (size_t i = 0; i < result.requests.size(); ++i) {
-    if (result.requests[i].id == id && result.requests[i].arrival_s == arrival_s) {
-      return i;
-    }
-  }
-  return kNoSlot;
 }
 
 // Sub-trace request of the service attempt with this id and arrival time, for
@@ -103,6 +95,13 @@ ClusterSimulator::ClusterSimulator(const ClusterOptions& options) : options_(opt
   CHECK_GT(options_.migration_bandwidth_Bps, 0.0);
   CHECK_GE(options_.migration_latency_s, 0.0);
   CHECK_GE(options_.migration_delay_s, 0.0);
+  if (options_.autoscale.min_replicas > 0) {
+    CHECK_LE(options_.autoscale.min_replicas, options_.num_replicas);
+    CHECK_GT(options_.autoscale.eval_interval_s, 0.0);
+    CHECK_GE(options_.autoscale.provisioning_lag_s, 0.0);
+    CHECK_GE(options_.autoscale.cooldown_s, 0.0);
+    CHECK_GT(options_.autoscale.scale_out_queue_s, options_.autoscale.scale_in_queue_s);
+  }
   // Built once and shared with every replica simulation (always serial within
   // a cluster run), so probes and retry rounds reuse one memo cache instead
   // of reconstructing a model each time.
@@ -198,6 +197,33 @@ double ClusterSimulator::SlowStartFractionAt(int replica, double t) const {
   return fraction;
 }
 
+bool ClusterSimulator::ProvisionedAt(int replica, double t) const {
+  if (!autoscale_active_) {
+    return true;
+  }
+  for (const ProvisionWindow& window : provision_windows_[static_cast<size_t>(replica)]) {
+    if (t < window.from_s) {
+      return false;  // Windows are appended in from_s order.
+    }
+    if (t < window.to_s) {
+      return true;
+    }
+  }
+  return false;
+}
+
+CostCacheStats ClusterSimulator::cost_cache_stats() const {
+  CostCacheStats total = cost_model_->cache_stats();
+  for (const auto& model : shard_models_) {
+    const CostCacheStats& stats = model->cache_stats();
+    total.linear_hits += stats.linear_hits;
+    total.linear_misses += stats.linear_misses;
+    total.shape_hits += stats.shape_hits;
+    total.shape_misses += stats.shape_misses;
+  }
+  return total;
+}
+
 double ClusterSimulator::NextHealthyTime(double t) const {
   double earliest_up = kInfinity;
   for (int r = 0; r < options_.num_replicas; ++r) {
@@ -229,13 +255,35 @@ void ClusterSimulator::AgeOutstanding(RouterState* state, double now) const {
 int ClusterSimulator::Route(int64_t tokens, double now, int exclude,
                             RouterState* state) {
   const int n = options_.num_replicas;
+  // O(1) fast path for the fleet-scale hot loop: with no fault or detection
+  // signal anywhere, no quarantine possible, round-robin routing, and neither
+  // backpressure nor slow-start gating configured, the general scan below
+  // always picks the cursor itself (or, under autoscaling, the first replica
+  // of the provisioned prefix [0, open_replicas_) when the cursor is past
+  // it). This reproduces the general path's picks and state updates exactly —
+  // the general RR branch never ages outstanding estimates — so taking it is
+  // invisible to results.
+  if (fast_route_ && exclude < 0) {
+    int pick = state->rr_cursor;
+    if (autoscale_active_ && pick >= open_replicas_) {
+      if (open_replicas_ == 0) {
+        return -1;  // Nothing provisioned (matches the num_live == 0 return).
+      }
+      pick = 0;  // The scan wraps to the provisioned prefix [0, open).
+    }
+    state->rr_cursor = (state->rr_cursor + 1) % n;
+    state->outstanding_tokens[static_cast<size_t>(pick)] += static_cast<double>(tokens);
+    return pick;
+  }
   // A ground-truth-partitioned replica is not dispatchable: a new connection
   // to it never answers, so the router's dispatch attempt fails exactly like
   // a connection to a crashed host — what it cannot tell (dead vs
   // unreachable) is how to treat the work already in flight there, which is
-  // the prober's job.
+  // the prober's job. An unprovisioned replica (autoscaling) has no host to
+  // connect to at all.
   auto live = [&](int r) {
-    return !DownAt(r, now) && !PartitionedAt(r, now) && !quarantined_[static_cast<size_t>(r)];
+    return !DownAt(r, now) && !PartitionedAt(r, now) &&
+           !quarantined_[static_cast<size_t>(r)] && ProvisionedAt(r, now);
   };
   // Detected-degraded and detected-unreachable replicas are shunned alike
   // while a clean alternative exists.
@@ -401,6 +449,26 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
   }
   quarantined_.assign(static_cast<size_t>(n), false);
 
+  // ---- Autoscaling ----
+  // Replicas [0, min_replicas) are provisioned for the whole run (the floor
+  // that guarantees the router always has a destination); everything above
+  // the floor opens and closes as the arrival pass evaluates the signals.
+  // The provisioned set is always a contiguous prefix [0, k): scale-out opens
+  // the lowest-index unopened replica, scale-in closes (or cancels) the
+  // highest-index open-or-pending one, and launches activate in index order —
+  // the invariant the O(1) routing fast path relies on.
+  autoscale_active_ = options_.autoscale.min_replicas > 0;
+  provision_windows_.assign(static_cast<size_t>(n), {});
+  scale_events_.clear();
+  const int min_provisioned =
+      autoscale_active_ ? std::min(options_.autoscale.min_replicas, n) : n;
+  if (autoscale_active_) {
+    for (int r = 0; r < min_provisioned; ++r) {
+      provision_windows_[static_cast<size_t>(r)].push_back({0.0, kInfinity});
+    }
+  }
+  open_replicas_ = min_provisioned;
+
   // ---- Correlated failure domains ----
   // Replicas are grouped into contiguous, balanced domains; a domain fault
   // takes every member out at once. Crash faults merge into the members'
@@ -481,6 +549,13 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
                   !slowdown_schedules_[static_cast<size_t>(r)].empty() ||
                   !partition_windows_[static_cast<size_t>(r)].empty();
   }
+  // O(1) routing fast path (see Route): valid while nothing can make the
+  // general scan deviate from "pick the cursor within the provisioned
+  // prefix" — no fault/detection signal anywhere (which also rules out
+  // quarantine: failover needs a detection to act on), round-robin policy,
+  // and no backpressure or slow-start queue gating.
+  fast_route_ = !any_signal && options_.routing == RoutingPolicy::kRoundRobin &&
+                !options_.slow_start.enabled && options_.backpressure_queue_s <= 0.0;
   if (any_signal) {
     for (double t = options_.prober.probe_interval_s; t <= horizon;
          t += options_.prober.probe_interval_s) {
@@ -637,12 +712,127 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
   int64_t retries_denied = 0;
   int64_t hedges_suppressed = 0;
 
+  // ---- Autoscaler pass state ----
+  // Decisions are made only here, at arrival-time eval instants, so the
+  // provision timeline is fixed before any replica simulates and later
+  // retry/failover rounds replay against the same windows — deterministic by
+  // construction. Launch activations (from_s = decision + provisioning lag)
+  // are applied as the time-ordered pass reaches them.
+  int64_t autoscale_out = 0;
+  int64_t autoscale_in = 0;
+  int peak_provisioned = autoscale_active_ ? min_provisioned : 0;
+  std::vector<std::pair<double, int>> pending_activation;  // (from_s, replica)
+  size_t activation_ptr = 0;
+  int opened_or_pending = min_provisioned;
+  double next_eval = 0.0;
+  double last_scale = -kInfinity;
+  // Sliding window of cost-model-predicted TBT samples for the latency
+  // signal, plus a memo keyed by (concurrency, quantized context) — the
+  // prediction is a pure function of those two.
+  std::vector<std::pair<double, double>> tbt_samples;
+  size_t tbt_head = 0;
+  std::unordered_map<int64_t, double> tbt_memo;
+  auto apply_activation = [&](const std::pair<double, int>& activation) {
+    ++open_replicas_;
+    if (options_.slow_start.enabled) {
+      // A scale-out activation is a rejoin: the fresh replica re-admits
+      // through the same staggered ramp a crash-recovered one would.
+      auto& rejoins = rejoins_[static_cast<size_t>(activation.second)];
+      rejoins.insert(std::upper_bound(rejoins.begin(), rejoins.end(), activation.first),
+                     activation.first);
+    }
+  };
+
   for (size_t i = 0; i < num_requests; ++i) {
     const Request& request = stamped.requests[i];
     double t = request.arrival_time_s;
-    bool any_up = false;
-    for (int r = 0; r < n; ++r) {
-      any_up |= !DownAt(r, t) && !PartitionedAt(r, t);
+    if (autoscale_active_) {
+      while (activation_ptr < pending_activation.size() &&
+             pending_activation[activation_ptr].first <= t) {
+        apply_activation(pending_activation[activation_ptr]);
+        ++activation_ptr;
+      }
+      peak_provisioned = std::max(peak_provisioned, open_replicas_);
+      if (t >= next_eval) {
+        next_eval = t + options_.autoscale.eval_interval_s;
+        AgeOutstanding(&router, t);
+        double backlog = 0.0;
+        for (int r = 0; r < open_replicas_; ++r) {
+          backlog += router.outstanding_tokens[static_cast<size_t>(r)];
+        }
+        backlog /= static_cast<double>(std::max(1, open_replicas_)) * service_rate_;
+        double p99 = 0.0;
+        if (options_.autoscale.tbt_slo_s > 0.0) {
+          while (tbt_head < tbt_samples.size() &&
+                 tbt_samples[tbt_head].first < t - options_.autoscale.tbt_window_s) {
+            ++tbt_head;
+          }
+          if (tbt_head < tbt_samples.size()) {
+            std::vector<double> window;
+            window.reserve(tbt_samples.size() - tbt_head);
+            for (size_t s = tbt_head; s < tbt_samples.size(); ++s) {
+              window.push_back(tbt_samples[s].second);
+            }
+            size_t rank = (window.size() - 1) * 99 / 100;
+            std::nth_element(window.begin(), window.begin() + static_cast<long>(rank),
+                             window.end());
+            p99 = window[rank];
+          }
+        }
+        bool slow = options_.autoscale.tbt_slo_s > 0.0 && p99 > options_.autoscale.tbt_slo_s;
+        bool cooled = t - last_scale >= options_.autoscale.cooldown_s;
+        if (cooled && (backlog > options_.autoscale.scale_out_queue_s || slow) &&
+            opened_or_pending < n) {
+          int idx = opened_or_pending++;
+          double from_s = t + options_.autoscale.provisioning_lag_s;
+          provision_windows_[static_cast<size_t>(idx)].push_back({from_s, kInfinity});
+          pending_activation.push_back({from_s, idx});
+          scale_events_.push_back({t, idx, true});
+          ++autoscale_out;
+          last_scale = t;
+          if (dest_tracer != nullptr) {
+            dest_tracer->Instant("router", "scale_out", t,
+                                 {Arg("replica", static_cast<int64_t>(idx))});
+          }
+          if (dest_metrics != nullptr) {
+            dest_metrics->AddCount("scale_events", t);
+          }
+        } else if (cooled && !slow && backlog < options_.autoscale.scale_in_queue_s &&
+                   opened_or_pending > min_provisioned) {
+          int idx = --opened_or_pending;
+          auto& windows = provision_windows_[static_cast<size_t>(idx)];
+          if (windows.back().from_s > t) {
+            // Still booting: cancel the launch outright. Activations are in
+            // index order, so the cancelled one is the newest pending entry.
+            windows.pop_back();
+            pending_activation.pop_back();
+          } else {
+            windows.back().to_s = t;  // Drain: no new work, in-flight finishes.
+            --open_replicas_;
+          }
+          scale_events_.push_back({t, idx, false});
+          ++autoscale_in;
+          last_scale = t;
+          if (dest_tracer != nullptr) {
+            dest_tracer->Instant("router", "scale_in", t,
+                                 {Arg("replica", static_cast<int64_t>(idx))});
+          }
+          if (dest_metrics != nullptr) {
+            dest_metrics->AddCount("scale_events", t);
+          }
+        }
+      }
+    }
+    bool any_up;
+    if (!any_signal) {
+      // No outage/partition window exists anywhere: reachability reduces to
+      // having a provisioned replica, with no per-replica scan.
+      any_up = !autoscale_active_ || open_replicas_ > 0;
+    } else {
+      any_up = false;
+      for (int r = 0; r < n; ++r) {
+        any_up |= !DownAt(r, t) && !PartitionedAt(r, t) && ProvisionedAt(r, t);
+      }
     }
     auto record_shed = [&](const char* reason) {
       if (dest_tracer != nullptr) {
@@ -662,7 +852,7 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
       AgeOutstanding(&router, t);
       double least = kInfinity;
       for (int r = 0; r < n; ++r) {
-        if (!DownAt(r, t)) {
+        if (!DownAt(r, t) && ProvisionedAt(r, t)) {
           least = std::min(least, router.outstanding_tokens[static_cast<size_t>(r)]);
         }
       }
@@ -679,10 +869,45 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
     }
     int pick = Route(request.total_tokens(), t, /*exclude=*/-1, &router);
     CHECK_GE(pick, 0);  // Quarantine is empty during initial routing.
+    if (autoscale_active_ && options_.autoscale.tbt_slo_s > 0.0) {
+      // Latency signal sample: the cost model's decode-iteration time at the
+      // destination's estimated concurrency — its outstanding work divided
+      // into requests of this arrival's size, decoding at mid-generation
+      // context (quantized so the memo stays small).
+      int64_t context = request.prompt_tokens + request.output_tokens / 2;
+      int64_t context_q = (context / 64 + 1) * 64;
+      int64_t concurrency = std::max<int64_t>(
+          1, static_cast<int64_t>(
+                 router.outstanding_tokens[static_cast<size_t>(pick)] /
+                 static_cast<double>(std::max<int64_t>(1, request.total_tokens()))));
+      concurrency = std::min<int64_t>(concurrency, 64);
+      int64_t key = (concurrency << 32) | context_q;
+      auto [memo, inserted] = tbt_memo.try_emplace(key, 0.0);
+      if (inserted) {
+        BatchWork batch;
+        for (int64_t s = 0; s < concurrency; ++s) {
+          batch.sequences.push_back(SequenceWork::Decode(context_q));
+        }
+        memo->second = cost_model_->IterationCost(batch).Total();
+      }
+      tbt_samples.push_back({t, memo->second});
+    }
     assignment_[i] = pick;
     chains[i].push_back({pick, t, false});
     retry_budget.OnRequest(t);
     InsertSorted(&sub[static_cast<size_t>(pick)], request);
+  }
+  if (autoscale_active_) {
+    // Launches still pending after the last arrival open anyway (their
+    // windows exist); account them and drop the O(1) fast path — Route calls
+    // from retry/failover rounds land at arbitrary times and must consult
+    // the windows themselves.
+    while (activation_ptr < pending_activation.size()) {
+      apply_activation(pending_activation[activation_ptr]);
+      ++activation_ptr;
+    }
+    peak_provisioned = std::max(peak_provisioned, open_replicas_);
+    fast_route_ = false;
   }
 
   // Absolute client deadline per request (0 = none). A client timeout-retry
@@ -697,9 +922,16 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
 
   // ---- Simulate; re-route crash-interrupted requests until quiescent ----
   std::vector<SimResult> results(static_cast<size_t>(n));
-  auto simulate = [&](int r) {
+  // Per-replica attempt index: request id -> (attempt arrival, metrics slot),
+  // invalidated when the replica re-simulates and rebuilt lazily. Replaces
+  // the linear result scans that dominated fleet-scale merges.
+  std::vector<std::unordered_map<int64_t, std::vector<std::pair<double, size_t>>>>
+      attempt_index(static_cast<size_t>(n));
+  auto simulate = [&](int r, const std::shared_ptr<IterationCostModel>& model,
+                      InvariantChecker* checker) {
     SimulatorOptions replica_options = options_.replica;
-    replica_options.cost_model = cost_model_;
+    replica_options.cost_model = model;
+    replica_options.checker = checker;
     replica_options.fail_interrupted_on_crash = true;
     replica_options.outages = outage_schedules_[static_cast<size_t>(r)];
     replica_options.slowdowns = slowdown_schedules_[static_cast<size_t>(r)];
@@ -724,9 +956,92 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
     }
     results[static_cast<size_t>(r)] =
         ReplicaSimulator(replica_options).Run(sub[static_cast<size_t>(r)]);
+    attempt_index[static_cast<size_t>(r)].clear();
   };
-  for (int r = 0; r < n; ++r) {
-    simulate(r);
+  // ---- Sharded parallel execution ----
+  // Replicas partition into contiguous shards, one RunMany task per shard.
+  // Each shard owns a private memoized cost model (the caches are not thread-
+  // safe; cached and uncached evaluation are bit-identical, so per-shard
+  // caches cannot change results) and a private per-round invariant checker
+  // merged back in shard order. The shard layout is a pure function of
+  // (jobs, num_replicas); whether RunMany actually spawns threads is the
+  // host's business and never affects results.
+  const int num_shards = std::max(1, std::min(ResolveJobs(options_.jobs), n));
+  if (num_shards > 1 && static_cast<int>(shard_models_.size()) != num_shards) {
+    shard_models_.assign(static_cast<size_t>(num_shards), nullptr);
+    for (auto& model : shard_models_) {
+      model = std::make_shared<IterationCostModel>(
+          options_.replica.model, options_.replica.cluster, options_.replica.parallel);
+    }
+  }
+  auto simulate_all = [&](const std::vector<int>& dirty) {
+    if (num_shards <= 1) {
+      for (int r : dirty) {
+        simulate(r, cost_model_, options_.replica.checker);
+      }
+      return;
+    }
+    std::vector<std::vector<int>> members(static_cast<size_t>(num_shards));
+    for (int r : dirty) {
+      members[static_cast<size_t>(static_cast<int64_t>(r) * num_shards / n)].push_back(r);
+    }
+    std::vector<int> active;
+    for (int s = 0; s < num_shards; ++s) {
+      if (!members[static_cast<size_t>(s)].empty()) {
+        active.push_back(s);
+      }
+    }
+    // Fresh per-shard checkers with the destination's own cap: every shard
+    // appends its violations in replica order, and merging the shards in
+    // order reproduces exactly the retained-violation sequence a serial pass
+    // over the same (ascending) dirty set would have accumulated — any
+    // prefix-of-a-concatenation is the concatenation of prefixes.
+    InvariantChecker* dest_checker = options_.replica.checker;
+    std::vector<std::unique_ptr<InvariantChecker>> shard_checkers(active.size());
+    if (dest_checker != nullptr) {
+      for (auto& checker : shard_checkers) {
+        checker = std::make_unique<InvariantChecker>(dest_checker->options());
+      }
+    }
+    RunMany(num_shards, static_cast<int64_t>(active.size()), [&](int64_t task) {
+      int s = active[static_cast<size_t>(task)];
+      InvariantChecker* checker =
+          dest_checker != nullptr ? shard_checkers[static_cast<size_t>(task)].get() : nullptr;
+      for (int r : members[static_cast<size_t>(s)]) {
+        simulate(r, shard_models_[static_cast<size_t>(s)], checker);
+      }
+      return 0;
+    });
+    if (dest_checker != nullptr) {
+      for (const auto& checker : shard_checkers) {
+        dest_checker->MergeFrom(*checker);
+      }
+    }
+  };
+  auto find_slot = [&](int replica, int64_t id, double arrival_s) -> size_t {
+    auto& index = attempt_index[static_cast<size_t>(replica)];
+    const SimResult& result = results[static_cast<size_t>(replica)];
+    if (index.empty() && !result.requests.empty()) {
+      index.reserve(result.requests.size());
+      for (size_t slot = 0; slot < result.requests.size(); ++slot) {
+        index[result.requests[slot].id].push_back({result.requests[slot].arrival_s, slot});
+      }
+    }
+    auto it = index.find(id);
+    if (it == index.end()) {
+      return kNoSlot;
+    }
+    for (const auto& [attempt_arrival_s, slot] : it->second) {
+      if (attempt_arrival_s == arrival_s) {
+        return slot;  // Slots ascend per id: same pick as the linear scan.
+      }
+    }
+    return kNoSlot;
+  };
+  {
+    std::vector<int> all(static_cast<size_t>(n));
+    std::iota(all.begin(), all.end(), 0);
+    simulate_all(all);
   }
 
   // Each round re-routes every retryable interruption and re-simulates the
@@ -748,8 +1063,7 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
           continue;
         }
         const Attempt& last = chains[i].back();
-        size_t slot = FindAttemptSlot(results[static_cast<size_t>(last.replica)],
-                                      stamped.requests[i].id, last.arrival_s);
+        size_t slot = find_slot(last.replica, stamped.requests[i].id, last.arrival_s);
         CHECK_NE(slot, kNoSlot);
         const RequestMetrics& m = results[static_cast<size_t>(last.replica)].requests[slot];
         if (!m.failed() || m.failure != FailureKind::kReplicaCrash) {
@@ -832,17 +1146,14 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
       if (dirty.empty()) {
         break;  // Nothing routable this round; nothing will change.
       }
-      for (int r : dirty) {
-        simulate(r);
-      }
+      simulate_all({dirty.begin(), dirty.end()});
     }
   };
   run_retry_rounds();
 
   auto deadline_abs_of = [&](size_t i) { return deadline_abs[i]; };
   auto attempt_metrics = [&](const Attempt& attempt, int64_t id) -> const RequestMetrics& {
-    size_t slot =
-        FindAttemptSlot(results[static_cast<size_t>(attempt.replica)], id, attempt.arrival_s);
+    size_t slot = find_slot(attempt.replica, id, attempt.arrival_s);
     CHECK_NE(slot, kNoSlot);
     return results[static_cast<size_t>(attempt.replica)].requests[slot];
   };
@@ -943,9 +1254,7 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
       if (dirty.empty()) {
         break;
       }
-      for (int r : dirty) {
-        simulate(r);
-      }
+      simulate_all({dirty.begin(), dirty.end()});
       run_retry_rounds();  // Re-offered attempts can crash like anything else.
     }
   }
@@ -1032,9 +1341,7 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
                               Arg("dst", static_cast<int64_t>(d.dst))});
       }
     }
-    for (int r : dirty_src) {
-      simulate(r);
-    }
+    simulate_all({dirty_src.begin(), dirty_src.end()});
     // Read the actual checkpoint outcomes, then build destination attempts.
     // A request that finished before its planned abort fired is a cancelled
     // failover (nothing moved).
@@ -1133,9 +1440,7 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
         dest_metrics->AddCount("migrations", ready);
       }
     }
-    for (int r : dirty_dst) {
-      simulate(r);
-    }
+    simulate_all({dirty_dst.begin(), dirty_dst.end()});
     run_retry_rounds();  // Destinations can crash like anything else.
   }
 
@@ -1235,9 +1540,7 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
         break;
       }
     }
-    for (int r : dirty) {
-      simulate(r);
-    }
+    simulate_all({dirty.begin(), dirty.end()});
     // First-visible-completion-wins: the far attempt's completion counts at
     // its delivery time (deferred past the window). The loser is cancelled —
     // at the winner's visible completion for the near-side loser; no earlier
@@ -1269,9 +1572,7 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
       sub_request->planned_abort_s = t_cancel;
       dirty_cancel.insert(loser_replica);
     }
-    for (int r : dirty_cancel) {
-      simulate(r);
-    }
+    simulate_all({dirty_cancel.begin(), dirty_cancel.end()});
   }
 
   // ---- Hedged dispatch ----
@@ -1346,8 +1647,8 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
         bool have_target = false;
         for (int r = 0; r < n; ++r) {
           if (r == att.replica || DownAt(r, t_h) || PartitionedAt(r, t_h) ||
-              quarantined_[static_cast<size_t>(r)] || DetectedDegradedAt(r, t_h) ||
-              DetectedUnreachableAt(r, t_h)) {
+              quarantined_[static_cast<size_t>(r)] || !ProvisionedAt(r, t_h) ||
+              DetectedDegradedAt(r, t_h) || DetectedUnreachableAt(r, t_h)) {
             continue;
           }
           have_target = true;
@@ -1385,9 +1686,7 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
         break;
       }
     }
-    for (int r : dirty) {
-      simulate(r);
-    }
+    simulate_all({dirty.begin(), dirty.end()});
     // First-finisher-wins: cancel the loser at the winner's completion (ties
     // go to the primary). When neither attempt ever completes there is
     // nothing to cancel — both outcomes stand and the merge keeps the
@@ -1424,9 +1723,7 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
       sub_request->planned_abort_s = t_win;
       dirty_cancel.insert(loser_replica);
     }
-    for (int r : dirty_cancel) {
-      simulate(r);
-    }
+    simulate_all({dirty_cancel.begin(), dirty_cancel.end()});
   }
 
   // ---- Merge ----
@@ -1475,7 +1772,7 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
     int final_replica = chain.back().replica;
     for (size_t a = 0; a < chain.size(); ++a) {
       SimResult& replica_result = results[static_cast<size_t>(chain[a].replica)];
-      size_t slot = FindAttemptSlot(replica_result, original.id, chain[a].arrival_s);
+      size_t slot = find_slot(chain[a].replica, original.id, chain[a].arrival_s);
       CHECK_NE(slot, kNoSlot);
       consumed[static_cast<size_t>(chain[a].replica)][slot] = true;
       const RequestMetrics& am = replica_result.requests[slot];
@@ -1531,7 +1828,7 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
     if (hedges[i].issued) {
       hedged = 1;
       SimResult& hedge_result = results[static_cast<size_t>(hedges[i].replica)];
-      size_t hslot = FindAttemptSlot(hedge_result, original.id, hedges[i].arrival_s);
+      size_t hslot = find_slot(hedges[i].replica, original.id, hedges[i].arrival_s);
       CHECK_NE(hslot, kNoSlot);
       consumed[static_cast<size_t>(hedges[i].replica)][hslot] = true;
       const RequestMetrics& hm = hedge_result.requests[hslot];
@@ -1565,7 +1862,7 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
     // one stream, and audit the outcome against partition_conservation.
     if (pdups[i].issued) {
       SimResult& dup_result = results[static_cast<size_t>(pdups[i].replica)];
-      size_t dslot = FindAttemptSlot(dup_result, original.id, pdups[i].arrival_s);
+      size_t dslot = find_slot(pdups[i].replica, original.id, pdups[i].arrival_s);
       CHECK_NE(dslot, kNoSlot);
       consumed[static_cast<size_t>(pdups[i].replica)][dslot] = true;
       const RequestMetrics& dm = dup_result.requests[dslot];
@@ -1719,6 +2016,26 @@ SimResult ClusterSimulator::Run(const Trace& trace) {
   merged.slow_start_admits = slow_start_admits_;
   merged.timeout_retries = timeout_retries;
   merged.domains = domain_status;
+  if (autoscale_active_) {
+    merged.autoscale_out = autoscale_out;
+    merged.autoscale_in = autoscale_in;
+    merged.autoscale_events = autoscale_out + autoscale_in;
+    merged.peak_provisioned_replicas = peak_provisioned;
+    // Replica-seconds provisioned: still-open windows run to the end of the
+    // merged timeline. The GPU-seconds proxy scales by the per-replica GPU
+    // count — the number an operator's bill actually tracks.
+    double end_s = std::max(merged.makespan_s, last_arrival);
+    double provisioned_s = 0.0;
+    for (int r = 0; r < n; ++r) {
+      for (const ProvisionWindow& window : provision_windows_[static_cast<size_t>(r)]) {
+        double to_s = std::min(window.to_s, end_s);
+        provisioned_s += std::max(0.0, to_s - std::min(window.from_s, end_s));
+      }
+    }
+    merged.replica_seconds_provisioned = provisioned_s;
+    merged.autoscale_cost_gpu_s =
+        provisioned_s * static_cast<double>(options_.replica.parallel.num_gpus());
+  }
 
   // ---- Post-hoc flight / SLO replay ----
   // Only the merged result is the client-visible timeline, so the shared

@@ -53,6 +53,52 @@
 
 namespace sarathi {
 
+// One provisioned interval of a replica under autoscaling: the replica
+// accepts new work only while some window covers the routing instant. A still
+// -open window has to_s = +infinity; closing a window stops new assignments
+// but lets work already routed there drain (scale-in never kills requests).
+struct ProvisionWindow {
+  double from_s = 0.0;
+  double to_s = 0.0;
+};
+
+// One autoscaler decision: replica `replica` was opened (out) or closed /
+// cancelled (in) at decision time t_s. A scale-out opens the window at
+// t_s + provisioning_lag_s; a scale-in of a still-pending launch cancels it.
+struct ScaleEvent {
+  double t_s = 0.0;
+  int replica = -1;
+  bool out = false;
+};
+
+// Metrics-driven autoscaler over the replica fleet. Enabled when
+// min_replicas >= 1: replicas [0, min_replicas) are provisioned for the whole
+// run (the floor that guarantees the router always has a destination), the
+// rest open and close between min_replicas and ClusterOptions::num_replicas
+// (the ceiling). Decisions are evaluated during the time-ordered arrival
+// pass, at most one step per eval_interval_s, so the provision timeline is a
+// pure function of the trace + options and later retry/failover rounds replay
+// against a fixed schedule — which is what keeps parallel runs deterministic.
+struct AutoscaleOptions {
+  // <= 0 disables autoscaling entirely (every replica always provisioned).
+  int min_replicas = 0;
+  // Scale out when the mean backlog of provisioned replicas (estimated
+  // outstanding work / service rate) exceeds this many seconds.
+  double scale_out_queue_s = 4.0;
+  // Scale in when the mean backlog falls below this many seconds.
+  double scale_in_queue_s = 0.5;
+  // A newly opened replica takes this long to boot before admitting work.
+  double provisioning_lag_s = 30.0;
+  // Optional latency signal: also scale out when the windowed P99 of the
+  // cost-model-predicted TBT of routed arrivals exceeds this bound (<= 0
+  // disables the signal; tbt_window_s is the sliding sample window).
+  double tbt_slo_s = 0.0;
+  double tbt_window_s = 60.0;
+  // Minimum spacing between signal evaluations and between scale decisions.
+  double eval_interval_s = 5.0;
+  double cooldown_s = 30.0;
+};
+
 enum class RoutingPolicy {
   kRoundRobin,
   // Assign to the replica with the least estimated outstanding work: the sum
@@ -172,6 +218,20 @@ struct ClusterOptions {
   // estimated outstanding work is under f x this bound. <= 0 derives
   // backpressure_queue_s when set, else 4 s.
   double slow_start_cap_s = 0.0;
+
+  // ---- Parallel sharded execution ----
+  // Worker count for per-replica simulation. Replicas partition into
+  // contiguous shards (shard of replica r = r * shards / num_replicas); each
+  // round's dirty replicas simulate on a ThreadPool, one task per shard with
+  // its own memoized cost model and invariant checker, and everything merges
+  // back in replica-index order. 1 (default) is the pre-existing serial path;
+  // <= 0 resolves to the hardware concurrency. Results are byte-identical for
+  // every value — see docs/performance.md for the argument.
+  int jobs = 1;
+
+  // ---- Autoscaling ----
+  // Off by default (min_replicas = 0: all num_replicas always provisioned).
+  AutoscaleOptions autoscale;
 };
 
 class ClusterSimulator {
@@ -229,6 +289,20 @@ class ClusterSimulator {
   // The cascade breaker's engaged intervals in the most recent Run.
   const std::vector<CascadeInterval>& cascade_engaged() const { return cascade_engaged_; }
 
+  // Per-replica provisioned windows of the most recent Run. Empty vectors
+  // when autoscaling is off (every replica is then always provisioned).
+  const std::vector<std::vector<ProvisionWindow>>& provision_windows() const {
+    return provision_windows_;
+  }
+
+  // The autoscaler's decisions in the most recent Run, in time order.
+  const std::vector<ScaleEvent>& scale_events() const { return scale_events_; }
+
+  // Aggregated memo statistics of the cluster cost model plus every shard
+  // model, for the cache-parity regression test: parallel runs must keep hit
+  // rates within noise of serial runs.
+  CostCacheStats cost_cache_stats() const;
+
  private:
   struct RouterState {
     std::vector<double> outstanding_tokens;
@@ -250,6 +324,9 @@ class ClusterSimulator {
   // Slow-start admission fraction of `replica` at `t`: 1 when no ramp is
   // active, 0 before its staggered gate opens, the linear ramp in between.
   double SlowStartFractionAt(int replica, double t) const;
+  // True if `replica` is provisioned at time `t` (always true when
+  // autoscaling is off).
+  bool ProvisionedAt(int replica, double t) const;
   // Earliest time >= t at which any replica is up; t itself if one already is.
   double NextHealthyTime(double t) const;
 
@@ -266,10 +343,13 @@ class ClusterSimulator {
 
   ClusterOptions options_;
   // One cost model for the whole cluster, built once at construction: the
-  // service-rate estimate and every (serial) replica simulation — including
+  // service-rate estimate and every serial replica simulation — including
   // retry/failover/hedge re-simulation rounds — share its memo cache instead
-  // of each rebuilding an IterationCostModel per probe.
+  // of each rebuilding an IterationCostModel per probe. Sharded runs use
+  // shard_models_ instead (the memo caches are not thread-safe; cached vs
+  // uncached evaluation is bit-identical, so the split never changes results).
   std::shared_ptr<IterationCostModel> cost_model_;
+  std::vector<std::shared_ptr<IterationCostModel>> shard_models_;
   double service_rate_;
   std::vector<int> assignment_;
   std::vector<std::vector<ReplicaOutage>> outage_schedules_;
@@ -291,6 +371,18 @@ class ClusterSimulator {
   // Routing decisions of the most recent Run that avoided a backpressured
   // replica (reset per Run, reported as SimResult::num_backpressure_skips).
   int64_t backpressure_skips_ = 0;
+  // ---- Autoscaler state (rebuilt per Run) ----
+  bool autoscale_active_ = false;
+  std::vector<std::vector<ProvisionWindow>> provision_windows_;
+  std::vector<ScaleEvent> scale_events_;
+  // O(1) routing fast path: valid while no fault/detection signal exists, the
+  // policy is round-robin, and neither backpressure nor slow-start gating is
+  // configured — every Route() call then reduces to advancing the cursor over
+  // the (contiguous) provisioned prefix. open_replicas_ tracks that prefix
+  // length during the arrival pass; the flag drops to requiring
+  // !autoscale_active_ afterwards (see Run).
+  bool fast_route_ = false;
+  int open_replicas_ = 0;
 };
 
 }  // namespace sarathi

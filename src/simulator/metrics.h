@@ -216,6 +216,20 @@ struct SimResult {
   // Per-domain breakdown; empty when no failure domains are configured.
   std::vector<DomainStatus> domains;
 
+  // ---- Autoscaling accounting ----
+  // Scale decisions (out = opened launches, in = closed or cancelled), the
+  // peak number of concurrently provisioned replicas, replica-seconds
+  // provisioned over the run, and the GPU-seconds cost proxy (replica-
+  // seconds x GPUs per replica — what the fleet bill tracks). All zero when
+  // autoscaling is off; peak_provisioned_replicas > 0 marks an autoscaled
+  // run, which is what gates the extra telemetry aggregate rows.
+  int64_t autoscale_events = 0;
+  int64_t autoscale_out = 0;
+  int64_t autoscale_in = 0;
+  int64_t peak_provisioned_replicas = 0;
+  double replica_seconds_provisioned = 0.0;
+  double autoscale_cost_gpu_s = 0.0;
+
   // FLOPs / bytes accounting for Model FLOPs & Bandwidth Utilization (§3.1).
   double total_flops = 0.0;
   double peak_flops = 0.0;  // Aggregate device peak (all GPUs).

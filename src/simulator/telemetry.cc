@@ -129,6 +129,17 @@ void WriteAggregateCsv(const SimResult& result, std::ostream& out) {
   out << "cascade_engaged_s," << result.cascade_engaged_s << '\n';
   out << "slow_start_admits," << result.slow_start_admits << '\n';
   out << "timeout_retries," << result.timeout_retries << '\n';
+  // Autoscale rows appear only for autoscaled runs, mirroring the
+  // domains.csv pattern: runs without the feature keep producing exactly the
+  // bytes they always did.
+  if (result.peak_provisioned_replicas > 0) {
+    out << "autoscale_events," << result.autoscale_events << '\n';
+    out << "autoscale_out," << result.autoscale_out << '\n';
+    out << "autoscale_in," << result.autoscale_in << '\n';
+    out << "peak_provisioned_replicas," << result.peak_provisioned_replicas << '\n';
+    out << "replica_seconds_provisioned," << result.replica_seconds_provisioned << '\n';
+    out << "autoscale_cost_gpu_s," << result.autoscale_cost_gpu_s << '\n';
+  }
 }
 
 void WriteDomainStatusCsv(const SimResult& result, std::ostream& out) {

@@ -74,6 +74,23 @@ void InvariantChecker::AddViolation(Invariant invariant, int64_t request_id,
   }
 }
 
+void InvariantChecker::MergeFrom(const InvariantChecker& other) {
+  for (const Violation& violation : other.violations_) {
+    if (static_cast<int64_t>(violations_.size()) < options_.max_violations) {
+      violations_.push_back(violation);
+    }
+  }
+  total_violations_ += other.total_violations_;
+  total_iterations_ += other.total_iterations_;
+  runs_ += other.runs_;
+  if (!other.run_label_.empty()) {
+    // Adopt the last run label so violations recorded after the merge (e.g.
+    // partition-reconcile checks driven from the router) are tagged exactly
+    // as a serial run would have tagged them.
+    run_label_ = other.run_label_;
+  }
+}
+
 void InvariantChecker::CheckPartitionReconcile(const PartitionReconcile& reconcile) {
   const int64_t id = reconcile.request_id;
   // Exactly one completion: whenever both attempts ran to completion, the

@@ -190,6 +190,18 @@ class InvariantChecker final : public VerifyHook {
   int64_t total_violations() const { return total_violations_; }
   int64_t iterations_checked() const { return total_iterations_; }
   int64_t runs_checked() const { return runs_; }
+  const Options& options() const { return options_; }
+
+  // Folds another checker's accumulated results into this one: retained
+  // violations append in the other checker's order (subject to this checker's
+  // max_violations cap), and the violation/iteration/run totals add. The
+  // sharded cluster engine gives every shard its own checker with the same
+  // cap, then merges them back in replica-index order — because each shard
+  // appends its violations in replica order and caps at the destination's
+  // limit, the merged retained list is byte-identical to what one shared
+  // checker would have accumulated serially. Per-run shadow state is not
+  // merged (the other checker must have closed its runs via EndRun).
+  void MergeFrom(const InvariantChecker& other);
 
   // Multi-line report: per-invariant counts plus every retained violation.
   std::string Report() const;

@@ -1,0 +1,124 @@
+#include "src/workload/diurnal.h"
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/common/rng.h"
+
+namespace sarathi {
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+// Lewis-Shedler thinning: draw candidate arrivals from a homogeneous Poisson
+// process at the envelope rate max_rate, keep each candidate at time t with
+// probability rate(t) / max_rate. The survivors are an exact draw from the
+// non-homogeneous process with intensity rate(t), already sorted in time.
+std::vector<double> ThinnedArrivals(double max_rate, double duration_s, Rng& rng,
+                                    const std::function<double(double)>& rate) {
+  std::vector<double> arrivals;
+  arrivals.reserve(static_cast<size_t>(max_rate * duration_s * 0.75) + 16);
+  double t = 0.0;
+  for (;;) {
+    t += rng.Exponential(max_rate);
+    if (t >= duration_s) {
+      break;
+    }
+    if (rng.Uniform(0.0, 1.0) * max_rate < rate(t)) {
+      arrivals.push_back(t);
+    }
+  }
+  return arrivals;
+}
+
+Trace BuildTrace(const char* name, std::vector<double> arrivals, Rng& rng,
+                 const DatasetSpec* dataset, int64_t prompt_tokens,
+                 int64_t output_tokens) {
+  Trace trace;
+  trace.name = name;
+  trace.requests.reserve(arrivals.size());
+  for (size_t i = 0; i < arrivals.size(); ++i) {
+    Request request;
+    request.id = static_cast<int64_t>(i);
+    request.arrival_time_s = arrivals[i];
+    if (dataset != nullptr) {
+      RequestShape shape = SampleShape(*dataset, rng);
+      request.prompt_tokens = shape.prompt_tokens;
+      request.output_tokens = shape.output_tokens;
+    } else {
+      request.prompt_tokens = prompt_tokens;
+      request.output_tokens = output_tokens;
+    }
+    trace.requests.push_back(request);
+  }
+  return trace;
+}
+
+std::vector<double> DiurnalArrivals(const DiurnalOptions& options, Rng& rng) {
+  CHECK_GT(options.mean_qps, 0.0);
+  CHECK_GT(options.duration_s, 0.0);
+  CHECK_GE(options.peak_to_trough, 1.0);
+  CHECK_GT(options.period_s, 0.0);
+  double amplitude =
+      (options.peak_to_trough - 1.0) / (options.peak_to_trough + 1.0);
+  double max_rate = options.mean_qps * (1.0 + amplitude);
+  auto rate = [&options, amplitude](double t) {
+    return options.mean_qps *
+           (1.0 + amplitude *
+                      std::cos(kTwoPi * (t - options.peak_at_s) / options.period_s));
+  };
+  return ThinnedArrivals(max_rate, options.duration_s, rng, rate);
+}
+
+std::vector<double> FlashArrivals(const FlashCrowdOptions& options, Rng& rng) {
+  CHECK_GT(options.base_qps, 0.0);
+  CHECK_GT(options.duration_s, 0.0);
+  CHECK_GE(options.flash_mult, 1.0);
+  CHECK_GE(options.flash_duration_s, 0.0);
+  double max_rate = options.base_qps * options.flash_mult;
+  auto rate = [&options](double t) {
+    bool in_flash = t >= options.flash_at_s &&
+                    t < options.flash_at_s + options.flash_duration_s;
+    return in_flash ? options.base_qps * options.flash_mult : options.base_qps;
+  };
+  return ThinnedArrivals(max_rate, options.duration_s, rng, rate);
+}
+
+}  // namespace
+
+Trace GenerateDiurnalTrace(const DatasetSpec& dataset, const DiurnalOptions& options) {
+  Rng rng(options.seed);
+  std::vector<double> arrivals = DiurnalArrivals(options, rng);
+  return BuildTrace("diurnal", std::move(arrivals), rng, &dataset, 0, 0);
+}
+
+Trace GenerateFlashCrowdTrace(const DatasetSpec& dataset,
+                              const FlashCrowdOptions& options) {
+  Rng rng(options.seed);
+  std::vector<double> arrivals = FlashArrivals(options, rng);
+  return BuildTrace("flash", std::move(arrivals), rng, &dataset, 0, 0);
+}
+
+Trace UniformDiurnalTrace(const DiurnalOptions& options, int64_t prompt_tokens,
+                          int64_t output_tokens) {
+  CHECK_GT(prompt_tokens, 0);
+  CHECK_GT(output_tokens, 0);
+  Rng rng(options.seed);
+  std::vector<double> arrivals = DiurnalArrivals(options, rng);
+  return BuildTrace("diurnal", std::move(arrivals), rng, nullptr, prompt_tokens,
+                    output_tokens);
+}
+
+Trace UniformFlashCrowdTrace(const FlashCrowdOptions& options, int64_t prompt_tokens,
+                             int64_t output_tokens) {
+  CHECK_GT(prompt_tokens, 0);
+  CHECK_GT(output_tokens, 0);
+  Rng rng(options.seed);
+  std::vector<double> arrivals = FlashArrivals(options, rng);
+  return BuildTrace("flash", std::move(arrivals), rng, nullptr, prompt_tokens,
+                    output_tokens);
+}
+
+}  // namespace sarathi

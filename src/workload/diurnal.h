@@ -1,0 +1,70 @@
+// Time-varying arrival processes: diurnal (sinusoidal day/night) and flash
+// crowd (rectangular spike) traffic shapes for autoscaler and capacity
+// studies. Both are non-homogeneous Poisson processes sampled by
+// Lewis-Shedler thinning, so arrivals are exact (not binned) and generated in
+// nondecreasing time order — the cluster driver's sorted-insert stays O(1)
+// per request.
+
+#ifndef SRC_WORKLOAD_DIURNAL_H_
+#define SRC_WORKLOAD_DIURNAL_H_
+
+#include <cstdint>
+
+#include "src/workload/dataset.h"
+#include "src/workload/trace.h"
+
+namespace sarathi {
+
+// Sinusoidal rate profile around a mean:
+//
+//   rate(t) = mean_qps * (1 + a * cos(2 * pi * (t - peak_at_s) / period_s))
+//
+// where a = (ptt - 1) / (ptt + 1) maps a peak-to-trough ratio `ptt` onto the
+// modulation amplitude (ptt = 1 degenerates to homogeneous Poisson, ptt -> inf
+// approaches full on/off). The trace spans [0, duration_s); request count is
+// whatever the process yields, roughly mean_qps * duration_s.
+struct DiurnalOptions {
+  double mean_qps = 10.0;
+  double duration_s = 86400.0;
+  // Peak rate divided by trough rate; must be >= 1.
+  double peak_to_trough = 4.0;
+  // One full day by default; shorter periods compress several "days" into the
+  // duration for quicker tests.
+  double period_s = 86400.0;
+  // Time of the first rate peak.
+  double peak_at_s = 43200.0;
+  uint64_t seed = 42;
+};
+
+// Rectangular spike on a flat baseline:
+//
+//   rate(t) = base_qps * flash_mult   for t in [flash_at_s, flash_at_s + flash_duration_s)
+//   rate(t) = base_qps               otherwise
+//
+// models a flash crowd (breaking news, a retry storm from a downstream
+// outage) hitting a steady service — the autoscaler's worst case, since the
+// ramp is instantaneous while provisioning is not.
+struct FlashCrowdOptions {
+  double base_qps = 10.0;
+  double duration_s = 3600.0;
+  double flash_at_s = 1200.0;
+  double flash_duration_s = 300.0;
+  // Spike rate as a multiple of base_qps; must be >= 1.
+  double flash_mult = 8.0;
+  uint64_t seed = 42;
+};
+
+// Samples request shapes from `dataset` and lays arrivals out per `options`.
+Trace GenerateDiurnalTrace(const DatasetSpec& dataset, const DiurnalOptions& options);
+Trace GenerateFlashCrowdTrace(const DatasetSpec& dataset, const FlashCrowdOptions& options);
+
+// Fixed-shape variants (every request is prompt_tokens/output_tokens) —
+// deterministic-length fixtures for tests and cost-bounded megafleet benches.
+Trace UniformDiurnalTrace(const DiurnalOptions& options, int64_t prompt_tokens,
+                          int64_t output_tokens);
+Trace UniformFlashCrowdTrace(const FlashCrowdOptions& options, int64_t prompt_tokens,
+                             int64_t output_tokens);
+
+}  // namespace sarathi
+
+#endif  // SRC_WORKLOAD_DIURNAL_H_

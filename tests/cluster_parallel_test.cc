@@ -1,0 +1,462 @@
+// Tests for the sharded parallel cluster engine, the metrics-driven
+// autoscaler, and the time-varying arrival generators.
+//
+// The core contract under test: --jobs is a pure performance knob. For any
+// worker count the cluster simulator must produce byte-identical telemetry
+// CSVs, flight-recorder dumps, and invariant-checker event streams — across
+// plain fault runs, forced cascades, and prefix-cache workloads. The
+// autoscaler must be deterministic, respect its floor, honor provisioning
+// lag, and both scale out under load and scale back in when it drains.
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/thread_pool.h"
+#include "src/core/serving_system.h"
+#include "src/obs/flight_recorder.h"
+#include "src/simulator/cluster_simulator.h"
+#include "src/simulator/telemetry.h"
+#include "src/verify/invariant_checker.h"
+#include "src/workload/diurnal.h"
+#include "src/workload/session_trace.h"
+#include "src/workload/trace.h"
+
+namespace sarathi {
+namespace {
+
+std::string Fingerprint(const SimResult& result) {
+  std::ostringstream out;
+  WriteRequestMetricsCsv(result, out);
+  WriteAggregateCsv(result, out);
+  WriteIterationLogCsv(result, out);
+  WriteTbtSamplesCsv(result, out);
+  WriteDomainStatusCsv(result, out);
+  return out.str();
+}
+
+std::string FlightDump(const FlightRecorder& flight) {
+  std::ostringstream out;
+  flight.WriteChromeTraceJson(out);
+  return out.str();
+}
+
+Trace FaultyTrace(uint64_t seed) {
+  DatasetSpec dataset = OpenChatShareGpt4();
+  TraceOptions options;
+  options.num_requests = 48;
+  options.qps = 20.0;
+  options.seed = seed;
+  Trace trace = GenerateTrace(dataset, options);
+  for (Request& r : trace.requests) {
+    r.prompt_tokens = std::min<int64_t>(r.prompt_tokens, 1024);
+    r.output_tokens = std::min<int64_t>(r.output_tokens, 256);
+  }
+  return trace;
+}
+
+SimulatorOptions ReplicaOptions() {
+  Deployment deployment = MistralOnA100();
+  SimulatorOptions options;
+  options.model = deployment.model;
+  options.cluster = deployment.cluster;
+  options.parallel = deployment.parallel;
+  options.scheduler = SarathiConfig(256, 8);
+  options.kv_capacity_tokens = 8192;
+  options.kv_max_seq_len = 4096;
+  options.record_iterations = true;
+  return options;
+}
+
+// A cluster with crashes, client timeouts, and shedding — the bread-and-
+// butter fault configuration the serial engine has always run.
+ClusterOptions FaultyCluster(int replicas) {
+  ClusterOptions options;
+  options.replica = ReplicaOptions();
+  options.num_replicas = replicas;
+  options.routing = RoutingPolicy::kLeastOutstandingWork;
+  options.faults.seed = 9;
+  options.faults.mtbf_s = 6.0;
+  options.faults.mttr_s = 1.0;
+  options.faults.min_outage_s = 0.25;
+  options.faults.request_timeout_probability = 0.25;
+  options.faults.request_timeout_s = 6.0;
+  options.shed_outstanding_s = 20.0;
+  return options;
+}
+
+// Correlated domain faults with partitions, the cascade breaker, slow-start
+// re-admission, and timeout retries all on: the most entangled shared-state
+// path the router has (matches sarathi_fuzz --force-cascade).
+ClusterOptions CascadeCluster(int replicas) {
+  ClusterOptions options;
+  options.replica = ReplicaOptions();
+  options.num_replicas = replicas;
+  options.routing = RoutingPolicy::kLeastOutstandingWork;
+  options.faults.seed = 13;
+  options.faults.num_domains = 2;
+  options.faults.domain_mtbf_s = 4.0;
+  options.faults.domain_mttr_s = 1.0;
+  options.faults.min_domain_outage_s = 0.5;
+  options.faults.domain_partition_fraction = 0.5;
+  options.faults.request_timeout_probability = 0.2;
+  options.faults.request_timeout_s = 5.0;
+  options.timeout_retry_max = 2;
+  options.timeout_retry_backoff_s = 0.5;
+  options.cascade.enabled = true;
+  options.slow_start.enabled = true;
+  options.slow_start.ramp_s = 2.0;
+  return options;
+}
+
+// ---------- jobs=1 vs jobs=8 byte-identity ----------
+
+TEST(ClusterParallelTest, FaultyRunsAreIdenticalAcrossJobCounts) {
+  for (uint64_t seed : {11u, 29u, 47u}) {
+    Trace trace = FaultyTrace(seed);
+    ClusterOptions options = FaultyCluster(3);
+    options.jobs = 1;
+    std::string serial = Fingerprint(ClusterSimulator(options).Run(trace));
+    options.jobs = 8;
+    std::string parallel = Fingerprint(ClusterSimulator(options).Run(trace));
+    ASSERT_FALSE(serial.empty());
+    EXPECT_EQ(serial, parallel) << "seed " << seed;
+  }
+}
+
+TEST(ClusterParallelTest, ForcedCascadeRunsAreIdenticalAcrossJobCounts) {
+  for (uint64_t seed : {7u, 21u}) {
+    Trace trace = FaultyTrace(seed);
+    ClusterOptions options = CascadeCluster(4);
+    options.jobs = 1;
+    std::string serial = Fingerprint(ClusterSimulator(options).Run(trace));
+    options.jobs = 8;
+    std::string parallel = Fingerprint(ClusterSimulator(options).Run(trace));
+    ASSERT_FALSE(serial.empty());
+    EXPECT_EQ(serial, parallel) << "seed " << seed;
+  }
+}
+
+// Prefix-cache cluster runs: kPagedCached with real token identity plus
+// crashes, so retried trace copies share token_ids across shards.
+TEST(ClusterParallelTest, ForcedPrefixRunsAreIdenticalAcrossJobCounts) {
+  MultiTurnChatOptions chat;
+  chat.num_sessions = 12;
+  chat.start_qps = 1.0;
+  chat.max_context = 3072;
+  Trace trace = GenerateMultiTurnChatTrace(chat);
+  Deployment deployment = YiOnA100Tp2();  // No sliding window: cache sticks.
+  ClusterOptions options = FaultyCluster(3);
+  options.replica.model = deployment.model;
+  options.replica.cluster = deployment.cluster;
+  options.replica.parallel = deployment.parallel;
+  options.replica.allocator_kind = AllocatorKind::kPagedCached;
+  options.jobs = 1;
+  SimResult serial_result = ClusterSimulator(options).Run(trace);
+  EXPECT_GT(serial_result.prefix_hits, 0) << "cache never engaged";
+  std::string serial = Fingerprint(serial_result);
+  options.jobs = 8;
+  std::string parallel = Fingerprint(ClusterSimulator(options).Run(trace));
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ClusterParallelTest, FlightDumpsAreIdenticalAcrossJobCounts) {
+  Trace trace = FaultyTrace(17);
+  ClusterOptions options = FaultyCluster(3);
+  FlightRecorder serial_flight;
+  options.replica.flight = &serial_flight;
+  options.jobs = 1;
+  std::string serial = Fingerprint(ClusterSimulator(options).Run(trace));
+  FlightRecorder parallel_flight;
+  options.replica.flight = &parallel_flight;
+  options.jobs = 8;
+  std::string parallel = Fingerprint(ClusterSimulator(options).Run(trace));
+  EXPECT_EQ(serial, parallel);
+  EXPECT_GT(serial_flight.total_recorded(), 0);
+  EXPECT_EQ(FlightDump(serial_flight), FlightDump(parallel_flight));
+}
+
+// The invariant checker stays on in parallel runs: per-shard checkers are
+// merged back in replica order, so the retained violation stream, counters,
+// and rendered report all match the serial run — and a clean run stays clean.
+TEST(ClusterParallelTest, CheckerStreamsAreIdenticalAcrossJobCountsAndClean) {
+  Trace trace = FaultyTrace(23);
+  ClusterOptions options = CascadeCluster(4);
+  InvariantChecker serial_checker;
+  options.replica.checker = &serial_checker;
+  options.jobs = 1;
+  std::string serial = Fingerprint(ClusterSimulator(options).Run(trace));
+  InvariantChecker parallel_checker;
+  options.replica.checker = &parallel_checker;
+  options.jobs = 8;
+  std::string parallel = Fingerprint(ClusterSimulator(options).Run(trace));
+  EXPECT_EQ(serial, parallel);
+  EXPECT_GT(parallel_checker.iterations_checked(), 0);
+  EXPECT_EQ(serial_checker.iterations_checked(), parallel_checker.iterations_checked());
+  EXPECT_EQ(serial_checker.total_violations(), parallel_checker.total_violations());
+  EXPECT_EQ(serial_checker.Report(), parallel_checker.Report());
+  EXPECT_TRUE(parallel_checker.ok()) << parallel_checker.Report();
+}
+
+// Autoscaled runs shard like any other: scale decisions are made from
+// arrival-time signals before any replica simulates, so the provision
+// timeline — and everything downstream — is identical for any job count.
+TEST(ClusterParallelTest, AutoscaledRunsAreIdenticalAcrossJobCounts) {
+  FlashCrowdOptions flash;
+  flash.base_qps = 8.0;
+  flash.duration_s = 60.0;
+  flash.flash_at_s = 10.0;
+  flash.flash_duration_s = 15.0;
+  flash.flash_mult = 10.0;
+  flash.seed = 3;
+  Trace trace = UniformFlashCrowdTrace(flash, 256, 64);
+  ClusterOptions options = FaultyCluster(6);
+  options.autoscale.min_replicas = 2;
+  options.autoscale.provisioning_lag_s = 2.0;
+  options.autoscale.scale_out_queue_s = 1.0;
+  options.autoscale.scale_in_queue_s = 0.2;
+  options.autoscale.eval_interval_s = 1.0;
+  options.autoscale.cooldown_s = 2.0;
+  options.jobs = 1;
+  SimResult serial_result = ClusterSimulator(options).Run(trace);
+  std::string serial = Fingerprint(serial_result);
+  options.jobs = 8;
+  SimResult parallel_result = ClusterSimulator(options).Run(trace);
+  EXPECT_GT(serial_result.autoscale_out, 0);
+  EXPECT_EQ(serial, Fingerprint(parallel_result));
+}
+
+// ---------- per-shard cost-model memoization ----------
+
+// Sharding splits the memo cache per worker, which costs at most a few extra
+// cold misses per shard; the hit rate must stay within noise of serial.
+TEST(ClusterParallelTest, ParallelCostCacheHitRateMatchesSerial) {
+  Trace trace = FaultyTrace(31);
+  ClusterOptions options = FaultyCluster(4);
+  options.jobs = 1;
+  ClusterSimulator serial_sim(options);
+  serial_sim.Run(trace);
+  CostCacheStats serial = serial_sim.cost_cache_stats();
+  ASSERT_GT(serial.Hits() + serial.Misses(), 0);
+  double serial_rate = static_cast<double>(serial.Hits()) /
+                       static_cast<double>(serial.Hits() + serial.Misses());
+  options.jobs = 8;
+  ClusterSimulator parallel_sim(options);
+  parallel_sim.Run(trace);
+  CostCacheStats parallel = parallel_sim.cost_cache_stats();
+  double parallel_rate = static_cast<double>(parallel.Hits()) /
+                         static_cast<double>(parallel.Hits() + parallel.Misses());
+  // Raw event counts differ slightly (a shape-cache miss falls back to the
+  // linear caches, so cold misses cascade), but the hit rate must not move.
+  EXPECT_NEAR(serial_rate, parallel_rate, 0.02);
+}
+
+// ---------- autoscaler ----------
+
+Trace AutoscaleTrace() {
+  FlashCrowdOptions flash;
+  flash.base_qps = 5.0;
+  flash.duration_s = 120.0;
+  flash.flash_at_s = 20.0;
+  flash.flash_duration_s = 20.0;
+  flash.flash_mult = 20.0;
+  flash.seed = 5;
+  return UniformFlashCrowdTrace(flash, 256, 64);
+}
+
+ClusterOptions AutoscaleCluster(int replicas) {
+  ClusterOptions options;
+  options.replica = ReplicaOptions();
+  options.num_replicas = replicas;
+  options.routing = RoutingPolicy::kLeastOutstandingWork;
+  options.autoscale.min_replicas = 1;
+  options.autoscale.provisioning_lag_s = 2.0;
+  options.autoscale.scale_out_queue_s = 0.5;
+  options.autoscale.scale_in_queue_s = 0.1;
+  options.autoscale.eval_interval_s = 1.0;
+  options.autoscale.cooldown_s = 2.0;
+  return options;
+}
+
+TEST(AutoscalerTest, ScalesOutUnderLoadAndBackInWhenItDrains) {
+  Trace trace = AutoscaleTrace();
+  ClusterSimulator simulator(AutoscaleCluster(8));
+  SimResult result = simulator.Run(trace);
+  EXPECT_GT(result.autoscale_out, 0);
+  EXPECT_GT(result.autoscale_in, 0);
+  EXPECT_EQ(result.autoscale_events, result.autoscale_out + result.autoscale_in);
+  EXPECT_GT(result.peak_provisioned_replicas, 1);
+  // The whole point: the flash was absorbed without paying for 8 replicas
+  // all day.
+  EXPECT_LT(result.replica_seconds_provisioned, 8.0 * result.makespan_s);
+  EXPECT_GT(result.replica_seconds_provisioned, 0.0);
+  EXPECT_EQ(result.autoscale_cost_gpu_s, result.replica_seconds_provisioned);
+}
+
+TEST(AutoscalerTest, FloorReplicasAreProvisionedForever) {
+  ClusterOptions options = AutoscaleCluster(6);
+  options.autoscale.min_replicas = 2;
+  ClusterSimulator simulator(options);
+  simulator.Run(AutoscaleTrace());
+  const auto& windows = simulator.provision_windows();
+  ASSERT_EQ(windows.size(), 6u);
+  for (int r = 0; r < 2; ++r) {
+    ASSERT_EQ(windows[static_cast<size_t>(r)].size(), 1u);
+    EXPECT_EQ(windows[static_cast<size_t>(r)][0].from_s, 0.0);
+    EXPECT_TRUE(std::isinf(windows[static_cast<size_t>(r)][0].to_s));
+  }
+  // No scale event ever touches a floor replica.
+  for (const ScaleEvent& event : simulator.scale_events()) {
+    EXPECT_GE(event.replica, 2);
+  }
+}
+
+TEST(AutoscalerTest, ScaleOutHonorsProvisioningLag) {
+  ClusterOptions options = AutoscaleCluster(8);
+  ClusterSimulator simulator(options);
+  simulator.Run(AutoscaleTrace());
+  const auto& windows = simulator.provision_windows();
+  int scale_outs = 0;
+  for (const ScaleEvent& event : simulator.scale_events()) {
+    if (!event.out) {
+      continue;
+    }
+    ++scale_outs;
+    // The decision at t opens the replica's window at t + lag, never before.
+    bool found = false;
+    for (const ProvisionWindow& window : windows[static_cast<size_t>(event.replica)]) {
+      if (std::abs(window.from_s - (event.t_s + 2.0)) < 1e-9) {
+        found = true;
+      }
+      EXPECT_GE(window.from_s, event.t_s);
+    }
+    EXPECT_TRUE(found) << "no window opening at decision + lag for replica "
+                       << event.replica;
+  }
+  EXPECT_GT(scale_outs, 0);
+}
+
+TEST(AutoscalerTest, RepeatedRunsAreDeterministic) {
+  Trace trace = AutoscaleTrace();
+  ClusterOptions options = AutoscaleCluster(8);
+  std::string first = Fingerprint(ClusterSimulator(options).Run(trace));
+  std::string second = Fingerprint(ClusterSimulator(options).Run(trace));
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+// Knobs off: no autoscale state leaks into results or telemetry. The
+// aggregate CSV must not even contain the autoscale rows.
+TEST(AutoscalerTest, DisabledAutoscalerLeavesResultsUntouched) {
+  Trace trace = FaultyTrace(41);
+  ClusterOptions options = FaultyCluster(3);
+  SimResult result = ClusterSimulator(options).Run(trace);
+  EXPECT_EQ(result.autoscale_events, 0);
+  EXPECT_EQ(result.peak_provisioned_replicas, 0);
+  EXPECT_EQ(result.replica_seconds_provisioned, 0.0);
+  std::ostringstream aggregate;
+  WriteAggregateCsv(result, aggregate);
+  EXPECT_EQ(aggregate.str().find("autoscale"), std::string::npos);
+}
+
+// The windowed-P99-TBT signal scales out even when queue depth alone would
+// not: a TBT SLO of ~0 makes every sample a breach, so the first evaluation
+// past the window warm-up must open a replica.
+TEST(AutoscalerTest, PredictedTbtSignalTriggersScaleOut) {
+  Trace trace = AutoscaleTrace();
+  ClusterOptions options = AutoscaleCluster(4);
+  options.autoscale.scale_out_queue_s = 1e9;  // Queue signal effectively off.
+  options.autoscale.tbt_slo_s = 1e-6;
+  ClusterSimulator simulator(options);
+  SimResult result = simulator.Run(trace);
+  EXPECT_GT(result.autoscale_out, 0);
+}
+
+// ---------- diurnal and flash-crowd generators ----------
+
+TEST(DiurnalTraceTest, ArrivalsAreSortedDeterministicAndRateFollowsTheSine) {
+  DiurnalOptions options;
+  options.mean_qps = 50.0;
+  options.duration_s = 2000.0;
+  options.peak_to_trough = 9.0;  // amplitude a = 0.8
+  options.period_s = 2000.0;
+  options.peak_at_s = 500.0;
+  options.seed = 7;
+  Trace trace = UniformDiurnalTrace(options, 128, 32);
+  ASSERT_FALSE(trace.empty());
+  for (size_t i = 1; i < trace.requests.size(); ++i) {
+    EXPECT_GE(trace.requests[i].arrival_time_s, trace.requests[i - 1].arrival_time_s);
+    EXPECT_EQ(trace.requests[i].id, static_cast<int64_t>(i));
+  }
+  // Total mass ~ mean_qps * duration.
+  double expected = options.mean_qps * options.duration_s;
+  EXPECT_NEAR(static_cast<double>(trace.size()), expected, 0.1 * expected);
+  // The half-period around the peak must carry far more arrivals than the
+  // half around the trough (rate ratio there is 9:1).
+  int64_t near_peak = 0;
+  int64_t near_trough = 0;
+  for (const Request& r : trace.requests) {
+    if (r.arrival_time_s >= 0.0 && r.arrival_time_s < 1000.0) {
+      ++near_peak;
+    } else {
+      ++near_trough;
+    }
+  }
+  EXPECT_GT(near_peak, 2 * near_trough);
+  // Same seed reproduces; a different seed diverges.
+  Trace again = UniformDiurnalTrace(options, 128, 32);
+  ASSERT_EQ(trace.size(), again.size());
+  EXPECT_EQ(trace.requests[7].arrival_time_s, again.requests[7].arrival_time_s);
+  options.seed = 8;
+  Trace other = UniformDiurnalTrace(options, 128, 32);
+  EXPECT_TRUE(other.size() != trace.size() ||
+              other.requests[7].arrival_time_s != trace.requests[7].arrival_time_s);
+}
+
+TEST(DiurnalTraceTest, PeakToTroughOfOneIsHomogeneous) {
+  DiurnalOptions options;
+  options.mean_qps = 20.0;
+  options.duration_s = 500.0;
+  options.peak_to_trough = 1.0;  // Degenerates to plain Poisson.
+  options.period_s = 100.0;
+  options.seed = 11;
+  Trace trace = UniformDiurnalTrace(options, 64, 16);
+  double expected = options.mean_qps * options.duration_s;
+  EXPECT_NEAR(static_cast<double>(trace.size()), expected, 0.1 * expected);
+}
+
+TEST(FlashCrowdTraceTest, SpikeWindowCarriesTheMultiplier) {
+  FlashCrowdOptions options;
+  options.base_qps = 10.0;
+  options.duration_s = 1000.0;
+  options.flash_at_s = 400.0;
+  options.flash_duration_s = 100.0;
+  options.flash_mult = 10.0;
+  options.seed = 19;
+  Trace trace = UniformFlashCrowdTrace(options, 128, 32);
+  ASSERT_FALSE(trace.empty());
+  for (size_t i = 1; i < trace.requests.size(); ++i) {
+    EXPECT_GE(trace.requests[i].arrival_time_s, trace.requests[i - 1].arrival_time_s);
+  }
+  int64_t in_flash = 0;
+  for (const Request& r : trace.requests) {
+    if (r.arrival_time_s >= 400.0 && r.arrival_time_s < 500.0) {
+      ++in_flash;
+    }
+  }
+  int64_t outside = static_cast<int64_t>(trace.size()) - in_flash;
+  // Expected: 10k arrivals inside the 100 s spike, 9k over the other 900 s.
+  EXPECT_NEAR(static_cast<double>(in_flash), 10000.0, 1000.0);
+  EXPECT_NEAR(static_cast<double>(outside), 9000.0, 900.0);
+  // Dataset-sampled variant shares the arrival process.
+  Trace sampled = GenerateFlashCrowdTrace(OpenChatShareGpt4(), options);
+  ASSERT_EQ(sampled.size(), trace.size());
+  EXPECT_EQ(sampled.requests[3].arrival_time_s, trace.requests[3].arrival_time_s);
+}
+
+}  // namespace
+}  // namespace sarathi

@@ -25,6 +25,29 @@ TEST(ResolveJobsTest, NonPositiveMeansHardwareConcurrency) {
   EXPECT_EQ(ResolveJobs(-3), resolved);
 }
 
+TEST(RunsInlineTest, SingleJobAlwaysRunsInline) {
+  EXPECT_TRUE(RunsInline(1));
+  EXPECT_TRUE(RunsInline(0));
+  EXPECT_TRUE(RunsInline(-2));
+}
+
+TEST(RunsInlineTest, MultiJobInlinesOnlyOnSingleCoreHosts) {
+  // On a multi-core host RunMany(2, ...) uses the pool; on a single-core host
+  // a pool can only slow things down, so everything runs inline.
+  EXPECT_EQ(RunsInline(2), std::thread::hardware_concurrency() < 2);
+  EXPECT_EQ(RunsInline(16), std::thread::hardware_concurrency() < 2);
+}
+
+TEST(RunsInlineTest, InlineExecutionStaysOnTheCallingThread) {
+  std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> ids = RunMany(1, 8, [](int64_t) {
+    return std::this_thread::get_id();
+  });
+  for (const std::thread::id& id : ids) {
+    EXPECT_EQ(id, caller);
+  }
+}
+
 TEST(ThreadPoolTest, RunsEverySubmittedTask) {
   ThreadPool pool(4);
   std::atomic<int> count{0};

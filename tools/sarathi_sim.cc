@@ -25,6 +25,7 @@
 #include "src/simulator/cluster_simulator.h"
 #include "src/simulator/telemetry.h"
 #include "src/workload/conversation.h"
+#include "src/workload/diurnal.h"
 #include "src/workload/trace_io.h"
 
 namespace sarathi {
@@ -45,9 +46,34 @@ Workload (pick one):
       (conversations: multi-turn rounds; --qps sets conversation starts/s)
   --trace=PATH                         load a CSV trace (see trace_io.h)
   --save-trace=PATH                    also save the generated trace
+Traffic shape (non-homogeneous arrivals; --qps sets the mean/base rate):
+  --trace-shape=diurnal|flash          sinusoidal day/night or flash-crowd spike
+  --duration=S                         trace span in seconds (default 86400
+                                       diurnal, 3600 flash); request count
+                                       follows from the rate, not --requests
+  --peak-to-trough=R --period=S        diurnal modulation depth and period
+  --peak-at=S                          time of the first diurnal peak
+  --flash-at=S --flash-duration=S      flash-crowd spike window
+  --flash-mult=M                       spike rate as a multiple of --qps
+  --prompt=N --output=N                fixed request shape instead of sampling
+                                       from --dataset (0 = sample)
 Cluster:
   --replicas=N                         simulate N identical replicas (default 1)
   --routing=rr|least-work              router policy (default least-work)
+  --jobs=N                             shard replica simulation across N worker
+                                       threads (default 1; 0 = all cores);
+                                       results are identical for any N
+Autoscaling (enabled when --autoscale-min >= 1; --replicas is the ceiling):
+  --autoscale-min=N                    always-provisioned replica floor
+  --autoscale-out-queue=S              scale out above S seconds of mean backlog
+                                       (default 4.0)
+  --autoscale-in-queue=S               scale in below S seconds (default 0.5)
+  --autoscale-lag=S                    provisioning lag before a new replica
+                                       serves (default 30.0)
+  --autoscale-tbt-slo=S                also scale out when windowed predicted
+                                       P99 TBT exceeds S seconds (0 = off)
+  --autoscale-every=S                  evaluation interval (default 5.0)
+  --autoscale-cooldown=S               min gap between scale events (default 30.0)
 Faults (any of these routes the run through the cluster simulator):
   --mtbf=S --mttr=S                    replica crash process, exponential (s)
   --timeout-prob=P --timeout=S         client-timeout probability and mean (s)
@@ -181,6 +207,54 @@ StatusOr<Trace> PickTrace(const ArgParser& args) {
   RETURN_IF_ERROR(qps.status());
   auto seed = args.GetInt("seed", 42);
   RETURN_IF_ERROR(seed.status());
+
+  std::string shape = args.GetString("trace-shape", "");
+  if (!shape.empty()) {
+    if (shape != "diurnal" && shape != "flash") {
+      return InvalidArgumentError("unknown --trace-shape '" + shape + "'");
+    }
+    auto duration = args.GetDouble("duration", shape == "diurnal" ? 86400.0 : 3600.0);
+    auto prompt = args.GetInt("prompt", 0);
+    auto output = args.GetInt("output", 0);
+    RETURN_IF_ERROR(duration.status());
+    RETURN_IF_ERROR(prompt.status());
+    RETURN_IF_ERROR(output.status());
+    DatasetSpec dataset =
+        dataset_name == "arxiv" ? ArxivSummarization() : OpenChatShareGpt4();
+    bool fixed_shape = *prompt > 0 && *output > 0;
+    if (shape == "diurnal") {
+      DiurnalOptions diurnal;
+      diurnal.mean_qps = *qps;
+      diurnal.duration_s = *duration;
+      auto ptt = args.GetDouble("peak-to-trough", 4.0);
+      auto period = args.GetDouble("period", 86400.0);
+      auto peak_at = args.GetDouble("peak-at", 43200.0);
+      RETURN_IF_ERROR(ptt.status());
+      RETURN_IF_ERROR(period.status());
+      RETURN_IF_ERROR(peak_at.status());
+      diurnal.peak_to_trough = *ptt;
+      diurnal.period_s = *period;
+      diurnal.peak_at_s = *peak_at;
+      diurnal.seed = static_cast<uint64_t>(*seed);
+      return fixed_shape ? UniformDiurnalTrace(diurnal, *prompt, *output)
+                         : GenerateDiurnalTrace(dataset, diurnal);
+    }
+    FlashCrowdOptions flash;
+    flash.base_qps = *qps;
+    flash.duration_s = *duration;
+    auto flash_at = args.GetDouble("flash-at", 1200.0);
+    auto flash_duration = args.GetDouble("flash-duration", 300.0);
+    auto flash_mult = args.GetDouble("flash-mult", 8.0);
+    RETURN_IF_ERROR(flash_at.status());
+    RETURN_IF_ERROR(flash_duration.status());
+    RETURN_IF_ERROR(flash_mult.status());
+    flash.flash_at_s = *flash_at;
+    flash.flash_duration_s = *flash_duration;
+    flash.flash_mult = *flash_mult;
+    flash.seed = static_cast<uint64_t>(*seed);
+    return fixed_shape ? UniformFlashCrowdTrace(flash, *prompt, *output)
+                       : GenerateFlashCrowdTrace(dataset, flash);
+  }
 
   if (dataset_name == "conversations") {
     ConversationOptions conversation;
@@ -406,7 +480,36 @@ int RunMain(int argc, char** argv) {
   faults.domain_partition_fraction = *partition_frac;
   bool cascade_run =
       *timeout_retries > 0 || cascade_breaker || slow_start || faults.any_domain_faults();
-  bool fault_run = faults.any_faults() || *shed_after > 0.0 || overload_run || cascade_run;
+
+  // ---- Parallelism and autoscaling flags ----
+  auto jobs = args.GetInt("jobs", 1);
+  auto autoscale_min = args.GetInt("autoscale-min", 0);
+  auto autoscale_out_queue = args.GetDouble("autoscale-out-queue", 4.0);
+  auto autoscale_in_queue = args.GetDouble("autoscale-in-queue", 0.5);
+  auto autoscale_lag = args.GetDouble("autoscale-lag", 30.0);
+  auto autoscale_tbt = args.GetDouble("autoscale-tbt-slo", 0.0);
+  auto autoscale_every = args.GetDouble("autoscale-every", 5.0);
+  auto autoscale_cooldown = args.GetDouble("autoscale-cooldown", 30.0);
+  if (!jobs.ok() || !autoscale_min.ok() || !autoscale_out_queue.ok() ||
+      !autoscale_in_queue.ok() || !autoscale_lag.ok() || !autoscale_tbt.ok() ||
+      !autoscale_every.ok() || !autoscale_cooldown.ok() || *autoscale_min < 0 ||
+      *autoscale_min > *replicas) {
+    std::cerr << "bad parallelism/autoscale flag (--jobs/--autoscale-min/"
+                 "--autoscale-out-queue/--autoscale-in-queue/--autoscale-lag/"
+                 "--autoscale-tbt-slo/--autoscale-every/--autoscale-cooldown)\n";
+    return 2;
+  }
+  bool autoscale_run = *autoscale_min > 0;
+  if (autoscale_run &&
+      (*autoscale_out_queue <= *autoscale_in_queue || *autoscale_every <= 0.0 ||
+       *autoscale_lag < 0.0 || *autoscale_cooldown < 0.0)) {
+    std::cerr << "--autoscale-out-queue must exceed --autoscale-in-queue, "
+                 "--autoscale-every must be positive, and --autoscale-lag/"
+                 "--autoscale-cooldown must be non-negative\n";
+    return 2;
+  }
+  bool fault_run = faults.any_faults() || *shed_after > 0.0 || overload_run || cascade_run ||
+                   autoscale_run;
 
   // ---- Observability sinks ----
   std::string trace_out = args.GetString("trace-out", "");
@@ -510,6 +613,16 @@ int RunMain(int argc, char** argv) {
     cluster.slow_start.enabled = slow_start;
     cluster.slow_start.ramp_s = *slow_start_ramp;
     cluster.slow_start.stagger_s = *slow_start_stagger;
+    cluster.jobs = static_cast<int>(*jobs);
+    if (autoscale_run) {
+      cluster.autoscale.min_replicas = static_cast<int>(*autoscale_min);
+      cluster.autoscale.scale_out_queue_s = *autoscale_out_queue;
+      cluster.autoscale.scale_in_queue_s = *autoscale_in_queue;
+      cluster.autoscale.provisioning_lag_s = *autoscale_lag;
+      cluster.autoscale.tbt_slo_s = *autoscale_tbt;
+      cluster.autoscale.eval_interval_s = *autoscale_every;
+      cluster.autoscale.cooldown_s = *autoscale_cooldown;
+    }
     std::string routing = args.GetString("routing", "least-work");
     if (routing == "rr") {
       cluster.routing = RoutingPolicy::kRoundRobin;
@@ -567,6 +680,14 @@ int RunMain(int argc, char** argv) {
       table.AddRow({"retries denied", Table::Int(result.num_retries_denied)});
       table.AddRow({"hedges suppressed", Table::Int(result.num_hedges_suppressed)});
       table.AddRow({"backpressure skips", Table::Int(result.num_backpressure_skips)});
+    }
+    if (autoscale_run) {
+      table.AddRow({"scale events (out/in)", Table::Int(result.autoscale_out) + "/" +
+                                                 Table::Int(result.autoscale_in)});
+      table.AddRow({"peak provisioned replicas", Table::Int(result.peak_provisioned_replicas)});
+      table.AddRow({"replica-seconds provisioned",
+                    Table::Num(result.replica_seconds_provisioned, 1)});
+      table.AddRow({"cost proxy (GPU-s)", Table::Num(result.autoscale_cost_gpu_s, 1)});
     }
     if (cascade_run) {
       table.AddRow({"domain faults (partitions)", Table::Int(result.num_domain_faults) + " (" +
